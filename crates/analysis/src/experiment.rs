@@ -1,0 +1,124 @@
+//! Seeded repetition of stochastic runs with literature-style aggregation.
+
+use crate::stats::Summary;
+use std::time::Duration;
+
+/// Outcome of one independent run, as reported by an engine.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOutcome {
+    /// Best fitness reached.
+    pub best_fitness: f64,
+    /// Fitness evaluations spent.
+    pub evaluations: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// `true` when the run reached the problem optimum / target.
+    pub hit: bool,
+}
+
+/// Aggregate over repeated runs.
+///
+/// Evaluations-to-solution follows the literature convention: averaged over
+/// *successful* runs only (an unsuccessful run's evaluation count measures
+/// the budget, not the problem).
+#[derive(Clone, Debug)]
+pub struct RepeatedOutcome {
+    /// Number of runs.
+    pub runs: usize,
+    /// Hit rate in `[0, 1]` — the survey's *efficacy*.
+    pub efficacy: f64,
+    /// Best-fitness summary over all runs.
+    pub best: Summary,
+    /// Evaluations-to-solution summary over successful runs.
+    pub evals_to_solution: Summary,
+    /// Wall-clock summary over all runs (seconds).
+    pub seconds: Summary,
+}
+
+impl RepeatedOutcome {
+    /// Aggregates raw outcomes.
+    #[must_use]
+    pub fn aggregate(outcomes: &[RunOutcome]) -> Self {
+        let runs = outcomes.len();
+        let hits = outcomes.iter().filter(|o| o.hit).count();
+        let best: Vec<f64> = outcomes.iter().map(|o| o.best_fitness).collect();
+        let evals: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.hit)
+            .map(|o| o.evaluations as f64)
+            .collect();
+        let secs: Vec<f64> = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).collect();
+        Self {
+            runs,
+            efficacy: if runs == 0 { 0.0 } else { hits as f64 / runs as f64 },
+            best: Summary::of(&best),
+            evals_to_solution: Summary::of(&evals),
+            seconds: Summary::of(&secs),
+        }
+    }
+}
+
+/// Runs `reps` independent replicates, seeding each with `base_seed + i`,
+/// and aggregates. The closure owns everything engine-specific.
+pub fn repeat<F>(reps: usize, base_seed: u64, mut run: F) -> RepeatedOutcome
+where
+    F: FnMut(u64) -> RunOutcome,
+{
+    let outcomes: Vec<RunOutcome> = (0..reps)
+        .map(|i| run(base_seed.wrapping_add(i as u64)))
+        .collect();
+    RepeatedOutcome::aggregate(&outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(hit: bool, evals: u64, best: f64) -> RunOutcome {
+        RunOutcome {
+            best_fitness: best,
+            evaluations: evals,
+            elapsed: Duration::from_millis(10),
+            hit,
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_hits_and_filters_evals() {
+        let out = RepeatedOutcome::aggregate(&[
+            outcome(true, 100, 1.0),
+            outcome(false, 99_999, 0.5),
+            outcome(true, 300, 1.0),
+            outcome(true, 200, 1.0),
+        ]);
+        assert_eq!(out.runs, 4);
+        assert_eq!(out.efficacy, 0.75);
+        // Evals-to-solution over the three hits only.
+        assert_eq!(out.evals_to_solution.n, 3);
+        assert!((out.evals_to_solution.mean - 200.0).abs() < 1e-9);
+        assert_eq!(out.best.n, 4);
+    }
+
+    #[test]
+    fn aggregate_empty_is_safe() {
+        let out = RepeatedOutcome::aggregate(&[]);
+        assert_eq!(out.runs, 0);
+        assert_eq!(out.efficacy, 0.0);
+    }
+
+    #[test]
+    fn repeat_seeds_are_distinct_and_deterministic() {
+        let mut seen = Vec::new();
+        let out = repeat(5, 1000, |seed| {
+            seen.push(seed);
+            outcome(true, seed, 0.0)
+        });
+        assert_eq!(seen, vec![1000, 1001, 1002, 1003, 1004]);
+        assert_eq!(out.runs, 5);
+        let out2 = repeat(5, 1000, |seed| outcome(true, seed, 0.0));
+        assert_eq!(
+            out.evals_to_solution.mean,
+            out2.evals_to_solution.mean
+        );
+    }
+}

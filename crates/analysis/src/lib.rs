@@ -1,0 +1,19 @@
+//! # pga-analysis
+//!
+//! Measurement layer of the workspace: aggregate statistics over repeated
+//! seeded runs, the metrics the PGA literature reports (speedup, efficiency,
+//! *efficacy*, evaluations-to-solution, takeover time), and plain-text
+//! table/CSV rendering for the experiment harness in `pga-bench`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod stats;
+pub mod table;
+
+pub use experiment::{repeat, RepeatedOutcome, RunOutcome};
+pub use metrics::{effort_speedup, efficiency, logistic_growth_rate, speedup, takeover_area, takeover_time};
+pub use stats::Summary;
+pub use table::Table;

@@ -1,0 +1,160 @@
+//! Metrics of the PGA literature: speedup, efficiency, takeover time.
+
+/// Speedup `T(1) / T(p)` — "strong" speedup when `t1` comes from the best
+/// sequential algorithm, "weak/orthodox" when it comes from the same PGA on
+/// one processor (Alba 2002's taxonomy).
+///
+/// Panics on non-positive times: a zero denominator means the measurement is
+/// broken, not that speedup is infinite.
+#[must_use]
+pub fn speedup(t1: f64, tp: f64) -> f64 {
+    assert!(t1 > 0.0 && tp > 0.0, "speedup needs positive times");
+    t1 / tp
+}
+
+/// Parallel efficiency `speedup / p`.
+#[must_use]
+pub fn efficiency(t1: f64, tp: f64, p: usize) -> f64 {
+    assert!(p > 0, "efficiency needs p > 0");
+    speedup(t1, tp) / p as f64
+}
+
+/// Numerical-effort speedup: evaluations-to-solution ratio
+/// `evals(1 deme) / evals(k demes)`. Values above `k` are the super-linear
+/// regime reported by Alba (2002) (experiment E12).
+#[must_use]
+pub fn effort_speedup(evals_sequential: f64, evals_parallel: f64) -> f64 {
+    assert!(
+        evals_sequential > 0.0 && evals_parallel > 0.0,
+        "effort speedup needs positive evaluation counts"
+    );
+    evals_sequential / evals_parallel
+}
+
+/// Takeover time from a best-individual proportion curve: the index of the
+/// first sample where the proportion reaches `threshold` (conventionally
+/// 1.0: the best genotype fills the population).
+///
+/// Returns `None` when the curve never reaches the threshold — e.g. drift
+/// lost the best individual under a non-elitist policy.
+#[must_use]
+pub fn takeover_time(proportions: &[f64], threshold: f64) -> Option<usize> {
+    proportions.iter().position(|&p| p >= threshold)
+}
+
+/// Discrete selection-intensity proxy: area *above* the takeover curve,
+/// `Σ (1 − p_t)` until takeover. Lower area ⇒ faster takeover ⇒ higher
+/// selection pressure; the scalar used to rank update policies in E05.
+#[must_use]
+pub fn takeover_area(proportions: &[f64]) -> f64 {
+    proportions
+        .iter()
+        .take_while(|&&p| p < 1.0)
+        .map(|&p| 1.0 - p)
+        .sum()
+}
+
+/// Fits the logistic takeover model `p(t) = 1 / (1 + (1/p₀ − 1)·e^{−αt})`
+/// (Goldberg & Deb 1991; used throughout Alba & Troya's pressure studies)
+/// and returns the growth coefficient `α`.
+///
+/// The fit is a least-squares line through the log-odds
+/// `ln(p/(1−p)) = ln(p₀/(1−p₀)) + αt`, using only the interior samples
+/// (`0 < p < 1`). Returns `None` when fewer than two interior samples exist.
+#[must_use]
+pub fn logistic_growth_rate(proportions: &[f64]) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = proportions
+        .iter()
+        .enumerate()
+        .filter(|&(_, &p)| p > 0.0 && p < 1.0)
+        .map(|(t, &p)| (t as f64, (p / (1.0 - p)).ln()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let mean_t = pts.iter().map(|(t, _)| t).sum::<f64>() / n;
+    let mean_y = pts.iter().map(|(_, y)| y).sum::<f64>() / n;
+    let cov: f64 = pts.iter().map(|(t, y)| (t - mean_t) * (y - mean_y)).sum();
+    let var: f64 = pts.iter().map(|(t, _)| (t - mean_t) * (t - mean_t)).sum();
+    if var <= 0.0 {
+        return None;
+    }
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_and_efficiency() {
+        assert_eq!(speedup(10.0, 2.5), 4.0);
+        assert_eq!(efficiency(10.0, 2.5, 4), 1.0);
+        assert_eq!(efficiency(10.0, 5.0, 4), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn speedup_rejects_zero() {
+        let _ = speedup(1.0, 0.0);
+    }
+
+    #[test]
+    fn effort_speedup_superlinear_regime() {
+        // 8 demes needing 1/10 of the evaluations: super-linear (10 > 8).
+        assert_eq!(effort_speedup(100_000.0, 10_000.0), 10.0);
+    }
+
+    #[test]
+    fn takeover_time_first_crossing() {
+        let curve = [0.1, 0.4, 0.8, 1.0, 1.0];
+        assert_eq!(takeover_time(&curve, 1.0), Some(3));
+        assert_eq!(takeover_time(&curve, 0.5), Some(2));
+        assert_eq!(takeover_time(&[0.1, 0.2], 1.0), None);
+    }
+
+    #[test]
+    fn takeover_area_orders_pressure() {
+        let fast = [0.5, 0.9, 1.0];
+        let slow = [0.2, 0.4, 0.6, 0.8, 1.0];
+        assert!(takeover_area(&fast) < takeover_area(&slow));
+    }
+
+    #[test]
+    fn takeover_area_stops_at_one() {
+        // Samples after reaching 1.0 contribute nothing.
+        assert_eq!(takeover_area(&[0.5, 1.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn logistic_fit_recovers_known_alpha() {
+        // Generate an exact logistic curve and recover its growth rate.
+        let (p0, alpha) = (0.01f64, 0.35f64);
+        let curve: Vec<f64> = (0..40)
+            .map(|t| 1.0 / (1.0 + (1.0 / p0 - 1.0) * (-alpha * t as f64).exp()))
+            .collect();
+        let fitted = logistic_growth_rate(&curve).expect("interior samples exist");
+        assert!((fitted - alpha).abs() < 1e-9, "fitted {fitted}");
+    }
+
+    #[test]
+    fn logistic_fit_orders_fast_and_slow_takeover() {
+        let fast: Vec<f64> = (0..30)
+            .map(|t| 1.0 / (1.0 + 99.0 * (-0.6 * t as f64).exp()))
+            .collect();
+        let slow: Vec<f64> = (0..30)
+            .map(|t| 1.0 / (1.0 + 99.0 * (-0.2 * t as f64).exp()))
+            .collect();
+        assert!(
+            logistic_growth_rate(&fast).unwrap() > logistic_growth_rate(&slow).unwrap()
+        );
+    }
+
+    #[test]
+    fn logistic_fit_degenerate_inputs() {
+        assert_eq!(logistic_growth_rate(&[]), None);
+        assert_eq!(logistic_growth_rate(&[0.0, 1.0]), None);
+        assert_eq!(logistic_growth_rate(&[0.5]), None);
+    }
+}

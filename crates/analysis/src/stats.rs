@@ -1,0 +1,196 @@
+//! Aggregate statistics over samples.
+
+/// Five-number-plus summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean (0 for empty samples).
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 when n < 2).
+    pub std_dev: f64,
+    /// Minimum (`+inf` for empty samples).
+    pub min: f64,
+    /// Maximum (`-inf` for empty samples).
+    pub max: f64,
+    /// Median (0 for empty samples).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. NaNs are rejected with a panic: experiment
+    /// pipelines must not silently propagate invalid measurements.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "NaN in sample for Summary"
+        );
+        let n = samples.len();
+        if n == 0 {
+            return Self {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+                median: 0.0,
+            };
+        }
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let median = if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+        };
+        Self {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median,
+        }
+    }
+
+    /// `mean ± std` formatted with the given precision.
+    #[must_use]
+    pub fn mean_pm_std(&self, decimals: usize) -> String {
+        format!("{:.d$} ± {:.d$}", self.mean, self.std_dev, d = decimals)
+    }
+}
+
+/// Welford online accumulator for streaming statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN pushed into OnlineStats");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Sample count.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample standard deviation (n−1; 0 when n < 2).
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Minimum so far.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum so far.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        // Sample std of 1,2,3,4 = sqrt(5/3).
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_odd_median_and_single() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).median, 2.0);
+        let one = Summary::of(&[7.0]);
+        assert_eq!(one.median, 7.0);
+        assert_eq!(one.std_dev, 0.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn online_matches_batch() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut o = OnlineStats::new();
+        for &x in &data {
+            o.push(x);
+        }
+        let s = Summary::of(&data);
+        assert!((o.mean() - s.mean).abs() < 1e-12);
+        assert!((o.std_dev() - s.std_dev).abs() < 1e-12);
+        assert_eq!(o.min(), s.min);
+        assert_eq!(o.max(), s.max);
+        assert_eq!(o.count(), 8);
+    }
+
+    #[test]
+    fn mean_pm_std_format() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.mean_pm_std(1), "2.0 ± 1.4");
+    }
+}

@@ -1,0 +1,182 @@
+//! Plain-text table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned ASCII table with an optional title, rendering to
+/// a string (for the harness stdout) or to CSV (for plotting elsewhere).
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: Option<String>,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            title: None,
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets a title line printed above the table.
+    #[must_use]
+    pub fn with_title(mut self, title: impl Into<String>) -> Self {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Appends a row; must match the header count.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the aligned ASCII table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "== {t} ==");
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                let _ = write!(out, "{c:<w$}");
+            }
+            // Trim trailing padding.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows). Cells containing commas or quotes are
+    /// quoted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Formats a float compactly: fixed for mid-range, scientific for extremes.
+#[must_use]
+pub fn fmt_f64(x: f64, decimals: usize) -> String {
+    if x == 0.0 {
+        return format!("{x:.decimals$}");
+    }
+    let a = x.abs();
+    if !(1e-3..1e7).contains(&a) {
+        format!("{x:.decimals$e}")
+    } else {
+        format!("{x:.decimals$}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["name", "value"]).with_title("demo");
+        t.row(vec!["x", "1"]);
+        t.row(vec!["longer", "23456"]);
+        let s = t.render();
+        assert!(s.starts_with("== demo ==\n"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, separator, two rows (+title).
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // "value" column starts at the same offset in all data lines.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].len().min(col), col.min(lines[3].len()));
+        assert!(lines[4].starts_with("longer"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        Table::new(vec!["a", "b"]).row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["plain", "with,comma"]);
+        t.row(vec!["with\"quote", "x"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+        assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn fmt_f64_ranges() {
+        assert_eq!(fmt_f64(1.2345, 2), "1.23");
+        assert_eq!(fmt_f64(0.0, 1), "0.0");
+        assert!(fmt_f64(1e-9, 2).contains('e'));
+        assert!(fmt_f64(1e9, 2).contains('e'));
+    }
+
+    #[test]
+    fn row_count_tracks() {
+        let mut t = Table::new(vec!["a"]);
+        assert_eq!(t.row_count(), 0);
+        t.row(vec!["1"]);
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # pga-apps
+//!
+//! Application substrates for the survey's §4 case studies, built from
+//! scratch so the PGA experiments run end-to-end without external data
+//! (substitutions documented in DESIGN.md §1):
+//!
+//! * [`mlp`] + [`market`] + [`stock`] — the neuro-genetic daily stock
+//!   predictor of Kwon & Moon (2003): a small MLP whose weights are evolved,
+//!   fed by technical indicators over a synthetic regime-switching market,
+//!   evaluated against the buy-and-hold baseline.
+//! * [`image`] — the 2-phase GA image registration of Chalermwat et al.
+//!   (2001): synthetic grayscale scenes, rigid transforms, normalized
+//!   cross-correlation, coarse-to-fine search.
+//! * [`spectral`] — the parametric Doppler spectral estimation of Solano
+//!   et al. (2000): AR-process signal generation and AR-coefficient fitting
+//!   by minimizing one-step prediction error.
+//! * [`wing`] — the real-coded Adaptive Range GA of Oyama et al. (2000) on
+//!   an analytic transonic-wing drag surrogate, vs a fixed-range control.
+//! * [`reactor`] — the discrete reactor-core design of Pereira & Lapa
+//!   (2003): integer design variables, criticality/flux constraints via
+//!   penalties, planted optimal configuration.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod image;
+pub mod market;
+pub mod mlp;
+pub mod reactor;
+pub mod spectral;
+pub mod stock;
+pub mod wing;
+
+pub use image::{Image, Registration, RigidTransform};
+pub use reactor::ReactorDesign;
+pub use market::{MarketSeries, TradingOutcome};
+pub use mlp::Mlp;
+pub use spectral::{ArSignal, SpectralFit};
+pub use stock::StockPrediction;
+pub use wing::{adaptive_range_search, fixed_range_search, ArgaConfig, ArgaReport, WingDesign};

@@ -1,0 +1,130 @@
+//! A minimal fixed-topology multilayer perceptron.
+//!
+//! Just enough neural network for the neuro-genetic hybrid: dense layers,
+//! tanh hidden activations, linear output, and a flat weight codec so the
+//! whole network is one [`RealVector`](pga_core::RealVector) genome.
+
+/// A feedforward network with tanh hidden layers and a linear output layer.
+#[derive(Clone, Debug)]
+pub struct Mlp {
+    /// Layer sizes, input first (e.g. `[8, 6, 1]`).
+    sizes: Vec<usize>,
+    /// Flat weights: for each layer transition, `out × in` weights then
+    /// `out` biases.
+    weights: Vec<f64>,
+}
+
+impl Mlp {
+    /// Number of parameters a topology needs.
+    #[must_use]
+    pub fn parameter_count(sizes: &[usize]) -> usize {
+        sizes
+            .windows(2)
+            .map(|w| w[1] * w[0] + w[1])
+            .sum()
+    }
+
+    /// Builds a network from a flat parameter vector.
+    ///
+    /// # Panics
+    /// Panics when the vector length does not match the topology or the
+    /// topology has fewer than two layers.
+    #[must_use]
+    pub fn from_weights(sizes: &[usize], weights: &[f64]) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output layers");
+        assert!(sizes.iter().all(|&s| s > 0), "zero-width layer");
+        assert_eq!(
+            weights.len(),
+            Self::parameter_count(sizes),
+            "weight vector length mismatch"
+        );
+        Self {
+            sizes: sizes.to_vec(),
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Layer sizes.
+    #[must_use]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Forward pass. Input length must match the first layer.
+    #[must_use]
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.sizes[0], "input width mismatch");
+        let mut activations = input.to_vec();
+        let mut offset = 0usize;
+        let last_transition = self.sizes.len() - 2;
+        for (t, w) in self.sizes.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0], w[1]);
+            let mut next = Vec::with_capacity(n_out);
+            for o in 0..n_out {
+                let row = &self.weights[offset + o * n_in..offset + (o + 1) * n_in];
+                let mut sum = self.weights[offset + n_out * n_in + o]; // bias
+                for (x, wgt) in activations.iter().zip(row) {
+                    sum += x * wgt;
+                }
+                next.push(if t == last_transition { sum } else { sum.tanh() });
+            }
+            offset += n_out * n_in + n_out;
+            activations = next;
+        }
+        activations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_count_formula() {
+        // 3->2: 6 w + 2 b; 2->1: 2 w + 1 b = 11.
+        assert_eq!(Mlp::parameter_count(&[3, 2, 1]), 11);
+        assert_eq!(Mlp::parameter_count(&[5, 1]), 6);
+    }
+
+    #[test]
+    fn identityish_network() {
+        // 1->1 linear: y = 2x + 1.
+        let net = Mlp::from_weights(&[1, 1], &[2.0, 1.0]);
+        assert_eq!(net.forward(&[3.0]), vec![7.0]);
+    }
+
+    #[test]
+    fn hidden_layer_uses_tanh() {
+        // 1->1->1: hidden = tanh(x), output = hidden (w=1, b=0).
+        let net = Mlp::from_weights(&[1, 1, 1], &[1.0, 0.0, 1.0, 0.0]);
+        let y = net.forward(&[0.5])[0];
+        assert!((y - 0.5f64.tanh()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_layer_is_linear() {
+        // Large inputs should not saturate the output layer.
+        let net = Mlp::from_weights(&[1, 1], &[100.0, 0.0]);
+        assert_eq!(net.forward(&[10.0]), vec![1000.0]);
+    }
+
+    #[test]
+    fn zero_weights_zero_output() {
+        let n = Mlp::parameter_count(&[4, 3, 2]);
+        let net = Mlp::from_weights(&[4, 3, 2], &vec![0.0; n]);
+        assert_eq!(net.forward(&[1.0, 2.0, 3.0, 4.0]), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_weight_count_panics() {
+        let _ = Mlp::from_weights(&[2, 2], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn wrong_input_width_panics() {
+        let net = Mlp::from_weights(&[2, 1], &[0.0, 0.0, 0.0]);
+        let _ = net.forward(&[1.0]);
+    }
+}

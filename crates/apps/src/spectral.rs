@@ -1,0 +1,243 @@
+//! Parametric (autoregressive) spectral estimation of Doppler-like signals
+//! (Solano González et al. 2000 analog).
+//!
+//! Real Doppler ultrasound returns are replaced by synthetic AR processes
+//! with known coefficients: resonant poles placed at chosen "Doppler"
+//! frequencies drive white noise, exactly the signal class a parametric
+//! spectral estimator assumes. The GA fits AR coefficients by minimizing
+//! one-step prediction error — the paper's objective.
+
+use pga_core::{Bounds, Objective, Problem, RealVector, Rng64};
+use std::sync::Arc;
+
+/// A synthetic AR(p) signal with known generating coefficients.
+#[derive(Clone, Debug)]
+pub struct ArSignal {
+    samples: Vec<f64>,
+    true_coeffs: Vec<f64>,
+}
+
+impl ArSignal {
+    /// Generates `n` samples of an AR process whose poles sit at the given
+    /// normalized frequencies (cycles/sample, in `(0, 0.5)`) with the given
+    /// pole radius (`0 < r < 1`, sharper peaks near 1).
+    #[must_use]
+    pub fn doppler(n: usize, freqs: &[f64], radius: f64, noise: f64, seed: u64) -> Self {
+        assert!(!freqs.is_empty(), "need at least one resonance");
+        assert!(radius > 0.0 && radius < 1.0, "pole radius in (0,1)");
+        assert!(
+            freqs.iter().all(|f| (0.0..0.5).contains(f)),
+            "frequencies must be normalized to (0, 0.5)"
+        );
+        // Polynomial with conjugate pole pairs: ∏ (1 - 2r cos(2πf) z⁻¹ + r² z⁻²).
+        let mut poly = vec![1.0f64];
+        for &f in freqs {
+            let c = 2.0 * radius * (2.0 * std::f64::consts::PI * f).cos();
+            let pair = [1.0, -c, radius * radius];
+            let mut next = vec![0.0; poly.len() + 2];
+            for (i, &a) in poly.iter().enumerate() {
+                for (j, &b) in pair.iter().enumerate() {
+                    next[i + j] += a * b;
+                }
+            }
+            poly = next;
+        }
+        // AR form: x[t] = Σ_k a_k x[t−k] + e[t] with a_k = −poly[k].
+        let true_coeffs: Vec<f64> = poly[1..].iter().map(|&c| -c).collect();
+        let p = true_coeffs.len();
+        let mut rng = Rng64::new(seed);
+        let mut samples = vec![0.0f64; n + 10 * p];
+        for t in p..samples.len() {
+            let mut x = noise * rng.gaussian();
+            for (k, &a) in true_coeffs.iter().enumerate() {
+                x += a * samples[t - 1 - k];
+            }
+            samples[t] = x;
+        }
+        samples.drain(..10 * p); // discard transient
+        Self {
+            samples,
+            true_coeffs,
+        }
+    }
+
+    /// Signal samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The generating AR coefficients (`a_1 … a_p`).
+    #[must_use]
+    pub fn true_coeffs(&self) -> &[f64] {
+        &self.true_coeffs
+    }
+
+    /// AR model order.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.true_coeffs.len()
+    }
+
+    /// Mean squared one-step prediction error of an AR coefficient vector
+    /// on this signal.
+    #[must_use]
+    pub fn prediction_mse(&self, coeffs: &[f64]) -> f64 {
+        let p = coeffs.len();
+        assert!(p < self.samples.len(), "model order exceeds signal length");
+        let mut err = 0.0;
+        let mut count = 0usize;
+        for t in p..self.samples.len() {
+            let mut pred = 0.0;
+            for (k, &a) in coeffs.iter().enumerate() {
+                pred += a * self.samples[t - 1 - k];
+            }
+            let e = self.samples[t] - pred;
+            err += e * e;
+            count += 1;
+        }
+        err / count as f64
+    }
+
+    /// AR power spectral density of a coefficient vector at normalized
+    /// frequency `f ∈ [0, 0.5]` (unit noise variance).
+    #[must_use]
+    pub fn ar_spectrum(coeffs: &[f64], f: f64) -> f64 {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut re = 1.0;
+        let mut im = 0.0;
+        for (k, &a) in coeffs.iter().enumerate() {
+            let phase = omega * (k + 1) as f64;
+            re -= a * phase.cos();
+            im += a * phase.sin();
+        }
+        1.0 / (re * re + im * im)
+    }
+}
+
+/// The GA-searchable spectral-fit problem: genome = AR coefficients,
+/// fitness = one-step prediction MSE (minimized).
+#[derive(Clone)]
+pub struct SpectralFit {
+    signal: Arc<ArSignal>,
+    bounds: Bounds,
+}
+
+impl SpectralFit {
+    /// Fits a model of the signal's own order, coefficients in `[-2, 2]`.
+    #[must_use]
+    pub fn new(signal: ArSignal) -> Self {
+        let dim = signal.order();
+        Self {
+            signal: Arc::new(signal),
+            bounds: Bounds::uniform(-2.0, 2.0, dim),
+        }
+    }
+
+    /// Coefficient bounds for the real-coded operators.
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The fitted signal.
+    #[must_use]
+    pub fn signal(&self) -> &ArSignal {
+        &self.signal
+    }
+
+    /// Coefficient-space distance of a genome from the generating truth.
+    #[must_use]
+    pub fn coeff_error(&self, genome: &RealVector) -> f64 {
+        genome
+            .values()
+            .iter()
+            .zip(self.signal.true_coeffs())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Problem for SpectralFit {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("spectral-ar{}", self.signal.order())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, genome: &RealVector) -> f64 {
+        self.signal.prediction_mse(genome.values())
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal() -> ArSignal {
+        ArSignal::doppler(2000, &[0.1, 0.25], 0.9, 0.5, 42)
+    }
+
+    #[test]
+    fn two_resonances_give_order_four() {
+        let s = signal();
+        assert_eq!(s.order(), 4);
+        assert_eq!(s.samples().len(), 2000);
+    }
+
+    #[test]
+    fn signal_is_stationary_not_exploding() {
+        let s = signal();
+        let max = s.samples().iter().fold(0.0f64, |m, &x| m.max(x.abs()));
+        assert!(max < 100.0, "max sample {max}");
+        assert!(max > 0.1, "signal died");
+    }
+
+    #[test]
+    fn true_coeffs_minimize_prediction_error() {
+        let s = signal();
+        let mse_true = s.prediction_mse(s.true_coeffs());
+        // The generating model's residual is the injected noise (σ = 0.5).
+        assert!((mse_true - 0.25).abs() < 0.05, "mse {mse_true}");
+        // Any perturbed model does worse.
+        let mut worse = s.true_coeffs().to_vec();
+        worse[0] += 0.3;
+        assert!(s.prediction_mse(&worse) > mse_true);
+        let zeros = vec![0.0; 4];
+        assert!(s.prediction_mse(&zeros) > 4.0 * mse_true);
+    }
+
+    #[test]
+    fn spectrum_peaks_at_resonances() {
+        let s = signal();
+        let at = |f: f64| ArSignal::ar_spectrum(s.true_coeffs(), f);
+        assert!(at(0.1) > 5.0 * at(0.18), "no peak at 0.1");
+        assert!(at(0.25) > 5.0 * at(0.4), "no peak at 0.25");
+    }
+
+    #[test]
+    fn coeff_error_zero_at_truth() {
+        let s = signal();
+        let fit = SpectralFit::new(s);
+        let truth = RealVector::new(fit.signal().true_coeffs().to_vec());
+        assert_eq!(fit.coeff_error(&truth), 0.0);
+        assert!((fit.evaluate(&truth) - 0.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = ArSignal::doppler(500, &[0.2], 0.8, 1.0, 7);
+        let b = ArSignal::doppler(500, &[0.2], 0.8, 1.0, 7);
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.true_coeffs(), b.true_coeffs());
+    }
+}

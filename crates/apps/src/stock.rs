@@ -1,0 +1,174 @@
+//! Neuro-genetic daily stock prediction (Kwon & Moon 2003 analog).
+//!
+//! The genome is the weight vector of a small MLP; the fitness is the
+//! wealth achieved by trading the *training* window with the network's
+//! long/flat signal. Generalization is measured afterwards on a held-out
+//! window against buy-and-hold.
+
+use crate::market::{MarketSeries, TradingOutcome};
+use crate::mlp::Mlp;
+use pga_core::{Bounds, Objective, Problem, RealVector, Rng64};
+use std::sync::Arc;
+
+/// The evolvable stock-prediction problem.
+#[derive(Clone)]
+pub struct StockPrediction {
+    market: Arc<MarketSeries>,
+    sizes: Vec<usize>,
+    bounds: Bounds,
+    train: (usize, usize),
+    test: (usize, usize),
+}
+
+impl StockPrediction {
+    /// Standard setup: an `[8, h, 1]` network over `market`, trained on
+    /// `[20, split)` and tested on `[split, len-1)`.
+    #[must_use]
+    pub fn new(market: MarketSeries, hidden: usize, split: usize) -> Self {
+        assert!(hidden >= 1);
+        assert!(split > 40 && split < market.len() - 20, "bad split");
+        let sizes = vec![MarketSeries::feature_count(), hidden, 1];
+        let dim = Mlp::parameter_count(&sizes);
+        let len = market.len();
+        Self {
+            market: Arc::new(market),
+            sizes,
+            bounds: Bounds::uniform(-3.0, 3.0, dim),
+            train: (20, split),
+            test: (split, len - 1),
+        }
+    }
+
+    /// Weight-space bounds (for the real-coded operators).
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// Genome dimension (MLP parameter count).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.bounds.dim()
+    }
+
+    /// The underlying market series.
+    #[must_use]
+    pub fn market(&self) -> &MarketSeries {
+        &self.market
+    }
+
+    fn network(&self, genome: &RealVector) -> Mlp {
+        Mlp::from_weights(&self.sizes, genome.values())
+    }
+
+    /// Trades a window with the network's signal.
+    fn trade_window(&self, genome: &RealVector, window: (usize, usize)) -> TradingOutcome {
+        let net = self.network(genome);
+        self.market.trade(window.0, window.1, |t| {
+            net.forward(&self.market.features(t))[0] > 0.0
+        })
+    }
+
+    /// Held-out evaluation of a genome: `(strategy, buy_and_hold)`.
+    #[must_use]
+    pub fn test_outcome(&self, genome: &RealVector) -> (TradingOutcome, TradingOutcome) {
+        (
+            self.trade_window(genome, self.test),
+            self.market.buy_and_hold(self.test.0, self.test.1),
+        )
+    }
+
+    /// Buy-and-hold wealth over the training window (fitness baseline).
+    #[must_use]
+    pub fn train_buy_and_hold(&self) -> f64 {
+        self.market.buy_and_hold(self.train.0, self.train.1).wealth
+    }
+}
+
+impl Problem for StockPrediction {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("stock-mlp-{}", self.dim())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, genome: &RealVector) -> f64 {
+        self.trade_window(genome, self.train).wealth
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::ops::{BlxAlpha, GaussianMutation, Tournament};
+    use pga_core::{Ga, Scheme, Termination};
+
+    fn problem(seed: u64) -> StockPrediction {
+        StockPrediction::new(MarketSeries::generate(400, seed), 5, 280)
+    }
+
+    #[test]
+    fn dimensions_follow_topology() {
+        let p = problem(1);
+        // 8*5 + 5 + 5*1 + 1 = 51.
+        assert_eq!(p.dim(), 51);
+    }
+
+    #[test]
+    fn fitness_is_training_wealth() {
+        let p = problem(2);
+        let mut rng = Rng64::new(0);
+        let g = p.random_genome(&mut rng);
+        let f = p.evaluate(&g);
+        assert!(f > 0.0);
+        // All-flat network (zero weights) keeps wealth at exactly 1.
+        let flat = RealVector::new(vec![0.0; p.dim()]);
+        assert_eq!(p.evaluate(&flat), 1.0);
+    }
+
+    #[test]
+    fn evolution_beats_training_buy_and_hold() {
+        let p = problem(3);
+        let train_bah = p.train_buy_and_hold();
+        let bounds = p.bounds().clone();
+        let mut ga = Ga::builder(p)
+            .seed(7)
+            .pop_size(40)
+            .selection(Tournament::binary())
+            .crossover(BlxAlpha::new(bounds.clone()))
+            .mutation(GaussianMutation {
+                p: 0.15,
+                sigma: 0.4,
+                bounds,
+            })
+            .scheme(Scheme::Generational { elitism: 2 })
+            .build()
+            .unwrap();
+        let r = ga.run(&Termination::new().max_generations(40)).unwrap();
+        assert!(
+            r.best_fitness() > train_bah,
+            "evolved {} <= buy-and-hold {}",
+            r.best_fitness(),
+            train_bah
+        );
+    }
+
+    #[test]
+    fn test_outcome_reports_both_strategies() {
+        let p = problem(4);
+        let mut rng = Rng64::new(1);
+        let g = p.random_genome(&mut rng);
+        let (strat, bah) = p.test_outcome(&g);
+        assert_eq!(strat.days_total, bah.days_total);
+        assert!(bah.days_long == bah.days_total);
+        assert!(strat.wealth > 0.0);
+    }
+}

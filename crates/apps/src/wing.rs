@@ -1,0 +1,363 @@
+//! Transonic-wing design with a real-coded Adaptive Range GA
+//! (Oyama, Obayashi & Nakamura, PPSN 2000 analog).
+//!
+//! The paper's CFD evaluation is replaced by an analytic aerodynamic
+//! surrogate (see DESIGN.md §1): a smooth drag bowl plus a narrow
+//! "transonic shock" penalty valley and a lift-constraint penalty, giving
+//! the ill-scaled, narrow-optimum landscape that motivated ARGA. The ARGA
+//! loop re-centers the decoding range on the population statistics of the
+//! elite every few generations, so the search zooms into promising regions
+//! — the paper's claim is that this beats a fixed-range real-coded GA on
+//! exactly this kind of landscape.
+
+use pga_core::ops::{BlxAlpha, GaussianMutation, Tournament};
+use pga_core::{Bounds, Ga, GaBuilder, Objective, Problem, RealVector, Rng64, Scheme, Termination};
+use std::sync::Arc;
+
+/// Analytic stand-in for a transonic wing drag evaluation over `dim`
+/// normalized design variables (twist/camber/thickness stand-ins).
+///
+/// `f(x) = Σ (x_i − x*_i)² · w_i + shock(x) + lift_penalty(x)`, where the
+/// optimum `x*` sits off-center, weights are badly scaled (×1 … ×100), the
+/// shock term carves a narrow curved valley, and the lift penalty grows
+/// when the mean design variable drops below a threshold. Minimized;
+/// optimum value 0 at `x*`.
+#[derive(Clone, Debug)]
+pub struct WingDesign {
+    optimum: Vec<f64>,
+    weights: Vec<f64>,
+    bounds: Bounds,
+}
+
+impl WingDesign {
+    /// Instance with `dim` design variables, generated from `seed`.
+    #[must_use]
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim >= 2, "need at least two design variables");
+        let mut rng = Rng64::new(seed);
+        let mut optimum: Vec<f64> = (0..dim).map(|_| rng.range_f64(0.2, 0.8)).collect();
+        // Keep the optimum clear of the lift-constraint boundary so the
+        // planted design is penalty-free (f(x*) = 0 exactly).
+        let mean = optimum.iter().sum::<f64>() / dim as f64;
+        if mean < 0.35 {
+            let shift = 0.35 - mean;
+            for o in &mut optimum {
+                *o = (*o + shift).min(0.8);
+            }
+        }
+        // Log-uniform weights across two orders of magnitude: ill scaling.
+        let weights: Vec<f64> = (0..dim)
+            .map(|_| 10f64.powf(rng.range_f64(0.0, 2.0)))
+            .collect();
+        Self {
+            optimum,
+            weights,
+            bounds: Bounds::uniform(0.0, 1.0, dim),
+        }
+    }
+
+    /// Design-space bounds (the *initial* ARGA decoding range).
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The planted optimal design (ground truth for error measurement).
+    #[must_use]
+    pub fn optimal_design(&self) -> &[f64] {
+        &self.optimum
+    }
+
+    /// Distance of a design from the planted optimum.
+    #[must_use]
+    pub fn design_error(&self, x: &RealVector) -> f64 {
+        x.values()
+            .iter()
+            .zip(&self.optimum)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Problem for WingDesign {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("wing-design-{}d", self.optimum.len())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, x: &RealVector) -> f64 {
+        debug_assert_eq!(x.len(), self.optimum.len());
+        let mut drag = 0.0;
+        for ((xi, oi), w) in x.values().iter().zip(&self.optimum).zip(&self.weights) {
+            drag += w * (xi - oi) * (xi - oi);
+        }
+        // Narrow curved "shock" valley coupling consecutive deviations
+        // from the optimum (Rosenbrock-style in shifted coordinates, so
+        // the planted optimum scores exactly zero).
+        let shock: f64 = (1..x.len())
+            .map(|i| {
+                let u0 = x[i - 1] - self.optimum[i - 1];
+                let u1 = x[i] - self.optimum[i];
+                30.0 * (u1 - u0 * u0).powi(2)
+            })
+            .sum();
+        // Lift constraint: mean design variable must stay above 0.3.
+        let mean = x.values().iter().sum::<f64>() / x.len() as f64;
+        let lift_penalty = if mean < 0.3 {
+            100.0 * (0.3 - mean)
+        } else {
+            0.0
+        };
+        drag + shock + lift_penalty
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        0.05
+    }
+}
+
+/// Result of an (A)RGA search.
+#[derive(Clone, Debug)]
+pub struct ArgaReport {
+    /// Best design found.
+    pub best: RealVector,
+    /// Best fitness.
+    pub best_fitness: f64,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+    /// Number of range adaptations performed (0 for the fixed-range GA).
+    pub adaptations: usize,
+    /// The final decoding range per dimension.
+    pub final_range: Vec<(f64, f64)>,
+}
+
+/// Configuration of the adaptive-range loop.
+#[derive(Clone, Copy, Debug)]
+pub struct ArgaConfig {
+    /// Population size per stage.
+    pub pop_size: usize,
+    /// Generations between range adaptations.
+    pub stage_generations: u64,
+    /// Number of adaptation stages.
+    pub stages: usize,
+    /// Range half-width in elite standard deviations (paper uses ~2σ).
+    pub sigma_factor: f64,
+}
+
+impl Default for ArgaConfig {
+    fn default() -> Self {
+        Self {
+            pop_size: 40,
+            stage_generations: 15,
+            stages: 6,
+            sigma_factor: 2.0,
+        }
+    }
+}
+
+fn stage_ga(
+    problem: &Arc<WingDesign>,
+    bounds: Bounds,
+    pop_size: usize,
+    seed: u64,
+) -> Ga<Arc<WingDesign>> {
+    // Mutation scale follows the current range so zooming keeps relative
+    // step sizes constant — the essence of range adaptation.
+    let span = {
+        let (lo, hi) = bounds.interval(0);
+        (hi - lo).max(1e-6)
+    };
+    GaBuilder::new(Arc::clone(problem))
+        .seed(seed)
+        .pop_size(pop_size)
+        .selection(Tournament::binary())
+        .crossover(BlxAlpha::new(bounds.clone()))
+        .mutation(GaussianMutation {
+            p: 0.25,
+            sigma: 0.15 * span,
+            bounds,
+        })
+        .scheme(Scheme::Generational { elitism: 2 })
+        .build()
+        .expect("valid configuration")
+}
+
+/// Runs the Adaptive Range GA: alternating evolution stages and range
+/// re-centering on the elite's mean ± `sigma_factor`·σ (clipped to the
+/// problem's global bounds).
+#[must_use]
+pub fn adaptive_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, seed: u64) -> ArgaReport {
+    let dim = problem.bounds().dim();
+    let mut bounds = problem.bounds().clone();
+    let mut best: Option<(RealVector, f64)> = None;
+    let mut evaluations = 0u64;
+    let mut adaptations = 0usize;
+
+    for stage in 0..config.stages {
+        let mut ga = stage_ga(problem, bounds.clone(), config.pop_size, seed + stage as u64);
+        let r = ga
+            .run(&Termination::new().max_generations(config.stage_generations))
+            .expect("bounded");
+        evaluations += r.evaluations;
+        let stage_best = (r.best.genome.clone(), r.best_fitness());
+        if best.as_ref().is_none_or(|(_, f)| stage_best.1 < *f) {
+            best = Some(stage_best);
+        }
+
+        // Re-center the range on the elite half of the final population.
+        let pop = ga.population();
+        let elite = pop.top_k_indices(Objective::Minimize, config.pop_size / 2);
+        let mut intervals = Vec::with_capacity(dim);
+        for d in 0..dim {
+            let vals: Vec<f64> = elite
+                .iter()
+                .map(|&i| pop.members()[i].genome.values()[d])
+                .collect();
+            let n = vals.len() as f64;
+            let mean = vals.iter().sum::<f64>() / n;
+            let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+            let half = (config.sigma_factor * var.sqrt()).max(1e-3);
+            let (glo, ghi) = problem.bounds().interval(d);
+            let lo = (mean - half).max(glo);
+            let hi = (mean + half).min(ghi);
+            intervals.push(if lo < hi { (lo, hi) } else { (glo, ghi) });
+        }
+        bounds = Bounds::per_dim(intervals);
+        adaptations += 1;
+    }
+
+    let (genome, best_fitness) = best.expect("at least one stage ran");
+    ArgaReport {
+        final_range: (0..dim).map(|d| bounds.interval(d)).collect(),
+        best: genome,
+        best_fitness,
+        evaluations,
+        adaptations,
+    }
+}
+
+/// Fixed-range control: one GA over the full range, stopped at the same
+/// evaluation budget an ARGA run spent (pass
+/// [`ArgaReport::evaluations`] for a like-for-like comparison).
+#[must_use]
+pub fn fixed_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, budget_evals: u64, seed: u64) -> ArgaReport {
+    let mut ga = stage_ga(problem, problem.bounds().clone(), config.pop_size, seed);
+    let r = ga
+        .run(&Termination::new().max_evaluations(budget_evals))
+        .expect("bounded");
+    ArgaReport {
+        final_range: (0..problem.bounds().dim())
+            .map(|d| problem.bounds().interval(d))
+            .collect(),
+        best: r.best.genome.clone(),
+        best_fitness: r.best_fitness(),
+        evaluations: r.evaluations,
+        adaptations: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> Arc<WingDesign> {
+        Arc::new(WingDesign::new(8, 3))
+    }
+
+    #[test]
+    fn optimum_scores_zero() {
+        let p = problem();
+        let x = RealVector::new(p.optimal_design().to_vec());
+        let f = p.evaluate(&x);
+        assert!(f.abs() < 1e-9, "f(x*) = {f}");
+        assert!(p.is_optimal(f));
+    }
+
+    #[test]
+    fn random_designs_are_worse() {
+        let p = problem();
+        let mut rng = Rng64::new(5);
+        for _ in 0..50 {
+            let x = p.random_genome(&mut rng);
+            assert!(p.evaluate(&x) > -1e-9);
+        }
+    }
+
+    #[test]
+    fn lift_penalty_activates_below_threshold() {
+        let p = Arc::new(WingDesign::new(4, 1));
+        let low = RealVector::new(vec![0.05; 4]);
+        let ok = RealVector::new(vec![0.5; 4]);
+        // The low-mean design carries the extra linear penalty term.
+        let base_low: f64 = {
+            // Same design without penalty would score drag+shock only;
+            // verify the penalized value exceeds the unpenalized ok design
+            // by a visible margin.
+            p.evaluate(&low)
+        };
+        assert!(base_low > p.evaluate(&ok));
+    }
+
+    #[test]
+    fn arga_adapts_range_and_finds_good_designs() {
+        let p = problem();
+        let report = adaptive_range_search(&p, ArgaConfig::default(), 42);
+        assert_eq!(report.adaptations, 6);
+        assert!(report.best_fitness < 1.0, "best {}", report.best_fitness);
+        // Final range should have zoomed in (narrower than [0,1]).
+        let total_span: f64 = report.final_range.iter().map(|(lo, hi)| hi - lo).sum();
+        assert!(
+            total_span < 0.9 * report.final_range.len() as f64,
+            "range never narrowed: {total_span}"
+        );
+        // The zoomed range should bracket the planted optimum in most dims.
+        let bracketed = report
+            .final_range
+            .iter()
+            .zip(p.optimal_design())
+            .filter(|((lo, hi), o)| *lo <= **o && **o <= *hi)
+            .count();
+        assert!(bracketed >= report.final_range.len() / 2, "bracketed {bracketed}");
+    }
+
+    #[test]
+    fn arga_beats_fixed_range_on_average() {
+        let p = problem();
+        let config = ArgaConfig::default();
+        let mut arga_wins = 0;
+        let reps = 6;
+        for rep in 0..reps {
+            let arga = adaptive_range_search(&p, config, 100 + rep);
+            let fixed = fixed_range_search(&p, config, arga.evaluations, 100 + rep);
+            // Budgets agree within one generation of slack.
+            assert!(fixed.evaluations <= arga.evaluations + config.pop_size as u64);
+            if arga.best_fitness <= fixed.best_fitness {
+                arga_wins += 1;
+            }
+        }
+        assert!(arga_wins * 2 >= reps, "ARGA won only {arga_wins}/{reps}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = problem();
+        let a = adaptive_range_search(&p, ArgaConfig::default(), 9);
+        let b = adaptive_range_search(&p, ArgaConfig::default(), 9);
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

@@ -1,0 +1,71 @@
+//! Cost of a fixed number of island generations as the deme count grows
+//! (fixed total population), for both engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pga_core::ops::{BitFlip, OnePoint, Tournament};
+use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator};
+use pga_island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use pga_problems::OneMax;
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const TOTAL_POP: usize = 128;
+const LEN: usize = 64;
+const GENS: u64 = 20;
+
+fn islands(k: usize, seed: u64) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
+    let problem = Arc::new(OneMax::new(LEN));
+    (0..k)
+        .map(|i| {
+            GaBuilder::new(Arc::clone(&problem))
+                .seed(seed + i as u64)
+                .pop_size(TOTAL_POP / k)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(LEN))
+                .scheme(Scheme::Generational { elitism: 1 })
+                .build()
+                .expect("valid config")
+        })
+        .collect()
+}
+
+fn stop() -> IslandStop {
+    IslandStop {
+        max_generations: GENS,
+        until_optimum: false,
+        max_total_evaluations: u64::MAX,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("island_20gens_pop128");
+    group.sample_size(20);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut arch = Archipelago::new(
+                    islands(k, 1),
+                    Topology::RingUni,
+                    MigrationPolicy::default(),
+                );
+                arch.run(&stop())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", k), &k, |b, &k| {
+            b.iter(|| {
+                run_threaded(
+                    islands(k, 1),
+                    &Topology::RingUni,
+                    MigrationPolicy::default(),
+                    stop(),
+                    false,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(island_benches, bench);
+criterion_main!(island_benches);

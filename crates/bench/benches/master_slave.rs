@@ -1,0 +1,51 @@
+//! Batch-evaluation throughput: serial vs rayon master–slave dispatch at
+//! several worker counts and fitness grains (the real-machine counterpart
+//! of experiment E02).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use pga_core::{BitString, Evaluator, Individual, Rng64, SerialEvaluator};
+use pga_master_slave::{ExpensiveFitness, RayonEvaluator};
+use pga_problems::OneMax;
+
+const LEN: usize = 128;
+const BATCH: usize = 256;
+
+fn batch(rng: &mut Rng64) -> Vec<Individual<BitString>> {
+    (0..BATCH)
+        .map(|_| Individual::unevaluated(BitString::random(LEN, rng)))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rng = Rng64::new(9);
+    for (grain, iters) in [("cheap", 0u64), ("50us", 50_000)] {
+        let problem = ExpensiveFitness::new(OneMax::new(LEN), iters);
+        let mut group = c.benchmark_group(format!("ms_batch256_{grain}"));
+        group.sample_size(10);
+        group.bench_function("serial", |b| {
+            b.iter_batched(
+                || batch(&mut rng),
+                |mut members| SerialEvaluator.evaluate_batch(&problem, &mut members),
+                BatchSize::SmallInput,
+            )
+        });
+        for workers in [1usize, 2, 4] {
+            let evaluator = RayonEvaluator::new(workers);
+            group.bench_with_input(
+                BenchmarkId::new("rayon", workers),
+                &workers,
+                |b, _| {
+                    b.iter_batched(
+                        || batch(&mut rng),
+                        |mut members| evaluator.evaluate_batch(&problem, &mut members),
+                        BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(ms_benches, bench);
+criterion_main!(ms_benches);

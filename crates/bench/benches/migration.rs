@@ -1,0 +1,96 @@
+//! Migration-machinery overhead: cost of migration epochs relative to pure
+//! evolution (the sync-vs-async and isolated ablation of DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator};
+use pga_island::{run_threaded, Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode};
+use pga_problems::OneMax;
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const LEN: usize = 64;
+const K: usize = 8;
+const GENS: u64 = 32;
+
+fn islands(seed: u64) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
+    let problem = Arc::new(OneMax::new(LEN));
+    (0..K)
+        .map(|i| {
+            GaBuilder::new(Arc::clone(&problem))
+                .seed(seed + i as u64)
+                .pop_size(16)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(LEN))
+                .scheme(Scheme::Generational { elitism: 1 })
+                .build()
+                .expect("valid config")
+        })
+        .collect()
+}
+
+fn stop() -> IslandStop {
+    IslandStop {
+        max_generations: GENS,
+        until_optimum: false,
+        max_total_evaluations: u64::MAX,
+    }
+}
+
+fn policy(interval: u64, sync: SyncMode) -> MigrationPolicy {
+    MigrationPolicy {
+        interval,
+        count: 2,
+        emigrant: EmigrantSelection::Best,
+        replacement: ReplacementPolicy::WorstIfBetter,
+        sync,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration_8x16_32gens");
+    group.sample_size(20);
+    // Sequential engine: isolated vs every-gen migration isolates the cost
+    // of the migration machinery itself.
+    group.bench_function("sequential/isolated", |b| {
+        b.iter(|| {
+            let mut a = Archipelago::new(islands(1), Topology::RingUni, MigrationPolicy::isolated());
+            a.run(&stop())
+        })
+    });
+    for interval in [1u64, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential/every", interval),
+            &interval,
+            |b, &interval| {
+                b.iter(|| {
+                    let mut a = Archipelago::new(
+                        islands(1),
+                        Topology::RingUni,
+                        policy(interval, SyncMode::Synchronous),
+                    );
+                    a.run(&stop())
+                })
+            },
+        );
+    }
+    // Threaded engine: sync barrier vs async channel drain.
+    for (name, sync) in [("sync", SyncMode::Synchronous), ("async", SyncMode::Asynchronous)] {
+        group.bench_function(format!("threaded/{name}_every4"), |b| {
+            b.iter(|| {
+                run_threaded(
+                    islands(1),
+                    &Topology::RingUni,
+                    policy(4, sync),
+                    stop(),
+                    false,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(migration_benches, bench);
+criterion_main!(migration_benches);

@@ -1,0 +1,161 @@
+//! Micro-costs of the genetic operator library: crossover, mutation and
+//! selection on realistic chromosome/population sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pga_core::ops::crossover::{Crossover, Cx, OnePoint, Ox, Pmx, TwoPoint, Uniform};
+use pga_core::ops::mutation::{BitFlip, GaussianMutation, Inversion, Mutation, Polynomial, Swap};
+use pga_core::ops::selection::{LinearRank, Roulette, Selection, Sus, Tournament};
+use pga_core::{BitString, Bounds, Individual, Objective, Permutation, Population, RealVector, Rng64};
+use std::hint::black_box;
+
+const BITS: usize = 256;
+const DIMS: usize = 64;
+const CITIES: usize = 128;
+const POP: usize = 256;
+
+fn bench_binary_crossover(c: &mut Criterion) {
+    let mut rng = Rng64::new(1);
+    let a = BitString::random(BITS, &mut rng);
+    let b = BitString::random(BITS, &mut rng);
+    let mut group = c.benchmark_group("crossover_bits256");
+    group.bench_function("one_point", |bch| {
+        bch.iter(|| OnePoint.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.bench_function("two_point", |bch| {
+        bch.iter(|| TwoPoint.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.bench_function("uniform", |bch| {
+        bch.iter(|| Uniform::half().crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_real_operators(c: &mut Criterion) {
+    let bounds = Bounds::uniform(-5.0, 5.0, DIMS);
+    let mut rng = Rng64::new(2);
+    let a = bounds.sample(&mut rng);
+    let gaussian = GaussianMutation { p: 0.2, sigma: 0.3, bounds: bounds.clone() };
+    let poly = Polynomial { p: 0.2, eta: 20.0, bounds };
+    let mut group = c.benchmark_group("mutation_real64");
+    group.bench_function("gaussian", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut g: RealVector| {
+                gaussian.mutate(&mut g, &mut rng);
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("polynomial", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut g: RealVector| {
+                poly.mutate(&mut g, &mut rng);
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_permutation_operators(c: &mut Criterion) {
+    let mut rng = Rng64::new(3);
+    let a = Permutation::random(CITIES, &mut rng);
+    let b = Permutation::random(CITIES, &mut rng);
+    let mut group = c.benchmark_group("permutation128");
+    group.bench_function("pmx", |bch| {
+        bch.iter(|| Pmx.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.bench_function("ox", |bch| {
+        bch.iter(|| Ox.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.bench_function("cx", |bch| {
+        bch.iter(|| Cx.crossover(black_box(&a), black_box(&b), &mut rng))
+    });
+    group.bench_function("swap_mutation", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut g| {
+                Swap.mutate(&mut g, &mut rng);
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("inversion_mutation", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut g| {
+                Inversion.mutate(&mut g, &mut rng);
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_bitflip(c: &mut Criterion) {
+    let mut rng = Rng64::new(4);
+    let g = BitString::random(BITS, &mut rng);
+    let op = BitFlip::one_over_len(BITS);
+    c.bench_function("mutation_bitflip_256", |bch| {
+        bch.iter_batched(
+            || g.clone(),
+            |mut g| {
+                op.mutate(&mut g, &mut rng);
+                g
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let mut rng = Rng64::new(5);
+    let pop: Population<Vec<f64>> = Population::new(
+        (0..POP)
+            .map(|_| {
+                let f = rng.next_f64();
+                Individual::evaluated(vec![f], f)
+            })
+            .collect(),
+    );
+    let mut group = c.benchmark_group("selection_pop256");
+    group.bench_function("tournament2", |bch| {
+        bch.iter(|| Tournament::binary().select(black_box(&pop), Objective::Maximize, &mut rng))
+    });
+    group.bench_function("roulette", |bch| {
+        bch.iter(|| Roulette.select(black_box(&pop), Objective::Maximize, &mut rng))
+    });
+    group.bench_function("linear_rank", |bch| {
+        bch.iter(|| LinearRank::new(1.8).select(black_box(&pop), Objective::Maximize, &mut rng))
+    });
+    group.bench_function("sus_select_64", |bch| {
+        bch.iter(|| Sus.select_many(black_box(&pop), Objective::Maximize, 64, &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = Rng64::new(6);
+    let mut group = c.benchmark_group("rng");
+    group.bench_function("next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    group.bench_function("below_100", |b| b.iter(|| black_box(rng.below(100))));
+    group.bench_function("gaussian", |b| b.iter(|| black_box(rng.gaussian())));
+    group.bench_function("fork", |b| b.iter(|| black_box(rng.fork(1))));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binary_crossover,
+    bench_real_operators,
+    bench_permutation_operators,
+    bench_bitflip,
+    bench_selection,
+    bench_rng
+);
+criterion_main!(benches);

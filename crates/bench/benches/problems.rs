@@ -1,0 +1,41 @@
+//! Per-evaluation cost of each benchmark problem — the grain size that
+//! determines master–slave profitability (E02).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pga_core::{Problem, Rng64};
+use pga_problems::{
+    DeceptiveTrap, FeatureSelection, GraphBipartition, Knapsack, MaxSat, NkLandscape, OneMax,
+    PPeaks, RealFunction, RealProblem, SubsetSum, TaskGraphScheduling, Tsp,
+};
+use std::hint::black_box;
+
+fn bench_problem<P: Problem>(c: &mut Criterion, name: &str, problem: &P) {
+    let mut rng = Rng64::new(42);
+    let genomes: Vec<P::Genome> = (0..16).map(|_| problem.random_genome(&mut rng)).collect();
+    let mut i = 0usize;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            i = (i + 1) % genomes.len();
+            black_box(problem.evaluate(&genomes[i]))
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_problem(c, "eval/onemax256", &OneMax::new(256));
+    bench_problem(c, "eval/trap4x16", &DeceptiveTrap::new(4, 16));
+    bench_problem(c, "eval/ppeaks50x96", &PPeaks::new(50, 96, 1));
+    bench_problem(c, "eval/nk24x4", &NkLandscape::new(24, 4, 1));
+    bench_problem(c, "eval/maxsat60x240", &MaxSat::planted(60, 240, 1));
+    bench_problem(c, "eval/subset_sum64", &SubsetSum::planted(64, 10_000, 1));
+    bench_problem(c, "eval/knapsack64", &Knapsack::random(64, 50, 50, 1));
+    bench_problem(c, "eval/rastrigin32", &RealProblem::new(RealFunction::Rastrigin, 32));
+    bench_problem(c, "eval/griewank32", &RealProblem::new(RealFunction::Griewank, 32));
+    bench_problem(c, "eval/tsp128", &Tsp::random_euclidean(128, 1));
+    bench_problem(c, "eval/bipart64", &GraphBipartition::random(64, 0.1, 1));
+    bench_problem(c, "eval/sched5x8", &TaskGraphScheduling::random_layered(5, 8, 4, 1));
+    bench_problem(c, "eval/featsel50d", &FeatureSelection::synthetic(50, 8, 100, 1));
+}
+
+criterion_group!(problem_benches, benches);
+criterion_main!(problem_benches);

@@ -1,0 +1,162 @@
+//! E05 — Selection pressure of asynchronous cellular update policies
+//! (Giacobini, Alba & Tomassini, GECCO 2003). Claim: every asynchronous
+//! policy exerts more selection pressure (shorter takeover) than the
+//! synchronous update, ordered roughly line sweep > fixed random sweep >
+//! new random sweep > uniform choice > synchronous — in-place sweeps let
+//! winners propagate within a single generation.
+
+use pga_analysis::{logistic_growth_rate, takeover_area, Summary, Table};
+use pga_bench::{emit, f2, reps};
+use pga_cellular::{TakeoverGrid, UpdatePolicy};
+use pga_topology::CellNeighborhood;
+
+const ROWS: usize = 32;
+const COLS: usize = 32;
+const REPS: usize = 100;
+
+fn main() {
+    for neighborhood in [CellNeighborhood::VonNeumann, CellNeighborhood::Moore] {
+        let mut t = Table::new(vec![
+            "update policy",
+            "takeover time [gens]",
+            "min",
+            "max",
+            "area above curve",
+            "logistic alpha",
+        ])
+        .with_title(format!(
+            "E05 — takeover on a {ROWS}x{COLS} torus, {} neighborhood, {} reps",
+            neighborhood.name(),
+            reps(REPS)
+        ));
+        let mut mean_times = Vec::new();
+        for policy in UpdatePolicy::ALL {
+            let mut times = Vec::new();
+            let mut areas = Vec::new();
+            let mut alphas = Vec::new();
+            for rep in 0..reps(REPS) {
+                let mut grid =
+                    TakeoverGrid::new(ROWS, COLS, neighborhood, policy, 1000 + rep as u64);
+                let curve = grid.takeover_curve(100_000);
+                times.push((curve.len() - 1) as f64);
+                areas.push(takeover_area(&curve));
+                if let Some(alpha) = logistic_growth_rate(&curve) {
+                    alphas.push(alpha);
+                }
+            }
+            let s = Summary::of(&times);
+            let a = Summary::of(&areas);
+            mean_times.push((policy, s.mean));
+            t.row(vec![
+                policy.name().to_string(),
+                s.mean_pm_std(1),
+                format!("{:.0}", s.min),
+                format!("{:.0}", s.max),
+                f2(a.mean),
+                f2(Summary::of(&alphas).mean),
+            ]);
+        }
+        emit(&t);
+
+        // The headline ordering check.
+        let time_of = |p: UpdatePolicy| {
+            mean_times
+                .iter()
+                .find(|(q, _)| *q == p)
+                .expect("measured")
+                .1
+        };
+        let sync = time_of(UpdatePolicy::Synchronous);
+        let uniform = time_of(UpdatePolicy::UniformChoice);
+        let asyncs_faster = UpdatePolicy::ALL
+            .into_iter()
+            .filter(|p| p.is_asynchronous())
+            .all(|p| time_of(p) < sync);
+        let line = time_of(UpdatePolicy::LineSweep);
+        println!(
+            "ordering ({}): all async < synchronous = {}; line-sweep fastest of all = {}; \
+uniform-choice slowest async (closest to sync) = {}\n",
+            neighborhood.name(),
+            asyncs_faster,
+            UpdatePolicy::ALL.into_iter().all(|p| time_of(p) >= line),
+            UpdatePolicy::ALL
+                .into_iter()
+                .filter(|p| p.is_asynchronous())
+                .all(|p| time_of(p) <= uniform)
+        );
+    }
+
+    // Grid-shape ("ratio") effect: same area, different aspect ratios.
+    // Narrow grids lengthen the torus diameter, slowing takeover — the
+    // knob Alba & Dorronsoro use to tune cellular selection pressure.
+    let mut ratio_table = Table::new(vec![
+        "grid (same 1024 cells)",
+        "takeover time [gens]",
+        "logistic alpha",
+    ])
+    .with_title("E05 — grid-shape ratio effect (synchronous, linear5)");
+    for (rows, cols) in [(32usize, 32usize), (16, 64), (8, 128), (4, 256)] {
+        let mut times = Vec::new();
+        let mut alphas = Vec::new();
+        for rep in 0..reps(50) {
+            let mut g = TakeoverGrid::new(
+                rows,
+                cols,
+                CellNeighborhood::VonNeumann,
+                UpdatePolicy::Synchronous,
+                3000 + rep as u64,
+            );
+            let curve = g.takeover_curve(100_000);
+            times.push((curve.len() - 1) as f64);
+            if let Some(a) = logistic_growth_rate(&curve) {
+                alphas.push(a);
+            }
+        }
+        ratio_table.row(vec![
+            format!("{rows}x{cols}"),
+            Summary::of(&times).mean_pm_std(1),
+            f2(Summary::of(&alphas).mean),
+        ]);
+    }
+    emit(&ratio_table);
+    println!("narrower grids (same area) take over more slowly — weaker pressure.\n");
+
+    // Figure-style series: mean best-proportion at checkpoints.
+    let mut t = Table::new(vec!["generation", "synchronous", "line-sweep", "uniform-choice"])
+        .with_title("E05 — mean takeover curves (proportion of best copies)");
+    let sample = |policy: UpdatePolicy| -> Vec<f64> {
+        let n_reps = reps(30);
+        let mut curves: Vec<Vec<f64>> = Vec::new();
+        for rep in 0..n_reps {
+            let mut g = TakeoverGrid::new(
+                ROWS,
+                COLS,
+                CellNeighborhood::VonNeumann,
+                policy,
+                5000 + rep as u64,
+            );
+            curves.push(g.takeover_curve(100_000));
+        }
+        let horizon = curves.iter().map(Vec::len).max().unwrap_or(1);
+        (0..horizon)
+            .map(|g| {
+                curves
+                    .iter()
+                    .map(|c| *c.get(g).unwrap_or(&1.0))
+                    .sum::<f64>()
+                    / n_reps as f64
+            })
+            .collect()
+    };
+    let sync = sample(UpdatePolicy::Synchronous);
+    let line = sample(UpdatePolicy::LineSweep);
+    let uni = sample(UpdatePolicy::UniformChoice);
+    let horizon = sync.len().max(line.len()).max(uni.len());
+    let mut gen = 0usize;
+    while gen < horizon {
+        let at = |c: &[f64]| f2(*c.get(gen).unwrap_or(&1.0));
+        t.row(vec![gen.to_string(), at(&sync), at(&line), at(&uni)]);
+        gen += (horizon / 16).max(1);
+    }
+    emit(&t);
+}

@@ -1,0 +1,135 @@
+//! E10 — Deme sizing and topology (Cantú-Paz 2000). Claims: (i) isolated
+//! demes are impractical — migration improves solution quality; (ii) densely
+//! connected topologies reach solutions in fewer generations than sparse
+//! ones; (iii) splitting a fixed total population over demes has a sweet
+//! spot — too many tiny demes lose reliability.
+
+use pga_analysis::{repeat, Table};
+use pga_bench::{emit, pct, reps, standard_binary_islands};
+use pga_core::Problem;
+use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_problems::DeceptiveTrap;
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const REPS: usize = 10;
+const MAX_GENS: u64 = 1200;
+
+fn run(
+    problem: &Arc<DeceptiveTrap>,
+    k: usize,
+    island_pop: usize,
+    topology: Topology,
+    policy: MigrationPolicy,
+    base_seed: u64,
+) -> pga_analysis::RepeatedOutcome {
+    let genome_len = problem.len();
+    repeat(reps(REPS), base_seed, |seed| {
+        let islands = standard_binary_islands(problem, genome_len, k, island_pop, seed);
+        let mut arch = Archipelago::new(islands, topology.clone(), policy);
+        let r = arch.run(&IslandStop::generations(MAX_GENS));
+        pga_analysis::RunOutcome {
+            best_fitness: r.best.fitness(),
+            evaluations: r.total_evaluations,
+            elapsed: r.elapsed,
+            hit: r.hit_optimum,
+        }
+    })
+}
+
+fn isolation_table(problem: &Arc<DeceptiveTrap>) {
+    let mut t = Table::new(vec!["demes", "migration", "efficacy", "mean best", "evals-to-solution"])
+        .with_title("E10a — isolated vs migrating demes (8 demes x 32, trap 4x12)");
+    for (label, policy) in [
+        ("isolated", MigrationPolicy::isolated()),
+        ("ring, every 16", MigrationPolicy::default()),
+    ] {
+        let out = run(problem, 8, 32, Topology::RingUni, policy, 100);
+        t.row(vec![
+            "8".into(),
+            label.to_string(),
+            pct(out.efficacy),
+            out.best.mean_pm_std(2),
+            if out.evals_to_solution.n > 0 {
+                out.evals_to_solution.mean_pm_std(0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    emit(&t);
+}
+
+fn topology_table(problem: &Arc<DeceptiveTrap>) {
+    let mut t = Table::new(vec![
+        "topology",
+        "diameter",
+        "efficacy",
+        "evals-to-solution",
+    ])
+    .with_title("E10b — topology density (8 demes x 32, trap 4x12)");
+    for topology in [
+        Topology::RingUni,
+        Topology::RingBi,
+        Topology::Grid2D { rows: 2, cols: 4, torus: true },
+        Topology::Hypercube,
+        Topology::Complete,
+    ] {
+        let out = run(problem, 8, 32, topology.clone(), MigrationPolicy::default(), 200);
+        t.row(vec![
+            topology.name(),
+            topology
+                .diameter(8)
+                .map_or("-".into(), |d| d.to_string()),
+            pct(out.efficacy),
+            if out.evals_to_solution.n > 0 {
+                out.evals_to_solution.mean_pm_std(0)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    emit(&t);
+}
+
+fn sizing_table(problem: &Arc<DeceptiveTrap>) {
+    const TOTAL: usize = 256;
+    let mut t = Table::new(vec![
+        "demes",
+        "deme size",
+        "efficacy",
+        "evals-to-solution",
+        "mean best",
+    ])
+    .with_title("E10c — deme count vs size at fixed total population 256 (trap 4x12)");
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let out = run(
+            problem,
+            k,
+            TOTAL / k,
+            Topology::RingUni,
+            MigrationPolicy::default(),
+            300,
+        );
+        t.row(vec![
+            k.to_string(),
+            (TOTAL / k).to_string(),
+            pct(out.efficacy),
+            if out.evals_to_solution.n > 0 {
+                out.evals_to_solution.mean_pm_std(0)
+            } else {
+                "-".into()
+            },
+            out.best.mean_pm_std(2),
+        ]);
+    }
+    emit(&t);
+}
+
+fn main() {
+    let problem = Arc::new(DeceptiveTrap::new(4, 12));
+    println!("problem: {} (optimum {})\n", problem.name(), problem.optimum().expect("known"));
+    isolation_table(&problem);
+    topology_table(&problem);
+    sizing_table(&problem);
+}

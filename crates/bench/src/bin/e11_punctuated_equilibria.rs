@@ -1,0 +1,95 @@
+//! E11 — Punctuated equilibria in island PGAs (Cohoon, Hedge & Martin,
+//! ICGA 1987). Claim: island populations show long fitness *equilibria*
+//! punctuated by bursts of progress immediately after migration events —
+//! immigrant genes trigger rapid re-adaptation.
+
+use pga_analysis::{Summary, Table};
+use pga_bench::{emit, f3, reps, standard_binary_islands};
+use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_problems::DeceptiveTrap;
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const ISLANDS: usize = 4;
+const ISLAND_POP: usize = 40;
+const INTERVAL: u64 = 40;
+const GENS: u64 = 400;
+const REPS: usize = 10;
+
+fn main() {
+    let problem = Arc::new(DeceptiveTrap::new(4, 16));
+    let genome_len = problem.len();
+
+    // Mean per-generation improvement of each island's population-best,
+    // split into "window after a migration" vs "equilibrium" generations.
+    let window = 5u64;
+    let mut post_migration = Vec::new();
+    let mut equilibrium = Vec::new();
+    let mut sample_series: Vec<(u64, f64)> = Vec::new();
+
+    for rep in 0..reps(REPS) {
+        let islands =
+            standard_binary_islands(&problem, genome_len, ISLANDS, ISLAND_POP, 500 + rep as u64);
+        let mut arch = Archipelago::new(
+            islands,
+            Topology::RingUni,
+            MigrationPolicy {
+                interval: INTERVAL,
+                ..MigrationPolicy::default()
+            },
+        )
+        .with_history(true);
+        let r = arch.run(&IslandStop {
+            max_generations: GENS,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        });
+        for history in &r.histories {
+            for w in history.windows(2) {
+                let improvement = w[1].best - w[0].best;
+                let gen = w[1].generation;
+                // Generations 1..=window after each migration point.
+                let since = gen % INTERVAL;
+                if (1..=window).contains(&since) && gen > INTERVAL {
+                    post_migration.push(improvement);
+                } else {
+                    equilibrium.push(improvement);
+                }
+            }
+        }
+        if rep == 0 {
+            for s in &r.histories[0] {
+                sample_series.push((s.generation, s.best));
+            }
+        }
+    }
+
+    let post = Summary::of(&post_migration);
+    let eq = Summary::of(&equilibrium);
+    let mut t = Table::new(vec!["phase", "mean best-fitness gain per generation", "samples"])
+        .with_title(format!(
+            "E11 — punctuated equilibria (trap 4x16, {ISLANDS} islands, migration every {INTERVAL} gens)"
+        ));
+    t.row(vec![
+        format!("{window} gens after migration"),
+        f3(post.mean),
+        post.n.to_string(),
+    ]);
+    t.row(vec!["equilibrium (all other gens)".into(), f3(eq.mean), eq.n.to_string()]);
+    emit(&t);
+    println!(
+        "punctuation ratio (post-migration gain / equilibrium gain): {:.1}x\n",
+        post.mean / eq.mean.max(1e-9)
+    );
+
+    // Figure-style series: island 0 best around migration points.
+    let mut series = Table::new(vec!["generation", "island-0 best", "event"])
+        .with_title("E11 — sample trace (island 0, rep 0)");
+    for &(gen, best) in &sample_series {
+        if gen % 8 == 0 || gen % INTERVAL <= 2 {
+            let event = if gen % INTERVAL == 0 { "<- migration" } else { "" };
+            series.row(vec![gen.to_string(), format!("{best:.1}"), event.into()]);
+        }
+    }
+    emit(&series);
+}

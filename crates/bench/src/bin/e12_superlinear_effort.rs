@@ -1,0 +1,137 @@
+//! E12 — Super-linear numerical effort (Alba, Information Processing
+//! Letters 2002; Starkweather et al. 1991). Claim: on deceptive landscapes
+//! a panmictic steady-state GA converges prematurely, while k steady-state
+//! demes with occasional best-migrant exchange keep solving — so the
+//! *expected evaluations per success* of k demes is less than 1/k of the
+//! panmictic cost: effort speedup > k (super-linear), which is legitimate
+//! because the distributed algorithm is a different, better algorithm.
+
+use pga_analysis::Table;
+use pga_bench::{emit, f2, pct, reps};
+use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::{GaBuilder, Scheme};
+use pga_island::{Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode};
+use pga_problems::DeceptiveTrap;
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const TOTAL_POP: usize = 256;
+const BUDGET_EVALS: u64 = 600_000;
+const REPS: usize = 16;
+
+/// Runs k steady-state demes (k = 1 is the panmictic control) and returns
+/// (hits, total evaluations spent across all replicates).
+fn campaign(problem: &Arc<DeceptiveTrap>, k: usize, base_seed: u64) -> (usize, u64) {
+    let len = problem.len();
+    let mut hits = 0usize;
+    let mut spent = 0u64;
+    for rep in 0..reps(REPS) {
+        let seed = base_seed + 1000 * rep as u64;
+        let islands: Vec<_> = (0..k)
+            .map(|i| {
+                GaBuilder::new(Arc::clone(problem))
+                    .seed(seed + i as u64)
+                    .pop_size(TOTAL_POP / k)
+                    .selection(Tournament::binary())
+                    .crossover(OnePoint)
+                    .mutation(BitFlip::one_over_len(len))
+                    .scheme(Scheme::SteadyState {
+                        replacement: ReplacementPolicy::WorstIfBetter,
+                    })
+                    .build()
+                    .expect("valid config")
+            })
+            .collect();
+        let policy = if k == 1 {
+            MigrationPolicy::isolated()
+        } else {
+            MigrationPolicy {
+                interval: 64,
+                count: 1,
+                emigrant: EmigrantSelection::Best,
+                replacement: ReplacementPolicy::WorstIfBetter,
+                sync: SyncMode::Synchronous,
+            }
+        };
+        let topology = if k == 1 { Topology::Isolated } else { Topology::RingUni };
+        let mut arch = Archipelago::new(islands, topology, policy);
+        let r = arch.run(
+            &IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET_EVALS),
+        );
+        hits += usize::from(r.hit_optimum);
+        spent += r.total_evaluations;
+    }
+    (hits, spent)
+}
+
+fn table(title: &str, problem: Arc<DeceptiveTrap>, base_seed: u64) {
+    let mut t = Table::new(vec![
+        "demes k",
+        "efficacy",
+        "expected evals per success",
+        "effort speedup",
+        "superlinear (> k)?",
+    ])
+    .with_title(title);
+    let n = reps(REPS);
+    let mut base_cost = f64::NAN;
+    for k in [1usize, 2, 4, 8] {
+        let (hits, spent) = campaign(&problem, k, base_seed + k as u64);
+        let expected = if hits > 0 {
+            spent as f64 / hits as f64
+        } else {
+            f64::INFINITY
+        };
+        if k == 1 {
+            base_cost = expected;
+        }
+        let speedup = base_cost / expected;
+        let speedup_cell = if k == 1 {
+            "1.00".into()
+        } else if base_cost.is_infinite() && expected.is_finite() {
+            "inf (panmictic never hit)".into()
+        } else if expected.is_infinite() {
+            "-".into()
+        } else {
+            f2(speedup)
+        };
+        let superlinear = if k == 1 {
+            "-".into()
+        } else if (base_cost.is_infinite() && expected.is_finite()) || speedup > k as f64 {
+            "yes".into()
+        } else {
+            "no".into()
+        };
+        t.row(vec![
+            if k == 1 { "1 (panmictic)".into() } else { k.to_string() },
+            pct(hits as f64 / n as f64),
+            if expected.is_finite() {
+                format!("{expected:.0}")
+            } else {
+                "inf (no hits)".into()
+            },
+            speedup_cell,
+            superlinear,
+        ]);
+    }
+    emit(&t);
+}
+
+fn main() {
+    println!(
+        "steady-state demes (replace-worst-if-better), budget {BUDGET_EVALS} evals/run, {} reps;\n\
+         failures are charged their full budget — the expected-cost-per-success framing of\n\
+         Alba (2002).\n",
+        reps(REPS)
+    );
+    table(
+        "E12 — deceptive trap 4x12, total pop 256, ring, best migrant every 64 gens",
+        Arc::new(DeceptiveTrap::new(4, 12)),
+        10,
+    );
+    table(
+        "E12 — deceptive trap 4x16, total pop 256",
+        Arc::new(DeceptiveTrap::new(4, 16)),
+        20,
+    );
+}

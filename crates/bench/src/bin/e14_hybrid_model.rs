@@ -1,0 +1,130 @@
+//! E14 (extension) — The survey's **hybrid** model (§1.2): coarse-grained
+//! rings whose islands are themselves panmictic or fine-grained engines.
+//! Completes Alba & Troya (2002)'s distributed comparison: a ring of
+//! generational islands, a ring of steady-state islands, a ring of cellular
+//! grids, and a mixed ring, all under one migration policy and a fixed
+//! total evaluation budget.
+
+use pga_analysis::{repeat, Table};
+use pga_bench::{emit, pct, reps};
+use pga_cellular::{CellularGa, UpdatePolicy};
+use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::{BitString, GaBuilder, Problem, Scheme};
+use pga_island::{Archipelago, Deme, IslandStop, MigrationPolicy};
+use pga_problems::{DeceptiveTrap, PPeaks};
+use pga_topology::Topology;
+use std::sync::Arc;
+
+const ISLANDS: usize = 4;
+const ISLAND_POP: usize = 64; // cellular islands use an 8x8 grid
+const BUDGET: u64 = 300_000;
+const REPS: usize = 10;
+
+type DynBinary = Arc<dyn Problem<Genome = BitString>>;
+type BoxedDeme = Box<dyn Deme<Genome = BitString>>;
+
+fn panmictic(problem: &DynBinary, len: usize, scheme: Scheme, seed: u64) -> BoxedDeme {
+    Box::new(
+        GaBuilder::new(Arc::clone(problem))
+            .seed(seed)
+            .pop_size(ISLAND_POP)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(len))
+            .scheme(scheme)
+            .build()
+            .expect("valid configuration"),
+    )
+}
+
+fn cellular(problem: &DynBinary, len: usize, seed: u64) -> BoxedDeme {
+    Box::new(
+        CellularGa::builder(Arc::clone(problem))
+            .grid(8, 8)
+            .seed(seed)
+            .update_policy(UpdatePolicy::Synchronous)
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(len))
+            .build()
+            .expect("valid configuration"),
+    )
+}
+
+fn ring(problem: &DynBinary, len: usize, composition: &str, seed: u64) -> Vec<BoxedDeme> {
+    let gen = Scheme::Generational { elitism: 1 };
+    let ss = Scheme::SteadyState {
+        replacement: ReplacementPolicy::WorstIfBetter,
+    };
+    (0..ISLANDS)
+        .map(|i| {
+            let s = seed + i as u64;
+            match composition {
+                "generational" => panmictic(problem, len, gen, s),
+                "steady-state" => panmictic(problem, len, ss, s),
+                "cellular" => cellular(problem, len, s),
+                _ => match i % 3 {
+                    0 => panmictic(problem, len, gen, s),
+                    1 => panmictic(problem, len, ss, s),
+                    _ => cellular(problem, len, s),
+                },
+            }
+        })
+        .collect()
+}
+
+fn study(title: &str, problem: DynBinary, len: usize, base_seed: u64) {
+    let mut t = Table::new(vec![
+        "ring composition",
+        "efficacy",
+        "evals-to-solution",
+        "mean best",
+    ])
+    .with_title(title);
+    for composition in ["generational", "steady-state", "cellular", "mixed"] {
+        let out = repeat(reps(REPS), base_seed, |seed| {
+            let demes = ring(&problem, len, composition, seed);
+            let mut arch =
+                Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
+            let r = arch.run(
+                &IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET),
+            );
+            pga_analysis::RunOutcome {
+                best_fitness: r.best.fitness(),
+                evaluations: r.total_evaluations,
+                elapsed: r.elapsed,
+                hit: r.hit_optimum,
+            }
+        });
+        t.row(vec![
+            composition.to_string(),
+            pct(out.efficacy),
+            if out.evals_to_solution.n > 0 {
+                out.evals_to_solution.mean_pm_std(0)
+            } else {
+                "-".into()
+            },
+            out.best.mean_pm_std(2),
+        ]);
+    }
+    emit(&t);
+}
+
+fn main() {
+    println!(
+        "{ISLANDS} islands x {ISLAND_POP} individuals (cellular = 8x8 grid), ring, \
+budget {BUDGET} evals, {} reps\n",
+        reps(REPS)
+    );
+    study(
+        "E14 — hybrid model on deceptive trap 4x12",
+        Arc::new(DeceptiveTrap::new(4, 12)),
+        48,
+        10,
+    );
+    study(
+        "E14 — hybrid model on P-PEAKS 30x64",
+        Arc::new(PPeaks::new(30, 64, 5)),
+        64,
+        20,
+    );
+}

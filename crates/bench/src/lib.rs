@@ -1,0 +1,149 @@
+//! # pga-bench
+//!
+//! Shared helpers for the experiment binaries (`src/bin/e01…e13`), which
+//! regenerate the tables/claims indexed in `DESIGN.md` §3. Each binary
+//! prints its tables to stdout; pass `--csv` to any binary to emit CSV
+//! instead of aligned text.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use pga_analysis::Table;
+use pga_core::ops::{BitFlip, OnePoint, Tournament};
+use pga_core::{BitString, Ga, GaBuilder, Problem, Scheme, SerialEvaluator};
+use std::sync::Arc;
+
+/// `true` when the binary was invoked with `--csv`.
+#[must_use]
+pub fn csv_mode() -> bool {
+    std::env::args().any(|a| a == "--csv")
+}
+
+/// Quick-run mode (`--quick` or `PGA_QUICK=1`): smaller repetitions for CI
+/// and smoke tests.
+#[must_use]
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick") || std::env::var_os("PGA_QUICK").is_some()
+}
+
+/// Repetition count: `full` normally, 3 under quick mode.
+#[must_use]
+pub fn reps(full: usize) -> usize {
+    if quick_mode() {
+        full.min(3)
+    } else {
+        full
+    }
+}
+
+/// Prints a table in the selected format.
+pub fn emit(table: &Table) {
+    if csv_mode() {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{}", table.render());
+    }
+}
+
+/// Builds one standard binary-genome GA: binary tournament, one-point
+/// crossover, 1/len bit-flip mutation, generational with 1 elite.
+#[must_use]
+pub fn standard_binary_ga<P>(
+    problem: Arc<P>,
+    genome_len: usize,
+    pop_size: usize,
+    seed: u64,
+) -> Ga<Arc<P>, SerialEvaluator>
+where
+    P: Problem<Genome = BitString>,
+{
+    GaBuilder::new(problem)
+        .seed(seed)
+        .pop_size(pop_size)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(genome_len))
+        .scheme(Scheme::Generational { elitism: 1 })
+        .build()
+        .expect("standard GA config is valid")
+}
+
+/// Builds `n` standard binary islands over one shared problem, with seeds
+/// `base_seed + i`.
+#[must_use]
+pub fn standard_binary_islands<P>(
+    problem: &Arc<P>,
+    genome_len: usize,
+    n_islands: usize,
+    island_pop: usize,
+    base_seed: u64,
+) -> Vec<Ga<Arc<P>, SerialEvaluator>>
+where
+    P: Problem<Genome = BitString>,
+{
+    (0..n_islands)
+        .map(|i| {
+            standard_binary_ga(
+                Arc::clone(problem),
+                genome_len,
+                island_pop,
+                base_seed + i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Formats a float with 2 decimals (table cell helper).
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an efficacy in percent.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_problems::OneMax;
+    use pga_core::Termination;
+
+    #[test]
+    fn standard_ga_solves_onemax() {
+        let p = Arc::new(OneMax::new(32));
+        let mut ga = standard_binary_ga(p, 32, 40, 1);
+        let r = ga
+            .run(&Termination::new().until_optimum().max_generations(300))
+            .unwrap();
+        assert!(r.hit_optimum);
+    }
+
+    #[test]
+    fn islands_share_problem_and_differ_by_seed() {
+        let p = Arc::new(OneMax::new(16));
+        let islands = standard_binary_islands(&p, 16, 4, 10, 100);
+        assert_eq!(islands.len(), 4);
+        let firsts: Vec<f64> = islands
+            .iter()
+            .map(|g| g.population()[0].fitness())
+            .collect();
+        // Different seeds ⇒ (almost surely) different initial members.
+        assert!(firsts.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(f3(1.2345), "1.234");
+        assert_eq!(pct(0.875), "88%");
+    }
+}

@@ -1,0 +1,530 @@
+//! The cellular GA engine.
+
+use crate::update::UpdatePolicy;
+use pga_core::ops::{Crossover, Mutation};
+use pga_core::rng::splitmix64;
+use pga_core::{ConfigError, Individual, Problem, Rng64};
+use pga_topology::CellNeighborhood;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Per-generation statistics of a cellular GA.
+#[derive(Clone, Copy, Debug)]
+pub struct CellStats {
+    /// Generations executed.
+    pub generation: u64,
+    /// Evaluations spent so far.
+    pub evaluations: u64,
+    /// Best fitness in the grid.
+    pub best: f64,
+    /// Mean fitness over the grid.
+    pub mean: f64,
+    /// Best fitness ever observed.
+    pub best_ever: f64,
+}
+
+/// A fine-grained GA: one individual per toroidal-grid cell, local binary
+/// tournament over the cell's neighborhood, offspring replacing the center
+/// when at least as fit.
+///
+/// Synchronous updates run the whole grid in parallel on rayon using a
+/// double buffer (each cell's RNG stream is derived from
+/// `(seed, generation, cell)`, so the result is independent of rayon's
+/// scheduling). Asynchronous policies update in place, sequentially, in the
+/// policy's order.
+pub struct CellularGa<P: Problem> {
+    problem: Arc<P>,
+    grid: Vec<Individual<P::Genome>>,
+    rows: usize,
+    cols: usize,
+    neighborhood: CellNeighborhood,
+    policy: UpdatePolicy,
+    crossover: Box<dyn Crossover<P::Genome>>,
+    mutation: Box<dyn Mutation<P::Genome>>,
+    crossover_rate: f64,
+    seed: u64,
+    rng: Rng64,
+    fixed_sweep: Vec<usize>,
+    generation: u64,
+    evaluations: u64,
+    best_ever: Individual<P::Genome>,
+}
+
+impl<P: Problem> CellularGa<P> {
+    /// Starts configuring a cellular GA.
+    #[must_use]
+    pub fn builder(problem: P) -> CellularGaBuilder<P> {
+        CellularGaBuilder::new(problem)
+    }
+
+    /// Grid cell count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// `true` when the grid has no cells (builder prevents this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty()
+    }
+
+    /// Generations executed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Evaluations spent.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Best individual ever observed.
+    #[must_use]
+    pub fn best_ever(&self) -> &Individual<P::Genome> {
+        &self.best_ever
+    }
+
+    /// The shared problem.
+    #[must_use]
+    pub fn problem(&self) -> &Arc<P> {
+        &self.problem
+    }
+
+    /// Grid snapshot (row-major).
+    #[must_use]
+    pub fn grid(&self) -> &[Individual<P::Genome>] {
+        &self.grid
+    }
+
+    /// Statistics of the current grid (without stepping).
+    #[must_use]
+    pub fn current_stats(&self) -> CellStats {
+        self.stats()
+    }
+
+    pub(crate) fn rng_mut(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    pub(crate) fn grid_mut(&mut self) -> &mut Vec<Individual<P::Genome>> {
+        &mut self.grid
+    }
+
+    pub(crate) fn note_best(&mut self, candidate: &Individual<P::Genome>) {
+        if self
+            .problem
+            .objective()
+            .better(candidate.fitness(), self.best_ever.fitness())
+        {
+            self.best_ever = candidate.clone();
+        }
+    }
+
+    fn stats(&self) -> CellStats {
+        let objective = self.problem.objective();
+        let mut best = self.grid[0].fitness();
+        let mut sum = 0.0;
+        for cell in &self.grid {
+            let f = cell.fitness();
+            if objective.better(f, best) {
+                best = f;
+            }
+            sum += f;
+        }
+        CellStats {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            best,
+            mean: sum / self.grid.len() as f64,
+            best_ever: self.best_ever.fitness(),
+        }
+    }
+
+    /// Deterministic per-cell stream: independent of scheduling.
+    fn cell_rng(seed: u64, generation: u64, cell: usize) -> Rng64 {
+        let mut s = seed ^ generation.rotate_left(32) ^ (cell as u64).wrapping_mul(0x9E37_79B9);
+        Rng64::new(splitmix64(&mut s))
+    }
+
+    /// Produces the offspring for `idx` reading parents from `source`.
+    #[allow(clippy::too_many_arguments)] // one call site; grouping into a struct would obscure it
+    fn breed(
+        problem: &P,
+        source: &[Individual<P::Genome>],
+        idx: usize,
+        rows: usize,
+        cols: usize,
+        neighborhood: CellNeighborhood,
+        crossover: &dyn Crossover<P::Genome>,
+        mutation: &dyn Mutation<P::Genome>,
+        crossover_rate: f64,
+        rng: &mut Rng64,
+    ) -> Individual<P::Genome> {
+        let objective = problem.objective();
+        let (r, c) = (idx / cols, idx % cols);
+        let nb = neighborhood.neighbors(r, c, rows, cols);
+        // Two independent binary tournaments over the neighborhood.
+        let pick = |rng: &mut Rng64| {
+            let a = *rng.choose(&nb);
+            let b = *rng.choose(&nb);
+            if objective.better(source[a].fitness(), source[b].fitness()) {
+                a
+            } else {
+                b
+            }
+        };
+        let pa = pick(rng);
+        let pb = pick(rng);
+        let (mut child, _) = if rng.chance(crossover_rate) {
+            crossover.crossover(&source[pa].genome, &source[pb].genome, rng)
+        } else {
+            (source[pa].genome.clone(), source[pb].genome.clone())
+        };
+        mutation.mutate(&mut child, rng);
+        let fitness = problem.evaluate(&child);
+        Individual::evaluated(child, fitness)
+    }
+
+    /// One generation (`n` cell updates). Returns end-of-generation stats.
+    pub fn step(&mut self) -> CellStats {
+        let n = self.grid.len();
+        let objective = self.problem.objective();
+        let order = {
+            let mut rng = self.rng.clone();
+            let o = self.policy.order(n, &self.fixed_sweep, &mut rng);
+            self.rng = rng;
+            o
+        };
+
+        if self.policy.is_asynchronous() {
+            for (step_idx, idx) in order.into_iter().enumerate() {
+                let mut rng = Self::cell_rng(self.seed, self.generation, step_idx);
+                let child = Self::breed(
+                    &self.problem,
+                    &self.grid,
+                    idx,
+                    self.rows,
+                    self.cols,
+                    self.neighborhood,
+                    self.crossover.as_ref(),
+                    self.mutation.as_ref(),
+                    self.crossover_rate,
+                    &mut rng,
+                );
+                self.evaluations += 1;
+                if objective.better_or_equal(child.fitness(), self.grid[idx].fitness()) {
+                    if objective.better(child.fitness(), self.best_ever.fitness()) {
+                        self.best_ever = child.clone();
+                    }
+                    self.grid[idx] = child;
+                }
+            }
+        } else {
+            // Synchronous: breed all cells in parallel from the old grid.
+            let problem = &self.problem;
+            let (rows, cols) = (self.rows, self.cols);
+            let neighborhood = self.neighborhood;
+            let crossover = self.crossover.as_ref();
+            let mutation = self.mutation.as_ref();
+            let rate = self.crossover_rate;
+            let (seed, generation) = (self.seed, self.generation);
+            let grid = &self.grid;
+            let offspring: Vec<Individual<P::Genome>> = (0..n)
+                .into_par_iter()
+                .map(|idx| {
+                    let mut rng = Self::cell_rng(seed, generation, idx);
+                    Self::breed(
+                        problem,
+                        grid,
+                        idx,
+                        rows,
+                        cols,
+                        neighborhood,
+                        crossover,
+                        mutation,
+                        rate,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            self.evaluations += n as u64;
+            for (idx, child) in offspring.into_iter().enumerate() {
+                if objective.better_or_equal(child.fitness(), self.grid[idx].fitness()) {
+                    if objective.better(child.fitness(), self.best_ever.fitness()) {
+                        self.best_ever = child.clone();
+                    }
+                    self.grid[idx] = child;
+                }
+            }
+        }
+
+        self.generation += 1;
+        self.stats()
+    }
+
+    /// Runs until the optimum is found or `max_generations` pass; returns
+    /// per-generation stats.
+    pub fn run(&mut self, max_generations: u64) -> Vec<CellStats> {
+        let mut history = Vec::new();
+        while self.generation < max_generations
+            && !self.problem.is_optimal(self.best_ever.fitness())
+        {
+            history.push(self.step());
+        }
+        history
+    }
+}
+
+/// Builder for [`CellularGa`].
+pub struct CellularGaBuilder<P: Problem> {
+    problem: Arc<P>,
+    rows: usize,
+    cols: usize,
+    neighborhood: CellNeighborhood,
+    policy: UpdatePolicy,
+    crossover: Option<Box<dyn Crossover<P::Genome>>>,
+    mutation: Option<Box<dyn Mutation<P::Genome>>>,
+    crossover_rate: f64,
+    seed: u64,
+}
+
+impl<P: Problem> CellularGaBuilder<P> {
+    /// Defaults: 16×16 torus, Von Neumann neighborhood, synchronous update,
+    /// crossover rate 0.9, seed 0.
+    #[must_use]
+    pub fn new(problem: P) -> Self {
+        Self {
+            problem: Arc::new(problem),
+            rows: 16,
+            cols: 16,
+            neighborhood: CellNeighborhood::VonNeumann,
+            policy: UpdatePolicy::Synchronous,
+            crossover: None,
+            mutation: None,
+            crossover_rate: 0.9,
+            seed: 0,
+        }
+    }
+
+    /// Grid dimensions.
+    #[must_use]
+    pub fn grid(mut self, rows: usize, cols: usize) -> Self {
+        self.rows = rows;
+        self.cols = cols;
+        self
+    }
+
+    /// Neighborhood shape.
+    #[must_use]
+    pub fn neighborhood(mut self, nb: CellNeighborhood) -> Self {
+        self.neighborhood = nb;
+        self
+    }
+
+    /// Update policy.
+    #[must_use]
+    pub fn update_policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Crossover operator.
+    #[must_use]
+    pub fn crossover(mut self, c: impl Crossover<P::Genome> + 'static) -> Self {
+        self.crossover = Some(Box::new(c));
+        self
+    }
+
+    /// Mutation operator.
+    #[must_use]
+    pub fn mutation(mut self, m: impl Mutation<P::Genome> + 'static) -> Self {
+        self.mutation = Some(Box::new(m));
+        self
+    }
+
+    /// Crossover application probability.
+    #[must_use]
+    pub fn crossover_rate(mut self, rate: f64) -> Self {
+        self.crossover_rate = rate;
+        self
+    }
+
+    /// RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates, samples and evaluates the initial grid.
+    pub fn build(self) -> Result<CellularGa<P>, ConfigError> {
+        if self.rows == 0 || self.cols == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "grid",
+                message: format!("grid must be non-empty, got {}x{}", self.rows, self.cols),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(ConfigError::InvalidParameter {
+                name: "crossover_rate",
+                message: format!("must be in [0,1], got {}", self.crossover_rate),
+            });
+        }
+        let crossover = self.crossover.ok_or(ConfigError::MissingComponent("crossover"))?;
+        let mutation = self.mutation.ok_or(ConfigError::MissingComponent("mutation"))?;
+        let mut rng = Rng64::new(self.seed);
+        let n = self.rows * self.cols;
+        let grid: Vec<Individual<P::Genome>> = (0..n)
+            .map(|_| {
+                let genome = self.problem.random_genome(&mut rng);
+                let fitness = self.problem.evaluate(&genome);
+                Individual::evaluated(genome, fitness)
+            })
+            .collect();
+        let mut fixed_sweep: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut fixed_sweep);
+        let objective = self.problem.objective();
+        let best_ever = grid
+            .iter()
+            .reduce(|a, b| {
+                if objective.better(b.fitness(), a.fitness()) {
+                    b
+                } else {
+                    a
+                }
+            })
+            .expect("non-empty grid")
+            .clone();
+        Ok(CellularGa {
+            problem: self.problem,
+            grid,
+            rows: self.rows,
+            cols: self.cols,
+            neighborhood: self.neighborhood,
+            policy: self.policy,
+            crossover,
+            mutation,
+            crossover_rate: self.crossover_rate,
+            seed: self.seed,
+            rng,
+            fixed_sweep,
+            generation: 0,
+            evaluations: n as u64,
+            best_ever,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::ops::{BitFlip, OnePoint};
+    use pga_core::{BitString, Objective};
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    fn cga(policy: UpdatePolicy, seed: u64) -> CellularGa<OneMax> {
+        CellularGa::builder(OneMax(32))
+            .grid(10, 10)
+            .update_policy(policy)
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_errors() {
+        let e = CellularGa::builder(OneMax(8)).grid(0, 5).crossover(OnePoint)
+            .mutation(BitFlip { p: 0.1 }).build().err().unwrap();
+        assert!(matches!(e, ConfigError::InvalidParameter { name: "grid", .. }));
+        let e = CellularGa::builder(OneMax(8)).mutation(BitFlip { p: 0.1 }).build().err().unwrap();
+        assert_eq!(e, ConfigError::MissingComponent("crossover"));
+    }
+
+    #[test]
+    fn all_policies_solve_onemax() {
+        for policy in UpdatePolicy::ALL {
+            let mut cga = cga(policy, 5);
+            let history = cga.run(300);
+            assert!(
+                cga.problem().is_optimal(cga.best_ever().fitness()),
+                "{}: best = {}",
+                policy.name(),
+                cga.best_ever().fitness()
+            );
+            assert!(!history.is_empty());
+        }
+    }
+
+    #[test]
+    fn synchronous_step_is_deterministic_despite_rayon() {
+        let mut a = cga(UpdatePolicy::Synchronous, 42);
+        let mut b = cga(UpdatePolicy::Synchronous, 42);
+        for _ in 0..10 {
+            let (sa, sb) = (a.step(), b.step());
+            assert_eq!(sa.best, sb.best);
+            assert_eq!(sa.mean, sb.mean);
+        }
+    }
+
+    #[test]
+    fn elitist_replacement_never_regresses_best_cell() {
+        let mut cga = cga(UpdatePolicy::LineSweep, 7);
+        let mut last = cga.step().best;
+        for _ in 0..30 {
+            let s = cga.step();
+            assert!(s.best >= last);
+            last = s.best;
+        }
+    }
+
+    #[test]
+    fn evaluations_count_one_per_update() {
+        let mut cga = cga(UpdatePolicy::Synchronous, 1);
+        assert_eq!(cga.evaluations(), 100); // initial grid
+        cga.step();
+        assert_eq!(cga.evaluations(), 200);
+        let mut acga = cga_async();
+        assert_eq!(acga.evaluations(), 100);
+        acga.step();
+        assert_eq!(acga.evaluations(), 200);
+    }
+
+    fn cga_async() -> CellularGa<OneMax> {
+        cga(UpdatePolicy::UniformChoice, 1)
+    }
+
+    #[test]
+    fn mean_improves_over_time() {
+        let mut cga = cga(UpdatePolicy::NewRandomSweep, 3);
+        let first = cga.step().mean;
+        for _ in 0..50 {
+            cga.step();
+        }
+        let last = cga.step().mean;
+        assert!(last > first + 3.0, "mean {first} -> {last}");
+    }
+}

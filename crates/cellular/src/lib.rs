@@ -1,0 +1,25 @@
+//! # pga-cellular
+//!
+//! The **fine-grained** (cellular, diffusion, massively parallel) PGA model:
+//! one individual per cell of a toroidal 2-D grid, interacting only with a
+//! small neighborhood (Manderick & Spiessens 1989; Baluja 1993; Pelikan's
+//! Charm++ implementation). Good genes spread by *diffusion* through
+//! overlapping neighborhoods instead of by migration.
+//!
+//! The update order of cells is a first-class parameter: this crate
+//! implements synchronous (double-buffered) updating plus the four
+//! asynchronous policies whose selection pressure Giacobini, Alba &
+//! Tomassini (GECCO 2003) analyzed — line sweep, fixed random sweep, new
+//! random sweep, uniform choice — reproduced as experiment E05.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod deme_impl;
+pub mod engine;
+pub mod takeover;
+pub mod update;
+
+pub use engine::{CellStats, CellularGa, CellularGaBuilder};
+pub use takeover::TakeoverGrid;
+pub use update::UpdatePolicy;

@@ -1,0 +1,222 @@
+//! Selection-only takeover experiments (selection pressure measurement).
+//!
+//! The standard methodology of Giacobini et al. (2003) and Alba & Troya
+//! (2002): plant a single best individual in a population, run *selection
+//! only* (no crossover, no mutation), and record the proportion of copies of
+//! the best per generation. Faster takeover ⇔ higher selection pressure.
+
+use crate::update::UpdatePolicy;
+use pga_core::Rng64;
+use pga_topology::CellNeighborhood;
+
+/// A fitness-only grid for takeover experiments.
+///
+/// Cells hold plain fitness values (1.0 for the planted best, uniform
+/// `(0, 1)` otherwise). Each update replaces a cell by the winner of a
+/// binary tournament over its neighborhood whenever the winner is at least
+/// as fit — the elitist local-selection rule standard in takeover studies.
+#[derive(Clone, Debug)]
+pub struct TakeoverGrid {
+    cells: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    neighborhood: CellNeighborhood,
+    policy: UpdatePolicy,
+    fixed_sweep: Vec<usize>,
+    rng: Rng64,
+    generation: u64,
+}
+
+impl TakeoverGrid {
+    /// Builds a `rows × cols` grid with random fitness in `(0, 1)` and one
+    /// planted best (fitness 1.0) at the grid center.
+    #[must_use]
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        neighborhood: CellNeighborhood,
+        policy: UpdatePolicy,
+        seed: u64,
+    ) -> Self {
+        assert!(rows >= 1 && cols >= 1, "grid must be non-empty");
+        let mut rng = Rng64::new(seed);
+        let n = rows * cols;
+        let mut cells: Vec<f64> = (0..n).map(|_| rng.next_f64() * 0.999).collect();
+        cells[(rows / 2) * cols + cols / 2] = 1.0;
+        let mut fixed_sweep: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut fixed_sweep);
+        Self {
+            cells,
+            rows,
+            cols,
+            neighborhood,
+            policy,
+            fixed_sweep,
+            rng,
+            generation: 0,
+        }
+    }
+
+    /// Cell count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` for an empty grid (constructor prevents this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Generations executed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Proportion of cells currently holding the best fitness (1.0).
+    #[must_use]
+    pub fn best_proportion(&self) -> f64 {
+        let count = self.cells.iter().filter(|&&f| f >= 1.0).count();
+        count as f64 / self.cells.len() as f64
+    }
+
+    /// Winner of a binary tournament among two uniform neighborhood picks.
+    fn local_winner(&self, cells: &[f64], idx: usize, rng: &mut Rng64) -> f64 {
+        let (r, c) = (idx / self.cols, idx % self.cols);
+        let nb = self.neighborhood.neighbors(r, c, self.rows, self.cols);
+        let a = cells[*rng.choose(&nb)];
+        let b = cells[*rng.choose(&nb)];
+        a.max(b)
+    }
+
+    /// One generation of selection-only updates (`n` cell updates).
+    pub fn step(&mut self) {
+        let n = self.cells.len();
+        let order = {
+            let mut rng = self.rng.clone();
+            let o = self.policy.order(n, &self.fixed_sweep, &mut rng);
+            self.rng = rng;
+            o
+        };
+        if self.policy.is_asynchronous() {
+            // In-place: later updates see earlier winners within the sweep.
+            let mut rng = self.rng.clone();
+            for idx in order {
+                let winner = self.local_winner(&self.cells, idx, &mut rng);
+                if winner >= self.cells[idx] {
+                    self.cells[idx] = winner;
+                }
+            }
+            self.rng = rng;
+        } else {
+            // Double buffer: every cell reads the old generation.
+            let old = self.cells.clone();
+            let mut rng = self.rng.clone();
+            for idx in order {
+                let winner = self.local_winner(&old, idx, &mut rng);
+                if winner >= old[idx] {
+                    self.cells[idx] = winner;
+                }
+            }
+            self.rng = rng;
+        }
+        self.generation += 1;
+    }
+
+    /// Runs until the best fills the grid (or `max_generations`), returning
+    /// the per-generation proportion curve, starting with generation 0.
+    #[must_use]
+    pub fn takeover_curve(&mut self, max_generations: u64) -> Vec<f64> {
+        let mut curve = vec![self.best_proportion()];
+        while self.best_proportion() < 1.0 && self.generation < max_generations {
+            self.step();
+            curve.push(self.best_proportion());
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(policy: UpdatePolicy, seed: u64) -> TakeoverGrid {
+        TakeoverGrid::new(16, 16, CellNeighborhood::VonNeumann, policy, seed)
+    }
+
+    #[test]
+    fn starts_with_one_best() {
+        let g = grid(UpdatePolicy::Synchronous, 1);
+        assert!((g.best_proportion() - 1.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_is_monotone_under_elitist_rule() {
+        for policy in UpdatePolicy::ALL {
+            let mut g = grid(policy, 2);
+            let mut last = g.best_proportion();
+            for _ in 0..40 {
+                g.step();
+                let now = g.best_proportion();
+                assert!(now >= last, "{}: {now} < {last}", policy.name());
+                last = now;
+            }
+        }
+    }
+
+    #[test]
+    fn takeover_completes() {
+        for policy in UpdatePolicy::ALL {
+            let mut g = grid(policy, 3);
+            let curve = g.takeover_curve(10_000);
+            assert_eq!(*curve.last().unwrap(), 1.0, "{}", policy.name());
+            // Diffusion needs at least grid-radius generations.
+            assert!(curve.len() > 4, "{}", policy.name());
+        }
+    }
+
+    #[test]
+    fn synchronous_spreads_at_most_one_ring_per_generation() {
+        // With a Von Neumann neighborhood the best can move at most one
+        // Manhattan step per synchronous generation: after g generations at
+        // most 2g² + 2g + 1 cells can hold it.
+        let mut g = TakeoverGrid::new(32, 32, CellNeighborhood::VonNeumann, UpdatePolicy::Synchronous, 4);
+        for generation in 1..=10u64 {
+            g.step();
+            let max_cells = 2 * generation * generation + 2 * generation + 1;
+            let held = (g.best_proportion() * 1024.0).round() as u64;
+            assert!(held <= max_cells, "gen {generation}: {held} > {max_cells}");
+        }
+    }
+
+    #[test]
+    fn uniform_choice_is_fastest_synchronous_slowest() {
+        // Average takeover time over a few seeds: the Giacobini ordering.
+        let avg = |policy: UpdatePolicy| -> f64 {
+            (0..5)
+                .map(|s| {
+                    let mut g = grid(policy, 100 + s);
+                    g.takeover_curve(10_000).len() as f64
+                })
+                .sum::<f64>()
+                / 5.0
+        };
+        let sync = avg(UpdatePolicy::Synchronous);
+        let uniform = avg(UpdatePolicy::UniformChoice);
+        assert!(
+            sync > uniform,
+            "synchronous ({sync}) should take over slower than uniform choice ({uniform})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = grid(UpdatePolicy::NewRandomSweep, 9);
+        let mut b = grid(UpdatePolicy::NewRandomSweep, 9);
+        let ca = a.takeover_curve(1000);
+        let cb = b.takeover_curve(1000);
+        assert_eq!(ca, cb);
+    }
+}

@@ -1,0 +1,134 @@
+//! Cell-update policies (Giacobini, Alba & Tomassini 2003).
+
+use pga_core::Rng64;
+
+/// In what order the cells of the grid are updated each generation.
+///
+/// One "generation" always performs `n` cell updates (for a grid of `n`
+/// cells), so policies are comparable in evaluation budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdatePolicy {
+    /// All cells update simultaneously from the previous generation's grid
+    /// (double buffered). The weakest selection pressure.
+    Synchronous,
+    /// Asynchronous: cells update in place in fixed row-major order.
+    LineSweep,
+    /// Asynchronous: one random permutation is drawn at construction and
+    /// reused every generation.
+    FixedRandomSweep,
+    /// Asynchronous: a fresh random permutation every generation.
+    NewRandomSweep,
+    /// Asynchronous: `n` cells drawn uniformly *with replacement* per
+    /// generation (some cells update several times, some not at all).
+    /// The weakest of the asynchronous policies — closest to synchronous.
+    UniformChoice,
+}
+
+impl UpdatePolicy {
+    /// All five policies, in the canonical order used by the E05 tables
+    /// (synchronous first, then the four asynchronous policies).
+    pub const ALL: [UpdatePolicy; 5] = [
+        UpdatePolicy::Synchronous,
+        UpdatePolicy::LineSweep,
+        UpdatePolicy::FixedRandomSweep,
+        UpdatePolicy::NewRandomSweep,
+        UpdatePolicy::UniformChoice,
+    ];
+
+    /// Name used in harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Synchronous => "synchronous",
+            Self::LineSweep => "line-sweep",
+            Self::FixedRandomSweep => "fixed-random-sweep",
+            Self::NewRandomSweep => "new-random-sweep",
+            Self::UniformChoice => "uniform-choice",
+        }
+    }
+
+    /// `true` for in-place (asynchronous) policies.
+    #[must_use]
+    pub fn is_asynchronous(self) -> bool {
+        self != Self::Synchronous
+    }
+
+    /// The sequence of cell indices to update this generation.
+    ///
+    /// `fixed_sweep` must be the permutation drawn at construction (used by
+    /// [`UpdatePolicy::FixedRandomSweep`]); `n` is the cell count.
+    #[must_use]
+    pub fn order(self, n: usize, fixed_sweep: &[usize], rng: &mut Rng64) -> Vec<usize> {
+        match self {
+            // Synchronous also visits every cell once; the engine handles
+            // the double-buffering that makes it simultaneous.
+            Self::Synchronous | Self::LineSweep => (0..n).collect(),
+            Self::FixedRandomSweep => {
+                assert_eq!(fixed_sweep.len(), n, "fixed sweep length mismatch");
+                fixed_sweep.to_vec()
+            }
+            Self::NewRandomSweep => {
+                let mut order: Vec<usize> = (0..n).collect();
+                rng.shuffle(&mut order);
+                order
+            }
+            Self::UniformChoice => (0..n).map(|_| rng.below(n)).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(n: usize) -> Vec<usize> {
+        (0..n).rev().collect()
+    }
+
+    #[test]
+    fn orders_have_n_entries() {
+        let mut rng = Rng64::new(1);
+        for p in UpdatePolicy::ALL {
+            let o = p.order(16, &fixed(16), &mut rng);
+            assert_eq!(o.len(), 16, "{}", p.name());
+            assert!(o.iter().all(|&i| i < 16));
+        }
+    }
+
+    #[test]
+    fn sweeps_are_permutations() {
+        let mut rng = Rng64::new(2);
+        for p in [
+            UpdatePolicy::Synchronous,
+            UpdatePolicy::LineSweep,
+            UpdatePolicy::FixedRandomSweep,
+            UpdatePolicy::NewRandomSweep,
+        ] {
+            let mut o = p.order(32, &fixed(32), &mut rng);
+            o.sort_unstable();
+            assert_eq!(o, (0..32).collect::<Vec<_>>(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn fixed_sweep_is_stable_new_sweep_is_not() {
+        let mut rng = Rng64::new(3);
+        let f = fixed(64);
+        let a = UpdatePolicy::FixedRandomSweep.order(64, &f, &mut rng);
+        let b = UpdatePolicy::FixedRandomSweep.order(64, &f, &mut rng);
+        assert_eq!(a, b);
+        let c = UpdatePolicy::NewRandomSweep.order(64, &f, &mut rng);
+        let d = UpdatePolicy::NewRandomSweep.order(64, &f, &mut rng);
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn uniform_choice_has_repeats_with_high_probability() {
+        let mut rng = Rng64::new(4);
+        let o = UpdatePolicy::UniformChoice.order(64, &fixed(64), &mut rng);
+        let mut dedup = o.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert!(dedup.len() < 64, "birthday paradox should produce repeats");
+    }
+}

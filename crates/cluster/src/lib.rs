@@ -1,0 +1,34 @@
+//! # pga-cluster
+//!
+//! A deterministic discrete-event simulator of the parallel machines the
+//! survey's §3 catalogues — Beowulf clusters of heterogeneous workstations,
+//! SMP boxes, fast LANs — so that cluster-scale experiments (64 nodes,
+//! node failures, slow networks) can be reproduced exactly on one laptop.
+//!
+//! This is the substitution substrate documented in DESIGN.md §1: the paper's
+//! testbeds (Origin2000, transputer networks, Myrinet clusters) are replaced
+//! by a simulator that models the three quantities that actually shape
+//! master–slave and island PGA behaviour:
+//!
+//! 1. **compute heterogeneity** — per-node speed factors;
+//! 2. **communication cost** — latency + bandwidth network profiles;
+//! 3. **hard failures** — exponential node death times (Gagné et al. 2003).
+//!
+//! The simulation clock is `f64` seconds. Everything is seeded and pure, so
+//! a `(ClusterSpec, FailurePlan, workload)` triple always yields the same
+//! trace.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod island_sim;
+pub mod master_slave_sim;
+pub mod network;
+pub mod spec;
+
+pub use event::EventQueue;
+pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimConfig};
+pub use master_slave_sim::{BatchReport, MasterSlaveSim, TraceEvent};
+pub use network::NetworkProfile;
+pub use spec::{ClusterSpec, FailurePlan};

@@ -1,0 +1,399 @@
+//! Event-driven simulation of a (fault-tolerant) master–slave dispatch.
+//!
+//! The master holds a bag of independent tasks (fitness evaluations, in PGA
+//! use). Each free worker gets one task at a time; results return over the
+//! network. Hard node failures lose the in-flight task, which the master
+//! detects (one latency after the crash) and reassigns — the adjustment
+//! Gagné et al. (2003) made to the classic master–slave model.
+//!
+//! The master's outgoing link is a *serial* resource: task messages leave
+//! one after another, each occupying the link for its transfer time. This
+//! is what creates the classic master–slave bottleneck (Bethke 1976;
+//! Cantú-Paz 2000): when one evaluation is cheap relative to one message,
+//! adding workers stops helping because the master cannot feed them.
+
+use crate::event::EventQueue;
+use crate::network::NetworkProfile;
+use crate::spec::{ClusterSpec, FailurePlan};
+use std::collections::VecDeque;
+
+/// One line of the simulation trace.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// Task sent to a node at the given time.
+    Assigned {
+        /// Simulation time.
+        time: f64,
+        /// Task index.
+        task: usize,
+        /// Node index.
+        node: usize,
+    },
+    /// Result received by the master.
+    Completed {
+        /// Simulation time.
+        time: f64,
+        /// Task index.
+        task: usize,
+        /// Node index.
+        node: usize,
+    },
+    /// Node suffered a hard failure.
+    NodeFailed {
+        /// Simulation time.
+        time: f64,
+        /// Node index.
+        node: usize,
+    },
+    /// Master detected a lost task and requeued it.
+    Requeued {
+        /// Simulation time.
+        time: f64,
+        /// Task index.
+        task: usize,
+    },
+}
+
+/// Result of simulating one batch.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Time at which the last result reached the master.
+    pub makespan: f64,
+    /// Tasks completed (== task count unless the whole cluster died).
+    pub completed: usize,
+    /// Number of task reassignments caused by failures.
+    pub reassignments: usize,
+    /// Nodes that failed during the batch.
+    pub failed_nodes: Vec<usize>,
+    /// Per-node cumulative compute time.
+    pub busy: Vec<f64>,
+    /// Full event trace in time order.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl BatchReport {
+    /// Fraction of ideal aggregate throughput achieved:
+    /// `Σ busy / (makespan · Σ speed)`. Meaningful for batches started at
+    /// time 0 (`run_batch`); for `run_batch_at` the makespan includes the
+    /// start offset.
+    #[must_use]
+    pub fn utilization(&self, spec: &ClusterSpec) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.busy.iter().sum();
+        busy / (self.makespan * spec.total_speed())
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    ResultArrived { task: usize, node: usize },
+    NodeFailed { node: usize },
+    LossDetected { task: usize },
+}
+
+/// Simulator for master–slave batches over a cluster + failure plan.
+#[derive(Clone, Debug)]
+pub struct MasterSlaveSim {
+    spec: ClusterSpec,
+    failures: FailurePlan,
+    /// Bytes sent per task (genome) and per result (fitness).
+    pub task_bytes: u64,
+    /// Bytes of each returned result.
+    pub result_bytes: u64,
+}
+
+impl MasterSlaveSim {
+    /// New simulator; the failure plan must cover every node.
+    #[must_use]
+    pub fn new(spec: ClusterSpec, failures: FailurePlan) -> Self {
+        assert_eq!(spec.len(), failures.len(), "failure plan must cover nodes");
+        Self {
+            spec,
+            failures,
+            task_bytes: 256,
+            result_bytes: 16,
+        }
+    }
+
+    /// Overrides message sizes.
+    #[must_use]
+    pub fn with_message_sizes(mut self, task_bytes: u64, result_bytes: u64) -> Self {
+        self.task_bytes = task_bytes;
+        self.result_bytes = result_bytes;
+        self
+    }
+
+    fn net(&self) -> NetworkProfile {
+        self.spec.network
+    }
+
+    /// The cluster being simulated.
+    #[must_use]
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Failure time of `node` under the active plan, if any.
+    #[must_use]
+    pub fn failure_time(&self, node: usize) -> Option<f64> {
+        self.failures.fail_time(node)
+    }
+
+    /// Simulates one batch of independent tasks; `tasks[i]` is the cost in
+    /// seconds on a speed-1.0 node.
+    #[must_use]
+    pub fn run_batch(&self, tasks: &[f64]) -> BatchReport {
+        self.run_batch_at(0.0, tasks)
+    }
+
+    /// Like [`MasterSlaveSim::run_batch`] but starting at absolute time
+    /// `start`: failure times are absolute, so back-to-back generations can
+    /// share one failure plan. Nodes whose failure time precedes `start`
+    /// are already dead when the batch begins.
+    #[must_use]
+    pub fn run_batch_at(&self, start: f64, tasks: &[f64]) -> BatchReport {
+        let n_nodes = self.spec.len();
+        let mut queue = EventQueue::new();
+        let mut pending: VecDeque<usize> = (0..tasks.len()).collect();
+        let mut alive = vec![true; n_nodes];
+        let mut free = vec![true; n_nodes];
+        let mut busy = vec![0.0; n_nodes];
+        let mut trace = Vec::new();
+        let mut failed_nodes = Vec::new();
+        let mut completed = 0usize;
+        let mut reassignments = 0usize;
+        let mut makespan = start;
+        // The master's outgoing link frees up after each task send.
+        let mut link_free = start;
+
+        #[allow(clippy::needless_range_loop)] // `node` is a node id, not a slice index
+        for node in 0..n_nodes {
+            if let Some(t) = self.failures.fail_time(node) {
+                if t <= start {
+                    alive[node] = false;
+                    failed_nodes.push(node);
+                } else {
+                    queue.schedule(t, Ev::NodeFailed { node });
+                }
+            }
+        }
+
+        // Closure-free helper: assign as many pending tasks as there are
+        // free live nodes, at time `now`.
+        macro_rules! assign_all {
+            ($now:expr) => {{
+                let now: f64 = $now;
+                loop {
+                    if pending.is_empty() {
+                        break;
+                    }
+                    let Some(node) = (0..n_nodes).find(|&i| alive[i] && free[i]) else {
+                        break;
+                    };
+                    let task = pending.pop_front().expect("checked non-empty");
+                    free[node] = false;
+                    trace.push(TraceEvent::Assigned { time: now, task, node });
+                    // Serialize on the master's outgoing link.
+                    let depart = now.max(link_free);
+                    let send_time = self.net().transfer_time(self.task_bytes);
+                    link_free = depart + send_time;
+                    let arrive = depart + send_time;
+                    let compute_end = arrive + tasks[task] / self.spec.speeds[node];
+                    match self.failures.fail_time(node) {
+                        Some(ft) if ft < compute_end => {
+                            // Task dies with the node; master notices one
+                            // latency after the crash.
+                            queue.schedule(ft + self.net().latency(), Ev::LossDetected { task });
+                            busy[node] += (ft - arrive).max(0.0);
+                        }
+                        _ => {
+                            busy[node] += tasks[task] / self.spec.speeds[node];
+                            let result_at =
+                                compute_end + self.net().transfer_time(self.result_bytes);
+                            queue.schedule(result_at, Ev::ResultArrived { task, node });
+                        }
+                    }
+                }
+            }};
+        }
+
+        assign_all!(start);
+
+        while let Some((now, ev)) = queue.next() {
+            match ev {
+                Ev::ResultArrived { task, node } => {
+                    completed += 1;
+                    makespan = makespan.max(now);
+                    trace.push(TraceEvent::Completed { time: now, task, node });
+                    free[node] = true;
+                    assign_all!(now);
+                }
+                Ev::NodeFailed { node } => {
+                    alive[node] = false;
+                    failed_nodes.push(node);
+                    trace.push(TraceEvent::NodeFailed { time: now, node });
+                }
+                Ev::LossDetected { task } => {
+                    reassignments += 1;
+                    makespan = makespan.max(now);
+                    trace.push(TraceEvent::Requeued { time: now, task });
+                    pending.push_back(task);
+                    assign_all!(now);
+                }
+            }
+        }
+
+        BatchReport {
+            makespan,
+            completed,
+            reassignments,
+            failed_nodes,
+            busy,
+            trace,
+        }
+    }
+
+    /// Simulates `generations` back-to-back batches (a generational
+    /// master–slave PGA) and returns the total makespan.
+    #[must_use]
+    pub fn run_generations(&self, generations: usize, tasks_per_gen: &[f64]) -> f64 {
+        // Batches are dependent (selection needs all results), so makespans
+        // add; failures only make sense within the first batch horizon here,
+        // so this entry point is for failure-free speedup sweeps.
+        (0..generations)
+            .map(|_| self.run_batch(tasks_per_gen).makespan)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim(n: usize, net: NetworkProfile) -> MasterSlaveSim {
+        MasterSlaveSim::new(ClusterSpec::homogeneous(n, net), FailurePlan::none(n))
+    }
+
+    #[test]
+    fn single_node_serializes_tasks() {
+        let s = sim(1, NetworkProfile::SharedMemory);
+        let r = s.run_batch(&[1.0, 2.0, 3.0]);
+        assert_eq!(r.completed, 3);
+        assert!((r.makespan - 6.0).abs() < 1e-9);
+        assert!((r.busy[0] - 6.0).abs() < 1e-9);
+        assert!(r.failed_nodes.is_empty());
+    }
+
+    #[test]
+    fn parallel_nodes_split_work() {
+        let s = sim(4, NetworkProfile::SharedMemory);
+        let r = s.run_batch(&[1.0; 8]);
+        // 8 unit tasks on 4 nodes: two waves = 2.0 seconds.
+        assert_eq!(r.completed, 8);
+        assert!((r.makespan - 2.0).abs() < 1e-9);
+        assert!((r.utilization(&s.spec) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_cost_reduces_speedup() {
+        let cheap_tasks = vec![1e-4; 64];
+        let free = sim(8, NetworkProfile::SharedMemory).run_batch(&cheap_tasks);
+        let slow = sim(8, NetworkProfile::Internet).run_batch(&cheap_tasks);
+        assert!(slow.makespan > 10.0 * free.makespan);
+    }
+
+    #[test]
+    fn fast_nodes_finish_sooner() {
+        let spec = ClusterSpec {
+            speeds: vec![1.0, 4.0],
+            network: NetworkProfile::SharedMemory,
+        };
+        let s = MasterSlaveSim::new(spec, FailurePlan::none(2));
+        let r = s.run_batch(&[4.0, 4.0]);
+        // Node 1 (speed 4) does its task in 1s, node 0 in 4s.
+        assert!((r.makespan - 4.0).abs() < 1e-9);
+        assert!((r.busy[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failed_node_task_is_reassigned() {
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        // Node 0 dies at t=0.5, mid-task.
+        let failures = FailurePlan::at(vec![Some(0.5), None]);
+        let s = MasterSlaveSim::new(spec, failures);
+        let r = s.run_batch(&[1.0, 1.0, 1.0]);
+        assert_eq!(r.completed, 3, "all tasks finish despite the failure");
+        assert_eq!(r.reassignments, 1);
+        assert_eq!(r.failed_nodes, vec![0]);
+        // Node 1 ends up doing all three tasks (the third re-queued).
+        assert!(r.makespan >= 3.0);
+    }
+
+    #[test]
+    fn whole_cluster_death_terminates_with_partial_results() {
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let failures = FailurePlan::at(vec![Some(0.1), Some(0.2)]);
+        let s = MasterSlaveSim::new(spec, failures);
+        let r = s.run_batch(&[1.0; 4]);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed_nodes.len(), 2);
+        // No deadlock: the simulation ends even though tasks remain.
+    }
+
+    #[test]
+    fn trace_is_time_ordered_per_event_kind() {
+        let s = sim(3, NetworkProfile::FastEthernet);
+        let r = s.run_batch(&[0.5, 0.1, 0.9, 0.2, 0.4]);
+        let times: Vec<f64> = r
+            .trace
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Assigned { time, .. }
+                | TraceEvent::Completed { time, .. }
+                | TraceEvent::NodeFailed { time, .. }
+                | TraceEvent::Requeued { time, .. } => *time,
+            })
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let spec = ClusterSpec::heterogeneous(6, 3.0, 9, NetworkProfile::GigabitEthernet);
+        let failures = FailurePlan::exponential(6, 10.0, 5.0, 4);
+        let s = MasterSlaveSim::new(spec, failures);
+        let tasks: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * i as f64).collect();
+        let a = s.run_batch(&tasks);
+        let b = s.run_batch(&tasks);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn run_batch_at_respects_absolute_failures() {
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        // Node 0 fails at t=5.0 absolute.
+        let s = MasterSlaveSim::new(spec, FailurePlan::at(vec![Some(5.0), None]));
+        // Batch starting at t=10: node 0 is already dead.
+        let r = s.run_batch_at(10.0, &[1.0, 1.0]);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.failed_nodes, vec![0]);
+        assert_eq!(r.reassignments, 0);
+        // Both tasks run serially on node 1: done at 12.
+        assert!((r.makespan - 12.0).abs() < 1e-9);
+        // Batch starting at t=0 sees the failure mid-run only if tasks reach it.
+        let r0 = s.run_batch_at(0.0, &[1.0, 1.0]);
+        assert_eq!(r0.completed, 2);
+        assert!(r0.failed_nodes.is_empty() || r0.reassignments == 0);
+    }
+
+    #[test]
+    fn generations_accumulate() {
+        let s = sim(2, NetworkProfile::SharedMemory);
+        let total = s.run_generations(10, &[1.0, 1.0]);
+        assert!((total - 10.0).abs() < 1e-9);
+    }
+}

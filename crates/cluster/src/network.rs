@@ -1,0 +1,113 @@
+//! Interconnect models: latency + bandwidth profiles.
+
+/// A network profile characterized by one-way latency and bandwidth.
+///
+/// The presets follow the interconnects the survey names in §3.1 (Fast and
+/// Gigabit Ethernet, Myrinet, the Internet for DREAM-style setups), with
+/// round figures from the early-2000s literature. Message time is the usual
+/// first-order model `latency + bytes / bandwidth`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum NetworkProfile {
+    /// 100 Mb/s switched Ethernet, ~100 µs latency.
+    FastEthernet,
+    /// 1 Gb/s Ethernet, ~50 µs latency.
+    GigabitEthernet,
+    /// Myrinet: ~10 µs latency, ~2 Gb/s.
+    Myrinet,
+    /// Wide-area Internet: ~50 ms latency, ~10 Mb/s.
+    Internet,
+    /// Shared memory within one SMP: effectively free transfers.
+    SharedMemory,
+    /// Explicit parameters.
+    Custom {
+        /// One-way latency in seconds.
+        latency_s: f64,
+        /// Bandwidth in bytes per second.
+        bytes_per_s: f64,
+    },
+}
+
+impl NetworkProfile {
+    /// One-way latency in seconds.
+    #[must_use]
+    pub fn latency(self) -> f64 {
+        match self {
+            Self::FastEthernet => 100e-6,
+            Self::GigabitEthernet => 50e-6,
+            Self::Myrinet => 10e-6,
+            Self::Internet => 50e-3,
+            Self::SharedMemory => 0.0,
+            Self::Custom { latency_s, .. } => latency_s,
+        }
+    }
+
+    /// Bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth(self) -> f64 {
+        match self {
+            Self::FastEthernet => 100e6 / 8.0,
+            Self::GigabitEthernet => 1e9 / 8.0,
+            Self::Myrinet => 2e9 / 8.0,
+            Self::Internet => 10e6 / 8.0,
+            Self::SharedMemory => f64::INFINITY,
+            Self::Custom { bytes_per_s, .. } => bytes_per_s,
+        }
+    }
+
+    /// Time to move one message of `bytes` across the link.
+    #[must_use]
+    pub fn transfer_time(self, bytes: u64) -> f64 {
+        let bw = self.bandwidth();
+        let payload = if bw.is_infinite() {
+            0.0
+        } else {
+            bytes as f64 / bw
+        };
+        self.latency() + payload
+    }
+
+    /// Profile name for harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::FastEthernet => "fast-ethernet",
+            Self::GigabitEthernet => "gigabit-ethernet",
+            Self::Myrinet => "myrinet",
+            Self::Internet => "internet",
+            Self::SharedMemory => "shared-memory",
+            Self::Custom { .. } => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faster_networks_move_data_faster() {
+        let bytes = 1_000_000;
+        let fe = NetworkProfile::FastEthernet.transfer_time(bytes);
+        let ge = NetworkProfile::GigabitEthernet.transfer_time(bytes);
+        let my = NetworkProfile::Myrinet.transfer_time(bytes);
+        let inet = NetworkProfile::Internet.transfer_time(bytes);
+        assert!(my < ge && ge < fe && fe < inet);
+    }
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let t = NetworkProfile::Internet.transfer_time(1);
+        assert!((t - 0.05).abs() < 1e-3);
+    }
+
+    #[test]
+    fn shared_memory_is_free() {
+        assert_eq!(NetworkProfile::SharedMemory.transfer_time(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn custom_profile() {
+        let p = NetworkProfile::Custom { latency_s: 1.0, bytes_per_s: 100.0 };
+        assert_eq!(p.transfer_time(200), 3.0);
+    }
+}

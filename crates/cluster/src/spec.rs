@@ -1,0 +1,169 @@
+//! Cluster composition and failure plans.
+
+use crate::network::NetworkProfile;
+use pga_core::Rng64;
+
+/// Static description of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Per-node relative speed factors (1.0 = reference workstation; a task
+    /// of cost `c` seconds takes `c / speed` on the node).
+    pub speeds: Vec<f64>,
+    /// Interconnect between the master/islands and the nodes.
+    pub network: NetworkProfile,
+}
+
+impl ClusterSpec {
+    /// `n` identical nodes of speed 1.0.
+    #[must_use]
+    pub fn homogeneous(n: usize, network: NetworkProfile) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        Self {
+            speeds: vec![1.0; n],
+            network,
+        }
+    }
+
+    /// `n` nodes with speeds drawn uniformly from `[1, max_ratio]` — the
+    /// "network of heterogeneous workstations" of Gagné et al. (2003).
+    #[must_use]
+    pub fn heterogeneous(n: usize, max_ratio: f64, seed: u64, network: NetworkProfile) -> Self {
+        assert!(n >= 1, "a cluster needs at least one node");
+        assert!(max_ratio >= 1.0, "max_ratio must be >= 1");
+        let mut rng = Rng64::new(seed);
+        let speeds = (0..n).map(|_| rng.range_f64(1.0, max_ratio)).collect();
+        Self { speeds, network }
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// `true` when the cluster has no nodes (constructors prevent this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// Sum of speed factors — the cluster's ideal aggregate throughput
+    /// relative to one reference node.
+    #[must_use]
+    pub fn total_speed(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+}
+
+/// Per-node hard-failure times.
+///
+/// `None` means the node never fails. Plans are drawn once (exponential
+/// inter-failure model, seeded) and then fixed, so the same plan can be
+/// replayed against master–slave and island engines for a fair comparison.
+#[derive(Clone, Debug)]
+pub struct FailurePlan {
+    fail_at: Vec<Option<f64>>,
+}
+
+impl FailurePlan {
+    /// No failures on `n` nodes.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        Self {
+            fail_at: vec![None; n],
+        }
+    }
+
+    /// Exponential failure times with the given mean time between failures;
+    /// nodes whose drawn time exceeds `horizon` never fail.
+    #[must_use]
+    pub fn exponential(n: usize, mtbf_s: f64, horizon_s: f64, seed: u64) -> Self {
+        assert!(mtbf_s > 0.0, "MTBF must be positive");
+        let mut rng = Rng64::new(seed);
+        let fail_at = (0..n)
+            .map(|_| {
+                // Inverse-CDF sample of Exp(1/mtbf).
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                let t = -mtbf_s * u.ln();
+                (t <= horizon_s).then_some(t)
+            })
+            .collect();
+        Self { fail_at }
+    }
+
+    /// Explicit fail times (testing hook).
+    #[must_use]
+    pub fn at(fail_at: Vec<Option<f64>>) -> Self {
+        Self { fail_at }
+    }
+
+    /// Failure time of node `i`, if any.
+    #[must_use]
+    pub fn fail_time(&self, node: usize) -> Option<f64> {
+        self.fail_at[node]
+    }
+
+    /// Node count covered by the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fail_at.len()
+    }
+
+    /// `true` when the plan covers zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fail_at.is_empty()
+    }
+
+    /// Number of nodes that fail within the plan.
+    #[must_use]
+    pub fn failing_nodes(&self) -> usize {
+        self.fail_at.iter().flatten().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_speeds() {
+        let c = ClusterSpec::homogeneous(8, NetworkProfile::Myrinet);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.total_speed(), 8.0);
+    }
+
+    #[test]
+    fn heterogeneous_speeds_in_range() {
+        let c = ClusterSpec::heterogeneous(100, 4.0, 7, NetworkProfile::FastEthernet);
+        assert!(c.speeds.iter().all(|&s| (1.0..=4.0).contains(&s)));
+        assert!(c.total_speed() > 100.0 && c.total_speed() < 400.0);
+    }
+
+    #[test]
+    fn heterogeneous_is_deterministic() {
+        let a = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet);
+        let b = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet);
+        assert_eq!(a.speeds, b.speeds);
+    }
+
+    #[test]
+    fn exponential_failures_respect_horizon() {
+        let plan = FailurePlan::exponential(1000, 100.0, 50.0, 3);
+        for i in 0..1000 {
+            if let Some(t) = plan.fail_time(i) {
+                assert!(t > 0.0 && t <= 50.0);
+            }
+        }
+        // With MTBF 100 and horizon 50, P(fail) = 1-e^-0.5 ≈ 0.39.
+        let frac = plan.failing_nodes() as f64 / 1000.0;
+        assert!((0.3..0.5).contains(&frac), "failing fraction {frac}");
+    }
+
+    #[test]
+    fn none_plan_never_fails() {
+        let plan = FailurePlan::none(5);
+        assert_eq!(plan.failing_nodes(), 0);
+        assert_eq!(plan.len(), 5);
+    }
+}

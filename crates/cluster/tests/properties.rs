@@ -1,0 +1,127 @@
+//! Property-based invariants of the cluster simulator.
+
+use pga_cluster::{ClusterSpec, EventQueue, FailurePlan, MasterSlaveSim, NetworkProfile};
+use proptest::prelude::*;
+
+fn tasks_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..2.0, 1..40)
+}
+
+proptest! {
+    #[test]
+    fn failure_free_batches_complete_everything(
+        tasks in tasks_strategy(),
+        nodes in 1usize..12,
+    ) {
+        let sim = MasterSlaveSim::new(
+            ClusterSpec::homogeneous(nodes, NetworkProfile::GigabitEthernet),
+            FailurePlan::none(nodes),
+        );
+        let r = sim.run_batch(&tasks);
+        prop_assert_eq!(r.completed, tasks.len());
+        prop_assert!(r.failed_nodes.is_empty());
+        prop_assert_eq!(r.reassignments, 0);
+    }
+
+    #[test]
+    fn makespan_respects_physical_lower_bounds(
+        tasks in tasks_strategy(),
+        nodes in 1usize..12,
+    ) {
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        let sim = MasterSlaveSim::new(spec.clone(), FailurePlan::none(nodes));
+        let r = sim.run_batch(&tasks);
+        let total: f64 = tasks.iter().sum();
+        let longest = tasks.iter().cloned().fold(0.0f64, f64::max);
+        // Work bound and critical-task bound.
+        prop_assert!(r.makespan + 1e-9 >= total / spec.total_speed());
+        prop_assert!(r.makespan + 1e-9 >= longest);
+        // Utilization can never exceed 1.
+        prop_assert!(r.utilization(&spec) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn more_nodes_never_slow_a_batch(
+        tasks in tasks_strategy(),
+    ) {
+        let time = |nodes: usize| {
+            MasterSlaveSim::new(
+                ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory),
+                FailurePlan::none(nodes),
+            )
+            .run_batch(&tasks)
+            .makespan
+        };
+        let t1 = time(1);
+        let t4 = time(4);
+        let t8 = time(8);
+        prop_assert!(t4 <= t1 + 1e-9);
+        prop_assert!(t8 <= t4 + 1e-9);
+    }
+
+    #[test]
+    fn faster_cluster_is_never_slower(
+        tasks in tasks_strategy(),
+        speed in 1.0f64..8.0,
+    ) {
+        let base = MasterSlaveSim::new(
+            ClusterSpec { speeds: vec![1.0; 4], network: NetworkProfile::SharedMemory },
+            FailurePlan::none(4),
+        )
+        .run_batch(&tasks)
+        .makespan;
+        let fast = MasterSlaveSim::new(
+            ClusterSpec { speeds: vec![speed; 4], network: NetworkProfile::SharedMemory },
+            FailurePlan::none(4),
+        )
+        .run_batch(&tasks)
+        .makespan;
+        prop_assert!(fast <= base + 1e-9);
+        prop_assert!((fast * speed - base).abs() < 1e-6 * base.max(1.0));
+    }
+
+    #[test]
+    fn failures_only_ever_add_time_and_reassignments(
+        tasks in tasks_strategy(),
+        fail_at in 0.01f64..5.0,
+    ) {
+        let healthy = MasterSlaveSim::new(
+            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory),
+            FailurePlan::none(3),
+        )
+        .run_batch(&tasks);
+        let faulty = MasterSlaveSim::new(
+            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory),
+            FailurePlan::at(vec![Some(fail_at), None, None]),
+        )
+        .run_batch(&tasks);
+        // Two survivors still finish everything.
+        prop_assert_eq!(faulty.completed, tasks.len());
+        prop_assert!(faulty.makespan + 1e-9 >= healthy.makespan);
+    }
+
+    #[test]
+    fn event_queue_pops_sorted(times in prop::collection::vec(0.0f64..1000.0, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.next() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn exponential_plan_is_deterministic(n in 1usize..64, seed in any::<u64>()) {
+        let a = FailurePlan::exponential(n, 10.0, 100.0, seed);
+        let b = FailurePlan::exponential(n, 10.0, 100.0, seed);
+        for i in 0..n {
+            prop_assert_eq!(a.fail_time(i), b.fail_time(i));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Population diversity metrics.
+//!
+//! Diversity maintenance is the mechanism behind most of the surveyed
+//! island-model claims (isolated demes drift apart, migration reinjects
+//! variety), so the engines expose these measurements for experiment
+//! traces. All metrics are `O(n²)` pairwise computations capped by
+//! `MAX_PAIRS` random pairs for large populations, keeping them usable in
+//! per-generation observers.
+
+use crate::population::Population;
+use crate::repr::{BitString, Permutation, RealVector};
+use crate::rng::Rng64;
+
+/// Pairs sampled when a population is too large for exact pairwise metrics.
+const MAX_PAIRS: usize = 2048;
+
+fn pair_indices(n: usize, rng: &mut Rng64) -> Vec<(usize, usize)> {
+    let exact = n * (n - 1) / 2;
+    if exact <= MAX_PAIRS {
+        let mut out = Vec::with_capacity(exact);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                out.push((i, j));
+            }
+        }
+        out
+    } else {
+        (0..MAX_PAIRS).map(|_| rng.two_distinct(n)).collect()
+    }
+}
+
+/// Mean pairwise Hamming distance, normalized by genome length to `[0, 1]`.
+/// 0 = fully converged; 0.5 = random population.
+#[must_use]
+pub fn mean_hamming(pop: &Population<BitString>, rng: &mut Rng64) -> f64 {
+    let n = pop.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let len = pop[0].genome.len();
+    if len == 0 {
+        return 0.0;
+    }
+    let pairs = pair_indices(n, rng);
+    let total: usize = pairs
+        .iter()
+        .map(|&(i, j)| pop[i].genome.hamming(&pop[j].genome))
+        .sum();
+    total as f64 / (pairs.len() * len) as f64
+}
+
+/// Mean pairwise Euclidean distance between real-vector genomes.
+#[must_use]
+pub fn mean_euclidean(pop: &Population<RealVector>, rng: &mut Rng64) -> f64 {
+    let n = pop.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let pairs = pair_indices(n, rng);
+    let total: f64 = pairs
+        .iter()
+        .map(|&(i, j)| pop[i].genome.distance(&pop[j].genome))
+        .sum();
+    total / pairs.len() as f64
+}
+
+/// Mean pairwise position-mismatch fraction between permutations
+/// (`[0, 1]`; 0 = identical orderings).
+#[must_use]
+pub fn mean_mismatch(pop: &Population<Permutation>, rng: &mut Rng64) -> f64 {
+    let n = pop.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let len = pop[0].genome.len();
+    if len == 0 {
+        return 0.0;
+    }
+    let pairs = pair_indices(n, rng);
+    let total: usize = pairs
+        .iter()
+        .map(|&(i, j)| pop[i].genome.mismatch_distance(&pop[j].genome))
+        .sum();
+    total as f64 / (pairs.len() * len) as f64
+}
+
+/// Coefficient of variation of fitness (`std/|mean|`); representation-
+/// agnostic convergence signal. Returns 0 for a zero-mean population.
+#[must_use]
+pub fn fitness_cv<G: crate::repr::Genome>(
+    pop: &Population<G>,
+    objective: crate::problem::Objective,
+) -> f64 {
+    let s = pop.stats(objective);
+    if s.mean.abs() < 1e-300 {
+        0.0
+    } else {
+        s.std_dev / s.mean.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::individual::Individual;
+    use crate::problem::Objective;
+
+    #[test]
+    fn hamming_extremes() {
+        let mut rng = Rng64::new(1);
+        let converged = Population::new(vec![
+            Individual::evaluated(BitString::ones(64), 1.0);
+            10
+        ]);
+        assert_eq!(mean_hamming(&converged, &mut rng), 0.0);
+
+        let mixed = Population::new(
+            (0..10)
+                .map(|i| {
+                    let g = if i % 2 == 0 {
+                        BitString::ones(64)
+                    } else {
+                        BitString::zeros(64)
+                    };
+                    Individual::evaluated(g, 0.0)
+                })
+                .collect(),
+        );
+        // 25 of 45 pairs differ completely: 25/45 ≈ 0.5556.
+        let d = mean_hamming(&mixed, &mut rng);
+        assert!((d - 25.0 / 45.0).abs() < 1e-12, "d = {d}");
+    }
+
+    #[test]
+    fn random_population_is_half_diverse() {
+        let mut rng = Rng64::new(2);
+        let pop = Population::new(
+            (0..30)
+                .map(|_| Individual::evaluated(BitString::random(256, &mut rng), 0.0))
+                .collect(),
+        );
+        let d = mean_hamming(&pop, &mut rng);
+        assert!((d - 0.5).abs() < 0.02, "d = {d}");
+    }
+
+    #[test]
+    fn sampling_kicks_in_for_large_populations() {
+        let mut rng = Rng64::new(3);
+        let pop = Population::new(
+            (0..200)
+                .map(|_| Individual::evaluated(BitString::random(64, &mut rng), 0.0))
+                .collect(),
+        );
+        // 200*199/2 = 19900 > MAX_PAIRS: must still return ~0.5.
+        let d = mean_hamming(&pop, &mut rng);
+        assert!((d - 0.5).abs() < 0.03, "d = {d}");
+    }
+
+    #[test]
+    fn euclidean_diversity() {
+        let mut rng = Rng64::new(4);
+        let tight = Population::new(
+            (0..8)
+                .map(|_| Individual::evaluated(RealVector::new(vec![1.0, 1.0]), 0.0))
+                .collect(),
+        );
+        assert_eq!(mean_euclidean(&tight, &mut rng), 0.0);
+        let spread = Population::new(vec![
+            Individual::evaluated(RealVector::new(vec![0.0, 0.0]), 0.0),
+            Individual::evaluated(RealVector::new(vec![3.0, 4.0]), 0.0),
+        ]);
+        assert!((mean_euclidean(&spread, &mut rng) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_diversity() {
+        let mut rng = Rng64::new(5);
+        let same = Population::new(vec![
+            Individual::evaluated(Permutation::identity(10), 0.0);
+            4
+        ]);
+        assert_eq!(mean_mismatch(&same, &mut rng), 0.0);
+        let varied = Population::new(
+            (0..10)
+                .map(|_| Individual::evaluated(Permutation::random(10, &mut rng), 0.0))
+                .collect(),
+        );
+        assert!(mean_mismatch(&varied, &mut rng) > 0.5);
+    }
+
+    #[test]
+    fn fitness_cv_signals_convergence() {
+        let varied = Population::new(
+            (1..=10)
+                .map(|i| Individual::evaluated(vec![0.0], i as f64))
+                .collect::<Vec<_>>(),
+        );
+        let flat = Population::new(
+            (0..10)
+                .map(|_| Individual::evaluated(vec![0.0], 5.0))
+                .collect::<Vec<_>>(),
+        );
+        assert!(fitness_cv(&varied, Objective::Maximize) > 0.3);
+        assert_eq!(fitness_cv(&flat, Objective::Maximize), 0.0);
+    }
+
+    #[test]
+    fn tiny_populations_are_safe() {
+        let mut rng = Rng64::new(6);
+        let single = Population::new(vec![Individual::evaluated(BitString::ones(8), 1.0)]);
+        assert_eq!(mean_hamming(&single, &mut rng), 0.0);
+    }
+}

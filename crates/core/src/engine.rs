@@ -1,0 +1,737 @@
+//! The sequential GA engine: panmictic generational and steady-state loops.
+//!
+//! This engine is also the building block of the parallel models: an island
+//! is one `Ga` per thread, a master–slave PGA is one `Ga` with a parallel
+//! [`Evaluator`], and the hierarchical model stacks islands in layers.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::ConfigError;
+use crate::eval::{Evaluator, SerialEvaluator};
+use crate::individual::Individual;
+use crate::ops::{Crossover, Mutation, ReplacementPolicy, Selection};
+use crate::population::{PopStats, Population};
+use crate::problem::{Objective, Problem};
+use crate::rng::Rng64;
+use crate::termination::{Progress, StopReason, Termination};
+
+/// Panmictic evolution scheme (Alba & Troya 2002 terminology).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Full generational replacement, preserving the best `elitism` members.
+    Generational {
+        /// Number of elites copied unchanged into the next generation.
+        elitism: usize,
+    },
+    /// Steady-state: one offspring at a time enters via a replacement policy.
+    SteadyState {
+        /// How offspring enter the population.
+        replacement: ReplacementPolicy,
+    },
+}
+
+impl Scheme {
+    /// Short name for harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Generational { .. } => "generational",
+            Self::SteadyState { .. } => "steady-state",
+        }
+    }
+}
+
+/// Per-generation statistics snapshot emitted by [`Ga::step`].
+#[derive(Clone, Copy, Debug)]
+pub struct GenStats {
+    /// Generation index (1-based after the first step).
+    pub generation: u64,
+    /// Total fitness evaluations spent so far.
+    pub evaluations: u64,
+    /// Population statistics at the end of the step.
+    pub pop: PopStats,
+    /// Best fitness ever observed (may exceed current population best under
+    /// non-elitist schemes).
+    pub best_ever: f64,
+}
+
+/// Result of a completed [`Ga::run`].
+#[derive(Clone, Debug)]
+pub struct RunResult<G> {
+    /// Best individual ever observed.
+    pub best: Individual<G>,
+    /// Generations completed.
+    pub generations: u64,
+    /// Fitness evaluations spent.
+    pub evaluations: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// `true` when the best fitness reaches the problem's known optimum.
+    pub hit_optimum: bool,
+    /// Per-generation history (only when enabled in the builder).
+    pub history: Vec<GenStats>,
+}
+
+impl<G> RunResult<G> {
+    /// Best fitness ever observed.
+    #[must_use]
+    pub fn best_fitness(&self) -> f64 {
+        self.best.fitness()
+    }
+}
+
+/// A sequential genetic algorithm over problem `P` with evaluator `E`.
+pub struct Ga<P: Problem, E: Evaluator<P> = SerialEvaluator> {
+    problem: Arc<P>,
+    evaluator: E,
+    selection: Box<dyn Selection<P::Genome>>,
+    crossover: Box<dyn Crossover<P::Genome>>,
+    mutation: Box<dyn Mutation<P::Genome>>,
+    scheme: Scheme,
+    crossover_rate: f64,
+    keep_history: bool,
+    rng: Rng64,
+    population: Population<P::Genome>,
+    generation: u64,
+    evaluations: u64,
+    best_ever: Individual<P::Genome>,
+    stagnant_generations: u64,
+}
+
+impl<P: Problem> Ga<P, SerialEvaluator> {
+    /// Starts configuring an engine for `problem`.
+    #[must_use]
+    pub fn builder(problem: P) -> GaBuilder<P, SerialEvaluator> {
+        GaBuilder::new(problem)
+    }
+}
+
+impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
+    /// The optimization direction of the underlying problem.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.problem.objective()
+    }
+
+    /// The shared problem instance.
+    #[must_use]
+    pub fn problem(&self) -> &Arc<P> {
+        &self.problem
+    }
+
+    /// Current population (always fully evaluated between steps).
+    #[must_use]
+    pub fn population(&self) -> &Population<P::Genome> {
+        &self.population
+    }
+
+    /// Generations completed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Fitness evaluations spent.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Best individual ever observed (elitism-independent).
+    #[must_use]
+    pub fn best_ever(&self) -> &Individual<P::Genome> {
+        &self.best_ever
+    }
+
+    /// Mutable access to the engine RNG (used by the island driver to keep
+    /// migration draws on the island's own stream).
+    pub fn rng_mut(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+
+    /// Advances one generation (generational scheme) or one generation
+    /// equivalent of `pop_size` offspring (steady-state scheme).
+    pub fn step(&mut self) -> GenStats {
+        match self.scheme {
+            Scheme::Generational { elitism } => self.step_generational(elitism),
+            Scheme::SteadyState { replacement } => {
+                let n = self.population.len();
+                self.step_steady_state(n, replacement)
+            }
+        }
+        self.generation += 1;
+        self.snapshot()
+    }
+
+    /// Runs until the termination rule fires. Returns an error if the rule
+    /// is unbounded.
+    pub fn run(&mut self, termination: &Termination) -> Result<RunResult<P::Genome>, ConfigError> {
+        if !termination.is_bounded() {
+            return Err(ConfigError::UnboundedTermination);
+        }
+        let start = Instant::now();
+        let mut history = Vec::new();
+        let stop = loop {
+            if let Some(reason) = termination.check(&self.progress(start.elapsed())) {
+                break reason;
+            }
+            let stats = self.step();
+            if self.keep_history {
+                history.push(stats);
+            }
+        };
+        Ok(RunResult {
+            best: self.best_ever.clone(),
+            generations: self.generation,
+            evaluations: self.evaluations,
+            stop,
+            elapsed: start.elapsed(),
+            hit_optimum: self.problem.is_optimal(self.best_ever.fitness()),
+            history,
+        })
+    }
+
+    /// Current progress snapshot for termination checks.
+    #[must_use]
+    pub fn progress(&self, elapsed: Duration) -> Progress {
+        Progress {
+            generations: self.generation,
+            evaluations: self.evaluations,
+            best_fitness: self.best_ever.fitness(),
+            best_is_optimal: self.problem.is_optimal(self.best_ever.fitness()),
+            stagnant_generations: self.stagnant_generations,
+            elapsed,
+            maximizing: self.problem.objective() == Objective::Maximize,
+        }
+    }
+
+    /// Clones the members at `indices` for emigration. Fitness travels with
+    /// the genome so the receiving island does not re-evaluate.
+    #[must_use]
+    pub fn clone_members(&self, indices: &[usize]) -> Vec<Individual<P::Genome>> {
+        indices
+            .iter()
+            .map(|&i| self.population.members()[i].clone())
+            .collect()
+    }
+
+    /// Inserts evaluated immigrants using `policy`; returns how many were
+    /// accepted. Used by the island driver at migration points.
+    pub fn receive_immigrants(
+        &mut self,
+        immigrants: Vec<Individual<P::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        let objective = self.problem.objective();
+        let mut accepted = 0;
+        for im in immigrants {
+            debug_assert!(im.is_evaluated(), "immigrants must carry fitness");
+            self.track_best(&im);
+            if policy
+                .insert(&mut self.population, im, objective, &mut self.rng)
+                .is_some()
+            {
+                accepted += 1;
+            }
+        }
+        accepted
+    }
+
+    /// One full generational step with elitism.
+    fn step_generational(&mut self, elitism: usize) {
+        let objective = self.problem.objective();
+        let n = self.population.len();
+        let elites: Vec<Individual<P::Genome>> = self
+            .population
+            .top_k_indices(objective, elitism)
+            .into_iter()
+            .map(|i| self.population.members()[i].clone())
+            .collect();
+
+        let offspring_needed = n - elites.len();
+        let parents =
+            self.selection
+                .select_many(&self.population, objective, offspring_needed + 1, &mut self.rng);
+        let mut next: Vec<Individual<P::Genome>> = Vec::with_capacity(n);
+        next.extend(elites);
+        let mut pi = 0;
+        while next.len() < n {
+            let a = &self.population[parents[pi % parents.len()]].genome;
+            let b = &self.population[parents[(pi + 1) % parents.len()]].genome;
+            pi += 2;
+            let (mut c, mut d) = if self.rng.chance(self.crossover_rate) {
+                self.crossover.crossover(a, b, &mut self.rng)
+            } else {
+                (a.clone(), b.clone())
+            };
+            self.mutation.mutate(&mut c, &mut self.rng);
+            next.push(Individual::unevaluated(c));
+            if next.len() < n {
+                self.mutation.mutate(&mut d, &mut self.rng);
+                next.push(Individual::unevaluated(d));
+            }
+        }
+        let mut next = Population::new(next);
+        self.evaluations += self
+            .evaluator
+            .evaluate_batch(&self.problem, next.members_mut());
+        self.population = next;
+        self.update_best_from_population();
+    }
+
+    /// `count` steady-state offspring insertions.
+    pub fn step_offspring(&mut self, count: usize) {
+        let replacement = match self.scheme {
+            Scheme::SteadyState { replacement } => replacement,
+            Scheme::Generational { .. } => ReplacementPolicy::WorstIfBetter,
+        };
+        self.step_steady_state(count, replacement);
+    }
+
+    fn step_steady_state(&mut self, count: usize, replacement: ReplacementPolicy) {
+        let objective = self.problem.objective();
+        let mut improved = false;
+        for _ in 0..count {
+            let pa = self.selection.select(&self.population, objective, &mut self.rng);
+            let pb = self.selection.select(&self.population, objective, &mut self.rng);
+            let (ga, gb) = (
+                &self.population[pa].genome,
+                &self.population[pb].genome,
+            );
+            let (mut child, _) = if self.rng.chance(self.crossover_rate) {
+                self.crossover.crossover(ga, gb, &mut self.rng)
+            } else {
+                (ga.clone(), gb.clone())
+            };
+            self.mutation.mutate(&mut child, &mut self.rng);
+            let mut child = Individual::unevaluated(child);
+            self.evaluations += self
+                .evaluator
+                .evaluate_batch(&self.problem, std::slice::from_mut(&mut child));
+            if objective.better(child.fitness(), self.best_ever.fitness()) {
+                self.best_ever = child.clone();
+                improved = true;
+            }
+            replacement.insert(&mut self.population, child, objective, &mut self.rng);
+        }
+        if improved {
+            self.stagnant_generations = 0;
+        } else {
+            self.stagnant_generations += 1;
+        }
+    }
+
+    fn update_best_from_population(&mut self) {
+        let objective = self.problem.objective();
+        let best = self.population.best(objective).clone();
+        if objective.better(best.fitness(), self.best_ever.fitness()) {
+            self.best_ever = best;
+            self.stagnant_generations = 0;
+        } else {
+            self.stagnant_generations += 1;
+        }
+    }
+
+    fn track_best(&mut self, candidate: &Individual<P::Genome>) {
+        if self
+            .problem
+            .objective()
+            .better(candidate.fitness(), self.best_ever.fitness())
+        {
+            self.best_ever = candidate.clone();
+            // Progress is progress regardless of its source: an improving
+            // immigrant must not count toward stagnation.
+            self.stagnant_generations = 0;
+        }
+    }
+
+    fn snapshot(&self) -> GenStats {
+        GenStats {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            pop: self.population.stats(self.problem.objective()),
+            best_ever: self.best_ever.fitness(),
+        }
+    }
+}
+
+/// Builder for [`Ga`]; see [`Ga::builder`].
+pub struct GaBuilder<P: Problem, E: Evaluator<P> = SerialEvaluator> {
+    problem: Arc<P>,
+    evaluator: E,
+    selection: Option<Box<dyn Selection<P::Genome>>>,
+    crossover: Option<Box<dyn Crossover<P::Genome>>>,
+    mutation: Option<Box<dyn Mutation<P::Genome>>>,
+    scheme: Scheme,
+    crossover_rate: f64,
+    pop_size: usize,
+    seed: u64,
+    keep_history: bool,
+}
+
+impl<P: Problem> GaBuilder<P, SerialEvaluator> {
+    /// Fresh builder with conventional defaults: population 100,
+    /// crossover rate 0.9, generational scheme with 1 elite, seed 0.
+    #[must_use]
+    pub fn new(problem: P) -> Self {
+        Self {
+            problem: Arc::new(problem),
+            evaluator: SerialEvaluator,
+            selection: None,
+            crossover: None,
+            mutation: None,
+            scheme: Scheme::Generational { elitism: 1 },
+            crossover_rate: 0.9,
+            pop_size: 100,
+            seed: 0,
+            keep_history: false,
+        }
+    }
+
+    /// Shares an existing `Arc`'d problem (used by island drivers so all
+    /// demes evaluate the same instance).
+    #[must_use]
+    pub fn from_shared(problem: Arc<P>) -> Self {
+        Self {
+            problem,
+            evaluator: SerialEvaluator,
+            selection: None,
+            crossover: None,
+            mutation: None,
+            scheme: Scheme::Generational { elitism: 1 },
+            crossover_rate: 0.9,
+            pop_size: 100,
+            seed: 0,
+            keep_history: false,
+        }
+    }
+}
+
+impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
+    /// Sets the RNG seed (the sole source of run randomness).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the population size (must be ≥ 2).
+    #[must_use]
+    pub fn pop_size(mut self, n: usize) -> Self {
+        self.pop_size = n;
+        self
+    }
+
+    /// Sets the probability that a selected pair undergoes crossover.
+    #[must_use]
+    pub fn crossover_rate(mut self, rate: f64) -> Self {
+        self.crossover_rate = rate;
+        self
+    }
+
+    /// Chooses the evolution scheme.
+    #[must_use]
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the parent-selection operator.
+    #[must_use]
+    pub fn selection(mut self, s: impl Selection<P::Genome> + 'static) -> Self {
+        self.selection = Some(Box::new(s));
+        self
+    }
+
+    /// Sets the crossover operator.
+    #[must_use]
+    pub fn crossover(mut self, c: impl Crossover<P::Genome> + 'static) -> Self {
+        self.crossover = Some(Box::new(c));
+        self
+    }
+
+    /// Sets the mutation operator.
+    #[must_use]
+    pub fn mutation(mut self, m: impl Mutation<P::Genome> + 'static) -> Self {
+        self.mutation = Some(Box::new(m));
+        self
+    }
+
+    /// Records per-generation statistics in the run result.
+    #[must_use]
+    pub fn keep_history(mut self, keep: bool) -> Self {
+        self.keep_history = keep;
+        self
+    }
+
+    /// Swaps in a different evaluation strategy (e.g. a rayon pool).
+    #[must_use]
+    pub fn evaluator<E2: Evaluator<P>>(self, evaluator: E2) -> GaBuilder<P, E2> {
+        GaBuilder {
+            problem: self.problem,
+            evaluator,
+            selection: self.selection,
+            crossover: self.crossover,
+            mutation: self.mutation,
+            scheme: self.scheme,
+            crossover_rate: self.crossover_rate,
+            pop_size: self.pop_size,
+            seed: self.seed,
+            keep_history: self.keep_history,
+        }
+    }
+
+    /// Validates the configuration, samples and evaluates the initial
+    /// population, and returns a ready engine.
+    pub fn build(self) -> Result<Ga<P, E>, ConfigError> {
+        if self.pop_size < 2 {
+            return Err(ConfigError::InvalidParameter {
+                name: "pop_size",
+                message: format!("must be >= 2, got {}", self.pop_size),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.crossover_rate) {
+            return Err(ConfigError::InvalidParameter {
+                name: "crossover_rate",
+                message: format!("must be in [0,1], got {}", self.crossover_rate),
+            });
+        }
+        if let Scheme::Generational { elitism } = self.scheme {
+            if elitism >= self.pop_size {
+                return Err(ConfigError::InvalidParameter {
+                    name: "elitism",
+                    message: format!("must be < pop_size, got {elitism}"),
+                });
+            }
+        }
+        let selection = self.selection.ok_or(ConfigError::MissingComponent("selection"))?;
+        let crossover = self.crossover.ok_or(ConfigError::MissingComponent("crossover"))?;
+        let mutation = self.mutation.ok_or(ConfigError::MissingComponent("mutation"))?;
+
+        let mut rng = Rng64::new(self.seed);
+        let members: Vec<Individual<P::Genome>> = (0..self.pop_size)
+            .map(|_| Individual::unevaluated(self.problem.random_genome(&mut rng)))
+            .collect();
+        let mut population = Population::new(members);
+        let evaluator = self.evaluator;
+        let evaluations = evaluator.evaluate_batch(&self.problem, population.members_mut());
+        let best_ever = population.best(self.problem.objective()).clone();
+
+        Ok(Ga {
+            problem: self.problem,
+            evaluator,
+            selection,
+            crossover,
+            mutation,
+            scheme: self.scheme,
+            crossover_rate: self.crossover_rate,
+            keep_history: self.keep_history,
+            rng,
+            population,
+            generation: 0,
+            evaluations,
+            best_ever,
+            stagnant_generations: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{BitFlip, OnePoint, Tournament};
+    use crate::repr::BitString;
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    fn onemax_ga(seed: u64, scheme: Scheme) -> Ga<OneMax> {
+        Ga::builder(OneMax(64))
+            .seed(seed)
+            .pop_size(60)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(64))
+            .scheme(scheme)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn build_errors() {
+        let e = Ga::builder(OneMax(8)).pop_size(1).build().err().unwrap();
+        assert!(matches!(e, ConfigError::InvalidParameter { name: "pop_size", .. }));
+
+        let e = Ga::builder(OneMax(8))
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .build()
+            .err()
+            .unwrap();
+        assert_eq!(e, ConfigError::MissingComponent("mutation"));
+
+        let e = Ga::builder(OneMax(8))
+            .crossover_rate(1.5)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip { p: 0.1 })
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(e, ConfigError::InvalidParameter { name: "crossover_rate", .. }));
+
+        let e = Ga::builder(OneMax(8))
+            .pop_size(10)
+            .scheme(Scheme::Generational { elitism: 10 })
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip { p: 0.1 })
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(e, ConfigError::InvalidParameter { name: "elitism", .. }));
+    }
+
+    #[test]
+    fn initial_population_is_evaluated() {
+        let ga = onemax_ga(3, Scheme::Generational { elitism: 1 });
+        assert!(ga.population().all_evaluated());
+        assert_eq!(ga.evaluations(), 60);
+        assert_eq!(ga.generation(), 0);
+    }
+
+    #[test]
+    fn generational_solves_onemax() {
+        let mut ga = onemax_ga(7, Scheme::Generational { elitism: 2 });
+        let result = ga
+            .run(&Termination::new().until_optimum().max_generations(500))
+            .unwrap();
+        assert!(result.hit_optimum, "best = {}", result.best_fitness());
+        assert_eq!(result.stop, StopReason::TargetReached);
+    }
+
+    #[test]
+    fn steady_state_solves_onemax() {
+        let mut ga = onemax_ga(
+            9,
+            Scheme::SteadyState {
+                replacement: ReplacementPolicy::WorstIfBetter,
+            },
+        );
+        let result = ga
+            .run(&Termination::new().until_optimum().max_generations(500))
+            .unwrap();
+        assert!(result.hit_optimum, "best = {}", result.best_fitness());
+    }
+
+    #[test]
+    fn elitism_never_loses_best() {
+        let mut ga = onemax_ga(11, Scheme::Generational { elitism: 1 });
+        let mut last_best = ga.best_ever().fitness();
+        for _ in 0..50 {
+            let s = ga.step();
+            assert!(s.pop.best >= last_best, "elite lost: {} -> {}", last_best, s.pop.best);
+            last_best = s.pop.best;
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let mut a = onemax_ga(42, Scheme::Generational { elitism: 1 });
+        let mut b = onemax_ga(42, Scheme::Generational { elitism: 1 });
+        for _ in 0..20 {
+            let (sa, sb) = (a.step(), b.step());
+            assert_eq!(sa.pop.best, sb.pop.best);
+            assert_eq!(sa.pop.mean, sb.pop.mean);
+            assert_eq!(sa.evaluations, sb.evaluations);
+        }
+    }
+
+    #[test]
+    fn different_seed_different_trajectory() {
+        let mut a = onemax_ga(1, Scheme::Generational { elitism: 1 });
+        let mut b = onemax_ga(2, Scheme::Generational { elitism: 1 });
+        let mut any_diff = false;
+        for _ in 0..10 {
+            if a.step().pop.mean != b.step().pop.mean {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff);
+    }
+
+    #[test]
+    fn run_requires_bounded_termination() {
+        let mut ga = onemax_ga(0, Scheme::Generational { elitism: 1 });
+        assert_eq!(
+            ga.run(&Termination::new()).err().unwrap(),
+            ConfigError::UnboundedTermination
+        );
+    }
+
+    #[test]
+    fn evaluation_budget_is_respected() {
+        let mut ga = onemax_ga(5, Scheme::Generational { elitism: 1 });
+        let result = ga.run(&Termination::new().max_evaluations(600)).unwrap();
+        assert_eq!(result.stop, StopReason::MaxEvaluations);
+        // One extra generation may complete after crossing the budget.
+        assert!(result.evaluations <= 600 + 60, "evals = {}", result.evaluations);
+    }
+
+    #[test]
+    fn history_is_captured_when_requested() {
+        let mut ga = Ga::builder(OneMax(32))
+            .seed(1)
+            .pop_size(20)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .keep_history(true)
+            .build()
+            .unwrap();
+        let result = ga.run(&Termination::new().max_generations(10)).unwrap();
+        assert_eq!(result.history.len(), 10);
+        assert_eq!(result.history[9].generation, 10);
+    }
+
+    #[test]
+    fn immigrants_enter_and_update_best() {
+        let mut ga = onemax_ga(13, Scheme::Generational { elitism: 1 });
+        let perfect = Individual::evaluated(BitString::ones(64), 64.0);
+        let accepted =
+            ga.receive_immigrants(vec![perfect], ReplacementPolicy::WorstIfBetter);
+        assert_eq!(accepted, 1);
+        assert_eq!(ga.best_ever().fitness(), 64.0);
+    }
+
+    #[test]
+    fn clone_members_preserves_fitness() {
+        let ga = onemax_ga(15, Scheme::Generational { elitism: 1 });
+        let obj = ga.objective();
+        let idx = ga.population().top_k_indices(obj, 3);
+        let out = ga.clone_members(&idx);
+        assert_eq!(out.len(), 3);
+        assert!(out.iter().all(|m| m.is_evaluated()));
+        assert_eq!(out[0].fitness(), ga.population().best(obj).fitness());
+    }
+}

@@ -1,0 +1,53 @@
+//! Configuration errors.
+
+use std::fmt;
+
+/// Errors raised when assembling an engine from a builder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A required component (selection/crossover/mutation) was not supplied.
+    MissingComponent(&'static str),
+    /// A numeric parameter is outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The termination rule has no criteria, which would loop forever.
+    UnboundedTermination,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingComponent(c) => write!(f, "missing required component: {c}"),
+            Self::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Self::UnboundedTermination => {
+                write!(f, "termination rule has no criteria; the run would never stop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ConfigError::MissingComponent("crossover")
+            .to_string()
+            .contains("crossover"));
+        let e = ConfigError::InvalidParameter {
+            name: "pop_size",
+            message: "must be >= 2".into(),
+        };
+        assert!(e.to_string().contains("pop_size"));
+        assert!(ConfigError::UnboundedTermination.to_string().contains("never stop"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Pluggable fitness evaluation.
+//!
+//! The *global* (master–slave) parallelization model of the survey touches a
+//! GA in exactly one place: how a batch of unevaluated individuals gets its
+//! fitness. Abstracting that point as [`Evaluator`] lets the same engine run
+//! serially, on a rayon pool (`pga-master-slave::RayonEvaluator`), or against
+//! the simulated cluster clock (`pga-master-slave::SimulatedMasterSlaveGa`,
+//! which wraps the engine) without changes to the evolution loop.
+
+use crate::individual::Individual;
+use crate::problem::Problem;
+
+/// Strategy for evaluating a batch of individuals.
+pub trait Evaluator<P: Problem>: Send + Sync {
+    /// Fills in fitness for every member lacking one; returns the number of
+    /// fresh evaluations performed.
+    fn evaluate_batch(&self, problem: &P, members: &mut [Individual<P::Genome>]) -> u64;
+
+    /// Evaluator name for harness tables.
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// Evaluates on the calling thread; the baseline for speedup measurements.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerialEvaluator;
+
+impl<P: Problem> Evaluator<P> for SerialEvaluator {
+    fn evaluate_batch(&self, problem: &P, members: &mut [Individual<P::Genome>]) -> u64 {
+        let mut count = 0;
+        for m in members {
+            if m.fitness.is_none() {
+                m.fitness = Some(problem.evaluate(&m.genome));
+                count += 1;
+            }
+        }
+        count
+    }
+
+    fn name(&self) -> &'static str {
+        "serial"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+    use crate::repr::BitString;
+    use crate::rng::Rng64;
+
+    struct Count;
+    impl Problem for Count {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "count".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(16, rng)
+        }
+    }
+
+    #[test]
+    fn only_unevaluated_members_cost_evaluations() {
+        let mut members = vec![
+            Individual::unevaluated(BitString::ones(16)),
+            Individual::evaluated(BitString::zeros(16), 0.0),
+            Individual::unevaluated(BitString::zeros(16)),
+        ];
+        let n = SerialEvaluator.evaluate_batch(&Count, &mut members);
+        assert_eq!(n, 2);
+        assert_eq!(members[0].fitness(), 16.0);
+        assert_eq!(members[2].fitness(), 0.0);
+        // Re-run costs nothing.
+        assert_eq!(SerialEvaluator.evaluate_batch(&Count, &mut members), 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! A genome paired with its (cached) fitness.
+
+/// One member of a population.
+///
+/// Fitness is `None` until an [`Evaluator`](crate::eval::Evaluator) fills it
+/// in; engines never evaluate the same genome twice. Migrants travel between
+/// islands as whole `Individual`s so their fitness survives the move.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Individual<G> {
+    /// The chromosome.
+    pub genome: G,
+    /// Cached fitness; `None` for freshly created offspring.
+    pub fitness: Option<f64>,
+}
+
+impl<G> Individual<G> {
+    /// A not-yet-evaluated individual.
+    #[must_use]
+    pub fn unevaluated(genome: G) -> Self {
+        Self {
+            genome,
+            fitness: None,
+        }
+    }
+
+    /// An individual with known fitness.
+    #[must_use]
+    pub fn evaluated(genome: G, fitness: f64) -> Self {
+        Self {
+            genome,
+            fitness: Some(fitness),
+        }
+    }
+
+    /// Cached fitness; panics when not yet evaluated.
+    ///
+    /// Engines uphold the invariant that selection and replacement only ever
+    /// see evaluated individuals, so a panic here is an engine bug rather
+    /// than a user error.
+    #[inline]
+    #[must_use]
+    pub fn fitness(&self) -> f64 {
+        self.fitness
+            .expect("individual used before fitness evaluation")
+    }
+
+    /// `true` once fitness is cached.
+    #[inline]
+    #[must_use]
+    pub fn is_evaluated(&self) -> bool {
+        self.fitness.is_some()
+    }
+
+    /// Clears the fitness cache (after in-place genome modification).
+    #[inline]
+    pub fn invalidate(&mut self) {
+        self.fitness = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut ind = Individual::unevaluated(vec![1.0, 2.0]);
+        assert!(!ind.is_evaluated());
+        ind.fitness = Some(3.5);
+        assert!(ind.is_evaluated());
+        assert_eq!(ind.fitness(), 3.5);
+        ind.invalidate();
+        assert!(!ind.is_evaluated());
+    }
+
+    #[test]
+    #[should_panic(expected = "before fitness evaluation")]
+    fn fitness_before_eval_panics() {
+        let _ = Individual::unevaluated(0u8).fitness();
+    }
+
+    #[test]
+    fn evaluated_constructor() {
+        let ind = Individual::evaluated(7u8, 1.0);
+        assert_eq!(ind.fitness(), 1.0);
+        assert_eq!(ind.genome, 7);
+    }
+}

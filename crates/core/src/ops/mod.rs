@@ -1,0 +1,21 @@
+//! Genetic operators: selection, crossover, mutation, replacement.
+//!
+//! Every operator takes its randomness from an explicit
+//! [`Rng64`](crate::rng::Rng64) so operator application is deterministic given the
+//! stream, and every operator is `Send + Sync` so shared configuration can be
+//! referenced from island/cellular worker threads.
+
+pub mod crossover;
+pub mod extra;
+pub mod mutation;
+pub mod replacement;
+pub mod selection;
+
+pub use crossover::{Arithmetic, BlxAlpha, Crossover, Cx, OnePoint, Ox, Pmx, Sbx, TwoPoint, Uniform};
+pub use extra::{AdaptiveGaussian, Boltzmann, ExponentialRank, Hux, NPoint};
+pub use mutation::{
+    BitFlip, GaussianMutation, Insertion, IntCreep, IntReset, Inversion, Mutation, NoMutation,
+    Polynomial, Scramble, Swap, UniformReset,
+};
+pub use replacement::ReplacementPolicy;
+pub use selection::{LinearRank, RandomSelection, Roulette, Selection, Sus, Tournament, Truncation};

@@ -1,0 +1,392 @@
+//! Parent-selection operators.
+//!
+//! All selectors work on any genome type: they only read cached fitness.
+//! Fitness-proportionate methods (roulette, SUS) convert raw fitness to
+//! non-negative selection weights via a worst-shift transform so they apply
+//! to minimization and to negative fitness ranges.
+
+use crate::population::Population;
+use crate::problem::Objective;
+use crate::repr::Genome;
+use crate::rng::Rng64;
+
+/// A parent-selection operator: picks one population index per call.
+pub trait Selection<G: Genome>: Send + Sync {
+    /// Selects the index of one parent.
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize;
+
+    /// Selects `count` parents. Sampling-without-replacement schemes (SUS)
+    /// override this; the default draws independently.
+    fn select_many(
+        &self,
+        pop: &Population<G>,
+        objective: Objective,
+        count: usize,
+        rng: &mut Rng64,
+    ) -> Vec<usize> {
+        (0..count).map(|_| self.select(pop, objective, rng)).collect()
+    }
+
+    /// Operator name for harness tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Converts raw fitness into non-negative weights where larger is better.
+///
+/// Weight of member `i` is `|f_i − f_worst| + span·1e-3 + tiny`, which keeps
+/// the worst member selectable with small probability (as in classic GA
+/// practice) and is invariant to fitness translation.
+fn proportional_weights<G: Genome>(pop: &Population<G>, objective: Objective) -> Vec<f64> {
+    let worst = pop.members()[pop.worst_index(objective)].fitness();
+    let best = pop.members()[pop.best_index(objective)].fitness();
+    let span = (best - worst).abs();
+    let floor = span * 1e-3 + 1e-12;
+    pop.members()
+        .iter()
+        .map(|m| (m.fitness() - worst).abs() + floor)
+        .collect()
+}
+
+fn weighted_pick(weights: &[f64], total: f64, mut target: f64) -> usize {
+    debug_assert!(total > 0.0);
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    weights.len() - 1 // floating-point tail
+}
+
+/// k-way tournament selection: the best of `k` uniform picks wins.
+///
+/// The workhorse selector of the surveyed literature; `k = 2` (binary
+/// tournament) is used by the cellular-pressure experiments (E05/E06).
+#[derive(Clone, Copy, Debug)]
+pub struct Tournament {
+    k: usize,
+}
+
+impl Tournament {
+    /// Tournament of size `k >= 1`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "tournament size must be >= 1");
+        Self { k }
+    }
+
+    /// Binary tournament (`k = 2`).
+    #[must_use]
+    pub fn binary() -> Self {
+        Self::new(2)
+    }
+}
+
+impl<G: Genome> Selection<G> for Tournament {
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
+        let n = pop.len();
+        assert!(n > 0, "selection from empty population");
+        let mut best = rng.below(n);
+        for _ in 1..self.k {
+            let c = rng.below(n);
+            if objective.better(pop[c].fitness(), pop[best].fitness()) {
+                best = c;
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+/// Roulette-wheel (fitness-proportionate) selection.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Roulette;
+
+impl<G: Genome> Selection<G> for Roulette {
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
+        let w = proportional_weights(pop, objective);
+        let total: f64 = w.iter().sum();
+        weighted_pick(&w, total, rng.next_f64() * total)
+    }
+
+    fn name(&self) -> &'static str {
+        "roulette"
+    }
+}
+
+/// Stochastic universal sampling: `count` equally spaced pointers over the
+/// roulette wheel, giving minimal spread (Baker 1987).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Sus;
+
+impl<G: Genome> Selection<G> for Sus {
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
+        // Single pick degenerates to roulette.
+        Roulette.select(pop, objective, rng)
+    }
+
+    fn select_many(
+        &self,
+        pop: &Population<G>,
+        objective: Objective,
+        count: usize,
+        rng: &mut Rng64,
+    ) -> Vec<usize> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let w = proportional_weights(pop, objective);
+        let total: f64 = w.iter().sum();
+        let step = total / count as f64;
+        let start = rng.next_f64() * step;
+        let mut out = Vec::with_capacity(count);
+        let mut cursor = 0usize;
+        let mut acc = w[0];
+        for j in 0..count {
+            let pointer = start + j as f64 * step;
+            while pointer >= acc && cursor + 1 < w.len() {
+                cursor += 1;
+                acc += w[cursor];
+            }
+            out.push(cursor);
+        }
+        // Baker's SUS prescribes shuffling the picks: the pointer sweep
+        // returns them in ascending population order, and consumers that
+        // mate consecutive picks (the generational engine) would otherwise
+        // self-mate every above-average individual.
+        rng.shuffle(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "sus"
+    }
+}
+
+/// Linear-ranking selection with selective pressure `sp ∈ [1, 2]`
+/// (Baker's formula: expected copies of best = `sp`, of worst = `2 − sp`).
+#[derive(Clone, Copy, Debug)]
+pub struct LinearRank {
+    sp: f64,
+}
+
+impl LinearRank {
+    /// Creates a ranking selector; panics unless `1.0 <= sp <= 2.0`.
+    #[must_use]
+    pub fn new(sp: f64) -> Self {
+        assert!((1.0..=2.0).contains(&sp), "rank pressure must be in [1,2]");
+        Self { sp }
+    }
+}
+
+impl<G: Genome> Selection<G> for LinearRank {
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
+        let n = pop.len();
+        assert!(n > 0, "selection from empty population");
+        if n == 1 {
+            return 0;
+        }
+        // ranked[0] = best … ranked[n-1] = worst.
+        let ranked = pop.top_k_indices(objective, n);
+        // Weight of rank r (0 = best): sp − 2(sp−1)·r/(n−1).
+        let weights: Vec<f64> = (0..n)
+            .map(|r| self.sp - 2.0 * (self.sp - 1.0) * r as f64 / (n - 1) as f64)
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let pick = weighted_pick(&weights, total, rng.next_f64() * total);
+        ranked[pick]
+    }
+
+    fn name(&self) -> &'static str {
+        "linear-rank"
+    }
+}
+
+/// Truncation selection: uniform pick among the best `fraction` of the
+/// population.
+#[derive(Clone, Copy, Debug)]
+pub struct Truncation {
+    fraction: f64,
+}
+
+impl Truncation {
+    /// Keeps the top `fraction ∈ (0, 1]` of the population.
+    #[must_use]
+    pub fn new(fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "truncation fraction must be in (0,1]"
+        );
+        Self { fraction }
+    }
+}
+
+impl<G: Genome> Selection<G> for Truncation {
+    fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
+        let n = pop.len();
+        assert!(n > 0, "selection from empty population");
+        let k = ((n as f64 * self.fraction).ceil() as usize).clamp(1, n);
+        let top = pop.top_k_indices(objective, k);
+        top[rng.below(k)]
+    }
+
+    fn name(&self) -> &'static str {
+        "truncation"
+    }
+}
+
+/// Uniform random selection (no selective pressure); the control arm of the
+/// selection-pressure experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RandomSelection;
+
+impl<G: Genome> Selection<G> for RandomSelection {
+    fn select(&self, pop: &Population<G>, _objective: Objective, rng: &mut Rng64) -> usize {
+        assert!(!pop.is_empty(), "selection from empty population");
+        rng.below(pop.len())
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::individual::Individual;
+
+    fn pop(fs: &[f64]) -> Population<Vec<f64>> {
+        Population::new(
+            fs.iter()
+                .map(|&f| Individual::evaluated(vec![f], f))
+                .collect(),
+        )
+    }
+
+    fn frequencies<S: Selection<Vec<f64>>>(
+        sel: &S,
+        fs: &[f64],
+        obj: Objective,
+        draws: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let p = pop(fs);
+        let mut rng = Rng64::new(seed);
+        let mut counts = vec![0usize; fs.len()];
+        for _ in 0..draws {
+            counts[sel.select(&p, obj, &mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn tournament_prefers_better_maximize() {
+        let f = frequencies(&Tournament::binary(), &[1.0, 2.0, 3.0], Objective::Maximize, 30_000, 1);
+        assert!(f[2] > f[1] && f[1] > f[0]);
+        // Binary tournament over 3 distinct: P(best) = 5/9 ≈ .5556
+        assert!((f[2] - 5.0 / 9.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn tournament_prefers_better_minimize() {
+        let f = frequencies(&Tournament::binary(), &[1.0, 2.0, 3.0], Objective::Minimize, 30_000, 2);
+        assert!(f[0] > f[1] && f[1] > f[2]);
+    }
+
+    #[test]
+    fn tournament_k1_is_uniform() {
+        let f = frequencies(&Tournament::new(1), &[1.0, 100.0], Objective::Maximize, 30_000, 3);
+        assert!((f[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn roulette_weights_follow_fitness() {
+        let f = frequencies(&Roulette, &[0.0, 1.0, 3.0], Objective::Maximize, 60_000, 4);
+        // Weights ≈ (floor, 1+floor, 3+floor) with small floor.
+        assert!(f[2] > f[1] && f[1] > f[0]);
+        assert!((f[2] - 0.75).abs() < 0.03, "f={f:?}");
+    }
+
+    #[test]
+    fn roulette_handles_minimize_and_negatives() {
+        let f = frequencies(&Roulette, &[-5.0, -1.0], Objective::Minimize, 30_000, 5);
+        assert!(f[0] > 0.9, "best-under-minimize should dominate: {f:?}");
+    }
+
+    #[test]
+    fn roulette_uniform_population_is_uniform() {
+        let f = frequencies(&Roulette, &[2.0, 2.0, 2.0], Objective::Maximize, 30_000, 6);
+        for x in f {
+            assert!((x - 1.0 / 3.0).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn sus_spread_is_minimal() {
+        // With equal weights and count == n, SUS must pick each exactly once.
+        let p = pop(&[1.0, 1.0, 1.0, 1.0]);
+        let mut rng = Rng64::new(7);
+        let picks = Sus.select_many(&p, Objective::Maximize, 4, &mut rng);
+        let mut sorted = picks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sus_expected_copies() {
+        // Member with 3x the weight of others should get ~3x the picks.
+        let p = pop(&[0.0, 0.0, 3.0, 0.0]);
+        let mut rng = Rng64::new(8);
+        let mut counts = [0usize; 4];
+        for _ in 0..4000 {
+            for i in Sus.select_many(&p, Objective::Maximize, 4, &mut rng) {
+                counts[i] += 1;
+            }
+        }
+        assert!(counts[2] > counts[0] * 2, "counts={counts:?}");
+    }
+
+    #[test]
+    fn linear_rank_pressure_bounds() {
+        let f = frequencies(&LinearRank::new(2.0), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 40_000, 9);
+        // sp=2: expected copies of best = 2/n, of worst = 0.
+        assert!((f[3] - 0.5).abs() < 0.02, "f={f:?}");
+        assert!(f[0] < 0.01);
+    }
+
+    #[test]
+    fn linear_rank_sp1_is_uniform() {
+        let f = frequencies(&LinearRank::new(1.0), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 40_000, 10);
+        for x in f {
+            assert!((x - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn truncation_only_picks_top() {
+        let f = frequencies(&Truncation::new(0.5), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 10_000, 11);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 0.0);
+        assert!(f[2] > 0.4 && f[3] > 0.4);
+    }
+
+    #[test]
+    fn random_selection_ignores_fitness() {
+        let f = frequencies(&RandomSelection, &[0.0, 1000.0], Objective::Maximize, 30_000, 12);
+        assert!((f[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn single_member_population() {
+        let p = pop(&[1.0]);
+        let mut rng = Rng64::new(13);
+        assert_eq!(Tournament::binary().select(&p, Objective::Maximize, &mut rng), 0);
+        assert_eq!(Roulette.select(&p, Objective::Maximize, &mut rng), 0);
+        assert_eq!(LinearRank::new(1.5).select(&p, Objective::Maximize, &mut rng), 0);
+        assert_eq!(Truncation::new(0.1).select(&p, Objective::Maximize, &mut rng), 0);
+    }
+}

@@ -1,0 +1,288 @@
+//! Populations and per-generation statistics.
+
+use crate::individual::Individual;
+use crate::problem::Objective;
+use crate::repr::{BitString, Genome};
+
+/// Summary statistics of an evaluated population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PopStats {
+    /// Best fitness under the objective.
+    pub best: f64,
+    /// Worst fitness under the objective.
+    pub worst: f64,
+    /// Mean fitness.
+    pub mean: f64,
+    /// Population standard deviation of fitness.
+    pub std_dev: f64,
+}
+
+/// An ordered collection of individuals.
+///
+/// The engine invariant is that all members are evaluated between steps;
+/// freshly created offspring are evaluated before they enter the population.
+#[derive(Clone, Debug)]
+pub struct Population<G> {
+    members: Vec<Individual<G>>,
+}
+
+impl<G: Genome> Population<G> {
+    /// Wraps a vector of individuals.
+    #[must_use]
+    pub fn new(members: Vec<Individual<G>>) -> Self {
+        Self { members }
+    }
+
+    /// An empty population.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            members: Vec::new(),
+        }
+    }
+
+    /// Member count.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no members exist.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Immutable member slice.
+    #[inline]
+    #[must_use]
+    pub fn members(&self) -> &[Individual<G>] {
+        &self.members
+    }
+
+    /// Mutable member slice.
+    #[inline]
+    pub fn members_mut(&mut self) -> &mut [Individual<G>] {
+        &mut self.members
+    }
+
+    /// Consumes the population, yielding its members.
+    #[must_use]
+    pub fn into_members(self) -> Vec<Individual<G>> {
+        self.members
+    }
+
+    /// Appends an individual.
+    pub fn push(&mut self, ind: Individual<G>) {
+        self.members.push(ind);
+    }
+
+    /// `true` when every member carries a cached fitness.
+    #[must_use]
+    pub fn all_evaluated(&self) -> bool {
+        self.members.iter().all(Individual::is_evaluated)
+    }
+
+    /// Index of the best member under `objective`. Panics on an empty or
+    /// unevaluated population.
+    #[must_use]
+    pub fn best_index(&self, objective: Objective) -> usize {
+        self.extreme_index(objective, true)
+    }
+
+    /// Index of the worst member under `objective`.
+    #[must_use]
+    pub fn worst_index(&self, objective: Objective) -> usize {
+        self.extreme_index(objective, false)
+    }
+
+    fn extreme_index(&self, objective: Objective, want_best: bool) -> usize {
+        assert!(!self.members.is_empty(), "empty population");
+        let mut idx = 0;
+        let mut val = self.members[0].fitness();
+        for (i, m) in self.members.iter().enumerate().skip(1) {
+            let f = m.fitness();
+            let beats = objective.better(f, val);
+            if beats == want_best && f != val {
+                idx = i;
+                val = f;
+            }
+        }
+        idx
+    }
+
+    /// Reference to the best member under `objective`.
+    #[must_use]
+    pub fn best(&self, objective: Objective) -> &Individual<G> {
+        &self.members[self.best_index(objective)]
+    }
+
+    /// Fitness summary statistics. Panics on an empty/unevaluated population.
+    #[must_use]
+    pub fn stats(&self, objective: Objective) -> PopStats {
+        assert!(!self.members.is_empty(), "empty population");
+        let n = self.members.len() as f64;
+        let mut best = self.members[0].fitness();
+        let mut worst = best;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for m in &self.members {
+            let f = m.fitness();
+            if objective.better(f, best) {
+                best = f;
+            }
+            if objective.better(worst, f) {
+                worst = f;
+            }
+            sum += f;
+            sumsq += f * f;
+        }
+        let mean = sum / n;
+        let var = (sumsq / n - mean * mean).max(0.0);
+        PopStats {
+            best,
+            worst,
+            mean,
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Indices of the `k` best members (best first). `k` is clamped to the
+    /// population size.
+    #[must_use]
+    pub fn top_k_indices(&self, objective: Objective, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.members.len()).collect();
+        // NaN fitness ranks worst (consistent with `Objective::better`,
+        // which never prefers NaN) instead of inheriting total_cmp's
+        // NaN-above-infinity ordering.
+        let key = |f: f64| if f.is_nan() { objective.worst_value() } else { f };
+        idx.sort_by(|&a, &b| {
+            let fa = key(self.members[a].fitness());
+            let fb = key(self.members[b].fitness());
+            match objective {
+                Objective::Maximize => fb.total_cmp(&fa),
+                Objective::Minimize => fa.total_cmp(&fb),
+            }
+        });
+        idx.truncate(k.min(self.members.len()));
+        idx
+    }
+}
+
+impl Population<BitString> {
+    /// Mean pairwise-independent diversity estimate for binary populations:
+    /// average, over loci, of `2·p·(1−p)` where `p` is the frequency of ones
+    /// at that locus. Ranges from 0 (converged) to 0.5 (maximal diversity).
+    #[must_use]
+    pub fn bit_diversity(&self) -> f64 {
+        if self.members.is_empty() {
+            return 0.0;
+        }
+        let len = self.members[0].genome.len();
+        if len == 0 {
+            return 0.0;
+        }
+        let n = self.members.len() as f64;
+        let mut acc = 0.0;
+        for locus in 0..len {
+            let ones = self
+                .members
+                .iter()
+                .filter(|m| m.genome.get(locus))
+                .count() as f64;
+            let p = ones / n;
+            acc += 2.0 * p * (1.0 - p);
+        }
+        acc / len as f64
+    }
+}
+
+impl<G: Genome> std::ops::Index<usize> for Population<G> {
+    type Output = Individual<G>;
+    fn index(&self, i: usize) -> &Individual<G> {
+        &self.members[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(fs: &[f64]) -> Population<Vec<f64>> {
+        Population::new(
+            fs.iter()
+                .map(|&f| Individual::evaluated(vec![f], f))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn best_worst_maximize() {
+        let p = pop(&[1.0, 5.0, 3.0]);
+        assert_eq!(p.best_index(Objective::Maximize), 1);
+        assert_eq!(p.worst_index(Objective::Maximize), 0);
+    }
+
+    #[test]
+    fn best_worst_minimize() {
+        let p = pop(&[1.0, 5.0, 3.0]);
+        assert_eq!(p.best_index(Objective::Minimize), 0);
+        assert_eq!(p.worst_index(Objective::Minimize), 1);
+    }
+
+    #[test]
+    fn first_extreme_wins_ties() {
+        let p = pop(&[2.0, 2.0, 1.0]);
+        assert_eq!(p.best_index(Objective::Maximize), 0);
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let p = pop(&[1.0, 2.0, 3.0, 4.0]);
+        let s = p.stats(Objective::Maximize);
+        assert_eq!(s.best, 4.0);
+        assert_eq!(s.worst, 1.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_k_sorted() {
+        let p = pop(&[1.0, 5.0, 3.0, 4.0]);
+        assert_eq!(p.top_k_indices(Objective::Maximize, 2), vec![1, 3]);
+        assert_eq!(p.top_k_indices(Objective::Minimize, 3), vec![0, 2, 3]);
+        assert_eq!(p.top_k_indices(Objective::Minimize, 99).len(), 4);
+    }
+
+    #[test]
+    fn bit_diversity_extremes() {
+        use crate::repr::BitString;
+        let converged = Population::new(vec![
+            Individual::evaluated(BitString::ones(32), 1.0);
+            8
+        ]);
+        assert_eq!(converged.bit_diversity(), 0.0);
+
+        let mut members = Vec::new();
+        for i in 0..8 {
+            let g = if i % 2 == 0 {
+                BitString::ones(32)
+            } else {
+                BitString::zeros(32)
+            };
+            members.push(Individual::evaluated(g, 0.0));
+        }
+        let diverse = Population::new(members);
+        assert!((diverse.bit_diversity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_evaluated_flag() {
+        let mut p = pop(&[1.0]);
+        assert!(p.all_evaluated());
+        p.push(Individual::unevaluated(vec![0.0]));
+        assert!(!p.all_evaluated());
+    }
+}

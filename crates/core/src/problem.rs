@@ -1,0 +1,181 @@
+//! The fitness-function abstraction shared by every engine in the workspace.
+
+use crate::repr::Genome;
+use crate::rng::Rng64;
+
+/// Optimization direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Larger fitness is better (OneMax, traps, efficacy-style scores).
+    Maximize,
+    /// Smaller fitness is better (Rastrigin, tour length, makespan).
+    Minimize,
+}
+
+impl Objective {
+    /// `true` when `a` is strictly better than `b` under this objective.
+    #[inline]
+    #[must_use]
+    pub fn better(self, a: f64, b: f64) -> bool {
+        match self {
+            Self::Maximize => a > b,
+            Self::Minimize => a < b,
+        }
+    }
+
+    /// `true` when `a` is at least as good as `b`.
+    #[inline]
+    #[must_use]
+    pub fn better_or_equal(self, a: f64, b: f64) -> bool {
+        match self {
+            Self::Maximize => a >= b,
+            Self::Minimize => a <= b,
+        }
+    }
+
+    /// The better of two fitness values.
+    #[inline]
+    #[must_use]
+    pub fn best(self, a: f64, b: f64) -> f64 {
+        if self.better(a, b) {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// The worst representable fitness under this objective, used to seed
+    /// running-best accumulators.
+    #[inline]
+    #[must_use]
+    pub fn worst_value(self) -> f64 {
+        match self {
+            Self::Maximize => f64::NEG_INFINITY,
+            Self::Minimize => f64::INFINITY,
+        }
+    }
+}
+
+/// An optimization problem: genome sampling plus a (deterministic) fitness
+/// function.
+///
+/// Implementations must be `Send + Sync` so a single shared instance can be
+/// evaluated concurrently by the master–slave evaluator or by island threads.
+/// Fitness must be a pure function of the genome: all engines cache it.
+pub trait Problem: Send + Sync + 'static {
+    /// Chromosome encoding this problem is defined over.
+    type Genome: Genome;
+
+    /// Human-readable name used by the experiment harness tables.
+    fn name(&self) -> String;
+
+    /// Whether fitness is maximized or minimized.
+    fn objective(&self) -> Objective;
+
+    /// Evaluates one genome. Must be deterministic and thread-safe.
+    fn evaluate(&self, genome: &Self::Genome) -> f64;
+
+    /// Samples a uniform random genome from the feasible space.
+    fn random_genome(&self, rng: &mut Rng64) -> Self::Genome;
+
+    /// Known global optimum fitness, when the instance has one. Engines use
+    /// it for target-fitness termination and the harness for efficacy (hit
+    /// rate) measurement.
+    fn optimum(&self) -> Option<f64> {
+        None
+    }
+
+    /// Absolute tolerance when comparing against [`Problem::optimum`].
+    fn optimum_epsilon(&self) -> f64 {
+        1e-9
+    }
+
+    /// `true` when `fitness` reaches the known optimum within tolerance.
+    fn is_optimal(&self, fitness: f64) -> bool {
+        match self.optimum() {
+            None => false,
+            Some(opt) => match self.objective() {
+                Objective::Maximize => fitness >= opt - self.optimum_epsilon(),
+                Objective::Minimize => fitness <= opt + self.optimum_epsilon(),
+            },
+        }
+    }
+}
+
+/// Blanket access through shared pointers so engines can hold `Arc<P>`.
+impl<P: Problem + ?Sized> Problem for std::sync::Arc<P> {
+    type Genome = P::Genome;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn objective(&self) -> Objective {
+        (**self).objective()
+    }
+    fn evaluate(&self, genome: &Self::Genome) -> f64 {
+        (**self).evaluate(genome)
+    }
+    fn random_genome(&self, rng: &mut Rng64) -> Self::Genome {
+        (**self).random_genome(rng)
+    }
+    fn optimum(&self) -> Option<f64> {
+        (**self).optimum()
+    }
+    fn optimum_epsilon(&self) -> f64 {
+        (**self).optimum_epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::BitString;
+
+    #[test]
+    fn objective_comparisons() {
+        assert!(Objective::Maximize.better(2.0, 1.0));
+        assert!(!Objective::Maximize.better(1.0, 1.0));
+        assert!(Objective::Minimize.better(1.0, 2.0));
+        assert!(Objective::Maximize.better_or_equal(1.0, 1.0));
+        assert_eq!(Objective::Minimize.best(3.0, 4.0), 3.0);
+        assert_eq!(Objective::Maximize.worst_value(), f64::NEG_INFINITY);
+    }
+
+    struct Toy;
+    impl Problem for Toy {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "toy".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(8, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(8.0)
+        }
+    }
+
+    #[test]
+    fn is_optimal_with_tolerance() {
+        let p = Toy;
+        assert!(p.is_optimal(8.0));
+        assert!(p.is_optimal(8.0 - 1e-12));
+        assert!(!p.is_optimal(7.5));
+    }
+
+    #[test]
+    fn arc_problem_forwards() {
+        let p = std::sync::Arc::new(Toy);
+        let mut rng = Rng64::new(0);
+        let g = p.random_genome(&mut rng);
+        assert_eq!(p.evaluate(&g), g.count_ones() as f64);
+        assert_eq!(p.optimum(), Some(8.0));
+        assert_eq!(p.name(), "toy");
+    }
+}

@@ -1,0 +1,302 @@
+//! Packed binary chromosomes.
+
+use crate::rng::Rng64;
+use std::fmt;
+
+/// A fixed-length binary string packed into 64-bit words.
+///
+/// Packing makes the hot paths of binary GAs — `count_ones` for OneMax-style
+/// fitness, Hamming distance for diversity metrics, and whole-word crossover —
+/// run at word speed instead of byte speed, which matters when a cellular GA
+/// touches every individual every generation.
+///
+/// Bits beyond `len` inside the last word are maintained as zero by every
+/// operation (the *canonical form* invariant); `count_ones` and equality rely
+/// on it.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitString {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitString {
+    /// All-zero string of `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// All-one string of `len` bits.
+    #[must_use]
+    pub fn ones(len: usize) -> Self {
+        let mut s = Self::zeros(len);
+        for i in 0..s.words.len() {
+            s.words[i] = u64::MAX;
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Uniformly random string of `len` bits.
+    #[must_use]
+    pub fn random(len: usize, rng: &mut Rng64) -> Self {
+        let mut s = Self::zeros(len);
+        for w in &mut s.words {
+            *w = rng.next_u64();
+        }
+        s.mask_tail();
+        s
+    }
+
+    /// Builds from an iterator of bits; length is the iterator length.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        let mut s = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            s.set(i, b);
+        }
+        s
+    }
+
+    /// Number of bits.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the string has zero bits.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`. Panics if out of range.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Writes bit `i`. Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Population count (number of one bits).
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another string of the same length.
+    #[must_use]
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "hamming: length mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterator over bits, LSB-first.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Decodes `count` unsigned integers of `bits_each` bits (LSB-first
+    /// within each field). Used by binary-encoded numeric problems.
+    /// Panics if `count * bits_each > len` or `bits_each > 64` or `bits_each == 0`.
+    #[must_use]
+    pub fn decode_uints(&self, bits_each: usize, count: usize) -> Vec<u64> {
+        assert!(bits_each > 0 && bits_each <= 64);
+        assert!(bits_each * count <= self.len, "decode overruns bit string");
+        (0..count)
+            .map(|field| {
+                let base = field * bits_each;
+                let mut v = 0u64;
+                for b in 0..bits_each {
+                    if self.get(base + b) {
+                        v |= 1 << b;
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Copies bits `[from, to)` of `src` into the same positions of `self`.
+    /// Both strings must share the same length. Used by crossover operators.
+    pub fn copy_range_from(&mut self, src: &Self, from: usize, to: usize) {
+        assert_eq!(self.len, src.len, "copy_range_from: length mismatch");
+        assert!(from <= to && to <= self.len, "bad range {from}..{to}");
+        // Word-aligned fast path with partial-word masks at both ends.
+        let mut i = from;
+        while i < to {
+            let word = i / 64;
+            let bit = i % 64;
+            let span = (64 - bit).min(to - i);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.words[word] = (self.words[word] & !mask) | (src.words[word] & mask);
+            i += span;
+        }
+    }
+
+    /// Clears the unused high bits of the final word (canonical form).
+    fn mask_tail(&mut self) {
+        let used = self.len % 64;
+        if used != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << used) - 1;
+            }
+        }
+        if self.len == 0 {
+            self.words.clear();
+        }
+    }
+
+    /// Verifies the canonical-form invariant (test helper; cheap).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn tail_is_canonical(&self) -> bool {
+        let used = self.len % 64;
+        if used == 0 {
+            return true;
+        }
+        match self.words.last() {
+            Some(last) => last & !((1u64 << used) - 1) == 0,
+            None => self.len == 0,
+        }
+    }
+}
+
+impl fmt::Debug for BitString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitString(\"")?;
+        for b in self.iter().take(64) {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "\", len={})", self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitString::zeros(130);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 130);
+        let o = BitString::ones(130);
+        assert_eq!(o.count_ones(), 130);
+        assert!(o.tail_is_canonical());
+    }
+
+    #[test]
+    fn get_set_flip_roundtrip() {
+        let mut s = BitString::zeros(100);
+        s.set(0, true);
+        s.set(63, true);
+        s.set(64, true);
+        s.set(99, true);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(99));
+        assert_eq!(s.count_ones(), 4);
+        s.flip(63);
+        assert!(!s.get(63));
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.tail_is_canonical());
+    }
+
+    #[test]
+    fn random_is_roughly_half_ones() {
+        let mut rng = Rng64::new(1);
+        let s = BitString::random(10_000, &mut rng);
+        let ones = s.count_ones();
+        assert!((4500..5500).contains(&ones), "ones = {ones}");
+        assert!(s.tail_is_canonical());
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = BitString::zeros(70);
+        let b = BitString::ones(70);
+        assert_eq!(a.hamming(&b), 70);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = [true, false, true, true, false];
+        let s = BitString::from_bits(bits);
+        assert_eq!(s.iter().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn decode_uints_lsb_first() {
+        // Fields of 4 bits: 0b0011 = 3, 0b0100 = 4.
+        let s = BitString::from_bits([
+            true, true, false, false, // 3
+            false, false, true, false, // 4
+        ]);
+        assert_eq!(s.decode_uints(4, 2), vec![3, 4]);
+    }
+
+    #[test]
+    fn copy_range_word_spanning() {
+        let mut rng = Rng64::new(5);
+        for (from, to) in [(0, 200), (3, 130), (60, 70), (64, 128), (10, 10), (199, 200)] {
+            let a = BitString::random(200, &mut rng);
+            let b = BitString::random(200, &mut rng);
+            let mut c = a.clone();
+            c.copy_range_from(&b, from, to);
+            for i in 0..200 {
+                let expect = if (from..to).contains(&i) { b.get(i) } else { a.get(i) };
+                assert_eq!(c.get(i), expect, "bit {i} for range {from}..{to}");
+            }
+            assert!(c.tail_is_canonical());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let _ = BitString::zeros(10).get(10);
+    }
+
+    #[test]
+    fn empty_string_is_fine() {
+        let s = BitString::zeros(0);
+        assert!(s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert!(s.tail_is_canonical());
+    }
+}

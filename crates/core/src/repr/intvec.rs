@@ -1,0 +1,129 @@
+//! Bounded integer-vector chromosomes.
+
+use crate::rng::Rng64;
+
+/// An integer-valued chromosome with per-genome inclusive bounds.
+///
+/// Every gene lives in `[lo, hi]` (shared by all genes); the reset-mutation
+/// and uniform-crossover operators preserve this invariant. Used by discrete
+/// design-variable problems (reactor-style parameter grids, schedule
+/// priorities).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct IntVector {
+    values: Vec<i64>,
+    lo: i64,
+    hi: i64,
+}
+
+impl IntVector {
+    /// Wraps values with inclusive bounds; panics if any value is outside
+    /// `[lo, hi]` or if `lo > hi`.
+    #[must_use]
+    pub fn new(values: Vec<i64>, lo: i64, hi: i64) -> Self {
+        assert!(lo <= hi, "IntVector: lo={lo} > hi={hi}");
+        assert!(
+            values.iter().all(|v| (lo..=hi).contains(v)),
+            "IntVector: value outside [{lo}, {hi}]"
+        );
+        Self { values, lo, hi }
+    }
+
+    /// Uniformly random vector of `len` genes in `[lo, hi]`.
+    #[must_use]
+    pub fn random(len: usize, lo: i64, hi: i64, rng: &mut Rng64) -> Self {
+        assert!(lo <= hi, "IntVector: lo={lo} > hi={hi}");
+        let span = (hi - lo) as u64 + 1;
+        let values = (0..len)
+            .map(|_| lo + (rng.next_u64() % span) as i64)
+            .collect();
+        Self { values, lo, hi }
+    }
+
+    /// Gene count.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when there are no genes.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable gene slice.
+    #[inline]
+    #[must_use]
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// Inclusive bounds shared by all genes.
+    #[inline]
+    #[must_use]
+    pub fn bounds(&self) -> (i64, i64) {
+        (self.lo, self.hi)
+    }
+
+    /// Sets gene `i`, clamping into bounds.
+    #[inline]
+    pub fn set_clamped(&mut self, i: usize, v: i64) {
+        self.values[i] = v.clamp(self.lo, self.hi);
+    }
+
+    /// Resets gene `i` to a uniform random value in bounds.
+    #[inline]
+    pub fn reset_gene(&mut self, i: usize, rng: &mut Rng64) {
+        let span = (self.hi - self.lo) as u64 + 1;
+        self.values[i] = self.lo + (rng.next_u64() % span) as i64;
+    }
+
+    /// `true` when every gene is inside the bounds (invariant check).
+    #[must_use]
+    pub fn in_bounds(&self) -> bool {
+        self.values.iter().all(|v| (self.lo..=self.hi).contains(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_respects_bounds() {
+        let mut rng = Rng64::new(8);
+        let v = IntVector::random(1000, -3, 7, &mut rng);
+        assert!(v.in_bounds());
+        assert_eq!(v.len(), 1000);
+        // All values in range should eventually appear.
+        for target in -3..=7 {
+            assert!(v.values().contains(&target), "missing {target}");
+        }
+    }
+
+    #[test]
+    fn set_clamped_clamps() {
+        let mut v = IntVector::new(vec![0, 0], -1, 1);
+        v.set_clamped(0, 100);
+        v.set_clamped(1, -100);
+        assert_eq!(v.values(), &[1, -1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn new_rejects_out_of_bounds() {
+        let _ = IntVector::new(vec![5], 0, 4);
+    }
+
+    #[test]
+    fn reset_gene_stays_in_bounds() {
+        let mut rng = Rng64::new(9);
+        let mut v = IntVector::new(vec![2; 10], 2, 3);
+        for i in 0..10 {
+            v.reset_gene(i, &mut rng);
+        }
+        assert!(v.in_bounds());
+    }
+}

@@ -1,0 +1,37 @@
+//! Genome representations.
+//!
+//! The survey (§1.1) notes that chromosomes are "mostly represented as a
+//! binary string [… but] there are more strings which are not necessarily of
+//! a binary type". This module provides the four encodings exercised by the
+//! surveyed literature:
+//!
+//! * [`BitString`] — packed binary strings (OneMax, traps, NK, MAXSAT, …);
+//! * [`RealVector`] — bounded real vectors (Rastrigin, ARGA-style aerodynamic
+//!   and spectral-estimation parameters);
+//! * [`IntVector`] — bounded integer vectors (parameter grids, reactor-style
+//!   discrete design variables);
+//! * [`Permutation`] — permutations (TSP, scheduling).
+
+mod bitstring;
+mod intvec;
+mod permutation;
+mod realvec;
+
+pub use bitstring::BitString;
+pub use intvec::IntVector;
+pub use permutation::Permutation;
+pub use realvec::{Bounds, RealVector};
+
+/// Marker trait for chromosome types.
+///
+/// A genome must be cheaply cloneable and sendable across threads: the island
+/// engine moves genomes between demes through channels, and the master–slave
+/// engine evaluates them on a rayon pool.
+pub trait Genome: Clone + Send + Sync + 'static {}
+
+impl Genome for BitString {}
+impl Genome for RealVector {}
+impl Genome for IntVector {}
+impl Genome for Permutation {}
+impl Genome for Vec<f64> {}
+impl Genome for Vec<u8> {}

@@ -1,0 +1,164 @@
+//! Permutation chromosomes.
+
+use crate::rng::Rng64;
+
+/// A permutation of `0..n`, used by ordering problems (TSP, scheduling).
+///
+/// The *closure* invariant — every value in `0..n` appears exactly once — is
+/// enforced at construction and preserved by the permutation operators (PMX,
+/// OX, CX crossover; swap/insert/inversion/scramble mutation). Property tests
+/// in `pga-core::ops` verify closure for every operator.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Permutation {
+    order: Vec<u32>,
+}
+
+impl Permutation {
+    /// Identity permutation `0, 1, …, n-1`.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        Self {
+            order: (0..n as u32).collect(),
+        }
+    }
+
+    /// Uniformly random permutation of `0..n`.
+    #[must_use]
+    pub fn random(n: usize, rng: &mut Rng64) -> Self {
+        let mut p = Self::identity(n);
+        rng.shuffle(&mut p.order);
+        p
+    }
+
+    /// Wraps an explicit ordering; panics if it is not a permutation of `0..n`.
+    #[must_use]
+    pub fn new(order: Vec<u32>) -> Self {
+        let p = Self { order };
+        assert!(p.is_valid(), "not a permutation of 0..n");
+        p
+    }
+
+    /// Element count.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the empty permutation.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The ordering as a slice.
+    #[inline]
+    #[must_use]
+    pub fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Mutable access for operators; callers must preserve the closure
+    /// invariant (checked in debug builds via [`Permutation::is_valid`]).
+    #[inline]
+    pub fn order_mut(&mut self) -> &mut [u32] {
+        &mut self.order
+    }
+
+    /// Position of `value` within the ordering, or `None`.
+    #[must_use]
+    pub fn position_of(&self, value: u32) -> Option<usize> {
+        self.order.iter().position(|&v| v == value)
+    }
+
+    /// Inverse lookup table: `inv[v] = i` such that `order[i] == v`.
+    #[must_use]
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.order.len()];
+        for (i, &v) in self.order.iter().enumerate() {
+            inv[v as usize] = i as u32;
+        }
+        inv
+    }
+
+    /// Checks the closure invariant: each of `0..n` appears exactly once.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let n = self.order.len();
+        let mut seen = vec![false; n];
+        for &v in &self.order {
+            let v = v as usize;
+            if v >= n || seen[v] {
+                return false;
+            }
+            seen[v] = true;
+        }
+        true
+    }
+
+    /// Number of positions at which two equal-length permutations differ.
+    #[must_use]
+    pub fn mismatch_distance(&self, other: &Self) -> usize {
+        assert_eq!(self.len(), other.len(), "mismatch_distance: length");
+        self.order
+            .iter()
+            .zip(&other.order)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_valid() {
+        let p = Permutation::identity(10);
+        assert!(p.is_valid());
+        assert_eq!(p.order()[3], 3);
+    }
+
+    #[test]
+    fn random_is_valid_permutation() {
+        let mut rng = Rng64::new(13);
+        for n in [0, 1, 2, 10, 257] {
+            let p = Permutation::random(n, &mut rng);
+            assert!(p.is_valid(), "n={n}");
+            assert_eq!(p.len(), n);
+        }
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let mut rng = Rng64::new(14);
+        let p = Permutation::random(50, &mut rng);
+        let inv = p.inverse();
+        for (i, &v) in p.order().iter().enumerate() {
+            assert_eq!(inv[v as usize] as usize, i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn new_rejects_duplicates() {
+        let _ = Permutation::new(vec![0, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn new_rejects_out_of_range() {
+        let _ = Permutation::new(vec![0, 3]);
+    }
+
+    #[test]
+    fn position_and_mismatch() {
+        let a = Permutation::new(vec![2, 0, 1]);
+        let b = Permutation::new(vec![2, 1, 0]);
+        assert_eq!(a.position_of(0), Some(1));
+        assert_eq!(a.position_of(5), None);
+        assert_eq!(a.mismatch_distance(&b), 2);
+        assert_eq!(a.mismatch_distance(&a), 0);
+    }
+}

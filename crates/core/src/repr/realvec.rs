@@ -1,0 +1,209 @@
+//! Bounded real-vector chromosomes.
+
+use crate::rng::Rng64;
+
+/// Box constraints for a [`RealVector`] genome.
+///
+/// Either one `(lo, hi)` interval shared by all dimensions, or one interval
+/// per dimension. Real-coded operators (`BlxAlpha`, `SbxCrossover`,
+/// `GaussianMutation`, …) clamp their offspring through [`Bounds::clamp`],
+/// so every genome that flows through the engine stays feasible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Bounds {
+    /// The same `[lo, hi]` interval for every dimension.
+    Uniform {
+        /// Lower bound shared by all dimensions.
+        lo: f64,
+        /// Upper bound shared by all dimensions.
+        hi: f64,
+        /// Dimension count.
+        dim: usize,
+    },
+    /// An explicit `[lo, hi]` interval per dimension.
+    PerDim(Vec<(f64, f64)>),
+}
+
+impl Bounds {
+    /// Uniform bounds shared by all `dim` dimensions. Panics if `lo > hi`.
+    #[must_use]
+    pub fn uniform(lo: f64, hi: f64, dim: usize) -> Self {
+        assert!(lo <= hi, "Bounds::uniform: lo={lo} > hi={hi}");
+        Self::Uniform { lo, hi, dim }
+    }
+
+    /// Per-dimension bounds. Panics on any inverted interval.
+    #[must_use]
+    pub fn per_dim(intervals: Vec<(f64, f64)>) -> Self {
+        for &(lo, hi) in &intervals {
+            assert!(lo <= hi, "Bounds::per_dim: lo={lo} > hi={hi}");
+        }
+        Self::PerDim(intervals)
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        match self {
+            Self::Uniform { dim, .. } => *dim,
+            Self::PerDim(v) => v.len(),
+        }
+    }
+
+    /// Interval for dimension `i`.
+    #[inline]
+    #[must_use]
+    pub fn interval(&self, i: usize) -> (f64, f64) {
+        match self {
+            Self::Uniform { lo, hi, dim } => {
+                assert!(i < *dim, "dimension {i} out of range {dim}");
+                (*lo, *hi)
+            }
+            Self::PerDim(v) => v[i],
+        }
+    }
+
+    /// Clamps `x` into dimension `i`'s interval.
+    #[inline]
+    #[must_use]
+    pub fn clamp(&self, i: usize, x: f64) -> f64 {
+        let (lo, hi) = self.interval(i);
+        x.clamp(lo, hi)
+    }
+
+    /// `true` if `v` lies within the box (and has the right dimension).
+    #[must_use]
+    pub fn contains(&self, v: &RealVector) -> bool {
+        v.len() == self.dim()
+            && v.values()
+                .iter()
+                .enumerate()
+                .all(|(i, &x)| {
+                    let (lo, hi) = self.interval(i);
+                    (lo..=hi).contains(&x)
+                })
+    }
+
+    /// Samples a uniform point inside the box.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Rng64) -> RealVector {
+        let values = (0..self.dim())
+            .map(|i| {
+                let (lo, hi) = self.interval(i);
+                rng.range_f64(lo, hi)
+            })
+            .collect();
+        RealVector::new(values)
+    }
+}
+
+/// A real-valued chromosome (one `f64` gene per dimension).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RealVector {
+    values: Vec<f64>,
+}
+
+impl RealVector {
+    /// Wraps a vector of gene values.
+    #[must_use]
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// Dimension count.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when zero-dimensional.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable gene slice.
+    #[inline]
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable gene slice.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Euclidean distance to another vector of equal dimension.
+    #[must_use]
+    pub fn distance(&self, other: &Self) -> f64 {
+        assert_eq!(self.len(), other.len(), "distance: dimension mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl From<Vec<f64>> for RealVector {
+    fn from(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl std::ops::Index<usize> for RealVector {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bounds_sample_and_contain() {
+        let b = Bounds::uniform(-5.12, 5.12, 30);
+        let mut rng = Rng64::new(4);
+        for _ in 0..100 {
+            let v = b.sample(&mut rng);
+            assert_eq!(v.len(), 30);
+            assert!(b.contains(&v));
+        }
+    }
+
+    #[test]
+    fn per_dim_bounds() {
+        let b = Bounds::per_dim(vec![(0.0, 1.0), (-10.0, 10.0)]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.interval(1), (-10.0, 10.0));
+        assert_eq!(b.clamp(0, 3.0), 1.0);
+        assert_eq!(b.clamp(1, 3.0), 3.0);
+    }
+
+    #[test]
+    fn contains_rejects_wrong_dim_and_out_of_box() {
+        let b = Bounds::uniform(0.0, 1.0, 3);
+        assert!(!b.contains(&RealVector::new(vec![0.5, 0.5])));
+        assert!(!b.contains(&RealVector::new(vec![0.5, 0.5, 1.5])));
+        assert!(b.contains(&RealVector::new(vec![0.0, 0.5, 1.0])));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo=1 > hi=0")]
+    fn inverted_interval_panics() {
+        let _ = Bounds::uniform(1.0, 0.0, 2);
+    }
+
+    #[test]
+    fn distance() {
+        let a = RealVector::new(vec![0.0, 0.0]);
+        let b = RealVector::new(vec![3.0, 4.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Stopping criteria for evolution runs.
+
+use std::time::Duration;
+
+/// Why a run stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// Generation budget exhausted.
+    MaxGenerations,
+    /// Evaluation budget exhausted.
+    MaxEvaluations,
+    /// The target fitness (usually the known optimum) was reached.
+    TargetReached,
+    /// The best fitness did not improve for the configured window.
+    Stagnation,
+    /// The wall-clock budget expired.
+    WallClock,
+}
+
+/// A conjunction-free stopping rule: the run stops as soon as *any*
+/// configured criterion fires.
+///
+/// ```
+/// use pga_core::termination::Termination;
+/// let t = Termination::new().max_generations(500).max_evaluations(100_000);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Termination {
+    max_generations: Option<u64>,
+    max_evaluations: Option<u64>,
+    /// Stop when the problem reports `is_optimal(best)`.
+    stop_at_optimum: bool,
+    target_fitness: Option<f64>,
+    max_stagnant_generations: Option<u64>,
+    wall_clock: Option<Duration>,
+}
+
+/// Snapshot of run progress handed to [`Termination::check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Progress {
+    /// Generations completed so far.
+    pub generations: u64,
+    /// Fitness evaluations spent so far.
+    pub evaluations: u64,
+    /// Best fitness seen so far.
+    pub best_fitness: f64,
+    /// `true` when the problem reports the best fitness as optimal.
+    pub best_is_optimal: bool,
+    /// Generations since the best fitness last improved.
+    pub stagnant_generations: u64,
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
+    /// `true` when the objective is maximization (for target comparison).
+    pub maximizing: bool,
+}
+
+impl Termination {
+    /// A rule with no criteria; [`Termination::check`] never fires until at
+    /// least one criterion is added. Engines refuse to run with an empty
+    /// rule to avoid accidental infinite loops.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stop after `n` generations.
+    #[must_use]
+    pub fn max_generations(mut self, n: u64) -> Self {
+        self.max_generations = Some(n);
+        self
+    }
+
+    /// Stop after `n` fitness evaluations.
+    #[must_use]
+    pub fn max_evaluations(mut self, n: u64) -> Self {
+        self.max_evaluations = Some(n);
+        self
+    }
+
+    /// Stop once the problem's known optimum is reached.
+    #[must_use]
+    pub fn until_optimum(mut self) -> Self {
+        self.stop_at_optimum = true;
+        self
+    }
+
+    /// Stop once best fitness reaches `target` (≥ for maximize, ≤ for
+    /// minimize).
+    #[must_use]
+    pub fn target_fitness(mut self, target: f64) -> Self {
+        self.target_fitness = Some(target);
+        self
+    }
+
+    /// Stop after `n` generations without best-fitness improvement.
+    #[must_use]
+    pub fn max_stagnation(mut self, n: u64) -> Self {
+        self.max_stagnant_generations = Some(n);
+        self
+    }
+
+    /// Stop after the given wall-clock duration.
+    #[must_use]
+    pub fn wall_clock(mut self, limit: Duration) -> Self {
+        self.wall_clock = Some(limit);
+        self
+    }
+
+    /// `true` when at least one criterion that is *guaranteed to fire* is
+    /// configured. `until_optimum`/`target_fitness` alone do not bound a
+    /// run — the target may never be reached — so engines refuse to run on
+    /// them without a budget alongside.
+    #[must_use]
+    pub fn is_bounded(&self) -> bool {
+        self.max_generations.is_some()
+            || self.max_evaluations.is_some()
+            || self.max_stagnant_generations.is_some()
+            || self.wall_clock.is_some()
+    }
+
+    /// Evaluates the rule against the current progress.
+    #[must_use]
+    pub fn check(&self, p: &Progress) -> Option<StopReason> {
+        if self.stop_at_optimum && p.best_is_optimal {
+            return Some(StopReason::TargetReached);
+        }
+        if let Some(target) = self.target_fitness {
+            let reached = if p.maximizing {
+                p.best_fitness >= target
+            } else {
+                p.best_fitness <= target
+            };
+            if reached {
+                return Some(StopReason::TargetReached);
+            }
+        }
+        if let Some(n) = self.max_generations {
+            if p.generations >= n {
+                return Some(StopReason::MaxGenerations);
+            }
+        }
+        if let Some(n) = self.max_evaluations {
+            if p.evaluations >= n {
+                return Some(StopReason::MaxEvaluations);
+            }
+        }
+        if let Some(n) = self.max_stagnant_generations {
+            if p.stagnant_generations >= n {
+                return Some(StopReason::Stagnation);
+            }
+        }
+        if let Some(limit) = self.wall_clock {
+            if p.elapsed >= limit {
+                return Some(StopReason::WallClock);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress() -> Progress {
+        Progress {
+            generations: 10,
+            evaluations: 1000,
+            best_fitness: 5.0,
+            best_is_optimal: false,
+            stagnant_generations: 3,
+            elapsed: Duration::from_millis(50),
+            maximizing: true,
+        }
+    }
+
+    #[test]
+    fn empty_rule_never_fires_and_is_unbounded() {
+        let t = Termination::new();
+        assert!(!t.is_bounded());
+        assert_eq!(t.check(&progress()), None);
+    }
+
+    #[test]
+    fn generation_budget() {
+        let t = Termination::new().max_generations(10);
+        assert_eq!(t.check(&progress()), Some(StopReason::MaxGenerations));
+        let t = Termination::new().max_generations(11);
+        assert_eq!(t.check(&progress()), None);
+    }
+
+    #[test]
+    fn target_fitness_respects_direction() {
+        let mut p = progress();
+        let t = Termination::new().target_fitness(5.0);
+        assert_eq!(t.check(&p), Some(StopReason::TargetReached));
+        p.maximizing = false;
+        p.best_fitness = 5.1;
+        assert_eq!(t.check(&p), None);
+        p.best_fitness = 4.9;
+        assert_eq!(t.check(&p), Some(StopReason::TargetReached));
+    }
+
+    #[test]
+    fn optimum_beats_other_reasons() {
+        let mut p = progress();
+        p.best_is_optimal = true;
+        let t = Termination::new().max_generations(1).until_optimum();
+        assert_eq!(t.check(&p), Some(StopReason::TargetReached));
+    }
+
+    #[test]
+    fn stagnation_and_wall_clock() {
+        let t = Termination::new().max_stagnation(3);
+        assert_eq!(t.check(&progress()), Some(StopReason::Stagnation));
+        let t = Termination::new().wall_clock(Duration::from_millis(10));
+        assert_eq!(t.check(&progress()), Some(StopReason::WallClock));
+    }
+}

@@ -1,0 +1,273 @@
+//! Multi-fidelity problem abstraction.
+
+use pga_core::rng::splitmix64;
+use pga_core::{Objective, Problem, RealVector, Rng64};
+use std::sync::Arc;
+
+/// A problem evaluable at several fidelity levels.
+///
+/// Level 0 is the *precise* model (the real objective); higher levels are
+/// cheaper approximations. Costs are relative to one level-0 evaluation.
+pub trait FidelityProblem: Problem {
+    /// Number of fidelity levels (≥ 1).
+    fn levels(&self) -> usize;
+
+    /// Evaluates at a given level; level 0 must equal
+    /// [`Problem::evaluate`].
+    fn evaluate_at(&self, genome: &Self::Genome, level: usize) -> f64;
+
+    /// Relative cost of one evaluation at `level` (level 0 costs 1.0).
+    fn cost(&self, level: usize) -> f64;
+}
+
+/// Wraps a real-vector problem with deterministic "blur" per level.
+///
+/// Level `l > 0` adds a smooth pseudo-random perturbation with amplitude
+/// `amplitude · l` (a deterministic function of the genome, so the
+/// approximate models are consistent landscapes, not noise), and costs
+/// `cost_ratio^-l`. This mimics coarse-mesh solvers: cheaper, same broad
+/// shape, wrong in detail.
+pub struct BlurredFidelity<P> {
+    inner: P,
+    levels: usize,
+    amplitude: f64,
+    cost_ratio: f64,
+}
+
+impl<P: Problem<Genome = RealVector>> BlurredFidelity<P> {
+    /// `levels` fidelity levels over `inner`, with per-level blur
+    /// `amplitude` and per-level cost reduction `cost_ratio` (e.g. 4.0 ⇒
+    /// level 1 costs 1/4, level 2 costs 1/16).
+    #[must_use]
+    pub fn new(inner: P, levels: usize, amplitude: f64, cost_ratio: f64) -> Self {
+        assert!(levels >= 1, "need at least one level");
+        assert!(cost_ratio >= 1.0, "cost ratio must be >= 1");
+        assert!(amplitude >= 0.0, "amplitude must be non-negative");
+        Self {
+            inner,
+            levels,
+            amplitude,
+            cost_ratio,
+        }
+    }
+
+    /// Deterministic smooth perturbation for a genome at a level.
+    fn blur(&self, genome: &RealVector, level: usize) -> f64 {
+        if level == 0 || self.amplitude == 0.0 {
+            return 0.0;
+        }
+        // Hash the coarse-grid cell of the genome so nearby points share
+        // their perturbation (smoothness) while distant points differ.
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (level as u64).wrapping_mul(0x100_0000_01b3);
+        for &x in genome.values() {
+            let cell = (x * 4.0).floor() as i64 as u64;
+            let mut s = h ^ cell;
+            h = splitmix64(&mut s);
+        }
+        let unit = (h >> 11) as f64 / (1u64 << 53) as f64; // [0,1)
+        self.amplitude * level as f64 * (2.0 * unit - 1.0)
+    }
+}
+
+impl<P: Problem<Genome = RealVector>> Problem for BlurredFidelity<P> {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("{}@{}levels", self.inner.name(), self.levels)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn evaluate(&self, genome: &RealVector) -> f64 {
+        self.inner.evaluate(genome)
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.inner.random_genome(rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        self.inner.optimum()
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        self.inner.optimum_epsilon()
+    }
+}
+
+impl<P: Problem<Genome = RealVector>> FidelityProblem for BlurredFidelity<P> {
+    fn levels(&self) -> usize {
+        self.levels
+    }
+
+    fn evaluate_at(&self, genome: &RealVector, level: usize) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        self.inner.evaluate(genome) + self.blur(genome, level)
+    }
+
+    fn cost(&self, level: usize) -> f64 {
+        assert!(level < self.levels, "level {level} out of range");
+        self.cost_ratio.powi(-(level as i32))
+    }
+}
+
+/// Adapter presenting one fidelity level of a shared [`FidelityProblem`]
+/// as an ordinary [`Problem`], so any engine can run on it unchanged.
+pub struct LevelView<F> {
+    problem: Arc<F>,
+    level: usize,
+}
+
+impl<F: FidelityProblem> LevelView<F> {
+    /// A view of `problem` at `level`.
+    #[must_use]
+    pub fn new(problem: Arc<F>, level: usize) -> Self {
+        assert!(level < problem.levels(), "level out of range");
+        Self { problem, level }
+    }
+
+    /// The viewed level.
+    #[must_use]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Relative cost of one evaluation through this view.
+    #[must_use]
+    pub fn cost(&self) -> f64 {
+        self.problem.cost(self.level)
+    }
+
+    /// The underlying shared problem.
+    #[must_use]
+    pub fn shared(&self) -> &Arc<F> {
+        &self.problem
+    }
+}
+
+impl<F: FidelityProblem> Problem for LevelView<F> {
+    type Genome = F::Genome;
+
+    fn name(&self) -> String {
+        format!("{}#L{}", self.problem.name(), self.level)
+    }
+
+    fn objective(&self) -> Objective {
+        self.problem.objective()
+    }
+
+    fn evaluate(&self, genome: &Self::Genome) -> f64 {
+        self.problem.evaluate_at(genome, self.level)
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> Self::Genome {
+        self.problem.random_genome(rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        // Only the precise level can claim the true optimum.
+        if self.level == 0 {
+            self.problem.optimum()
+        } else {
+            None
+        }
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        self.problem.optimum_epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::Bounds;
+
+    struct Sphere(Bounds);
+    impl Problem for Sphere {
+        type Genome = RealVector;
+        fn name(&self) -> String {
+            "sphere".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Minimize
+        }
+        fn evaluate(&self, g: &RealVector) -> f64 {
+            g.values().iter().map(|x| x * x).sum()
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+            self.0.sample(rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(0.0)
+        }
+        fn optimum_epsilon(&self) -> f64 {
+            1e-2
+        }
+    }
+
+    fn blurred() -> BlurredFidelity<Sphere> {
+        BlurredFidelity::new(Sphere(Bounds::uniform(-5.0, 5.0, 4)), 3, 0.5, 4.0)
+    }
+
+    #[test]
+    fn level_zero_is_exact() {
+        let p = blurred();
+        let g = RealVector::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.evaluate_at(&g, 0), 5.0);
+        assert_eq!(p.evaluate(&g), 5.0);
+    }
+
+    #[test]
+    fn higher_levels_are_blurred_but_bounded() {
+        let p = blurred();
+        let g = RealVector::new(vec![1.0, 2.0, 0.0, 0.0]);
+        let exact = p.evaluate_at(&g, 0);
+        for level in 1..3 {
+            let approx = p.evaluate_at(&g, level);
+            let err = (approx - exact).abs();
+            assert!(err <= 0.5 * level as f64 + 1e-12, "level {level} err {err}");
+        }
+    }
+
+    #[test]
+    fn blur_is_deterministic_and_locally_smooth() {
+        let p = blurred();
+        let a = RealVector::new(vec![1.0, 1.0, 1.0, 1.0]);
+        let b = RealVector::new(vec![1.01, 1.0, 1.0, 1.0]); // same coarse cell
+        let fa = p.evaluate_at(&a, 2) - p.evaluate_at(&a, 0);
+        let fb = p.evaluate_at(&b, 2) - p.evaluate_at(&b, 0);
+        assert_eq!(fa, fb, "same cell must share the perturbation");
+        assert_eq!(p.evaluate_at(&a, 2), p.evaluate_at(&a, 2));
+    }
+
+    #[test]
+    fn costs_fall_geometrically() {
+        let p = blurred();
+        assert_eq!(p.cost(0), 1.0);
+        assert!((p.cost(1) - 0.25).abs() < 1e-12);
+        assert!((p.cost(2) - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn level_view_delegates() {
+        let p = Arc::new(blurred());
+        let v0 = LevelView::new(Arc::clone(&p), 0);
+        let v2 = LevelView::new(Arc::clone(&p), 2);
+        let g = RealVector::new(vec![0.5; 4]);
+        assert_eq!(v0.evaluate(&g), p.evaluate_at(&g, 0));
+        assert_eq!(v2.evaluate(&g), p.evaluate_at(&g, 2));
+        assert_eq!(v0.optimum(), Some(0.0));
+        assert_eq!(v2.optimum(), None);
+        assert!((v2.cost() - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_level_panics() {
+        let p = Arc::new(blurred());
+        let _ = LevelView::new(p, 3);
+    }
+}

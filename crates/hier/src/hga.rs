@@ -1,0 +1,368 @@
+//! The hierarchical (multi-layer, multi-fidelity) island engine.
+
+use crate::fidelity::{FidelityProblem, LevelView};
+use pga_core::ops::ReplacementPolicy;
+use pga_core::{Ga, Individual, Problem, SerialEvaluator};
+use std::sync::Arc;
+
+/// Shape and schedule of a hierarchy.
+#[derive(Clone, Debug)]
+pub struct HgaConfig {
+    /// Islands per layer, root layer first — e.g. `[1, 2, 4]` is Sefrioui &
+    /// Périaux's 3-layer binary tree. Layer 0 evaluates the precise model;
+    /// layer `l` evaluates fidelity level `min(l, levels-1)`.
+    pub layer_widths: Vec<usize>,
+    /// Generations each island evolves between migrations.
+    pub epoch_generations: u64,
+    /// Individuals promoted to the parent (and sent down to each child) per
+    /// epoch.
+    pub promote_count: usize,
+}
+
+impl Default for HgaConfig {
+    fn default() -> Self {
+        Self {
+            layer_widths: vec![1, 2, 4],
+            epoch_generations: 10,
+            promote_count: 2,
+        }
+    }
+}
+
+/// Progress point: cumulative cost vs best precise fitness.
+#[derive(Clone, Copy, Debug)]
+pub struct CostPoint {
+    /// Cost units spent so far (1.0 = one precise evaluation).
+    pub cost_units: f64,
+    /// Best fitness found on the precise (level-0) model so far.
+    pub best_precise: f64,
+}
+
+/// Result of an HGA run.
+#[derive(Clone, Debug)]
+pub struct HgaReport<G> {
+    /// Best individual on the precise model.
+    pub best: Individual<G>,
+    /// Total cost units spent (precise-evaluation equivalents).
+    pub cost_units: f64,
+    /// Epochs completed.
+    pub epochs: u64,
+    /// `true` when the precise optimum was reached.
+    pub hit_optimum: bool,
+    /// Per-epoch cost/quality trajectory.
+    pub trajectory: Vec<CostPoint>,
+}
+
+/// A tree of islands over fidelity levels.
+pub struct Hga<F: FidelityProblem> {
+    problem: Arc<F>,
+    islands: Vec<Ga<LevelView<F>, SerialEvaluator>>,
+    layer_of: Vec<usize>,
+    parent_of: Vec<Option<usize>>,
+    config: HgaConfig,
+    cost_units: f64,
+    /// Evaluations already charged per island.
+    charged: Vec<u64>,
+}
+
+impl<F: FidelityProblem> Hga<F> {
+    /// Assembles the hierarchy. `build_island` configures one engine for a
+    /// given fidelity view and seed (operators, population size, scheme).
+    ///
+    /// # Panics
+    /// Panics if the config has no layers or zero-width layers.
+    #[must_use]
+    pub fn new(
+        problem: Arc<F>,
+        config: HgaConfig,
+        base_seed: u64,
+        mut build_island: impl FnMut(LevelView<F>, u64) -> Ga<LevelView<F>, SerialEvaluator>,
+    ) -> Self {
+        assert!(!config.layer_widths.is_empty(), "need at least one layer");
+        assert!(
+            config.layer_widths.iter().all(|&w| w > 0),
+            "layers must be non-empty"
+        );
+        assert!(config.promote_count > 0, "promote_count must be > 0");
+        let mut islands = Vec::new();
+        let mut layer_of = Vec::new();
+        let mut parent_of: Vec<Option<usize>> = Vec::new();
+        let mut layer_start = Vec::new();
+        let max_level = problem.levels() - 1;
+        let mut seed = base_seed;
+        for (layer, &width) in config.layer_widths.iter().enumerate() {
+            layer_start.push(islands.len());
+            let level = layer.min(max_level);
+            for j in 0..width {
+                let view = LevelView::new(Arc::clone(&problem), level);
+                islands.push(build_island(view, seed));
+                seed = seed.wrapping_add(1);
+                layer_of.push(layer);
+                parent_of.push(if layer == 0 {
+                    None
+                } else {
+                    // Children map onto parents round-robin by position.
+                    let pw = config.layer_widths[layer - 1];
+                    Some(layer_start[layer - 1] + j % pw)
+                });
+            }
+        }
+        let charged = islands.iter().map(Ga::evaluations).collect::<Vec<_>>();
+        // Charge initial populations.
+        let mut cost_units = 0.0;
+        for (i, isl) in islands.iter().enumerate() {
+            cost_units += charged[i] as f64 * isl.problem().cost();
+        }
+        Self {
+            problem,
+            islands,
+            layer_of,
+            parent_of,
+            config,
+            cost_units,
+            charged,
+        }
+    }
+
+    /// Cost units spent so far.
+    #[must_use]
+    pub fn cost_units(&self) -> f64 {
+        self.cost_units
+    }
+
+    /// Island count across all layers.
+    #[must_use]
+    pub fn island_count(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// Best individual among the precise (layer-0) islands.
+    #[must_use]
+    pub fn best_precise(&self) -> Individual<F::Genome> {
+        let objective = self.problem.objective();
+        let mut best: Option<&Individual<F::Genome>> = None;
+        for (i, isl) in self.islands.iter().enumerate() {
+            if self.layer_of[i] != 0 {
+                continue;
+            }
+            let cand = isl.best_ever();
+            if best.is_none()
+                || objective.better(cand.fitness(), best.expect("set").fitness())
+            {
+                best = Some(cand);
+            }
+        }
+        best.expect("layer 0 is non-empty").clone()
+    }
+
+    fn charge_new_evals(&mut self) {
+        for i in 0..self.islands.len() {
+            let now = self.islands[i].evaluations();
+            let fresh = now - self.charged[i];
+            if fresh > 0 {
+                self.cost_units += fresh as f64 * self.islands[i].problem().cost();
+                self.charged[i] = now;
+            }
+        }
+    }
+
+    /// One epoch: evolve every island, then migrate up (re-evaluating at the
+    /// parent's fidelity) and down.
+    pub fn epoch(&mut self) {
+        for isl in &mut self.islands {
+            for _ in 0..self.config.epoch_generations {
+                isl.step();
+            }
+        }
+        self.charge_new_evals();
+
+        let objective = self.problem.objective();
+        let promote = self.config.promote_count;
+
+        // Collect upward and downward transfers first (genomes only),
+        // then apply — transfers within one epoch see pre-migration state.
+        let mut transfers: Vec<(usize, Vec<F::Genome>)> = Vec::new();
+        for i in 0..self.islands.len() {
+            if let Some(parent) = self.parent_of[i] {
+                // Up: the child's best genomes.
+                let top = self.islands[i]
+                    .population()
+                    .top_k_indices(objective, promote);
+                let genomes = top
+                    .into_iter()
+                    .map(|k| self.islands[i].population()[k].genome.clone())
+                    .collect();
+                transfers.push((parent, genomes));
+                // Down: random parent members to keep the child exploring.
+                let mut rng = self.islands[parent].rng_mut().clone();
+                let picks =
+                    rng.sample_distinct(self.islands[parent].population().len(), promote);
+                *self.islands[parent].rng_mut() = rng;
+                let genomes_down = picks
+                    .into_iter()
+                    .map(|k| self.islands[parent].population()[k].genome.clone())
+                    .collect();
+                transfers.push((i, genomes_down));
+            }
+        }
+
+        for (dst, genomes) in transfers {
+            let view = Arc::clone(self.islands[dst].problem());
+            let immigrants: Vec<Individual<F::Genome>> = genomes
+                .into_iter()
+                .map(|g| {
+                    // Re-evaluate at the destination fidelity: fitness is
+                    // level-dependent and must not leak across layers.
+                    let fitness = view.evaluate(&g);
+                    self.cost_units += view.cost();
+                    Individual::evaluated(g, fitness)
+                })
+                .collect();
+            self.islands[dst].receive_immigrants(immigrants, ReplacementPolicy::WorstIfBetter);
+        }
+    }
+
+    /// Runs until the precise optimum is hit or `max_cost_units` is spent.
+    #[must_use]
+    pub fn run(mut self, max_cost_units: f64) -> HgaReport<F::Genome> {
+        let mut trajectory = vec![CostPoint {
+            cost_units: self.cost_units,
+            best_precise: self.best_precise().fitness(),
+        }];
+        let mut epochs = 0u64;
+        while self.cost_units < max_cost_units {
+            let best = self.best_precise();
+            if self.problem.is_optimal(best.fitness()) {
+                break;
+            }
+            self.epoch();
+            epochs += 1;
+            trajectory.push(CostPoint {
+                cost_units: self.cost_units,
+                best_precise: self.best_precise().fitness(),
+            });
+        }
+        let best = self.best_precise();
+        HgaReport {
+            hit_optimum: self.problem.is_optimal(best.fitness()),
+            best,
+            cost_units: self.cost_units,
+            epochs,
+            trajectory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::BlurredFidelity;
+    use pga_core::ops::{BlxAlpha, GaussianMutation, Tournament};
+    use pga_core::{Bounds, Objective, Problem, RealVector, Rng64, Scheme};
+
+    struct Sphere(Bounds);
+    impl Problem for Sphere {
+        type Genome = RealVector;
+        fn name(&self) -> String {
+            "sphere".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Minimize
+        }
+        fn evaluate(&self, g: &RealVector) -> f64 {
+            g.values().iter().map(|x| x * x).sum()
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+            self.0.sample(rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(0.0)
+        }
+        fn optimum_epsilon(&self) -> f64 {
+            1e-2
+        }
+    }
+
+    fn build(view: LevelView<BlurredFidelity<Sphere>>, seed: u64)
+        -> Ga<LevelView<BlurredFidelity<Sphere>>, SerialEvaluator>
+    {
+        let bounds = Bounds::uniform(-5.0, 5.0, 6);
+        pga_core::GaBuilder::new(view)
+            .seed(seed)
+            .pop_size(24)
+            .selection(Tournament::binary())
+            .crossover(BlxAlpha::new(bounds.clone()))
+            .mutation(GaussianMutation {
+                p: 0.2,
+                sigma: 0.3,
+                bounds,
+            })
+            .scheme(Scheme::Generational { elitism: 1 })
+            .build()
+            .unwrap()
+    }
+
+    fn hga(amplitude: f64, cost_ratio: f64, seed: u64) -> Hga<BlurredFidelity<Sphere>> {
+        let problem = Arc::new(BlurredFidelity::new(
+            Sphere(Bounds::uniform(-5.0, 5.0, 6)),
+            3,
+            amplitude,
+            cost_ratio,
+        ));
+        Hga::new(problem, HgaConfig::default(), seed, build)
+    }
+
+    #[test]
+    fn hierarchy_shape() {
+        let h = hga(0.3, 4.0, 1);
+        assert_eq!(h.island_count(), 7);
+        assert_eq!(h.layer_of, vec![0, 1, 1, 2, 2, 2, 2]);
+        assert_eq!(h.parent_of[0], None);
+        assert_eq!(h.parent_of[1], Some(0));
+        assert_eq!(h.parent_of[2], Some(0));
+        assert_eq!(h.parent_of[3], Some(1));
+        assert_eq!(h.parent_of[4], Some(2));
+    }
+
+    #[test]
+    fn initial_cost_accounts_fidelity() {
+        // 24 individuals/island; 1 island at cost 1, 2 at 1/4, 4 at 1/16.
+        let h = hga(0.3, 4.0, 2);
+        let expected = 24.0 * (1.0 + 2.0 * 0.25 + 4.0 * 0.0625);
+        assert!((h.cost_units() - expected).abs() < 1e-9, "{}", h.cost_units());
+    }
+
+    #[test]
+    fn hga_improves_precise_best() {
+        let report = hga(0.3, 4.0, 3).run(4_000.0);
+        assert!(report.best.fitness() < 0.5, "best = {}", report.best.fitness());
+        assert!(report.epochs > 0);
+        // Trajectory is monotone in cost and non-worsening in quality.
+        for w in report.trajectory.windows(2) {
+            assert!(w[1].cost_units >= w[0].cost_units);
+            assert!(w[1].best_precise <= w[0].best_precise + 1e-12);
+        }
+    }
+
+    #[test]
+    fn cheap_layers_make_progress_cheaper() {
+        // Same architecture; the all-precise variant pays cost 1 per
+        // evaluation everywhere (cost_ratio = 1).
+        let budget = 2_500.0;
+        let multi = hga(0.3, 4.0, 10).run(budget);
+        let precise_only = hga(0.0, 1.0, 10).run(budget);
+        // Both should improve, but the multi-fidelity run gets far more
+        // evolution per cost unit and should be at least as good.
+        assert!(multi.best.fitness() <= precise_only.best.fitness() + 0.1,
+            "multi {} vs precise {}", multi.best.fitness(), precise_only.best.fitness());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = hga(0.3, 4.0, 5).run(1_000.0);
+        let b = hga(0.3, 4.0, 5).run(1_000.0);
+        assert_eq!(a.best.fitness(), b.best.fitness());
+        assert_eq!(a.cost_units, b.cost_units);
+        assert_eq!(a.epochs, b.epochs);
+    }
+}

@@ -1,0 +1,24 @@
+//! # pga-hierarchical
+//!
+//! The Hierarchical Genetic Algorithm of Sefrioui & Périaux (PPSN 2000):
+//! a multi-layered tree of islands where each layer evaluates a *model of
+//! different fidelity*. The bottom layers explore cheaply on coarse models;
+//! promising individuals migrate up, being re-evaluated at higher fidelity,
+//! until the precise (expensive) top layer refines them. The surveyed claim
+//! (reproduced as experiment E08) is that a 3-layer hierarchy matches the
+//! all-precise quality roughly 3× cheaper.
+//!
+//! The paper's CFD nozzle models are replaced by analytic multi-fidelity
+//! surfaces ([`FidelityProblem`] + [`BlurredFidelity`]) per DESIGN.md §1 —
+//! the optimizer sees exactly what it saw in the paper: a hierarchy of
+//! models that agree near optima and disagree in detail, with a steep cost
+//! gradient.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod fidelity;
+pub mod hga;
+
+pub use fidelity::{BlurredFidelity, FidelityProblem, LevelView};
+pub use hga::{Hga, HgaConfig, HgaReport};

@@ -1,0 +1,429 @@
+//! Deterministic single-threaded island stepper.
+
+use crate::deme::{Deme, DemeStats};
+use crate::migration::MigrationPolicy;
+use pga_core::Individual;
+use pga_topology::Topology;
+use std::time::{Duration, Instant};
+
+/// Stopping rule for an island run; the run ends when *any* criterion fires.
+#[derive(Clone, Copy, Debug)]
+pub struct IslandStop {
+    /// Maximum generations per island.
+    pub max_generations: u64,
+    /// Stop as soon as any island hits the problem optimum.
+    pub until_optimum: bool,
+    /// Maximum *total* evaluations summed over islands (`u64::MAX` = off).
+    pub max_total_evaluations: u64,
+}
+
+impl IslandStop {
+    /// Run `max_generations` per island, stopping early at the optimum.
+    #[must_use]
+    pub fn generations(max_generations: u64) -> Self {
+        Self {
+            max_generations,
+            until_optimum: true,
+            max_total_evaluations: u64::MAX,
+        }
+    }
+
+    /// Caps total evaluations in addition to generations.
+    #[must_use]
+    pub fn with_max_evaluations(mut self, evals: u64) -> Self {
+        self.max_total_evaluations = evals;
+        self
+    }
+}
+
+/// Result of an island run (either engine).
+#[derive(Clone, Debug)]
+pub struct IslandRunResult<G> {
+    /// Best individual across all islands.
+    pub best: Individual<G>,
+    /// Which island held the best.
+    pub best_island: usize,
+    /// Total evaluations summed over islands.
+    pub total_evaluations: u64,
+    /// Generations completed by each island.
+    pub generations: Vec<u64>,
+    /// Final best fitness per island.
+    pub per_island_best: Vec<f64>,
+    /// `true` when the run reached the problem optimum.
+    pub hit_optimum: bool,
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Migrants sent across the whole run.
+    pub migrants_sent: u64,
+    /// Migrants accepted by destination demes.
+    pub migrants_accepted: u64,
+    /// Per-island per-generation statistics (when recording was enabled).
+    pub histories: Vec<Vec<DemeStats>>,
+}
+
+/// A set of demes evolving under one topology and migration policy,
+/// stepped deterministically in round-robin order on the calling thread.
+///
+/// Generic over the deme engine: panmictic [`pga_core::Ga`] islands,
+/// cellular grids (via `pga-cellular`'s `Deme` impl), or heterogeneous
+/// mixes through `Box<dyn Deme<Genome = G>>` — the survey's *hybrid* model.
+///
+/// Under synchronous migration this engine is *search-equivalent* to the
+/// threaded engine ([`crate::run_threaded`]): both apply the same migrants
+/// at the same generation boundaries, so evaluations-to-solution agree and
+/// only wall-clock time differs (verified by an integration test).
+pub struct Archipelago<D: Deme> {
+    islands: Vec<D>,
+    topology: Topology,
+    policy: MigrationPolicy,
+    record_history: bool,
+}
+
+impl<D: Deme> Archipelago<D> {
+    /// Assembles an archipelago. The topology must be valid for the island
+    /// count.
+    ///
+    /// # Panics
+    /// Panics if `islands` is empty or the topology rejects the count.
+    #[must_use]
+    pub fn new(islands: Vec<D>, topology: Topology, policy: MigrationPolicy) -> Self {
+        assert!(!islands.is_empty(), "need at least one island");
+        topology
+            .validate(islands.len())
+            .expect("topology incompatible with island count");
+        Self {
+            islands,
+            topology,
+            policy,
+            record_history: false,
+        }
+    }
+
+    /// Records per-generation statistics for every island (E11 traces).
+    #[must_use]
+    pub fn with_history(mut self, record: bool) -> Self {
+        self.record_history = record;
+        self
+    }
+
+    /// Island count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// `true` when there are no islands (constructor prevents this).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+
+    /// Immutable access to the islands.
+    #[must_use]
+    pub fn islands(&self) -> &[D] {
+        &self.islands
+    }
+
+    /// Runs to the stopping rule.
+    pub fn run(&mut self, stop: &IslandStop) -> IslandRunResult<D::Genome> {
+        let start = Instant::now();
+        let n = self.islands.len();
+        let adjacency = self.topology.adjacency(n);
+        let mut histories: Vec<Vec<DemeStats>> = vec![Vec::new(); n];
+        let mut migrants_sent = 0u64;
+        let mut migrants_accepted = 0u64;
+        let mut generation = 0u64;
+        let mut hit = self.any_optimal();
+
+        while !(hit && stop.until_optimum)
+            && generation < stop.max_generations
+            && self.total_evaluations() < stop.max_total_evaluations
+        {
+            // One generation on every island (round-robin = virtual lockstep).
+            for (i, island) in self.islands.iter_mut().enumerate() {
+                let stats = island.step_deme();
+                if self.record_history {
+                    histories[i].push(stats);
+                }
+            }
+            generation += 1;
+            hit = self.any_optimal();
+            if hit && stop.until_optimum {
+                break;
+            }
+
+            // Migration phase at epoch boundaries: collect all emigrants
+            // first, then deliver, so this generation's exchange is
+            // order-independent (true synchronous semantics).
+            if self.policy.migrates_at(generation) {
+                let (sent, accepted) = self.migrate(&adjacency);
+                migrants_sent += sent;
+                migrants_accepted += accepted;
+                hit = self.any_optimal();
+            }
+        }
+
+        self.collect(start.elapsed(), migrants_sent, migrants_accepted, histories)
+    }
+
+    /// One synchronous migration across all edges; returns (sent, accepted).
+    fn migrate(&mut self, adjacency: &[Vec<usize>]) -> (u64, u64) {
+        let n = self.islands.len();
+        let policy = self.policy;
+        let mut inboxes: Vec<Vec<Individual<D::Genome>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut sent = 0u64;
+        for (src, targets) in adjacency.iter().enumerate() {
+            for &dst in targets {
+                let migrants = self.islands[src].emigrants(policy.emigrant, policy.count);
+                sent += migrants.len() as u64;
+                inboxes[dst].extend(migrants);
+            }
+        }
+        let mut accepted = 0u64;
+        for (dst, inbox) in inboxes.into_iter().enumerate() {
+            if !inbox.is_empty() {
+                accepted += self.islands[dst].immigrate(inbox, policy.replacement) as u64;
+            }
+        }
+        (sent, accepted)
+    }
+
+    fn any_optimal(&self) -> bool {
+        self.islands.iter().any(Deme::is_optimal)
+    }
+
+    fn total_evaluations(&self) -> u64 {
+        self.islands.iter().map(Deme::evaluations).sum()
+    }
+
+    fn collect(
+        &self,
+        elapsed: Duration,
+        migrants_sent: u64,
+        migrants_accepted: u64,
+        histories: Vec<Vec<DemeStats>>,
+    ) -> IslandRunResult<D::Genome> {
+        let objective = self.islands[0].objective();
+        let mut best_island = 0;
+        for (i, isl) in self.islands.iter().enumerate() {
+            if objective.better(
+                isl.best_individual().fitness(),
+                self.islands[best_island].best_individual().fitness(),
+            ) {
+                best_island = i;
+            }
+        }
+        IslandRunResult {
+            hit_optimum: self.islands[best_island].is_optimal(),
+            best: self.islands[best_island].best_individual(),
+            best_island,
+            total_evaluations: self.total_evaluations(),
+            generations: self.islands.iter().map(Deme::generation).collect(),
+            per_island_best: self
+                .islands
+                .iter()
+                .map(|i| i.best_individual().fitness())
+                .collect(),
+            elapsed,
+            migrants_sent,
+            migrants_accepted,
+            histories,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::{EmigrantSelection, SyncMode};
+    use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+    use pga_core::{BitString, Ga, Objective, Problem, Rng64, Scheme, SerialEvaluator};
+    use std::sync::Arc;
+
+    struct Trap {
+        k: usize,
+        blocks: usize,
+    }
+    impl Problem for Trap {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "trap".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            let mut total = 0usize;
+            for b in 0..self.blocks {
+                let u = (0..self.k).filter(|&i| g.get(b * self.k + i)).count();
+                total += if u == self.k { self.k } else { self.k - 1 - u };
+            }
+            total as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.k * self.blocks, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some((self.k * self.blocks) as f64)
+        }
+    }
+
+    fn islands(n: usize, base_seed: u64, pop: usize) -> Vec<Ga<Arc<Trap>, SerialEvaluator>> {
+        let problem = Arc::new(Trap { k: 4, blocks: 8 });
+        (0..n)
+            .map(|i| {
+                pga_core::GaBuilder::new(Arc::clone(&problem))
+                    .seed(base_seed + i as u64)
+                    .pop_size(pop)
+                    .selection(Tournament::binary())
+                    .crossover(OnePoint)
+                    .mutation(BitFlip::one_over_len(32))
+                    .scheme(Scheme::Generational { elitism: 1 })
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn archipelago_solves_trap() {
+        let mut arch = Archipelago::new(
+            islands(4, 100, 50),
+            Topology::RingUni,
+            MigrationPolicy::default(),
+        );
+        let r = arch.run(&IslandStop::generations(400));
+        assert!(r.hit_optimum, "best = {}", r.best.fitness());
+        assert!(r.migrants_sent > 0);
+        assert!(r.total_evaluations > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut arch = Archipelago::new(
+                islands(4, 5, 30),
+                Topology::RingUni,
+                MigrationPolicy::default(),
+            );
+            arch.run(&IslandStop::generations(60))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.best.fitness(), b.best.fitness());
+        assert_eq!(a.total_evaluations, b.total_evaluations);
+        assert_eq!(a.per_island_best, b.per_island_best);
+        assert_eq!(a.migrants_sent, b.migrants_sent);
+    }
+
+    #[test]
+    fn isolated_demes_never_migrate() {
+        let mut arch = Archipelago::new(
+            islands(4, 9, 20),
+            Topology::Complete,
+            MigrationPolicy::isolated(),
+        );
+        let r = arch.run(&IslandStop {
+            max_generations: 30,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        });
+        assert_eq!(r.migrants_sent, 0);
+        assert_eq!(r.migrants_accepted, 0);
+    }
+
+    #[test]
+    fn migration_spreads_good_genes() {
+        let policy = MigrationPolicy {
+            interval: 4,
+            count: 2,
+            emigrant: EmigrantSelection::Best,
+            replacement: ReplacementPolicy::Worst,
+            sync: SyncMode::Synchronous,
+        };
+        let mut arch = Archipelago::new(islands(4, 42, 40), Topology::Complete, policy);
+        let r = arch.run(&IslandStop {
+            max_generations: 200,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        });
+        let best = r.best.fitness();
+        for &b in &r.per_island_best {
+            assert!(best - b <= 2.0, "island fell behind: {b} vs {best}");
+        }
+    }
+
+    #[test]
+    fn evaluation_budget_stops_run() {
+        let mut arch = Archipelago::new(
+            islands(4, 3, 20),
+            Topology::RingUni,
+            MigrationPolicy::default(),
+        );
+        let r = arch.run(
+            &IslandStop {
+                max_generations: u64::MAX,
+                until_optimum: false,
+                max_total_evaluations: 2_000,
+            },
+        );
+        assert!(r.total_evaluations < 2_000 + 4 * 20 + 4 * 20);
+    }
+
+    #[test]
+    fn history_recording() {
+        let mut arch = Archipelago::new(
+            islands(2, 7, 20),
+            Topology::RingBi,
+            MigrationPolicy::default(),
+        )
+        .with_history(true);
+        let r = arch.run(&IslandStop {
+            max_generations: 10,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        });
+        assert_eq!(r.histories.len(), 2);
+        assert_eq!(r.histories[0].len(), 10);
+        assert_eq!(r.histories[0][9].generation, 10);
+    }
+
+    #[test]
+    fn mixed_engine_archipelago_via_boxed_demes() {
+        // Hybrid model: islands of different schemes in one archipelago.
+        let problem = Arc::new(Trap { k: 4, blocks: 8 });
+        let mk = |seed: u64, scheme: Scheme| -> Box<dyn crate::Deme<Genome = BitString>> {
+            Box::new(
+                pga_core::GaBuilder::new(Arc::clone(&problem))
+                    .seed(seed)
+                    .pop_size(30)
+                    .selection(Tournament::binary())
+                    .crossover(OnePoint)
+                    .mutation(BitFlip::one_over_len(32))
+                    .scheme(scheme)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let demes = vec![
+            mk(1, Scheme::Generational { elitism: 1 }),
+            mk(2, Scheme::SteadyState { replacement: ReplacementPolicy::WorstIfBetter }),
+            mk(3, Scheme::Generational { elitism: 2 }),
+            mk(4, Scheme::SteadyState { replacement: ReplacementPolicy::Worst }),
+        ];
+        let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
+        let r = arch.run(&IslandStop::generations(300));
+        assert!(r.best.fitness() >= 28.0, "best = {}", r.best.fitness());
+        assert!(r.migrants_sent > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn invalid_topology_panics() {
+        let _ = Archipelago::new(
+            islands(6, 0, 10),
+            Topology::Hypercube,
+            MigrationPolicy::default(),
+        );
+    }
+}

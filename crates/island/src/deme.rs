@@ -1,0 +1,222 @@
+//! The deme abstraction: anything that can evolve one step and exchange
+//! individuals can be an island.
+//!
+//! The survey's **hybrid** model (§1.2) combines parallelization grains —
+//! e.g. a coarse-grained ring whose islands are themselves fine-grained
+//! cellular GAs (Alba & Troya 2002 run generational, steady-state *and*
+//! cellular islands). Abstracting the island as a [`Deme`] lets both
+//! drivers ([`crate::Archipelago`] and [`crate::run_threaded`]) host any
+//! engine: `pga-core`'s panmictic [`Ga`], `pga-cellular`'s grid engine
+//! (via its `Deme` impl in that crate), or user-defined engines.
+
+use crate::migration::EmigrantSelection;
+use pga_core::ops::ReplacementPolicy;
+use pga_core::{Evaluator, Ga, Genome, Individual, Objective, Problem};
+
+/// Per-step statistics common to all deme engines.
+#[derive(Clone, Copy, Debug)]
+pub struct DemeStats {
+    /// Generations completed by this deme.
+    pub generation: u64,
+    /// Evaluations spent by this deme so far.
+    pub evaluations: u64,
+    /// Best fitness currently in the deme.
+    pub best: f64,
+    /// Mean fitness of the deme.
+    pub mean: f64,
+    /// Best fitness ever observed by the deme.
+    pub best_ever: f64,
+}
+
+/// One island: an evolving population that can emit and absorb migrants.
+///
+/// Implementations must be `Send` so the threaded driver can move them onto
+/// worker threads.
+pub trait Deme: Send {
+    /// Chromosome type exchanged with neighboring demes.
+    type Genome: Genome;
+
+    /// Advances one generation (or generation-equivalent) and reports
+    /// statistics.
+    fn step_deme(&mut self) -> DemeStats;
+
+    /// Optimization direction (must agree across an archipelago).
+    fn objective(&self) -> Objective;
+
+    /// Generations completed.
+    fn generation(&self) -> u64;
+
+    /// Evaluations spent.
+    fn evaluations(&self) -> u64;
+
+    /// Best individual ever observed.
+    fn best_individual(&self) -> Individual<Self::Genome>;
+
+    /// `true` when the deme's best reaches the problem's known optimum.
+    fn is_optimal(&self) -> bool;
+
+    /// Clones `count` emigrants chosen by `selection` (drawn from the
+    /// deme's own random stream).
+    fn emigrants(
+        &mut self,
+        selection: EmigrantSelection,
+        count: usize,
+    ) -> Vec<Individual<Self::Genome>>;
+
+    /// Inserts evaluated immigrants under `policy`; returns how many were
+    /// accepted.
+    fn immigrate(
+        &mut self,
+        immigrants: Vec<Individual<Self::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize;
+}
+
+impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
+    type Genome = P::Genome;
+
+    fn step_deme(&mut self) -> DemeStats {
+        let stats = self.step();
+        DemeStats {
+            generation: stats.generation,
+            evaluations: stats.evaluations,
+            best: stats.pop.best,
+            mean: stats.pop.mean,
+            best_ever: stats.best_ever,
+        }
+    }
+
+    fn objective(&self) -> Objective {
+        Ga::objective(self)
+    }
+
+    fn generation(&self) -> u64 {
+        Ga::generation(self)
+    }
+
+    fn evaluations(&self) -> u64 {
+        Ga::evaluations(self)
+    }
+
+    fn best_individual(&self) -> Individual<P::Genome> {
+        self.best_ever().clone()
+    }
+
+    fn is_optimal(&self) -> bool {
+        self.problem().is_optimal(self.best_ever().fitness())
+    }
+
+    fn emigrants(
+        &mut self,
+        selection: EmigrantSelection,
+        count: usize,
+    ) -> Vec<Individual<P::Genome>> {
+        let objective = Ga::objective(self);
+        let mut rng = self.rng_mut().clone();
+        let picks = selection.pick(self.population(), objective, count, &mut rng);
+        *self.rng_mut() = rng;
+        self.clone_members(&picks)
+    }
+
+    fn immigrate(
+        &mut self,
+        immigrants: Vec<Individual<P::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        self.receive_immigrants(immigrants, policy)
+    }
+}
+
+/// Boxed demes are demes, so heterogeneous archipelagos can mix engine
+/// kinds: `Vec<Box<dyn Deme<Genome = BitString>>>`.
+impl<G: Genome> Deme for Box<dyn Deme<Genome = G>> {
+    type Genome = G;
+
+    fn step_deme(&mut self) -> DemeStats {
+        (**self).step_deme()
+    }
+    fn objective(&self) -> Objective {
+        (**self).objective()
+    }
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+    fn evaluations(&self) -> u64 {
+        (**self).evaluations()
+    }
+    fn best_individual(&self) -> Individual<G> {
+        (**self).best_individual()
+    }
+    fn is_optimal(&self) -> bool {
+        (**self).is_optimal()
+    }
+    fn emigrants(&mut self, selection: EmigrantSelection, count: usize) -> Vec<Individual<G>> {
+        (**self).emigrants(selection, count)
+    }
+    fn immigrate(&mut self, immigrants: Vec<Individual<G>>, policy: ReplacementPolicy) -> usize {
+        (**self).immigrate(immigrants, policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::ops::{BitFlip, OnePoint, Tournament};
+    use pga_core::{BitString, GaBuilder, Rng64, Scheme};
+    use std::sync::Arc;
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    fn ga() -> Ga<Arc<OneMax>> {
+        GaBuilder::new(Arc::new(OneMax(32)))
+            .seed(1)
+            .pop_size(20)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .scheme(Scheme::Generational { elitism: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ga_implements_deme() {
+        let mut deme = ga();
+        let s0 = Deme::evaluations(&deme);
+        let stats = deme.step_deme();
+        assert_eq!(stats.generation, 1);
+        assert!(stats.evaluations > s0);
+        assert!(stats.best >= stats.mean);
+        let out = deme.emigrants(EmigrantSelection::Best, 2);
+        assert_eq!(out.len(), 2);
+        assert!(out[0].is_evaluated());
+        let accepted = deme.immigrate(out, ReplacementPolicy::Worst);
+        assert_eq!(accepted, 2);
+    }
+
+    #[test]
+    fn boxed_deme_dispatches() {
+        let mut demes: Vec<Box<dyn Deme<Genome = BitString>>> = vec![Box::new(ga())];
+        let stats = demes[0].step_deme();
+        assert_eq!(stats.generation, 1);
+        assert!(!demes[0].is_optimal() || stats.best == 32.0);
+    }
+}

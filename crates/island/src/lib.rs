@@ -1,0 +1,30 @@
+//! # pga-island
+//!
+//! The **coarse-grained** (distributed, multi-deme, island) PGA model — the
+//! survey's dominant model since Tanese (1987) and Pettey (1987): several
+//! subpopulations (*demes*) evolve independently and periodically exchange
+//! individuals (*migration*) over a *topology*.
+//!
+//! Two execution engines share all configuration:
+//!
+//! * [`Archipelago`] — a deterministic, single-threaded round-robin stepper.
+//!   Same search semantics as the threaded engine under synchronous
+//!   migration; used by tests and by effort-based experiments where wall
+//!   time is irrelevant (E03/E04/E10/E11/E12).
+//! * [`run_threaded`] — one OS thread per island, migrants over crossbeam
+//!   channels, synchronous (epoch-lockstep) or asynchronous (non-blocking)
+//!   exchange. Demonstrates real wall-clock speedup (E03) and the
+//!   sync/async trade-off analyzed by Alba & Troya (2001).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod archipelago;
+pub mod deme;
+pub mod migration;
+pub mod threaded;
+
+pub use archipelago::{Archipelago, IslandRunResult, IslandStop};
+pub use deme::{Deme, DemeStats};
+pub use migration::{EmigrantSelection, MigrationPolicy, SyncMode};
+pub use threaded::run_threaded;

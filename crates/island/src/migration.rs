@@ -1,0 +1,216 @@
+//! Migration policies: what moves between demes, when, and how it lands.
+
+use pga_core::ops::ReplacementPolicy;
+use pga_core::{Individual, Objective, Population, Rng64};
+
+/// How emigrants are chosen from the source deme (Alba & Troya 2000 compare
+/// *best* and *random*; tournament interpolates between them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmigrantSelection {
+    /// The deme's `count` best individuals.
+    Best,
+    /// `count` uniform random individuals.
+    Random,
+    /// `count` winners of independent k-tournaments.
+    Tournament(usize),
+}
+
+impl EmigrantSelection {
+    /// Short name for harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Best => "best",
+            Self::Random => "random",
+            Self::Tournament(_) => "tournament",
+        }
+    }
+}
+
+/// Synchronous vs asynchronous migrant exchange (Alba & Troya 2001).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncMode {
+    /// All islands exchange at a barrier every epoch; arrival order is
+    /// deterministic.
+    Synchronous,
+    /// Islands send without blocking and consume whatever has arrived at
+    /// their own migration points; arrival timing depends on scheduling.
+    Asynchronous,
+}
+
+/// Complete migration policy.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationPolicy {
+    /// Generations between migrations (the epoch length). `u64::MAX`
+    /// disables migration (isolated demes).
+    pub interval: u64,
+    /// Migrants sent per out-edge per migration.
+    pub count: usize,
+    /// Emigrant choice.
+    pub emigrant: EmigrantSelection,
+    /// How immigrants enter the destination deme.
+    pub replacement: ReplacementPolicy,
+    /// Exchange synchronization (threaded engine only; the sequential
+    /// stepper is synchronous by construction).
+    pub sync: SyncMode,
+}
+
+impl Default for MigrationPolicy {
+    /// The literature's common default: every 16 generations, send the best
+    /// individual, replace the destination's worst if better, synchronous.
+    fn default() -> Self {
+        Self {
+            interval: 16,
+            count: 1,
+            emigrant: EmigrantSelection::Best,
+            replacement: ReplacementPolicy::WorstIfBetter,
+            sync: SyncMode::Synchronous,
+        }
+    }
+}
+
+impl MigrationPolicy {
+    /// Isolated demes: no migration ever.
+    #[must_use]
+    pub fn isolated() -> Self {
+        Self {
+            interval: u64::MAX,
+            count: 0,
+            ..Self::default()
+        }
+    }
+
+    /// `true` when this policy migrates at generation `gen` (> 0).
+    #[must_use]
+    pub fn migrates_at(&self, generation: u64) -> bool {
+        self.interval != u64::MAX
+            && self.count > 0
+            && generation > 0
+            && generation.is_multiple_of(self.interval)
+    }
+}
+
+impl EmigrantSelection {
+    /// Picks `count` member indices from `pop` (may repeat for
+    /// `Tournament`; `Best`/`Random` are distinct).
+    #[must_use]
+    pub fn pick<G: pga_core::Genome>(
+        self,
+        pop: &Population<G>,
+        objective: Objective,
+        count: usize,
+        rng: &mut Rng64,
+    ) -> Vec<usize> {
+        let count = count.min(pop.len());
+        match self {
+            Self::Best => pop.top_k_indices(objective, count),
+            Self::Random => rng.sample_distinct(pop.len(), count),
+            Self::Tournament(k) => {
+                let k = k.max(1);
+                (0..count)
+                    .map(|_| {
+                        let mut best = rng.below(pop.len());
+                        for _ in 1..k {
+                            let c = rng.below(pop.len());
+                            if objective.better(pop[c].fitness(), pop[best].fitness()) {
+                                best = c;
+                            }
+                        }
+                        best
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Clones the picked members.
+    #[must_use]
+    pub fn pick_individuals<G: pga_core::Genome>(
+        self,
+        pop: &Population<G>,
+        objective: Objective,
+        count: usize,
+        rng: &mut Rng64,
+    ) -> Vec<Individual<G>> {
+        self.pick(pop, objective, count, rng)
+            .into_iter()
+            .map(|i| pop[i].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(fs: &[f64]) -> Population<Vec<f64>> {
+        Population::new(
+            fs.iter()
+                .map(|&f| Individual::evaluated(vec![f], f))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn best_picks_top() {
+        let p = pop(&[1.0, 9.0, 5.0, 7.0]);
+        let mut rng = Rng64::new(0);
+        let picks = EmigrantSelection::Best.pick(&p, Objective::Maximize, 2, &mut rng);
+        assert_eq!(picks, vec![1, 3]);
+    }
+
+    #[test]
+    fn random_picks_distinct() {
+        let p = pop(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = Rng64::new(1);
+        for _ in 0..100 {
+            let mut picks = EmigrantSelection::Random.pick(&p, Objective::Maximize, 3, &mut rng);
+            picks.sort_unstable();
+            picks.dedup();
+            assert_eq!(picks.len(), 3);
+        }
+    }
+
+    #[test]
+    fn tournament_biases_toward_better() {
+        let p = pop(&[1.0, 2.0, 3.0, 4.0]);
+        let mut rng = Rng64::new(2);
+        let mut count_best = 0;
+        for _ in 0..1000 {
+            let picks = EmigrantSelection::Tournament(3).pick(&p, Objective::Maximize, 1, &mut rng);
+            if picks[0] == 3 {
+                count_best += 1;
+            }
+        }
+        assert!(count_best > 400, "best picked {count_best}/1000");
+    }
+
+    #[test]
+    fn count_clamped_to_population() {
+        let p = pop(&[1.0, 2.0]);
+        let mut rng = Rng64::new(3);
+        assert_eq!(
+            EmigrantSelection::Best.pick(&p, Objective::Maximize, 10, &mut rng).len(),
+            2
+        );
+    }
+
+    #[test]
+    fn migrates_at_schedule() {
+        let m = MigrationPolicy { interval: 4, ..MigrationPolicy::default() };
+        assert!(!m.migrates_at(0));
+        assert!(!m.migrates_at(3));
+        assert!(m.migrates_at(4));
+        assert!(m.migrates_at(8));
+        assert!(!MigrationPolicy::isolated().migrates_at(4));
+    }
+
+    #[test]
+    fn pick_individuals_carry_fitness() {
+        let p = pop(&[1.0, 9.0]);
+        let mut rng = Rng64::new(4);
+        let inds = EmigrantSelection::Best.pick_individuals(&p, Objective::Maximize, 1, &mut rng);
+        assert_eq!(inds.len(), 1);
+        assert_eq!(inds[0].fitness(), 9.0);
+    }
+}

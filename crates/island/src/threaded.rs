@@ -1,0 +1,359 @@
+//! One-thread-per-island engine with channel-based migration.
+//!
+//! The shared-memory analogue of an MPI/PVM island PGA: each deme evolves on
+//! its own OS thread and migrants travel over crossbeam channels — one
+//! channel per directed topology edge. Synchronous mode blocks at each
+//! migration point until every in-neighbor's batch (or disconnection)
+//! arrives; asynchronous mode drains whatever is buffered and moves on,
+//! which is exactly the semantics whose search-time effects Alba & Troya
+//! (2001) analyze.
+
+use crate::archipelago::{IslandRunResult, IslandStop};
+use crate::deme::{Deme, DemeStats};
+use crate::migration::{MigrationPolicy, SyncMode};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pga_core::Individual;
+use pga_topology::Topology;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+type Batch<G> = Vec<Individual<G>>;
+
+struct IslandOutcome<D: Deme> {
+    deme: D,
+    history: Vec<DemeStats>,
+    sent: u64,
+    accepted: u64,
+}
+
+/// Runs the demes on real threads until the stopping rule fires on every
+/// island. Set `record_history` for per-generation traces.
+///
+/// Accepts any deme engine ([`pga_core::Ga`], cellular grids, boxed mixes) —
+/// see [`Deme`].
+///
+/// Under [`SyncMode::Synchronous`] the search trajectory is identical to
+/// [`crate::Archipelago::run`] with the same seeds; under
+/// [`SyncMode::Asynchronous`] migrant arrival depends on thread scheduling
+/// (documented nondeterminism — the effect under study in E03's ablation).
+///
+/// # Panics
+/// Panics if `islands` is empty or the topology rejects the island count.
+#[must_use]
+pub fn run_threaded<D: Deme>(
+    islands: Vec<D>,
+    topology: &Topology,
+    policy: MigrationPolicy,
+    stop: IslandStop,
+    record_history: bool,
+) -> IslandRunResult<D::Genome> {
+    let n = islands.len();
+    assert!(n >= 1, "need at least one island");
+    topology
+        .validate(n)
+        .expect("topology incompatible with island count");
+    let adjacency = topology.adjacency(n);
+    let start = Instant::now();
+
+    // One channel per directed edge.
+    let mut senders: Vec<Vec<Sender<Batch<D::Genome>>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Receiver<Batch<D::Genome>>>> =
+        (0..n).map(|_| Vec::new()).collect();
+    for (src, targets) in adjacency.iter().enumerate() {
+        for &dst in targets {
+            let (tx, rx) = unbounded();
+            senders[src].push(tx);
+            receivers[dst].push(rx);
+        }
+    }
+
+    let found = AtomicBool::new(false);
+    let spent = AtomicU64::new(0);
+
+    let outcomes: Vec<IslandOutcome<D>> = std::thread::scope(|scope| {
+        let found = &found;
+        let spent = &spent;
+        let mut handles = Vec::with_capacity(n);
+        for (island_idx, mut deme) in islands.into_iter().enumerate() {
+            let my_senders = std::mem::take(&mut senders[island_idx]);
+            let my_receivers = std::mem::take(&mut receivers[island_idx]);
+            handles.push(scope.spawn(move || {
+                let mut open: Vec<Option<Receiver<Batch<D::Genome>>>> =
+                    my_receivers.into_iter().map(Some).collect();
+                let mut history = Vec::new();
+                let mut sent = 0u64;
+                let mut accepted = 0u64;
+                let mut generation = 0u64;
+
+                // Seed the global counter with this island's initial
+                // population evaluations.
+                spent.fetch_add(deme.evaluations(), Ordering::Relaxed);
+
+                while generation < stop.max_generations {
+                    if stop.until_optimum && found.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    if spent.load(Ordering::Relaxed) >= stop.max_total_evaluations {
+                        break;
+                    }
+                    let before = deme.evaluations();
+                    let stats = deme.step_deme();
+                    generation += 1;
+                    spent.fetch_add(deme.evaluations() - before, Ordering::Relaxed);
+                    if record_history {
+                        history.push(stats);
+                    }
+                    if deme.is_optimal() {
+                        found.store(true, Ordering::Relaxed);
+                        if stop.until_optimum {
+                            break;
+                        }
+                    }
+
+                    if policy.migrates_at(generation) {
+                        // Send to each out-neighbor.
+                        for tx in &my_senders {
+                            let migrants = deme.emigrants(policy.emigrant, policy.count);
+                            sent += migrants.len() as u64;
+                            // A disconnected receiver just means the
+                            // neighbor already stopped.
+                            let _ = tx.send(migrants);
+                        }
+                        // Receive from in-neighbors.
+                        let mut inbox: Batch<D::Genome> = Vec::new();
+                        for slot in &mut open {
+                            let Some(rx) = slot else { continue };
+                            match policy.sync {
+                                SyncMode::Synchronous => match rx.recv() {
+                                    Ok(batch) => inbox.extend(batch),
+                                    Err(_) => *slot = None,
+                                },
+                                SyncMode::Asynchronous => {
+                                    while let Ok(batch) = rx.try_recv() {
+                                        inbox.extend(batch);
+                                    }
+                                }
+                            }
+                        }
+                        if !inbox.is_empty() {
+                            accepted += deme.immigrate(inbox, policy.replacement) as u64;
+                            if deme.is_optimal() {
+                                found.store(true, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                drop(my_senders); // unblock synchronous neighbors
+                IslandOutcome {
+                    deme,
+                    history,
+                    sent,
+                    accepted,
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("island thread panicked"))
+            .collect()
+    });
+
+    // Assemble the shared result shape.
+    let objective = outcomes[0].deme.objective();
+    let mut best_island = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        if objective.better(
+            o.deme.best_individual().fitness(),
+            outcomes[best_island].deme.best_individual().fitness(),
+        ) {
+            best_island = i;
+        }
+    }
+    IslandRunResult {
+        hit_optimum: outcomes[best_island].deme.is_optimal(),
+        best: outcomes[best_island].deme.best_individual(),
+        best_island,
+        total_evaluations: outcomes.iter().map(|o| o.deme.evaluations()).sum(),
+        generations: outcomes.iter().map(|o| o.deme.generation()).collect(),
+        per_island_best: outcomes
+            .iter()
+            .map(|o| o.deme.best_individual().fitness())
+            .collect(),
+        elapsed: start.elapsed(),
+        migrants_sent: outcomes.iter().map(|o| o.sent).sum(),
+        migrants_accepted: outcomes.iter().map(|o| o.accepted).sum(),
+        histories: outcomes.into_iter().map(|o| o.history).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::EmigrantSelection;
+    use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+    use pga_core::{BitString, Ga, GaBuilder, Objective, Problem, Rng64, Scheme, SerialEvaluator};
+    use std::sync::Arc;
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    fn islands(n: usize, seed: u64) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
+        let p = Arc::new(OneMax(48));
+        (0..n)
+            .map(|i| {
+                GaBuilder::new(Arc::clone(&p))
+                    .seed(seed + i as u64)
+                    .pop_size(30)
+                    .selection(Tournament::binary())
+                    .crossover(OnePoint)
+                    .mutation(BitFlip::one_over_len(48))
+                    .scheme(Scheme::Generational { elitism: 1 })
+                    .build()
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_sync_solves_onemax() {
+        let r = run_threaded(
+            islands(4, 11),
+            &Topology::RingUni,
+            MigrationPolicy::default(),
+            IslandStop::generations(300),
+            false,
+        );
+        assert!(r.hit_optimum, "best = {}", r.best.fitness());
+        assert_eq!(r.generations.len(), 4);
+    }
+
+    #[test]
+    fn threaded_async_solves_onemax() {
+        let policy = MigrationPolicy {
+            sync: SyncMode::Asynchronous,
+            interval: 8,
+            count: 2,
+            emigrant: EmigrantSelection::Best,
+            replacement: ReplacementPolicy::WorstIfBetter,
+        };
+        let r = run_threaded(
+            islands(4, 13),
+            &Topology::Complete,
+            policy,
+            IslandStop::generations(300),
+            false,
+        );
+        assert!(r.hit_optimum, "best = {}", r.best.fitness());
+    }
+
+    #[test]
+    fn threaded_matches_sequential_without_migration() {
+        let stop = IslandStop {
+            max_generations: 30,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        };
+        let threaded = run_threaded(
+            islands(3, 21),
+            &Topology::RingUni,
+            MigrationPolicy::isolated(),
+            stop,
+            false,
+        );
+        let mut arch = crate::Archipelago::new(
+            islands(3, 21),
+            Topology::RingUni,
+            MigrationPolicy::isolated(),
+        );
+        let sequential = arch.run(&stop);
+        assert_eq!(threaded.per_island_best, sequential.per_island_best);
+        assert_eq!(threaded.total_evaluations, sequential.total_evaluations);
+    }
+
+    #[test]
+    fn sync_no_deadlock_on_early_exit() {
+        let p = Arc::new(OneMax(8));
+        let islands: Vec<_> = (0..4)
+            .map(|i| {
+                GaBuilder::new(Arc::clone(&p))
+                    .seed(100 + i as u64)
+                    .pop_size(20)
+                    .selection(Tournament::binary())
+                    .crossover(OnePoint)
+                    .mutation(BitFlip::one_over_len(8))
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let r = run_threaded(
+            islands,
+            &Topology::RingUni,
+            MigrationPolicy { interval: 2, ..MigrationPolicy::default() },
+            IslandStop::generations(500),
+            false,
+        );
+        assert!(r.hit_optimum);
+    }
+
+    #[test]
+    fn history_recorded_per_island() {
+        let stop = IslandStop {
+            max_generations: 12,
+            until_optimum: false,
+            max_total_evaluations: u64::MAX,
+        };
+        let r = run_threaded(
+            islands(2, 31),
+            &Topology::RingBi,
+            MigrationPolicy::default(),
+            stop,
+            true,
+        );
+        assert_eq!(r.histories.len(), 2);
+        assert_eq!(r.histories[0].len(), 12);
+    }
+
+    #[test]
+    fn boxed_demes_run_threaded() {
+        let p = Arc::new(OneMax(32));
+        let demes: Vec<Box<dyn Deme<Genome = BitString>>> = (0..3)
+            .map(|i| {
+                Box::new(
+                    GaBuilder::new(Arc::clone(&p))
+                        .seed(50 + i as u64)
+                        .pop_size(20)
+                        .selection(Tournament::binary())
+                        .crossover(OnePoint)
+                        .mutation(BitFlip::one_over_len(32))
+                        .build()
+                        .unwrap(),
+                ) as Box<dyn Deme<Genome = BitString>>
+            })
+            .collect();
+        let r = run_threaded(
+            demes,
+            &Topology::RingUni,
+            MigrationPolicy::default(),
+            IslandStop::generations(400),
+            false,
+        );
+        assert!(r.hit_optimum);
+    }
+}

@@ -1,0 +1,121 @@
+//! Artificially expensive fitness wrapper for speedup experiments.
+
+use pga_core::{Objective, Problem, Rng64};
+use std::hint::black_box;
+
+/// Wraps a problem and burns a configurable amount of CPU per evaluation.
+///
+/// Master–slave speedup depends on the grain size of one evaluation
+/// (Bethke 1976; Cantú-Paz 2000): a OneMax popcount is far too cheap to
+/// amortize dispatch, whereas a CFD-style evaluation parallelizes almost
+/// perfectly. This wrapper interpolates between the two regimes without
+/// changing search behaviour — the fitness *value* is untouched.
+pub struct ExpensiveFitness<P> {
+    inner: P,
+    work_iters: u64,
+}
+
+impl<P> ExpensiveFitness<P> {
+    /// Adds `work_iters` iterations of arithmetic busy-work per evaluation.
+    /// ~1000 iterations ≈ 1 µs on a modern core.
+    #[must_use]
+    pub fn new(inner: P, work_iters: u64) -> Self {
+        Self { inner, work_iters }
+    }
+
+    /// The wrapped problem.
+    #[must_use]
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    fn burn(&self) {
+        let mut acc = 0u64;
+        for i in 0..self.work_iters {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        black_box(acc);
+    }
+}
+
+impl<P: Problem> Problem for ExpensiveFitness<P> {
+    type Genome = P::Genome;
+
+    fn name(&self) -> String {
+        format!("{}+work{}", self.inner.name(), self.work_iters)
+    }
+
+    fn objective(&self) -> Objective {
+        self.inner.objective()
+    }
+
+    fn evaluate(&self, genome: &Self::Genome) -> f64 {
+        self.burn();
+        self.inner.evaluate(genome)
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> Self::Genome {
+        self.inner.random_genome(rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        self.inner.optimum()
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        self.inner.optimum_epsilon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::BitString;
+
+    struct OneMax;
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(16, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(16.0)
+        }
+    }
+
+    #[test]
+    fn fitness_values_are_unchanged() {
+        let p = ExpensiveFitness::new(OneMax, 100);
+        let g = BitString::ones(16);
+        assert_eq!(p.evaluate(&g), 16.0);
+        assert_eq!(p.optimum(), Some(16.0));
+        assert_eq!(p.objective(), Objective::Maximize);
+    }
+
+    #[test]
+    fn work_actually_takes_time() {
+        let cheap = ExpensiveFitness::new(OneMax, 0);
+        let costly = ExpensiveFitness::new(OneMax, 3_000_000);
+        let g = BitString::zeros(16);
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            let _ = cheap.evaluate(&g);
+        }
+        let cheap_t = t0.elapsed();
+        let t0 = std::time::Instant::now();
+        for _ in 0..10 {
+            let _ = costly.evaluate(&g);
+        }
+        let costly_t = t0.elapsed();
+        assert!(costly_t > cheap_t * 3, "{costly_t:?} vs {cheap_t:?}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # pga-master-slave
+//!
+//! The **global** parallelization model of the survey (§1.2's "data
+//! parallelism", Grefenstette's types 1–3, Bethke 1976): a single panmictic
+//! population whose fitness evaluations are farmed out to workers. Search
+//! behaviour is *identical* to the sequential GA — only wall-clock time
+//! changes — which is exactly why Gagné et al. (2003) call it superior on
+//! unreliable, heterogeneous hardware: losing a worker loses time, never
+//! search state.
+//!
+//! Two execution substrates:
+//!
+//! * [`RayonEvaluator`] — real shared-memory parallelism on a rayon pool
+//!   (plugs into [`pga_core::Ga`] through the [`pga_core::Evaluator`] seam);
+//! * [`SimulatedMasterSlaveGa`] — the same evolution driven against the
+//!   `pga-cluster` discrete-event simulator, with a persistent virtual clock
+//!   and hard node failures, for cluster-scale experiments (E02/E07).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod expensive;
+pub mod rayon_eval;
+pub mod simulated;
+
+pub use expensive::ExpensiveFitness;
+pub use rayon_eval::RayonEvaluator;
+pub use simulated::{SimulatedMasterSlaveGa, VirtualRunReport};

@@ -1,0 +1,152 @@
+//! Rayon-backed batch evaluation.
+
+use pga_core::{Evaluator, Individual, Problem};
+use rayon::prelude::*;
+use rayon::ThreadPool;
+
+/// Evaluates fitness batches on a dedicated rayon thread pool.
+///
+/// Owning a private pool (instead of the global one) lets speedup sweeps
+/// (E02) pin the worker count per configuration, and keeps island threads
+/// from oversubscribing the machine when both models run in one process.
+pub struct RayonEvaluator {
+    pool: ThreadPool,
+    workers: usize,
+}
+
+impl RayonEvaluator {
+    /// Builds a pool with `workers` threads (≥ 1).
+    ///
+    /// # Panics
+    /// Panics if the pool cannot be built (resource exhaustion).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .thread_name(|i| format!("pga-ms-worker-{i}"))
+            .build()
+            .expect("failed to build rayon pool");
+        Self { pool, workers }
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+impl<P: Problem> Evaluator<P> for RayonEvaluator {
+    fn evaluate_batch(&self, problem: &P, members: &mut [Individual<P::Genome>]) -> u64 {
+        self.pool.install(|| {
+            members
+                .par_iter_mut()
+                .map(|m| {
+                    if m.fitness.is_none() {
+                        m.fitness = Some(problem.evaluate(&m.genome));
+                        1u64
+                    } else {
+                        0
+                    }
+                })
+                .sum()
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "rayon-master-slave"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::ops::{BitFlip, OnePoint, Tournament};
+    use pga_core::{BitString, Ga, Objective, Rng64, Scheme, Termination};
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    #[test]
+    fn parallel_evaluation_matches_serial_values() {
+        let p = OneMax(128);
+        let mut rng = Rng64::new(1);
+        let mut serial: Vec<Individual<BitString>> = (0..200)
+            .map(|_| Individual::unevaluated(BitString::random(128, &mut rng)))
+            .collect();
+        let mut parallel = serial.clone();
+        let n1 = pga_core::SerialEvaluator.evaluate_batch(&p, &mut serial);
+        let n2 = RayonEvaluator::new(4).evaluate_batch(&p, &mut parallel);
+        assert_eq!(n1, n2);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.fitness(), b.fitness());
+        }
+    }
+
+    #[test]
+    fn skips_already_evaluated() {
+        let p = OneMax(8);
+        let mut members = vec![Individual::evaluated(BitString::ones(8), 8.0)];
+        assert_eq!(RayonEvaluator::new(2).evaluate_batch(&p, &mut members), 0);
+    }
+
+    #[test]
+    fn ga_with_rayon_evaluator_reaches_same_search_trajectory() {
+        // The master-slave model must not change search behaviour: the same
+        // seed yields the same per-generation best under 1 or 4 workers.
+        let build = |workers: usize| {
+            Ga::builder(OneMax(64))
+                .seed(77)
+                .pop_size(40)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(64))
+                .scheme(Scheme::Generational { elitism: 1 })
+                .evaluator(RayonEvaluator::new(workers))
+                .build()
+                .unwrap()
+        };
+        let mut a = build(1);
+        let mut b = build(4);
+        for _ in 0..15 {
+            let (sa, sb) = (a.step(), b.step());
+            assert_eq!(sa.pop.best, sb.pop.best);
+            assert_eq!(sa.pop.mean, sb.pop.mean);
+        }
+    }
+
+    #[test]
+    fn solves_onemax_under_run() {
+        let mut ga = Ga::builder(OneMax(64))
+            .seed(3)
+            .pop_size(60)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(64))
+            .evaluator(RayonEvaluator::new(4))
+            .build()
+            .unwrap();
+        let r = ga
+            .run(&Termination::new().until_optimum().max_generations(500))
+            .unwrap();
+        assert!(r.hit_optimum);
+    }
+}

@@ -1,0 +1,227 @@
+//! Master–slave evolution against the simulated cluster.
+//!
+//! The GA's *search* runs for real (fitness values are exact); only *time*
+//! is simulated: each generation's evaluation batch is dispatched through
+//! [`MasterSlaveSim`] with a persistent virtual clock, so node failures from
+//! a [`FailurePlan`] hit mid-run, cost reassignments, and degrade capacity —
+//! but never corrupt the population. This is the fault-tolerance claim of
+//! Gagné et al. (2003) reproduced as experiment E07.
+
+use pga_cluster::{ClusterSpec, FailurePlan, MasterSlaveSim};
+use pga_core::{Evaluator, Ga, Problem};
+
+/// Outcome of a virtual-clock master–slave run.
+#[derive(Clone, Debug)]
+pub struct VirtualRunReport {
+    /// Final virtual time (seconds) when the run finished.
+    pub virtual_seconds: f64,
+    /// Generations completed.
+    pub generations: u64,
+    /// Real fitness evaluations performed.
+    pub evaluations: u64,
+    /// Best fitness reached.
+    pub best_fitness: f64,
+    /// Total task reassignments caused by failures.
+    pub reassignments: usize,
+    /// Nodes dead by the end of the run.
+    pub dead_nodes: usize,
+    /// `true` when the run hit the problem optimum.
+    pub hit_optimum: bool,
+    /// `true` when every node died before the generation budget.
+    pub cluster_died: bool,
+}
+
+/// Drives a [`Ga`] while accounting evaluation time on a simulated cluster.
+pub struct SimulatedMasterSlaveGa<P: Problem, E: Evaluator<P>> {
+    ga: Ga<P, E>,
+    sim: MasterSlaveSim,
+    eval_cost_s: f64,
+    clock: f64,
+    reassignments: usize,
+    cluster_size: usize,
+}
+
+impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
+    /// Wraps an engine. `eval_cost_s` is the cost of one fitness evaluation
+    /// on a speed-1.0 node; the initial population's evaluation is charged
+    /// immediately.
+    #[must_use]
+    pub fn new(ga: Ga<P, E>, spec: ClusterSpec, failures: FailurePlan, eval_cost_s: f64) -> Self {
+        assert!(eval_cost_s > 0.0, "evaluation cost must be positive");
+        let cluster_size = spec.len();
+        let sim = MasterSlaveSim::new(spec, failures);
+        let initial_evals = ga.evaluations();
+        let mut s = Self {
+            ga,
+            sim,
+            eval_cost_s,
+            clock: 0.0,
+            reassignments: 0,
+            cluster_size,
+        };
+        s.charge_batch(initial_evals);
+        s
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn ga(&self) -> &Ga<P, E> {
+        &self.ga
+    }
+
+    fn charge_batch(&mut self, evals: u64) -> bool {
+        if evals == 0 {
+            return true;
+        }
+        let tasks = vec![self.eval_cost_s; evals as usize];
+        let report = self.sim.run_batch_at(self.clock, &tasks);
+        self.clock = report.makespan;
+        self.reassignments += report.reassignments;
+        report.completed == evals as usize
+    }
+
+    /// Advances one generation, charging its evaluations to the virtual
+    /// clock. Returns `false` when the cluster can no longer complete a
+    /// batch (all nodes dead).
+    pub fn step(&mut self) -> bool {
+        let before = self.ga.evaluations();
+        self.ga.step();
+        let evals = self.ga.evaluations() - before;
+        self.charge_batch(evals)
+    }
+
+    /// Runs until the optimum is hit, `max_generations` pass, or the cluster
+    /// dies.
+    #[must_use]
+    pub fn run(mut self, max_generations: u64) -> VirtualRunReport {
+        let mut cluster_died = false;
+        while self.ga.generation() < max_generations {
+            if self.ga.problem().is_optimal(self.ga.best_ever().fitness()) {
+                break;
+            }
+            if !self.step() {
+                cluster_died = true;
+                break;
+            }
+        }
+        let dead_nodes = (0..self.cluster_size)
+            .filter(|&i| {
+                self.sim
+                    .failure_time(i)
+                    .is_some_and(|t| t <= self.clock)
+            })
+            .count();
+        let best = self.ga.best_ever().fitness();
+        VirtualRunReport {
+            virtual_seconds: self.clock,
+            generations: self.ga.generation(),
+            evaluations: self.ga.evaluations(),
+            best_fitness: best,
+            reassignments: self.reassignments,
+            dead_nodes,
+            hit_optimum: self.ga.problem().is_optimal(best),
+            cluster_died,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_cluster::NetworkProfile;
+    use pga_core::ops::{BitFlip, OnePoint, Tournament};
+    use pga_core::{BitString, Objective, Rng64, Scheme};
+
+    struct OneMax(usize);
+    impl Problem for OneMax {
+        type Genome = BitString;
+        fn name(&self) -> String {
+            "onemax".into()
+        }
+        fn objective(&self) -> Objective {
+            Objective::Maximize
+        }
+        fn evaluate(&self, g: &BitString) -> f64 {
+            g.count_ones() as f64
+        }
+        fn random_genome(&self, rng: &mut Rng64) -> BitString {
+            BitString::random(self.0, rng)
+        }
+        fn optimum(&self) -> Option<f64> {
+            Some(self.0 as f64)
+        }
+    }
+
+    fn engine(seed: u64) -> Ga<OneMax> {
+        Ga::builder(OneMax(32))
+            .seed(seed)
+            .pop_size(30)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .scheme(Scheme::Generational { elitism: 1 })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn more_nodes_finish_faster_in_virtual_time() {
+        let run = |nodes: usize| {
+            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+            SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01)
+                .run(50)
+        };
+        let one = run(1);
+        let eight = run(8);
+        // Identical search (same seed), so same generations/evaluations...
+        assert_eq!(one.generations, eight.generations);
+        assert_eq!(one.evaluations, eight.evaluations);
+        assert_eq!(one.best_fitness, eight.best_fitness);
+        // ...but ~8x less virtual time.
+        let speedup = one.virtual_seconds / eight.virtual_seconds;
+        assert!(speedup > 6.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn failures_slow_but_do_not_corrupt_search() {
+        let nodes = 8;
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        // Half the nodes die early.
+        let failures = FailurePlan::at(vec![
+            Some(0.1),
+            Some(0.2),
+            Some(0.3),
+            Some(0.4),
+            None,
+            None,
+            None,
+            None,
+        ]);
+        let faulty =
+            SimulatedMasterSlaveGa::new(engine(2), spec.clone(), failures, 0.01).run(50);
+        let healthy =
+            SimulatedMasterSlaveGa::new(engine(2), spec, FailurePlan::none(nodes), 0.01).run(50);
+        // Search result identical (same seed, search unaffected by failures).
+        assert_eq!(faulty.best_fitness, healthy.best_fitness);
+        assert_eq!(faulty.generations, healthy.generations);
+        // But the faulty run is slower and saw reassignments.
+        assert!(faulty.virtual_seconds > healthy.virtual_seconds);
+        assert_eq!(faulty.dead_nodes, 4);
+        assert!(!faulty.cluster_died);
+    }
+
+    #[test]
+    fn total_cluster_death_is_reported() {
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let failures = FailurePlan::at(vec![Some(0.01), Some(0.02)]);
+        let report = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.01).run(1000);
+        assert!(report.cluster_died);
+        assert!(report.generations < 1000);
+    }
+}

@@ -1,0 +1,25 @@
+//! # pga-multiobjective
+//!
+//! Multiobjective optimization support for the Specialized Island Model
+//! experiment (E09): Pareto dominance machinery (fast non-dominated sort,
+//! crowding distance, 2-D hypervolume, bounded archive), a compact
+//! NSGA-II-style engine, classic bi-objective test problems (ZDT1/2/3,
+//! Schaffer, bi-objective knapsack), and the Specialized Island Model of
+//! Xiao & Armstrong (GECCO 2003), in which each sub-EA optimizes a *subset*
+//! of the objectives and migration recombines the specialists' results.
+//!
+//! Convention: all objective vectors are **minimized**; maximization
+//! objectives are negated at the problem boundary.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod nsga;
+pub mod pareto;
+pub mod problems;
+pub mod sim;
+
+pub use nsga::{MoEngine, MoEngineBuilder};
+pub use pareto::{crowding_distance, dominates, fast_nondominated_sort, hypervolume_2d, ParetoArchive};
+pub use problems::{BiKnapsack, MoProblem, Schaffer, Zdt};
+pub use sim::{Scenario, SpecializedIslandModel};

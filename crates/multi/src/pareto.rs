@@ -1,0 +1,308 @@
+//! Pareto-dominance machinery (minimization convention).
+
+/// `true` when `a` Pareto-dominates `b`: no worse everywhere, strictly
+/// better somewhere. Vectors must share a length.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "objective dimension mismatch");
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Deb's fast non-dominated sort: partitions indices into fronts,
+/// `fronts[0]` being the non-dominated set.
+#[must_use]
+pub fn fast_nondominated_sort(points: &[Vec<f64>]) -> Vec<Vec<usize>> {
+    let n = points.len();
+    let mut dominated_by: Vec<Vec<usize>> = vec![Vec::new(); n]; // i dominates these
+    let mut domination_count = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dominates(&points[i], &points[j]) {
+                dominated_by[i].push(j);
+                domination_count[j] += 1;
+            } else if dominates(&points[j], &points[i]) {
+                dominated_by[j].push(i);
+                domination_count[i] += 1;
+            }
+        }
+    }
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| domination_count[i] == 0).collect();
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominated_by[i] {
+                domination_count[j] -= 1;
+                if domination_count[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(std::mem::take(&mut current));
+        current = next;
+    }
+    fronts
+}
+
+/// Crowding distance of each member of one front (NSGA-II): boundary points
+/// get `+inf`; interior points the normalized side-length sum of their
+/// bounding cuboid.
+#[must_use]
+pub fn crowding_distance(front: &[Vec<f64>]) -> Vec<f64> {
+    let n = front.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = front[0].len();
+    let mut dist = vec![0.0f64; n];
+    if n <= 2 {
+        return vec![f64::INFINITY; n];
+    }
+    #[allow(clippy::needless_range_loop)] // `obj` indexes a column across rows
+    for obj in 0..m {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| front[a][obj].total_cmp(&front[b][obj]));
+        let lo = front[order[0]][obj];
+        let hi = front[order[n - 1]][obj];
+        dist[order[0]] = f64::INFINITY;
+        dist[order[n - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..n - 1 {
+            let prev = front[order[w - 1]][obj];
+            let next = front[order[w + 1]][obj];
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// Hypervolume (area) dominated by a 2-D front relative to a reference
+/// point that every front member must dominate. The quality scalar used by
+/// the SIM scenario tables (larger is better).
+#[must_use]
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: (f64, f64)) -> f64 {
+    let (rx, ry) = reference;
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "hypervolume_2d needs 2-D points");
+            (p[0], p[1])
+        })
+        .filter(|&(x, y)| x <= rx && y <= ry)
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by x ascending; keep only the staircase (y strictly decreasing).
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut area = 0.0;
+    let mut best_y = ry;
+    for (x, y) in pts {
+        if y < best_y {
+            area += (rx - x) * (best_y - y);
+            best_y = y;
+        }
+    }
+    area
+}
+
+/// A bounded archive of mutually non-dominated `(objectives, payload)`
+/// pairs — the global collector used by SIM and island multiobjective runs.
+#[derive(Clone, Debug)]
+pub struct ParetoArchive<T> {
+    entries: Vec<(Vec<f64>, T)>,
+    capacity: usize,
+}
+
+impl<T: Clone> ParetoArchive<T> {
+    /// Archive keeping at most `capacity` non-dominated entries (pruned by
+    /// crowding distance when full).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be >= 1");
+        Self {
+            entries: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Offers a candidate. Returns `true` when it enters the archive
+    /// (i.e. it is not dominated by any current member).
+    pub fn offer(&mut self, objectives: Vec<f64>, payload: T) -> bool {
+        if self
+            .entries
+            .iter()
+            .any(|(o, _)| dominates(o, &objectives) || o == &objectives)
+        {
+            return false;
+        }
+        self.entries
+            .retain(|(o, _)| !dominates(&objectives, o));
+        self.entries.push((objectives, payload));
+        if self.entries.len() > self.capacity {
+            self.prune();
+        }
+        true
+    }
+
+    fn prune(&mut self) {
+        // Drop the most crowded entry.
+        let objs: Vec<Vec<f64>> = self.entries.iter().map(|(o, _)| o.clone()).collect();
+        let dist = crowding_distance(&objs);
+        if let Some((idx, _)) = dist
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+        {
+            self.entries.remove(idx);
+        }
+    }
+
+    /// Current non-dominated entries.
+    #[must_use]
+    pub fn entries(&self) -> &[(Vec<f64>, T)] {
+        &self.entries
+    }
+
+    /// Current front as objective vectors.
+    #[must_use]
+    pub fn front(&self) -> Vec<Vec<f64>> {
+        self.entries.iter().map(|(o, _)| o.clone()).collect()
+    }
+
+    /// Entry count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the archive is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basics() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 1.0]));
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0]));
+    }
+
+    #[test]
+    fn sort_into_fronts() {
+        let pts = vec![
+            vec![1.0, 4.0], // front 0
+            vec![4.0, 1.0], // front 0
+            vec![2.0, 2.0], // front 0
+            vec![3.0, 3.0], // dominated by (2,2): front 1
+            vec![5.0, 5.0], // dominated by all: front 2
+        ];
+        let fronts = fast_nondominated_sort(&pts);
+        assert_eq!(fronts.len(), 3);
+        let mut f0 = fronts[0].clone();
+        f0.sort_unstable();
+        assert_eq!(f0, vec![0, 1, 2]);
+        assert_eq!(fronts[1], vec![3]);
+        assert_eq!(fronts[2], vec![4]);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let front = vec![
+            vec![0.0, 4.0],
+            vec![1.0, 2.0],
+            vec![2.0, 1.0],
+            vec![4.0, 0.0],
+        ];
+        let d = crowding_distance(&front);
+        assert_eq!(d[0], f64::INFINITY);
+        assert_eq!(d[3], f64::INFINITY);
+        assert!(d[1].is_finite() && d[2].is_finite());
+        assert!(d[1] > 0.0);
+    }
+
+    #[test]
+    fn crowding_small_fronts_all_infinite() {
+        assert_eq!(crowding_distance(&[vec![1.0, 2.0]]), vec![f64::INFINITY]);
+        assert!(crowding_distance(&[]).is_empty());
+    }
+
+    #[test]
+    fn hypervolume_rectangle() {
+        // One point (0,0) with reference (1,1): area 1.
+        assert!((hypervolume_2d(&[vec![0.0, 0.0]], (1.0, 1.0)) - 1.0).abs() < 1e-12);
+        // Staircase of two points.
+        let hv = hypervolume_2d(&[vec![0.0, 0.5], vec![0.5, 0.0]], (1.0, 1.0));
+        assert!((hv - 0.75).abs() < 1e-12);
+        // Dominated point adds nothing.
+        let hv2 = hypervolume_2d(
+            &[vec![0.0, 0.5], vec![0.5, 0.0], vec![0.6, 0.6]],
+            (1.0, 1.0),
+        );
+        assert!((hv2 - 0.75).abs() < 1e-12);
+        // Points beyond the reference are ignored.
+        assert_eq!(hypervolume_2d(&[vec![2.0, 2.0]], (1.0, 1.0)), 0.0);
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_in_front_quality() {
+        let worse = hypervolume_2d(&[vec![0.5, 0.5]], (1.0, 1.0));
+        let better = hypervolume_2d(&[vec![0.2, 0.2]], (1.0, 1.0));
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn archive_keeps_nondominated_only() {
+        let mut a = ParetoArchive::new(10);
+        assert!(a.offer(vec![1.0, 1.0], "a"));
+        assert!(!a.offer(vec![2.0, 2.0], "dominated"));
+        assert!(a.offer(vec![0.5, 2.0], "b"));
+        assert!(a.offer(vec![0.0, 0.0], "dominator"));
+        // The dominator wipes the others.
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.entries()[0].1, "dominator");
+    }
+
+    #[test]
+    fn archive_rejects_duplicates() {
+        let mut a = ParetoArchive::new(10);
+        assert!(a.offer(vec![1.0, 2.0], ()));
+        assert!(!a.offer(vec![1.0, 2.0], ()));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn archive_capacity_pruning() {
+        let mut a = ParetoArchive::new(3);
+        // Four mutually non-dominated points.
+        assert!(a.offer(vec![0.0, 3.0], 0));
+        assert!(a.offer(vec![1.0, 2.0], 1));
+        assert!(a.offer(vec![1.1, 1.9], 2));
+        assert!(a.offer(vec![3.0, 0.0], 3));
+        assert_eq!(a.len(), 3);
+        // The crowded middle point should have been dropped, keeping
+        // boundary coverage.
+        let front = a.front();
+        assert!(front.contains(&vec![0.0, 3.0]));
+        assert!(front.contains(&vec![3.0, 0.0]));
+    }
+}

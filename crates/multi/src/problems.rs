@@ -1,0 +1,288 @@
+//! Bi-objective test problems (all objectives minimized).
+
+use pga_core::{BitString, Bounds, Genome, RealVector, Rng64};
+
+/// A multiobjective problem: a genome type plus a vector-valued objective.
+pub trait MoProblem: Send + Sync + 'static {
+    /// Chromosome encoding.
+    type Genome: Genome;
+
+    /// Problem name for tables.
+    fn name(&self) -> String;
+
+    /// Number of objectives.
+    fn objectives(&self) -> usize;
+
+    /// Evaluates all objectives (minimization convention).
+    fn evaluate(&self, genome: &Self::Genome) -> Vec<f64>;
+
+    /// Samples a random genome.
+    fn random_genome(&self, rng: &mut Rng64) -> Self::Genome;
+
+    /// Reference point for hypervolume in 2-D problems (must be dominated
+    /// by any reasonable front member).
+    fn hypervolume_reference(&self) -> (f64, f64) {
+        (1.1, 1.1)
+    }
+}
+
+/// The ZDT test family (Zitzler, Deb & Thiele 2000), variants 1–3.
+///
+/// 30 decision variables in `[0,1]`; `f1 = x_0`; `f2 = g·h(f1, g)` where `g`
+/// grows with the distance of `x_1..` from zero. The Pareto front lies at
+/// `g = 1`.
+#[derive(Clone, Debug)]
+pub struct Zdt {
+    variant: u8,
+    dim: usize,
+    bounds: Bounds,
+}
+
+impl Zdt {
+    /// ZDT variant 1, 2, or 3 with `dim` variables (≥ 2).
+    #[must_use]
+    pub fn new(variant: u8, dim: usize) -> Self {
+        assert!((1..=3).contains(&variant), "supported variants: 1, 2, 3");
+        assert!(dim >= 2, "ZDT needs at least 2 variables");
+        Self {
+            variant,
+            dim,
+            bounds: Bounds::uniform(0.0, 1.0, dim),
+        }
+    }
+
+    /// Decision-space bounds (share with the real-coded operators).
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// True front value `f2 = h(f1)` at `g = 1` — for front-distance checks.
+    #[must_use]
+    pub fn true_front_f2(&self, f1: f64) -> f64 {
+        match self.variant {
+            1 => 1.0 - f1.sqrt(),
+            2 => 1.0 - f1 * f1,
+            _ => 1.0 - f1.sqrt() - f1 * (10.0 * std::f64::consts::PI * f1).sin(),
+        }
+    }
+}
+
+impl MoProblem for Zdt {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("zdt{}-{}d", self.variant, self.dim)
+    }
+
+    fn objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, genome: &RealVector) -> Vec<f64> {
+        let x = genome.values();
+        let f1 = x[0];
+        let g = 1.0 + 9.0 * x[1..].iter().sum::<f64>() / (self.dim - 1) as f64;
+        let ratio = f1 / g;
+        let h = match self.variant {
+            1 => 1.0 - ratio.sqrt(),
+            2 => 1.0 - ratio * ratio,
+            _ => 1.0 - ratio.sqrt() - ratio * (10.0 * std::f64::consts::PI * f1).sin(),
+        };
+        vec![f1, g * h]
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+
+    fn hypervolume_reference(&self) -> (f64, f64) {
+        (1.1, if self.variant == 3 { 2.0 } else { 1.1 })
+    }
+}
+
+/// Schaffer's classic one-variable problem: `f1 = x²`, `f2 = (x − 2)²`.
+#[derive(Clone, Debug)]
+pub struct Schaffer {
+    bounds: Bounds,
+}
+
+impl Schaffer {
+    /// Standard instance over `x ∈ [−10, 10]`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bounds: Bounds::uniform(-10.0, 10.0, 1),
+        }
+    }
+
+    /// Decision-space bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+}
+
+impl Default for Schaffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MoProblem for Schaffer {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        "schaffer".into()
+    }
+
+    fn objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, genome: &RealVector) -> Vec<f64> {
+        let x = genome[0];
+        vec![x * x, (x - 2.0) * (x - 2.0)]
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+
+    fn hypervolume_reference(&self) -> (f64, f64) {
+        (5.0, 5.0)
+    }
+}
+
+/// Bi-objective knapsack: maximize value *and* minimize weight, expressed as
+/// minimization of `(-value_norm, weight_norm)`.
+#[derive(Clone, Debug)]
+pub struct BiKnapsack {
+    values: Vec<u64>,
+    weights: Vec<u64>,
+    total_value: f64,
+    total_weight: f64,
+}
+
+impl BiKnapsack {
+    /// Random instance with `n` items from `seed`.
+    #[must_use]
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = Rng64::new(seed);
+        let values: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 100).collect();
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 100).collect();
+        let total_value = values.iter().sum::<u64>() as f64;
+        let total_weight = weights.iter().sum::<u64>() as f64;
+        Self {
+            values,
+            weights,
+            total_value,
+            total_weight,
+        }
+    }
+
+    /// Item count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false; the constructor rejects empty instances.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl MoProblem for BiKnapsack {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("bi-knapsack-{}", self.values.len())
+    }
+
+    fn objectives(&self) -> usize {
+        2
+    }
+
+    fn evaluate(&self, genome: &BitString) -> Vec<f64> {
+        let mut value = 0u64;
+        let mut weight = 0u64;
+        for i in 0..self.values.len() {
+            if genome.get(i) {
+                value += self.values[i];
+                weight += self.weights[i];
+            }
+        }
+        vec![
+            1.0 - value as f64 / self.total_value, // minimize (1 - value share)
+            weight as f64 / self.total_weight,     // minimize weight share
+        ]
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.values.len(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zdt1_known_points() {
+        let p = Zdt::new(1, 30);
+        // All-zero tail: g = 1, so f2 = 1 - sqrt(f1).
+        let mut x = vec![0.0; 30];
+        x[0] = 0.25;
+        let f = p.evaluate(&RealVector::new(x));
+        assert!((f[0] - 0.25).abs() < 1e-12);
+        assert!((f[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt2_front_shape() {
+        let p = Zdt::new(2, 10);
+        let mut x = vec![0.0; 10];
+        x[0] = 0.5;
+        let f = p.evaluate(&RealVector::new(x));
+        assert!((f[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zdt_g_penalizes_tail() {
+        let p = Zdt::new(1, 10);
+        let near = p.evaluate(&RealVector::new(vec![0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
+        let far = p.evaluate(&RealVector::new(vec![0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]));
+        assert!(far[1] > near[1]);
+        assert_eq!(near[0], far[0]);
+    }
+
+    #[test]
+    fn schaffer_tradeoff() {
+        let p = Schaffer::new();
+        let at0 = p.evaluate(&RealVector::new(vec![0.0]));
+        let at2 = p.evaluate(&RealVector::new(vec![2.0]));
+        assert_eq!(at0, vec![0.0, 4.0]);
+        assert_eq!(at2, vec![4.0, 0.0]);
+    }
+
+    #[test]
+    fn biknapsack_extremes() {
+        let p = BiKnapsack::random(20, 3);
+        let none = p.evaluate(&BitString::zeros(20));
+        let all = p.evaluate(&BitString::ones(20));
+        assert_eq!(none, vec![1.0, 0.0]);
+        assert_eq!(all, vec![0.0, 1.0]);
+        // Neither extreme dominates the other.
+        assert!(!crate::pareto::dominates(&none, &all));
+        assert!(!crate::pareto::dominates(&all, &none));
+    }
+
+    #[test]
+    #[should_panic(expected = "variants")]
+    fn zdt_bad_variant() {
+        let _ = Zdt::new(4, 10);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based invariants of the Pareto machinery.
+
+use pga_multiobjective::{
+    crowding_distance, dominates, fast_nondominated_sort, hypervolume_2d, ParetoArchive,
+};
+use proptest::prelude::*;
+
+fn points_strategy(m: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..10.0, m..=m), 1..40)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(
+        a in prop::collection::vec(0.0f64..10.0, 3),
+        b in prop::collection::vec(0.0f64..10.0, 3),
+    ) {
+        prop_assert!(!dominates(&a, &a));
+        prop_assert!(!(dominates(&a, &b) && dominates(&b, &a)));
+    }
+
+    #[test]
+    fn fronts_partition_all_indices(points in points_strategy(2)) {
+        let fronts = fast_nondominated_sort(&points);
+        let mut seen: Vec<usize> = fronts.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..points.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_front_is_mutually_nondominated(points in points_strategy(3)) {
+        let fronts = fast_nondominated_sort(&points);
+        let f0 = &fronts[0];
+        for &i in f0 {
+            for &j in f0 {
+                prop_assert!(!dominates(&points[i], &points[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn later_fronts_are_dominated_by_earlier(points in points_strategy(2)) {
+        let fronts = fast_nondominated_sort(&points);
+        for w in fronts.windows(2) {
+            for &j in &w[1] {
+                // Every member of front k+1 is dominated by someone in k.
+                prop_assert!(
+                    w[0].iter().any(|&i| dominates(&points[i], &points[j])),
+                    "front member {} not dominated by previous front", j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn crowding_is_nonnegative_and_sized(points in points_strategy(2)) {
+        let d = crowding_distance(&points);
+        prop_assert_eq!(d.len(), points.len());
+        prop_assert!(d.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn hypervolume_monotone_under_extra_points(points in points_strategy(2)) {
+        let reference = (10.0, 10.0);
+        let base = hypervolume_2d(&points[..points.len() - 1], reference);
+        let more = hypervolume_2d(&points, reference);
+        prop_assert!(more + 1e-12 >= base);
+        // Bounded by the reference box.
+        prop_assert!(more <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn archive_is_always_mutually_nondominated(points in points_strategy(2)) {
+        let mut archive = ParetoArchive::new(16);
+        for (i, p) in points.iter().enumerate() {
+            let _ = archive.offer(p.clone(), i);
+        }
+        let front = archive.front();
+        prop_assert!(archive.len() <= 16);
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(a, b));
+            }
+        }
+        // Nothing in the archive is dominated by any offered point.
+        for p in &points {
+            for a in &front {
+                prop_assert!(!dominates(p, a), "archived point dominated by an offer");
+            }
+        }
+    }
+}

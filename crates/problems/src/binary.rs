@@ -1,0 +1,343 @@
+//! Classic binary benchmark landscapes.
+//!
+//! These are the problem classes of Alba & Troya (2000): *easy* (OneMax),
+//! *deceptive* (concatenated traps), and *multimodal* (P-PEAKS), plus the
+//! Royal Road function used throughout the early PGA literature.
+
+use pga_core::{BitString, Objective, Problem, Rng64};
+
+/// OneMax: fitness is the number of one bits. The canonical *easy*
+/// (unimodal, separable) landscape.
+#[derive(Clone, Debug)]
+pub struct OneMax {
+    len: usize,
+}
+
+impl OneMax {
+    /// OneMax over `len` bits.
+    #[must_use]
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "OneMax needs at least one bit");
+        Self { len }
+    }
+
+    /// Chromosome length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false; the instance is never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Problem for OneMax {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("onemax-{}", self.len)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.len);
+        g.count_ones() as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.len, rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(self.len as f64)
+    }
+}
+
+/// Concatenated deceptive trap functions of order `k` (Deb & Goldberg 1993).
+///
+/// Each block of `k` bits scores `k` when all ones, otherwise `k − 1 − u`
+/// where `u` is the number of ones — so hill-climbing within a block leads
+/// *away* from the optimum. The canonical *deceptive* landscape, and the
+/// workload on which island PGAs exhibit super-linear numerical speedup
+/// (Alba 2002).
+#[derive(Clone, Debug)]
+pub struct DeceptiveTrap {
+    k: usize,
+    blocks: usize,
+}
+
+impl DeceptiveTrap {
+    /// `blocks` concatenated traps of order `k` (chromosome length
+    /// `k·blocks`). Requires `k >= 2`.
+    #[must_use]
+    pub fn new(k: usize, blocks: usize) -> Self {
+        assert!(k >= 2, "trap order must be >= 2");
+        assert!(blocks >= 1, "need at least one block");
+        Self { k, blocks }
+    }
+
+    /// Chromosome length `k · blocks`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.k * self.blocks
+    }
+
+    /// Always false; instances are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Trap order `k`.
+    #[must_use]
+    pub fn order(&self) -> usize {
+        self.k
+    }
+}
+
+impl Problem for DeceptiveTrap {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("trap{}x{}", self.k, self.blocks)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.len());
+        let mut total = 0usize;
+        for b in 0..self.blocks {
+            let mut u = 0usize;
+            for i in 0..self.k {
+                if g.get(b * self.k + i) {
+                    u += 1;
+                }
+            }
+            total += if u == self.k { self.k } else { self.k - 1 - u };
+        }
+        total as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.len(), rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some((self.k * self.blocks) as f64)
+    }
+}
+
+/// P-PEAKS multimodal generator (Kennedy & Spears 1998; used by Alba & Troya).
+///
+/// `p` random `n`-bit peaks are drawn at construction; fitness of a string is
+/// its best normalized Hamming closeness to any peak:
+/// `max_i (n − H(x, peak_i)) / n`. Optimum is 1.0 (sitting on a peak).
+#[derive(Clone, Debug)]
+pub struct PPeaks {
+    peaks: Vec<BitString>,
+    len: usize,
+}
+
+impl PPeaks {
+    /// Generates `p` random peaks over `n`-bit strings from `seed`.
+    #[must_use]
+    pub fn new(p: usize, n: usize, seed: u64) -> Self {
+        assert!(p >= 1 && n >= 1, "need at least one peak and one bit");
+        let mut rng = Rng64::new(seed);
+        let peaks = (0..p).map(|_| BitString::random(n, &mut rng)).collect();
+        Self { peaks, len: n }
+    }
+
+    /// Number of peaks.
+    #[must_use]
+    pub fn peak_count(&self) -> usize {
+        self.peaks.len()
+    }
+}
+
+impl Problem for PPeaks {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("p-peaks-{}x{}", self.peaks.len(), self.len)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.len);
+        let closest = self
+            .peaks
+            .iter()
+            .map(|p| self.len - p.hamming(g))
+            .max()
+            .unwrap_or(0);
+        closest as f64 / self.len as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.len, rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        1e-12
+    }
+}
+
+/// Royal Road R1 (Mitchell, Forrest & Holland 1992): fitness is the summed
+/// size of fully-set, non-overlapping schemata blocks.
+#[derive(Clone, Debug)]
+pub struct RoyalRoad {
+    block: usize,
+    blocks: usize,
+}
+
+impl RoyalRoad {
+    /// `blocks` blocks of `block` bits each.
+    #[must_use]
+    pub fn new(block: usize, blocks: usize) -> Self {
+        assert!(block >= 1 && blocks >= 1);
+        Self { block, blocks }
+    }
+
+    /// Chromosome length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.block * self.blocks
+    }
+
+    /// Always false; instances are non-empty by construction.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Problem for RoyalRoad {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("royal-road-{}x{}", self.block, self.blocks)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.len());
+        let mut total = 0usize;
+        for b in 0..self.blocks {
+            let full = (0..self.block).all(|i| g.get(b * self.block + i));
+            if full {
+                total += self.block;
+            }
+        }
+        total as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.len(), rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(self.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn onemax_values() {
+        let p = OneMax::new(16);
+        assert_eq!(p.evaluate(&BitString::ones(16)), 16.0);
+        assert_eq!(p.evaluate(&BitString::zeros(16)), 0.0);
+        assert!(p.is_optimal(16.0));
+        assert!(!p.is_optimal(15.0));
+    }
+
+    #[test]
+    fn trap_is_deceptive() {
+        let p = DeceptiveTrap::new(4, 1);
+        // u=4 -> 4 (global optimum)
+        assert_eq!(p.evaluate(&BitString::ones(4)), 4.0);
+        // u=0 -> 3 (deceptive attractor)
+        assert_eq!(p.evaluate(&BitString::zeros(4)), 3.0);
+        // u=1 -> 2, u=2 -> 1, u=3 -> 0: fitness decreases toward the optimum.
+        let mut g = BitString::zeros(4);
+        g.set(0, true);
+        assert_eq!(p.evaluate(&g), 2.0);
+        g.set(1, true);
+        assert_eq!(p.evaluate(&g), 1.0);
+        g.set(2, true);
+        assert_eq!(p.evaluate(&g), 0.0);
+    }
+
+    #[test]
+    fn trap_blocks_are_additive() {
+        let p = DeceptiveTrap::new(4, 3);
+        assert_eq!(p.len(), 12);
+        assert_eq!(p.evaluate(&BitString::ones(12)), 12.0);
+        assert_eq!(p.evaluate(&BitString::zeros(12)), 9.0);
+        // One optimal block + two zero blocks: 4 + 3 + 3.
+        let mut g = BitString::zeros(12);
+        for i in 0..4 {
+            g.set(i, true);
+        }
+        assert_eq!(p.evaluate(&g), 10.0);
+    }
+
+    #[test]
+    fn ppeaks_peak_scores_one() {
+        let p = PPeaks::new(10, 64, 99);
+        for peak in &p.peaks {
+            assert_eq!(p.evaluate(peak), 1.0);
+            assert!(p.is_optimal(p.evaluate(peak)));
+        }
+        // A random string is usually below 1.
+        let mut rng = Rng64::new(5);
+        let g = p.random_genome(&mut rng);
+        assert!(p.evaluate(&g) <= 1.0);
+    }
+
+    #[test]
+    fn ppeaks_is_deterministic_per_seed() {
+        let a = PPeaks::new(5, 32, 7);
+        let b = PPeaks::new(5, 32, 7);
+        let mut rng = Rng64::new(0);
+        let g = a.random_genome(&mut rng);
+        assert_eq!(a.evaluate(&g), b.evaluate(&g));
+    }
+
+    #[test]
+    fn royal_road_blocks() {
+        let p = RoyalRoad::new(8, 2);
+        assert_eq!(p.evaluate(&BitString::ones(16)), 16.0);
+        assert_eq!(p.evaluate(&BitString::zeros(16)), 0.0);
+        let mut g = BitString::zeros(16);
+        for i in 0..8 {
+            g.set(i, true);
+        }
+        assert_eq!(p.evaluate(&g), 8.0);
+        // A 7/8 block scores nothing.
+        g.set(7, false);
+        assert_eq!(p.evaluate(&g), 0.0);
+    }
+}

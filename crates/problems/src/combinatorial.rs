@@ -1,0 +1,423 @@
+//! NP-complete subset problems: subset sum, 0/1 knapsack, and the minimum
+//! tardy task problem (MTTP).
+//!
+//! Subset sum is the workload of the DRM/DREAM experiments (Jelasity 2002);
+//! MTTP is a standard instance family in Alba & Troya's island studies.
+
+use pga_core::{BitString, Objective, Problem, Rng64};
+
+/// Subset sum: choose a subset of `weights` whose sum hits `target` exactly.
+///
+/// Instances are generated with a planted subset so the optimum (error 0) is
+/// guaranteed to exist. Fitness is the absolute error `|sum(selected) −
+/// target|`, minimized.
+#[derive(Clone, Debug)]
+pub struct SubsetSum {
+    weights: Vec<u64>,
+    target: u64,
+}
+
+impl SubsetSum {
+    /// Random instance with `n` weights in `[1, max_weight]`; roughly half
+    /// of them form the planted subset defining `target`.
+    #[must_use]
+    pub fn planted(n: usize, max_weight: u64, seed: u64) -> Self {
+        assert!(n >= 1 && max_weight >= 1);
+        let mut rng = Rng64::new(seed);
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % max_weight).collect();
+        let target = weights.iter().filter(|_| rng.coin()).sum();
+        Self { weights, target }
+    }
+
+    /// Item count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Always false; planted instances have at least one item.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The target sum.
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+}
+
+impl Problem for SubsetSum {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("subset-sum-{}", self.weights.len())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.weights.len());
+        let sum: u64 = self
+            .weights
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| g.get(i))
+            .map(|(_, &w)| w)
+            .sum();
+        sum.abs_diff(self.target) as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.weights.len(), rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+}
+
+/// 0/1 knapsack with a linear penalty for capacity violations.
+///
+/// Fitness is the selected value when feasible, otherwise
+/// `value − penalty·overweight` (may go negative); maximized. The exact
+/// optimum is computed at construction with dynamic programming over the
+/// capacity, so GA results can be checked against ground truth.
+#[derive(Clone, Debug)]
+pub struct Knapsack {
+    values: Vec<u64>,
+    weights: Vec<u64>,
+    capacity: u64,
+    penalty: f64,
+    exact_optimum: u64,
+}
+
+impl Knapsack {
+    /// Random instance: `n` items, weights in `[1, max_w]`, values in
+    /// `[1, max_v]`, capacity = half the total weight.
+    ///
+    /// Panics if `capacity` would exceed 10^7 (DP table size guard).
+    #[must_use]
+    pub fn random(n: usize, max_w: u64, max_v: u64, seed: u64) -> Self {
+        let mut rng = Rng64::new(seed);
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % max_w).collect();
+        let values: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % max_v).collect();
+        let capacity = weights.iter().sum::<u64>() / 2;
+        Self::new(values, weights, capacity)
+    }
+
+    /// Explicit instance; computes the DP optimum eagerly.
+    #[must_use]
+    pub fn new(values: Vec<u64>, weights: Vec<u64>, capacity: u64) -> Self {
+        assert_eq!(values.len(), weights.len());
+        assert!(!values.is_empty());
+        assert!(capacity <= 10_000_000, "capacity too large for DP optimum");
+        let exact_optimum = Self::dp_optimum(&values, &weights, capacity);
+        // Penalty steep enough that no infeasible solution can outscore the
+        // optimum: one unit of overweight costs more than the densest item.
+        let max_density = values
+            .iter()
+            .zip(&weights)
+            .map(|(&v, &w)| v as f64 / w as f64)
+            .fold(0.0f64, f64::max);
+        Self {
+            values,
+            weights,
+            capacity,
+            penalty: 2.0 * max_density + 1.0,
+            exact_optimum,
+        }
+    }
+
+    fn dp_optimum(values: &[u64], weights: &[u64], capacity: u64) -> u64 {
+        let cap = capacity as usize;
+        let mut dp = vec![0u64; cap + 1];
+        for (v, w) in values.iter().zip(weights) {
+            let w = *w as usize;
+            if w > cap {
+                continue;
+            }
+            for c in (w..=cap).rev() {
+                dp[c] = dp[c].max(dp[c - w] + v);
+            }
+        }
+        dp[cap]
+    }
+
+    /// Item count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always false; constructor rejects empty item lists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The exact optimum value from dynamic programming.
+    #[must_use]
+    pub fn exact_optimum(&self) -> u64 {
+        self.exact_optimum
+    }
+
+    /// Capacity.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+}
+
+impl Problem for Knapsack {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("knapsack-{}", self.values.len())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.values.len());
+        let mut value = 0u64;
+        let mut weight = 0u64;
+        for i in 0..self.values.len() {
+            if g.get(i) {
+                value += self.values[i];
+                weight += self.weights[i];
+            }
+        }
+        if weight <= self.capacity {
+            value as f64
+        } else {
+            value as f64 - self.penalty * (weight - self.capacity) as f64
+        }
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.values.len(), rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(self.exact_optimum as f64)
+    }
+}
+
+/// Minimum tardy task problem: schedule a subset of unit-resource tasks,
+/// each with length, deadline and weight, minimizing the total weight of
+/// *unscheduled or tardy* tasks.
+///
+/// A genome bit selects a task; selected tasks are processed in deadline
+/// order (EDD), and any that would finish after its deadline is dropped and
+/// counted tardy. Unselected tasks count tardy too. Exhaustive optimum is
+/// available for `n <= 22` via [`Mttp::solve_exact`].
+#[derive(Clone, Debug)]
+pub struct Mttp {
+    lengths: Vec<u64>,
+    deadlines: Vec<u64>,
+    weights: Vec<u64>,
+    /// Task indices sorted by deadline (EDD order), precomputed.
+    edd: Vec<usize>,
+}
+
+impl Mttp {
+    /// Random instance with `n` tasks from `seed`: lengths 1–20, deadlines
+    /// spread over roughly half the total length (so not everything fits),
+    /// weights 1–100.
+    #[must_use]
+    pub fn random(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = Rng64::new(seed);
+        let lengths: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 20).collect();
+        let total: u64 = lengths.iter().sum();
+        let horizon = (total / 2).max(1);
+        let deadlines: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % horizon).collect();
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 100).collect();
+        Self::new(lengths, deadlines, weights)
+    }
+
+    /// Explicit instance.
+    #[must_use]
+    pub fn new(lengths: Vec<u64>, deadlines: Vec<u64>, weights: Vec<u64>) -> Self {
+        assert_eq!(lengths.len(), deadlines.len());
+        assert_eq!(lengths.len(), weights.len());
+        assert!(!lengths.is_empty());
+        let mut edd: Vec<usize> = (0..lengths.len()).collect();
+        edd.sort_by_key(|&i| deadlines[i]);
+        Self {
+            lengths,
+            deadlines,
+            weights,
+            edd,
+        }
+    }
+
+    /// Task count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lengths.len()
+    }
+
+    /// Always false; constructor rejects empty task lists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total tardy weight of a selection.
+    fn tardy_weight(&self, g: &BitString) -> u64 {
+        let mut time = 0u64;
+        let mut tardy = 0u64;
+        for &i in &self.edd {
+            if g.get(i) {
+                if time + self.lengths[i] <= self.deadlines[i] {
+                    time += self.lengths[i];
+                } else {
+                    tardy += self.weights[i];
+                }
+            } else {
+                tardy += self.weights[i];
+            }
+        }
+        tardy
+    }
+
+    /// Exhaustive optimum for `n <= 22`.
+    #[must_use]
+    pub fn solve_exact(&self) -> f64 {
+        let n = self.lengths.len();
+        assert!(n <= 22, "exhaustive search limited to n <= 22");
+        let mut best = u64::MAX;
+        for x in 0u64..(1u64 << n) {
+            let g = BitString::from_bits((0..n).map(|i| (x >> i) & 1 == 1));
+            best = best.min(self.tardy_weight(&g));
+        }
+        best as f64
+    }
+}
+
+impl Problem for Mttp {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("mttp-{}", self.lengths.len())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.lengths.len());
+        self.tardy_weight(g) as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.lengths.len(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_sum_planted_optimum_exists() {
+        // Regenerate the plant to confirm error 0 is attainable.
+        let seed = 5;
+        let n = 24;
+        let mut rng = Rng64::new(seed);
+        let weights: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 1000).collect();
+        let picks: Vec<bool> = (0..n).map(|_| rng.coin()).collect();
+        let p = SubsetSum::planted(n, 1000, seed);
+        let g = BitString::from_bits(picks.iter().copied());
+        assert_eq!(p.evaluate(&g), 0.0);
+        assert_eq!(
+            p.target(),
+            weights
+                .iter()
+                .zip(&picks)
+                .filter(|&(_, &b)| b)
+                .map(|(&w, _)| w)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn subset_sum_error_is_symmetric_distance() {
+        let p = SubsetSum {
+            weights: vec![10, 20, 30],
+            target: 25,
+        };
+        let none = BitString::zeros(3);
+        assert_eq!(p.evaluate(&none), 25.0);
+        let all = BitString::ones(3);
+        assert_eq!(p.evaluate(&all), 35.0);
+    }
+
+    #[test]
+    fn knapsack_dp_matches_brute_force() {
+        let p = Knapsack::random(12, 30, 50, 9);
+        // Brute force all 2^12 selections.
+        let mut best = 0u64;
+        for x in 0u64..(1 << 12) {
+            let mut v = 0;
+            let mut w = 0;
+            for i in 0..12 {
+                if (x >> i) & 1 == 1 {
+                    v += p.values[i];
+                    w += p.weights[i];
+                }
+            }
+            if w <= p.capacity {
+                best = best.max(v);
+            }
+        }
+        assert_eq!(best, p.exact_optimum());
+    }
+
+    #[test]
+    fn knapsack_penalty_keeps_infeasible_below_optimum() {
+        let p = Knapsack::new(vec![100, 100], vec![10, 10], 10);
+        // Taking both items exceeds capacity by 10.
+        let both = BitString::ones(2);
+        assert!(p.evaluate(&both) < p.exact_optimum() as f64);
+        let one = BitString::from_bits([true, false]);
+        assert_eq!(p.evaluate(&one), 100.0);
+        assert_eq!(p.exact_optimum(), 100);
+    }
+
+    #[test]
+    fn mttp_empty_selection_pays_everything() {
+        let p = Mttp::new(vec![5, 5], vec![5, 10], vec![7, 11]);
+        assert_eq!(p.evaluate(&BitString::zeros(2)), 18.0);
+        // Both tasks fit back-to-back in EDD order.
+        assert_eq!(p.evaluate(&BitString::ones(2)), 0.0);
+    }
+
+    #[test]
+    fn mttp_tardy_tasks_are_dropped_not_blocking() {
+        // Task 0: len 10, deadline 5 (never fits). Task 1: len 3, deadline 4.
+        let p = Mttp::new(vec![10, 3], vec![5, 4], vec![50, 1]);
+        // Selecting both: EDD order = task1 (d=4) then task0 (d=5).
+        // Task1 finishes at 3 <= 4: scheduled. Task0 would finish at 13 > 5: tardy.
+        assert_eq!(p.evaluate(&BitString::ones(2)), 50.0);
+    }
+
+    #[test]
+    fn mttp_exact_lower_bounds_random() {
+        let p = Mttp::random(14, 11);
+        let opt = p.solve_exact();
+        let mut rng = Rng64::new(3);
+        for _ in 0..100 {
+            let g = p.random_genome(&mut rng);
+            assert!(p.evaluate(&g) >= opt);
+        }
+    }
+}

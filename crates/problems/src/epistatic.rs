@@ -1,0 +1,275 @@
+//! Epistatic landscapes: NK and MAXSAT.
+//!
+//! These are the *epistatic* and *NP-complete* problem classes used in the
+//! migration-policy study (Alba & Troya 2000, reproduced as experiment E04).
+
+use pga_core::{BitString, Objective, Problem, Rng64};
+
+/// Kauffman's NK-landscape: every locus contributes a fitness component that
+/// depends on itself and `k` other loci through a random lookup table.
+///
+/// `k = 0` is separable; increasing `k` raises epistasis and ruggedness.
+/// Neighbor sets and tables are generated from `seed`, so an instance is a
+/// pure value type. The true optimum is found by exhaustive search for
+/// `n <= 24` via [`NkLandscape::solve_exact`].
+#[derive(Clone, Debug)]
+pub struct NkLandscape {
+    n: usize,
+    k: usize,
+    /// `neighbors[i]` holds the k loci (besides i) feeding component i.
+    neighbors: Vec<Vec<usize>>,
+    /// `tables[i]` has `2^(k+1)` entries in `[0,1)`.
+    tables: Vec<Vec<f64>>,
+}
+
+impl NkLandscape {
+    /// Random NK instance with `n` loci and epistasis `k < n`, generated
+    /// deterministically from `seed`.
+    #[must_use]
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(n >= 1 && k < n, "need k < n");
+        let mut rng = Rng64::new(seed);
+        let mut neighbors = Vec::with_capacity(n);
+        for i in 0..n {
+            // k distinct neighbors excluding i.
+            let mut pool: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            rng.shuffle(&mut pool);
+            pool.truncate(k);
+            neighbors.push(pool);
+        }
+        let table_size = 1usize << (k + 1);
+        let tables = (0..n)
+            .map(|_| (0..table_size).map(|_| rng.next_f64()).collect())
+            .collect();
+        Self {
+            n,
+            k,
+            neighbors,
+            tables,
+        }
+    }
+
+    /// Locus count.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Epistasis parameter.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    fn component(&self, g: &BitString, i: usize) -> f64 {
+        let mut idx = usize::from(g.get(i));
+        for (b, &j) in self.neighbors[i].iter().enumerate() {
+            if g.get(j) {
+                idx |= 1 << (b + 1);
+            }
+        }
+        self.tables[i][idx]
+    }
+
+    /// Exhaustive optimum for small instances (`n <= 24`); returns the best
+    /// fitness. Cost is `O(2^n · n)`.
+    #[must_use]
+    pub fn solve_exact(&self) -> f64 {
+        assert!(self.n <= 24, "exhaustive search limited to n <= 24");
+        let mut best = f64::NEG_INFINITY;
+        for x in 0u64..(1u64 << self.n) {
+            let g = BitString::from_bits((0..self.n).map(|i| (x >> i) & 1 == 1));
+            best = best.max(self.evaluate(&g));
+        }
+        best
+    }
+}
+
+impl Problem for NkLandscape {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("nk-{}-{}", self.n, self.k)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.n);
+        (0..self.n).map(|i| self.component(g, i)).sum::<f64>() / self.n as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.n, rng)
+    }
+}
+
+/// MAXSAT over random planted 3-CNF formulas.
+///
+/// Clauses are generated so that a hidden *planted* assignment satisfies all
+/// of them, which gives a known optimum (`clause_count`) without solving SAT:
+/// the standard trick for generating NP-complete benchmark instances with
+/// verifiable optima.
+#[derive(Clone, Debug)]
+pub struct MaxSat {
+    n_vars: usize,
+    /// Clauses as triples of literals: `(var, negated)`.
+    clauses: Vec<[(usize, bool); 3]>,
+}
+
+impl MaxSat {
+    /// Generates `n_clauses` planted 3-SAT clauses over `n_vars` variables.
+    ///
+    /// Each clause draws three distinct variables and random polarities, then
+    /// one literal is forced to agree with the planted assignment so the
+    /// formula stays satisfiable.
+    #[must_use]
+    pub fn planted(n_vars: usize, n_clauses: usize, seed: u64) -> Self {
+        assert!(n_vars >= 3, "3-SAT needs at least 3 variables");
+        let mut rng = Rng64::new(seed);
+        let planted = BitString::random(n_vars, &mut rng);
+        let clauses = (0..n_clauses)
+            .map(|_| {
+                let vars = rng.sample_distinct(n_vars, 3);
+                let mut lits = [(0usize, false); 3];
+                for (slot, &v) in lits.iter_mut().zip(vars.iter()) {
+                    *slot = (v, rng.coin());
+                }
+                // Force one literal true under the planted assignment.
+                let fix = rng.below(3);
+                let (v, _) = lits[fix];
+                lits[fix] = (v, !planted.get(v)); // negated==true means "NOT v"
+                lits
+            })
+            .collect();
+        Self { n_vars, clauses }
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Number of clauses.
+    #[must_use]
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn clause_satisfied(&self, g: &BitString, c: &[(usize, bool); 3]) -> bool {
+        c.iter().any(|&(v, negated)| g.get(v) != negated)
+    }
+}
+
+impl Problem for MaxSat {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("maxsat-{}v-{}c", self.n_vars, self.clauses.len())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.n_vars);
+        self.clauses
+            .iter()
+            .filter(|c| self.clause_satisfied(g, c))
+            .count() as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.n_vars, rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(self.clauses.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nk_zero_epistasis_is_separable() {
+        let p = NkLandscape::new(10, 0, 1);
+        // With k=0, flipping locus i changes only component i: verify by
+        // comparing component sums.
+        let mut rng = Rng64::new(2);
+        let g = p.random_genome(&mut rng);
+        let f0 = p.evaluate(&g);
+        let mut g2 = g.clone();
+        g2.flip(3);
+        let delta = (p.evaluate(&g2) - f0).abs() * p.n() as f64;
+        let comp_delta = (p.component(&g2, 3) - p.component(&g, 3)).abs();
+        assert!((delta - comp_delta).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nk_fitness_in_unit_interval() {
+        let p = NkLandscape::new(20, 4, 3);
+        let mut rng = Rng64::new(4);
+        for _ in 0..100 {
+            let g = p.random_genome(&mut rng);
+            let f = p.evaluate(&g);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn nk_exact_beats_random() {
+        let p = NkLandscape::new(12, 2, 5);
+        let opt = p.solve_exact();
+        let mut rng = Rng64::new(6);
+        for _ in 0..200 {
+            let g = p.random_genome(&mut rng);
+            assert!(p.evaluate(&g) <= opt + 1e-12);
+        }
+    }
+
+    #[test]
+    fn nk_deterministic_per_seed() {
+        let a = NkLandscape::new(16, 3, 42);
+        let b = NkLandscape::new(16, 3, 42);
+        let mut rng = Rng64::new(0);
+        let g = a.random_genome(&mut rng);
+        assert_eq!(a.evaluate(&g), b.evaluate(&g));
+    }
+
+    #[test]
+    fn maxsat_planted_is_satisfiable() {
+        // Reconstruct the planted assignment by regenerating it.
+        let n = 30;
+        let seed = 77;
+        let mut rng = Rng64::new(seed);
+        let planted = BitString::random(n, &mut rng);
+        let p = MaxSat::planted(n, 120, seed);
+        assert_eq!(p.evaluate(&planted), 120.0);
+        assert!(p.is_optimal(p.evaluate(&planted)));
+    }
+
+    #[test]
+    fn maxsat_random_assignment_satisfies_most_but_not_all() {
+        let p = MaxSat::planted(40, 200, 8);
+        let mut rng = Rng64::new(9);
+        let g = p.random_genome(&mut rng);
+        let f = p.evaluate(&g);
+        // Random assignments satisfy ~7/8 of clauses on average.
+        assert!((200.0 * 0.7..=200.0).contains(&f), "f = {f}");
+    }
+
+    #[test]
+    fn maxsat_clause_vars_distinct() {
+        let p = MaxSat::planted(10, 50, 10);
+        for c in &p.clauses {
+            assert!(c[0].0 != c[1].0 && c[1].0 != c[2].0 && c[0].0 != c[2].0);
+            assert!(c.iter().all(|&(v, _)| v < 10));
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Large-scale feature selection on synthetic classification data
+//! (Moser & Murty 2000 analog — see DESIGN.md substitutions).
+//!
+//! The generator plants `k` informative features out of `d`: class-0 and
+//! class-1 samples differ in mean only on informative features. Fitness of a
+//! feature subset is nearest-centroid classification accuracy on a held-out
+//! split, minus a small per-feature cost that rewards compact subsets.
+
+use pga_core::{BitString, Objective, Problem, Rng64};
+
+/// Synthetic feature-selection problem.
+#[derive(Clone, Debug)]
+pub struct FeatureSelection {
+    d: usize,
+    informative: Vec<bool>,
+    /// Training rows: (features, label).
+    train: Vec<(Vec<f64>, bool)>,
+    /// Held-out rows used for the fitness accuracy.
+    test: Vec<(Vec<f64>, bool)>,
+    feature_cost: f64,
+}
+
+impl FeatureSelection {
+    /// Generates a dataset with `d` features (`k` informative), `n` samples
+    /// per split.
+    ///
+    /// Informative features are separated by 1.5σ between classes; noise
+    /// features are standard normal for both.
+    #[must_use]
+    pub fn synthetic(d: usize, k: usize, n: usize, seed: u64) -> Self {
+        assert!(k >= 1 && k <= d, "need 1 <= k <= d");
+        assert!(n >= 4, "need at least 4 samples per split");
+        let mut rng = Rng64::new(seed);
+        let mut informative = vec![false; d];
+        for idx in rng.sample_distinct(d, k) {
+            informative[idx] = true;
+        }
+        let gen_split = |rng: &mut Rng64| {
+            (0..n)
+                .map(|row| {
+                    let label = row % 2 == 1;
+                    let shift = if label { 0.75 } else { -0.75 };
+                    let features = (0..d)
+                        .map(|f| {
+                            let mean = if informative[f] { shift } else { 0.0 };
+                            rng.gaussian_with(mean, 1.0)
+                        })
+                        .collect();
+                    (features, label)
+                })
+                .collect::<Vec<_>>()
+        };
+        let train = gen_split(&mut rng);
+        let test = gen_split(&mut rng);
+        Self {
+            d,
+            informative,
+            train,
+            test,
+            feature_cost: 0.25 / d as f64,
+        }
+    }
+
+    /// Feature count.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.d
+    }
+
+    /// Mask of planted informative features (ground truth for recovery
+    /// measurements).
+    #[must_use]
+    pub fn informative_mask(&self) -> &[bool] {
+        &self.informative
+    }
+
+    /// Nearest-centroid accuracy on the held-out split using only the
+    /// features selected by `mask`.
+    #[must_use]
+    pub fn accuracy(&self, mask: &BitString) -> f64 {
+        let selected: Vec<usize> = (0..self.d).filter(|&i| mask.get(i)).collect();
+        if selected.is_empty() {
+            return 0.5; // coin flip
+        }
+        // Class centroids from the training split.
+        let mut c0 = vec![0.0; selected.len()];
+        let mut c1 = vec![0.0; selected.len()];
+        let mut n0 = 0.0f64;
+        let mut n1 = 0.0f64;
+        for (x, label) in &self.train {
+            let (c, n) = if *label { (&mut c1, &mut n1) } else { (&mut c0, &mut n0) };
+            for (slot, &f) in c.iter_mut().zip(&selected) {
+                *slot += x[f];
+            }
+            *n += 1.0;
+        }
+        for v in &mut c0 {
+            *v /= n0.max(1.0);
+        }
+        for v in &mut c1 {
+            *v /= n1.max(1.0);
+        }
+        // Classify the held-out split.
+        let mut correct = 0usize;
+        for (x, label) in &self.test {
+            let mut d0 = 0.0;
+            let mut d1 = 0.0;
+            for (s, &f) in selected.iter().enumerate() {
+                d0 += (x[f] - c0[s]).powi(2);
+                d1 += (x[f] - c1[s]).powi(2);
+            }
+            if (d1 < d0) == *label {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.test.len() as f64
+    }
+
+    /// Fraction of selected features that are truly informative, and
+    /// fraction of informative features recovered: `(precision, recall)`.
+    #[must_use]
+    pub fn recovery(&self, mask: &BitString) -> (f64, f64) {
+        let mut tp = 0usize;
+        let mut selected = 0usize;
+        let mut informative = 0usize;
+        for i in 0..self.d {
+            let sel = mask.get(i);
+            let inf = self.informative[i];
+            selected += usize::from(sel);
+            informative += usize::from(inf);
+            tp += usize::from(sel && inf);
+        }
+        let precision = if selected == 0 { 0.0 } else { tp as f64 / selected as f64 };
+        let recall = if informative == 0 { 1.0 } else { tp as f64 / informative as f64 };
+        (precision, recall)
+    }
+}
+
+impl Problem for FeatureSelection {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        format!("feature-select-{}d", self.d)
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.d);
+        self.accuracy(g) - self.feature_cost * g.count_ones() as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.d, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn informative_subset_beats_noise_subset() {
+        let p = FeatureSelection::synthetic(30, 5, 200, 3);
+        let informative = BitString::from_bits(p.informative_mask().iter().copied());
+        let noise = BitString::from_bits(p.informative_mask().iter().map(|&b| !b));
+        let acc_inf = p.accuracy(&informative);
+        let acc_noise = p.accuracy(&noise);
+        assert!(
+            acc_inf > acc_noise + 0.2,
+            "informative {acc_inf} vs noise {acc_noise}"
+        );
+        assert!(acc_inf > 0.8, "informative accuracy {acc_inf}");
+    }
+
+    #[test]
+    fn empty_mask_is_chance_level() {
+        let p = FeatureSelection::synthetic(10, 2, 50, 1);
+        assert_eq!(p.accuracy(&BitString::zeros(10)), 0.5);
+    }
+
+    #[test]
+    fn recovery_metrics() {
+        let p = FeatureSelection::synthetic(10, 4, 20, 2);
+        let perfect = BitString::from_bits(p.informative_mask().iter().copied());
+        assert_eq!(p.recovery(&perfect), (1.0, 1.0));
+        let all = BitString::ones(10);
+        let (prec, rec) = p.recovery(&all);
+        assert_eq!(rec, 1.0);
+        assert!((prec - 0.4).abs() < 1e-12);
+        let none = BitString::zeros(10);
+        assert_eq!(p.recovery(&none), (0.0, 0.0));
+    }
+
+    #[test]
+    fn feature_cost_rewards_compactness() {
+        let p = FeatureSelection::synthetic(20, 3, 100, 4);
+        let informative = BitString::from_bits(p.informative_mask().iter().copied());
+        let all = BitString::ones(20);
+        // Same-ish accuracy but 20 features: fitness must be lower than the
+        // compact informative mask.
+        assert!(p.evaluate(&informative) > p.evaluate(&all));
+    }
+}

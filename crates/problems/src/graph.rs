@@ -1,0 +1,179 @@
+//! Graph bipartitioning (one of the survey's §4 application domains).
+
+use pga_core::{BitString, Objective, Problem, Rng64};
+
+/// Balanced graph bipartitioning: assign each vertex to side 0 or 1,
+/// minimizing cut edges plus a quadratic imbalance penalty.
+///
+/// The planted-partition generator hides a two-community structure
+/// (dense within, sparse across), giving instances where the planted cut is
+/// overwhelmingly likely to be optimal and therefore usable as a target.
+#[derive(Clone, Debug)]
+pub struct GraphBipartition {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    imbalance_penalty: f64,
+    planted_cut: Option<f64>,
+    label: String,
+}
+
+impl GraphBipartition {
+    /// Erdős–Rényi `G(n, p)` instance (no planted structure).
+    #[must_use]
+    pub fn random(n: usize, p: f64, seed: u64) -> Self {
+        assert!(n >= 2);
+        let mut rng = Rng64::new(seed);
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if rng.chance(p) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        Self {
+            n,
+            edges,
+            imbalance_penalty: 1.0,
+            planted_cut: None,
+            label: format!("bipart-gnp-{n}"),
+        }
+    }
+
+    /// Planted two-community instance: vertices `0..n/2` and `n/2..n` form
+    /// communities; within-community edge probability `p_in`, across `p_out`
+    /// (`p_in > p_out` for meaningful structure).
+    #[must_use]
+    pub fn planted(n: usize, p_in: f64, p_out: f64, seed: u64) -> Self {
+        assert!(n >= 4 && n.is_multiple_of(2), "planted instances need even n >= 4");
+        assert!(p_in > p_out, "planted structure needs p_in > p_out");
+        let mut rng = Rng64::new(seed);
+        let half = n / 2;
+        let mut edges = Vec::new();
+        let mut cross = 0usize;
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let same = ((i as usize) < half) == ((j as usize) < half);
+                let p = if same { p_in } else { p_out };
+                if rng.chance(p) {
+                    edges.push((i, j));
+                    if !same {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            n,
+            edges,
+            imbalance_penalty: 1.0,
+            planted_cut: Some(cross as f64),
+            label: format!("bipart-planted-{n}"),
+        }
+    }
+
+    /// Vertex count.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Edge count.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Fitness of the planted partition, when this instance has one.
+    #[must_use]
+    pub fn planted_cut(&self) -> Option<f64> {
+        self.planted_cut
+    }
+
+    /// Cut size and side-size imbalance of a partition.
+    #[must_use]
+    pub fn cut_and_imbalance(&self, g: &BitString) -> (usize, usize) {
+        let cut = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| g.get(a as usize) != g.get(b as usize))
+            .count();
+        let ones = g.count_ones();
+        let imbalance = ones.abs_diff(self.n - ones);
+        (cut, imbalance)
+    }
+}
+
+impl Problem for GraphBipartition {
+    type Genome = BitString;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &BitString) -> f64 {
+        debug_assert_eq!(g.len(), self.n);
+        let (cut, imbalance) = self.cut_and_imbalance(g);
+        cut as f64 + self.imbalance_penalty * (imbalance * imbalance) as f64 / self.n as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.n, rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        self.planted_cut
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_partition_scores_its_cut() {
+        let p = GraphBipartition::planted(40, 0.6, 0.05, 7);
+        let mut g = BitString::zeros(40);
+        for i in 20..40 {
+            g.set(i, true);
+        }
+        // Balanced partition: imbalance penalty 0, fitness = cross edges.
+        assert_eq!(p.evaluate(&g), p.planted_cut().unwrap());
+    }
+
+    #[test]
+    fn imbalance_is_penalized() {
+        let p = GraphBipartition::random(10, 0.0, 1); // no edges
+        let balanced = BitString::from_bits((0..10).map(|i| i < 5));
+        assert_eq!(p.evaluate(&balanced), 0.0);
+        let all_one_side = BitString::ones(10);
+        assert!(p.evaluate(&all_one_side) > 0.0);
+    }
+
+    #[test]
+    fn cut_counts_cross_edges_only() {
+        let p = GraphBipartition {
+            n: 4,
+            edges: vec![(0, 1), (2, 3), (0, 2)],
+            imbalance_penalty: 1.0,
+            planted_cut: None,
+            label: "t".into(),
+        };
+        // Partition {0,1} vs {2,3}: only (0,2) crosses.
+        let g = BitString::from_bits([false, false, true, true]);
+        let (cut, imb) = p.cut_and_imbalance(&g);
+        assert_eq!(cut, 1);
+        assert_eq!(imb, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = GraphBipartition::random(30, 0.3, 42);
+        let b = GraphBipartition::random(30, 0.3, 42);
+        assert_eq!(a.edge_count(), b.edge_count());
+    }
+}

@@ -1,0 +1,253 @@
+//! Continuous benchmark functions (Mühlenbein et al. 1991 and the standard
+//! real-coded GA test set).
+//!
+//! All functions are minimized with global minimum 0; `target` sets the
+//! fitness threshold counted as a "hit" by the efficacy experiments
+//! (default `1e-4`, the common setting in the PGA literature).
+
+use pga_core::{Bounds, Objective, Problem, RealVector, Rng64};
+
+/// Which classical function an instance evaluates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RealFunction {
+    /// Sphere: `Σ x_i²`, unimodal, separable. Bounds ±5.12.
+    Sphere,
+    /// Rastrigin: `10n + Σ (x_i² − 10 cos 2πx_i)`, highly multimodal,
+    /// separable. Bounds ±5.12.
+    Rastrigin,
+    /// Rosenbrock: `Σ 100(x_{i+1} − x_i²)² + (1 − x_i)²`, unimodal but with a
+    /// curved narrow valley. Bounds ±2.048.
+    Rosenbrock,
+    /// Ackley: exponential multimodal function. Bounds ±32.768.
+    Ackley,
+    /// Griewank: `1 + Σ x_i²/4000 − Π cos(x_i/√i)`, multimodal with weak
+    /// epistasis. Bounds ±600.
+    Griewank,
+    /// Schwefel 7 (shifted to minimum 0): `418.9829n − Σ x_i sin(√|x_i|)`.
+    /// Deceptive: the second-best region is far from the optimum. Bounds ±500.
+    Schwefel,
+}
+
+impl RealFunction {
+    /// Conventional symmetric bound for the function.
+    #[must_use]
+    pub fn standard_bound(self) -> f64 {
+        match self {
+            Self::Sphere | Self::Rastrigin => 5.12,
+            Self::Rosenbrock => 2.048,
+            Self::Ackley => 32.768,
+            Self::Griewank => 600.0,
+            Self::Schwefel => 500.0,
+        }
+    }
+
+    /// Function name.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Sphere => "sphere",
+            Self::Rastrigin => "rastrigin",
+            Self::Rosenbrock => "rosenbrock",
+            Self::Ackley => "ackley",
+            Self::Griewank => "griewank",
+            Self::Schwefel => "schwefel",
+        }
+    }
+
+    /// Evaluates the function at `x`.
+    #[must_use]
+    pub fn value(self, x: &[f64]) -> f64 {
+        let n = x.len() as f64;
+        match self {
+            Self::Sphere => x.iter().map(|v| v * v).sum(),
+            Self::Rastrigin => {
+                10.0 * n
+                    + x.iter()
+                        .map(|v| v * v - 10.0 * (2.0 * std::f64::consts::PI * v).cos())
+                        .sum::<f64>()
+            }
+            Self::Rosenbrock => x
+                .windows(2)
+                .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+                .sum(),
+            Self::Ackley => {
+                let a = 20.0;
+                let b = 0.2;
+                let c = 2.0 * std::f64::consts::PI;
+                let sum_sq: f64 = x.iter().map(|v| v * v).sum();
+                let sum_cos: f64 = x.iter().map(|v| (c * v).cos()).sum();
+                a + std::f64::consts::E - a * (-b * (sum_sq / n).sqrt()).exp()
+                    - (sum_cos / n).exp()
+            }
+            Self::Griewank => {
+                let sum: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
+                let prod: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v / ((i + 1) as f64).sqrt()).cos())
+                    .product();
+                1.0 + sum - prod
+            }
+            Self::Schwefel => {
+                418.982_887_272_433_8 * n
+                    - x.iter().map(|v| v * v.abs().sqrt().sin()).sum::<f64>()
+            }
+        }
+    }
+
+    /// Location of the global minimum for one coordinate.
+    #[must_use]
+    pub fn argmin_coord(self) -> f64 {
+        match self {
+            Self::Rosenbrock => 1.0,
+            Self::Schwefel => 420.968_746,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A continuous minimization problem over a [`RealVector`] genome.
+#[derive(Clone, Debug)]
+pub struct RealProblem {
+    function: RealFunction,
+    bounds: Bounds,
+    target: f64,
+}
+
+impl RealProblem {
+    /// `function` in `dim` dimensions with its standard bounds and hit
+    /// threshold `1e-4`.
+    #[must_use]
+    pub fn new(function: RealFunction, dim: usize) -> Self {
+        let b = function.standard_bound();
+        Self {
+            function,
+            bounds: Bounds::uniform(-b, b, dim),
+            target: 1e-4,
+        }
+    }
+
+    /// Overrides the hit threshold used as the "optimum reached" criterion.
+    #[must_use]
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// The box constraints (share these with real-coded operators).
+    #[must_use]
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The wrapped function.
+    #[must_use]
+    pub fn function(&self) -> RealFunction {
+        self.function
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.bounds.dim()
+    }
+}
+
+impl Problem for RealProblem {
+    type Genome = RealVector;
+
+    fn name(&self) -> String {
+        format!("{}-{}d", self.function.label(), self.bounds.dim())
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &RealVector) -> f64 {
+        debug_assert_eq!(g.len(), self.bounds.dim());
+        self.function.value(g.values())
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> RealVector {
+        self.bounds.sample(rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        Some(0.0)
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [RealFunction; 6] = [
+        RealFunction::Sphere,
+        RealFunction::Rastrigin,
+        RealFunction::Rosenbrock,
+        RealFunction::Ackley,
+        RealFunction::Griewank,
+        RealFunction::Schwefel,
+    ];
+
+    #[test]
+    fn minima_are_zero_at_argmin() {
+        for f in ALL {
+            let x = vec![f.argmin_coord(); 10];
+            let v = f.value(&x);
+            assert!(v.abs() < 1e-3, "{}: f(argmin) = {v}", f.label());
+        }
+    }
+
+    #[test]
+    fn random_points_are_worse_than_minimum() {
+        let mut rng = Rng64::new(1);
+        for f in ALL {
+            let p = RealProblem::new(f, 8);
+            for _ in 0..50 {
+                let g = p.random_genome(&mut rng);
+                assert!(p.evaluate(&g) >= -1e-9, "{} negative", f.label());
+            }
+        }
+    }
+
+    #[test]
+    fn sphere_known_value() {
+        assert_eq!(RealFunction::Sphere.value(&[1.0, 2.0, 3.0]), 14.0);
+    }
+
+    #[test]
+    fn rastrigin_known_value() {
+        // At x = (1,1): 20 + (1 - 10) + (1 - 10) = 2.
+        let v = RealFunction::Rastrigin.value(&[1.0, 1.0]);
+        assert!((v - 2.0).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn rosenbrock_known_value() {
+        assert_eq!(RealFunction::Rosenbrock.value(&[1.0, 1.0, 1.0]), 0.0);
+        assert_eq!(RealFunction::Rosenbrock.value(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn hit_threshold_controls_is_optimal() {
+        let p = RealProblem::new(RealFunction::Sphere, 4).with_target(0.01);
+        assert!(p.is_optimal(0.005));
+        assert!(!p.is_optimal(0.05));
+    }
+
+    #[test]
+    fn genomes_respect_bounds() {
+        let p = RealProblem::new(RealFunction::Griewank, 12);
+        let mut rng = Rng64::new(2);
+        for _ in 0..50 {
+            let g = p.random_genome(&mut rng);
+            assert!(p.bounds().contains(&g));
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! DAG task-graph scheduling onto homogeneous processors (Kwok & Ahmad 1997).
+//!
+//! A genome is a priority permutation over tasks; a deterministic list
+//! scheduler turns priorities into a schedule whose makespan is the fitness.
+
+use pga_core::{Objective, Permutation, Problem, Rng64};
+
+/// A task DAG plus a processor count.
+#[derive(Clone, Debug)]
+pub struct TaskGraphScheduling {
+    /// Computation cost per task.
+    costs: Vec<u64>,
+    /// `preds[t]` lists tasks that must finish before `t` starts.
+    preds: Vec<Vec<u32>>,
+    processors: usize,
+    label: String,
+}
+
+impl TaskGraphScheduling {
+    /// Random layered DAG: `layers` layers of `width` tasks; each task
+    /// depends on 1–3 random tasks of the previous layer; costs 1–20.
+    #[must_use]
+    pub fn random_layered(layers: usize, width: usize, processors: usize, seed: u64) -> Self {
+        assert!(layers >= 1 && width >= 1 && processors >= 1);
+        let mut rng = Rng64::new(seed);
+        let n = layers * width;
+        let costs: Vec<u64> = (0..n).map(|_| 1 + rng.next_u64() % 20).collect();
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for layer in 1..layers {
+            for w in 0..width {
+                let t = layer * width + w;
+                let deps = 1 + rng.below(3.min(width));
+                let picks = rng.sample_distinct(width, deps);
+                for p in picks {
+                    preds[t].push(((layer - 1) * width + p) as u32);
+                }
+            }
+        }
+        Self {
+            costs,
+            preds,
+            processors,
+            label: format!("sched-{layers}x{width}-p{processors}"),
+        }
+    }
+
+    /// Explicit DAG; `preds[t]` must reference earlier tasks only
+    /// (topological numbering).
+    #[must_use]
+    pub fn new(costs: Vec<u64>, preds: Vec<Vec<u32>>, processors: usize) -> Self {
+        assert_eq!(costs.len(), preds.len());
+        assert!(processors >= 1);
+        for (t, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                assert!((p as usize) < t, "preds must form a topological order");
+            }
+        }
+        let n = costs.len();
+        Self {
+            costs,
+            preds,
+            processors,
+            label: format!("sched-{n}-p{processors}"),
+        }
+    }
+
+    /// Task count.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Processor count.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Critical-path lower bound on the makespan.
+    #[must_use]
+    pub fn critical_path(&self) -> u64 {
+        let n = self.costs.len();
+        let mut finish = vec![0u64; n];
+        for t in 0..n {
+            let ready = self.preds[t].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            finish[t] = ready + self.costs[t];
+        }
+        finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Work-based lower bound: `ceil(total_cost / processors)`.
+    #[must_use]
+    pub fn work_bound(&self) -> u64 {
+        let total: u64 = self.costs.iter().sum();
+        total.div_ceil(self.processors as u64)
+    }
+
+    /// List-schedules tasks by the genome's priority order and returns the
+    /// makespan. Ready tasks are started in priority order on the earliest
+    /// available processor.
+    #[must_use]
+    pub fn makespan(&self, priority: &Permutation) -> u64 {
+        let n = self.costs.len();
+        debug_assert_eq!(priority.len(), n);
+        // priority_rank[t] = position of task t in the genome (lower = sooner).
+        let priority_rank = priority.inverse();
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (t, ps) in self.preds.iter().enumerate() {
+            for &p in ps {
+                succs[p as usize].push(t as u32);
+            }
+        }
+        let mut ready: Vec<u32> = (0..n as u32).filter(|&t| indegree[t as usize] == 0).collect();
+        let mut finish = vec![0u64; n];
+        let mut proc_free = vec![0u64; self.processors];
+        let mut scheduled = 0usize;
+        while scheduled < n {
+            debug_assert!(!ready.is_empty(), "cycle in task graph");
+            // Highest-priority ready task.
+            let (pos, _) = ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &t)| priority_rank[t as usize])
+                .expect("ready set non-empty");
+            let t = ready.swap_remove(pos) as usize;
+            // Earliest start: all preds finished AND a processor free.
+            let deps_done = self.preds[t].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let (proc, &free_at) = proc_free
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &f)| f)
+                .expect("at least one processor");
+            let start = deps_done.max(free_at);
+            finish[t] = start + self.costs[t];
+            proc_free[proc] = finish[t];
+            scheduled += 1;
+            for &s in &succs[t] {
+                indegree[s as usize] -= 1;
+                if indegree[s as usize] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        finish.iter().copied().max().unwrap_or(0)
+    }
+}
+
+impl Problem for TaskGraphScheduling {
+    type Genome = Permutation;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &Permutation) -> f64 {
+        self.makespan(g) as f64
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> Permutation {
+        Permutation::random(self.costs.len(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_tasks_pack_onto_processors() {
+        // 4 tasks of cost 5, no deps, 2 processors -> makespan 10.
+        let p = TaskGraphScheduling::new(vec![5, 5, 5, 5], vec![vec![]; 4], 2);
+        let m = p.makespan(&Permutation::identity(4));
+        assert_eq!(m, 10);
+        assert_eq!(p.work_bound(), 10);
+    }
+
+    #[test]
+    fn chain_respects_dependencies() {
+        // Chain of 3 tasks: makespan = sum of costs regardless of processors.
+        let p = TaskGraphScheduling::new(vec![3, 4, 5], vec![vec![], vec![0], vec![1]], 4);
+        assert_eq!(p.makespan(&Permutation::identity(3)), 12);
+        assert_eq!(p.critical_path(), 12);
+    }
+
+    #[test]
+    fn makespan_never_beats_lower_bounds() {
+        let p = TaskGraphScheduling::random_layered(4, 5, 3, 11);
+        let lb = p.critical_path().max(p.work_bound());
+        let mut rng = Rng64::new(12);
+        for _ in 0..100 {
+            let g = p.random_genome(&mut rng);
+            assert!(p.makespan(&g) >= lb);
+        }
+    }
+
+    #[test]
+    fn priority_order_matters() {
+        // Two independent chains of different length on one processor:
+        // running the long chain's head late delays it.
+        let p = TaskGraphScheduling::new(
+            vec![10, 1, 10, 1],
+            vec![vec![], vec![], vec![0], vec![1]],
+            1,
+        );
+        // All schedules on 1 processor have makespan = total = 22.
+        assert_eq!(p.makespan(&Permutation::identity(4)), 22);
+    }
+
+    #[test]
+    fn single_processor_makespan_is_total_work() {
+        let p = TaskGraphScheduling::random_layered(3, 3, 1, 5);
+        let total: u64 = p.costs.iter().sum();
+        let mut rng = Rng64::new(6);
+        let g = p.random_genome(&mut rng);
+        assert_eq!(p.makespan(&g), total);
+    }
+
+    #[test]
+    #[should_panic(expected = "topological")]
+    fn forward_dependency_rejected() {
+        let _ = TaskGraphScheduling::new(vec![1, 1], vec![vec![1], vec![]], 1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Symmetric Euclidean traveling-salesman instances.
+//!
+//! TSP is the case study of Sena et al. (2001) for island PGAs on clusters;
+//! the circle instance family has a known optimum (visiting the points in
+//! angular order), which gives exact efficacy measurements.
+
+use pga_core::{Objective, Permutation, Problem, Rng64};
+
+/// A symmetric TSP instance with a precomputed distance matrix.
+#[derive(Clone, Debug)]
+pub struct Tsp {
+    n: usize,
+    /// Row-major `n×n` distance matrix.
+    dist: Vec<f64>,
+    known_optimum: Option<f64>,
+    label: String,
+}
+
+impl Tsp {
+    /// Uniform random cities in the unit square (no known optimum).
+    #[must_use]
+    pub fn random_euclidean(n: usize, seed: u64) -> Self {
+        assert!(n >= 3, "TSP needs at least 3 cities");
+        let mut rng = Rng64::new(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.next_f64(), rng.next_f64())).collect();
+        Self::from_points(&pts, None, format!("tsp-rand-{n}"))
+    }
+
+    /// `n` cities equally spaced on a unit-radius circle. The optimal tour
+    /// follows the circle; its length is `n · 2·sin(π/n)` (the perimeter of
+    /// the inscribed regular n-gon).
+    #[must_use]
+    pub fn circle(n: usize) -> Self {
+        assert!(n >= 3, "TSP needs at least 3 cities");
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / n as f64;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        let side = 2.0 * (std::f64::consts::PI / n as f64).sin();
+        Self::from_points(&pts, Some(n as f64 * side), format!("tsp-circle-{n}"))
+    }
+
+    /// Builds an instance from explicit coordinates.
+    #[must_use]
+    pub fn from_points(pts: &[(f64, f64)], known_optimum: Option<f64>, label: String) -> Self {
+        let n = pts.len();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                let dx = pts[i].0 - pts[j].0;
+                let dy = pts[i].1 - pts[j].1;
+                dist[i * n + j] = (dx * dx + dy * dy).sqrt();
+            }
+        }
+        Self {
+            n,
+            dist,
+            known_optimum,
+            label,
+        }
+    }
+
+    /// City count.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Distance between cities `i` and `j`.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.dist[i * self.n + j]
+    }
+
+    /// Length of the closed tour visiting cities in the permutation's order.
+    #[must_use]
+    pub fn tour_length(&self, tour: &Permutation) -> f64 {
+        debug_assert_eq!(tour.len(), self.n);
+        let o = tour.order();
+        let mut total = 0.0;
+        for w in 0..self.n {
+            let from = o[w] as usize;
+            let to = o[(w + 1) % self.n] as usize;
+            total += self.distance(from, to);
+        }
+        total
+    }
+}
+
+impl Problem for Tsp {
+    type Genome = Permutation;
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+
+    fn objective(&self) -> Objective {
+        Objective::Minimize
+    }
+
+    fn evaluate(&self, g: &Permutation) -> f64 {
+        self.tour_length(g)
+    }
+
+    fn random_genome(&self, rng: &mut Rng64) -> Permutation {
+        Permutation::random(self.n, rng)
+    }
+
+    fn optimum(&self) -> Option<f64> {
+        self.known_optimum
+    }
+
+    fn optimum_epsilon(&self) -> f64 {
+        1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circle_identity_tour_is_optimal() {
+        let p = Tsp::circle(16);
+        let ident = Permutation::identity(16);
+        let len = p.evaluate(&ident);
+        assert!(p.is_optimal(len), "len = {len}, opt = {:?}", p.optimum());
+    }
+
+    #[test]
+    fn circle_shuffled_tour_is_longer() {
+        let p = Tsp::circle(24);
+        let mut rng = Rng64::new(3);
+        let opt = p.optimum().unwrap();
+        for _ in 0..50 {
+            let tour = p.random_genome(&mut rng);
+            assert!(p.evaluate(&tour) >= opt - 1e-9);
+        }
+    }
+
+    #[test]
+    fn distance_matrix_is_symmetric_with_zero_diagonal() {
+        let p = Tsp::random_euclidean(12, 8);
+        for i in 0..12 {
+            assert_eq!(p.distance(i, i), 0.0);
+            for j in 0..12 {
+                assert!((p.distance(i, j) - p.distance(j, i)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn tour_length_is_rotation_invariant() {
+        let p = Tsp::random_euclidean(10, 2);
+        let mut rng = Rng64::new(4);
+        let tour = p.random_genome(&mut rng);
+        let rotated: Vec<u32> = tour
+            .order()
+            .iter()
+            .cycle()
+            .skip(3)
+            .take(10)
+            .copied()
+            .collect();
+        let rotated = Permutation::new(rotated);
+        assert!((p.evaluate(&tour) - p.evaluate(&rotated)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tour_length_is_reversal_invariant() {
+        let p = Tsp::random_euclidean(10, 5);
+        let mut rng = Rng64::new(6);
+        let tour = p.random_genome(&mut rng);
+        let rev = Permutation::new(tour.order().iter().rev().copied().collect());
+        assert!((p.evaluate(&tour) - p.evaluate(&rev)).abs() < 1e-12);
+    }
+}

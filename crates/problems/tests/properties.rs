@@ -1,0 +1,120 @@
+//! Property-based invariants of the benchmark problems.
+
+use pga_core::{BitString, Permutation, Problem, Rng64};
+use pga_problems::{
+    DeceptiveTrap, GraphBipartition, Knapsack, MaxSat, NkLandscape, OneMax, PPeaks, RealFunction,
+    RealProblem, SubsetSum, TaskGraphScheduling, Tsp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn fitness_never_beats_known_optimum(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        // Maximization problems with exact optima.
+        let onemax = OneMax::new(64);
+        let trap = DeceptiveTrap::new(4, 8);
+        let ppeaks = PPeaks::new(10, 48, 3);
+        let maxsat = MaxSat::planted(30, 120, 4);
+        for _ in 0..8 {
+            let g = onemax.random_genome(&mut rng);
+            prop_assert!(onemax.evaluate(&g) <= onemax.optimum().unwrap());
+            let g = trap.random_genome(&mut rng);
+            prop_assert!(trap.evaluate(&g) <= trap.optimum().unwrap());
+            let g = ppeaks.random_genome(&mut rng);
+            prop_assert!(ppeaks.evaluate(&g) <= ppeaks.optimum().unwrap() + 1e-12);
+            let g = maxsat.random_genome(&mut rng);
+            prop_assert!(maxsat.evaluate(&g) <= maxsat.optimum().unwrap());
+        }
+    }
+
+    #[test]
+    fn minimization_problems_never_undershoot(seed in any::<u64>()) {
+        let mut rng = Rng64::new(seed);
+        let subset = SubsetSum::planted(32, 500, 5);
+        for f in [
+            RealFunction::Sphere,
+            RealFunction::Rastrigin,
+            RealFunction::Ackley,
+            RealFunction::Griewank,
+        ] {
+            let p = RealProblem::new(f, 6);
+            let g = p.random_genome(&mut rng);
+            prop_assert!(p.evaluate(&g) >= -1e-9, "{}", p.name());
+        }
+        let g = subset.random_genome(&mut rng);
+        prop_assert!(subset.evaluate(&g) >= 0.0);
+    }
+
+    #[test]
+    fn nk_fitness_stays_in_unit_interval(seed in any::<u64>(), k in 0usize..5) {
+        let p = NkLandscape::new(18, k, seed);
+        let mut rng = Rng64::new(seed ^ 1);
+        for _ in 0..8 {
+            let g = p.random_genome(&mut rng);
+            let f = p.evaluate(&g);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn knapsack_feasible_scores_at_most_dp_optimum(seed in any::<u64>()) {
+        let p = Knapsack::random(20, 30, 40, seed);
+        let mut rng = Rng64::new(seed ^ 2);
+        for _ in 0..16 {
+            let g = p.random_genome(&mut rng);
+            let f = p.evaluate(&g);
+            prop_assert!(f <= p.exact_optimum() as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn tsp_tour_invariances(seed in any::<u64>()) {
+        let p = Tsp::random_euclidean(16, seed);
+        let mut rng = Rng64::new(seed ^ 3);
+        let tour = p.random_genome(&mut rng);
+        let len = p.evaluate(&tour);
+        prop_assert!(len > 0.0);
+        // Rotation invariance.
+        let rotated: Vec<u32> = tour.order().iter().cycle().skip(5).take(16).copied().collect();
+        prop_assert!((p.evaluate(&Permutation::new(rotated)) - len).abs() < 1e-9);
+        // Reversal invariance.
+        let reversed: Vec<u32> = tour.order().iter().rev().copied().collect();
+        prop_assert!((p.evaluate(&Permutation::new(reversed)) - len).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheduling_makespan_dominates_bounds(seed in any::<u64>(), procs in 1usize..6) {
+        let p = TaskGraphScheduling::random_layered(3, 4, procs, seed);
+        let lb = p.critical_path().max(p.work_bound());
+        let mut rng = Rng64::new(seed ^ 4);
+        for _ in 0..8 {
+            let g = p.random_genome(&mut rng);
+            prop_assert!(p.makespan(&g) >= lb);
+        }
+    }
+
+    #[test]
+    fn bipartition_cut_bounded_by_edges(seed in any::<u64>()) {
+        let p = GraphBipartition::random(24, 0.2, seed);
+        let mut rng = Rng64::new(seed ^ 5);
+        for _ in 0..8 {
+            let g = BitString::random(24, &mut rng);
+            let (cut, imbalance) = p.cut_and_imbalance(&g);
+            prop_assert!(cut <= p.edge_count());
+            prop_assert!(imbalance <= 24);
+        }
+    }
+
+    #[test]
+    fn instances_are_pure_values(seed in any::<u64>()) {
+        // Same seed, same instance: evaluation agrees on shared genomes.
+        let a = PPeaks::new(8, 40, seed);
+        let b = PPeaks::new(8, 40, seed);
+        let mut rng = Rng64::new(1);
+        for _ in 0..4 {
+            let g = a.random_genome(&mut rng);
+            prop_assert_eq!(a.evaluate(&g), b.evaluate(&g));
+        }
+    }
+}

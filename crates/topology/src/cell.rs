@@ -1,0 +1,113 @@
+//! Neighborhood shapes for fine-grained (cellular) GAs.
+
+/// Neighborhood of a cell on a toroidal 2-D grid.
+///
+/// The two classic shapes from the cellular-EA literature:
+/// *linear5/Von Neumann* (N, S, E, W) and *compact9/Moore* (all 8 adjacent
+/// cells). Both include the center cell itself, matching the convention of
+/// Giacobini et al. (2003) where the current individual competes with its
+/// neighbors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellNeighborhood {
+    /// Von Neumann / linear5: center + 4 orthogonal neighbors.
+    VonNeumann,
+    /// Moore / compact9: center + 8 surrounding cells.
+    Moore,
+}
+
+impl CellNeighborhood {
+    /// Short name for harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::VonNeumann => "linear5",
+            Self::Moore => "compact9",
+        }
+    }
+
+    /// Neighborhood size including the center.
+    #[must_use]
+    pub fn size(self) -> usize {
+        match self {
+            Self::VonNeumann => 5,
+            Self::Moore => 9,
+        }
+    }
+
+    /// Relative offsets `(dr, dc)` including `(0, 0)`.
+    #[must_use]
+    pub fn offsets(self) -> &'static [(i32, i32)] {
+        match self {
+            Self::VonNeumann => &[(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)],
+            Self::Moore => &[
+                (0, 0),
+                (-1, -1),
+                (-1, 0),
+                (-1, 1),
+                (0, -1),
+                (0, 1),
+                (1, -1),
+                (1, 0),
+                (1, 1),
+            ],
+        }
+    }
+
+    /// Flat indices of the neighborhood of cell `(r, c)` on a `rows × cols`
+    /// torus, center first.
+    #[must_use]
+    pub fn neighbors(self, r: usize, c: usize, rows: usize, cols: usize) -> Vec<usize> {
+        assert!(r < rows && c < cols, "cell ({r},{c}) outside {rows}x{cols}");
+        self.offsets()
+            .iter()
+            .map(|&(dr, dc)| {
+                let nr = (r as i32 + dr).rem_euclid(rows as i32) as usize;
+                let nc = (c as i32 + dc).rem_euclid(cols as i32) as usize;
+                nr * cols + nc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_offsets() {
+        for n in [CellNeighborhood::VonNeumann, CellNeighborhood::Moore] {
+            assert_eq!(n.offsets().len(), n.size());
+            assert_eq!(n.neighbors(0, 0, 8, 8).len(), n.size());
+        }
+    }
+
+    #[test]
+    fn center_is_first() {
+        let nb = CellNeighborhood::Moore.neighbors(3, 4, 8, 8);
+        assert_eq!(nb[0], 3 * 8 + 4);
+    }
+
+    #[test]
+    fn torus_wraps_at_edges() {
+        let nb = CellNeighborhood::VonNeumann.neighbors(0, 0, 4, 4);
+        // Center (0,0)=0, up (3,0)=12, down (1,0)=4, left (0,3)=3, right (0,1)=1.
+        assert_eq!(nb, vec![0, 12, 4, 3, 1]);
+    }
+
+    #[test]
+    fn neighbors_are_distinct_on_big_grids() {
+        for shape in [CellNeighborhood::VonNeumann, CellNeighborhood::Moore] {
+            let mut nb = shape.neighbors(5, 5, 16, 16);
+            nb.sort_unstable();
+            nb.dedup();
+            assert_eq!(nb.len(), shape.size());
+        }
+    }
+
+    #[test]
+    fn tiny_grid_duplicates_are_allowed() {
+        // On a 1x1 torus every offset maps to the same cell.
+        let nb = CellNeighborhood::Moore.neighbors(0, 0, 1, 1);
+        assert!(nb.iter().all(|&i| i == 0));
+    }
+}

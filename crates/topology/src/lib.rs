@@ -1,0 +1,453 @@
+//! # pga-topology
+//!
+//! Inter-deme communication topologies for coarse-grained (island) PGAs and
+//! neighborhood shapes for fine-grained (cellular) PGAs — the structures the
+//! survey's §3.2 lists as "multi-grids, cubes, hypercube, various meshes,
+//! toruses, pipelines, bi-directional and uni-directional rings".
+//!
+//! A [`Topology`] answers one question: *to which islands does island `i`
+//! send its emigrants?* Everything else (graph metrics, validation) supports
+//! the topology experiments (E10: sparse vs fully-connected).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cell;
+
+pub use cell::CellNeighborhood;
+
+use pga_core::Rng64;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Inter-island communication structure.
+///
+/// `neighbors(i, n)` yields the *out-neighbors* of island `i` among `n`
+/// islands — the destinations of its emigrants. All topologies are
+/// deterministic; [`Topology::Random`] derives its edges from an embedded
+/// seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Topology {
+    /// No edges: every deme evolves in isolation (the control arm of E10).
+    Isolated,
+    /// Unidirectional ring: `i → (i+1) mod n`. The classic island layout
+    /// (Alba & Troya's dGA ring).
+    RingUni,
+    /// Bidirectional ring: `i → i±1 mod n`.
+    RingBi,
+    /// Fully connected: `i → all j ≠ i` (Cantú-Paz's best-quality topology).
+    Complete,
+    /// Star: hub 0 exchanges with all leaves; leaves talk only to the hub.
+    Star,
+    /// 2-D mesh of `rows × cols` islands; `torus` wraps the edges.
+    Grid2D {
+        /// Grid rows; `rows · cols` must equal the island count.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+        /// Wrap edges (torus) or clip at the border (mesh).
+        torus: bool,
+    },
+    /// Binary hypercube: requires the island count to be a power of two;
+    /// `i → i XOR 2^b` for each bit `b`.
+    Hypercube,
+    /// Each island draws `k` distinct random out-neighbors from `seed`.
+    Random {
+        /// Out-degree per island.
+        k: usize,
+        /// Seed for deterministic edge generation.
+        seed: u64,
+    },
+    /// Rooted tree with the given branching factor (hierarchical models);
+    /// edges are bidirectional (parent ↔ child).
+    Tree {
+        /// Children per node.
+        branching: usize,
+    },
+}
+
+/// Errors from [`Topology::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The island count is incompatible with the topology shape.
+    IncompatibleSize {
+        /// Topology name.
+        topology: String,
+        /// Offending island count.
+        n: usize,
+        /// What the topology requires.
+        requirement: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IncompatibleSize { topology, n, requirement } => {
+                write!(f, "topology {topology} incompatible with {n} islands: {requirement}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+impl Topology {
+    /// Human-readable name for harness tables.
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            Self::Isolated => "isolated".into(),
+            Self::RingUni => "ring".into(),
+            Self::RingBi => "ring-bi".into(),
+            Self::Complete => "complete".into(),
+            Self::Star => "star".into(),
+            Self::Grid2D { rows, cols, torus } => {
+                format!("{}{}x{}", if *torus { "torus-" } else { "grid-" }, rows, cols)
+            }
+            Self::Hypercube => "hypercube".into(),
+            Self::Random { k, .. } => format!("random-{k}"),
+            Self::Tree { branching } => format!("tree-{branching}"),
+        }
+    }
+
+    /// Checks that `n` islands fit this topology.
+    pub fn validate(&self, n: usize) -> Result<(), TopologyError> {
+        let fail = |req: &str| {
+            Err(TopologyError::IncompatibleSize {
+                topology: self.name(),
+                n,
+                requirement: req.into(),
+            })
+        };
+        match self {
+            Self::Grid2D { rows, cols, .. }
+                if (rows * cols != n || *rows == 0 || *cols == 0) => {
+                    return fail(&format!("rows*cols must equal n ({rows}x{cols} != {n})"));
+                }
+            Self::Hypercube
+                if (n == 0 || !n.is_power_of_two()) => {
+                    return fail("island count must be a power of two");
+                }
+            Self::Random { k, .. }
+                if *k >= n => {
+                    return fail("out-degree k must be < n");
+                }
+            Self::Tree { branching }
+                if *branching == 0 => {
+                    return fail("branching factor must be >= 1");
+                }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Out-neighbors of island `i` among `n` islands (sorted, no
+    /// duplicates, never contains `i`). Panics if `i >= n` or the topology
+    /// fails validation.
+    #[must_use]
+    pub fn neighbors(&self, i: usize, n: usize) -> Vec<usize> {
+        assert!(i < n, "island index {i} out of range {n}");
+        self.validate(n).expect("invalid topology for island count");
+        if n == 1 {
+            return Vec::new();
+        }
+        let mut out = match self {
+            Self::Isolated => Vec::new(),
+            Self::RingUni => vec![(i + 1) % n],
+            Self::RingBi => vec![(i + 1) % n, (i + n - 1) % n],
+            Self::Complete => (0..n).filter(|&j| j != i).collect(),
+            Self::Star => {
+                if i == 0 {
+                    (1..n).collect()
+                } else {
+                    vec![0]
+                }
+            }
+            Self::Grid2D { rows, cols, torus } => {
+                let (r, c) = (i / cols, i % cols);
+                let mut v = Vec::with_capacity(4);
+                let deltas: [(isize, isize); 4] = [(-1, 0), (1, 0), (0, -1), (0, 1)];
+                for (dr, dc) in deltas {
+                    let (nr, nc) = if *torus {
+                        (
+                            (r as isize + dr).rem_euclid(*rows as isize) as usize,
+                            (c as isize + dc).rem_euclid(*cols as isize) as usize,
+                        )
+                    } else {
+                        let nr = r as isize + dr;
+                        let nc = c as isize + dc;
+                        if nr < 0 || nr >= *rows as isize || nc < 0 || nc >= *cols as isize {
+                            continue;
+                        }
+                        (nr as usize, nc as usize)
+                    };
+                    let neighbor = nr * cols + nc;
+                    // A 1-wide torus axis wraps back onto the cell itself;
+                    // drop the self-loop to keep the invariant.
+                    if neighbor != i {
+                        v.push(neighbor);
+                    }
+                }
+                v
+            }
+            Self::Hypercube => {
+                let bits = n.trailing_zeros();
+                (0..bits).map(|b| i ^ (1 << b)).collect()
+            }
+            Self::Random { k, seed } => {
+                // Per-island fork keeps edges independent of query order.
+                let mut rng = Rng64::new(*seed).fork(i as u64);
+                let mut pool: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+                rng.shuffle(&mut pool);
+                pool.truncate(*k);
+                pool
+            }
+            Self::Tree { branching } => {
+                let b = *branching;
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push((i - 1) / b); // parent
+                }
+                for c in 0..b {
+                    let child = i * b + 1 + c;
+                    if child < n {
+                        v.push(child);
+                    }
+                }
+                v
+            }
+        };
+        out.sort_unstable();
+        out.dedup();
+        debug_assert!(!out.contains(&i));
+        out
+    }
+
+    /// Full adjacency list for `n` islands.
+    #[must_use]
+    pub fn adjacency(&self, n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| self.neighbors(i, n)).collect()
+    }
+
+    /// `true` when every island can reach every other following out-edges.
+    #[must_use]
+    pub fn is_strongly_connected(&self, n: usize) -> bool {
+        if n <= 1 {
+            return true;
+        }
+        let adj = self.adjacency(n);
+        (0..n).all(|start| reachable_count(&adj, start) == n)
+    }
+
+    /// Longest shortest-path over all ordered pairs, or `None` when some
+    /// pair is unreachable. The communication-latency proxy of E10.
+    #[must_use]
+    pub fn diameter(&self, n: usize) -> Option<usize> {
+        if n <= 1 {
+            return Some(0);
+        }
+        let adj = self.adjacency(n);
+        let mut diameter = 0;
+        for start in 0..n {
+            let dist = bfs_distances(&adj, start);
+            for (j, d) in dist.iter().enumerate() {
+                if j != start {
+                    match d {
+                        None => return None,
+                        Some(d) => diameter = diameter.max(*d),
+                    }
+                }
+            }
+        }
+        Some(diameter)
+    }
+
+    /// Mean out-degree.
+    #[must_use]
+    pub fn mean_degree(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        let total: usize = self.adjacency(n).iter().map(Vec::len).sum();
+        total as f64 / n as f64
+    }
+}
+
+fn bfs_distances(adj: &[Vec<usize>], start: usize) -> Vec<Option<usize>> {
+    let mut dist = vec![None; adj.len()];
+    dist[start] = Some(0);
+    let mut q = VecDeque::from([start]);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u].expect("queued nodes have distances");
+        for &v in &adj[u] {
+            if dist[v].is_none() {
+                dist[v] = Some(du + 1);
+                q.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+fn reachable_count(adj: &[Vec<usize>], start: usize) -> usize {
+    bfs_distances(adj, start).iter().flatten().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 8;
+
+    fn all_topologies() -> Vec<Topology> {
+        vec![
+            Topology::Isolated,
+            Topology::RingUni,
+            Topology::RingBi,
+            Topology::Complete,
+            Topology::Star,
+            Topology::Grid2D { rows: 2, cols: 4, torus: true },
+            Topology::Grid2D { rows: 2, cols: 4, torus: false },
+            Topology::Hypercube,
+            Topology::Random { k: 3, seed: 1 },
+            Topology::Tree { branching: 2 },
+        ]
+    }
+
+    #[test]
+    fn neighbors_are_sorted_unique_and_exclude_self() {
+        for t in all_topologies() {
+            for i in 0..N {
+                let nb = t.neighbors(i, N);
+                let mut sorted = nb.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(nb, sorted, "{}", t.name());
+                assert!(!nb.contains(&i), "{} self-loop at {i}", t.name());
+                assert!(nb.iter().all(|&j| j < N));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_uni_structure() {
+        let t = Topology::RingUni;
+        assert_eq!(t.neighbors(0, 4), vec![1]);
+        assert_eq!(t.neighbors(3, 4), vec![0]);
+        assert!(t.is_strongly_connected(4));
+        assert_eq!(t.diameter(4), Some(3));
+    }
+
+    #[test]
+    fn ring_bi_diameter_is_half() {
+        assert_eq!(Topology::RingBi.diameter(8), Some(4));
+        assert_eq!(Topology::RingBi.neighbors(0, 8), vec![1, 7]);
+    }
+
+    #[test]
+    fn complete_has_diameter_one() {
+        let t = Topology::Complete;
+        assert_eq!(t.diameter(6), Some(1));
+        assert_eq!(t.mean_degree(6), 5.0);
+    }
+
+    #[test]
+    fn star_routes_through_hub() {
+        let t = Topology::Star;
+        assert_eq!(t.neighbors(0, 5), vec![1, 2, 3, 4]);
+        assert_eq!(t.neighbors(3, 5), vec![0]);
+        assert_eq!(t.diameter(5), Some(2));
+    }
+
+    #[test]
+    fn torus_wraps_and_mesh_clips() {
+        let torus = Topology::Grid2D { rows: 3, cols: 3, torus: true };
+        // Corner 0 on a torus has 4 neighbors.
+        assert_eq!(torus.neighbors(0, 9).len(), 4);
+        let mesh = Topology::Grid2D { rows: 3, cols: 3, torus: false };
+        // Corner 0 on a mesh has 2 neighbors; center has 4.
+        assert_eq!(mesh.neighbors(0, 9).len(), 2);
+        assert_eq!(mesh.neighbors(4, 9).len(), 4);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = Topology::Hypercube;
+        assert_eq!(t.neighbors(0, 8), vec![1, 2, 4]);
+        assert_eq!(t.diameter(8), Some(3));
+        assert!(t.validate(6).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic_and_k_out_regular() {
+        let t = Topology::Random { k: 3, seed: 9 };
+        for i in 0..N {
+            let a = t.neighbors(i, N);
+            let b = t.neighbors(i, N);
+            assert_eq!(a, b);
+            assert_eq!(a.len(), 3);
+        }
+        let t2 = Topology::Random { k: 3, seed: 10 };
+        assert_ne!(
+            (0..N).map(|i| t.neighbors(i, N)).collect::<Vec<_>>(),
+            (0..N).map(|i| t2.neighbors(i, N)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tree_parent_child_links() {
+        let t = Topology::Tree { branching: 2 };
+        assert_eq!(t.neighbors(0, 7), vec![1, 2]);
+        assert_eq!(t.neighbors(1, 7), vec![0, 3, 4]);
+        assert_eq!(t.neighbors(6, 7), vec![2]);
+        assert!(t.is_strongly_connected(7));
+    }
+
+    #[test]
+    fn isolated_is_disconnected() {
+        let t = Topology::Isolated;
+        assert!(!t.is_strongly_connected(2));
+        assert_eq!(t.diameter(2), None);
+        assert_eq!(t.mean_degree(4), 0.0);
+    }
+
+    #[test]
+    fn connected_topologies_are_strongly_connected() {
+        for t in all_topologies() {
+            if t == Topology::Isolated {
+                continue;
+            }
+            if let Topology::Random { .. } = t {
+                continue; // connectivity not guaranteed for random k-out
+            }
+            assert!(t.is_strongly_connected(N), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn single_island_has_no_neighbors() {
+        for t in [Topology::RingUni, Topology::Complete, Topology::Star] {
+            assert!(t.neighbors(0, 1).is_empty(), "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn validate_errors() {
+        assert!(Topology::Grid2D { rows: 2, cols: 3, torus: true }.validate(5).is_err());
+        assert!(Topology::Random { k: 8, seed: 0 }.validate(8).is_err());
+        assert!(Topology::Tree { branching: 0 }.validate(4).is_err());
+        assert!(Topology::Hypercube.validate(8).is_ok());
+    }
+
+    #[test]
+    fn diameter_ordering_matches_cantu_paz() {
+        // Fully connected reaches everyone in 1 hop; sparse rings take longer:
+        // the structural fact behind E10's topology results.
+        let n = 16;
+        let complete = Topology::Complete.diameter(n).unwrap();
+        let hyper = Topology::Hypercube.diameter(n).unwrap();
+        let ring = Topology::RingUni.diameter(n).unwrap();
+        assert!(complete < hyper && hyper < ring);
+    }
+}

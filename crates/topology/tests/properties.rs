@@ -1,0 +1,125 @@
+//! Property-based invariants of the topology layer.
+
+use pga_topology::{CellNeighborhood, Topology};
+use proptest::prelude::*;
+
+fn undirected_topologies() -> Vec<Topology> {
+    vec![
+        Topology::RingBi,
+        Topology::Complete,
+        Topology::Star,
+        Topology::Tree { branching: 2 },
+        Topology::Tree { branching: 3 },
+    ]
+}
+
+fn any_topology_for(n: usize) -> Vec<Topology> {
+    let mut ts = vec![
+        Topology::Isolated,
+        Topology::RingUni,
+        Topology::RingBi,
+        Topology::Complete,
+        Topology::Star,
+        Topology::Tree { branching: 2 },
+    ];
+    if n >= 2 {
+        ts.push(Topology::Random { k: 1, seed: 7 });
+    }
+    if n.is_power_of_two() {
+        ts.push(Topology::Hypercube);
+    }
+    ts
+}
+
+proptest! {
+    #[test]
+    fn neighbors_always_sorted_unique_in_range(n in 1usize..64) {
+        for t in any_topology_for(n) {
+            for i in 0..n {
+                let nb = t.neighbors(i, n);
+                let mut sorted = nb.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(&nb, &sorted, "{} not sorted/unique", t.name());
+                prop_assert!(!nb.contains(&i), "{} self-loop", t.name());
+                prop_assert!(nb.iter().all(|&j| j < n), "{} out of range", t.name());
+            }
+        }
+    }
+
+    #[test]
+    fn undirected_topologies_have_symmetric_adjacency(n in 2usize..48) {
+        for t in undirected_topologies() {
+            let adj = t.adjacency(n);
+            for (i, nbs) in adj.iter().enumerate() {
+                for &j in nbs {
+                    prop_assert!(
+                        adj[j].contains(&i),
+                        "{}: edge {}->{} not mirrored", t.name(), i, j
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn diameter_bounded_by_n_minus_one(n in 2usize..32) {
+        for t in any_topology_for(n) {
+            if t == Topology::Isolated {
+                continue;
+            }
+            if let Some(d) = t.diameter(n) {
+                prop_assert!(d < n, "{} diameter {} > {}", t.name(), d, n - 1);
+                prop_assert!(d >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_degree_is_log2(pow in 1u32..7) {
+        let n = 1usize << pow;
+        for i in 0..n {
+            prop_assert_eq!(Topology::Hypercube.neighbors(i, n).len(), pow as usize);
+        }
+        prop_assert_eq!(Topology::Hypercube.diameter(n), Some(pow as usize));
+    }
+
+    #[test]
+    fn grid_total_degree_matches_shape(rows in 1usize..8, cols in 1usize..8) {
+        let n = rows * cols;
+        let torus = Topology::Grid2D { rows, cols, torus: true };
+        // On a torus every cell has 4 neighbor slots, but wrapping on a
+        // 1- or 2-wide axis collapses duplicates; degree is still >= 1 for
+        // any non-trivial grid.
+        if n > 1 {
+            for i in 0..n {
+                let deg = torus.neighbors(i, n).len();
+                prop_assert!((1..=4).contains(&deg), "degree {} at {}", deg, i);
+            }
+            prop_assert!(torus.is_strongly_connected(n));
+        }
+    }
+
+    #[test]
+    fn cell_neighborhoods_stay_in_grid(r in 0usize..16, c in 0usize..16,
+                                       extra_r in 1usize..16, extra_c in 1usize..16) {
+        let rows = r + extra_r;
+        let cols = c + extra_c;
+        for shape in [CellNeighborhood::VonNeumann, CellNeighborhood::Moore] {
+            let nb = shape.neighbors(r, c, rows, cols);
+            prop_assert_eq!(nb.len(), shape.size());
+            prop_assert!(nb.iter().all(|&i| i < rows * cols));
+            prop_assert_eq!(nb[0], r * cols + c, "center first");
+        }
+    }
+
+    #[test]
+    fn random_topology_is_deterministic(n in 2usize..40, k in 1usize..4, seed in any::<u64>()) {
+        let k = k.min(n - 1);
+        let t = Topology::Random { k, seed };
+        for i in 0..n {
+            prop_assert_eq!(t.neighbors(i, n), t.neighbors(i, n));
+            prop_assert_eq!(t.neighbors(i, n).len(), k);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Adaptive Range GA on transonic-wing design (Oyama et al. 2000 analog):
+//! the decoding range zooms onto the elite population statistics every few
+//! generations, then a fixed-range GA gets the same budget for comparison.
+//!
+//! ```sh
+//! cargo run --release --example wing_arga
+//! ```
+
+use parallel_ga::apps::{adaptive_range_search, fixed_range_search, ArgaConfig, WingDesign};
+use std::sync::Arc;
+
+fn main() {
+    let problem = Arc::new(WingDesign::new(10, 99));
+    let config = ArgaConfig::default();
+    println!(
+        "wing surrogate with {} design variables; {} stages x {} generations\n",
+        10, config.stages, config.stage_generations
+    );
+
+    let arga = adaptive_range_search(&problem, config, 7);
+    let fixed = fixed_range_search(&problem, config, arga.evaluations, 7);
+
+    println!("                      ARGA        fixed range");
+    println!("best drag fitness : {:>9.5}   {:>9.5}", arga.best_fitness, fixed.best_fitness);
+    println!(
+        "design error      : {:>9.5}   {:>9.5}",
+        problem.design_error(&arga.best),
+        problem.design_error(&fixed.best)
+    );
+    println!("evaluations       : {:>9}   {:>9}", arga.evaluations, fixed.evaluations);
+    println!("range adaptations : {:>9}   {:>9}", arga.adaptations, fixed.adaptations);
+
+    println!("\nfinal ARGA decoding range vs planted optimum:");
+    for (d, ((lo, hi), opt)) in arga
+        .final_range
+        .iter()
+        .zip(problem.optimal_design())
+        .enumerate()
+    {
+        let inside = if *lo <= *opt && *opt <= *hi { "ok" } else { "missed" };
+        println!("  x{d:<2} in [{lo:.3}, {hi:.3}]  optimum {opt:.3}  {inside}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # parallel-ga
+//!
+//! Umbrella crate for the `pga-*` workspace: a production-quality Rust
+//! implementation of the parallel genetic algorithm models surveyed in
+//! Konfršt, *Parallel Genetic Algorithms: Advances, Computing Trends,
+//! Applications and Perspectives* (IPPS 2004).
+//!
+//! Re-exports every subsystem crate under a short module name so examples
+//! and downstream users need a single dependency:
+//!
+//! | Module | Crate | PGA model / role |
+//! |---|---|---|
+//! | [`core`] | `pga-core` | panmictic GA engine, operators, representations |
+//! | [`problems`] | `pga-problems` | benchmark suite with known optima |
+//! | [`topology`] | `pga-topology` | migration topologies, cell neighborhoods |
+//! | [`cluster`] | `pga-cluster` | discrete-event cluster simulator |
+//! | [`master_slave`] | `pga-master-slave` | global (data-parallel) model |
+//! | [`island`] | `pga-island` | coarse-grained (distributed) model |
+//! | [`cellular`] | `pga-cellular` | fine-grained (cellular) model |
+//! | [`hierarchical`] | `pga-hierarchical` | multi-layer, multi-fidelity model |
+//! | [`multiobjective`] | `pga-multiobjective` | Pareto tools + specialized island model |
+//! | [`analysis`] | `pga-analysis` | experiment runner, speedup/efficacy metrics |
+//! | [`apps`] | `pga-apps` | application substrates (MLP/stock, images, signals) |
+
+#![warn(missing_docs)]
+
+pub use pga_analysis as analysis;
+pub use pga_apps as apps;
+pub use pga_cellular as cellular;
+pub use pga_cluster as cluster;
+pub use pga_core as core;
+pub use pga_hierarchical as hierarchical;
+pub use pga_island as island;
+pub use pga_master_slave as master_slave;
+pub use pga_multiobjective as multiobjective;
+pub use pga_problems as problems;
+pub use pga_topology as topology;

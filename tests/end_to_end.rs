@@ -1,0 +1,181 @@
+//! End-to-end integration: every engine solves representative problems
+//! through the public umbrella API.
+
+use parallel_ga::cellular::{CellularGa, UpdatePolicy};
+use parallel_ga::core::ops::{
+    BitFlip, BlxAlpha, GaussianMutation, Inversion, OnePoint, Ox, ReplacementPolicy, Tournament,
+};
+use parallel_ga::core::{Ga, GaBuilder, Problem, Scheme, StopReason, Termination};
+use parallel_ga::island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::master_slave::RayonEvaluator;
+use parallel_ga::problems::{
+    DeceptiveTrap, Knapsack, MaxSat, Mttp, OneMax, PPeaks, RealFunction, RealProblem, SubsetSum,
+    Tsp,
+};
+use parallel_ga::topology::Topology;
+use std::sync::Arc;
+
+#[test]
+fn sequential_ga_solves_binary_suite() {
+    // One engine family, four problem classes with known optima.
+    let cases: Vec<(Arc<dyn Problem<Genome = parallel_ga::core::BitString>>, usize)> = vec![
+        (Arc::new(OneMax::new(96)), 96),
+        (Arc::new(DeceptiveTrap::new(3, 16)), 48),
+        (Arc::new(MaxSat::planted(40, 160, 1)), 40),
+        (Arc::new(SubsetSum::planted(40, 1000, 2)), 40),
+    ];
+    for (problem, len) in cases {
+        let name = problem.name();
+        let mut ga = GaBuilder::new(problem)
+            .seed(5)
+            .pop_size(120)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(len))
+            .scheme(Scheme::Generational { elitism: 2 })
+            .build()
+            .expect("valid configuration");
+        let r = ga
+            .run(&Termination::new().until_optimum().max_generations(1500))
+            .expect("bounded");
+        assert!(r.hit_optimum, "{name}: best {}", r.best_fitness());
+        assert_eq!(r.stop, StopReason::TargetReached, "{name}");
+    }
+}
+
+#[test]
+fn sequential_ga_minimizes_sphere() {
+    let problem = RealProblem::new(RealFunction::Sphere, 8).with_target(1e-2);
+    let bounds = problem.bounds().clone();
+    let mut ga = Ga::builder(problem)
+        .seed(3)
+        .pop_size(60)
+        .selection(Tournament::binary())
+        .crossover(BlxAlpha::new(bounds.clone()))
+        .mutation(GaussianMutation {
+            p: 0.2,
+            sigma: 0.2,
+            bounds,
+        })
+        .scheme(Scheme::Generational { elitism: 1 })
+        .build()
+        .expect("valid configuration");
+    let r = ga
+        .run(&Termination::new().until_optimum().max_generations(2000))
+        .expect("bounded");
+    assert!(r.hit_optimum, "best {}", r.best_fitness());
+}
+
+#[test]
+fn threaded_islands_solve_knapsack_to_dp_optimum() {
+    let problem = Arc::new(Knapsack::random(48, 50, 60, 3));
+    let islands = (0..4)
+        .map(|i| {
+            GaBuilder::new(Arc::clone(&problem))
+                .seed(100 + i)
+                .pop_size(60)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(48))
+                .scheme(Scheme::SteadyState {
+                    replacement: ReplacementPolicy::WorstIfBetter,
+                })
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    let r = run_threaded(
+        islands,
+        &Topology::RingUni,
+        MigrationPolicy::default(),
+        IslandStop::generations(800),
+        false,
+    );
+    assert!(
+        r.hit_optimum,
+        "islands reached {} of DP optimum {}",
+        r.best.fitness(),
+        problem.exact_optimum()
+    );
+}
+
+#[test]
+fn sequential_archipelago_solves_tsp_circle() {
+    let tsp = Arc::new(Tsp::circle(24));
+    let islands = (0..4)
+        .map(|i| {
+            GaBuilder::new(Arc::clone(&tsp))
+                .seed(7 + i)
+                .pop_size(50)
+                .selection(Tournament::new(3))
+                .crossover(Ox)
+                .mutation(Inversion)
+                .scheme(Scheme::Generational { elitism: 2 })
+                .build()
+                .expect("valid configuration")
+        })
+        .collect();
+    let mut arch = Archipelago::new(islands, Topology::RingBi, MigrationPolicy::default());
+    let r = arch.run(&IslandStop::generations(1500));
+    assert!(r.hit_optimum, "tour {} vs optimum {:?}", r.best.fitness(), tsp.optimum());
+}
+
+#[test]
+fn cellular_ga_solves_ppeaks_under_every_policy() {
+    for policy in UpdatePolicy::ALL {
+        let mut cga = CellularGa::builder(PPeaks::new(20, 48, 5))
+            .grid(12, 12)
+            .update_policy(policy)
+            .seed(9)
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(48))
+            .build()
+            .expect("valid configuration");
+        let _ = cga.run(400);
+        assert!(
+            cga.problem().is_optimal(cga.best_ever().fitness()),
+            "{}: best {}",
+            policy.name(),
+            cga.best_ever().fitness()
+        );
+    }
+}
+
+#[test]
+fn steady_state_ga_matches_mttp_exhaustive_optimum() {
+    // Small enough for the exact solver; the GA must match it.
+    let mttp = Mttp::random(16, 3);
+    let exact = mttp.solve_exact();
+    let mut ga = GaBuilder::new(Arc::new(mttp))
+        .seed(4)
+        .pop_size(80)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(16))
+        .scheme(Scheme::SteadyState {
+            replacement: ReplacementPolicy::WorstIfBetter,
+        })
+        .build()
+        .expect("valid configuration");
+    let r = ga
+        .run(&Termination::new().target_fitness(exact).max_generations(1500))
+        .expect("bounded");
+    assert_eq!(r.best_fitness(), exact, "GA {} vs exact {exact}", r.best_fitness());
+}
+
+#[test]
+fn master_slave_ga_solves_trap() {
+    let mut ga = GaBuilder::new(Arc::new(DeceptiveTrap::new(3, 12)))
+        .seed(1)
+        .pop_size(100)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(36))
+        .evaluator(RayonEvaluator::new(2))
+        .build()
+        .expect("valid configuration");
+    let r = ga
+        .run(&Termination::new().until_optimum().max_generations(1000))
+        .expect("bounded");
+    assert!(r.hit_optimum);
+}
