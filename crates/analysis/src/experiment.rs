@@ -50,7 +50,11 @@ impl RepeatedOutcome {
         let secs: Vec<f64> = outcomes.iter().map(|o| o.elapsed.as_secs_f64()).collect();
         Self {
             runs,
-            efficacy: if runs == 0 { 0.0 } else { hits as f64 / runs as f64 },
+            efficacy: if runs == 0 {
+                0.0
+            } else {
+                hits as f64 / runs as f64
+            },
             best: Summary::of(&best),
             evals_to_solution: Summary::of(&evals),
             seconds: Summary::of(&secs),
@@ -116,9 +120,6 @@ mod tests {
         assert_eq!(seen, vec![1000, 1001, 1002, 1003, 1004]);
         assert_eq!(out.runs, 5);
         let out2 = repeat(5, 1000, |seed| outcome(true, seed, 0.0));
-        assert_eq!(
-            out.evals_to_solution.mean,
-            out2.evals_to_solution.mean
-        );
+        assert_eq!(out.evals_to_solution.mean, out2.evals_to_solution.mean);
     }
 }

@@ -10,10 +10,14 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod observe_report;
 pub mod stats;
 pub mod table;
 
 pub use experiment::{repeat, RepeatedOutcome, RunOutcome};
-pub use metrics::{effort_speedup, efficiency, logistic_growth_rate, speedup, takeover_area, takeover_time};
+pub use metrics::{
+    efficiency, effort_speedup, logistic_growth_rate, speedup, takeover_area, takeover_time,
+};
+pub use observe_report::{counters_table, gauges_table, histogram_table, render_snapshot};
 pub use stats::Summary;
 pub use table::Table;

@@ -146,9 +146,7 @@ mod tests {
         let slow: Vec<f64> = (0..30)
             .map(|t| 1.0 / (1.0 + 99.0 * (-0.2 * t as f64).exp()))
             .collect();
-        assert!(
-            logistic_growth_rate(&fast).unwrap() > logistic_growth_rate(&slow).unwrap()
-        );
+        assert!(logistic_growth_rate(&fast).unwrap() > logistic_growth_rate(&slow).unwrap());
     }
 
     #[test]

@@ -1,0 +1,134 @@
+//! Rendering `pga-observe` metrics snapshots as plain-text tables.
+//!
+//! `pga-observe` sits below every engine crate and stays dependency-free,
+//! so presentation lives here, next to the experiment harness's other
+//! [`Table`] output.
+
+use crate::table::{fmt_f64, Table};
+use pga_observe::{Histogram, MetricsSnapshot};
+
+/// Counters as a two-column table (sorted by name — snapshots iterate
+/// deterministically).
+#[must_use]
+pub fn counters_table(snapshot: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(vec!["counter", "value"]).with_title("counters");
+    for (name, value) in &snapshot.counters {
+        t.row(vec![name.clone(), value.to_string()]);
+    }
+    t
+}
+
+/// Gauges as a two-column table.
+#[must_use]
+pub fn gauges_table(snapshot: &MetricsSnapshot) -> Table {
+    let mut t = Table::new(vec!["gauge", "value"]).with_title("gauges");
+    for (name, value) in &snapshot.gauges {
+        t.row(vec![name.clone(), fmt_f64(*value, 3)]);
+    }
+    t
+}
+
+/// One histogram as a bucket table with an ASCII bar per bucket, titled
+/// with the summary statistics.
+#[must_use]
+pub fn histogram_table(name: &str, histogram: &Histogram) -> Table {
+    const BAR_WIDTH: u64 = 24;
+    let title = match histogram.mean() {
+        Some(mean) => format!(
+            "{name} (count={}, mean={}, min={}, max={})",
+            histogram.count(),
+            fmt_f64(mean, 3),
+            fmt_f64(histogram.min().unwrap_or(f64::NAN), 3),
+            fmt_f64(histogram.max().unwrap_or(f64::NAN), 3),
+        ),
+        None => format!("{name} (empty)"),
+    };
+    let mut t = Table::new(vec!["bucket", "count", "bar"]).with_title(title);
+    let peak = histogram.counts().iter().copied().max().unwrap_or(0).max(1);
+    for (i, &count) in histogram.counts().iter().enumerate() {
+        let bucket = match histogram.bounds().get(i) {
+            Some(b) => format!("<= {}", fmt_f64(*b, 3)),
+            None => format!(
+                "> {}",
+                fmt_f64(*histogram.bounds().last().expect("bounds non-empty"), 3)
+            ),
+        };
+        let bar = "#".repeat((count * BAR_WIDTH / peak) as usize);
+        t.row(vec![bucket, count.to_string(), bar]);
+    }
+    t
+}
+
+/// Renders a whole snapshot — counters, gauges, then every histogram —
+/// as one string, skipping empty sections.
+#[must_use]
+pub fn render_snapshot(snapshot: &MetricsSnapshot) -> String {
+    let mut sections = Vec::new();
+    if !snapshot.counters.is_empty() {
+        sections.push(counters_table(snapshot).render());
+    }
+    if !snapshot.gauges.is_empty() {
+        sections.push(gauges_table(snapshot).render());
+    }
+    for (name, histogram) in &snapshot.histograms {
+        sections.push(histogram_table(name, histogram).render());
+    }
+    sections.join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_observe::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let mut reg = Registry::new();
+        reg.inc("events.generation_completed", 40);
+        reg.inc("migration.sent", 6);
+        reg.set_gauge("run.best_ever", 31.0);
+        reg.histogram_with_bounds("eval.batch_micros", vec![10.0, 100.0, 1000.0]);
+        for v in [5.0, 50.0, 60.0, 2000.0] {
+            reg.observe("eval.batch_micros", v);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn snapshot_renders_all_sections() {
+        let out = render_snapshot(&sample());
+        assert!(out.contains("== counters =="));
+        assert!(out.contains("migration.sent"));
+        assert!(out.contains("== gauges =="));
+        assert!(out.contains("run.best_ever"));
+        assert!(out.contains("eval.batch_micros (count=4"));
+        assert!(out.contains("> 1000"));
+    }
+
+    #[test]
+    fn histogram_bars_scale_to_peak() {
+        let snap = sample();
+        let t = histogram_table("eval.batch_micros", &snap.histograms["eval.batch_micros"]);
+        let rendered = t.render();
+        // The fullest bucket (2 observations) gets the longest bar.
+        let full: Vec<&str> = rendered.lines().filter(|l| l.contains('#')).collect();
+        assert!(!full.is_empty());
+        assert!(full.iter().any(|l| l.contains(&"#".repeat(24))));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        assert!(render_snapshot(&MetricsSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn delta_render_shows_differenced_counters() {
+        let mut reg = Registry::new();
+        reg.inc("events.generation_completed", 10);
+        let before = reg.snapshot();
+        reg.inc("events.generation_completed", 7);
+        let delta = reg.snapshot().delta(&before);
+        let out = counters_table(&delta).render();
+        assert!(out.contains('7'), "{out}");
+        assert!(!out.contains("17"), "{out}");
+    }
+}

@@ -307,7 +307,11 @@ mod tests {
     #[test]
     fn identity_warp_is_identity() {
         let img = Image::synthetic(24, 24, 4, 2);
-        let warped = img.warp(RigidTransform { tx: 0.0, ty: 0.0, theta: 0.0 });
+        let warped = img.warp(RigidTransform {
+            tx: 0.0,
+            ty: 0.0,
+            theta: 0.0,
+        });
         for (a, b) in img.pixels.iter().zip(&warped.pixels) {
             assert!((a - b).abs() < 1e-6);
         }
@@ -317,7 +321,11 @@ mod tests {
     fn translation_shifts_pixels() {
         let mut img = Image::new(8, 8);
         img.pixels[3 * 8 + 3] = 1.0;
-        let shifted = img.warp(RigidTransform { tx: 2.0, ty: 1.0, theta: 0.0 });
+        let shifted = img.warp(RigidTransform {
+            tx: 2.0,
+            ty: 1.0,
+            theta: 0.0,
+        });
         assert!((shifted.get(5, 4) - 1.0).abs() < 1e-6);
         assert!(shifted.get(3, 3) < 1e-6);
     }
@@ -326,7 +334,11 @@ mod tests {
     fn ncc_self_is_one_and_shift_lowers_it() {
         let img = Image::synthetic(32, 32, 6, 3);
         assert!((img.ncc(&img) - 1.0).abs() < 1e-9);
-        let shifted = img.warp(RigidTransform { tx: 5.0, ty: -3.0, theta: 0.1 });
+        let shifted = img.warp(RigidTransform {
+            tx: 5.0,
+            ty: -3.0,
+            theta: 0.1,
+        });
         assert!(img.ncc(&shifted) < 0.99);
     }
 
@@ -341,7 +353,11 @@ mod tests {
     #[test]
     fn registration_fitness_minimal_at_truth() {
         let scene = Image::synthetic(40, 40, 8, 5);
-        let truth = RigidTransform { tx: 3.0, ty: -2.0, theta: 0.05 };
+        let truth = RigidTransform {
+            tx: 3.0,
+            ty: -2.0,
+            theta: 0.05,
+        };
         // The "floating" image is the scene moved by the *inverse* story:
         // we observe `scene` and a moved copy; searching for `truth` should
         // re-align them.
@@ -373,7 +389,11 @@ mod tests {
 
     #[test]
     fn error_vs_ground_truth() {
-        let truth = RigidTransform { tx: 1.0, ty: 2.0, theta: 0.1 };
+        let truth = RigidTransform {
+            tx: 1.0,
+            ty: 2.0,
+            theta: 0.1,
+        };
         let (dt, dr) = Registration::error_vs(&RealVector::new(vec![4.0, 6.0, 0.3]), truth);
         assert!((dt - 5.0).abs() < 1e-12);
         assert!((dr - 0.2).abs() < 1e-12);

@@ -32,9 +32,9 @@ pub mod stock;
 pub mod wing;
 
 pub use image::{Image, Registration, RigidTransform};
-pub use reactor::ReactorDesign;
 pub use market::{MarketSeries, TradingOutcome};
 pub use mlp::Mlp;
+pub use reactor::ReactorDesign;
 pub use spectral::{ArSignal, SpectralFit};
 pub use stock::StockPrediction;
 pub use wing::{adaptive_range_search, fixed_range_search, ArgaConfig, ArgaReport, WingDesign};

@@ -89,9 +89,7 @@ impl MarketSeries {
         for lag in 0..5 {
             f.push(self.daily_return(t - lag) * 100.0);
         }
-        let ma = |w: usize| -> f64 {
-            self.prices[t + 1 - w..=t].iter().sum::<f64>() / w as f64
-        };
+        let ma = |w: usize| -> f64 { self.prices[t + 1 - w..=t].iter().sum::<f64>() / w as f64 };
         f.push((self.prices[t] / ma(5) - 1.0) * 100.0);
         f.push((self.prices[t] / ma(20) - 1.0) * 100.0);
         f.push((self.prices[t] / self.prices[t - 10] - 1.0) * 100.0);
@@ -152,10 +150,7 @@ mod tests {
         let a = MarketSeries::generate(300, 5);
         let b = MarketSeries::generate(300, 5);
         assert_eq!(a.prices(), b.prices());
-        assert_ne!(
-            a.prices(),
-            MarketSeries::generate(300, 6).prices()
-        );
+        assert_ne!(a.prices(), MarketSeries::generate(300, 6).prices());
     }
 
     #[test]
@@ -179,7 +174,12 @@ mod tests {
         let m = MarketSeries::generate(300, 7);
         let out = m.buy_and_hold(20, 299);
         let ratio = m.prices()[299] / m.prices()[20];
-        assert!((out.wealth - 0.999 * ratio).abs() < 1e-9, "{} vs {}", out.wealth, ratio);
+        assert!(
+            (out.wealth - 0.999 * ratio).abs() < 1e-9,
+            "{} vs {}",
+            out.wealth,
+            ratio
+        );
         assert_eq!(out.days_long, out.days_total);
     }
 

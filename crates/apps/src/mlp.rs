@@ -18,10 +18,7 @@ impl Mlp {
     /// Number of parameters a topology needs.
     #[must_use]
     pub fn parameter_count(sizes: &[usize]) -> usize {
-        sizes
-            .windows(2)
-            .map(|w| w[1] * w[0] + w[1])
-            .sum()
+        sizes.windows(2).map(|w| w[1] * w[0] + w[1]).sum()
     }
 
     /// Builds a network from a flat parameter vector.
@@ -66,7 +63,11 @@ impl Mlp {
                 for (x, wgt) in activations.iter().zip(row) {
                     sum += x * wgt;
                 }
-                next.push(if t == last_transition { sum } else { sum.tanh() });
+                next.push(if t == last_transition {
+                    sum
+                } else {
+                    sum.tanh()
+                });
             }
             offset += n_out * n_in + n_out;
             activations = next;

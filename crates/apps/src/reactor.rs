@@ -189,7 +189,11 @@ mod tests {
         // Push all dimensions away: flux drops, penalty kicks in.
         let mut values = p.optimal_config().to_vec();
         for z in 0..p.zones() {
-            values[3 * z + 2] = if p.optimal_config()[3 * z + 2] < 5 { 9 } else { 0 };
+            values[3 * z + 2] = if p.optimal_config()[3 * z + 2] < 5 {
+                9
+            } else {
+                0
+            };
         }
         let starved = IntVector::new(values, 0, 9);
         assert!(p.thermal_flux(&starved) < 0.9);
@@ -206,15 +210,20 @@ mod tests {
         }
     }
 
-    fn island(problem: &Arc<ReactorDesign>, pop: usize, seed: u64)
-        -> pga_core::Ga<Arc<ReactorDesign>>
-    {
+    fn island(
+        problem: &Arc<ReactorDesign>,
+        pop: usize,
+        seed: u64,
+    ) -> pga_core::Ga<Arc<ReactorDesign>> {
         GaBuilder::new(Arc::clone(problem))
             .seed(seed)
             .pop_size(pop)
             .selection(Tournament::binary())
             .crossover(Uniform::half())
-            .mutation(IntCreep { p: 0.1, max_step: 2 })
+            .mutation(IntCreep {
+                p: 0.1,
+                max_step: 2,
+            })
             .scheme(Scheme::Generational { elitism: 1 })
             .build()
             .unwrap()

@@ -200,7 +200,11 @@ fn stage_ga(
 /// re-centering on the elite's mean ± `sigma_factor`·σ (clipped to the
 /// problem's global bounds).
 #[must_use]
-pub fn adaptive_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, seed: u64) -> ArgaReport {
+pub fn adaptive_range_search(
+    problem: &Arc<WingDesign>,
+    config: ArgaConfig,
+    seed: u64,
+) -> ArgaReport {
     let dim = problem.bounds().dim();
     let mut bounds = problem.bounds().clone();
     let mut best: Option<(RealVector, f64)> = None;
@@ -208,7 +212,12 @@ pub fn adaptive_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, seed
     let mut adaptations = 0usize;
 
     for stage in 0..config.stages {
-        let mut ga = stage_ga(problem, bounds.clone(), config.pop_size, seed + stage as u64);
+        let mut ga = stage_ga(
+            problem,
+            bounds.clone(),
+            config.pop_size,
+            seed + stage as u64,
+        );
         let r = ga
             .run(&Termination::new().max_generations(config.stage_generations))
             .expect("bounded");
@@ -254,7 +263,12 @@ pub fn adaptive_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, seed
 /// evaluation budget an ARGA run spent (pass
 /// [`ArgaReport::evaluations`] for a like-for-like comparison).
 #[must_use]
-pub fn fixed_range_search(problem: &Arc<WingDesign>, config: ArgaConfig, budget_evals: u64, seed: u64) -> ArgaReport {
+pub fn fixed_range_search(
+    problem: &Arc<WingDesign>,
+    config: ArgaConfig,
+    budget_evals: u64,
+    seed: u64,
+) -> ArgaReport {
     let mut ga = stage_ga(problem, problem.bounds().clone(), config.pop_size, seed);
     let r = ga
         .run(&Termination::new().max_evaluations(budget_evals))
@@ -331,7 +345,10 @@ mod tests {
             .zip(p.optimal_design())
             .filter(|((lo, hi), o)| *lo <= **o && **o <= *hi)
             .count();
-        assert!(bracketed >= report.final_range.len() / 2, "bracketed {bracketed}");
+        assert!(
+            bracketed >= report.final_range.len() / 2,
+            "bracketed {bracketed}"
+        );
     }
 
     #[test]

@@ -44,11 +44,8 @@ fn bench(c: &mut Criterion) {
     for k in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, &k| {
             b.iter(|| {
-                let mut arch = Archipelago::new(
-                    islands(k, 1),
-                    Topology::RingUni,
-                    MigrationPolicy::default(),
-                );
+                let mut arch =
+                    Archipelago::new(islands(k, 1), Topology::RingUni, MigrationPolicy::default());
                 arch.run(&stop())
             })
         });

@@ -31,17 +31,13 @@ fn bench(c: &mut Criterion) {
         });
         for workers in [1usize, 2, 4] {
             let evaluator = RayonEvaluator::new(workers);
-            group.bench_with_input(
-                BenchmarkId::new("rayon", workers),
-                &workers,
-                |b, _| {
-                    b.iter_batched(
-                        || batch(&mut rng),
-                        |mut members| evaluator.evaluate_batch(&problem, &mut members),
-                        BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new("rayon", workers), &workers, |b, _| {
+                b.iter_batched(
+                    || batch(&mut rng),
+                    |mut members| evaluator.evaluate_batch(&problem, &mut members),
+                    BatchSize::SmallInput,
+                )
+            });
         }
         group.finish();
     }

@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
 use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator};
-use pga_island::{run_threaded, Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode};
+use pga_island::{
+    run_threaded, Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode,
+};
 use pga_problems::OneMax;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -55,7 +57,8 @@ fn bench(c: &mut Criterion) {
     // of the migration machinery itself.
     group.bench_function("sequential/isolated", |b| {
         b.iter(|| {
-            let mut a = Archipelago::new(islands(1), Topology::RingUni, MigrationPolicy::isolated());
+            let mut a =
+                Archipelago::new(islands(1), Topology::RingUni, MigrationPolicy::isolated());
             a.run(&stop())
         })
     });
@@ -76,7 +79,10 @@ fn bench(c: &mut Criterion) {
         );
     }
     // Threaded engine: sync barrier vs async channel drain.
-    for (name, sync) in [("sync", SyncMode::Synchronous), ("async", SyncMode::Asynchronous)] {
+    for (name, sync) in [
+        ("sync", SyncMode::Synchronous),
+        ("async", SyncMode::Asynchronous),
+    ] {
         group.bench_function(format!("threaded/{name}_every4"), |b| {
             b.iter(|| {
                 run_threaded(

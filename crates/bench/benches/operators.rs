@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pga_core::ops::crossover::{Crossover, Cx, OnePoint, Ox, Pmx, TwoPoint, Uniform};
 use pga_core::ops::mutation::{BitFlip, GaussianMutation, Inversion, Mutation, Polynomial, Swap};
 use pga_core::ops::selection::{LinearRank, Roulette, Selection, Sus, Tournament};
-use pga_core::{BitString, Bounds, Individual, Objective, Permutation, Population, RealVector, Rng64};
+use pga_core::{
+    BitString, Bounds, Individual, Objective, Permutation, Population, RealVector, Rng64,
+};
 use std::hint::black_box;
 
 const BITS: usize = 256;
@@ -34,8 +36,16 @@ fn bench_real_operators(c: &mut Criterion) {
     let bounds = Bounds::uniform(-5.0, 5.0, DIMS);
     let mut rng = Rng64::new(2);
     let a = bounds.sample(&mut rng);
-    let gaussian = GaussianMutation { p: 0.2, sigma: 0.3, bounds: bounds.clone() };
-    let poly = Polynomial { p: 0.2, eta: 20.0, bounds };
+    let gaussian = GaussianMutation {
+        p: 0.2,
+        sigma: 0.3,
+        bounds: bounds.clone(),
+    };
+    let poly = Polynomial {
+        p: 0.2,
+        eta: 20.0,
+        bounds,
+    };
     let mut group = c.benchmark_group("mutation_real64");
     group.bench_function("gaussian", |bch| {
         bch.iter_batched(

@@ -29,12 +29,28 @@ fn benches(c: &mut Criterion) {
     bench_problem(c, "eval/maxsat60x240", &MaxSat::planted(60, 240, 1));
     bench_problem(c, "eval/subset_sum64", &SubsetSum::planted(64, 10_000, 1));
     bench_problem(c, "eval/knapsack64", &Knapsack::random(64, 50, 50, 1));
-    bench_problem(c, "eval/rastrigin32", &RealProblem::new(RealFunction::Rastrigin, 32));
-    bench_problem(c, "eval/griewank32", &RealProblem::new(RealFunction::Griewank, 32));
+    bench_problem(
+        c,
+        "eval/rastrigin32",
+        &RealProblem::new(RealFunction::Rastrigin, 32),
+    );
+    bench_problem(
+        c,
+        "eval/griewank32",
+        &RealProblem::new(RealFunction::Griewank, 32),
+    );
     bench_problem(c, "eval/tsp128", &Tsp::random_euclidean(128, 1));
     bench_problem(c, "eval/bipart64", &GraphBipartition::random(64, 0.1, 1));
-    bench_problem(c, "eval/sched5x8", &TaskGraphScheduling::random_layered(5, 8, 4, 1));
-    bench_problem(c, "eval/featsel50d", &FeatureSelection::synthetic(50, 8, 100, 1));
+    bench_problem(
+        c,
+        "eval/sched5x8",
+        &TaskGraphScheduling::random_layered(5, 8, 4, 1),
+    );
+    bench_problem(
+        c,
+        "eval/featsel50d",
+        &FeatureSelection::synthetic(50, 8, 100, 1),
+    );
 }
 
 criterion_group!(problem_benches, benches);

@@ -37,16 +37,48 @@ fn main() {
     }
     emit(&t1);
 
-    let mut t2 = Table::new(vec!["PGA model (survey §1.2)", "Crate", "Engine entry point"])
-        .with_title("Model coverage of this workspace");
+    let mut t2 = Table::new(vec![
+        "PGA model (survey §1.2)",
+        "Crate",
+        "Engine entry point",
+    ])
+    .with_title("Model coverage of this workspace");
     for (model, crate_name, entry) in [
-        ("global / master-slave", "pga-master-slave", "RayonEvaluator, SimulatedMasterSlaveGa"),
-        ("coarse-grained (island)", "pga-island", "Archipelago, run_threaded"),
-        ("fine-grained (cellular)", "pga-cellular", "CellularGa (5 update policies)"),
-        ("hybrid (mixed engines per island)", "pga-island + pga-cellular", "Deme trait: Ga / CellularGa / boxed mixes per island"),
-        ("hierarchical / multi-fidelity", "pga-hierarchical", "Hga over FidelityProblem"),
-        ("specialized island (multiobjective)", "pga-multiobjective", "SpecializedIslandModel (7 scenarios)"),
-        ("cluster substrate (simulated)", "pga-cluster", "MasterSlaveSim, FailurePlan, NetworkProfile"),
+        (
+            "global / master-slave",
+            "pga-master-slave",
+            "RayonEvaluator, SimulatedMasterSlaveGa",
+        ),
+        (
+            "coarse-grained (island)",
+            "pga-island",
+            "Archipelago, run_threaded",
+        ),
+        (
+            "fine-grained (cellular)",
+            "pga-cellular",
+            "CellularGa (5 update policies)",
+        ),
+        (
+            "hybrid (mixed engines per island)",
+            "pga-island + pga-cellular",
+            "Deme trait: Ga / CellularGa / boxed mixes per island",
+        ),
+        (
+            "hierarchical / multi-fidelity",
+            "pga-hierarchical",
+            "Hga over FidelityProblem",
+        ),
+        (
+            "specialized island (multiobjective)",
+            "pga-multiobjective",
+            "SpecializedIslandModel (7 scenarios)",
+        ),
+        (
+            "cluster substrate (simulated)",
+            "pga-cluster",
+            "MasterSlaveSim, FailurePlan, NetworkProfile",
+        ),
     ] {
         t2.row(vec![model, crate_name, entry]);
     }

@@ -87,10 +87,8 @@ fn part_b() {
         for (cost_name, cost) in [("0.1 ms", 1e-4), ("10 ms", 1e-2)] {
             let tasks = vec![cost; 512];
             let base = {
-                let sim = MasterSlaveSim::new(
-                    ClusterSpec::homogeneous(1, net),
-                    FailurePlan::none(1),
-                );
+                let sim =
+                    MasterSlaveSim::new(ClusterSpec::homogeneous(1, net), FailurePlan::none(1));
                 sim.run_batch(&tasks).makespan
             };
             for nodes in [1usize, 2, 4, 8, 16, 32, 64] {

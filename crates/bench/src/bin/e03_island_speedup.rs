@@ -8,10 +8,10 @@
 
 use pga_analysis::{repeat, Summary, Table};
 use pga_bench::{emit, f2, pct, reps};
+use pga_cluster::{simulate_sync_islands, ClusterSpec, IslandSimConfig, NetworkProfile};
 use pga_core::ops::{BitFlip, OnePoint, Tournament};
 use pga_core::{BitString, GaBuilder, Problem, Scheme, Termination};
 use pga_island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
-use pga_cluster::{simulate_sync_islands, ClusterSpec, IslandSimConfig, NetworkProfile};
 use pga_master_slave::ExpensiveFitness;
 use pga_problems::{OneMax, PPeaks};
 use pga_topology::Topology;

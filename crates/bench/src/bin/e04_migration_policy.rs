@@ -24,10 +24,7 @@ fn policy_grid() -> Vec<(String, MigrationPolicy)> {
     for interval in [4u64, 32] {
         for count in [1usize, 5] {
             for emigrant in [EmigrantSelection::Best, EmigrantSelection::Random] {
-                let label = format!(
-                    "every {interval}, {count} {}",
-                    emigrant.name()
-                );
+                let label = format!("every {interval}, {count} {}", emigrant.name());
                 grid.push((
                     label,
                     MigrationPolicy {
@@ -48,12 +45,11 @@ fn study<P>(title: &str, problem: Arc<P>, genome_len: usize, base_seed: u64)
 where
     P: Problem<Genome = BitString>,
 {
-    let mut t = Table::new(vec!["policy", "efficacy", "evals-to-solution", "mean best"])
-        .with_title(title);
+    let mut t =
+        Table::new(vec!["policy", "efficacy", "evals-to-solution", "mean best"]).with_title(title);
     for (label, policy) in policy_grid() {
         let out = repeat(reps(REPS), base_seed, |seed| {
-            let islands =
-                standard_binary_islands(&problem, genome_len, ISLANDS, ISLAND_POP, seed);
+            let islands = standard_binary_islands(&problem, genome_len, ISLANDS, ISLAND_POP, seed);
             let mut arch = Archipelago::new(islands, Topology::RingUni, policy);
             let r = arch.run(&IslandStop::generations(MAX_GENS));
             pga_analysis::RunOutcome {

@@ -122,8 +122,13 @@ uniform-choice slowest async (closest to sync) = {}\n",
     println!("narrower grids (same area) take over more slowly — weaker pressure.\n");
 
     // Figure-style series: mean best-proportion at checkpoints.
-    let mut t = Table::new(vec!["generation", "synchronous", "line-sweep", "uniform-choice"])
-        .with_title("E05 — mean takeover curves (proportion of best copies)");
+    let mut t = Table::new(vec![
+        "generation",
+        "synchronous",
+        "line-sweep",
+        "uniform-choice",
+    ])
+    .with_title("E05 — mean takeover curves (proportion of best copies)");
     let sample = |policy: UpdatePolicy| -> Vec<f64> {
         let n_reps = reps(30);
         let mut curves: Vec<Vec<f64>> = Vec::new();

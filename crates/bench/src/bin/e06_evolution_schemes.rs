@@ -24,8 +24,7 @@ fn panmictic_takeover(steady_state: bool, seed: u64) -> Vec<f64> {
     let mut rng = Rng64::new(seed);
     let mut pop: Vec<f64> = (0..POP).map(|_| rng.next_f64() * 0.999).collect();
     pop[POP / 2] = 1.0;
-    let proportion =
-        |p: &[f64]| p.iter().filter(|&&f| f >= 1.0).count() as f64 / POP as f64;
+    let proportion = |p: &[f64]| p.iter().filter(|&&f| f >= 1.0).count() as f64 / POP as f64;
     let mut curve = vec![proportion(&pop)];
     while proportion(&pop) < 1.0 && curve.len() < 10_000 {
         if steady_state {
@@ -179,10 +178,8 @@ fn efficacy_row(
                     .collect();
                 let mut arch =
                     Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
-                let r = arch.run(
-                    &IslandStop::generations(u64::MAX)
-                        .with_max_evaluations(max_evals),
-                );
+                let r =
+                    arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(max_evals));
                 (
                     r.best.fitness(),
                     r.total_evaluations,

@@ -5,12 +5,13 @@
 //! synchronous island model is paced by its slowest node and loses each
 //! dead island's subpopulation.
 
-use pga_analysis::{repeat, Table};
+use pga_analysis::{Summary, Table};
 use pga_bench::{emit, f2, reps, standard_binary_islands};
 use pga_cluster::{ClusterSpec, FailurePlan, NetworkProfile};
-use pga_core::{Individual, Problem};
+use pga_core::Individual;
 use pga_island::{EmigrantSelection, MigrationPolicy};
 use pga_master_slave::SimulatedMasterSlaveGa;
+use pga_observe::{EventKind, RingRecorder};
 use pga_problems::DeceptiveTrap;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -31,8 +32,7 @@ fn island_run(
     seed: u64,
 ) -> (f64, f64, usize) {
     let genome_len = problem.len();
-    let mut islands =
-        standard_binary_islands(problem, genome_len, NODES, TOTAL_POP / NODES, seed);
+    let mut islands = standard_binary_islands(problem, genome_len, NODES, TOTAL_POP / NODES, seed);
     let policy = MigrationPolicy {
         interval: 8,
         count: 1,
@@ -110,7 +110,6 @@ fn island_run(
 
 fn main() {
     let problem = Arc::new(DeceptiveTrap::new(4, 12));
-    let optimum = problem.optimum().expect("trap has optimum");
     let horizon = GENS as f64 * (TOTAL_POP / NODES) as f64 * EVAL_COST * 4.0;
 
     let mut t = Table::new(vec![
@@ -132,41 +131,57 @@ fn main() {
         ("1x run", horizon),
         ("0.25x run", 0.25 * horizon),
     ] {
-        // Master-slave rows.
-        let ms = repeat(reps(REPS), 100, |seed| {
+        // Master-slave rows. Each rep runs with a ring recorder attached;
+        // dead nodes and reassignments are counted from the unified trace
+        // (`NodeFailed` / `TaskReassigned` events) instead of being smuggled
+        // through `RunOutcome` or re-derived from the failure plan.
+        let mut ms_bests = Vec::new();
+        let mut ms_clocks = Vec::new();
+        let mut ms_deads = Vec::new();
+        let mut ms_reassigns = Vec::new();
+        for rep in 0..reps(REPS) {
+            let seed = 100 + rep as u64;
             let spec = ClusterSpec::heterogeneous(NODES, 4.0, seed, NetworkProfile::Myrinet);
             let failures = if mtbf.is_infinite() {
                 FailurePlan::none(NODES)
             } else {
                 FailurePlan::exponential(NODES, mtbf, horizon, seed ^ 0xABCD)
             };
-            let ga = pga_bench::standard_binary_ga(
-                Arc::clone(&problem),
-                problem.len(),
-                TOTAL_POP,
-                seed,
-            );
-            let report = SimulatedMasterSlaveGa::new(ga, spec, failures, EVAL_COST).run(GENS);
-            pga_analysis::RunOutcome {
-                best_fitness: report.best_fitness,
-                evaluations: report.reassignments as u64, // smuggled for the table
-                elapsed: std::time::Duration::from_secs_f64(report.virtual_seconds),
-                hit: report.best_fitness >= optimum,
+            let ga =
+                pga_bench::standard_binary_ga(Arc::clone(&problem), problem.len(), TOTAL_POP, seed);
+            let ring = RingRecorder::new(1 << 16);
+            let report = SimulatedMasterSlaveGa::new_with_recorder(
+                ga,
+                spec,
+                failures,
+                EVAL_COST,
+                ring.clone(),
+            )
+            .run(GENS);
+            let (mut dead, mut reassigned) = (0u64, 0u64);
+            for event in ring.take_events() {
+                match event.kind {
+                    EventKind::NodeFailed { .. } => dead += 1,
+                    EventKind::TaskReassigned { .. } => reassigned += 1,
+                    _ => {}
+                }
             }
-        });
-        // Re-run once to count dead nodes deterministically for display.
-        let dead_ms = if mtbf.is_infinite() {
-            0
-        } else {
-            FailurePlan::exponential(NODES, mtbf, horizon, 100 ^ 0xABCD).failing_nodes()
-        };
+            ms_bests.push(report.best_fitness);
+            ms_clocks.push(report.virtual_seconds);
+            ms_deads.push(dead as f64);
+            ms_reassigns.push(reassigned as f64);
+        }
+        let ms_b = Summary::of(&ms_bests);
+        let ms_c = Summary::of(&ms_clocks);
+        let ms_d = Summary::of(&ms_deads);
+        let ms_r = Summary::of(&ms_reassigns);
         t.row(vec![
             "master-slave".into(),
             mtbf_label.to_string(),
-            ms.best.mean_pm_std(2),
-            format!("{:.1} ± {:.1}", ms.seconds.mean, ms.seconds.std_dev),
-            format!("~{dead_ms}"),
-            format!("{:.1}", ms.evals_to_solution.mean), // mean reassignments (hits only)
+            ms_b.mean_pm_std(2),
+            format!("{:.1} ± {:.1}", ms_c.mean, ms_c.std_dev),
+            f2(ms_d.mean),
+            format!("{:.1}", ms_r.mean),
         ]);
 
         // Island rows.

@@ -70,18 +70,17 @@ fn knapsack_table() {
         let mut hvs = Vec::new();
         for rep in 0..reps(REPS) {
             let base = 20_000 + 1000 * rep as u64;
-            let model =
-                SpecializedIslandModel::new(scenario.clone(), (1.1, 1.1), |mask, idx| {
-                    let p = BiKnapsack::random(40, 7);
-                    MoEngine::builder(p)
-                        .seed(base + idx)
-                        .pop_size(POP)
-                        .objective_mask(mask.to_vec())
-                        .crossover(Uniform::half())
-                        .mutation(BitFlip::one_over_len(40))
-                        .build()
-                        .expect("valid")
-                });
+            let model = SpecializedIslandModel::new(scenario.clone(), (1.1, 1.1), |mask, idx| {
+                let p = BiKnapsack::random(40, 7);
+                MoEngine::builder(p)
+                    .seed(base + idx)
+                    .pop_size(POP)
+                    .objective_mask(mask.to_vec())
+                    .crossover(Uniform::half())
+                    .mutation(BitFlip::one_over_len(40))
+                    .build()
+                    .expect("valid")
+            });
             hvs.push(model.run(GENS).hypervolume);
         }
         let hv = Summary::of(&hvs);

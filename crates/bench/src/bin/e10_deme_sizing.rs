@@ -38,8 +38,14 @@ fn run(
 }
 
 fn isolation_table(problem: &Arc<DeceptiveTrap>) {
-    let mut t = Table::new(vec!["demes", "migration", "efficacy", "mean best", "evals-to-solution"])
-        .with_title("E10a — isolated vs migrating demes (8 demes x 32, trap 4x12)");
+    let mut t = Table::new(vec![
+        "demes",
+        "migration",
+        "efficacy",
+        "mean best",
+        "evals-to-solution",
+    ])
+    .with_title("E10a — isolated vs migrating demes (8 demes x 32, trap 4x12)");
     for (label, policy) in [
         ("isolated", MigrationPolicy::isolated()),
         ("ring, every 16", MigrationPolicy::default()),
@@ -71,16 +77,25 @@ fn topology_table(problem: &Arc<DeceptiveTrap>) {
     for topology in [
         Topology::RingUni,
         Topology::RingBi,
-        Topology::Grid2D { rows: 2, cols: 4, torus: true },
+        Topology::Grid2D {
+            rows: 2,
+            cols: 4,
+            torus: true,
+        },
         Topology::Hypercube,
         Topology::Complete,
     ] {
-        let out = run(problem, 8, 32, topology.clone(), MigrationPolicy::default(), 200);
+        let out = run(
+            problem,
+            8,
+            32,
+            topology.clone(),
+            MigrationPolicy::default(),
+            200,
+        );
         t.row(vec![
             topology.name(),
-            topology
-                .diameter(8)
-                .map_or("-".into(), |d| d.to_string()),
+            topology.diameter(8).map_or("-".into(), |d| d.to_string()),
             pct(out.efficacy),
             if out.evals_to_solution.n > 0 {
                 out.evals_to_solution.mean_pm_std(0)
@@ -128,7 +143,11 @@ fn sizing_table(problem: &Arc<DeceptiveTrap>) {
 
 fn main() {
     let problem = Arc::new(DeceptiveTrap::new(4, 12));
-    println!("problem: {} (optimum {})\n", problem.name(), problem.optimum().expect("known"));
+    println!(
+        "problem: {} (optimum {})\n",
+        problem.name(),
+        problem.optimum().expect("known")
+    );
     isolation_table(&problem);
     topology_table(&problem);
     sizing_table(&problem);

@@ -2,10 +2,16 @@
 //! ICGA 1987). Claim: island populations show long fitness *equilibria*
 //! punctuated by bursts of progress immediately after migration events —
 //! immigrant genes trigger rapid re-adaptation.
+//!
+//! Built on the unified `pga-observe` trace: per-island best-fitness series
+//! come from `GenerationCompleted` events and migration points from actual
+//! `MigrationReceived` events (not the schedule), so the analysis follows
+//! the events the engines really emitted.
 
 use pga_analysis::{Summary, Table};
 use pga_bench::{emit, f3, reps, standard_binary_islands};
 use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_observe::{EventKind, FilteredRecorder, RingRecorder};
 use pga_problems::DeceptiveTrap;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -26,10 +32,24 @@ fn main() {
     let mut post_migration = Vec::new();
     let mut equilibrium = Vec::new();
     let mut sample_series: Vec<(u64, f64)> = Vec::new();
+    let mut sample_migrations: Vec<u64> = Vec::new();
 
     for rep in 0..reps(REPS) {
-        let islands =
+        let mut islands =
             standard_binary_islands(&problem, genome_len, ISLANDS, ISLAND_POP, 500 + rep as u64);
+        // One shared ring for the whole archipelago: the single-threaded
+        // driver interleaves islands deterministically, and every event
+        // carries its island id. Per-generation evaluation timings are
+        // irrelevant here, so filter them at the source.
+        let ring = RingRecorder::new(1 << 16);
+        for island in &mut islands {
+            island.set_recorder(FilteredRecorder::new(ring.clone(), |e| {
+                matches!(
+                    e.kind,
+                    EventKind::GenerationCompleted { .. } | EventKind::MigrationReceived { .. }
+                )
+            }));
+        }
         let mut arch = Archipelago::new(
             islands,
             Topology::RingUni,
@@ -37,20 +57,36 @@ fn main() {
                 interval: INTERVAL,
                 ..MigrationPolicy::default()
             },
-        )
-        .with_history(true);
-        let r = arch.run(&IslandStop {
+        );
+        let _ = arch.run(&IslandStop {
             max_generations: GENS,
             until_optimum: false,
             max_total_evaluations: u64::MAX,
         });
-        for history in &r.histories {
-            for w in history.windows(2) {
-                let improvement = w[1].best - w[0].best;
-                let gen = w[1].generation;
-                // Generations 1..=window after each migration point.
-                let since = gen % INTERVAL;
-                if (1..=window).contains(&since) && gen > INTERVAL {
+
+        let mut best_series: Vec<Vec<(u64, f64)>> = vec![Vec::new(); ISLANDS];
+        let mut migration_gens: Vec<Vec<u64>> = vec![Vec::new(); ISLANDS];
+        for event in ring.take_events() {
+            match event.kind {
+                EventKind::GenerationCompleted {
+                    island,
+                    generation,
+                    best,
+                    ..
+                } => best_series[island as usize].push((generation, best)),
+                EventKind::MigrationReceived {
+                    island, generation, ..
+                } => migration_gens[island as usize].push(generation),
+                _ => {}
+            }
+        }
+
+        for (migrations, series) in migration_gens.iter().zip(&best_series) {
+            for w in series.windows(2) {
+                let improvement = w[1].1 - w[0].1;
+                let gen = w[1].0;
+                let post = migrations.iter().any(|&m| gen > m && gen - m <= window);
+                if post {
                     post_migration.push(improvement);
                 } else {
                     equilibrium.push(improvement);
@@ -58,9 +94,8 @@ fn main() {
             }
         }
         if rep == 0 {
-            for s in &r.histories[0] {
-                sample_series.push((s.generation, s.best));
-            }
+            sample_series = best_series[0].clone();
+            sample_migrations = migration_gens[0].clone();
         }
     }
 
@@ -75,19 +110,28 @@ fn main() {
         f3(post.mean),
         post.n.to_string(),
     ]);
-    t.row(vec!["equilibrium (all other gens)".into(), f3(eq.mean), eq.n.to_string()]);
+    t.row(vec![
+        "equilibrium (all other gens)".into(),
+        f3(eq.mean),
+        eq.n.to_string(),
+    ]);
     emit(&t);
     println!(
         "punctuation ratio (post-migration gain / equilibrium gain): {:.1}x\n",
         post.mean / eq.mean.max(1e-9)
     );
 
-    // Figure-style series: island 0 best around migration points.
+    // Figure-style series: island 0 best around its recorded migrations.
     let mut series = Table::new(vec!["generation", "island-0 best", "event"])
         .with_title("E11 — sample trace (island 0, rep 0)");
     for &(gen, best) in &sample_series {
-        if gen % 8 == 0 || gen % INTERVAL <= 2 {
-            let event = if gen % INTERVAL == 0 { "<- migration" } else { "" };
+        let near_migration = sample_migrations.iter().any(|&m| gen >= m && gen - m <= 2);
+        if gen % 8 == 0 || near_migration {
+            let event = if sample_migrations.contains(&gen) {
+                "<- migration"
+            } else {
+                ""
+            };
             series.row(vec![gen.to_string(), format!("{best:.1}"), event.into()]);
         }
     }

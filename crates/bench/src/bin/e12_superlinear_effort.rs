@@ -53,11 +53,13 @@ fn campaign(problem: &Arc<DeceptiveTrap>, k: usize, base_seed: u64) -> (usize, u
                 sync: SyncMode::Synchronous,
             }
         };
-        let topology = if k == 1 { Topology::Isolated } else { Topology::RingUni };
+        let topology = if k == 1 {
+            Topology::Isolated
+        } else {
+            Topology::RingUni
+        };
         let mut arch = Archipelago::new(islands, topology, policy);
-        let r = arch.run(
-            &IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET_EVALS),
-        );
+        let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET_EVALS));
         hits += usize::from(r.hit_optimum);
         spent += r.total_evaluations;
     }
@@ -103,7 +105,11 @@ fn table(title: &str, problem: Arc<DeceptiveTrap>, base_seed: u64) {
             "no".into()
         };
         t.row(vec![
-            if k == 1 { "1 (panmictic)".into() } else { k.to_string() },
+            if k == 1 {
+                "1 (panmictic)".into()
+            } else {
+                k.to_string()
+            },
             pct(hits as f64 / n as f64),
             if expected.is_finite() {
                 format!("{expected:.0}")

@@ -11,8 +11,10 @@
 //!   equal evaluation budget.
 
 use pga_analysis::{repeat, Summary, Table};
+use pga_apps::{
+    ArSignal, Image, MarketSeries, Registration, RigidTransform, SpectralFit, StockPrediction,
+};
 use pga_bench::{emit, f2, f3, pct, reps};
-use pga_apps::{ArSignal, Image, MarketSeries, Registration, RigidTransform, SpectralFit, StockPrediction};
 use pga_core::ops::{BlxAlpha, GaussianMutation, Inversion, Ox, Tournament};
 use pga_core::{Ga, GaBuilder, Individual, Problem, RealVector, Scheme, Termination};
 use pga_island::{Archipelago, IslandStop, MigrationPolicy};
@@ -118,13 +120,7 @@ fn registration() {
                     .expect("bounded");
                 let seedling = Registration::upscale_genome(&r1.best.genome);
                 // Phase 2: full resolution, small refinement budget, seeded.
-                let mut ga2 = real_ga(
-                    Arc::clone(&shared),
-                    bounds,
-                    20,
-                    0.3,
-                    4_000 + rep as u64,
-                );
+                let mut ga2 = real_ga(Arc::clone(&shared), bounds, 20, 0.3, 4_000 + rep as u64);
                 let fitness = shared.evaluate(&seedling);
                 ga2.receive_immigrants(
                     vec![Individual::evaluated(seedling, fitness)],
@@ -228,11 +224,8 @@ fn tsp() {
                 let gas = (0..islands)
                     .map(|i| perm_ga(Arc::clone(&tsp), 160 / islands, seed + i as u64))
                     .collect();
-                let mut arch =
-                    Archipelago::new(gas, Topology::RingUni, MigrationPolicy::default());
-                let r = arch.run(
-                    &IslandStop::generations(u64::MAX).with_max_evaluations(budget),
-                );
+                let mut arch = Archipelago::new(gas, Topology::RingUni, MigrationPolicy::default());
+                let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(budget));
                 pga_analysis::RunOutcome {
                     best_fitness: r.best.fitness(),
                     evaluations: r.total_evaluations,

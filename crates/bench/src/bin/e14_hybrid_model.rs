@@ -83,11 +83,8 @@ fn study(title: &str, problem: DynBinary, len: usize, base_seed: u64) {
     for composition in ["generational", "steady-state", "cellular", "mixed"] {
         let out = repeat(reps(REPS), base_seed, |seed| {
             let demes = ring(&problem, len, composition, seed);
-            let mut arch =
-                Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
-            let r = arch.run(
-                &IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET),
-            );
+            let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
+            let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET));
             pga_analysis::RunOutcome {
                 best_fitness: r.best.fitness(),
                 evaluations: r.total_evaluations,

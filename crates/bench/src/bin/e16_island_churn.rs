@@ -50,7 +50,14 @@ fn run(problem: &Arc<SubsetSum>, mode: ChurnMode, seed: u64) -> (bool, u64, f64)
         ..MigrationPolicy::default()
     };
     let mut slots: Vec<Option<Ga<Arc<SubsetSum>, SerialEvaluator>>> = (0..ISLANDS)
-        .map(|i| Some(standard_binary_ga(Arc::clone(problem), len, ISLAND_POP, seed + i as u64)))
+        .map(|i| {
+            Some(standard_binary_ga(
+                Arc::clone(problem),
+                len,
+                ISLAND_POP,
+                seed + i as u64,
+            ))
+        })
         .collect();
     let adjacency = Topology::RingUni.adjacency(ISLANDS);
     let mut churn_rng = Rng64::new(seed ^ 0xC0FFEE);
@@ -84,8 +91,9 @@ fn run(problem: &Arc<SubsetSum>, mode: ChurnMode, seed: u64) -> (bool, u64, f64)
                     let ga = slots[src].as_mut().expect("occupied");
                     let obj = ga.objective();
                     let mut rng = ga.rng_mut().clone();
-                    let picks =
-                        policy.emigrant.pick(ga.population(), obj, policy.count, &mut rng);
+                    let picks = policy
+                        .emigrant
+                        .pick(ga.population(), obj, policy.count, &mut rng);
                     *ga.rng_mut() = rng;
                     inboxes[dst].extend(ga.clone_members(&picks));
                 }
@@ -98,8 +106,7 @@ fn run(problem: &Arc<SubsetSum>, mode: ChurnMode, seed: u64) -> (bool, u64, f64)
         }
         // Churn events.
         if mode != ChurnMode::Static && gen % CHURN_INTERVAL == 0 {
-            let occupied: Vec<usize> =
-                (0..ISLANDS).filter(|&i| slots[i].is_some()).collect();
+            let occupied: Vec<usize> = (0..ISLANDS).filter(|&i| slots[i].is_some()).collect();
             if occupied.len() > 1 {
                 let leave = *churn_rng.choose(&occupied);
                 if let Some(ga) = slots[leave].take() {
@@ -118,8 +125,8 @@ fn run(problem: &Arc<SubsetSum>, mode: ChurnMode, seed: u64) -> (bool, u64, f64)
         }
     }
 
-    let evaluations: u64 = evaluations_of_departed
-        + slots.iter().flatten().map(Ga::evaluations).sum::<u64>();
+    let evaluations: u64 =
+        evaluations_of_departed + slots.iter().flatten().map(Ga::evaluations).sum::<u64>();
     (best_ever <= 0.0, evaluations, best_ever)
 }
 

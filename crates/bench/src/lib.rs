@@ -114,8 +114,8 @@ pub fn pct(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pga_problems::OneMax;
     use pga_core::Termination;
+    use pga_problems::OneMax;
 
     #[test]
     fn standard_ga_solves_onemax() {

@@ -79,7 +79,9 @@ impl<P: Problem> Deme for CellularGa<P> {
                         let mut best = rng.below(n);
                         for _ in 1..k {
                             let c = rng.below(n);
-                            if objective.better(self.grid()[c].fitness(), self.grid()[best].fitness()) {
+                            if objective
+                                .better(self.grid()[c].fitness(), self.grid()[best].fitness())
+                            {
                                 best = c;
                             }
                         }
@@ -130,6 +132,22 @@ impl<P: Problem> Deme for CellularGa<P> {
             accepted += 1;
         }
         accepted
+    }
+
+    fn record_event(&mut self, event: &pga_observe::Event) {
+        CellularGa::record_event(self, event);
+    }
+
+    fn set_trace_island(&mut self, island: u32) {
+        CellularGa::set_trace_island(self, island);
+    }
+
+    fn record_run_started(&mut self) {
+        CellularGa::record_run_started(self);
+    }
+
+    fn record_run_finished(&mut self) {
+        CellularGa::record_run_finished(self);
     }
 }
 
@@ -194,7 +212,10 @@ mod tests {
         let mut arch = Archipelago::new(
             demes,
             Topology::RingUni,
-            MigrationPolicy { interval: 4, ..MigrationPolicy::default() },
+            MigrationPolicy {
+                interval: 4,
+                ..MigrationPolicy::default()
+            },
         );
         let r = arch.run(&IslandStop::generations(200));
         assert!(r.hit_optimum, "best = {}", r.best.fitness());

@@ -4,6 +4,7 @@ use crate::update::UpdatePolicy;
 use pga_core::ops::{Crossover, Mutation};
 use pga_core::rng::splitmix64;
 use pga_core::{ConfigError, Individual, Problem, Rng64};
+use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 use pga_topology::CellNeighborhood;
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -48,6 +49,9 @@ pub struct CellularGa<P: Problem> {
     generation: u64,
     evaluations: u64,
     best_ever: Individual<P::Genome>,
+    trace_island: u32,
+    optimum_traced: bool,
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl<P: Problem> CellularGa<P> {
@@ -107,6 +111,36 @@ impl<P: Problem> CellularGa<P> {
 
     pub(crate) fn rng_mut(&mut self) -> &mut Rng64 {
         &mut self.rng
+    }
+
+    /// Attaches an observability recorder (replacing any existing one).
+    /// Purely observational — the grid's RNG streams are untouched.
+    pub fn set_recorder(&mut self, recorder: impl Recorder + 'static) {
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// Detaches and returns the recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// Island id stamped on this engine's events (0 unless a parallel
+    /// driver assigns one).
+    pub fn set_trace_island(&mut self, island: u32) {
+        self.trace_island = island;
+    }
+
+    /// Routes a driver-side event through this engine's recorder.
+    pub fn record_event(&mut self, event: &Event) {
+        if let Some(r) = &mut self.recorder {
+            r.record(event);
+        }
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.record(&Event::new(kind));
+        }
     }
 
     pub(crate) fn grid_mut(&mut self) -> &mut Vec<Individual<P::Genome>> {
@@ -191,6 +225,7 @@ impl<P: Problem> CellularGa<P> {
     /// One generation (`n` cell updates). Returns end-of-generation stats.
     pub fn step(&mut self) -> CellStats {
         let n = self.grid.len();
+        let sw = Stopwatch::started_if(self.recorder.is_some());
         let objective = self.problem.objective();
         let order = {
             let mut rng = self.rng.clone();
@@ -262,18 +297,82 @@ impl<P: Problem> CellularGa<P> {
         }
 
         self.generation += 1;
-        self.stats()
+        let stats = self.stats();
+        if self.recorder.is_some() {
+            if let Some(micros) = sw.elapsed_micros() {
+                self.emit(EventKind::EvaluationBatch {
+                    island: self.trace_island,
+                    batch: stats.generation,
+                    size: n as u64,
+                    fresh: n as u64,
+                    micros,
+                });
+            }
+            self.emit(EventKind::GenerationCompleted {
+                island: self.trace_island,
+                generation: stats.generation,
+                evaluations: stats.evaluations,
+                best: stats.best,
+                mean: stats.mean,
+                best_ever: stats.best_ever,
+            });
+            if !self.optimum_traced && self.problem.is_optimal(stats.best_ever) {
+                self.optimum_traced = true;
+                self.emit(EventKind::CheckpointHit {
+                    island: self.trace_island,
+                    generation: stats.generation,
+                    best: stats.best_ever,
+                });
+            }
+        }
+        stats
+    }
+
+    /// Emits `RunStarted` for an externally driven run (e.g. a cellular
+    /// deme stepped by an island driver).
+    pub fn record_run_started(&mut self) {
+        if self.recorder.is_some() {
+            let engine = format!("cellular-{}", self.policy.name());
+            let problem = self.problem.name();
+            let seed = self.seed;
+            self.emit(EventKind::RunStarted {
+                island: self.trace_island,
+                engine,
+                problem,
+                seed,
+            });
+        }
+    }
+
+    /// Emits `RunFinished` and flushes the recorder; counterpart of
+    /// [`CellularGa::record_run_started`].
+    pub fn record_run_finished(&mut self) {
+        if self.recorder.is_some() {
+            let hit_optimum = self.problem.is_optimal(self.best_ever.fitness());
+            self.emit(EventKind::RunFinished {
+                island: self.trace_island,
+                generations: self.generation,
+                evaluations: self.evaluations,
+                best: self.best_ever.fitness(),
+                hit_optimum,
+            });
+            if let Some(r) = &mut self.recorder {
+                r.flush();
+            }
+        }
     }
 
     /// Runs until the optimum is found or `max_generations` pass; returns
     /// per-generation stats.
     pub fn run(&mut self, max_generations: u64) -> Vec<CellStats> {
+        self.record_run_started();
         let mut history = Vec::new();
         while self.generation < max_generations
             && !self.problem.is_optimal(self.best_ever.fitness())
         {
             history.push(self.step());
         }
+        self.record_run_finished();
         history
     }
 }
@@ -289,6 +388,7 @@ pub struct CellularGaBuilder<P: Problem> {
     mutation: Option<Box<dyn Mutation<P::Genome>>>,
     crossover_rate: f64,
     seed: u64,
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl<P: Problem> CellularGaBuilder<P> {
@@ -306,6 +406,7 @@ impl<P: Problem> CellularGaBuilder<P> {
             mutation: None,
             crossover_rate: 0.9,
             seed: 0,
+            recorder: None,
         }
     }
 
@@ -359,6 +460,14 @@ impl<P: Problem> CellularGaBuilder<P> {
         self
     }
 
+    /// Attaches an observability recorder receiving the engine's event
+    /// stream (see `pga-observe`).
+    #[must_use]
+    pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
     /// Validates, samples and evaluates the initial grid.
     pub fn build(self) -> Result<CellularGa<P>, ConfigError> {
         if self.rows == 0 || self.cols == 0 {
@@ -373,8 +482,12 @@ impl<P: Problem> CellularGaBuilder<P> {
                 message: format!("must be in [0,1], got {}", self.crossover_rate),
             });
         }
-        let crossover = self.crossover.ok_or(ConfigError::MissingComponent("crossover"))?;
-        let mutation = self.mutation.ok_or(ConfigError::MissingComponent("mutation"))?;
+        let crossover = self
+            .crossover
+            .ok_or(ConfigError::MissingComponent("crossover"))?;
+        let mutation = self
+            .mutation
+            .ok_or(ConfigError::MissingComponent("mutation"))?;
         let mut rng = Rng64::new(self.seed);
         let n = self.rows * self.cols;
         let grid: Vec<Individual<P::Genome>> = (0..n)
@@ -414,6 +527,9 @@ impl<P: Problem> CellularGaBuilder<P> {
             generation: 0,
             evaluations: n as u64,
             best_ever,
+            trace_island: 0,
+            optimum_traced: false,
+            recorder: self.recorder,
         })
     }
 }
@@ -457,10 +573,22 @@ mod tests {
 
     #[test]
     fn build_errors() {
-        let e = CellularGa::builder(OneMax(8)).grid(0, 5).crossover(OnePoint)
-            .mutation(BitFlip { p: 0.1 }).build().err().unwrap();
-        assert!(matches!(e, ConfigError::InvalidParameter { name: "grid", .. }));
-        let e = CellularGa::builder(OneMax(8)).mutation(BitFlip { p: 0.1 }).build().err().unwrap();
+        let e = CellularGa::builder(OneMax(8))
+            .grid(0, 5)
+            .crossover(OnePoint)
+            .mutation(BitFlip { p: 0.1 })
+            .build()
+            .err()
+            .unwrap();
+        assert!(matches!(
+            e,
+            ConfigError::InvalidParameter { name: "grid", .. }
+        ));
+        let e = CellularGa::builder(OneMax(8))
+            .mutation(BitFlip { p: 0.1 })
+            .build()
+            .err()
+            .unwrap();
         assert_eq!(e, ConfigError::MissingComponent("crossover"));
     }
 
@@ -515,6 +643,33 @@ mod tests {
 
     fn cga_async() -> CellularGa<OneMax> {
         cga(UpdatePolicy::UniformChoice, 1)
+    }
+
+    #[test]
+    fn recorder_observes_cellular_run() {
+        use pga_observe::RingRecorder;
+        let ring = RingRecorder::new(4096);
+        let mut cga = CellularGa::builder(OneMax(32))
+            .grid(8, 8)
+            .update_policy(UpdatePolicy::LineSweep)
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .seed(3)
+            .recorder(ring.clone())
+            .build()
+            .unwrap();
+        let history = cga.run(200);
+        let events = ring.events();
+        assert!(matches!(
+            &events[0].kind,
+            EventKind::RunStarted { engine, .. } if engine == "cellular-line-sweep"
+        ));
+        assert_eq!(events.last().unwrap().kind.name(), "run_finished");
+        let gens = events
+            .iter()
+            .filter(|e| e.kind.name() == "generation_completed")
+            .count();
+        assert_eq!(gens, history.len());
     }
 
     #[test]

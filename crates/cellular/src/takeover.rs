@@ -182,7 +182,13 @@ mod tests {
         // With a Von Neumann neighborhood the best can move at most one
         // Manhattan step per synchronous generation: after g generations at
         // most 2g² + 2g + 1 cells can hold it.
-        let mut g = TakeoverGrid::new(32, 32, CellNeighborhood::VonNeumann, UpdatePolicy::Synchronous, 4);
+        let mut g = TakeoverGrid::new(
+            32,
+            32,
+            CellNeighborhood::VonNeumann,
+            UpdatePolicy::Synchronous,
+            4,
+        );
         for generation in 1..=10u64 {
             g.step();
             let max_cells = 2 * generation * generation + 2 * generation + 1;

@@ -38,10 +38,7 @@ impl IslandSimConfig {
 #[must_use]
 pub fn simulate_sync_islands(spec: &ClusterSpec, cfg: &IslandSimConfig) -> f64 {
     assert!(!spec.is_empty());
-    let slowest = spec
-        .speeds
-        .iter()
-        .fold(f64::INFINITY, |acc, &s| acc.min(s));
+    let slowest = spec.speeds.iter().fold(f64::INFINITY, |acc, &s| acc.min(s));
     let migration = cfg.out_degree as f64 * spec.network.transfer_time(cfg.migrant_bytes);
     cfg.epochs as f64 * (cfg.epoch_compute(slowest) + migration)
 }

@@ -25,10 +25,12 @@ pub mod event;
 pub mod island_sim;
 pub mod master_slave_sim;
 pub mod network;
+pub mod observe_bridge;
 pub mod spec;
 
 pub use event::EventQueue;
 pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimConfig};
 pub use master_slave_sim::{BatchReport, MasterSlaveSim, TraceEvent};
 pub use network::NetworkProfile;
+pub use observe_bridge::observe_events;
 pub use spec::{ClusterSpec, FailurePlan};

@@ -194,7 +194,11 @@ impl MasterSlaveSim {
                     };
                     let task = pending.pop_front().expect("checked non-empty");
                     free[node] = false;
-                    trace.push(TraceEvent::Assigned { time: now, task, node });
+                    trace.push(TraceEvent::Assigned {
+                        time: now,
+                        task,
+                        node,
+                    });
                     // Serialize on the master's outgoing link.
                     let depart = now.max(link_free);
                     let send_time = self.net().transfer_time(self.task_bytes);
@@ -226,7 +230,11 @@ impl MasterSlaveSim {
                 Ev::ResultArrived { task, node } => {
                     completed += 1;
                     makespan = makespan.max(now);
-                    trace.push(TraceEvent::Completed { time: now, task, node });
+                    trace.push(TraceEvent::Completed {
+                        time: now,
+                        task,
+                        node,
+                    });
                     free[node] = true;
                     assign_all!(now);
                 }

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn custom_profile() {
-        let p = NetworkProfile::Custom { latency_s: 1.0, bytes_per_s: 100.0 };
+        let p = NetworkProfile::Custom {
+            latency_s: 1.0,
+            bytes_per_s: 100.0,
+        };
         assert_eq!(p.transfer_time(200), 3.0);
     }
 }

@@ -1,0 +1,60 @@
+//! Bridge from the simulator's [`TraceEvent`] log to `pga-observe` events.
+//!
+//! The simulator keeps its own micro-trace (every assignment and result),
+//! which is more granular than the cross-engine vocabulary needs. This
+//! module lifts the *observability-relevant* subset — node failures and
+//! task reassignments — into [`pga_observe::Event`]s stamped with
+//! simulated time, so cluster runs land in the same unified trace as the
+//! real engines.
+
+use crate::master_slave_sim::TraceEvent;
+use pga_observe::{Event, EventKind, Time};
+
+/// Converts a batch trace into simulated-time-stamped observe events.
+///
+/// `NodeFailed` and `Requeued` map to their [`EventKind`] counterparts;
+/// per-task `Assigned`/`Completed` lines are deliberately dropped (batch
+/// totals are reported by the engine driving the simulator).
+#[must_use]
+pub fn observe_events(trace: &[TraceEvent]) -> Vec<Event> {
+    trace
+        .iter()
+        .filter_map(|ev| match *ev {
+            TraceEvent::NodeFailed { time, node } => Some(Event::at(
+                Time::Sim(time),
+                EventKind::NodeFailed { node: node as u32 },
+            )),
+            TraceEvent::Requeued { time, task } => Some(Event::at(
+                Time::Sim(time),
+                EventKind::TaskReassigned { task: task as u64 },
+            )),
+            TraceEvent::Assigned { .. } | TraceEvent::Completed { .. } => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkProfile;
+    use crate::spec::{ClusterSpec, FailurePlan};
+    use crate::MasterSlaveSim;
+
+    #[test]
+    fn failures_and_requeues_are_lifted_with_sim_time() {
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let failures = FailurePlan::at(vec![Some(0.5), None]);
+        let sim = MasterSlaveSim::new(spec, failures);
+        let report = sim.run_batch(&[1.0, 1.0, 1.0]);
+        let events = observe_events(&report.trace);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::NodeFailed { node: 0 })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::TaskReassigned { .. })));
+        assert!(events.iter().all(|e| matches!(e.time, Time::Sim(_))));
+        // Assignment-level detail stays in the raw trace.
+        assert!(events.len() < report.trace.len());
+    }
+}

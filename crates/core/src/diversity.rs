@@ -108,10 +108,7 @@ mod tests {
     #[test]
     fn hamming_extremes() {
         let mut rng = Rng64::new(1);
-        let converged = Population::new(vec![
-            Individual::evaluated(BitString::ones(64), 1.0);
-            10
-        ]);
+        let converged = Population::new(vec![Individual::evaluated(BitString::ones(64), 1.0); 10]);
         assert_eq!(mean_hamming(&converged, &mut rng), 0.0);
 
         let mixed = Population::new(

@@ -7,6 +7,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pga_observe::{Event, EventKind, Recorder, Stopwatch};
+
 use crate::error::ConfigError;
 use crate::eval::{Evaluator, SerialEvaluator};
 use crate::individual::Individual;
@@ -99,6 +101,10 @@ pub struct Ga<P: Problem, E: Evaluator<P> = SerialEvaluator> {
     evaluations: u64,
     best_ever: Individual<P::Genome>,
     stagnant_generations: u64,
+    seed: u64,
+    trace_island: u32,
+    optimum_traced: bool,
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl<P: Problem> Ga<P, SerialEvaluator> {
@@ -146,10 +152,94 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
         &self.best_ever
     }
 
+    /// The RNG seed the engine was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Mutable access to the engine RNG (used by the island driver to keep
     /// migration draws on the island's own stream).
     pub fn rng_mut(&mut self) -> &mut Rng64 {
         &mut self.rng
+    }
+
+    /// Attaches an observability recorder (replacing any existing one).
+    ///
+    /// Recorders only observe: attaching or detaching one never changes the
+    /// RNG stream or the search trajectory.
+    pub fn set_recorder(&mut self, recorder: impl Recorder + 'static) {
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// Detaches and returns the recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// `true` when a recorder is attached.
+    #[must_use]
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Island id stamped on this engine's events (0 unless a parallel
+    /// driver assigns one).
+    pub fn set_trace_island(&mut self, island: u32) {
+        self.trace_island = island;
+    }
+
+    /// Island id stamped on this engine's events.
+    #[must_use]
+    pub fn trace_island(&self) -> u32 {
+        self.trace_island
+    }
+
+    /// Routes a driver-side event (e.g. island migration bookkeeping)
+    /// through this engine's recorder. No-op when none is attached.
+    pub fn record_event(&mut self, event: &Event) {
+        if let Some(r) = &mut self.recorder {
+            r.record(event);
+        }
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.record(&Event::new(kind));
+        }
+    }
+
+    /// Emits `RunStarted` for an externally driven run (the island drivers
+    /// step engines manually instead of calling [`Ga::run`]).
+    pub fn record_run_started(&mut self) {
+        if self.recorder.is_some() {
+            let engine = format!("ga-{}", self.scheme.name());
+            let problem = self.problem.name();
+            self.emit(EventKind::RunStarted {
+                island: self.trace_island,
+                engine,
+                problem,
+                seed: self.seed,
+            });
+        }
+    }
+
+    /// Emits `RunFinished` and flushes the recorder; counterpart of
+    /// [`Ga::record_run_started`] for externally driven runs.
+    pub fn record_run_finished(&mut self) {
+        if self.recorder.is_some() {
+            let best = self.best_ever.fitness();
+            self.emit(EventKind::RunFinished {
+                island: self.trace_island,
+                generations: self.generation,
+                evaluations: self.evaluations,
+                best,
+                hit_optimum: self.problem.is_optimal(best),
+            });
+            if let Some(r) = &mut self.recorder {
+                r.flush();
+            }
+        }
     }
 
     /// Advances one generation (generational scheme) or one generation
@@ -163,7 +253,26 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             }
         }
         self.generation += 1;
-        self.snapshot()
+        let stats = self.snapshot();
+        if self.recorder.is_some() {
+            self.emit(EventKind::GenerationCompleted {
+                island: self.trace_island,
+                generation: stats.generation,
+                evaluations: stats.evaluations,
+                best: stats.pop.best,
+                mean: stats.pop.mean,
+                best_ever: stats.best_ever,
+            });
+            if !self.optimum_traced && self.problem.is_optimal(stats.best_ever) {
+                self.optimum_traced = true;
+                self.emit(EventKind::CheckpointHit {
+                    island: self.trace_island,
+                    generation: stats.generation,
+                    best: stats.best_ever,
+                });
+            }
+        }
+        stats
     }
 
     /// Runs until the termination rule fires. Returns an error if the rule
@@ -173,6 +282,7 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             return Err(ConfigError::UnboundedTermination);
         }
         let start = Instant::now();
+        self.record_run_started();
         let mut history = Vec::new();
         let stop = loop {
             if let Some(reason) = termination.check(&self.progress(start.elapsed())) {
@@ -183,13 +293,15 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
                 history.push(stats);
             }
         };
+        let hit_optimum = self.problem.is_optimal(self.best_ever.fitness());
+        self.record_run_finished();
         Ok(RunResult {
             best: self.best_ever.clone(),
             generations: self.generation,
             evaluations: self.evaluations,
             stop,
             elapsed: start.elapsed(),
-            hit_optimum: self.problem.is_optimal(self.best_ever.fitness()),
+            hit_optimum,
             history,
         })
     }
@@ -252,9 +364,12 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             .collect();
 
         let offspring_needed = n - elites.len();
-        let parents =
-            self.selection
-                .select_many(&self.population, objective, offspring_needed + 1, &mut self.rng);
+        let parents = self.selection.select_many(
+            &self.population,
+            objective,
+            offspring_needed + 1,
+            &mut self.rng,
+        );
         let mut next: Vec<Individual<P::Genome>> = Vec::with_capacity(n);
         next.extend(elites);
         let mut pi = 0;
@@ -275,9 +390,20 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             }
         }
         let mut next = Population::new(next);
-        self.evaluations += self
+        let sw = Stopwatch::started_if(self.recorder.is_some());
+        let fresh = self
             .evaluator
             .evaluate_batch(&self.problem, next.members_mut());
+        self.evaluations += fresh;
+        if let Some(micros) = sw.elapsed_micros() {
+            self.emit(EventKind::EvaluationBatch {
+                island: self.trace_island,
+                batch: self.generation + 1,
+                size: n as u64,
+                fresh,
+                micros,
+            });
+        }
         self.population = next;
         self.update_best_from_population();
     }
@@ -294,13 +420,16 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
     fn step_steady_state(&mut self, count: usize, replacement: ReplacementPolicy) {
         let objective = self.problem.objective();
         let mut improved = false;
+        let sw = Stopwatch::started_if(self.recorder.is_some());
+        let mut fresh_total = 0u64;
         for _ in 0..count {
-            let pa = self.selection.select(&self.population, objective, &mut self.rng);
-            let pb = self.selection.select(&self.population, objective, &mut self.rng);
-            let (ga, gb) = (
-                &self.population[pa].genome,
-                &self.population[pb].genome,
-            );
+            let pa = self
+                .selection
+                .select(&self.population, objective, &mut self.rng);
+            let pb = self
+                .selection
+                .select(&self.population, objective, &mut self.rng);
+            let (ga, gb) = (&self.population[pa].genome, &self.population[pb].genome);
             let (mut child, _) = if self.rng.chance(self.crossover_rate) {
                 self.crossover.crossover(ga, gb, &mut self.rng)
             } else {
@@ -308,14 +437,27 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             };
             self.mutation.mutate(&mut child, &mut self.rng);
             let mut child = Individual::unevaluated(child);
-            self.evaluations += self
+            let fresh = self
                 .evaluator
                 .evaluate_batch(&self.problem, std::slice::from_mut(&mut child));
+            self.evaluations += fresh;
+            fresh_total += fresh;
             if objective.better(child.fitness(), self.best_ever.fitness()) {
                 self.best_ever = child.clone();
                 improved = true;
             }
             replacement.insert(&mut self.population, child, objective, &mut self.rng);
+        }
+        // One event per generation-equivalent; the scope also covers the
+        // variation operators interleaved with each single-child evaluation.
+        if let Some(micros) = sw.elapsed_micros() {
+            self.emit(EventKind::EvaluationBatch {
+                island: self.trace_island,
+                batch: self.generation + 1,
+                size: count as u64,
+                fresh: fresh_total,
+                micros,
+            });
         }
         if improved {
             self.stagnant_generations = 0;
@@ -370,6 +512,7 @@ pub struct GaBuilder<P: Problem, E: Evaluator<P> = SerialEvaluator> {
     pop_size: usize,
     seed: u64,
     keep_history: bool,
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl<P: Problem> GaBuilder<P, SerialEvaluator> {
@@ -388,6 +531,7 @@ impl<P: Problem> GaBuilder<P, SerialEvaluator> {
             pop_size: 100,
             seed: 0,
             keep_history: false,
+            recorder: None,
         }
     }
 
@@ -406,6 +550,7 @@ impl<P: Problem> GaBuilder<P, SerialEvaluator> {
             pop_size: 100,
             seed: 0,
             keep_history: false,
+            recorder: None,
         }
     }
 }
@@ -467,6 +612,15 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
         self
     }
 
+    /// Attaches an observability recorder receiving the engine's event
+    /// stream (see `pga-observe`). Purely observational: the recorder
+    /// cannot influence the run.
+    #[must_use]
+    pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
     /// Swaps in a different evaluation strategy (e.g. a rayon pool).
     #[must_use]
     pub fn evaluator<E2: Evaluator<P>>(self, evaluator: E2) -> GaBuilder<P, E2> {
@@ -481,6 +635,7 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
             pop_size: self.pop_size,
             seed: self.seed,
             keep_history: self.keep_history,
+            recorder: self.recorder,
         }
     }
 
@@ -507,9 +662,15 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
                 });
             }
         }
-        let selection = self.selection.ok_or(ConfigError::MissingComponent("selection"))?;
-        let crossover = self.crossover.ok_or(ConfigError::MissingComponent("crossover"))?;
-        let mutation = self.mutation.ok_or(ConfigError::MissingComponent("mutation"))?;
+        let selection = self
+            .selection
+            .ok_or(ConfigError::MissingComponent("selection"))?;
+        let crossover = self
+            .crossover
+            .ok_or(ConfigError::MissingComponent("crossover"))?;
+        let mutation = self
+            .mutation
+            .ok_or(ConfigError::MissingComponent("mutation"))?;
 
         let mut rng = Rng64::new(self.seed);
         let members: Vec<Individual<P::Genome>> = (0..self.pop_size)
@@ -535,6 +696,10 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
             evaluations,
             best_ever,
             stagnant_generations: 0,
+            seed: self.seed,
+            trace_island: 0,
+            optimum_traced: false,
+            recorder: self.recorder,
         })
     }
 }
@@ -580,7 +745,13 @@ mod tests {
     #[test]
     fn build_errors() {
         let e = Ga::builder(OneMax(8)).pop_size(1).build().err().unwrap();
-        assert!(matches!(e, ConfigError::InvalidParameter { name: "pop_size", .. }));
+        assert!(matches!(
+            e,
+            ConfigError::InvalidParameter {
+                name: "pop_size",
+                ..
+            }
+        ));
 
         let e = Ga::builder(OneMax(8))
             .selection(Tournament::binary())
@@ -598,7 +769,13 @@ mod tests {
             .build()
             .err()
             .unwrap();
-        assert!(matches!(e, ConfigError::InvalidParameter { name: "crossover_rate", .. }));
+        assert!(matches!(
+            e,
+            ConfigError::InvalidParameter {
+                name: "crossover_rate",
+                ..
+            }
+        ));
 
         let e = Ga::builder(OneMax(8))
             .pop_size(10)
@@ -609,7 +786,13 @@ mod tests {
             .build()
             .err()
             .unwrap();
-        assert!(matches!(e, ConfigError::InvalidParameter { name: "elitism", .. }));
+        assert!(matches!(
+            e,
+            ConfigError::InvalidParameter {
+                name: "elitism",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -650,7 +833,12 @@ mod tests {
         let mut last_best = ga.best_ever().fitness();
         for _ in 0..50 {
             let s = ga.step();
-            assert!(s.pop.best >= last_best, "elite lost: {} -> {}", last_best, s.pop.best);
+            assert!(
+                s.pop.best >= last_best,
+                "elite lost: {} -> {}",
+                last_best,
+                s.pop.best
+            );
             last_best = s.pop.best;
         }
     }
@@ -695,7 +883,11 @@ mod tests {
         let result = ga.run(&Termination::new().max_evaluations(600)).unwrap();
         assert_eq!(result.stop, StopReason::MaxEvaluations);
         // One extra generation may complete after crossing the budget.
-        assert!(result.evaluations <= 600 + 60, "evals = {}", result.evaluations);
+        assert!(
+            result.evaluations <= 600 + 60,
+            "evals = {}",
+            result.evaluations
+        );
     }
 
     #[test]
@@ -718,10 +910,47 @@ mod tests {
     fn immigrants_enter_and_update_best() {
         let mut ga = onemax_ga(13, Scheme::Generational { elitism: 1 });
         let perfect = Individual::evaluated(BitString::ones(64), 64.0);
-        let accepted =
-            ga.receive_immigrants(vec![perfect], ReplacementPolicy::WorstIfBetter);
+        let accepted = ga.receive_immigrants(vec![perfect], ReplacementPolicy::WorstIfBetter);
         assert_eq!(accepted, 1);
         assert_eq!(ga.best_ever().fitness(), 64.0);
+    }
+
+    #[test]
+    fn recorder_sees_run_lifecycle() {
+        use pga_observe::RingRecorder;
+        let ring = RingRecorder::new(8192);
+        let mut ga = Ga::builder(OneMax(32))
+            .seed(7)
+            .pop_size(40)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(32))
+            .recorder(ring.clone())
+            .build()
+            .unwrap();
+        let result = ga
+            .run(&Termination::new().until_optimum().max_generations(300))
+            .unwrap();
+        let events = ring.events();
+        assert_eq!(events[0].kind.name(), "run_started");
+        assert_eq!(events.last().unwrap().kind.name(), "run_finished");
+        let generations = events
+            .iter()
+            .filter(|e| e.kind.name() == "generation_completed")
+            .count() as u64;
+        assert_eq!(generations, result.generations);
+        let batches = events
+            .iter()
+            .filter(|e| e.kind.name() == "evaluation_batch")
+            .count() as u64;
+        assert_eq!(batches, result.generations);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind.name() == "checkpoint_hit")
+                .count(),
+            usize::from(result.hit_optimum)
+        );
     }
 
     #[test]

@@ -26,7 +26,10 @@ impl fmt::Display for ConfigError {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             Self::UnboundedTermination => {
-                write!(f, "termination rule has no criteria; the run would never stop")
+                write!(
+                    f,
+                    "termination rule has no criteria; the run would never stop"
+                )
             }
         }
     }
@@ -48,6 +51,8 @@ mod tests {
             message: "must be >= 2".into(),
         };
         assert!(e.to_string().contains("pop_size"));
-        assert!(ConfigError::UnboundedTermination.to_string().contains("never stop"));
+        assert!(ConfigError::UnboundedTermination
+            .to_string()
+            .contains("never stop"));
     }
 }

@@ -98,7 +98,12 @@ impl Crossover<BitString> for Uniform {
 }
 
 impl Crossover<RealVector> for OnePoint {
-    fn crossover(&self, a: &RealVector, b: &RealVector, rng: &mut Rng64) -> (RealVector, RealVector) {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut Rng64,
+    ) -> (RealVector, RealVector) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let n = a.len();
         let mut c = a.values().to_vec();
@@ -117,7 +122,12 @@ impl Crossover<RealVector> for OnePoint {
 }
 
 impl Crossover<RealVector> for Uniform {
-    fn crossover(&self, a: &RealVector, b: &RealVector, rng: &mut Rng64) -> (RealVector, RealVector) {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut Rng64,
+    ) -> (RealVector, RealVector) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let mut c = a.values().to_vec();
         let mut d = b.values().to_vec();
@@ -199,7 +209,12 @@ impl BlxAlpha {
 }
 
 impl Crossover<RealVector> for BlxAlpha {
-    fn crossover(&self, a: &RealVector, b: &RealVector, rng: &mut Rng64) -> (RealVector, RealVector) {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut Rng64,
+    ) -> (RealVector, RealVector) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let gen_child = |rng: &mut Rng64| {
             let values = (0..a.len())
@@ -208,7 +223,8 @@ impl Crossover<RealVector> for BlxAlpha {
                     let span = y - x;
                     let lo = x - self.alpha * span;
                     let hi = y + self.alpha * span;
-                    self.bounds.clamp(i, rng.range_f64(lo, hi + f64::MIN_POSITIVE))
+                    self.bounds
+                        .clamp(i, rng.range_f64(lo, hi + f64::MIN_POSITIVE))
                 })
                 .collect();
             RealVector::new(values)
@@ -242,7 +258,12 @@ impl Sbx {
 }
 
 impl Crossover<RealVector> for Sbx {
-    fn crossover(&self, a: &RealVector, b: &RealVector, rng: &mut Rng64) -> (RealVector, RealVector) {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut Rng64,
+    ) -> (RealVector, RealVector) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let mut c = Vec::with_capacity(a.len());
         let mut d = Vec::with_capacity(a.len());
@@ -273,7 +294,12 @@ impl Crossover<RealVector> for Sbx {
 pub struct Arithmetic;
 
 impl Crossover<RealVector> for Arithmetic {
-    fn crossover(&self, a: &RealVector, b: &RealVector, rng: &mut Rng64) -> (RealVector, RealVector) {
+    fn crossover(
+        &self,
+        a: &RealVector,
+        b: &RealVector,
+        rng: &mut Rng64,
+    ) -> (RealVector, RealVector) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let lambda = rng.next_f64();
         let c = (0..a.len())
@@ -319,7 +345,12 @@ fn pmx_child(a: &Permutation, b: &Permutation, lo: usize, hi: usize) -> Permutat
 }
 
 impl Crossover<Permutation> for Pmx {
-    fn crossover(&self, a: &Permutation, b: &Permutation, rng: &mut Rng64) -> (Permutation, Permutation) {
+    fn crossover(
+        &self,
+        a: &Permutation,
+        b: &Permutation,
+        rng: &mut Rng64,
+    ) -> (Permutation, Permutation) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let n = a.len();
         if n < 2 {
@@ -361,7 +392,12 @@ fn ox_child(a: &Permutation, b: &Permutation, lo: usize, hi: usize) -> Permutati
 }
 
 impl Crossover<Permutation> for Ox {
-    fn crossover(&self, a: &Permutation, b: &Permutation, rng: &mut Rng64) -> (Permutation, Permutation) {
+    fn crossover(
+        &self,
+        a: &Permutation,
+        b: &Permutation,
+        rng: &mut Rng64,
+    ) -> (Permutation, Permutation) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let n = a.len();
         if n < 2 {
@@ -384,7 +420,12 @@ impl Crossover<Permutation> for Ox {
 pub struct Cx;
 
 impl Crossover<Permutation> for Cx {
-    fn crossover(&self, a: &Permutation, b: &Permutation, _rng: &mut Rng64) -> (Permutation, Permutation) {
+    fn crossover(
+        &self,
+        a: &Permutation,
+        b: &Permutation,
+        _rng: &mut Rng64,
+    ) -> (Permutation, Permutation) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
         let n = a.len();
         let mut c = vec![u32::MAX; n];
@@ -491,7 +532,10 @@ mod tests {
     fn blx_respects_bounds() {
         let mut r = rng();
         let bounds = Bounds::uniform(-1.0, 1.0, 5);
-        let op = BlxAlpha { alpha: 0.8, bounds: bounds.clone() };
+        let op = BlxAlpha {
+            alpha: 0.8,
+            bounds: bounds.clone(),
+        };
         let a = RealVector::new(vec![-1.0; 5]);
         let b = RealVector::new(vec![1.0; 5]);
         for _ in 0..100 {
@@ -505,7 +549,10 @@ mod tests {
     fn sbx_respects_bounds_and_centers() {
         let mut r = rng();
         let bounds = Bounds::uniform(0.0, 10.0, 3);
-        let op = Sbx { eta: 15.0, bounds: bounds.clone() };
+        let op = Sbx {
+            eta: 15.0,
+            bounds: bounds.clone(),
+        };
         let a = RealVector::new(vec![4.0; 3]);
         let b = RealVector::new(vec![6.0; 3]);
         let mut mean = 0.0;

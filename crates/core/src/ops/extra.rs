@@ -234,7 +234,11 @@ impl AdaptiveGaussian {
             let s = self.successes.swap(0, Ordering::Relaxed);
             let rate = s as f64 / self.window as f64;
             let sigma = self.sigma();
-            let new_sigma = if rate > 0.2 { sigma * 1.22 } else { sigma / 1.22 };
+            let new_sigma = if rate > 0.2 {
+                sigma * 1.22
+            } else {
+                sigma / 1.22
+            };
             self.sigma_bits
                 .store(new_sigma.max(1e-12).to_bits(), Ordering::Relaxed);
         }

@@ -11,11 +11,15 @@ pub mod mutation;
 pub mod replacement;
 pub mod selection;
 
-pub use crossover::{Arithmetic, BlxAlpha, Crossover, Cx, OnePoint, Ox, Pmx, Sbx, TwoPoint, Uniform};
+pub use crossover::{
+    Arithmetic, BlxAlpha, Crossover, Cx, OnePoint, Ox, Pmx, Sbx, TwoPoint, Uniform,
+};
 pub use extra::{AdaptiveGaussian, Boltzmann, ExponentialRank, Hux, NPoint};
 pub use mutation::{
     BitFlip, GaussianMutation, Insertion, IntCreep, IntReset, Inversion, Mutation, NoMutation,
     Polynomial, Scramble, Swap, UniformReset,
 };
 pub use replacement::ReplacementPolicy;
-pub use selection::{LinearRank, RandomSelection, Roulette, Selection, Sus, Tournament, Truncation};
+pub use selection::{
+    LinearRank, RandomSelection, Roulette, Selection, Sus, Tournament, Truncation,
+};

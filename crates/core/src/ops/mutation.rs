@@ -349,7 +349,11 @@ mod tests {
     fn gaussian_respects_bounds() {
         let mut r = rng();
         let bounds = Bounds::uniform(-1.0, 1.0, 10);
-        let op = GaussianMutation { p: 1.0, sigma: 10.0, bounds: bounds.clone() };
+        let op = GaussianMutation {
+            p: 1.0,
+            sigma: 10.0,
+            bounds: bounds.clone(),
+        };
         for _ in 0..100 {
             let mut g = bounds.sample(&mut r);
             op.mutate(&mut g, &mut r);
@@ -361,7 +365,11 @@ mod tests {
     fn polynomial_respects_bounds_and_is_local() {
         let mut r = rng();
         let bounds = Bounds::uniform(0.0, 1.0, 1);
-        let op = Polynomial { p: 1.0, eta: 20.0, bounds: bounds.clone() };
+        let op = Polynomial {
+            p: 1.0,
+            eta: 20.0,
+            bounds: bounds.clone(),
+        };
         let mut total_move = 0.0;
         for _ in 0..1000 {
             let mut g = RealVector::new(vec![0.5]);
@@ -377,7 +385,10 @@ mod tests {
     fn uniform_reset_redraws_in_interval() {
         let mut r = rng();
         let bounds = Bounds::per_dim(vec![(0.0, 1.0), (5.0, 6.0)]);
-        let op = UniformReset { p: 1.0, bounds: bounds.clone() };
+        let op = UniformReset {
+            p: 1.0,
+            bounds: bounds.clone(),
+        };
         let mut g = RealVector::new(vec![0.5, 5.5]);
         op.mutate(&mut g, &mut r);
         assert!(bounds.contains(&g));
@@ -390,7 +401,11 @@ mod tests {
             let mut g = IntVector::random(20, -5, 5, &mut r);
             IntReset { p: 0.5 }.mutate(&mut g, &mut r);
             assert!(g.in_bounds());
-            IntCreep { p: 1.0, max_step: 20 }.mutate(&mut g, &mut r);
+            IntCreep {
+                p: 1.0,
+                max_step: 20,
+            }
+            .mutate(&mut g, &mut r);
             assert!(g.in_bounds());
         }
     }
@@ -446,7 +461,12 @@ mod tests {
             }
             // Try each candidate as "the moved one".
             let ok = moved.iter().any(|&cand| {
-                let a: Vec<u32> = orig.order().iter().copied().filter(|&v| v != cand).collect();
+                let a: Vec<u32> = orig
+                    .order()
+                    .iter()
+                    .copied()
+                    .filter(|&v| v != cand)
+                    .collect();
                 let b: Vec<u32> = g.order().iter().copied().filter(|&v| v != cand).collect();
                 a == b
             });

@@ -34,16 +34,17 @@ impl ReplacementPolicy {
         objective: Objective,
         rng: &mut Rng64,
     ) -> Option<usize> {
-        assert!(incomer.is_evaluated(), "replacement requires evaluated incomer");
+        assert!(
+            incomer.is_evaluated(),
+            "replacement requires evaluated incomer"
+        );
         assert!(!pop.is_empty(), "replacement into empty population");
         let target = match self {
             Self::Worst | Self::WorstIfBetter => pop.worst_index(objective),
             Self::Random | Self::RandomIfBetter => rng.below(pop.len()),
         };
         let conditional = matches!(self, Self::WorstIfBetter | Self::RandomIfBetter);
-        if conditional
-            && !objective.better(incomer.fitness(), pop.members()[target].fitness())
-        {
+        if conditional && !objective.better(incomer.fitness(), pop.members()[target].fitness()) {
             return None;
         }
         pop.members_mut()[target] = incomer;
@@ -78,8 +79,12 @@ mod tests {
     fn worst_always_replaces() {
         let mut p = pop(&[3.0, 1.0, 2.0]);
         let mut rng = Rng64::new(0);
-        let idx = ReplacementPolicy::Worst
-            .insert(&mut p, Individual::evaluated(vec![0.5], 0.5), Objective::Maximize, &mut rng);
+        let idx = ReplacementPolicy::Worst.insert(
+            &mut p,
+            Individual::evaluated(vec![0.5], 0.5),
+            Objective::Maximize,
+            &mut rng,
+        );
         assert_eq!(idx, Some(1));
         assert_eq!(p[1].fitness(), 0.5);
     }
@@ -88,12 +93,20 @@ mod tests {
     fn worst_if_better_rejects_worse() {
         let mut p = pop(&[3.0, 1.0, 2.0]);
         let mut rng = Rng64::new(0);
-        let idx = ReplacementPolicy::WorstIfBetter
-            .insert(&mut p, Individual::evaluated(vec![0.5], 0.5), Objective::Maximize, &mut rng);
+        let idx = ReplacementPolicy::WorstIfBetter.insert(
+            &mut p,
+            Individual::evaluated(vec![0.5], 0.5),
+            Objective::Maximize,
+            &mut rng,
+        );
         assert_eq!(idx, None);
         assert_eq!(p[1].fitness(), 1.0);
-        let idx = ReplacementPolicy::WorstIfBetter
-            .insert(&mut p, Individual::evaluated(vec![9.0], 9.0), Objective::Maximize, &mut rng);
+        let idx = ReplacementPolicy::WorstIfBetter.insert(
+            &mut p,
+            Individual::evaluated(vec![9.0], 9.0),
+            Objective::Maximize,
+            &mut rng,
+        );
         assert_eq!(idx, Some(1));
     }
 
@@ -102,8 +115,12 @@ mod tests {
         let mut p = pop(&[3.0, 1.0, 2.0]);
         let mut rng = Rng64::new(0);
         // Under minimize, 3.0 is worst.
-        let idx = ReplacementPolicy::Worst
-            .insert(&mut p, Individual::evaluated(vec![0.1], 0.1), Objective::Minimize, &mut rng);
+        let idx = ReplacementPolicy::Worst.insert(
+            &mut p,
+            Individual::evaluated(vec![0.1], 0.1),
+            Objective::Minimize,
+            &mut rng,
+        );
         assert_eq!(idx, Some(0));
     }
 
@@ -112,7 +129,12 @@ mod tests {
         let mut p = pop(&[1.0, 2.0, 3.0, 4.0]);
         let mut rng = Rng64::new(7);
         let idx = ReplacementPolicy::Random
-            .insert(&mut p, Individual::evaluated(vec![-1.0], -1.0), Objective::Maximize, &mut rng)
+            .insert(
+                &mut p,
+                Individual::evaluated(vec![-1.0], -1.0),
+                Objective::Maximize,
+                &mut rng,
+            )
             .unwrap();
         assert!(idx < 4);
         assert_eq!(p[idx].fitness(), -1.0);
@@ -123,8 +145,12 @@ mod tests {
         // Equal fitness is NOT better, so insertion must be rejected.
         let mut p = pop(&[2.0, 2.0]);
         let mut rng = Rng64::new(1);
-        let idx = ReplacementPolicy::RandomIfBetter
-            .insert(&mut p, Individual::evaluated(vec![2.0], 2.0), Objective::Maximize, &mut rng);
+        let idx = ReplacementPolicy::RandomIfBetter.insert(
+            &mut p,
+            Individual::evaluated(vec![2.0], 2.0),
+            Objective::Maximize,
+            &mut rng,
+        );
         assert_eq!(idx, None);
     }
 }

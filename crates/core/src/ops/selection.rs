@@ -24,7 +24,9 @@ pub trait Selection<G: Genome>: Send + Sync {
         count: usize,
         rng: &mut Rng64,
     ) -> Vec<usize> {
-        (0..count).map(|_| self.select(pop, objective, rng)).collect()
+        (0..count)
+            .map(|_| self.select(pop, objective, rng))
+            .collect()
     }
 
     /// Operator name for harness tables.
@@ -285,7 +287,13 @@ mod tests {
 
     #[test]
     fn tournament_prefers_better_maximize() {
-        let f = frequencies(&Tournament::binary(), &[1.0, 2.0, 3.0], Objective::Maximize, 30_000, 1);
+        let f = frequencies(
+            &Tournament::binary(),
+            &[1.0, 2.0, 3.0],
+            Objective::Maximize,
+            30_000,
+            1,
+        );
         assert!(f[2] > f[1] && f[1] > f[0]);
         // Binary tournament over 3 distinct: P(best) = 5/9 ≈ .5556
         assert!((f[2] - 5.0 / 9.0).abs() < 0.02);
@@ -293,13 +301,25 @@ mod tests {
 
     #[test]
     fn tournament_prefers_better_minimize() {
-        let f = frequencies(&Tournament::binary(), &[1.0, 2.0, 3.0], Objective::Minimize, 30_000, 2);
+        let f = frequencies(
+            &Tournament::binary(),
+            &[1.0, 2.0, 3.0],
+            Objective::Minimize,
+            30_000,
+            2,
+        );
         assert!(f[0] > f[1] && f[1] > f[2]);
     }
 
     #[test]
     fn tournament_k1_is_uniform() {
-        let f = frequencies(&Tournament::new(1), &[1.0, 100.0], Objective::Maximize, 30_000, 3);
+        let f = frequencies(
+            &Tournament::new(1),
+            &[1.0, 100.0],
+            Objective::Maximize,
+            30_000,
+            3,
+        );
         assert!((f[0] - 0.5).abs() < 0.02);
     }
 
@@ -352,7 +372,13 @@ mod tests {
 
     #[test]
     fn linear_rank_pressure_bounds() {
-        let f = frequencies(&LinearRank::new(2.0), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 40_000, 9);
+        let f = frequencies(
+            &LinearRank::new(2.0),
+            &[1.0, 2.0, 3.0, 4.0],
+            Objective::Maximize,
+            40_000,
+            9,
+        );
         // sp=2: expected copies of best = 2/n, of worst = 0.
         assert!((f[3] - 0.5).abs() < 0.02, "f={f:?}");
         assert!(f[0] < 0.01);
@@ -360,7 +386,13 @@ mod tests {
 
     #[test]
     fn linear_rank_sp1_is_uniform() {
-        let f = frequencies(&LinearRank::new(1.0), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 40_000, 10);
+        let f = frequencies(
+            &LinearRank::new(1.0),
+            &[1.0, 2.0, 3.0, 4.0],
+            Objective::Maximize,
+            40_000,
+            10,
+        );
         for x in f {
             assert!((x - 0.25).abs() < 0.02);
         }
@@ -368,7 +400,13 @@ mod tests {
 
     #[test]
     fn truncation_only_picks_top() {
-        let f = frequencies(&Truncation::new(0.5), &[1.0, 2.0, 3.0, 4.0], Objective::Maximize, 10_000, 11);
+        let f = frequencies(
+            &Truncation::new(0.5),
+            &[1.0, 2.0, 3.0, 4.0],
+            Objective::Maximize,
+            10_000,
+            11,
+        );
         assert_eq!(f[0], 0.0);
         assert_eq!(f[1], 0.0);
         assert!(f[2] > 0.4 && f[3] > 0.4);
@@ -376,7 +414,13 @@ mod tests {
 
     #[test]
     fn random_selection_ignores_fitness() {
-        let f = frequencies(&RandomSelection, &[0.0, 1000.0], Objective::Maximize, 30_000, 12);
+        let f = frequencies(
+            &RandomSelection,
+            &[0.0, 1000.0],
+            Objective::Maximize,
+            30_000,
+            12,
+        );
         assert!((f[0] - 0.5).abs() < 0.02);
     }
 
@@ -384,9 +428,18 @@ mod tests {
     fn single_member_population() {
         let p = pop(&[1.0]);
         let mut rng = Rng64::new(13);
-        assert_eq!(Tournament::binary().select(&p, Objective::Maximize, &mut rng), 0);
+        assert_eq!(
+            Tournament::binary().select(&p, Objective::Maximize, &mut rng),
+            0
+        );
         assert_eq!(Roulette.select(&p, Objective::Maximize, &mut rng), 0);
-        assert_eq!(LinearRank::new(1.5).select(&p, Objective::Maximize, &mut rng), 0);
-        assert_eq!(Truncation::new(0.1).select(&p, Objective::Maximize, &mut rng), 0);
+        assert_eq!(
+            LinearRank::new(1.5).select(&p, Objective::Maximize, &mut rng),
+            0
+        );
+        assert_eq!(
+            Truncation::new(0.1).select(&p, Objective::Maximize, &mut rng),
+            0
+        );
     }
 }

@@ -157,7 +157,13 @@ impl<G: Genome> Population<G> {
         // NaN fitness ranks worst (consistent with `Objective::better`,
         // which never prefers NaN) instead of inheriting total_cmp's
         // NaN-above-infinity ordering.
-        let key = |f: f64| if f.is_nan() { objective.worst_value() } else { f };
+        let key = |f: f64| {
+            if f.is_nan() {
+                objective.worst_value()
+            } else {
+                f
+            }
+        };
         idx.sort_by(|&a, &b| {
             let fa = key(self.members[a].fitness());
             let fb = key(self.members[b].fitness());
@@ -187,11 +193,7 @@ impl Population<BitString> {
         let n = self.members.len() as f64;
         let mut acc = 0.0;
         for locus in 0..len {
-            let ones = self
-                .members
-                .iter()
-                .filter(|m| m.genome.get(locus))
-                .count() as f64;
+            let ones = self.members.iter().filter(|m| m.genome.get(locus)).count() as f64;
             let p = ones / n;
             acc += 2.0 * p * (1.0 - p);
         }
@@ -259,10 +261,7 @@ mod tests {
     #[test]
     fn bit_diversity_extremes() {
         use crate::repr::BitString;
-        let converged = Population::new(vec![
-            Individual::evaluated(BitString::ones(32), 1.0);
-            8
-        ]);
+        let converged = Population::new(vec![Individual::evaluated(BitString::ones(32), 1.0); 8]);
         assert_eq!(converged.bit_diversity(), 0.0);
 
         let mut members = Vec::new();

@@ -273,13 +273,24 @@ mod tests {
     #[test]
     fn copy_range_word_spanning() {
         let mut rng = Rng64::new(5);
-        for (from, to) in [(0, 200), (3, 130), (60, 70), (64, 128), (10, 10), (199, 200)] {
+        for (from, to) in [
+            (0, 200),
+            (3, 130),
+            (60, 70),
+            (64, 128),
+            (10, 10),
+            (199, 200),
+        ] {
             let a = BitString::random(200, &mut rng);
             let b = BitString::random(200, &mut rng);
             let mut c = a.clone();
             c.copy_range_from(&b, from, to);
             for i in 0..200 {
-                let expect = if (from..to).contains(&i) { b.get(i) } else { a.get(i) };
+                let expect = if (from..to).contains(&i) {
+                    b.get(i)
+                } else {
+                    a.get(i)
+                };
                 assert_eq!(c.get(i), expect, "bit {i} for range {from}..{to}");
             }
             assert!(c.tail_is_canonical());

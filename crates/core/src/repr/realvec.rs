@@ -74,13 +74,10 @@ impl Bounds {
     #[must_use]
     pub fn contains(&self, v: &RealVector) -> bool {
         v.len() == self.dim()
-            && v.values()
-                .iter()
-                .enumerate()
-                .all(|(i, &x)| {
-                    let (lo, hi) = self.interval(i);
-                    (lo..=hi).contains(&x)
-                })
+            && v.values().iter().enumerate().all(|(i, &x)| {
+                let (lo, hi) = self.interval(i);
+                (lo..=hi).contains(&x)
+            })
     }
 
     /// Samples a uniform point inside the box.

@@ -51,7 +51,11 @@ fn stagnation_terminates_converged_runs() {
         .build()
         .unwrap();
     let r = ga
-        .run(&Termination::new().max_stagnation(10).max_generations(10_000))
+        .run(
+            &Termination::new()
+                .max_stagnation(10)
+                .max_generations(10_000),
+        )
         .unwrap();
     assert_eq!(r.stop, StopReason::Stagnation);
     assert!(r.generations < 10_000);
@@ -94,12 +98,13 @@ fn zero_crossover_rate_still_evolves_via_mutation() {
 #[test]
 fn alternative_selectors_solve_onemax() {
     for (name, sel) in [
-        ("roulette", Box::new(Roulette) as Box<dyn pga_core::ops::selection::Selection<BitString>>),
+        (
+            "roulette",
+            Box::new(Roulette) as Box<dyn pga_core::ops::selection::Selection<BitString>>,
+        ),
         ("sus", Box::new(Sus)),
     ] {
-        let mut ga = GaBuilder::new(OneMax(48))
-            .seed(11)
-            .pop_size(60);
+        let mut ga = GaBuilder::new(OneMax(48)).seed(11).pop_size(60);
         ga = match name {
             "roulette" => ga.selection(Roulette),
             _ => ga.selection(Sus),

@@ -1,9 +1,13 @@
 //! Property-based tests for operator and representation invariants.
 
 use pga_core::ops::crossover::{Crossover, Cx, OnePoint, Ox, Pmx, TwoPoint, Uniform};
-use pga_core::ops::mutation::{BitFlip, GaussianMutation, Insertion, Inversion, Mutation, Polynomial, Scramble, Swap};
+use pga_core::ops::mutation::{
+    BitFlip, GaussianMutation, Insertion, Inversion, Mutation, Polynomial, Scramble, Swap,
+};
 use pga_core::ops::selection::{LinearRank, Roulette, Selection, Sus, Tournament, Truncation};
-use pga_core::{BitString, Bounds, Individual, Objective, Permutation, Population, RealVector, Rng64};
+use pga_core::{
+    BitString, Bounds, Individual, Objective, Permutation, Population, RealVector, Rng64,
+};
 use proptest::prelude::*;
 
 fn arb_seed() -> impl Strategy<Value = u64> {

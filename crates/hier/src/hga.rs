@@ -146,9 +146,7 @@ impl<F: FidelityProblem> Hga<F> {
                 continue;
             }
             let cand = isl.best_ever();
-            if best.is_none()
-                || objective.better(cand.fitness(), best.expect("set").fitness())
-            {
+            if best.is_none() || objective.better(cand.fitness(), best.expect("set").fitness()) {
                 best = Some(cand);
             }
         }
@@ -195,8 +193,7 @@ impl<F: FidelityProblem> Hga<F> {
                 transfers.push((parent, genomes));
                 // Down: random parent members to keep the child exploring.
                 let mut rng = self.islands[parent].rng_mut().clone();
-                let picks =
-                    rng.sample_distinct(self.islands[parent].population().len(), promote);
+                let picks = rng.sample_distinct(self.islands[parent].population().len(), promote);
                 *self.islands[parent].rng_mut() = rng;
                 let genomes_down = picks
                     .into_iter()
@@ -283,9 +280,10 @@ mod tests {
         }
     }
 
-    fn build(view: LevelView<BlurredFidelity<Sphere>>, seed: u64)
-        -> Ga<LevelView<BlurredFidelity<Sphere>>, SerialEvaluator>
-    {
+    fn build(
+        view: LevelView<BlurredFidelity<Sphere>>,
+        seed: u64,
+    ) -> Ga<LevelView<BlurredFidelity<Sphere>>, SerialEvaluator> {
         let bounds = Bounds::uniform(-5.0, 5.0, 6);
         pga_core::GaBuilder::new(view)
             .seed(seed)
@@ -329,13 +327,21 @@ mod tests {
         // 24 individuals/island; 1 island at cost 1, 2 at 1/4, 4 at 1/16.
         let h = hga(0.3, 4.0, 2);
         let expected = 24.0 * (1.0 + 2.0 * 0.25 + 4.0 * 0.0625);
-        assert!((h.cost_units() - expected).abs() < 1e-9, "{}", h.cost_units());
+        assert!(
+            (h.cost_units() - expected).abs() < 1e-9,
+            "{}",
+            h.cost_units()
+        );
     }
 
     #[test]
     fn hga_improves_precise_best() {
         let report = hga(0.3, 4.0, 3).run(4_000.0);
-        assert!(report.best.fitness() < 0.5, "best = {}", report.best.fitness());
+        assert!(
+            report.best.fitness() < 0.5,
+            "best = {}",
+            report.best.fitness()
+        );
         assert!(report.epochs > 0);
         // Trajectory is monotone in cost and non-worsening in quality.
         for w in report.trajectory.windows(2) {
@@ -353,8 +359,12 @@ mod tests {
         let precise_only = hga(0.0, 1.0, 10).run(budget);
         // Both should improve, but the multi-fidelity run gets far more
         // evolution per cost unit and should be at least as good.
-        assert!(multi.best.fitness() <= precise_only.best.fitness() + 0.1,
-            "multi {} vs precise {}", multi.best.fitness(), precise_only.best.fitness());
+        assert!(
+            multi.best.fitness() <= precise_only.best.fitness() + 0.1,
+            "multi {} vs precise {}",
+            multi.best.fitness(),
+            precise_only.best.fitness()
+        );
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::deme::{Deme, DemeStats};
 use crate::migration::MigrationPolicy;
 use pga_core::Individual;
+use pga_observe::{Event, EventKind};
 use pga_topology::Topology;
 use std::time::{Duration, Instant};
 
@@ -86,11 +87,14 @@ impl<D: Deme> Archipelago<D> {
     /// # Panics
     /// Panics if `islands` is empty or the topology rejects the count.
     #[must_use]
-    pub fn new(islands: Vec<D>, topology: Topology, policy: MigrationPolicy) -> Self {
+    pub fn new(mut islands: Vec<D>, topology: Topology, policy: MigrationPolicy) -> Self {
         assert!(!islands.is_empty(), "need at least one island");
         topology
             .validate(islands.len())
             .expect("topology incompatible with island count");
+        for (i, island) in islands.iter_mut().enumerate() {
+            island.set_trace_island(i as u32);
+        }
         Self {
             islands,
             topology,
@@ -134,6 +138,9 @@ impl<D: Deme> Archipelago<D> {
         let mut migrants_accepted = 0u64;
         let mut generation = 0u64;
         let mut hit = self.any_optimal();
+        for island in &mut self.islands {
+            island.record_run_started();
+        }
 
         while !(hit && stop.until_optimum)
             && generation < stop.max_generations
@@ -163,6 +170,9 @@ impl<D: Deme> Archipelago<D> {
             }
         }
 
+        for island in &mut self.islands {
+            island.record_run_finished();
+        }
         self.collect(start.elapsed(), migrants_sent, migrants_accepted, histories)
     }
 
@@ -176,13 +186,31 @@ impl<D: Deme> Archipelago<D> {
             for &dst in targets {
                 let migrants = self.islands[src].emigrants(policy.emigrant, policy.count);
                 sent += migrants.len() as u64;
+                if !migrants.is_empty() {
+                    let generation = self.islands[src].generation();
+                    self.islands[src].record_event(&Event::new(EventKind::MigrationSent {
+                        from: src as u32,
+                        to: dst as u32,
+                        generation,
+                        count: migrants.len() as u64,
+                    }));
+                }
                 inboxes[dst].extend(migrants);
             }
         }
         let mut accepted = 0u64;
         for (dst, inbox) in inboxes.into_iter().enumerate() {
             if !inbox.is_empty() {
-                accepted += self.islands[dst].immigrate(inbox, policy.replacement) as u64;
+                let offered = inbox.len() as u64;
+                let here = self.islands[dst].immigrate(inbox, policy.replacement) as u64;
+                accepted += here;
+                let generation = self.islands[dst].generation();
+                self.islands[dst].record_event(&Event::new(EventKind::MigrationReceived {
+                    island: dst as u32,
+                    generation,
+                    offered,
+                    accepted: here,
+                }));
             }
         }
         (sent, accepted)
@@ -360,13 +388,11 @@ mod tests {
             Topology::RingUni,
             MigrationPolicy::default(),
         );
-        let r = arch.run(
-            &IslandStop {
-                max_generations: u64::MAX,
-                until_optimum: false,
-                max_total_evaluations: 2_000,
-            },
-        );
+        let r = arch.run(&IslandStop {
+            max_generations: u64::MAX,
+            until_optimum: false,
+            max_total_evaluations: 2_000,
+        });
         assert!(r.total_evaluations < 2_000 + 4 * 20 + 4 * 20);
     }
 
@@ -407,9 +433,19 @@ mod tests {
         };
         let demes = vec![
             mk(1, Scheme::Generational { elitism: 1 }),
-            mk(2, Scheme::SteadyState { replacement: ReplacementPolicy::WorstIfBetter }),
+            mk(
+                2,
+                Scheme::SteadyState {
+                    replacement: ReplacementPolicy::WorstIfBetter,
+                },
+            ),
             mk(3, Scheme::Generational { elitism: 2 }),
-            mk(4, Scheme::SteadyState { replacement: ReplacementPolicy::Worst }),
+            mk(
+                4,
+                Scheme::SteadyState {
+                    replacement: ReplacementPolicy::Worst,
+                },
+            ),
         ];
         let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
         let r = arch.run(&IslandStop::generations(300));

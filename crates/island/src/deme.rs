@@ -12,6 +12,7 @@
 use crate::migration::EmigrantSelection;
 use pga_core::ops::ReplacementPolicy;
 use pga_core::{Evaluator, Ga, Genome, Individual, Objective, Problem};
+use pga_observe::Event;
 
 /// Per-step statistics common to all deme engines.
 #[derive(Clone, Copy, Debug)]
@@ -70,6 +71,25 @@ pub trait Deme: Send {
         immigrants: Vec<Individual<Self::Genome>>,
         policy: ReplacementPolicy,
     ) -> usize;
+
+    /// Routes a driver-side observability event (migration bookkeeping)
+    /// into the deme's recorder. Default: no-op, so engines without
+    /// instrumentation remain valid demes.
+    fn record_event(&mut self, _event: &Event) {}
+
+    /// Assigns the island id the deme stamps on its own events. Default:
+    /// no-op.
+    fn set_trace_island(&mut self, _island: u32) {}
+
+    /// Emits a `RunStarted` event through the deme's recorder, if any.
+    /// Island drivers call this once before stepping begins. Default:
+    /// no-op.
+    fn record_run_started(&mut self) {}
+
+    /// Emits a `RunFinished` event and flushes the deme's recorder, if
+    /// any. Island drivers call this once after the stopping rule fires.
+    /// Default: no-op.
+    fn record_run_finished(&mut self) {}
 }
 
 impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
@@ -125,6 +145,22 @@ impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
     ) -> usize {
         self.receive_immigrants(immigrants, policy)
     }
+
+    fn record_event(&mut self, event: &Event) {
+        Ga::record_event(self, event);
+    }
+
+    fn set_trace_island(&mut self, island: u32) {
+        Ga::set_trace_island(self, island);
+    }
+
+    fn record_run_started(&mut self) {
+        Ga::record_run_started(self);
+    }
+
+    fn record_run_finished(&mut self) {
+        Ga::record_run_finished(self);
+    }
 }
 
 /// Boxed demes are demes, so heterogeneous archipelagos can mix engine
@@ -155,6 +191,18 @@ impl<G: Genome> Deme for Box<dyn Deme<Genome = G>> {
     }
     fn immigrate(&mut self, immigrants: Vec<Individual<G>>, policy: ReplacementPolicy) -> usize {
         (**self).immigrate(immigrants, policy)
+    }
+    fn record_event(&mut self, event: &Event) {
+        (**self).record_event(event);
+    }
+    fn set_trace_island(&mut self, island: u32) {
+        (**self).set_trace_island(island);
+    }
+    fn record_run_started(&mut self) {
+        (**self).record_run_started();
+    }
+    fn record_run_finished(&mut self) {
+        (**self).record_run_finished();
     }
 }
 

@@ -190,14 +190,19 @@ mod tests {
         let p = pop(&[1.0, 2.0]);
         let mut rng = Rng64::new(3);
         assert_eq!(
-            EmigrantSelection::Best.pick(&p, Objective::Maximize, 10, &mut rng).len(),
+            EmigrantSelection::Best
+                .pick(&p, Objective::Maximize, 10, &mut rng)
+                .len(),
             2
         );
     }
 
     #[test]
     fn migrates_at_schedule() {
-        let m = MigrationPolicy { interval: 4, ..MigrationPolicy::default() };
+        let m = MigrationPolicy {
+            interval: 4,
+            ..MigrationPolicy::default()
+        };
         assert!(!m.migrates_at(0));
         assert!(!m.migrates_at(3));
         assert!(m.migrates_at(4));

@@ -13,6 +13,7 @@ use crate::deme::{Deme, DemeStats};
 use crate::migration::{MigrationPolicy, SyncMode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pga_core::Individual;
+use pga_observe::{Event, EventKind};
 use pga_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
@@ -57,8 +58,7 @@ pub fn run_threaded<D: Deme>(
 
     // One channel per directed edge.
     let mut senders: Vec<Vec<Sender<Batch<D::Genome>>>> = (0..n).map(|_| Vec::new()).collect();
-    let mut receivers: Vec<Vec<Receiver<Batch<D::Genome>>>> =
-        (0..n).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Receiver<Batch<D::Genome>>>> = (0..n).map(|_| Vec::new()).collect();
     for (src, targets) in adjacency.iter().enumerate() {
         for &dst in targets {
             let (tx, rx) = unbounded();
@@ -77,6 +77,10 @@ pub fn run_threaded<D: Deme>(
         for (island_idx, mut deme) in islands.into_iter().enumerate() {
             let my_senders = std::mem::take(&mut senders[island_idx]);
             let my_receivers = std::mem::take(&mut receivers[island_idx]);
+            // Out-neighbor ids, aligned with `my_senders` (same adjacency
+            // order), so migration events can name their destination.
+            let my_targets = adjacency[island_idx].clone();
+            deme.set_trace_island(island_idx as u32);
             handles.push(scope.spawn(move || {
                 let mut open: Vec<Option<Receiver<Batch<D::Genome>>>> =
                     my_receivers.into_iter().map(Some).collect();
@@ -88,6 +92,7 @@ pub fn run_threaded<D: Deme>(
                 // Seed the global counter with this island's initial
                 // population evaluations.
                 spent.fetch_add(deme.evaluations(), Ordering::Relaxed);
+                deme.record_run_started();
 
                 while generation < stop.max_generations {
                     if stop.until_optimum && found.load(Ordering::Relaxed) {
@@ -112,9 +117,17 @@ pub fn run_threaded<D: Deme>(
 
                     if policy.migrates_at(generation) {
                         // Send to each out-neighbor.
-                        for tx in &my_senders {
+                        for (tx, &dst) in my_senders.iter().zip(&my_targets) {
                             let migrants = deme.emigrants(policy.emigrant, policy.count);
                             sent += migrants.len() as u64;
+                            if !migrants.is_empty() {
+                                deme.record_event(&Event::new(EventKind::MigrationSent {
+                                    from: island_idx as u32,
+                                    to: dst as u32,
+                                    generation,
+                                    count: migrants.len() as u64,
+                                }));
+                            }
                             // A disconnected receiver just means the
                             // neighbor already stopped.
                             let _ = tx.send(migrants);
@@ -136,7 +149,15 @@ pub fn run_threaded<D: Deme>(
                             }
                         }
                         if !inbox.is_empty() {
-                            accepted += deme.immigrate(inbox, policy.replacement) as u64;
+                            let offered = inbox.len() as u64;
+                            let here = deme.immigrate(inbox, policy.replacement) as u64;
+                            accepted += here;
+                            deme.record_event(&Event::new(EventKind::MigrationReceived {
+                                island: island_idx as u32,
+                                generation,
+                                offered,
+                                accepted: here,
+                            }));
                             if deme.is_optimal() {
                                 found.store(true, Ordering::Relaxed);
                             }
@@ -144,6 +165,7 @@ pub fn run_threaded<D: Deme>(
                     }
                 }
                 drop(my_senders); // unblock synchronous neighbors
+                deme.record_run_finished();
                 IslandOutcome {
                     deme,
                     history,
@@ -305,7 +327,10 @@ mod tests {
         let r = run_threaded(
             islands,
             &Topology::RingUni,
-            MigrationPolicy { interval: 2, ..MigrationPolicy::default() },
+            MigrationPolicy {
+                interval: 2,
+                ..MigrationPolicy::default()
+            },
             IslandStop::generations(500),
             false,
         );
@@ -328,6 +353,55 @@ mod tests {
         );
         assert_eq!(r.histories.len(), 2);
         assert_eq!(r.histories[0].len(), 12);
+    }
+
+    #[test]
+    fn threaded_traces_merge_deterministically() {
+        use pga_observe::{merge_island_traces, EventKind, FilteredRecorder, RingRecorder};
+        let run = || {
+            let p = Arc::new(OneMax(48));
+            let rings: Vec<RingRecorder> = (0..3).map(|_| RingRecorder::new(65_536)).collect();
+            let islands: Vec<_> = (0..3)
+                .map(|i| {
+                    GaBuilder::new(Arc::clone(&p))
+                        .seed(70 + i as u64)
+                        .pop_size(30)
+                        .selection(Tournament::binary())
+                        .crossover(OnePoint)
+                        .mutation(BitFlip::one_over_len(48))
+                        // Drop the wall-clock batch timings so the merged
+                        // trace is byte-comparable across runs.
+                        .recorder(FilteredRecorder::new(rings[i].clone(), |e| {
+                            !matches!(e.kind, EventKind::EvaluationBatch { .. })
+                        }))
+                        .build()
+                        .unwrap()
+                })
+                .collect();
+            let stop = IslandStop {
+                max_generations: 40,
+                until_optimum: false,
+                max_total_evaluations: u64::MAX,
+            };
+            let _ = run_threaded(
+                islands,
+                &Topology::RingUni,
+                MigrationPolicy::default(),
+                stop,
+                false,
+            );
+            merge_island_traces(rings.iter().map(|r| r.take_events()).collect())
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MigrationSent { .. })));
+        assert!(a
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MigrationReceived { .. })));
+        assert_eq!(a, b, "merged threaded traces must be reproducible");
     }
 
     #[test]

@@ -1,8 +1,15 @@
 //! Rayon-backed batch evaluation.
 
 use pga_core::{Evaluator, Individual, Problem};
+use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 use rayon::prelude::*;
 use rayon::ThreadPool;
+use std::sync::Mutex;
+
+struct EvalTrace {
+    recorder: Box<dyn Recorder>,
+    batch: u64,
+}
 
 /// Evaluates fitness batches on a dedicated rayon thread pool.
 ///
@@ -12,6 +19,7 @@ use rayon::ThreadPool;
 pub struct RayonEvaluator {
     pool: ThreadPool,
     workers: usize,
+    trace: Option<Mutex<EvalTrace>>,
 }
 
 impl RayonEvaluator {
@@ -27,7 +35,11 @@ impl RayonEvaluator {
             .thread_name(|i| format!("pga-ms-worker-{i}"))
             .build()
             .expect("failed to build rayon pool");
-        Self { pool, workers }
+        Self {
+            pool,
+            workers,
+            trace: None,
+        }
     }
 
     /// Number of worker threads.
@@ -35,11 +47,27 @@ impl RayonEvaluator {
     pub fn workers(&self) -> usize {
         self.workers
     }
+
+    /// Attaches a recorder that receives one wall-clock-timed
+    /// `EvaluationBatch` event per dispatched batch.
+    ///
+    /// Use this when the evaluator runs outside an instrumented engine; a
+    /// `Ga` with its own recorder already times its batches, so attaching
+    /// both double-counts `eval.batch_micros`.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.trace = Some(Mutex::new(EvalTrace {
+            recorder: Box::new(recorder),
+            batch: 0,
+        }));
+        self
+    }
 }
 
 impl<P: Problem> Evaluator<P> for RayonEvaluator {
     fn evaluate_batch(&self, problem: &P, members: &mut [Individual<P::Genome>]) -> u64 {
-        self.pool.install(|| {
+        let sw = Stopwatch::started_if(self.trace.is_some());
+        let fresh = self.pool.install(|| {
             members
                 .par_iter_mut()
                 .map(|m| {
@@ -51,7 +79,20 @@ impl<P: Problem> Evaluator<P> for RayonEvaluator {
                     }
                 })
                 .sum()
-        })
+        });
+        if let (Some(trace), Some(micros)) = (&self.trace, sw.elapsed_micros()) {
+            let mut t = trace.lock().unwrap();
+            t.batch += 1;
+            let batch = t.batch;
+            t.recorder.record(&Event::new(EventKind::EvaluationBatch {
+                island: 0,
+                batch,
+                size: members.len() as u64,
+                fresh,
+                micros,
+            }));
+        }
+        fresh
     }
 
     fn name(&self) -> &'static str {

@@ -9,6 +9,7 @@
 
 use pga_cluster::{ClusterSpec, FailurePlan, MasterSlaveSim};
 use pga_core::{Evaluator, Ga, Problem};
+use pga_observe::{Event, EventKind, Recorder, Time};
 
 /// Outcome of a virtual-clock master–slave run.
 #[derive(Clone, Debug)]
@@ -39,6 +40,9 @@ pub struct SimulatedMasterSlaveGa<P: Problem, E: Evaluator<P>> {
     clock: f64,
     reassignments: usize,
     cluster_size: usize,
+    recorder: Option<Box<dyn Recorder>>,
+    node_failure_seen: Vec<bool>,
+    batch: u64,
 }
 
 impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
@@ -47,6 +51,31 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
     /// immediately.
     #[must_use]
     pub fn new(ga: Ga<P, E>, spec: ClusterSpec, failures: FailurePlan, eval_cost_s: f64) -> Self {
+        Self::build(ga, spec, failures, eval_cost_s, None)
+    }
+
+    /// Like [`new`](Self::new), but every batch, failure, and reassignment
+    /// is reported to `recorder` as sim-time-stamped events. The recorder is
+    /// attached *before* the initial population's evaluation is charged, so
+    /// the trace covers the whole virtual timeline.
+    #[must_use]
+    pub fn new_with_recorder(
+        ga: Ga<P, E>,
+        spec: ClusterSpec,
+        failures: FailurePlan,
+        eval_cost_s: f64,
+        recorder: impl Recorder + 'static,
+    ) -> Self {
+        Self::build(ga, spec, failures, eval_cost_s, Some(Box::new(recorder)))
+    }
+
+    fn build(
+        ga: Ga<P, E>,
+        spec: ClusterSpec,
+        failures: FailurePlan,
+        eval_cost_s: f64,
+        recorder: Option<Box<dyn Recorder>>,
+    ) -> Self {
         assert!(eval_cost_s > 0.0, "evaluation cost must be positive");
         let cluster_size = spec.len();
         let sim = MasterSlaveSim::new(spec, failures);
@@ -58,9 +87,24 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
             clock: 0.0,
             reassignments: 0,
             cluster_size,
+            recorder,
+            node_failure_seen: vec![false; cluster_size],
+            batch: 0,
         };
+        s.emit(Time::Sim(0.0), |ga| EventKind::RunStarted {
+            island: 0,
+            engine: "master-slave-sim".into(),
+            problem: ga.problem().name(),
+            seed: ga.seed(),
+        });
         s.charge_batch(initial_evals);
         s
+    }
+
+    fn emit(&mut self, time: Time, kind: impl FnOnce(&Ga<P, E>) -> EventKind) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(&Event::at(time, kind(&self.ga)));
+        }
     }
 
     /// Current virtual time.
@@ -79,10 +123,45 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
         if evals == 0 {
             return true;
         }
+        let start = self.clock;
         let tasks = vec![self.eval_cost_s; evals as usize];
         let report = self.sim.run_batch_at(self.clock, &tasks);
         self.clock = report.makespan;
         self.reassignments += report.reassignments;
+        if self.recorder.is_some() {
+            // `run_batch_at` drains its whole event queue, so a node that
+            // fails at absolute time T shows up in the trace of every batch
+            // started before T, including batches that finish before T is
+            // reached. Report each failure once, and only after the virtual
+            // clock has actually passed it.
+            for event in pga_cluster::observe_events(&report.trace) {
+                if let EventKind::NodeFailed { node } = event.kind {
+                    if let Time::Sim(t) = event.time {
+                        if t > self.clock {
+                            continue;
+                        }
+                    }
+                    let seen = &mut self.node_failure_seen[node as usize];
+                    if *seen {
+                        continue;
+                    }
+                    *seen = true;
+                }
+                if let Some(rec) = &mut self.recorder {
+                    rec.record(&event);
+                }
+            }
+            self.batch += 1;
+            let batch = self.batch;
+            let micros = ((self.clock - start) * 1e6).round() as u64;
+            self.emit(Time::Sim(self.clock), |_| EventKind::EvaluationBatch {
+                island: 0,
+                batch,
+                size: evals,
+                fresh: report.completed as u64,
+                micros,
+            });
+        }
         report.completed == evals as usize
     }
 
@@ -91,9 +170,18 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
     /// batch (all nodes dead).
     pub fn step(&mut self) -> bool {
         let before = self.ga.evaluations();
-        self.ga.step();
+        let stats = self.ga.step();
         let evals = self.ga.evaluations() - before;
-        self.charge_batch(evals)
+        let ok = self.charge_batch(evals);
+        self.emit(Time::Sim(self.clock), |_| EventKind::GenerationCompleted {
+            island: 0,
+            generation: stats.generation,
+            evaluations: stats.evaluations,
+            best: stats.pop.best,
+            mean: stats.pop.mean,
+            best_ever: stats.best_ever,
+        });
+        ok
     }
 
     /// Runs until the optimum is hit, `max_generations` pass, or the cluster
@@ -111,13 +199,19 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
             }
         }
         let dead_nodes = (0..self.cluster_size)
-            .filter(|&i| {
-                self.sim
-                    .failure_time(i)
-                    .is_some_and(|t| t <= self.clock)
-            })
+            .filter(|&i| self.sim.failure_time(i).is_some_and(|t| t <= self.clock))
             .count();
         let best = self.ga.best_ever().fitness();
+        self.emit(Time::Sim(self.clock), |ga| EventKind::RunFinished {
+            island: 0,
+            generations: ga.generation(),
+            evaluations: ga.evaluations(),
+            best,
+            hit_optimum: ga.problem().is_optimal(best),
+        });
+        if let Some(rec) = &mut self.recorder {
+            rec.flush();
+        }
         VirtualRunReport {
             virtual_seconds: self.clock,
             generations: self.ga.generation(),
@@ -174,8 +268,7 @@ mod tests {
     fn more_nodes_finish_faster_in_virtual_time() {
         let run = |nodes: usize| {
             let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
-            SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01)
-                .run(50)
+            SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01).run(50)
         };
         let one = run(1);
         let eight = run(8);
@@ -203,8 +296,7 @@ mod tests {
             None,
             None,
         ]);
-        let faulty =
-            SimulatedMasterSlaveGa::new(engine(2), spec.clone(), failures, 0.01).run(50);
+        let faulty = SimulatedMasterSlaveGa::new(engine(2), spec.clone(), failures, 0.01).run(50);
         let healthy =
             SimulatedMasterSlaveGa::new(engine(2), spec, FailurePlan::none(nodes), 0.01).run(50);
         // Search result identical (same seed, search unaffected by failures).
@@ -214,6 +306,90 @@ mod tests {
         assert!(faulty.virtual_seconds > healthy.virtual_seconds);
         assert_eq!(faulty.dead_nodes, 4);
         assert!(!faulty.cluster_died);
+    }
+
+    #[test]
+    fn faulty_run_traces_each_failure_once() {
+        use pga_observe::RingRecorder;
+        let nodes = 8;
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        let failures = FailurePlan::at(vec![
+            Some(0.1),
+            Some(0.2),
+            Some(0.3),
+            Some(0.4),
+            None,
+            None,
+            None,
+            None,
+        ]);
+        let ring = RingRecorder::new(100_000);
+        let report = SimulatedMasterSlaveGa::new_with_recorder(
+            engine(2),
+            spec,
+            failures,
+            0.01,
+            ring.clone(),
+        )
+        .run(50);
+        let events = ring.events();
+        assert_eq!(events.first().unwrap().kind.name(), "run_started");
+        assert_eq!(events.last().unwrap().kind.name(), "run_finished");
+        assert!(
+            events.iter().all(|e| matches!(e.time, Time::Sim(_))),
+            "every event must carry a simulated timestamp"
+        );
+        let failed: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::NodeFailed { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(failed.len(), report.dead_nodes, "one event per dead node");
+        let mut unique = failed.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), failed.len(), "duplicate NodeFailed events");
+        let requeues = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::TaskReassigned { .. }))
+            .count();
+        assert_eq!(requeues, report.reassignments);
+        let generations = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::GenerationCompleted { .. }))
+            .count() as u64;
+        assert_eq!(generations, report.generations);
+    }
+
+    #[test]
+    fn recorder_does_not_change_virtual_run() {
+        use pga_observe::RingRecorder;
+        let nodes = 4;
+        let run = |record: bool| {
+            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::FastEthernet);
+            let failures = FailurePlan::at(vec![Some(0.3), None, None, None]);
+            if record {
+                SimulatedMasterSlaveGa::new_with_recorder(
+                    engine(9),
+                    spec,
+                    failures,
+                    0.01,
+                    RingRecorder::new(4096),
+                )
+                .run(30)
+            } else {
+                SimulatedMasterSlaveGa::new(engine(9), spec, failures, 0.01).run(30)
+            }
+        };
+        let observed = run(true);
+        let plain = run(false);
+        assert_eq!(observed.generations, plain.generations);
+        assert_eq!(observed.evaluations, plain.evaluations);
+        assert_eq!(observed.best_fitness, plain.best_fitness);
+        assert_eq!(observed.virtual_seconds, plain.virtual_seconds);
+        assert_eq!(observed.reassignments, plain.reassignments);
     }
 
     #[test]

@@ -20,6 +20,8 @@ pub mod problems;
 pub mod sim;
 
 pub use nsga::{MoEngine, MoEngineBuilder};
-pub use pareto::{crowding_distance, dominates, fast_nondominated_sort, hypervolume_2d, ParetoArchive};
+pub use pareto::{
+    crowding_distance, dominates, fast_nondominated_sort, hypervolume_2d, ParetoArchive,
+};
 pub use problems::{BiKnapsack, MoProblem, Schaffer, Zdt};
 pub use sim::{Scenario, SpecializedIslandModel};

@@ -314,8 +314,12 @@ impl<P: MoProblem> MoEngineBuilder<P> {
                 message: "mask must cover all objectives and enable at least one".into(),
             });
         }
-        let crossover = self.crossover.ok_or(ConfigError::MissingComponent("crossover"))?;
-        let mutation = self.mutation.ok_or(ConfigError::MissingComponent("mutation"))?;
+        let crossover = self
+            .crossover
+            .ok_or(ConfigError::MissingComponent("crossover"))?;
+        let mutation = self
+            .mutation
+            .ok_or(ConfigError::MissingComponent("mutation"))?;
         let mut rng = Rng64::new(self.seed);
         let population: Vec<MoIndividual<P::Genome>> = (0..self.pop_size)
             .map(|_| {
@@ -365,21 +369,42 @@ mod tests {
     fn build_errors() {
         let p = Zdt::new(1, 5);
         let b = p.bounds().clone();
-        let err = MoEngine::builder(Zdt::new(1, 5)).pop_size(2)
+        let err = MoEngine::builder(Zdt::new(1, 5))
+            .pop_size(2)
             .crossover(Sbx::new(b.clone()))
-            .mutation(GaussianMutation { p: 0.1, sigma: 0.1, bounds: b.clone() })
+            .mutation(GaussianMutation {
+                p: 0.1,
+                sigma: 0.1,
+                bounds: b.clone(),
+            })
             .build()
             .err()
             .unwrap();
-        assert!(matches!(err, ConfigError::InvalidParameter { name: "pop_size", .. }));
+        assert!(matches!(
+            err,
+            ConfigError::InvalidParameter {
+                name: "pop_size",
+                ..
+            }
+        ));
         let err = MoEngine::builder(Zdt::new(1, 5))
             .objective_mask(vec![false, false])
             .crossover(Sbx::new(b.clone()))
-            .mutation(GaussianMutation { p: 0.1, sigma: 0.1, bounds: b })
+            .mutation(GaussianMutation {
+                p: 0.1,
+                sigma: 0.1,
+                bounds: b,
+            })
             .build()
             .err()
             .unwrap();
-        assert!(matches!(err, ConfigError::InvalidParameter { name: "objective_mask", .. }));
+        assert!(matches!(
+            err,
+            ConfigError::InvalidParameter {
+                name: "objective_mask",
+                ..
+            }
+        ));
         let _ = p;
     }
 
@@ -423,7 +448,11 @@ mod tests {
             .pop_size(40)
             .objective_mask(vec![true, false])
             .crossover(Sbx::new(b.clone()))
-            .mutation(GaussianMutation { p: 0.1, sigma: 0.1, bounds: b })
+            .mutation(GaussianMutation {
+                p: 0.1,
+                sigma: 0.1,
+                bounds: b,
+            })
             .build()
             .unwrap();
         for _ in 0..40 {

@@ -148,8 +148,7 @@ impl<T: Clone> ParetoArchive<T> {
         {
             return false;
         }
-        self.entries
-            .retain(|(o, _)| !dominates(&objectives, o));
+        self.entries.retain(|(o, _)| !dominates(&objectives, o));
         self.entries.push((objectives, payload));
         if self.entries.len() > self.capacity {
             self.prune();
@@ -161,11 +160,7 @@ impl<T: Clone> ParetoArchive<T> {
         // Drop the most crowded entry.
         let objs: Vec<Vec<f64>> = self.entries.iter().map(|(o, _)| o.clone()).collect();
         let dist = crowding_distance(&objs);
-        if let Some((idx, _)) = dist
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-        {
+        if let Some((idx, _)) = dist.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
             self.entries.remove(idx);
         }
     }

@@ -253,8 +253,12 @@ mod tests {
     #[test]
     fn zdt_g_penalizes_tail() {
         let p = Zdt::new(1, 10);
-        let near = p.evaluate(&RealVector::new(vec![0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]));
-        let far = p.evaluate(&RealVector::new(vec![0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]));
+        let near = p.evaluate(&RealVector::new(vec![
+            0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+        ]));
+        let far = p.evaluate(&RealVector::new(vec![
+            0.5, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0,
+        ]));
         assert!(far[1] > near[1]);
         assert_eq!(near[0], far[0]);
     }

@@ -1,0 +1,398 @@
+//! The structured event vocabulary shared by every engine family.
+
+/// Timestamp attached to an [`Event`].
+///
+/// Engine-side events are deliberately *unstamped* ([`Time::None`]) so that
+/// same-seed runs produce byte-identical traces; the discrete-event cluster
+/// simulator stamps its events with virtual seconds ([`Time::Sim`]); wall
+/// stamps are available for consumers that want them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Time {
+    /// No timestamp (deterministic engine events).
+    None,
+    /// Wall-clock seconds since an observer-defined epoch.
+    Wall(f64),
+    /// Simulated (virtual) seconds from a discrete-event simulator.
+    Sim(f64),
+}
+
+/// One observation from a running engine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// When the event happened (see [`Time`]).
+    pub time: Time,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Unstamped event (the common case for deterministic engine events).
+    #[must_use]
+    pub fn new(kind: EventKind) -> Self {
+        Self {
+            time: Time::None,
+            kind,
+        }
+    }
+
+    /// Stamped event.
+    #[must_use]
+    pub fn at(time: Time, kind: EventKind) -> Self {
+        Self { time, kind }
+    }
+
+    /// Island/deme the event belongs to, when it has one. Used to merge
+    /// per-island traces deterministically.
+    #[must_use]
+    pub fn island(&self) -> Option<u32> {
+        match &self.kind {
+            EventKind::RunStarted { island, .. }
+            | EventKind::GenerationCompleted { island, .. }
+            | EventKind::EvaluationBatch { island, .. }
+            | EventKind::CheckpointHit { island, .. }
+            | EventKind::MigrationReceived { island, .. }
+            | EventKind::RunFinished { island, .. } => Some(*island),
+            EventKind::MigrationSent { from, .. } => Some(*from),
+            EventKind::NodeFailed { .. } | EventKind::TaskReassigned { .. } => None,
+        }
+    }
+
+    /// Generation the event belongs to, when it has one.
+    #[must_use]
+    pub fn generation(&self) -> Option<u64> {
+        match &self.kind {
+            EventKind::GenerationCompleted { generation, .. }
+            | EventKind::CheckpointHit { generation, .. }
+            | EventKind::MigrationSent { generation, .. }
+            | EventKind::MigrationReceived { generation, .. } => Some(*generation),
+            EventKind::EvaluationBatch { batch, .. } => Some(*batch),
+            EventKind::RunStarted { .. } => Some(0),
+            EventKind::RunFinished { generations, .. } => Some(*generations),
+            EventKind::NodeFailed { .. } | EventKind::TaskReassigned { .. } => None,
+        }
+    }
+
+    /// Flattens the event into `(field, value)` pairs — the single source
+    /// of truth for the CSV and JSONL sinks.
+    #[must_use]
+    pub fn fields(&self) -> Vec<(&'static str, FieldValue)> {
+        use FieldValue::{Bool, Float, Int, Text};
+        match &self.kind {
+            EventKind::RunStarted {
+                island,
+                engine,
+                problem,
+                seed,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("engine", Text(engine.clone())),
+                ("problem", Text(problem.clone())),
+                ("seed", Int(*seed)),
+            ],
+            EventKind::GenerationCompleted {
+                island,
+                generation,
+                evaluations,
+                best,
+                mean,
+                best_ever,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+                ("evaluations", Int(*evaluations)),
+                ("best", Float(*best)),
+                ("mean", Float(*mean)),
+                ("best_ever", Float(*best_ever)),
+            ],
+            EventKind::EvaluationBatch {
+                island,
+                batch,
+                size,
+                fresh,
+                micros,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("batch", Int(*batch)),
+                ("size", Int(*size)),
+                ("fresh", Int(*fresh)),
+                ("micros", Int(*micros)),
+            ],
+            EventKind::MigrationSent {
+                from,
+                to,
+                generation,
+                count,
+            } => vec![
+                ("from", Int(u64::from(*from))),
+                ("to", Int(u64::from(*to))),
+                ("generation", Int(*generation)),
+                ("count", Int(*count)),
+            ],
+            EventKind::MigrationReceived {
+                island,
+                generation,
+                offered,
+                accepted,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+                ("offered", Int(*offered)),
+                ("accepted", Int(*accepted)),
+            ],
+            EventKind::CheckpointHit {
+                island,
+                generation,
+                best,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+                ("best", Float(*best)),
+            ],
+            EventKind::NodeFailed { node } => vec![("node", Int(u64::from(*node)))],
+            EventKind::TaskReassigned { task } => vec![("task", Int(*task))],
+            EventKind::RunFinished {
+                island,
+                generations,
+                evaluations,
+                best,
+                hit_optimum,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generations)),
+                ("evaluations", Int(*evaluations)),
+                ("best", Float(*best)),
+                ("hit_optimum", Bool(*hit_optimum)),
+            ],
+        }
+    }
+}
+
+/// A flattened field value (for sink encoding).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    Int(u64),
+    /// Floating-point field.
+    Float(f64),
+    /// Text field.
+    Text(String),
+    /// Boolean field.
+    Bool(bool),
+}
+
+/// What happened. One vocabulary for every engine family.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// An engine began a run.
+    RunStarted {
+        /// Island/deme id (0 for single-population engines).
+        island: u32,
+        /// Engine family and configuration name (e.g. `"ga-generational"`,
+        /// `"cellular-line-sweep"`).
+        engine: String,
+        /// Problem name.
+        problem: String,
+        /// RNG seed driving the run.
+        seed: u64,
+    },
+    /// One generation (or generation-equivalent) finished.
+    GenerationCompleted {
+        /// Island/deme id.
+        island: u32,
+        /// 1-based generation index.
+        generation: u64,
+        /// Cumulative fitness evaluations at the end of the generation.
+        evaluations: u64,
+        /// Best fitness currently in the population.
+        best: f64,
+        /// Mean population fitness.
+        mean: f64,
+        /// Best fitness ever observed.
+        best_ever: f64,
+    },
+    /// A batch of fitness evaluations was dispatched (the master–slave hot
+    /// path; also emitted by sequential engines per generation).
+    EvaluationBatch {
+        /// Island/deme id.
+        island: u32,
+        /// Batch sequence number (generation index for per-generation
+        /// batches).
+        batch: u64,
+        /// Members in the batch.
+        size: u64,
+        /// Members that actually cost an evaluation (were unevaluated).
+        fresh: u64,
+        /// Timing-scope duration in microseconds (wall for real execution,
+        /// virtual for simulated clusters).
+        micros: u64,
+    },
+    /// Migrants left an island along one topology edge.
+    MigrationSent {
+        /// Source island.
+        from: u32,
+        /// Destination island.
+        to: u32,
+        /// Source island's generation at the migration point.
+        generation: u64,
+        /// Migrants sent.
+        count: u64,
+    },
+    /// An island absorbed its migration inbox.
+    MigrationReceived {
+        /// Destination island.
+        island: u32,
+        /// Destination island's generation at the migration point.
+        generation: u64,
+        /// Immigrants offered.
+        offered: u64,
+        /// Immigrants accepted by the replacement policy.
+        accepted: u64,
+    },
+    /// The engine's best reached the problem's known optimum.
+    CheckpointHit {
+        /// Island/deme id.
+        island: u32,
+        /// Generation at which the optimum was first held.
+        generation: u64,
+        /// The optimal fitness value.
+        best: f64,
+    },
+    /// A simulated cluster node died (simulated time in [`Event::time`]).
+    NodeFailed {
+        /// Node id.
+        node: u32,
+    },
+    /// A task from a dead node was requeued for reassignment.
+    TaskReassigned {
+        /// Task index within its batch.
+        task: u64,
+    },
+    /// An engine finished a run.
+    RunFinished {
+        /// Island/deme id (0 for single-population engines).
+        island: u32,
+        /// Generations completed.
+        generations: u64,
+        /// Total fitness evaluations.
+        evaluations: u64,
+        /// Best fitness reached.
+        best: f64,
+        /// Whether the known optimum was reached.
+        hit_optimum: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name (the `kind` column/field in sinks).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RunStarted { .. } => "run_started",
+            Self::GenerationCompleted { .. } => "generation_completed",
+            Self::EvaluationBatch { .. } => "evaluation_batch",
+            Self::MigrationSent { .. } => "migration_sent",
+            Self::MigrationReceived { .. } => "migration_received",
+            Self::CheckpointHit { .. } => "checkpoint_hit",
+            Self::NodeFailed { .. } => "node_failed",
+            Self::TaskReassigned { .. } => "task_reassigned",
+            Self::RunFinished { .. } => "run_finished",
+        }
+    }
+
+    /// Ordering rank of kinds *within one generation* of one island:
+    /// generation stats, then checkpoint, then sends, then receives. Used
+    /// by [`crate::merge_island_traces`].
+    #[must_use]
+    pub fn phase_rank(&self) -> u8 {
+        match self {
+            Self::RunStarted { .. } => 0,
+            Self::EvaluationBatch { .. } => 1,
+            Self::GenerationCompleted { .. } => 2,
+            Self::CheckpointHit { .. } => 3,
+            Self::MigrationSent { .. } => 4,
+            Self::MigrationReceived { .. } => 5,
+            Self::NodeFailed { .. } => 6,
+            Self::TaskReassigned { .. } => 7,
+            Self::RunFinished { .. } => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn island_and_generation_extraction() {
+        let e = Event::new(EventKind::MigrationSent {
+            from: 2,
+            to: 3,
+            generation: 40,
+            count: 1,
+        });
+        assert_eq!(e.island(), Some(2));
+        assert_eq!(e.generation(), Some(40));
+        assert_eq!(e.kind.name(), "migration_sent");
+
+        let n = Event::at(Time::Sim(1.25), EventKind::NodeFailed { node: 7 });
+        assert_eq!(n.island(), None);
+        assert_eq!(n.generation(), None);
+    }
+
+    #[test]
+    fn fields_cover_every_kind() {
+        let kinds = vec![
+            EventKind::RunStarted {
+                island: 0,
+                engine: "ga".into(),
+                problem: "onemax".into(),
+                seed: 1,
+            },
+            EventKind::GenerationCompleted {
+                island: 0,
+                generation: 1,
+                evaluations: 10,
+                best: 1.0,
+                mean: 0.5,
+                best_ever: 1.0,
+            },
+            EventKind::EvaluationBatch {
+                island: 0,
+                batch: 1,
+                size: 10,
+                fresh: 9,
+                micros: 42,
+            },
+            EventKind::MigrationSent {
+                from: 0,
+                to: 1,
+                generation: 4,
+                count: 2,
+            },
+            EventKind::MigrationReceived {
+                island: 1,
+                generation: 4,
+                offered: 2,
+                accepted: 1,
+            },
+            EventKind::CheckpointHit {
+                island: 0,
+                generation: 9,
+                best: 32.0,
+            },
+            EventKind::NodeFailed { node: 3 },
+            EventKind::TaskReassigned { task: 17 },
+            EventKind::RunFinished {
+                island: 0,
+                generations: 9,
+                evaluations: 100,
+                best: 32.0,
+                hit_optimum: true,
+            },
+        ];
+        for kind in kinds {
+            let e = Event::new(kind);
+            assert!(!e.fields().is_empty(), "{} has no fields", e.kind.name());
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # pga-observe
+//!
+//! Zero-dependency observability subsystem for the `parallel-ga` workspace:
+//! a single structured **event** vocabulary shared by every engine family
+//! (panmictic [`pga-core`], island, cellular, master–slave, and the
+//! discrete-event cluster simulator), composable **sinks** to capture those
+//! events, a **metrics registry** (counters, gauges, fixed-bucket
+//! histograms), and lightweight **timing scopes** for hot paths.
+//!
+//! Harada, Alba & Luque (arXiv:2106.09922) argue that meaningful PGA
+//! evaluation needs *uniform, fine-grained* runtime instrumentation across
+//! parallel models; this crate is that uniform layer. The survey's dynamics
+//! claims — punctuated equilibria after migration (E11), graceful
+//! degradation under node failure (E07) — are reproduced directly from
+//! these traces instead of per-experiment ad-hoc collectors.
+//!
+//! ## Design rules
+//!
+//! * **Seed transparency.** Nothing in this crate draws randomness or feeds
+//!   information back into an engine: attaching or detaching any recorder
+//!   cannot perturb an RNG stream or a search trajectory (enforced by an
+//!   integration test in the workspace root).
+//! * **Near-zero cost when detached.** Engines guard every emission with an
+//!   `Option` check; timing scopes only read the clock when a recorder is
+//!   attached ([`Stopwatch::started_if`]).
+//! * **Zero dependencies.** Events carry plain numbers and strings, so the
+//!   crate sits *below* every engine crate without cycles; table rendering
+//!   of metric snapshots lives in `pga-analysis`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pga_observe::{Event, EventKind, JsonlSink, Recorder, RingRecorder, Time};
+//!
+//! let mut ring = RingRecorder::new(1024);
+//! ring.record(&Event::at(
+//!     Time::Sim(0.5),
+//!     EventKind::NodeFailed { node: 3 },
+//! ));
+//! let mut out = Vec::new();
+//! pga_observe::replay(&ring.events(), &mut JsonlSink::new(&mut out));
+//! let line = String::from_utf8(out).unwrap();
+//! assert!(line.contains("\"kind\":\"node_failed\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod event;
+pub mod metrics;
+pub mod record;
+pub mod sink;
+pub mod timing;
+
+pub use event::{Event, EventKind, FieldValue, Time};
+pub use metrics::{exponential_bounds, linear_bounds, Histogram, MetricsSnapshot, Registry};
+pub use record::{
+    merge_island_traces, replay, FilteredRecorder, MetricsRecorder, MultiRecorder, Recorder,
+    RingRecorder, SampledRecorder, SharedRecorder,
+};
+pub use sink::{CsvSink, JsonlSink};
+pub use timing::Stopwatch;

@@ -1,0 +1,340 @@
+//! Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//!
+//! Names are free-form dotted strings (`"migration.sent"`). All maps are
+//! `BTreeMap`s so iteration — and therefore any rendering built on top —
+//! is deterministic.
+
+use std::collections::BTreeMap;
+
+/// Upper bounds `b_i = start * factor^i` for `count` buckets, for
+/// latency-style histograms spanning several orders of magnitude.
+///
+/// # Panics
+/// Panics unless `start > 0`, `factor > 1`, and `count > 0`.
+#[must_use]
+pub fn exponential_bounds(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0);
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+/// Upper bounds `b_i = start + i * width` for `count` buckets, for
+/// fitness-style histograms over a known range.
+///
+/// # Panics
+/// Panics unless `width > 0` and `count > 0`.
+#[must_use]
+pub fn linear_bounds(start: f64, width: f64, count: usize) -> Vec<f64> {
+    assert!(width > 0.0 && count > 0);
+    (0..count).map(|i| start + i as f64 * width).collect()
+}
+
+/// Fixed-bucket histogram.
+///
+/// `bounds` are strictly increasing *inclusive* upper bounds; an implicit
+/// overflow bucket catches everything above the last bound, so
+/// `counts.len() == bounds.len() + 1` and every observation lands in
+/// exactly one bucket.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty, non-finite, or not strictly increasing.
+    #[must_use]
+    pub fn with_bounds(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Self {
+            bounds,
+            counts,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. NaN is counted (into the overflow bucket)
+    /// but excluded from min/max/sum.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        if value.is_nan() {
+            return;
+        }
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The inclusive upper bounds.
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts; the final entry is the overflow bucket.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of (non-NaN) observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observations, or `None` before the first.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Smallest observation, or `None` before the first.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest observation, or `None` before the first.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// Smallest bound `b` with at least `q * count` observations `<= b`
+    /// (a conservative quantile from bucket boundaries); `None` when empty
+    /// or when the quantile falls in the unbounded overflow bucket.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut cumulative = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return self.bounds.get(i).copied();
+            }
+        }
+        None
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], comparable across time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// What changed since `earlier`: counters and histogram counts are
+    /// differenced (saturating at zero), gauges keep their current value.
+    #[must_use]
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(name, &now)| {
+                let before = earlier.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), now.saturating_sub(before))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(name, now)| {
+                let mut d = now.clone();
+                if let Some(before) = earlier.histograms.get(name) {
+                    if before.bounds == now.bounds {
+                        for (c, b) in d.counts.iter_mut().zip(&before.counts) {
+                            *c = c.saturating_sub(*b);
+                        }
+                        d.count = d.count.saturating_sub(before.count);
+                        d.sum -= before.sum;
+                    }
+                }
+                (name.clone(), d)
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn inc(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets the named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Registers (or replaces) a histogram with the given bounds.
+    pub fn histogram_with_bounds(&mut self, name: &str, bounds: Vec<f64>) {
+        self.histograms
+            .insert(name.to_string(), Histogram::with_bounds(bounds));
+    }
+
+    /// Records `value` into the named histogram. Observations to an
+    /// unregistered name are dropped: histograms need explicit bounds.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(value);
+        }
+    }
+
+    /// Current counter value (zero when never incremented).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if registered.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Copies the current state for later comparison/rendering.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_inclusive_upper_bounds() {
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 1.0, 1.5, 4.0, 9.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(9.0));
+        assert!((h.sum() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_and_linear_bounds_shape() {
+        assert_eq!(exponential_bounds(10.0, 4.0, 3), vec![10.0, 40.0, 160.0]);
+        assert_eq!(linear_bounds(0.0, 8.0, 4), vec![0.0, 8.0, 16.0, 24.0]);
+    }
+
+    #[test]
+    fn quantile_bound_is_conservative() {
+        let mut h = Histogram::with_bounds(vec![1.0, 2.0, 4.0]);
+        for v in [0.5, 0.6, 1.5, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile_bound(0.5), Some(1.0));
+        assert_eq!(h.quantile_bound(1.0), Some(4.0));
+        h.observe(100.0);
+        assert_eq!(h.quantile_bound(1.0), None);
+    }
+
+    #[test]
+    fn registry_roundtrip_and_delta() {
+        let mut reg = Registry::new();
+        reg.inc("migration.sent", 2);
+        reg.set_gauge("run.generation", 5.0);
+        reg.histogram_with_bounds("lat", vec![10.0, 100.0]);
+        reg.observe("lat", 7.0);
+        let before = reg.snapshot();
+
+        reg.inc("migration.sent", 3);
+        reg.set_gauge("run.generation", 9.0);
+        reg.observe("lat", 50.0);
+        let after = reg.snapshot();
+
+        let delta = after.delta(&before);
+        assert_eq!(delta.counters["migration.sent"], 3);
+        assert_eq!(delta.gauges["run.generation"], 9.0);
+        let h = &delta.histograms["lat"];
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.counts(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn observe_without_registration_is_dropped() {
+        let mut reg = Registry::new();
+        reg.observe("nope", 1.0);
+        assert!(reg.histogram("nope").is_none());
+    }
+}

@@ -1,0 +1,75 @@
+//! Lightweight timing scopes for instrumented hot paths.
+
+use std::time::Instant;
+
+/// A conditionally-started stopwatch.
+///
+/// Engines wrap hot sections (e.g. an evaluation batch) with
+/// [`Stopwatch::started_if`], passing whether a recorder is attached; when
+/// no recorder is attached the clock is never read and the cost is a
+/// single branch on an `Option`.
+///
+/// ```
+/// use pga_observe::Stopwatch;
+///
+/// let sw = Stopwatch::started_if(false); // no recorder attached
+/// assert_eq!(sw.elapsed_micros(), None); // clock never read
+///
+/// let sw = Stopwatch::started_if(true);
+/// assert!(sw.elapsed_micros().is_some());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Reads the clock only when `enabled` is true.
+    #[must_use]
+    pub fn started_if(enabled: bool) -> Self {
+        Self {
+            started: enabled.then(Instant::now),
+        }
+    }
+
+    /// A stopwatch that was never started (always reports `None`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { started: None }
+    }
+
+    /// Whether the stopwatch is running.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
+    }
+
+    /// Elapsed microseconds since start, or `None` if never started.
+    #[must_use]
+    pub fn elapsed_micros(&self) -> Option<u64> {
+        self.started
+            .map(|t| u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_stopwatch_reports_none() {
+        let sw = Stopwatch::disabled();
+        assert!(!sw.is_running());
+        assert_eq!(sw.elapsed_micros(), None);
+        assert_eq!(Stopwatch::started_if(false).elapsed_micros(), None);
+    }
+
+    #[test]
+    fn running_stopwatch_is_monotone() {
+        let sw = Stopwatch::started_if(true);
+        assert!(sw.is_running());
+        let a = sw.elapsed_micros().unwrap();
+        let b = sw.elapsed_micros().unwrap();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based invariants of the metrics histogram and bound builders.
+
+use pga_observe::{exponential_bounds, linear_bounds, Histogram};
+use proptest::prelude::*;
+
+/// Strictly increasing bounds built from positive increments.
+fn bounds_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.001f64..10.0, 1..12)
+}
+
+fn to_bounds(increments: &[f64]) -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(increments.len());
+    let mut acc = 0.0;
+    for inc in increments {
+        acc += inc;
+        bounds.push(acc);
+    }
+    bounds
+}
+
+proptest! {
+    #[test]
+    fn every_observation_lands_in_exactly_one_bucket(
+        increments in bounds_strategy(),
+        values in prop::collection::vec(-5.0f64..120.0, 0..200),
+    ) {
+        let bounds = to_bounds(&increments);
+        let mut h = Histogram::with_bounds(bounds.clone());
+        for &v in &values {
+            h.observe(v);
+        }
+        // Total-count conservation: the bucket counts partition the stream.
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(h.counts().len(), bounds.len() + 1);
+    }
+
+    #[test]
+    fn bucketing_matches_direct_classification(
+        increments in bounds_strategy(),
+        values in prop::collection::vec(-5.0f64..120.0, 1..200),
+    ) {
+        let bounds = to_bounds(&increments);
+        let mut h = Histogram::with_bounds(bounds.clone());
+        let mut expected = vec![0u64; bounds.len() + 1];
+        for &v in &values {
+            h.observe(v);
+            let idx = bounds
+                .iter()
+                .position(|&b| v <= b)
+                .unwrap_or(bounds.len());
+            expected[idx] += 1;
+        }
+        prop_assert_eq!(h.counts(), expected.as_slice());
+    }
+
+    #[test]
+    fn generated_bounds_are_strictly_increasing(
+        start in 0.001f64..10.0,
+        factor in 1.1f64..4.0,
+        width in 0.01f64..5.0,
+        count in 1usize..12,
+    ) {
+        let e = exponential_bounds(start, factor, count);
+        prop_assert_eq!(e.len(), count);
+        prop_assert!(e.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(e.iter().all(|b| b.is_finite()));
+
+        let l = linear_bounds(start, width, count);
+        prop_assert_eq!(l.len(), count);
+        prop_assert!(l.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn quantile_bound_is_monotone_in_q(
+        increments in bounds_strategy(),
+        values in prop::collection::vec(0.0f64..40.0, 1..100),
+    ) {
+        let bounds = to_bounds(&increments);
+        let mut h = Histogram::with_bounds(bounds);
+        for &v in &values {
+            h.observe(v);
+        }
+        let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let mut last: Option<f64> = None;
+        for &q in &qs {
+            let b = h.quantile_bound(q);
+            if let (Some(prev), Some(now)) = (last, b) {
+                prop_assert!(now >= prev, "quantile bounds must be monotone");
+            }
+            if b.is_some() {
+                last = b;
+            }
+        }
+    }
+
+    #[test]
+    fn min_max_bracket_every_non_nan_observation(
+        increments in bounds_strategy(),
+        values in prop::collection::vec(-20.0f64..120.0, 1..100),
+    ) {
+        let mut h = Histogram::with_bounds(to_bounds(&increments));
+        for &v in &values {
+            h.observe(v);
+        }
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.min(), Some(lo));
+        prop_assert_eq!(h.max(), Some(hi));
+        let sum: f64 = values.iter().sum();
+        prop_assert!((h.sum() - sum).abs() <= 1e-9 * sum.abs().max(1.0));
+    }
+}

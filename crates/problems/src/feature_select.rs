@@ -88,7 +88,11 @@ impl FeatureSelection {
         let mut n0 = 0.0f64;
         let mut n1 = 0.0f64;
         for (x, label) in &self.train {
-            let (c, n) = if *label { (&mut c1, &mut n1) } else { (&mut c0, &mut n0) };
+            let (c, n) = if *label {
+                (&mut c1, &mut n1)
+            } else {
+                (&mut c0, &mut n0)
+            };
             for (slot, &f) in c.iter_mut().zip(&selected) {
                 *slot += x[f];
             }
@@ -130,8 +134,16 @@ impl FeatureSelection {
             informative += usize::from(inf);
             tp += usize::from(sel && inf);
         }
-        let precision = if selected == 0 { 0.0 } else { tp as f64 / selected as f64 };
-        let recall = if informative == 0 { 1.0 } else { tp as f64 / informative as f64 };
+        let precision = if selected == 0 {
+            0.0
+        } else {
+            tp as f64 / selected as f64
+        };
+        let recall = if informative == 0 {
+            1.0
+        } else {
+            tp as f64 / informative as f64
+        };
         (precision, recall)
     }
 }

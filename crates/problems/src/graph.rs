@@ -45,7 +45,10 @@ impl GraphBipartition {
     /// (`p_in > p_out` for meaningful structure).
     #[must_use]
     pub fn planted(n: usize, p_in: f64, p_out: f64, seed: u64) -> Self {
-        assert!(n >= 4 && n.is_multiple_of(2), "planted instances need even n >= 4");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "planted instances need even n >= 4"
+        );
         assert!(p_in > p_out, "planted structure needs p_in > p_out");
         let mut rng = Rng64::new(seed);
         let half = n / 2;

@@ -76,8 +76,7 @@ impl RealFunction {
                 let c = 2.0 * std::f64::consts::PI;
                 let sum_sq: f64 = x.iter().map(|v| v * v).sum();
                 let sum_cos: f64 = x.iter().map(|v| (c * v).cos()).sum();
-                a + std::f64::consts::E - a * (-b * (sum_sq / n).sqrt()).exp()
-                    - (sum_cos / n).exp()
+                a + std::f64::consts::E - a * (-b * (sum_sq / n).sqrt()).exp() - (sum_cos / n).exp()
             }
             Self::Griewank => {
                 let sum: f64 = x.iter().map(|v| v * v).sum::<f64>() / 4000.0;
@@ -89,8 +88,7 @@ impl RealFunction {
                 1.0 + sum - prod
             }
             Self::Schwefel => {
-                418.982_887_272_433_8 * n
-                    - x.iter().map(|v| v * v.abs().sqrt().sin()).sum::<f64>()
+                418.982_887_272_433_8 * n - x.iter().map(|v| v * v.abs().sqrt().sin()).sum::<f64>()
             }
         }
     }

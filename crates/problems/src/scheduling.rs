@@ -82,7 +82,11 @@ impl TaskGraphScheduling {
         let n = self.costs.len();
         let mut finish = vec![0u64; n];
         for t in 0..n {
-            let ready = self.preds[t].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let ready = self.preds[t]
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             finish[t] = ready + self.costs[t];
         }
         finish.iter().copied().max().unwrap_or(0)
@@ -111,7 +115,9 @@ impl TaskGraphScheduling {
                 succs[p as usize].push(t as u32);
             }
         }
-        let mut ready: Vec<u32> = (0..n as u32).filter(|&t| indegree[t as usize] == 0).collect();
+        let mut ready: Vec<u32> = (0..n as u32)
+            .filter(|&t| indegree[t as usize] == 0)
+            .collect();
         let mut finish = vec![0u64; n];
         let mut proc_free = vec![0u64; self.processors];
         let mut scheduled = 0usize;
@@ -125,7 +131,11 @@ impl TaskGraphScheduling {
                 .expect("ready set non-empty");
             let t = ready.swap_remove(pos) as usize;
             // Earliest start: all preds finished AND a processor free.
-            let deps_done = self.preds[t].iter().map(|&p| finish[p as usize]).max().unwrap_or(0);
+            let deps_done = self.preds[t]
+                .iter()
+                .map(|&p| finish[p as usize])
+                .max()
+                .unwrap_or(0);
             let (proc, &free_at) = proc_free
                 .iter()
                 .enumerate()

@@ -83,8 +83,15 @@ pub enum TopologyError {
 impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::IncompatibleSize { topology, n, requirement } => {
-                write!(f, "topology {topology} incompatible with {n} islands: {requirement}")
+            Self::IncompatibleSize {
+                topology,
+                n,
+                requirement,
+            } => {
+                write!(
+                    f,
+                    "topology {topology} incompatible with {n} islands: {requirement}"
+                )
             }
         }
     }
@@ -103,7 +110,12 @@ impl Topology {
             Self::Complete => "complete".into(),
             Self::Star => "star".into(),
             Self::Grid2D { rows, cols, torus } => {
-                format!("{}{}x{}", if *torus { "torus-" } else { "grid-" }, rows, cols)
+                format!(
+                    "{}{}x{}",
+                    if *torus { "torus-" } else { "grid-" },
+                    rows,
+                    cols
+                )
             }
             Self::Hypercube => "hypercube".into(),
             Self::Random { k, .. } => format!("random-{k}"),
@@ -121,22 +133,18 @@ impl Topology {
             })
         };
         match self {
-            Self::Grid2D { rows, cols, .. }
-                if (rows * cols != n || *rows == 0 || *cols == 0) => {
-                    return fail(&format!("rows*cols must equal n ({rows}x{cols} != {n})"));
-                }
-            Self::Hypercube
-                if (n == 0 || !n.is_power_of_two()) => {
-                    return fail("island count must be a power of two");
-                }
-            Self::Random { k, .. }
-                if *k >= n => {
-                    return fail("out-degree k must be < n");
-                }
-            Self::Tree { branching }
-                if *branching == 0 => {
-                    return fail("branching factor must be >= 1");
-                }
+            Self::Grid2D { rows, cols, .. } if (rows * cols != n || *rows == 0 || *cols == 0) => {
+                return fail(&format!("rows*cols must equal n ({rows}x{cols} != {n})"));
+            }
+            Self::Hypercube if (n == 0 || !n.is_power_of_two()) => {
+                return fail("island count must be a power of two");
+            }
+            Self::Random { k, .. } if *k >= n => {
+                return fail("out-degree k must be < n");
+            }
+            Self::Tree { branching } if *branching == 0 => {
+                return fail("branching factor must be >= 1");
+            }
             _ => {}
         }
         Ok(())
@@ -307,8 +315,16 @@ mod tests {
             Topology::RingBi,
             Topology::Complete,
             Topology::Star,
-            Topology::Grid2D { rows: 2, cols: 4, torus: true },
-            Topology::Grid2D { rows: 2, cols: 4, torus: false },
+            Topology::Grid2D {
+                rows: 2,
+                cols: 4,
+                torus: true,
+            },
+            Topology::Grid2D {
+                rows: 2,
+                cols: 4,
+                torus: false,
+            },
             Topology::Hypercube,
             Topology::Random { k: 3, seed: 1 },
             Topology::Tree { branching: 2 },
@@ -362,10 +378,18 @@ mod tests {
 
     #[test]
     fn torus_wraps_and_mesh_clips() {
-        let torus = Topology::Grid2D { rows: 3, cols: 3, torus: true };
+        let torus = Topology::Grid2D {
+            rows: 3,
+            cols: 3,
+            torus: true,
+        };
         // Corner 0 on a torus has 4 neighbors.
         assert_eq!(torus.neighbors(0, 9).len(), 4);
-        let mesh = Topology::Grid2D { rows: 3, cols: 3, torus: false };
+        let mesh = Topology::Grid2D {
+            rows: 3,
+            cols: 3,
+            torus: false,
+        };
         // Corner 0 on a mesh has 2 neighbors; center has 4.
         assert_eq!(mesh.neighbors(0, 9).len(), 2);
         assert_eq!(mesh.neighbors(4, 9).len(), 4);
@@ -434,7 +458,13 @@ mod tests {
 
     #[test]
     fn validate_errors() {
-        assert!(Topology::Grid2D { rows: 2, cols: 3, torus: true }.validate(5).is_err());
+        assert!(Topology::Grid2D {
+            rows: 2,
+            cols: 3,
+            torus: true
+        }
+        .validate(5)
+        .is_err());
         assert!(Topology::Random { k: 8, seed: 0 }.validate(8).is_err());
         assert!(Topology::Tree { branching: 0 }.validate(4).is_err());
         assert!(Topology::Hypercube.validate(8).is_ok());

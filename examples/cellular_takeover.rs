@@ -11,9 +11,7 @@ use parallel_ga::topology::CellNeighborhood;
 
 fn main() {
     let (rows, cols) = (24, 24);
-    println!(
-        "takeover of a planted best on a {rows}x{cols} torus (Von Neumann neighborhood)\n"
-    );
+    println!("takeover of a planted best on a {rows}x{cols} torus (Von Neumann neighborhood)\n");
 
     let mut curves = Vec::new();
     for policy in UpdatePolicy::ALL {
@@ -22,7 +20,11 @@ fn main() {
         curves.push((policy, curve));
     }
 
-    let horizon = curves.iter().map(|(_, c)| c.len()).max().expect("non-empty");
+    let horizon = curves
+        .iter()
+        .map(|(_, c)| c.len())
+        .max()
+        .expect("non-empty");
     // ASCII chart: one row per policy, one column per sampled generation.
     let width = 60usize;
     for (policy, curve) in &curves {
@@ -40,7 +42,11 @@ fn main() {
                 }
             })
             .collect();
-        println!("{:<20} |{bar}| takeover at gen {}", policy.name(), curve.len() - 1);
+        println!(
+            "{:<20} |{bar}| takeover at gen {}",
+            policy.name(),
+            curve.len() - 1
+        );
     }
     println!("\n(generations run left to right; '#' = best genotype fills the grid)");
     println!("synchronous spreads slowest (weakest pressure); uniform choice fastest.");

@@ -39,13 +39,9 @@ fn main() {
     );
 
     // Healthy run.
-    let healthy = SimulatedMasterSlaveGa::new(
-        engine(3),
-        spec.clone(),
-        FailurePlan::none(nodes),
-        0.005,
-    )
-    .run(150);
+    let healthy =
+        SimulatedMasterSlaveGa::new(engine(3), spec.clone(), FailurePlan::none(nodes), 0.005)
+            .run(150);
 
     // Same seeds, but nodes 0..4 die in the first virtual seconds.
     let failures = FailurePlan::at(vec![
@@ -61,11 +57,26 @@ fn main() {
     let faulty = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.005).run(150);
 
     println!("\n                       healthy     4 nodes fail");
-    println!("best fitness (opt 48): {:>8.1}    {:>8.1}", healthy.best_fitness, faulty.best_fitness);
-    println!("generations          : {:>8}    {:>8}", healthy.generations, faulty.generations);
-    println!("virtual seconds      : {:>8.2}    {:>8.2}", healthy.virtual_seconds, faulty.virtual_seconds);
-    println!("task reassignments   : {:>8}    {:>8}", healthy.reassignments, faulty.reassignments);
-    println!("dead nodes           : {:>8}    {:>8}", healthy.dead_nodes, faulty.dead_nodes);
+    println!(
+        "best fitness (opt 48): {:>8.1}    {:>8.1}",
+        healthy.best_fitness, faulty.best_fitness
+    );
+    println!(
+        "generations          : {:>8}    {:>8}",
+        healthy.generations, faulty.generations
+    );
+    println!(
+        "virtual seconds      : {:>8.2}    {:>8.2}",
+        healthy.virtual_seconds, faulty.virtual_seconds
+    );
+    println!(
+        "task reassignments   : {:>8}    {:>8}",
+        healthy.reassignments, faulty.reassignments
+    );
+    println!(
+        "dead nodes           : {:>8}    {:>8}",
+        healthy.dead_nodes, faulty.dead_nodes
+    );
     println!(
         "\nsearch identical under failures: {} (fault tolerance loses time, never state)",
         (healthy.best_fitness - faulty.best_fitness).abs() < f64::EPSILON

@@ -54,8 +54,15 @@ fn main() {
             .map(|c| (c * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    println!("prediction MSE: fitted {:.4} vs generating model {:.4}", result.best_fitness(), true_mse);
-    println!("coefficient-space error: {:.4}", fit.coeff_error(&result.best.genome));
+    println!(
+        "prediction MSE: fitted {:.4} vs generating model {:.4}",
+        result.best_fitness(),
+        true_mse
+    );
+    println!(
+        "coefficient-space error: {:.4}",
+        fit.coeff_error(&result.best.genome)
+    );
 
     // Coarse spectrum comparison across the band.
     println!("\nnormalized f   true PSD    fitted PSD");

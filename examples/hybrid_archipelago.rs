@@ -17,7 +17,11 @@ use std::sync::Arc;
 fn main() {
     let problem: Arc<dyn Problem<Genome = BitString>> = Arc::new(DeceptiveTrap::new(4, 12));
     let len = 48;
-    println!("problem: {} (optimum {:?})", problem.name(), problem.optimum());
+    println!(
+        "problem: {} (optimum {:?})",
+        problem.name(),
+        problem.optimum()
+    );
 
     let panmictic = |seed: u64, scheme: Scheme| -> Box<dyn Deme<Genome = BitString>> {
         Box::new(
@@ -74,12 +78,23 @@ fn main() {
     );
     let result = archipelago.run(&IslandStop::generations(3000));
 
-    println!("best fitness  : {} (optimal: {})", result.best.fitness(), result.hit_optimum);
+    println!(
+        "best fitness  : {} (optimal: {})",
+        result.best.fitness(),
+        result.hit_optimum
+    );
     println!("evaluations   : {}", result.total_evaluations);
-    println!("migrants      : {} sent, {} accepted", result.migrants_sent, result.migrants_accepted);
+    println!(
+        "migrants      : {} sent, {} accepted",
+        result.migrants_sent, result.migrants_accepted
+    );
     println!("\nper-island results:");
     for (i, (kind, best)) in kinds.iter().zip(&result.per_island_best).enumerate() {
-        let marker = if i == result.best_island { "  <- global best" } else { "" };
+        let marker = if i == result.best_island {
+            "  <- global best"
+        } else {
+            ""
+        };
         println!("  island {i} ({kind:<20}): best {best}{marker}");
     }
 }

@@ -43,7 +43,10 @@ fn main() {
     };
     let reference = scene.warp(truth);
     let registration = Arc::new(Registration::new(reference, scene, 12.0, 0.3));
-    println!("ground truth: tx={} ty={} theta={}", truth.tx, truth.ty, truth.theta);
+    println!(
+        "ground truth: tx={} ty={} theta={}",
+        truth.tx, truth.ty, truth.theta
+    );
 
     // Phase 1 — half resolution (4x cheaper per evaluation).
     let coarse = Arc::new(registration.downsampled());

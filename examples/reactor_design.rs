@@ -29,21 +29,32 @@ fn main() {
                 .pop_size(40)
                 .selection(Tournament::binary())
                 .crossover(Uniform::half())
-                .mutation(IntCreep { p: 0.1, max_step: 2 })
+                .mutation(IntCreep {
+                    p: 0.1,
+                    max_step: 2,
+                })
                 .scheme(Scheme::Generational { elitism: 1 })
                 .build()
                 .expect("valid configuration")
         })
         .collect();
-    let mut archipelago =
-        Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
+    let mut archipelago = Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
     let result = archipelago.run(&IslandStop::generations(2000));
 
     let design = &result.best.genome;
-    println!("\nbest peak factor : {:.6} (target 1.0)", result.best.fitness());
+    println!(
+        "\nbest peak factor : {:.6} (target 1.0)",
+        result.best.fitness()
+    );
     println!("optimal found    : {}", result.hit_optimum);
-    println!("k_eff            : {:.4} (band [0.99, 1.01])", problem.k_eff(design));
-    println!("thermal flux     : {:.4} (min 0.90)", problem.thermal_flux(design));
+    println!(
+        "k_eff            : {:.4} (band [0.99, 1.01])",
+        problem.k_eff(design)
+    );
+    println!(
+        "thermal flux     : {:.4} (min 0.90)",
+        problem.thermal_flux(design)
+    );
     println!("evaluations      : {}", result.total_evaluations);
     println!("\nzone  enrichment  moderator  dimension");
     for z in 0..problem.zones() {

@@ -17,10 +17,7 @@ fn main() {
     let market = MarketSeries::generate(600, 2024);
     let problem = StockPrediction::new(market, 6, 420);
     let bounds = problem.bounds().clone();
-    println!(
-        "network: 8 -> 6 -> 1 ({} evolvable weights)",
-        problem.dim()
-    );
+    println!("network: 8 -> 6 -> 1 ({} evolvable weights)", problem.dim());
     println!(
         "training buy-and-hold wealth: {:.4}",
         problem.train_buy_and_hold()
@@ -44,7 +41,10 @@ fn main() {
     let result = ga
         .run(&Termination::new().max_generations(80))
         .expect("bounded");
-    println!("evolved training wealth      : {:.4}", result.best_fitness());
+    println!(
+        "evolved training wealth      : {:.4}",
+        result.best_fitness()
+    );
 
     let (strategy, buy_and_hold) = shared.test_outcome(&result.best.genome);
     println!("held-out strategy wealth     : {:.4}", strategy.wealth);

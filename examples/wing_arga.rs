@@ -21,14 +21,23 @@ fn main() {
     let fixed = fixed_range_search(&problem, config, arga.evaluations, 7);
 
     println!("                      ARGA        fixed range");
-    println!("best drag fitness : {:>9.5}   {:>9.5}", arga.best_fitness, fixed.best_fitness);
+    println!(
+        "best drag fitness : {:>9.5}   {:>9.5}",
+        arga.best_fitness, fixed.best_fitness
+    );
     println!(
         "design error      : {:>9.5}   {:>9.5}",
         problem.design_error(&arga.best),
         problem.design_error(&fixed.best)
     );
-    println!("evaluations       : {:>9}   {:>9}", arga.evaluations, fixed.evaluations);
-    println!("range adaptations : {:>9}   {:>9}", arga.adaptations, fixed.adaptations);
+    println!(
+        "evaluations       : {:>9}   {:>9}",
+        arga.evaluations, fixed.evaluations
+    );
+    println!(
+        "range adaptations : {:>9}   {:>9}",
+        arga.adaptations, fixed.adaptations
+    );
 
     println!("\nfinal ARGA decoding range vs planted optimum:");
     for (d, ((lo, hi), opt)) in arga
@@ -37,7 +46,11 @@ fn main() {
         .zip(problem.optimal_design())
         .enumerate()
     {
-        let inside = if *lo <= *opt && *opt <= *hi { "ok" } else { "missed" };
+        let inside = if *lo <= *opt && *opt <= *hi {
+            "ok"
+        } else {
+            "missed"
+        };
         println!("  x{d:<2} in [{lo:.3}, {hi:.3}]  optimum {opt:.3}  {inside}");
     }
 }

@@ -11,6 +11,7 @@
 //! | Module | Crate | PGA model / role |
 //! |---|---|---|
 //! | [`core`] | `pga-core` | panmictic GA engine, operators, representations |
+//! | [`observe`] | `pga-observe` | structured event tracing, metrics, timing scopes |
 //! | [`problems`] | `pga-problems` | benchmark suite with known optima |
 //! | [`topology`] | `pga-topology` | migration topologies, cell neighborhoods |
 //! | [`cluster`] | `pga-cluster` | discrete-event cluster simulator |
@@ -33,5 +34,6 @@ pub use pga_hierarchical as hierarchical;
 pub use pga_island as island;
 pub use pga_master_slave as master_slave;
 pub use pga_multiobjective as multiobjective;
+pub use pga_observe as observe;
 pub use pga_problems as problems;
 pub use pga_topology as topology;

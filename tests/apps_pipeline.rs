@@ -1,7 +1,9 @@
 //! Application pipelines end-to-end: the §4 case studies run through the
 //! public API and recover their planted ground truth.
 
-use parallel_ga::apps::{ArSignal, Image, MarketSeries, Registration, RigidTransform, SpectralFit, StockPrediction};
+use parallel_ga::apps::{
+    ArSignal, Image, MarketSeries, Registration, RigidTransform, SpectralFit, StockPrediction,
+};
 use parallel_ga::core::ops::{BlxAlpha, GaussianMutation, ReplacementPolicy, Tournament};
 use parallel_ga::core::{Ga, GaBuilder, Individual, Problem, Scheme, Termination};
 use parallel_ga::hierarchical::{BlurredFidelity, Hga, HgaConfig, LevelView};
@@ -21,7 +23,11 @@ fn real_ga<P: Problem<Genome = parallel_ga::core::RealVector>>(
         .pop_size(pop)
         .selection(Tournament::binary())
         .crossover(BlxAlpha::new(bounds.clone()))
-        .mutation(GaussianMutation { p: 0.25, sigma, bounds })
+        .mutation(GaussianMutation {
+            p: 0.25,
+            sigma,
+            bounds,
+        })
         .scheme(Scheme::Generational { elitism: 2 })
         .build()
         .expect("valid configuration")
@@ -30,7 +36,11 @@ fn real_ga<P: Problem<Genome = parallel_ga::core::RealVector>>(
 #[test]
 fn two_phase_registration_recovers_planted_transform() {
     let scene = Image::synthetic(64, 64, 10, 3);
-    let truth = RigidTransform { tx: 5.0, ty: -3.0, theta: 0.09 };
+    let truth = RigidTransform {
+        tx: 5.0,
+        ty: -3.0,
+        theta: 0.09,
+    };
     let reference = scene.warp(truth);
     let registration = Arc::new(Registration::new(reference, scene, 10.0, 0.3));
 
@@ -38,7 +48,9 @@ fn two_phase_registration_recovers_planted_transform() {
     let coarse = Arc::new(registration.downsampled());
     let cb = coarse.bounds().clone();
     let mut ga1 = real_ga(Arc::clone(&coarse), cb, 30, 1.2, 1);
-    let r1 = ga1.run(&Termination::new().max_generations(35)).expect("bounded");
+    let r1 = ga1
+        .run(&Termination::new().max_generations(35))
+        .expect("bounded");
     let seedling = Registration::upscale_genome(&r1.best.genome);
 
     // Phase 2 at full resolution, seeded.
@@ -49,7 +61,9 @@ fn two_phase_registration_recovers_planted_transform() {
         vec![Individual::evaluated(seedling, fitness)],
         ReplacementPolicy::Worst,
     );
-    let r2 = ga2.run(&Termination::new().max_generations(30)).expect("bounded");
+    let r2 = ga2
+        .run(&Termination::new().max_generations(30))
+        .expect("bounded");
 
     let (terr, rerr) = Registration::error_vs(&r2.best.genome, truth);
     assert!(terr < 1.5, "translation error {terr}");
@@ -63,11 +77,22 @@ fn spectral_fit_recovers_ar_coefficients() {
     let fit = Arc::new(SpectralFit::new(signal));
     let bounds = fit.bounds().clone();
     let mut ga = real_ga(Arc::clone(&fit), bounds, 60, 0.15, 4);
-    let r = ga.run(&Termination::new().max_generations(120)).expect("bounded");
+    let r = ga
+        .run(&Termination::new().max_generations(120))
+        .expect("bounded");
     // Fitted model predicts nearly as well as the generating model...
-    assert!(r.best_fitness() < 1.3 * true_mse, "{} vs {}", r.best_fitness(), true_mse);
+    assert!(
+        r.best_fitness() < 1.3 * true_mse,
+        "{} vs {}",
+        r.best_fitness(),
+        true_mse
+    );
     // ...and sits close in coefficient space.
-    assert!(fit.coeff_error(&r.best.genome) < 0.5, "coeff error {}", fit.coeff_error(&r.best.genome));
+    assert!(
+        fit.coeff_error(&r.best.genome) < 0.5,
+        "coeff error {}",
+        fit.coeff_error(&r.best.genome)
+    );
 }
 
 #[test]
@@ -78,7 +103,9 @@ fn stock_predictor_beats_training_buy_and_hold() {
     let bounds = problem.bounds().clone();
     let shared = Arc::new(problem);
     let mut ga = real_ga(Arc::clone(&shared), bounds, 40, 0.4, 6);
-    let r = ga.run(&Termination::new().max_generations(50)).expect("bounded");
+    let r = ga
+        .run(&Termination::new().max_generations(50))
+        .expect("bounded");
     assert!(r.best_fitness() > bah, "{} <= {}", r.best_fitness(), bah);
     // Held-out evaluation runs without panicking and returns sane wealth.
     let (strat, hold) = shared.test_outcome(&r.best.genome);
@@ -104,14 +131,22 @@ fn hga_runs_and_improves_over_budget() {
                 .pop_size(20)
                 .selection(Tournament::binary())
                 .crossover(BlxAlpha::new(bounds.clone()))
-                .mutation(GaussianMutation { p: 0.25, sigma: 0.3, bounds })
+                .mutation(GaussianMutation {
+                    p: 0.25,
+                    sigma: 0.3,
+                    bounds,
+                })
                 .scheme(Scheme::Generational { elitism: 1 })
                 .build()
                 .expect("valid configuration")
         },
     );
     let report = hga.run(5_000.0);
-    assert!(report.best.fitness() < 1.0, "best {}", report.best.fitness());
+    assert!(
+        report.best.fitness() < 1.0,
+        "best {}",
+        report.best.fitness()
+    );
     assert!(report.cost_units <= 5_500.0);
     let first = report.trajectory.first().expect("non-empty").best_precise;
     assert!(report.best.fitness() < first);
@@ -129,7 +164,11 @@ fn sim_scenarios_run_on_zdt_through_umbrella() {
             .pop_size(24)
             .objective_mask(mask.to_vec())
             .crossover(Sbx::new(b.clone()))
-            .mutation(GaussianMutation { p: 0.1, sigma: 0.1, bounds: b })
+            .mutation(GaussianMutation {
+                p: 0.1,
+                sigma: 0.1,
+                bounds: b,
+            })
             .build()
             .expect("valid configuration")
     });

@@ -74,8 +74,12 @@ fn threaded_sync_islands_match_sequential_stepper_exactly() {
         stop,
         true,
     );
-    let mut arch = Archipelago::new(trap_islands(9), Topology::RingUni, MigrationPolicy::default())
-        .with_history(true);
+    let mut arch = Archipelago::new(
+        trap_islands(9),
+        Topology::RingUni,
+        MigrationPolicy::default(),
+    )
+    .with_history(true);
     let sequential = arch.run(&stop);
 
     assert_eq!(threaded.per_island_best, sequential.per_island_best);

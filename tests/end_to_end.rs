@@ -18,7 +18,10 @@ use std::sync::Arc;
 #[test]
 fn sequential_ga_solves_binary_suite() {
     // One engine family, four problem classes with known optima.
-    let cases: Vec<(Arc<dyn Problem<Genome = parallel_ga::core::BitString>>, usize)> = vec![
+    let cases: Vec<(
+        Arc<dyn Problem<Genome = parallel_ga::core::BitString>>,
+        usize,
+    )> = vec![
         (Arc::new(OneMax::new(96)), 96),
         (Arc::new(DeceptiveTrap::new(3, 16)), 48),
         (Arc::new(MaxSat::planted(40, 160, 1)), 40),
@@ -117,7 +120,12 @@ fn sequential_archipelago_solves_tsp_circle() {
         .collect();
     let mut arch = Archipelago::new(islands, Topology::RingBi, MigrationPolicy::default());
     let r = arch.run(&IslandStop::generations(1500));
-    assert!(r.hit_optimum, "tour {} vs optimum {:?}", r.best.fitness(), tsp.optimum());
+    assert!(
+        r.hit_optimum,
+        "tour {} vs optimum {:?}",
+        r.best.fitness(),
+        tsp.optimum()
+    );
 }
 
 #[test]
@@ -158,9 +166,18 @@ fn steady_state_ga_matches_mttp_exhaustive_optimum() {
         .build()
         .expect("valid configuration");
     let r = ga
-        .run(&Termination::new().target_fitness(exact).max_generations(1500))
+        .run(
+            &Termination::new()
+                .target_fitness(exact)
+                .max_generations(1500),
+        )
         .expect("bounded");
-    assert_eq!(r.best_fitness(), exact, "GA {} vs exact {exact}", r.best_fitness());
+    assert_eq!(
+        r.best_fitness(),
+        exact,
+        "GA {} vs exact {exact}",
+        r.best_fitness()
+    );
 }
 
 #[test]

@@ -1,0 +1,102 @@
+//! Seed-transparency of the observability layer: attaching or detaching
+//! recorders must not perturb any RNG stream, so instrumented and plain
+//! runs of the same seed must produce identical search results.
+
+use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
+use parallel_ga::core::{GaBuilder, Scheme, SerialEvaluator, Termination};
+use parallel_ga::island::{Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::observe::{EventKind, RingRecorder};
+use parallel_ga::problems::OneMax;
+use parallel_ga::topology::Topology;
+use std::sync::Arc;
+
+const GENOME: usize = 48;
+
+fn ga(seed: u64) -> GaBuilder<Arc<OneMax>, SerialEvaluator> {
+    GaBuilder::new(Arc::new(OneMax::new(GENOME)))
+        .seed(seed)
+        .pop_size(40)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(GENOME))
+        .scheme(Scheme::Generational { elitism: 1 })
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_single_ga_run() {
+    let termination = Termination::new().until_optimum().max_generations(300);
+
+    let mut plain = ga(11).build().unwrap();
+    let plain_result = plain.run(&termination).unwrap();
+
+    let ring = RingRecorder::new(1 << 14);
+    let mut observed = ga(11).recorder(ring.clone()).build().unwrap();
+    let observed_result = observed.run(&termination).unwrap();
+
+    assert_eq!(plain_result.generations, observed_result.generations);
+    assert_eq!(plain_result.evaluations, observed_result.evaluations);
+    assert_eq!(plain_result.best.fitness(), observed_result.best.fitness());
+    assert_eq!(plain_result.hit_optimum, observed_result.hit_optimum);
+    assert!(!ring.is_empty(), "the observed run must emit events");
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_island_run() {
+    let stop = IslandStop {
+        max_generations: 60,
+        until_optimum: false,
+        max_total_evaluations: u64::MAX,
+    };
+    let policy = MigrationPolicy {
+        interval: 8,
+        ..MigrationPolicy::default()
+    };
+
+    let run = |record: bool| {
+        let ring = RingRecorder::new(1 << 16);
+        let islands = (0..4)
+            .map(|i| {
+                let builder = ga(100 + i);
+                if record {
+                    builder.recorder(ring.clone()).build().unwrap()
+                } else {
+                    builder.build().unwrap()
+                }
+            })
+            .collect();
+        let mut arch = Archipelago::new(islands, Topology::RingUni, policy);
+        (arch.run(&stop), ring)
+    };
+
+    let (plain, _) = run(false);
+    let (observed, ring) = run(true);
+
+    assert_eq!(plain.total_evaluations, observed.total_evaluations);
+    assert_eq!(plain.best.fitness(), observed.best.fitness());
+    assert_eq!(plain.generations, observed.generations);
+    assert_eq!(plain.per_island_best, observed.per_island_best);
+    assert_eq!(plain.migrants_sent, observed.migrants_sent);
+    assert_eq!(plain.migrants_accepted, observed.migrants_accepted);
+
+    // The instrumented run saw the full event vocabulary of an island run.
+    let events = ring.take_events();
+    for expected in [
+        "run_started",
+        "generation_completed",
+        "migration_sent",
+        "migration_received",
+    ] {
+        assert!(
+            events.iter().any(|e| e.kind.name() == expected),
+            "missing {expected}"
+        );
+    }
+    let sent: u64 = events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::MigrationSent { count, .. } => Some(count),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(sent, observed.migrants_sent);
+}

@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset its benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `Bencher::iter_batched`, `BenchmarkId`, `BatchSize`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! There is no statistics engine: each benchmark is warmed once, timed over
+//! a fixed-duration loop, and reported as a single mean-per-iteration line
+//! on stdout. That preserves the benches as runnable smoke/relative-order
+//! tools without the real crate's analysis machinery.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Iteration cap per benchmark (keeps cheap routines bounded).
+const MAX_ITERS: u64 = 10_000;
+
+/// How `iter_batched` inputs are grouped. Ignored by this stand-in.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up (untimed).
+        black_box(routine());
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let t = Instant::now();
+            black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is not
+    /// counted.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let start = Instant::now();
+        while self.iters < MAX_ITERS && start.elapsed() < MEASURE_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("bench {id:<40} (no iterations)");
+        } else {
+            let per_iter = self.total / u32::try_from(self.iters).unwrap_or(u32::MAX).max(1);
+            println!(
+                "bench {id:<40} {per_iter:>12.2?}/iter ({} iters)",
+                self.iters
+            );
+        }
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.into_id());
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; this stand-in sizes by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; this stand-in uses a fixed time budget.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into_id()));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<ID, I, F>(&mut self, id: ID, input: &I, mut f: F) -> &mut Self
+    where
+        ID: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into_id()));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |x| black_box(x * 2), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(shim_group, sample_bench);
+
+    #[test]
+    fn harness_runs_groups() {
+        shim_group();
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the API subset it actually uses: `channel::unbounded` with
+//! `send` / `recv` / `try_recv`, backed by `std::sync::mpsc`. Disconnect
+//! semantics match crossbeam: `recv` errors once the channel is empty and
+//! all senders are dropped, which is what the threaded island engine relies
+//! on to terminate cleanly.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod channel {
+    //! Multi-producer single-consumer unbounded channels.
+
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Creates an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv().unwrap(), 7);
+        assert!(rx.try_recv().is_err());
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the *API subset it actually uses*, implemented with
+//! `std::thread::scope` fork-join chunking:
+//!
+//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a pool here is just a
+//!   requested worker count; `install` scopes that count onto the parallel
+//!   operations run inside it.
+//! * `slice.par_iter_mut().map(f).sum()` — chunked fork-join over a mutable
+//!   slice.
+//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` — order-preserving
+//!   chunked fork-join over an index range.
+//!
+//! Semantics match rayon where it matters for this workspace: work is
+//! genuinely executed on multiple OS threads (real wall-clock speedup in
+//! E02/E03), results are deterministic because chunk outputs are recombined
+//! in index order, and closures must be `Sync` exactly as rayon requires.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::cell::Cell;
+
+/// Rayon-style prelude: import the traits that add `par_iter_mut` /
+/// `into_par_iter` to std types.
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelSliceMut};
+}
+
+thread_local! {
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count for parallel operations started on this thread: the
+/// innermost [`ThreadPool::install`] if any, else available parallelism.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS.with(Cell::get).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error building a [`ThreadPool`] (never produced by this stand-in; kept
+/// for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder with default settings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads.
+    #[must_use]
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Accepted for compatibility; worker threads here are unnamed because
+    /// they are short-lived scoped threads.
+    #[must_use]
+    pub fn thread_name<F>(self, _name: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool. Never fails in this stand-in.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
+        })
+    }
+}
+
+/// A "pool": a worker-count context applied to parallel operations run
+/// inside [`ThreadPool::install`].
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's worker count governing any parallel
+    /// operations it performs.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(previous));
+        result
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Conversion into a parallel iterator (only the types this workspace
+/// parallelizes over).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            start: self.start,
+            end: self.end,
+        }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct ParRange {
+    start: usize,
+    end: usize,
+}
+
+impl ParRange {
+    /// Maps each index through `f` (executed in parallel chunks).
+    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParRangeMap {
+            start: self.start,
+            end: self.end,
+            f,
+        }
+    }
+}
+
+/// A mapped [`ParRange`], ready to collect.
+pub struct ParRangeMap<F> {
+    start: usize,
+    end: usize,
+    f: F,
+}
+
+impl<F> ParRangeMap<F> {
+    /// Executes the map in parallel and collects results in index order.
+    pub fn collect<T, C>(self) -> C
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+        C: FromParallelIterator<T>,
+    {
+        let n = self.end.saturating_sub(self.start);
+        let threads = current_num_threads().min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            return C::from_ordered_vec((self.start..self.end).map(f).collect());
+        }
+        let chunk = n.div_ceil(threads);
+        let parts: Vec<Vec<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = self.start + t * chunk;
+                    let hi = (lo + chunk).min(self.end);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        });
+        C::from_ordered_vec(parts.into_iter().flatten().collect())
+    }
+}
+
+/// Collection from an order-preserving parallel computation.
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in source order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+/// Adds `par_iter_mut` to mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator of `&mut T` over the slice.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { data: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    data: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps each item through `f` (executed in parallel chunks).
+    pub fn map<U, F>(self, f: F) -> ParMapMut<'a, T, F>
+    where
+        F: Fn(&mut T) -> U + Sync,
+        U: Send,
+    {
+        ParMapMut { data: self.data, f }
+    }
+}
+
+/// A mapped [`ParIterMut`], ready to reduce.
+pub struct ParMapMut<'a, T, F> {
+    data: &'a mut [T],
+    f: F,
+}
+
+impl<T, F> ParMapMut<'_, T, F> {
+    /// Sums the mapped values across all items.
+    pub fn sum<U, S>(self) -> S
+    where
+        T: Send,
+        F: Fn(&mut T) -> U + Sync,
+        U: Send,
+        S: std::iter::Sum<U> + std::iter::Sum<S> + Send,
+    {
+        let n = self.data.len();
+        let threads = current_num_threads().min(n.max(1));
+        let f = &self.f;
+        if threads <= 1 || n <= 1 {
+            return self.data.iter_mut().map(f).sum();
+        }
+        let chunk = n.div_ceil(threads);
+        let partials: Vec<S> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .data
+                .chunks_mut(chunk)
+                .map(|part| scope.spawn(move || part.iter_mut().map(f).sum::<S>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel sum worker panicked"))
+                .collect()
+        });
+        partials.into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn par_range_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn par_iter_mut_sum_visits_every_item_once() {
+        let mut data = vec![0u64; 513];
+        let total: u64 = data
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .sum();
+        assert_eq!(total, 513);
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+}
