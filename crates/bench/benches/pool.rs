@@ -1,0 +1,185 @@
+//! Dispatch-cost benchmark: spawn-per-call fork-join (the pre-pool vendor
+//! strategy) vs the persistent work-stealing pool, across batch sizes and
+//! per-evaluation costs.
+//!
+//! Prints one table per fitness grain and writes machine-readable results
+//! to `results/BENCH_pool.json`. Run with `cargo bench --bench pool`.
+
+use pga_analysis::{table::fmt_f64, Table};
+use pga_core::{BitString, Evaluator, Individual, Problem, Rng64, SerialEvaluator};
+use pga_master_slave::{ExpensiveFitness, RayonEvaluator};
+use pga_problems::OneMax;
+use std::time::{Duration, Instant};
+
+const LEN: usize = 128;
+const WORKERS: usize = 8;
+const BATCHES: [usize; 5] = [64, 256, 1024, 4096, 16384];
+
+/// The strategy the vendored rayon used before the persistent pool: one
+/// `std::thread::scope` per call, one freshly spawned thread per worker.
+fn spawn_per_call<P>(workers: usize, problem: &P, members: &mut [Individual<P::Genome>]) -> u64
+where
+    P: Problem + Sync,
+    P::Genome: Send,
+{
+    if members.is_empty() {
+        return 0;
+    }
+    let chunk = members.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = members
+            .chunks_mut(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    let mut fresh = 0u64;
+                    for m in part {
+                        if m.fitness.is_none() {
+                            m.fitness = Some(problem.evaluate(&m.genome));
+                            fresh += 1;
+                        }
+                    }
+                    fresh
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    })
+}
+
+/// Mean wall-clock per batch dispatch in microseconds. Fitness is reset
+/// (untimed) between repetitions so every dispatch does full work.
+fn time_batch(
+    members: &mut [Individual<BitString>],
+    mut dispatch: impl FnMut(&mut [Individual<BitString>]) -> u64,
+) -> f64 {
+    let reset = |ms: &mut [Individual<BitString>]| {
+        for m in ms.iter_mut() {
+            m.fitness = None;
+        }
+    };
+    for _ in 0..2 {
+        reset(members);
+        dispatch(members);
+    }
+    let mut total = Duration::ZERO;
+    let mut reps = 0u32;
+    while total < Duration::from_millis(60) && reps < 400 {
+        reset(members);
+        let t0 = Instant::now();
+        let fresh = dispatch(members);
+        total += t0.elapsed();
+        assert_eq!(fresh as usize, members.len(), "dispatch skipped work");
+        reps += 1;
+    }
+    total.as_secs_f64() * 1e6 / f64::from(reps)
+}
+
+struct Entry {
+    grain: &'static str,
+    batch: usize,
+    serial_us: f64,
+    spawn_us: f64,
+    pool_us: f64,
+    pool_hint_us: f64,
+}
+
+fn main() {
+    let mut rng = Rng64::new(2026);
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // ~1 µs per 1000 spin iterations (same scale e02 uses).
+    for (grain, iters) in [("cheap", 0u64), ("20us", 20_000)] {
+        let problem = ExpensiveFitness::new(OneMax::new(LEN), iters);
+        let pool = RayonEvaluator::new(WORKERS);
+        let pool_hint = RayonEvaluator::new(WORKERS).with_min_chunk(64);
+        let mut table = Table::new(vec![
+            "batch",
+            "serial us",
+            "spawn/call us",
+            "pool us",
+            "pool(min64) us",
+            "pool vs spawn",
+        ])
+        .with_title(format!(
+            "Batch dispatch, {WORKERS} workers, {grain} fitness (mean us/batch)"
+        ));
+        for batch in BATCHES {
+            let mut members: Vec<Individual<BitString>> = (0..batch)
+                .map(|_| Individual::unevaluated(BitString::random(LEN, &mut rng)))
+                .collect();
+            let serial_us = time_batch(&mut members, |ms| {
+                SerialEvaluator.evaluate_batch(&problem, ms)
+            });
+            let spawn_us = time_batch(&mut members, |ms| spawn_per_call(WORKERS, &problem, ms));
+            let pool_us = time_batch(&mut members, |ms| pool.evaluate_batch(&problem, ms));
+            let pool_hint_us =
+                time_batch(&mut members, |ms| pool_hint.evaluate_batch(&problem, ms));
+            table.row(vec![
+                batch.to_string(),
+                fmt_f64(serial_us, 1),
+                fmt_f64(spawn_us, 1),
+                fmt_f64(pool_us, 1),
+                fmt_f64(pool_hint_us, 1),
+                format!("{}x", fmt_f64(spawn_us / pool_us, 2)),
+            ]);
+            entries.push(Entry {
+                grain,
+                batch,
+                serial_us,
+                spawn_us,
+                pool_us,
+                pool_hint_us,
+            });
+        }
+        println!("{}", table.render());
+        let stats = pool.pool_stats();
+        println!(
+            "pool health: calls={} tasks={} splits={} steals={} parks={} queue_wait={}us\n",
+            stats.calls,
+            stats.tasks_executed,
+            stats.splits,
+            stats.steals,
+            stats.parks,
+            stats.queue_wait_micros
+        );
+    }
+
+    let json = render_json(&entries);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/BENCH_pool.json");
+    std::fs::write(path, &json).expect("write BENCH_pool.json");
+    println!("wrote {path}");
+
+    let cheap_wins = entries
+        .iter()
+        .filter(|e| e.grain == "cheap")
+        .filter(|e| e.pool_us.min(e.pool_hint_us) < e.spawn_us)
+        .count();
+    println!(
+        "persistent pool beats spawn-per-call on {cheap_wins}/{} cheap batch sizes",
+        BATCHES.len()
+    );
+}
+
+fn render_json(entries: &[Entry]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"workers\": {WORKERS},\n"));
+    out.push_str(&format!("  \"genome_len\": {LEN},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"grain\": \"{}\", \"batch\": {}, \"serial_us\": {:.1}, \
+             \"spawn_us\": {:.1}, \"pool_us\": {:.1}, \"pool_min64_us\": {:.1}, \
+             \"pool_vs_spawn\": {:.3}}}{}\n",
+            e.grain,
+            e.batch,
+            e.serial_us,
+            e.spawn_us,
+            e.pool_us,
+            e.pool_hint_us,
+            e.spawn_us / e.pool_us,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

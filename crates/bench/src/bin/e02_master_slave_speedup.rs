@@ -70,6 +70,50 @@ fn part_a() {
     emit(&t);
 }
 
+fn part_pool_health() {
+    // Telemetry from the persistent work-stealing pool: how many chunk
+    // tasks each batch produced, how many were stolen rather than run by
+    // their producer, how often workers parked, and the injection-to-start
+    // queue latency. One row per worker count, same medium-grain workload.
+    let mut t = Table::new(vec![
+        "workers",
+        "batches",
+        "tasks",
+        "steals",
+        "parks",
+        "queue wait [us]",
+    ])
+    .with_title("E02c — pool health, 20 generations of 128 medium-grain evaluations");
+    for workers in [1usize, 2, 4, 8] {
+        let problem = Arc::new(ExpensiveFitness::new(OneMax::new(LEN), 50_000));
+        let evaluator = RayonEvaluator::new(workers);
+        let mut ga = GaBuilder::new(problem)
+            .seed(7)
+            .pop_size(POP)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(LEN))
+            .scheme(Scheme::Generational { elitism: 1 })
+            .evaluator(evaluator)
+            .build()
+            .expect("valid config");
+        for _ in 0..GENS {
+            ga.step();
+        }
+        let stats = ga.evaluator().pool_stats();
+        t.row(vec![
+            workers.to_string(),
+            stats.calls.to_string(),
+            stats.tasks_executed.to_string(),
+            stats.steals.to_string(),
+            stats.parks.to_string(),
+            stats.queue_wait_micros.to_string(),
+        ]);
+    }
+    emit(&t);
+    println!("(a 1-worker pool takes the inline fast path — batches bypass the queues entirely)\n");
+}
+
 fn part_b() {
     let mut t = Table::new(vec![
         "network",
@@ -142,5 +186,6 @@ fn main() {
     );
     sanity();
     part_a();
+    part_pool_health();
     part_b();
 }

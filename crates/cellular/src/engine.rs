@@ -46,6 +46,11 @@ pub struct CellularGa<P: Problem> {
     seed: u64,
     rng: Rng64,
     fixed_sweep: Vec<usize>,
+    /// Reused across generations: the per-sweep cell-update order.
+    order_buf: Vec<usize>,
+    /// Reused across generations: the synchronous path's offspring batch
+    /// (one allocation for the lifetime of the engine, not one per sweep).
+    offspring_buf: Vec<Individual<P::Genome>>,
     generation: u64,
     evaluations: u64,
     best_ever: Individual<P::Genome>,
@@ -229,13 +234,15 @@ impl<P: Problem> CellularGa<P> {
         let objective = self.problem.objective();
         let order = {
             let mut rng = self.rng.clone();
-            let o = self.policy.order(n, &self.fixed_sweep, &mut rng);
+            let mut o = std::mem::take(&mut self.order_buf);
+            self.policy
+                .order_into(n, &self.fixed_sweep, &mut rng, &mut o);
             self.rng = rng;
             o
         };
 
         if self.policy.is_asynchronous() {
-            for (step_idx, idx) in order.into_iter().enumerate() {
+            for (step_idx, &idx) in order.iter().enumerate() {
                 let mut rng = Self::cell_rng(self.seed, self.generation, step_idx);
                 let child = Self::breed(
                     &self.problem,
@@ -258,35 +265,39 @@ impl<P: Problem> CellularGa<P> {
                 }
             }
         } else {
-            // Synchronous: breed all cells in parallel from the old grid.
-            let problem = &self.problem;
-            let (rows, cols) = (self.rows, self.cols);
-            let neighborhood = self.neighborhood;
-            let crossover = self.crossover.as_ref();
-            let mutation = self.mutation.as_ref();
-            let rate = self.crossover_rate;
-            let (seed, generation) = (self.seed, self.generation);
-            let grid = &self.grid;
-            let offspring: Vec<Individual<P::Genome>> = (0..n)
-                .into_par_iter()
-                .map(|idx| {
-                    let mut rng = Self::cell_rng(seed, generation, idx);
-                    Self::breed(
-                        problem,
-                        grid,
-                        idx,
-                        rows,
-                        cols,
-                        neighborhood,
-                        crossover,
-                        mutation,
-                        rate,
-                        &mut rng,
-                    )
-                })
-                .collect();
+            // Synchronous: breed all cells in parallel from the old grid,
+            // on the persistent pool, into the reused offspring buffer.
+            let mut offspring = std::mem::take(&mut self.offspring_buf);
+            {
+                let problem = &self.problem;
+                let (rows, cols) = (self.rows, self.cols);
+                let neighborhood = self.neighborhood;
+                let crossover = self.crossover.as_ref();
+                let mutation = self.mutation.as_ref();
+                let rate = self.crossover_rate;
+                let (seed, generation) = (self.seed, self.generation);
+                let grid = &self.grid;
+                (0..n)
+                    .into_par_iter()
+                    .map(|idx| {
+                        let mut rng = Self::cell_rng(seed, generation, idx);
+                        Self::breed(
+                            problem,
+                            grid,
+                            idx,
+                            rows,
+                            cols,
+                            neighborhood,
+                            crossover,
+                            mutation,
+                            rate,
+                            &mut rng,
+                        )
+                    })
+                    .collect_into_vec(&mut offspring);
+            }
             self.evaluations += n as u64;
-            for (idx, child) in offspring.into_iter().enumerate() {
+            for (idx, child) in offspring.drain(..).enumerate() {
                 if objective.better_or_equal(child.fitness(), self.grid[idx].fitness()) {
                     if objective.better(child.fitness(), self.best_ever.fitness()) {
                         self.best_ever = child.clone();
@@ -294,7 +305,9 @@ impl<P: Problem> CellularGa<P> {
                     self.grid[idx] = child;
                 }
             }
+            self.offspring_buf = offspring;
         }
+        self.order_buf = order;
 
         self.generation += 1;
         let stats = self.stats();
@@ -524,6 +537,8 @@ impl<P: Problem> CellularGaBuilder<P> {
             seed: self.seed,
             rng,
             fixed_sweep,
+            order_buf: Vec::new(),
+            offspring_buf: Vec::new(),
             generation: 0,
             evaluations: n as u64,
             best_ever,

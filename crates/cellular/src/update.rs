@@ -59,20 +59,35 @@ impl UpdatePolicy {
     /// [`UpdatePolicy::FixedRandomSweep`]); `n` is the cell count.
     #[must_use]
     pub fn order(self, n: usize, fixed_sweep: &[usize], rng: &mut Rng64) -> Vec<usize> {
+        let mut order = Vec::new();
+        self.order_into(n, fixed_sweep, rng, &mut order);
+        order
+    }
+
+    /// Like [`UpdatePolicy::order`], but fills `out` in place so the engine
+    /// can reuse one buffer across generations. Draws the same RNG stream
+    /// as `order`.
+    pub fn order_into(
+        self,
+        n: usize,
+        fixed_sweep: &[usize],
+        rng: &mut Rng64,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         match self {
             // Synchronous also visits every cell once; the engine handles
             // the double-buffering that makes it simultaneous.
-            Self::Synchronous | Self::LineSweep => (0..n).collect(),
+            Self::Synchronous | Self::LineSweep => out.extend(0..n),
             Self::FixedRandomSweep => {
                 assert_eq!(fixed_sweep.len(), n, "fixed sweep length mismatch");
-                fixed_sweep.to_vec()
+                out.extend_from_slice(fixed_sweep);
             }
             Self::NewRandomSweep => {
-                let mut order: Vec<usize> = (0..n).collect();
-                rng.shuffle(&mut order);
-                order
+                out.extend(0..n);
+                rng.shuffle(out);
             }
-            Self::UniformChoice => (0..n).map(|_| rng.below(n)).collect(),
+            Self::UniformChoice => out.extend((0..n).map(|_| rng.below(n))),
         }
     }
 }

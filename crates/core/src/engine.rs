@@ -128,6 +128,12 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
         &self.problem
     }
 
+    /// The evaluation backend (e.g. to read pool telemetry after a run).
+    #[must_use]
+    pub fn evaluator(&self) -> &E {
+        &self.evaluator
+    }
+
     /// Current population (always fully evaluated between steps).
     #[must_use]
     pub fn population(&self) -> &Population<P::Genome> {

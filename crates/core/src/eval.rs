@@ -6,6 +6,18 @@
 //! serially, on a rayon pool (`pga-master-slave::RayonEvaluator`), or against
 //! the simulated cluster clock (`pga-master-slave::SimulatedMasterSlaveGa`,
 //! which wraps the engine) without changes to the evolution loop.
+//!
+//! ## Batch-size hint
+//!
+//! Parallel evaluators dispatch a population to worker threads in chunks.
+//! Chunking is a trade-off governed by evaluation cost: a CFD-style fitness
+//! function amortizes per-chunk dispatch at chunk size 1, while a popcount
+//! needs hundreds of members per chunk before dispatch pays for itself
+//! (Cantú-Paz 2000's grain-size analysis). [`Evaluator::min_chunk`] is the
+//! evaluator's own cost threshold: the smallest number of members worth
+//! splitting off as one unit of parallel work. The pool splits batches until
+//! it has enough chunks for stealing (~4 per worker) but never below this
+//! floor. Serial evaluators ignore it.
 
 use crate::individual::Individual;
 use crate::problem::Problem;
@@ -19,6 +31,13 @@ pub trait Evaluator<P: Problem>: Send + Sync {
     /// Evaluator name for harness tables.
     fn name(&self) -> &'static str {
         "unnamed"
+    }
+
+    /// Scheduling hint: the smallest number of members worth dispatching as
+    /// one unit of parallel work (see the module docs). The default of 1
+    /// means "always splittable"; serial evaluators ignore the hint.
+    fn min_chunk(&self) -> usize {
+        1
     }
 }
 

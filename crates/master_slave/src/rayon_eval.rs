@@ -3,12 +3,13 @@
 use pga_core::{Evaluator, Individual, Problem};
 use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 use rayon::prelude::*;
-use rayon::ThreadPool;
+use rayon::{PoolStats, ThreadPool};
 use std::sync::Mutex;
 
 struct EvalTrace {
     recorder: Box<dyn Recorder>,
     batch: u64,
+    last_stats: PoolStats,
 }
 
 /// Evaluates fitness batches on a dedicated rayon thread pool.
@@ -16,9 +17,12 @@ struct EvalTrace {
 /// Owning a private pool (instead of the global one) lets speedup sweeps
 /// (E02) pin the worker count per configuration, and keeps island threads
 /// from oversubscribing the machine when both models run in one process.
+/// The pool's workers are persistent: a batch dispatch costs a queue
+/// injection and (at worst) a few unparks, not thread spawns.
 pub struct RayonEvaluator {
     pool: ThreadPool,
     workers: usize,
+    min_chunk: usize,
     trace: Option<Mutex<EvalTrace>>,
 }
 
@@ -38,6 +42,7 @@ impl RayonEvaluator {
         Self {
             pool,
             workers,
+            min_chunk: 1,
             trace: None,
         }
     }
@@ -48,17 +53,39 @@ impl RayonEvaluator {
         self.workers
     }
 
+    /// Sets the batch-size hint (see [`Evaluator::min_chunk`]): the pool
+    /// stops splitting a batch once chunks reach this size. Raise it for
+    /// cheap fitness functions where per-chunk dispatch would dominate.
+    ///
+    /// # Panics
+    /// Panics if `min_chunk` is zero.
+    #[must_use]
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> Self {
+        assert!(min_chunk >= 1, "min_chunk must be at least 1");
+        self.min_chunk = min_chunk;
+        self
+    }
+
+    /// Telemetry snapshot of the evaluator's pool (lifetime counters).
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Attaches a recorder that receives one wall-clock-timed
-    /// `EvaluationBatch` event per dispatched batch.
+    /// `EvaluationBatch` event plus one `PoolBatch` pool-health event per
+    /// dispatched batch.
     ///
     /// Use this when the evaluator runs outside an instrumented engine; a
     /// `Ga` with its own recorder already times its batches, so attaching
     /// both double-counts `eval.batch_micros`.
     #[must_use]
     pub fn with_recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        let last_stats = self.pool.stats();
         self.trace = Some(Mutex::new(EvalTrace {
             recorder: Box::new(recorder),
             batch: 0,
+            last_stats,
         }));
         self
     }
@@ -67,9 +94,11 @@ impl RayonEvaluator {
 impl<P: Problem> Evaluator<P> for RayonEvaluator {
     fn evaluate_batch(&self, problem: &P, members: &mut [Individual<P::Genome>]) -> u64 {
         let sw = Stopwatch::started_if(self.trace.is_some());
+        let min_chunk = self.min_chunk;
         let fresh = self.pool.install(|| {
             members
                 .par_iter_mut()
+                .with_min_len(min_chunk)
                 .map(|m| {
                     if m.fitness.is_none() {
                         m.fitness = Some(problem.evaluate(&m.genome));
@@ -81,9 +110,12 @@ impl<P: Problem> Evaluator<P> for RayonEvaluator {
                 .sum()
         });
         if let (Some(trace), Some(micros)) = (&self.trace, sw.elapsed_micros()) {
+            let stats = self.pool.stats();
             let mut t = trace.lock().unwrap();
             t.batch += 1;
             let batch = t.batch;
+            let delta = stats.delta(&t.last_stats);
+            t.last_stats = stats;
             t.recorder.record(&Event::new(EventKind::EvaluationBatch {
                 island: 0,
                 batch,
@@ -91,12 +123,25 @@ impl<P: Problem> Evaluator<P> for RayonEvaluator {
                 fresh,
                 micros,
             }));
+            t.recorder.record(&Event::new(EventKind::PoolBatch {
+                island: 0,
+                batch,
+                workers: delta.workers,
+                tasks: delta.tasks_executed,
+                steals: delta.steals,
+                parks: delta.parks,
+                queue_micros: delta.queue_wait_micros,
+            }));
         }
         fresh
     }
 
     fn name(&self) -> &'static str {
         "rayon-master-slave"
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.min_chunk
     }
 }
 
@@ -140,6 +185,34 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.fitness(), b.fitness());
         }
+    }
+
+    #[test]
+    fn min_chunk_hint_bounds_dispatch_and_pool_events_flow() {
+        use pga_observe::RingRecorder;
+        let ring = RingRecorder::new(64);
+        let eval = RayonEvaluator::new(4)
+            .with_min_chunk(64)
+            .with_recorder(ring.clone());
+        assert_eq!(Evaluator::<OneMax>::min_chunk(&eval), 64);
+        let p = OneMax(32);
+        let mut rng = Rng64::new(9);
+        let mut members: Vec<Individual<BitString>> = (0..256)
+            .map(|_| Individual::unevaluated(BitString::random(32, &mut rng)))
+            .collect();
+        assert_eq!(eval.evaluate_batch(&p, &mut members), 256);
+        let events = ring.events();
+        assert_eq!(events[0].kind.name(), "evaluation_batch");
+        assert_eq!(events[1].kind.name(), "pool_batch");
+        match events[1].kind {
+            EventKind::PoolBatch { workers, tasks, .. } => {
+                assert_eq!(workers, 4);
+                // 256 members with chunks of >= 64: at most 4 leaf tasks.
+                assert!((1..=4).contains(&tasks), "tasks = {tasks}");
+            }
+            ref k => panic!("unexpected kind {k:?}"),
+        }
+        assert!(eval.pool_stats().calls >= 1);
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl Event {
             EventKind::RunStarted { island, .. }
             | EventKind::GenerationCompleted { island, .. }
             | EventKind::EvaluationBatch { island, .. }
+            | EventKind::PoolBatch { island, .. }
             | EventKind::CheckpointHit { island, .. }
             | EventKind::MigrationReceived { island, .. }
             | EventKind::RunFinished { island, .. } => Some(*island),
@@ -65,7 +66,9 @@ impl Event {
             | EventKind::CheckpointHit { generation, .. }
             | EventKind::MigrationSent { generation, .. }
             | EventKind::MigrationReceived { generation, .. } => Some(*generation),
-            EventKind::EvaluationBatch { batch, .. } => Some(*batch),
+            EventKind::EvaluationBatch { batch, .. } | EventKind::PoolBatch { batch, .. } => {
+                Some(*batch)
+            }
             EventKind::RunStarted { .. } => Some(0),
             EventKind::RunFinished { generations, .. } => Some(*generations),
             EventKind::NodeFailed { .. } | EventKind::TaskReassigned { .. } => None,
@@ -116,6 +119,23 @@ impl Event {
                 ("size", Int(*size)),
                 ("fresh", Int(*fresh)),
                 ("micros", Int(*micros)),
+            ],
+            EventKind::PoolBatch {
+                island,
+                batch,
+                workers,
+                tasks,
+                steals,
+                parks,
+                queue_micros,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("batch", Int(*batch)),
+                ("workers", Int(*workers)),
+                ("tasks", Int(*tasks)),
+                ("steals", Int(*steals)),
+                ("parks", Int(*parks)),
+                ("queue_micros", Int(*queue_micros)),
             ],
             EventKind::MigrationSent {
                 from,
@@ -226,6 +246,28 @@ pub enum EventKind {
         /// virtual for simulated clusters).
         micros: u64,
     },
+    /// Work-stealing pool health for one dispatched evaluation batch:
+    /// counter deltas from the pool that executed it (see
+    /// `rayon::PoolStats`). Emitted right after the matching
+    /// [`EventKind::EvaluationBatch`] by pool-backed evaluators.
+    PoolBatch {
+        /// Island/deme id.
+        island: u32,
+        /// Batch sequence number (matches the `EvaluationBatch` it
+        /// describes).
+        batch: u64,
+        /// Worker threads in the executing pool.
+        workers: u64,
+        /// Leaf chunk tasks executed for this batch.
+        tasks: u64,
+        /// Jobs obtained by stealing from another worker's deque.
+        steals: u64,
+        /// Times a worker parked during the batch window.
+        parks: u64,
+        /// Microseconds between batch injection and its first chunk
+        /// starting to execute.
+        queue_micros: u64,
+    },
     /// Migrants left an island along one topology edge.
     MigrationSent {
         /// Source island.
@@ -290,6 +332,7 @@ impl EventKind {
             Self::RunStarted { .. } => "run_started",
             Self::GenerationCompleted { .. } => "generation_completed",
             Self::EvaluationBatch { .. } => "evaluation_batch",
+            Self::PoolBatch { .. } => "pool_batch",
             Self::MigrationSent { .. } => "migration_sent",
             Self::MigrationReceived { .. } => "migration_received",
             Self::CheckpointHit { .. } => "checkpoint_hit",
@@ -306,7 +349,10 @@ impl EventKind {
     pub fn phase_rank(&self) -> u8 {
         match self {
             Self::RunStarted { .. } => 0,
-            Self::EvaluationBatch { .. } => 1,
+            // PoolBatch shares the evaluation slot: it annotates the batch
+            // and is recorded immediately after it, so the stable sort in
+            // merge_island_traces keeps the pair adjacent.
+            Self::EvaluationBatch { .. } | Self::PoolBatch { .. } => 1,
             Self::GenerationCompleted { .. } => 2,
             Self::CheckpointHit { .. } => 3,
             Self::MigrationSent { .. } => 4,
@@ -362,6 +408,15 @@ mod tests {
                 size: 10,
                 fresh: 9,
                 micros: 42,
+            },
+            EventKind::PoolBatch {
+                island: 0,
+                batch: 1,
+                workers: 8,
+                tasks: 32,
+                steals: 3,
+                parks: 1,
+                queue_micros: 12,
             },
             EventKind::MigrationSent {
                 from: 0,

@@ -271,6 +271,9 @@ impl<R: Recorder> Recorder for SampledRecorder<R> {
 /// * `events.<kind>` counters for every kind seen;
 /// * `migration.sent` / `migration.accepted` counters;
 /// * `eval.batch_micros` histogram (timing-scope latencies);
+/// * `pool.tasks` / `pool.steals` / `pool.parks` counters, a
+///   `pool.workers` gauge and a `pool.queue_micros` histogram (work-stealing
+///   pool health, from `pool_batch` events);
 /// * `fitness.best_ever` histogram over generation snapshots;
 /// * `run.generation` / `run.best_ever` gauges tracking the latest state.
 pub struct MetricsRecorder {
@@ -287,6 +290,10 @@ impl MetricsRecorder {
         registry.histogram_with_bounds(
             "eval.batch_micros",
             crate::metrics::exponential_bounds(10.0, 4.0, 10),
+        );
+        registry.histogram_with_bounds(
+            "pool.queue_micros",
+            crate::metrics::exponential_bounds(1.0, 4.0, 10),
         );
         Self { registry }
     }
@@ -322,6 +329,21 @@ impl Recorder for MetricsRecorder {
             EventKind::EvaluationBatch { micros, fresh, .. } => {
                 self.registry.observe("eval.batch_micros", *micros as f64);
                 self.registry.inc("eval.fresh", *fresh);
+            }
+            EventKind::PoolBatch {
+                workers,
+                tasks,
+                steals,
+                parks,
+                queue_micros,
+                ..
+            } => {
+                self.registry.set_gauge("pool.workers", *workers as f64);
+                self.registry.inc("pool.tasks", *tasks);
+                self.registry.inc("pool.steals", *steals);
+                self.registry.inc("pool.parks", *parks);
+                self.registry
+                    .observe("pool.queue_micros", *queue_micros as f64);
             }
             EventKind::MigrationSent { count, .. } => {
                 self.registry.inc("migration.sent", *count);

@@ -13,4 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> cargo bench --no-run (benches compile)"
+cargo bench --workspace --no-run
+
+echo "==> pool determinism suite"
+cargo test -q --test pool_determinism
+
 echo "verify: OK"

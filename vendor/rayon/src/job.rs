@@ -1,0 +1,141 @@
+//! Type-erased chunked jobs and their completion latch.
+//!
+//! A parallel operation is submitted to the pool as one [`ChunkTask`]: a
+//! batch of `chunks` independent units, each executable in any order and on
+//! any worker. Workers receive [`Job`]s — contiguous ranges of chunk
+//! indices — and recursively halve them, pushing the far half onto their
+//! own deque where idle workers can steal it. The submitting call blocks on
+//! the task's [`Latch`] until every chunk has completed, which is what makes
+//! the raw borrowed pointer inside [`Job`] sound.
+
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// A batch of independently executable chunks. Implementors map a chunk
+/// index to an element range and recombine results *by chunk index*, so the
+/// outcome is independent of execution order (and therefore of stealing).
+pub(crate) trait ChunkTask: Sync {
+    /// Executes chunk `index`. Called exactly once per index, possibly
+    /// concurrently with other indices.
+    fn run_chunk(&self, index: usize);
+
+    /// The batch's completion latch.
+    fn latch(&self) -> &Latch;
+}
+
+/// Completion state of one submitted [`ChunkTask`].
+pub(crate) struct Latch {
+    /// Chunks not yet executed.
+    remaining: AtomicUsize,
+    /// Whether any chunk has started (for queue-latency measurement).
+    started: AtomicBool,
+    /// When the batch was created/injected.
+    injected_at: Instant,
+    /// First panic payload from a chunk, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion flag + wakeup for a blocked submitter. `done` is the only
+    /// field a waiter may consult to decide the latch can be destroyed: the
+    /// completing worker's final touch is releasing this mutex.
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub fn new(chunks: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(chunks),
+            started: AtomicBool::new(false),
+            injected_at: Instant::now(),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Marks the batch as started; returns the queue latency in µs on the
+    /// first call, `None` afterwards.
+    pub fn note_started(&self) -> Option<u64> {
+        if self.started.swap(true, Ordering::Relaxed) {
+            None
+        } else {
+            Some(self.injected_at.elapsed().as_micros() as u64)
+        }
+    }
+
+    /// Stores the first panic payload observed by any chunk.
+    pub fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut slot = self.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+
+    /// Marks one chunk complete; the last completion wakes the submitter.
+    ///
+    /// The latch must not be touched after this call returns (the submitter
+    /// may already have destroyed it).
+    pub fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut d = self.done.lock().unwrap();
+            *d = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// `true` once every chunk has completed *and* the completing worker is
+    /// finished with the latch.
+    pub fn probe_done(&self) -> bool {
+        *self.done.lock().unwrap()
+    }
+
+    /// Blocks the calling (non-worker) thread until the batch completes.
+    pub fn wait_blocking(&self) {
+        let mut d = self.done.lock().unwrap();
+        while !*d {
+            d = self.cv.wait(d).unwrap();
+        }
+    }
+
+    /// Removes the stored panic payload, if any. Call after completion.
+    pub fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+/// A contiguous range `[lo, hi)` of chunk indices of one [`ChunkTask`].
+///
+/// The raw pointer borrows the submitter's stack frame; it stays valid
+/// because the submitter blocks until the latch completes, and the latch
+/// completes only after every queued `Job` of the task has executed.
+pub(crate) struct Job {
+    pub task: *const (dyn ChunkTask + 'static),
+    pub lo: usize,
+    pub hi: usize,
+}
+
+// SAFETY: the pointee is `Sync` (required by `ChunkTask`) and outlives the
+// job per the invariant above, so moving the pointer across threads is fine.
+unsafe impl Send for Job {}
+
+impl Job {
+    /// Runs one leaf chunk, capturing panics into the latch. Returns `true`
+    /// if the chunk panicked.
+    ///
+    /// # Safety
+    /// `task` must still be alive (guaranteed by the submitter blocking on
+    /// the latch).
+    pub unsafe fn run_leaf(task: *const (dyn ChunkTask + 'static), index: usize) -> bool {
+        let task = unsafe { &*task };
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| task.run_chunk(index)));
+        let panicked = result.is_err();
+        if let Err(payload) = result {
+            task.latch().record_panic(payload);
+        }
+        // Last touch: after this the submitter may free the task.
+        task.latch().complete_one();
+        panicked
+    }
+}

@@ -1,26 +1,56 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so this workspace
-//! vendors the *API subset it actually uses*, implemented with
-//! `std::thread::scope` fork-join chunking:
+//! vendors the *API subset it actually uses*, implemented on a persistent
+//! **work-stealing thread pool**:
 //!
-//! * [`ThreadPoolBuilder`] / [`ThreadPool::install`] — a pool here is just a
-//!   requested worker count; `install` scopes that count onto the parallel
-//!   operations run inside it.
-//! * `slice.par_iter_mut().map(f).sum()` — chunked fork-join over a mutable
-//!   slice.
-//! * `(a..b).into_par_iter().map(f).collect::<Vec<_>>()` — order-preserving
-//!   chunked fork-join over an index range.
+//! * a lazily-started global pool of long-lived workers (sized to the
+//!   cached available parallelism), plus dedicated pools built with
+//!   [`ThreadPoolBuilder`]; [`ThreadPool::install`] routes the parallel
+//!   operations run inside it to that dedicated pool;
+//! * per-worker deques, used LIFO by their owner and stolen from the FIFO
+//!   end by random victims; external callers inject jobs through a shared
+//!   injector queue; idle workers park on a condvar, so an idle pool costs
+//!   nothing;
+//! * **adaptive chunking**: an operation over `n` elements is split into at
+//!   most `4 × workers` chunks, but never below the `with_min_len` floor
+//!   (the cost threshold a caller such as `pga-master-slave`'s evaluator
+//!   supplies from its batch-size hint);
+//! * pool telemetry ([`PoolStats`]): calls, leaf tasks, splits, steals,
+//!   parks, and per-call queue latency, exported so `pga-observe` can
+//!   report pool health alongside speedup curves.
 //!
-//! Semantics match rayon where it matters for this workspace: work is
-//! genuinely executed on multiple OS threads (real wall-clock speedup in
-//! E02/E03), results are deterministic because chunk outputs are recombined
-//! in index order, and closures must be `Sync` exactly as rayon requires.
+//! Semantics match rayon where it matters for this workspace:
+//!
+//! * `slice.par_iter_mut().map(f).sum()` and
+//!   `(a..b).into_par_iter().map(f).collect()` recombine chunk results in
+//!   index order, so results are **deterministic** regardless of stealing
+//!   (integer sums are exact; per-index outputs land at their index).
+//! * Closures must be `Sync`, exactly as rayon requires.
+//! * A panic inside a parallel closure is caught on the worker, propagated
+//!   to the submitting caller via [`std::panic::resume_unwind`], and leaves
+//!   the pool fully operational. (Unlike real rayon, outputs produced by
+//!   other chunks of the panicked operation are leaked, not dropped.)
+//! * One intentional divergence: a parallel operation started *inside* a
+//!   pool-executed closure targets the global pool (or the innermost
+//!   `install` of the submitting thread), not the worker's own pool.
+//!   Workers waiting on such nested operations help execute queued jobs,
+//!   so same-pool nesting cannot deadlock.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-use std::cell::Cell;
+mod job;
+mod registry;
+mod telemetry;
+
+use job::{ChunkTask, Latch};
+use registry::Registry;
+use std::cell::RefCell;
+use std::mem::MaybeUninit;
+use std::sync::Arc;
+
+pub use telemetry::PoolStats;
 
 /// Rayon-style prelude: import the traits that add `par_iter_mut` /
 /// `into_par_iter` to std types.
@@ -29,28 +59,44 @@ pub mod prelude {
 }
 
 thread_local! {
-    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// Stack of pools entered via [`ThreadPool::install`] on this thread.
+    static INSTALLED: RefCell<Vec<Arc<Registry>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The pool governing parallel operations started on the calling thread:
+/// the innermost [`ThreadPool::install`], else the global pool.
+fn current_registry() -> Arc<Registry> {
+    INSTALLED
+        .with(|stack| stack.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(registry::global_registry()))
 }
 
 /// Worker count for parallel operations started on this thread: the
-/// innermost [`ThreadPool::install`] if any, else available parallelism.
+/// innermost [`ThreadPool::install`] if any, else the cached available
+/// parallelism (the OS is queried once per process, not per call).
 #[must_use]
 pub fn current_num_threads() -> usize {
-    INSTALLED_THREADS.with(Cell::get).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-    })
+    INSTALLED
+        .with(|stack| stack.borrow().last().map(|r| r.num_workers()))
+        .unwrap_or_else(registry::default_parallelism)
 }
 
-/// Error building a [`ThreadPool`] (never produced by this stand-in; kept
-/// for signature compatibility).
+/// Telemetry snapshot of the lazily-started global pool. Counters are all
+/// zero until the first parallel operation outside any `install` scope.
+#[must_use]
+pub fn global_pool_stats() -> PoolStats {
+    registry::global_registry().stats()
+}
+
+/// Error building a [`ThreadPool`] (e.g. a zero worker count).
 #[derive(Debug)]
-pub struct ThreadPoolBuildError;
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("failed to build thread pool")
+        write!(f, "failed to build thread pool: {}", self.message)
     }
 }
 
@@ -60,6 +106,7 @@ impl std::error::Error for ThreadPoolBuildError {}
 #[derive(Default)]
 pub struct ThreadPoolBuilder {
     num_threads: Option<usize>,
+    name: Option<Box<dyn FnMut(usize) -> String>>,
 }
 
 impl ThreadPoolBuilder {
@@ -69,57 +116,122 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// Sets the number of worker threads.
+    /// Sets the number of worker threads. Zero is rejected at
+    /// [`build`](Self::build) time.
     #[must_use]
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
         self
     }
 
-    /// Accepted for compatibility; worker threads here are unnamed because
-    /// they are short-lived scoped threads.
+    /// Names the pool's worker threads (`name(index)` per worker).
     #[must_use]
-    pub fn thread_name<F>(self, _name: F) -> Self
+    pub fn thread_name<F>(mut self, name: F) -> Self
     where
-        F: FnMut(usize) -> String,
+        F: FnMut(usize) -> String + 'static,
     {
+        self.name = Some(Box::new(name));
         self
     }
 
-    /// Builds the pool. Never fails in this stand-in.
+    /// Builds the pool, spawning its workers immediately.
+    ///
+    /// # Errors
+    /// Fails if `num_threads(0)` was requested.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            num_threads: self.num_threads.unwrap_or_else(current_num_threads).max(1),
-        })
+        if self.num_threads == Some(0) {
+            return Err(ThreadPoolBuildError {
+                message: "num_threads(0): a pool needs at least one worker",
+            });
+        }
+        let workers = self
+            .num_threads
+            .unwrap_or_else(registry::default_parallelism);
+        let mut name = self.name;
+        let registry = Registry::new(workers, move |i| match &mut name {
+            Some(f) => f(i),
+            None => format!("rayon-pool-{i}"),
+        });
+        Ok(ThreadPool { registry })
     }
 }
 
-/// A "pool": a worker-count context applied to parallel operations run
-/// inside [`ThreadPool::install`].
+/// A dedicated pool of persistent worker threads. Parallel operations run
+/// inside [`install`](ThreadPool::install) execute on this pool's workers
+/// instead of the global pool. Dropping the pool retires its workers.
 pub struct ThreadPool {
-    num_threads: usize,
+    registry: Arc<Registry>,
 }
 
 impl ThreadPool {
-    /// Runs `op` with this pool's worker count governing any parallel
-    /// operations it performs.
+    /// Runs `op` with this pool handling any parallel operations it starts.
+    /// `op` itself executes on the calling thread; the parallel work inside
+    /// it is dispatched to this pool's workers.
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R + Send,
         R: Send,
     {
-        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.num_threads)));
-        let result = op();
-        INSTALLED_THREADS.with(|c| c.set(previous));
-        result
+        INSTALLED.with(|stack| stack.borrow_mut().push(Arc::clone(&self.registry)));
+        struct PopOnDrop;
+        impl Drop for PopOnDrop {
+            fn drop(&mut self) {
+                INSTALLED.with(|stack| {
+                    stack.borrow_mut().pop();
+                });
+            }
+        }
+        let _guard = PopOnDrop;
+        op()
     }
 
     /// The configured worker count.
     #[must_use]
     pub fn current_num_threads(&self) -> usize {
-        self.num_threads
+        self.registry.num_workers()
+    }
+
+    /// Telemetry snapshot of this pool's lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.registry.stats()
     }
 }
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // All submissions block until complete, so nothing is in flight.
+        self.registry.terminate();
+    }
+}
+
+/// Chunks per worker targeted by the adaptive splitter. More chunks than
+/// workers keeps stealing effective when per-chunk cost is uneven; the
+/// `min_len` floor stops splitting once a chunk is too cheap to dispatch.
+const CHUNKS_PER_WORKER: usize = 4;
+
+#[derive(Clone, Copy)]
+struct ChunkPlan {
+    chunks: usize,
+    chunk_len: usize,
+}
+
+/// Deterministic chunk geometry: depends only on `(n, workers, min_len)`,
+/// never on runtime scheduling.
+fn chunk_plan(n: usize, workers: usize, min_len: usize) -> ChunkPlan {
+    let chunk_len = n
+        .div_ceil((workers.max(1)) * CHUNKS_PER_WORKER)
+        .max(min_len.max(1));
+    ChunkPlan {
+        chunks: n.div_ceil(chunk_len.max(1)),
+        chunk_len,
+    }
+}
+
+/// Raw pointer wrapper shareable across workers. Soundness rests on the
+/// task protocol: distinct chunks touch disjoint index ranges.
+struct SharedPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
 
 /// Conversion into a parallel iterator (only the types this workspace
 /// parallelizes over).
@@ -137,6 +249,7 @@ impl IntoParallelIterator for std::ops::Range<usize> {
         ParRange {
             start: self.start,
             end: self.end,
+            min_len: 1,
         }
     }
 }
@@ -145,9 +258,18 @@ impl IntoParallelIterator for std::ops::Range<usize> {
 pub struct ParRange {
     start: usize,
     end: usize,
+    min_len: usize,
 }
 
 impl ParRange {
+    /// Sets the minimum elements per dispatched chunk (the splitter stops
+    /// splitting below this cost threshold).
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps each index through `f` (executed in parallel chunks).
     pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
     where
@@ -157,6 +279,7 @@ impl ParRange {
         ParRangeMap {
             start: self.start,
             end: self.end,
+            min_len: self.min_len,
             f,
         }
     }
@@ -166,10 +289,79 @@ impl ParRange {
 pub struct ParRangeMap<F> {
     start: usize,
     end: usize,
+    min_len: usize,
     f: F,
 }
 
+/// Range-map batch: chunk `i` writes `f(start + j)` for every `j` in its
+/// element range directly to slot `j` of the output buffer.
+struct RangeMapTask<'a, T, F> {
+    f: &'a F,
+    start: usize,
+    n: usize,
+    chunk_len: usize,
+    out: SharedPtr<T>,
+    latch: Latch,
+}
+
+impl<T, F> ChunkTask for RangeMapTask<'_, T, F>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    fn run_chunk(&self, index: usize) {
+        let lo = index * self.chunk_len;
+        let hi = (lo + self.chunk_len).min(self.n);
+        for j in lo..hi {
+            // SAFETY: slot `j` belongs exclusively to this chunk.
+            unsafe { self.out.0.add(j).write((self.f)(self.start + j)) };
+        }
+    }
+
+    fn latch(&self) -> &Latch {
+        &self.latch
+    }
+}
+
 impl<F> ParRangeMap<F> {
+    /// Sets the minimum elements per dispatched chunk.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Executes the map on the pool, writing results (in index order) into
+    /// `out`, which must point at `n` uninitialized slots. On return every
+    /// slot is initialized; on panic, initialized slots are leaked.
+    fn run_into<T>(&self, out: *mut T)
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let n = self.end.saturating_sub(self.start);
+        let registry = current_registry();
+        let plan = chunk_plan(n, registry.num_workers(), self.min_len);
+        if plan.chunks <= 1 || registry.num_workers() <= 1 {
+            for j in 0..n {
+                // SAFETY: `out` has `n` slots per the caller contract.
+                unsafe { out.add(j).write((self.f)(self.start + j)) };
+            }
+            return;
+        }
+        let task = RangeMapTask {
+            f: &self.f,
+            start: self.start,
+            n,
+            chunk_len: plan.chunk_len,
+            out: SharedPtr(out),
+            latch: Latch::new(plan.chunks),
+        };
+        // SAFETY: `task` outlives the call (run_batch blocks); chunks write
+        // disjoint output slots.
+        unsafe { registry.run_batch(&task, plan.chunks) };
+    }
+
     /// Executes the map in parallel and collects results in index order.
     pub fn collect<T, C>(self) -> C
     where
@@ -178,26 +370,27 @@ impl<F> ParRangeMap<F> {
         C: FromParallelIterator<T>,
     {
         let n = self.end.saturating_sub(self.start);
-        let threads = current_num_threads().min(n.max(1));
-        let f = &self.f;
-        if threads <= 1 || n <= 1 {
-            return C::from_ordered_vec((self.start..self.end).map(f).collect());
-        }
-        let chunk = n.div_ceil(threads);
-        let parts: Vec<Vec<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    let lo = self.start + t * chunk;
-                    let hi = (lo + chunk).min(self.end);
-                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel map worker panicked"))
-                .collect()
-        });
-        C::from_ordered_vec(parts.into_iter().flatten().collect())
+        let mut items: Vec<T> = Vec::with_capacity(n);
+        self.run_into(items.as_mut_ptr());
+        // SAFETY: run_into initialized all `n` slots (or unwound).
+        unsafe { items.set_len(n) };
+        C::from_ordered_vec(items)
+    }
+
+    /// Executes the map in parallel, reusing `target`'s allocation for the
+    /// results (in index order). Existing contents are dropped first.
+    pub fn collect_into_vec<T>(self, target: &mut Vec<T>)
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let n = self.end.saturating_sub(self.start);
+        target.clear();
+        target.reserve(n);
+        self.run_into(target.as_mut_ptr());
+        // SAFETY: run_into initialized all `n` slots (or unwound while the
+        // length was still 0).
+        unsafe { target.set_len(n) };
     }
 }
 
@@ -221,33 +414,90 @@ pub trait ParallelSliceMut<T: Send> {
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
-        ParIterMut { data: self }
+        ParIterMut {
+            data: self,
+            min_len: 1,
+        }
     }
 }
 
 /// Parallel iterator over `&mut T` items of a slice.
 pub struct ParIterMut<'a, T> {
     data: &'a mut [T],
+    min_len: usize,
 }
 
 impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Sets the minimum elements per dispatched chunk.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Maps each item through `f` (executed in parallel chunks).
     pub fn map<U, F>(self, f: F) -> ParMapMut<'a, T, F>
     where
         F: Fn(&mut T) -> U + Sync,
         U: Send,
     {
-        ParMapMut { data: self.data, f }
+        ParMapMut {
+            data: self.data,
+            min_len: self.min_len,
+            f,
+        }
     }
 }
 
 /// A mapped [`ParIterMut`], ready to reduce.
 pub struct ParMapMut<'a, T, F> {
     data: &'a mut [T],
+    min_len: usize,
     f: F,
 }
 
+/// Slice-sum batch: chunk `i` folds its element range into partial slot
+/// `i`; the submitter sums the partials in chunk order, so integer sums
+/// are exact and chunk geometry (not stealing order) decides float results.
+struct SliceSumTask<'a, T, F, S> {
+    f: &'a F,
+    base: SharedPtr<T>,
+    n: usize,
+    chunk_len: usize,
+    partials: SharedPtr<MaybeUninit<S>>,
+    latch: Latch,
+}
+
+impl<T, U, F, S> ChunkTask for SliceSumTask<'_, T, F, S>
+where
+    T: Send,
+    F: Fn(&mut T) -> U + Sync,
+    U: Send,
+    S: std::iter::Sum<U> + Send,
+{
+    fn run_chunk(&self, index: usize) {
+        let lo = index * self.chunk_len;
+        let hi = (lo + self.chunk_len).min(self.n);
+        // SAFETY: element range [lo, hi) belongs exclusively to this chunk.
+        let part = unsafe { std::slice::from_raw_parts_mut(self.base.0.add(lo), hi - lo) };
+        let partial: S = part.iter_mut().map(self.f).sum();
+        // SAFETY: partial slot `index` belongs exclusively to this chunk.
+        unsafe { (*self.partials.0.add(index)).write(partial) };
+    }
+
+    fn latch(&self) -> &Latch {
+        &self.latch
+    }
+}
+
 impl<T, F> ParMapMut<'_, T, F> {
+    /// Sets the minimum elements per dispatched chunk.
+    #[must_use]
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
     /// Sums the mapped values across all items.
     pub fn sum<U, S>(self) -> S
     where
@@ -257,24 +507,30 @@ impl<T, F> ParMapMut<'_, T, F> {
         S: std::iter::Sum<U> + std::iter::Sum<S> + Send,
     {
         let n = self.data.len();
-        let threads = current_num_threads().min(n.max(1));
-        let f = &self.f;
-        if threads <= 1 || n <= 1 {
-            return self.data.iter_mut().map(f).sum();
+        let registry = current_registry();
+        let plan = chunk_plan(n, registry.num_workers(), self.min_len);
+        if plan.chunks <= 1 || registry.num_workers() <= 1 {
+            return self.data.iter_mut().map(&self.f).sum();
         }
-        let chunk = n.div_ceil(threads);
-        let partials: Vec<S> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .data
-                .chunks_mut(chunk)
-                .map(|part| scope.spawn(move || part.iter_mut().map(f).sum::<S>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel sum worker panicked"))
-                .collect()
-        });
-        partials.into_iter().sum()
+        let mut partials: Vec<MaybeUninit<S>> = Vec::with_capacity(plan.chunks);
+        partials.resize_with(plan.chunks, MaybeUninit::uninit);
+        let task = SliceSumTask {
+            f: &self.f,
+            base: SharedPtr(self.data.as_mut_ptr()),
+            n,
+            chunk_len: plan.chunk_len,
+            partials: SharedPtr(partials.as_mut_ptr()),
+            latch: Latch::new(plan.chunks),
+        };
+        // SAFETY: `task` outlives the call (run_batch blocks); chunks touch
+        // disjoint element ranges and partial slots.
+        unsafe { registry.run_batch(&task, plan.chunks) };
+        // Every chunk completed without panicking, so every slot is
+        // initialized; summing in chunk order keeps results deterministic.
+        partials
+            .into_iter()
+            .map(|slot| unsafe { slot.assume_init() })
+            .sum()
     }
 }
 
@@ -282,6 +538,7 @@ impl<T, F> ParMapMut<'_, T, F> {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn par_range_collect_preserves_order() {
@@ -310,5 +567,144 @@ mod tests {
         assert_eq!(pool.current_num_threads(), 3);
         let inside = pool.install(current_num_threads);
         assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn zero_workers_is_a_build_error() {
+        let err = ThreadPoolBuilder::new().num_threads(0).build().err();
+        let err = err.expect("num_threads(0) must be rejected");
+        assert!(err.to_string().contains("num_threads(0)"));
+    }
+
+    #[test]
+    fn install_routes_work_to_the_dedicated_pool() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = pool.stats();
+        let out: Vec<u64> =
+            pool.install(|| (0..10_000).into_par_iter().map(|i| i as u64).collect());
+        assert_eq!(out.len(), 10_000);
+        let delta = pool.stats().delta(&before);
+        assert_eq!(delta.calls, 1);
+        assert!(delta.tasks_executed > 1, "work did not reach the pool");
+    }
+
+    #[test]
+    fn collect_into_vec_reuses_the_buffer() {
+        let mut buf: Vec<usize> = Vec::new();
+        (0..500)
+            .into_par_iter()
+            .map(|i| i * 2)
+            .collect_into_vec(&mut buf);
+        assert_eq!(buf.len(), 500);
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i * 2));
+        let cap = buf.capacity();
+        (0..300)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .collect_into_vec(&mut buf);
+        assert_eq!(buf.len(), 300);
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
+        assert!(buf.iter().enumerate().all(|(i, &v)| v == i + 1));
+    }
+
+    #[test]
+    fn min_len_bounds_chunk_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let before = pool.stats();
+        let total: u64 = pool.install(|| {
+            let mut data = vec![1u64; 1000];
+            data.par_iter_mut().with_min_len(400).map(|x| *x).sum()
+        });
+        assert_eq!(total, 1000);
+        let delta = pool.stats().delta(&before);
+        // ceil(1000 / 400) = 3 chunks -> at most 3 leaf tasks, 2 splits.
+        assert!(delta.tasks_executed <= 3, "{delta:?}");
+        assert!(delta.splits <= 2, "{delta:?}");
+    }
+
+    #[test]
+    fn panic_propagates_and_pool_survives() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| {
+                let v: Vec<usize> = (0..100)
+                    .into_par_iter()
+                    .map(|i| {
+                        assert!(i != 63, "boom at 63");
+                        i
+                    })
+                    .collect();
+                v
+            })
+        }));
+        assert!(result.is_err(), "worker panic must reach the caller");
+        // The pool keeps working after a propagated panic.
+        let sum: u64 = pool.install(|| {
+            let mut data = vec![2u64; 256];
+            data.par_iter_mut().map(|x| *x).sum()
+        });
+        assert_eq!(sum, 512);
+    }
+
+    #[test]
+    fn nested_install_restores_outer_pool() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let counts = outer.install(|| {
+            let before = current_num_threads();
+            let inside = inner.install(current_num_threads);
+            (before, inside, current_num_threads())
+        });
+        assert_eq!(counts, (2, 3, 2));
+    }
+
+    #[test]
+    fn nested_parallel_ops_on_the_global_pool_complete() {
+        // The inner op runs from a worker (help-while-waiting path).
+        let nested: Vec<u64> = (0..8)
+            .into_par_iter()
+            .map(|i| {
+                let inner: Vec<u64> = (0..200)
+                    .into_par_iter()
+                    .map(move |j| (i * 200 + j) as u64)
+                    .collect();
+                inner.iter().sum()
+            })
+            .collect();
+        let expect: Vec<u64> = (0..8u64)
+            .map(|i| (0..200u64).map(|j| i * 200 + j).sum())
+            .collect();
+        assert_eq!(nested, expect);
+    }
+
+    #[test]
+    fn sums_are_identical_across_worker_counts() {
+        let reference: u64 = {
+            let mut data: Vec<u64> = (0..4096).collect();
+            data.iter_mut().map(|x| *x * 3).sum()
+        };
+        for workers in [1, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .unwrap();
+            let total: u64 = pool.install(|| {
+                let mut data: Vec<u64> = (0..4096).collect();
+                data.par_iter_mut().map(|x| *x * 3).sum()
+            });
+            assert_eq!(total, reference, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn telemetry_counts_queue_latency_per_call() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let before = pool.stats();
+        for _ in 0..5 {
+            let v: Vec<usize> = pool.install(|| (0..256).into_par_iter().map(|i| i).collect());
+            assert_eq!(v.len(), 256);
+        }
+        let delta = pool.stats().delta(&before);
+        assert_eq!(delta.calls, 5);
     }
 }

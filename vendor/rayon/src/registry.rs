@@ -1,0 +1,263 @@
+//! The persistent work-stealing pool.
+//!
+//! A [`Registry`] owns long-lived worker threads. Each worker has a private
+//! deque used LIFO from its own end (cache-hot, most recently split work)
+//! and FIFO from the other end for thieves (the oldest — and therefore
+//! largest — job ranges). External callers inject jobs through a shared
+//! injector queue. Idle workers park on a condvar and cost nothing until
+//! the next submission.
+//!
+//! Scheduling never influences *results*: chunk boundaries are computed
+//! deterministically by the submitter and recombined by chunk index, so
+//! stealing order only affects wall-clock time.
+
+use crate::job::{ChunkTask, Job};
+use crate::telemetry::{PoolStats, Telemetry};
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// `(registry address, worker index)` when this thread is a pool worker.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Per-thread xorshift state for victim selection. Seeded from the
+    /// thread's worker identity; steal order never affects results.
+    static STEAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+pub(crate) struct Registry {
+    deques: Vec<Mutex<VecDeque<Job>>>,
+    injector: Mutex<VecDeque<Job>>,
+    /// Queued jobs across the injector and all deques.
+    pending: AtomicUsize,
+    /// Count of parked workers; the mutex also serializes the
+    /// check-then-sleep against push-then-notify (no lost wakeups).
+    sleep: Mutex<usize>,
+    wakeup: Condvar,
+    terminate: AtomicBool,
+    telemetry: Telemetry,
+}
+
+impl Registry {
+    /// Builds the registry and spawns its worker threads.
+    ///
+    /// # Panics
+    /// Panics if a worker thread cannot be spawned.
+    pub fn new(workers: usize, mut name: impl FnMut(usize) -> String) -> Arc<Registry> {
+        assert!(workers >= 1, "a pool needs at least one worker");
+        let registry = Arc::new(Registry {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleep: Mutex::new(0),
+            wakeup: Condvar::new(),
+            terminate: AtomicBool::new(false),
+            telemetry: Telemetry::default(),
+        });
+        for index in 0..workers {
+            let r = Arc::clone(&registry);
+            std::thread::Builder::new()
+                .name(name(index))
+                .spawn(move || worker_loop(&r, index))
+                .expect("failed to spawn pool worker thread");
+        }
+        registry
+    }
+
+    pub fn num_workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    pub fn stats(&self) -> PoolStats {
+        self.telemetry.snapshot(self.num_workers())
+    }
+
+    fn address(&self) -> usize {
+        std::ptr::from_ref(self) as usize
+    }
+
+    /// Index of the calling thread if it is a worker *of this registry*.
+    fn current_worker(&self) -> Option<usize> {
+        WORKER
+            .with(Cell::get)
+            .and_then(|(addr, index)| (addr == self.address()).then_some(index))
+    }
+
+    /// Wakes one parked worker if any. Callers must have already pushed
+    /// their job and bumped `pending`.
+    fn signal(&self) {
+        let sleepers = self.sleep.lock().unwrap();
+        if *sleepers > 0 {
+            self.wakeup.notify_one();
+        }
+    }
+
+    /// Pushes a job: onto worker `me`'s deque when called from a worker,
+    /// else into the shared injector.
+    fn push(&self, me: Option<usize>, job: Job) {
+        match me {
+            Some(index) => self.deques[index].lock().unwrap().push_back(job),
+            None => self.injector.lock().unwrap().push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.signal();
+    }
+
+    /// Finds the next job: own deque (LIFO) → injector (FIFO) → steal from
+    /// a random victim (FIFO end, i.e. the victim's largest range).
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(index) = me {
+            if let Some(job) = self.deques[index].lock().unwrap().pop_back() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        if let Some(job) = self.injector.lock().unwrap().pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = steal_start(n);
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                self.pending.fetch_sub(1, Ordering::SeqCst);
+                self.telemetry.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Executes a job on the calling worker thread: recursively halves the
+    /// chunk range (far halves become stealable), then runs the leaf chunk.
+    fn execute(&self, job: Job) {
+        let Job { task, lo, mut hi } = job;
+        if let Some(micros) = unsafe { &*task }.latch().note_started() {
+            self.telemetry
+                .queue_wait
+                .fetch_add(micros, Ordering::Relaxed);
+        }
+        let me = self.current_worker();
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            self.telemetry.splits.fetch_add(1, Ordering::Relaxed);
+            self.push(me, Job { task, lo: mid, hi });
+            hi = mid;
+        }
+        // SAFETY: the submitter blocks until the latch completes, keeping
+        // `task` alive for the duration of this call.
+        unsafe { Job::run_leaf(task, lo) };
+        self.telemetry.tasks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Runs `chunks` chunks of `task` to completion on this pool,
+    /// propagating the first chunk panic to the caller.
+    ///
+    /// # Safety
+    /// The caller must keep `task` alive until this returns (automatic for
+    /// stack-owned tasks, since this call blocks) and `run_chunk` must be
+    /// safe to invoke concurrently for distinct indices.
+    pub unsafe fn run_batch(&self, task: &(dyn ChunkTask + '_), chunks: usize) {
+        debug_assert!(chunks > 0, "empty batches are handled by the caller");
+        self.telemetry.calls.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: lifetime erasure only; the pointee outlives every queued
+        // job because this call blocks until the latch completes.
+        let raw: *const (dyn ChunkTask + 'static) =
+            unsafe { std::mem::transmute(std::ptr::from_ref(task)) };
+        let me = self.current_worker();
+        self.push(
+            me,
+            Job {
+                task: raw,
+                lo: 0,
+                hi: chunks,
+            },
+        );
+        match me {
+            // A worker must keep executing jobs while it waits, or nested
+            // parallelism on the same pool could deadlock.
+            Some(_) => {
+                while !task.latch().probe_done() {
+                    match self.find_job(me) {
+                        Some(job) => self.execute(job),
+                        None => std::thread::yield_now(),
+                    }
+                }
+            }
+            None => task.latch().wait_blocking(),
+        }
+        if let Some(payload) = task.latch().take_panic() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    /// Asks the workers to exit once the pool drains (called when a
+    /// dedicated [`crate::ThreadPool`] is dropped; all its batches have
+    /// completed by then, because submissions block).
+    pub fn terminate(&self) {
+        self.terminate.store(true, Ordering::SeqCst);
+        let _sleepers = self.sleep.lock().unwrap();
+        self.wakeup.notify_all();
+    }
+
+    /// Parks the calling worker until new work is signalled. Re-checks
+    /// `pending` under the sleep lock so a concurrent push cannot be lost.
+    fn park(&self) {
+        let mut sleepers = self.sleep.lock().unwrap();
+        if self.pending.load(Ordering::SeqCst) > 0 || self.terminate.load(Ordering::SeqCst) {
+            return;
+        }
+        *sleepers += 1;
+        self.telemetry.parks.fetch_add(1, Ordering::Relaxed);
+        let mut guard = self.wakeup.wait(sleepers).unwrap();
+        *guard -= 1;
+    }
+}
+
+fn worker_loop(registry: &Arc<Registry>, index: usize) {
+    WORKER.with(|w| w.set(Some((registry.address(), index))));
+    STEAL_RNG.with(|s| s.set(registry.address() as u64 ^ ((index as u64) << 32) | 1));
+    loop {
+        if let Some(job) = registry.find_job(Some(index)) {
+            registry.execute(job);
+            continue;
+        }
+        if registry.terminate.load(Ordering::SeqCst) {
+            return;
+        }
+        registry.park();
+    }
+}
+
+/// Random first victim for this steal attempt (xorshift64*).
+fn steal_start(n: usize) -> usize {
+    STEAL_RNG.with(|s| {
+        let mut x = s.get().max(1);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        (x.wrapping_mul(0x2545_F491_4F6C_DD1D) % n as u64) as usize
+    })
+}
+
+/// The lazily-started global pool (sized to available parallelism).
+pub(crate) fn global_registry() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Registry::new(default_parallelism(), |i| format!("rayon-global-{i}")))
+}
+
+/// Cached `available_parallelism` (the OS is queried exactly once).
+pub(crate) fn default_parallelism() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}

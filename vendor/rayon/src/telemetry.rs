@@ -1,0 +1,109 @@
+//! Pool health counters.
+//!
+//! Every [`crate::ThreadPool`] (and the lazily-started global pool) keeps a
+//! set of lock-free lifetime counters. Consumers snapshot them as
+//! [`PoolStats`] and difference snapshots to get per-batch deltas — the
+//! `pga-observe` integration in `pga-master-slave` does exactly that to
+//! emit one pool-health event per dispatched evaluation batch.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Point-in-time snapshot of a pool's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads owned by the pool.
+    pub workers: u64,
+    /// Parallel operations dispatched to the pool.
+    pub calls: u64,
+    /// Leaf chunk tasks executed by workers.
+    pub tasks_executed: u64,
+    /// Times a worker halved a job, making the far half stealable.
+    pub splits: u64,
+    /// Jobs a worker obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Times a worker parked on an empty pool.
+    pub parks: u64,
+    /// Total microseconds between a call's injection and its first chunk
+    /// starting to execute (per-call queue latency, summed over `calls`).
+    pub queue_wait_micros: u64,
+}
+
+impl PoolStats {
+    /// Counter-wise `self - earlier` (saturating), for per-batch deltas.
+    /// `workers` keeps its current value.
+    #[must_use]
+    pub fn delta(&self, earlier: &PoolStats) -> PoolStats {
+        PoolStats {
+            workers: self.workers,
+            calls: self.calls.saturating_sub(earlier.calls),
+            tasks_executed: self.tasks_executed.saturating_sub(earlier.tasks_executed),
+            splits: self.splits.saturating_sub(earlier.splits),
+            steals: self.steals.saturating_sub(earlier.steals),
+            parks: self.parks.saturating_sub(earlier.parks),
+            queue_wait_micros: self
+                .queue_wait_micros
+                .saturating_sub(earlier.queue_wait_micros),
+        }
+    }
+}
+
+/// Live counters backing [`PoolStats`]. Relaxed ordering throughout: the
+/// counters are diagnostics, never synchronization.
+#[derive(Default)]
+pub(crate) struct Telemetry {
+    pub calls: AtomicU64,
+    pub tasks: AtomicU64,
+    pub splits: AtomicU64,
+    pub steals: AtomicU64,
+    pub parks: AtomicU64,
+    pub queue_wait: AtomicU64,
+}
+
+impl Telemetry {
+    pub fn snapshot(&self, workers: usize) -> PoolStats {
+        PoolStats {
+            workers: workers as u64,
+            calls: self.calls.load(Relaxed),
+            tasks_executed: self.tasks.load(Relaxed),
+            splits: self.splits.load(Relaxed),
+            steals: self.steals.load(Relaxed),
+            parks: self.parks.load(Relaxed),
+            queue_wait_micros: self.queue_wait.load(Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_subtracts_counters_but_keeps_workers() {
+        let a = PoolStats {
+            workers: 4,
+            calls: 10,
+            tasks_executed: 100,
+            splits: 20,
+            steals: 5,
+            parks: 8,
+            queue_wait_micros: 400,
+        };
+        let b = PoolStats {
+            workers: 4,
+            calls: 12,
+            tasks_executed: 130,
+            splits: 26,
+            steals: 6,
+            parks: 9,
+            queue_wait_micros: 450,
+        };
+        let d = b.delta(&a);
+        assert_eq!(d.workers, 4);
+        assert_eq!(d.calls, 2);
+        assert_eq!(d.tasks_executed, 30);
+        assert_eq!(d.splits, 6);
+        assert_eq!(d.steals, 1);
+        assert_eq!(d.parks, 1);
+        assert_eq!(d.queue_wait_micros, 50);
+    }
+}
