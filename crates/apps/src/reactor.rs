@@ -156,7 +156,7 @@ mod tests {
     use super::*;
     use pga_core::ops::{IntCreep, Tournament, Uniform};
     use pga_core::{GaBuilder, Scheme, Termination};
-    use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+    use pga_island::{Archipelago, MigrationPolicy};
     use pga_topology::Topology;
     use std::sync::Arc;
 
@@ -233,8 +233,11 @@ mod tests {
     fn island_ga_solves_the_core_design() {
         let p = Arc::new(problem());
         let islands = (0..4).map(|i| island(&p, 40, 10 + i)).collect();
-        let mut arch = Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
-        let r = arch.run(&IslandStop::generations(800));
+        let mut arch = Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default())
+            .expect("valid island configuration");
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(800))
+            .expect("bounded");
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
         // The winning genome is the planted configuration.
         assert_eq!(r.best.genome.values(), p.optimal_config());
@@ -247,6 +250,6 @@ mod tests {
         let r = ga
             .run(&Termination::new().until_optimum().max_generations(2000))
             .unwrap();
-        assert!(r.hit_optimum, "best = {}", r.best_fitness());
+        assert!(r.hit_optimum, "best = {}", r.best_fitness);
     }
 }

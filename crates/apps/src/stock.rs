@@ -154,9 +154,9 @@ mod tests {
             .unwrap();
         let r = ga.run(&Termination::new().max_generations(40)).unwrap();
         assert!(
-            r.best_fitness() > train_bah,
+            r.best_fitness > train_bah,
             "evolved {} <= buy-and-hold {}",
-            r.best_fitness(),
+            r.best_fitness,
             train_bah
         );
     }

@@ -222,7 +222,7 @@ pub fn adaptive_range_search(
             .run(&Termination::new().max_generations(config.stage_generations))
             .expect("bounded");
         evaluations += r.evaluations;
-        let stage_best = (r.best.genome.clone(), r.best_fitness());
+        let stage_best = (r.best.genome.clone(), r.best_fitness);
         if best.as_ref().is_none_or(|(_, f)| stage_best.1 < *f) {
             best = Some(stage_best);
         }
@@ -278,7 +278,7 @@ pub fn fixed_range_search(
             .map(|d| problem.bounds().interval(d))
             .collect(),
         best: r.best.genome.clone(),
-        best_fitness: r.best_fitness(),
+        best_fitness: r.best_fitness,
         evaluations: r.evaluations,
         adaptations: 0,
     }

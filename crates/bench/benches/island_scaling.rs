@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pga_core::ops::{BitFlip, OnePoint, Tournament};
-use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator};
-use pga_island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator, Termination};
+use pga_island::{run_threaded, Archipelago, MigrationPolicy};
 use pga_problems::OneMax;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -30,12 +30,8 @@ fn islands(k: usize, seed: u64) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
         .collect()
 }
 
-fn stop() -> IslandStop {
-    IslandStop {
-        max_generations: GENS,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    }
+fn stop() -> Termination {
+    Termination::new().max_generations(GENS)
 }
 
 fn bench(c: &mut Criterion) {
@@ -45,8 +41,9 @@ fn bench(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sequential", k), &k, |b, &k| {
             b.iter(|| {
                 let mut arch =
-                    Archipelago::new(islands(k, 1), Topology::RingUni, MigrationPolicy::default());
-                arch.run(&stop())
+                    Archipelago::new(islands(k, 1), Topology::RingUni, MigrationPolicy::default())
+                        .unwrap();
+                arch.run(&stop()).unwrap()
             })
         });
         group.bench_with_input(BenchmarkId::new("threaded", k), &k, |b, &k| {
@@ -55,9 +52,10 @@ fn bench(c: &mut Criterion) {
                     islands(k, 1),
                     &Topology::RingUni,
                     MigrationPolicy::default(),
-                    stop(),
+                    &stop(),
                     false,
                 )
+                .unwrap()
             })
         });
     }

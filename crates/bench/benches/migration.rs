@@ -3,10 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator};
-use pga_island::{
-    run_threaded, Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode,
-};
+use pga_core::{Ga, GaBuilder, Scheme, SerialEvaluator, Termination};
+use pga_island::{run_threaded, Archipelago, EmigrantSelection, MigrationPolicy, SyncMode};
 use pga_problems::OneMax;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -32,12 +30,8 @@ fn islands(seed: u64) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
         .collect()
 }
 
-fn stop() -> IslandStop {
-    IslandStop {
-        max_generations: GENS,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    }
+fn stop() -> Termination {
+    Termination::new().max_generations(GENS)
 }
 
 fn policy(interval: u64, sync: SyncMode) -> MigrationPolicy {
@@ -58,8 +52,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("sequential/isolated", |b| {
         b.iter(|| {
             let mut a =
-                Archipelago::new(islands(1), Topology::RingUni, MigrationPolicy::isolated());
-            a.run(&stop())
+                Archipelago::new(islands(1), Topology::RingUni, MigrationPolicy::isolated())
+                    .unwrap();
+            a.run(&stop()).unwrap()
         })
     });
     for interval in [1u64, 8] {
@@ -72,8 +67,9 @@ fn bench(c: &mut Criterion) {
                         islands(1),
                         Topology::RingUni,
                         policy(interval, SyncMode::Synchronous),
-                    );
-                    a.run(&stop())
+                    )
+                    .unwrap();
+                    a.run(&stop()).unwrap()
                 })
             },
         );
@@ -89,9 +85,10 @@ fn bench(c: &mut Criterion) {
                     islands(1),
                     &Topology::RingUni,
                     policy(4, sync),
-                    stop(),
+                    &stop(),
                     false,
                 )
+                .unwrap()
             })
         });
     }

@@ -171,7 +171,7 @@ fn sanity() {
     for _ in 0..10 {
         let a = serial.step();
         let b = parallel.step();
-        assert_eq!(a.pop.best, b.pop.best, "master-slave changed the search");
+        assert_eq!(a.best, b.best, "master-slave changed the search");
     }
     let _: &Ga<_, _> = &serial;
     println!("sanity: serial and master-slave trajectories identical ✓\n");

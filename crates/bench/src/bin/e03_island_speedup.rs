@@ -11,7 +11,7 @@ use pga_bench::{emit, f2, pct, reps};
 use pga_cluster::{simulate_sync_islands, ClusterSpec, IslandSimConfig, NetworkProfile};
 use pga_core::ops::{BitFlip, OnePoint, Tournament};
 use pga_core::{BitString, GaBuilder, Problem, Scheme, Termination};
-use pga_island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use pga_island::{run_threaded, Archipelago, MigrationPolicy};
 use pga_master_slave::ExpensiveFitness;
 use pga_problems::{OneMax, PPeaks};
 use pga_topology::Topology;
@@ -59,7 +59,7 @@ where
                     .run(&Termination::new().until_optimum().max_generations(MAX_GENS))
                     .expect("bounded");
                 pga_analysis::RunOutcome {
-                    best_fitness: r.best_fitness(),
+                    best_fitness: r.best_fitness,
                     evaluations: r.evaluations,
                     elapsed: r.elapsed,
                     hit: r.hit_optimum,
@@ -72,9 +72,10 @@ where
                     islands,
                     &Topology::RingUni,
                     MigrationPolicy::default(),
-                    IslandStop::generations(MAX_GENS),
+                    &Termination::new().until_optimum().max_generations(MAX_GENS),
                     false,
-                );
+                )
+                .expect("valid configuration");
                 pga_analysis::RunOutcome {
                     best_fitness: r.best.fitness(),
                     evaluations: r.total_evaluations,
@@ -185,11 +186,7 @@ fn main() {
     // deterministic sequential stepper and the threaded engine follow the
     // *same* search trajectory under synchronous migration.
     let trap = Arc::new(pga_problems::DeceptiveTrap::new(4, 12));
-    let fixed = IslandStop {
-        max_generations: 60,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    };
+    let fixed = Termination::new().max_generations(60);
     let islands_a = (0..4)
         .map(|i| standard_island(&trap, 48, 64, 4242 + i as u64))
         .collect();
@@ -197,14 +194,16 @@ fn main() {
         islands_a,
         &Topology::RingUni,
         MigrationPolicy::default(),
-        fixed,
+        &fixed,
         false,
-    );
+    )
+    .expect("valid configuration");
     let islands_b = (0..4)
         .map(|i| standard_island(&trap, 48, 64, 4242 + i as u64))
         .collect();
-    let mut arch = Archipelago::new(islands_b, Topology::RingUni, MigrationPolicy::default());
-    let sequential = arch.run(&fixed);
+    let mut arch = Archipelago::new(islands_b, Topology::RingUni, MigrationPolicy::default())
+        .expect("valid configuration");
+    let sequential = arch.run(&fixed).expect("bounded");
     println!(
         "ablation (fixed 60 gens): threaded per-island best {:?} == sequential {:?} : {}",
         threaded.per_island_best,

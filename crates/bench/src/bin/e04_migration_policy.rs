@@ -8,8 +8,8 @@
 use pga_analysis::{repeat, Table};
 use pga_bench::{emit, pct, reps, standard_binary_islands};
 use pga_core::ops::ReplacementPolicy;
-use pga_core::{BitString, Problem};
-use pga_island::{Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode};
+use pga_core::{BitString, Problem, Termination};
+use pga_island::{Archipelago, EmigrantSelection, MigrationPolicy, SyncMode};
 use pga_problems::{DeceptiveTrap, MaxSat, NkLandscape, OneMax, PPeaks};
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -50,8 +50,11 @@ where
     for (label, policy) in policy_grid() {
         let out = repeat(reps(REPS), base_seed, |seed| {
             let islands = standard_binary_islands(&problem, genome_len, ISLANDS, ISLAND_POP, seed);
-            let mut arch = Archipelago::new(islands, Topology::RingUni, policy);
-            let r = arch.run(&IslandStop::generations(MAX_GENS));
+            let mut arch =
+                Archipelago::new(islands, Topology::RingUni, policy).expect("valid configuration");
+            let r = arch
+                .run(&Termination::new().until_optimum().max_generations(MAX_GENS))
+                .expect("bounded");
             pga_analysis::RunOutcome {
                 best_fitness: r.best.fitness(),
                 evaluations: r.total_evaluations,

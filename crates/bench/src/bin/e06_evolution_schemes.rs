@@ -10,7 +10,7 @@ use pga_bench::{emit, pct, reps};
 use pga_cellular::{CellularGa, TakeoverGrid, UpdatePolicy};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
 use pga_core::{GaBuilder, Problem, Rng64, Scheme, Termination};
-use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_island::{Archipelago, MigrationPolicy};
 use pga_problems::{DeceptiveTrap, PPeaks};
 use pga_topology::{CellNeighborhood, Topology};
 use std::sync::Arc;
@@ -135,7 +135,7 @@ fn efficacy_row(
                             .max_evaluations(max_evals),
                     )
                     .expect("bounded");
-                (r.best_fitness(), r.evaluations, r.hit_optimum, r.elapsed)
+                (r.best_fitness, r.evaluations, r.hit_optimum, r.elapsed)
             }
             "cellular" => {
                 let t0 = std::time::Instant::now();
@@ -146,7 +146,13 @@ fn efficacy_row(
                     .mutation(BitFlip::one_over_len(genome_len))
                     .build()
                     .expect("valid");
-                let _ = cga.run(max_evals / POP as u64);
+                let _ = cga
+                    .run(
+                        &Termination::new()
+                            .until_optimum()
+                            .max_generations(max_evals / POP as u64),
+                    )
+                    .expect("bounded");
                 (
                     cga.best_ever().fitness(),
                     cga.evaluations(),
@@ -177,9 +183,15 @@ fn efficacy_row(
                     })
                     .collect();
                 let mut arch =
-                    Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
-                let r =
-                    arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(max_evals));
+                    Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default())
+                        .expect("valid island configuration");
+                let r = arch
+                    .run(
+                        &Termination::new()
+                            .until_optimum()
+                            .max_evaluations(max_evals),
+                    )
+                    .expect("bounded");
                 (
                     r.best.fitness(),
                     r.total_evaluations,

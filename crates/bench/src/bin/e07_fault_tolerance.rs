@@ -8,7 +8,7 @@
 use pga_analysis::{Summary, Table};
 use pga_bench::{emit, f2, reps, standard_binary_islands};
 use pga_cluster::{ClusterSpec, FailurePlan, NetworkProfile};
-use pga_core::Individual;
+use pga_core::{Individual, Termination};
 use pga_island::{EmigrantSelection, MigrationPolicy};
 use pga_master_slave::SimulatedMasterSlaveGa;
 use pga_observe::{EventKind, RingRecorder};
@@ -157,7 +157,9 @@ fn main() {
                 EVAL_COST,
                 ring.clone(),
             )
-            .run(GENS);
+            .expect("valid cluster configuration")
+            .run(&Termination::new().until_optimum().max_generations(GENS))
+            .expect("bounded");
             let (mut dead, mut reassigned) = (0u64, 0u64);
             for event in ring.take_events() {
                 match event.kind {

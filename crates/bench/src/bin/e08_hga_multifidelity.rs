@@ -6,7 +6,7 @@
 use pga_analysis::{Summary, Table};
 use pga_bench::{emit, f2, reps};
 use pga_core::ops::{BlxAlpha, GaussianMutation, Tournament};
-use pga_core::{Bounds, GaBuilder, Scheme};
+use pga_core::{Bounds, GaBuilder, Scheme, Termination};
 use pga_hierarchical::{BlurredFidelity, Hga, HgaConfig, LevelView};
 use pga_problems::{RealFunction, RealProblem};
 use std::sync::Arc;
@@ -56,10 +56,11 @@ fn cost_to_target(amplitude: f64, cost_ratio: f64, seed: u64) -> Option<f64> {
         epoch_generations: 5,
         promote_count: 3,
     };
-    let hga = Hga::new(problem, config, seed, build_island);
-    let report = hga.run(BUDGET);
-    report
-        .trajectory
+    let mut hga = Hga::new(problem, config, seed, build_island).expect("valid configuration");
+    let _ = hga
+        .run(&Termination::new().until_optimum().max_cost_units(BUDGET))
+        .expect("bounded");
+    hga.trajectory()
         .iter()
         .find(|p| p.best_precise <= TARGET)
         .map(|p| p.cost_units)

@@ -7,7 +7,8 @@
 use pga_analysis::{repeat, Table};
 use pga_bench::{emit, pct, reps, standard_binary_islands};
 use pga_core::Problem;
-use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_core::Termination;
+use pga_island::{Archipelago, MigrationPolicy};
 use pga_problems::DeceptiveTrap;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -26,8 +27,11 @@ fn run(
     let genome_len = problem.len();
     repeat(reps(REPS), base_seed, |seed| {
         let islands = standard_binary_islands(problem, genome_len, k, island_pop, seed);
-        let mut arch = Archipelago::new(islands, topology.clone(), policy);
-        let r = arch.run(&IslandStop::generations(MAX_GENS));
+        let mut arch =
+            Archipelago::new(islands, topology.clone(), policy).expect("valid configuration");
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(MAX_GENS))
+            .expect("bounded");
         pga_analysis::RunOutcome {
             best_fitness: r.best.fitness(),
             evaluations: r.total_evaluations,

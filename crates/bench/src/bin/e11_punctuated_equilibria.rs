@@ -10,7 +10,8 @@
 
 use pga_analysis::{Summary, Table};
 use pga_bench::{emit, f3, reps, standard_binary_islands};
-use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_core::Termination;
+use pga_island::{Archipelago, MigrationPolicy};
 use pga_observe::{EventKind, FilteredRecorder, RingRecorder};
 use pga_problems::DeceptiveTrap;
 use pga_topology::Topology;
@@ -57,12 +58,11 @@ fn main() {
                 interval: INTERVAL,
                 ..MigrationPolicy::default()
             },
-        );
-        let _ = arch.run(&IslandStop {
-            max_generations: GENS,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        });
+        )
+        .expect("valid configuration");
+        let _ = arch
+            .run(&Termination::new().max_generations(GENS))
+            .expect("bounded");
 
         let mut best_series: Vec<Vec<(u64, f64)>> = vec![Vec::new(); ISLANDS];
         let mut migration_gens: Vec<Vec<u64>> = vec![Vec::new(); ISLANDS];

@@ -9,8 +9,8 @@
 use pga_analysis::Table;
 use pga_bench::{emit, f2, pct, reps};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-use pga_core::{GaBuilder, Scheme};
-use pga_island::{Archipelago, EmigrantSelection, IslandStop, MigrationPolicy, SyncMode};
+use pga_core::{GaBuilder, Scheme, Termination};
+use pga_island::{Archipelago, EmigrantSelection, MigrationPolicy, SyncMode};
 use pga_problems::DeceptiveTrap;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -58,8 +58,14 @@ fn campaign(problem: &Arc<DeceptiveTrap>, k: usize, base_seed: u64) -> (usize, u
         } else {
             Topology::RingUni
         };
-        let mut arch = Archipelago::new(islands, topology, policy);
-        let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET_EVALS));
+        let mut arch = Archipelago::new(islands, topology, policy).expect("valid configuration");
+        let r = arch
+            .run(
+                &Termination::new()
+                    .until_optimum()
+                    .max_evaluations(BUDGET_EVALS),
+            )
+            .expect("bounded");
         hits += usize::from(r.hit_optimum);
         spent += r.total_evaluations;
     }

@@ -17,7 +17,7 @@ use pga_apps::{
 use pga_bench::{emit, f2, f3, pct, reps};
 use pga_core::ops::{BlxAlpha, GaussianMutation, Inversion, Ox, Tournament};
 use pga_core::{Ga, GaBuilder, Individual, Problem, RealVector, Scheme, Termination};
-use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+use pga_island::{Archipelago, MigrationPolicy};
 use pga_problems::Tsp;
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -71,7 +71,7 @@ fn stock() {
         wins += usize::from(win);
         t.row(vec![
             rep.to_string(),
-            f3(r.best_fitness()),
+            f3(r.best_fitness),
             f3(strat.wealth),
             f3(bah.wealth),
             if win { "yes" } else { "no" }.into(),
@@ -177,7 +177,7 @@ fn spectral() {
             .expect("bounded");
         t.row(vec![
             rep.to_string(),
-            f3(r.best_fitness()),
+            f3(r.best_fitness),
             f3(true_mse),
             f3(shared.coeff_error(&r.best.genome)),
         ]);
@@ -215,7 +215,7 @@ fn tsp() {
                     .run(&Termination::new().until_optimum().max_evaluations(budget))
                     .expect("bounded");
                 pga_analysis::RunOutcome {
-                    best_fitness: r.best_fitness(),
+                    best_fitness: r.best_fitness,
                     evaluations: r.evaluations,
                     elapsed: r.elapsed,
                     hit: r.hit_optimum,
@@ -224,8 +224,11 @@ fn tsp() {
                 let gas = (0..islands)
                     .map(|i| perm_ga(Arc::clone(&tsp), 160 / islands, seed + i as u64))
                     .collect();
-                let mut arch = Archipelago::new(gas, Topology::RingUni, MigrationPolicy::default());
-                let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(budget));
+                let mut arch = Archipelago::new(gas, Topology::RingUni, MigrationPolicy::default())
+                    .expect("valid configuration");
+                let r = arch
+                    .run(&Termination::new().until_optimum().max_evaluations(budget))
+                    .expect("bounded");
                 pga_analysis::RunOutcome {
                     best_fitness: r.best.fitness(),
                     evaluations: r.total_evaluations,

@@ -9,8 +9,9 @@ use pga_analysis::{repeat, Table};
 use pga_bench::{emit, pct, reps};
 use pga_cellular::{CellularGa, UpdatePolicy};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::Termination;
 use pga_core::{BitString, GaBuilder, Problem, Scheme};
-use pga_island::{Archipelago, Deme, IslandStop, MigrationPolicy};
+use pga_island::{Archipelago, Deme, MigrationPolicy};
 use pga_problems::{DeceptiveTrap, PPeaks};
 use pga_topology::Topology;
 use std::sync::Arc;
@@ -83,8 +84,11 @@ fn study(title: &str, problem: DynBinary, len: usize, base_seed: u64) {
     for composition in ["generational", "steady-state", "cellular", "mixed"] {
         let out = repeat(reps(REPS), base_seed, |seed| {
             let demes = ring(&problem, len, composition, seed);
-            let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
-            let r = arch.run(&IslandStop::generations(u64::MAX).with_max_evaluations(BUDGET));
+            let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default())
+                .expect("valid configuration");
+            let r = arch
+                .run(&Termination::new().until_optimum().max_evaluations(BUDGET))
+                .expect("bounded");
             pga_analysis::RunOutcome {
                 best_fitness: r.best.fitness(),
                 evaluations: r.total_evaluations,

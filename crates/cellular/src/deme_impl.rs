@@ -11,21 +11,14 @@
 
 use crate::engine::CellularGa;
 use pga_core::ops::ReplacementPolicy;
-use pga_core::{Individual, Objective, Problem};
-use pga_island::{Deme, DemeStats, EmigrantSelection};
+use pga_core::{Engine, Individual, Objective, Problem, Snapshot, SnapshotError, StepReport};
+use pga_island::{Deme, EmigrantSelection};
 
 impl<P: Problem> Deme for CellularGa<P> {
     type Genome = P::Genome;
 
-    fn step_deme(&mut self) -> DemeStats {
-        let s = self.step();
-        DemeStats {
-            generation: s.generation,
-            evaluations: s.evaluations,
-            best: s.best,
-            mean: s.mean,
-            best_ever: s.best_ever,
-        }
+    fn step_deme(&mut self) -> StepReport {
+        self.step()
     }
 
     fn objective(&self) -> Objective {
@@ -149,6 +142,14 @@ impl<P: Problem> Deme for CellularGa<P> {
     fn record_run_finished(&mut self) {
         CellularGa::record_run_finished(self);
     }
+
+    fn snapshot_deme(&self) -> Snapshot {
+        Engine::snapshot(self)
+    }
+
+    fn restore_deme(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        Engine::restore(self, snapshot)
+    }
 }
 
 #[cfg(test)]
@@ -156,8 +157,8 @@ mod tests {
     use super::*;
     use crate::update::UpdatePolicy;
     use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-    use pga_core::{BitString, GaBuilder, Rng64, Scheme};
-    use pga_island::{Archipelago, IslandStop, MigrationPolicy};
+    use pga_core::{BitString, GaBuilder, Rng64, Scheme, Termination};
+    use pga_island::{Archipelago, MigrationPolicy};
     use pga_topology::Topology;
     use std::sync::Arc;
 
@@ -216,8 +217,11 @@ mod tests {
                 interval: 4,
                 ..MigrationPolicy::default()
             },
-        );
-        let r = arch.run(&IslandStop::generations(200));
+        )
+        .unwrap();
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(200))
+            .unwrap();
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
     }
 
@@ -241,8 +245,11 @@ mod tests {
                     .unwrap(),
             ));
         }
-        let mut arch = Archipelago::new(demes, Topology::RingBi, MigrationPolicy::default());
-        let r = arch.run(&IslandStop::generations(250));
+        let mut arch =
+            Archipelago::new(demes, Topology::RingBi, MigrationPolicy::default()).unwrap();
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(250))
+            .unwrap();
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
         assert_eq!(r.per_island_best.len(), 4);
     }

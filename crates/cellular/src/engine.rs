@@ -3,26 +3,16 @@
 use crate::update::UpdatePolicy;
 use pga_core::ops::{Crossover, Mutation};
 use pga_core::rng::splitmix64;
-use pga_core::{ConfigError, Individual, Problem, Rng64};
+use pga_core::termination::{Progress, Termination};
+use pga_core::{
+    ConfigError, Driver, Engine, Genome, Individual, Objective, Problem, Rng64, RunOutcome,
+    Snapshot, SnapshotError, SnapshotReader, SnapshotWriter, StepReport,
+};
 use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 use pga_topology::CellNeighborhood;
 use rayon::prelude::*;
 use std::sync::Arc;
-
-/// Per-generation statistics of a cellular GA.
-#[derive(Clone, Copy, Debug)]
-pub struct CellStats {
-    /// Generations executed.
-    pub generation: u64,
-    /// Evaluations spent so far.
-    pub evaluations: u64,
-    /// Best fitness in the grid.
-    pub best: f64,
-    /// Mean fitness over the grid.
-    pub mean: f64,
-    /// Best fitness ever observed.
-    pub best_ever: f64,
-}
+use std::time::Duration;
 
 /// A fine-grained GA: one individual per toroidal-grid cell, local binary
 /// tournament over the cell's neighborhood, offspring replacing the center
@@ -54,6 +44,7 @@ pub struct CellularGa<P: Problem> {
     generation: u64,
     evaluations: u64,
     best_ever: Individual<P::Genome>,
+    stagnant_generations: u64,
     trace_island: u32,
     optimum_traced: bool,
     recorder: Option<Box<dyn Recorder>>,
@@ -110,7 +101,7 @@ impl<P: Problem> CellularGa<P> {
 
     /// Statistics of the current grid (without stepping).
     #[must_use]
-    pub fn current_stats(&self) -> CellStats {
+    pub fn current_stats(&self) -> StepReport {
         self.stats()
     }
 
@@ -162,7 +153,7 @@ impl<P: Problem> CellularGa<P> {
         }
     }
 
-    fn stats(&self) -> CellStats {
+    fn stats(&self) -> StepReport {
         let objective = self.problem.objective();
         let mut best = self.grid[0].fitness();
         let mut sum = 0.0;
@@ -173,7 +164,7 @@ impl<P: Problem> CellularGa<P> {
             }
             sum += f;
         }
-        CellStats {
+        StepReport {
             generation: self.generation,
             evaluations: self.evaluations,
             best,
@@ -228,10 +219,11 @@ impl<P: Problem> CellularGa<P> {
     }
 
     /// One generation (`n` cell updates). Returns end-of-generation stats.
-    pub fn step(&mut self) -> CellStats {
+    pub fn step(&mut self) -> StepReport {
         let n = self.grid.len();
         let sw = Stopwatch::started_if(self.recorder.is_some());
         let objective = self.problem.objective();
+        let best_before = self.best_ever.fitness();
         let order = {
             let mut rng = self.rng.clone();
             let mut o = std::mem::take(&mut self.order_buf);
@@ -310,6 +302,11 @@ impl<P: Problem> CellularGa<P> {
         self.order_buf = order;
 
         self.generation += 1;
+        if objective.better(self.best_ever.fitness(), best_before) {
+            self.stagnant_generations = 0;
+        } else {
+            self.stagnant_generations += 1;
+        }
         let stats = self.stats();
         if self.recorder.is_some() {
             if let Some(micros) = sw.elapsed_micros() {
@@ -375,18 +372,119 @@ impl<P: Problem> CellularGa<P> {
         }
     }
 
-    /// Runs until the optimum is found or `max_generations` pass; returns
-    /// per-generation stats.
-    pub fn run(&mut self, max_generations: u64) -> Vec<CellStats> {
-        self.record_run_started();
-        let mut history = Vec::new();
-        while self.generation < max_generations
-            && !self.problem.is_optimal(self.best_ever.fitness())
-        {
-            history.push(self.step());
+    /// Runs until the shared termination rule fires (via the generic
+    /// [`Driver`]), collecting per-generation history. Returns an error if
+    /// the rule is unbounded.
+    pub fn run(
+        &mut self,
+        termination: &Termination,
+    ) -> Result<RunOutcome<Individual<P::Genome>>, ConfigError> {
+        Driver::new(termination.clone())
+            .keep_history(true)
+            .run(self)
+    }
+}
+
+/// The fine-grained cellular model as a uniformly driven [`Engine`]: one
+/// `step` is one sweep over the whole grid.
+impl<P: Problem> Engine for CellularGa<P> {
+    type Best = Individual<P::Genome>;
+
+    fn engine_id(&self) -> &'static str {
+        "cellular"
+    }
+
+    fn step(&mut self) -> StepReport {
+        CellularGa::step(self)
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        Progress {
+            generations: self.generation,
+            evaluations: self.evaluations,
+            best_fitness: self.best_ever.fitness(),
+            best_is_optimal: self.problem.is_optimal(self.best_ever.fitness()),
+            stagnant_generations: self.stagnant_generations,
+            elapsed,
+            maximizing: self.problem.objective() == Objective::Maximize,
+            cost_units: self.evaluations as f64,
         }
-        self.record_run_finished();
-        history
+    }
+
+    fn best(&self) -> Self::Best {
+        self.best_ever.clone()
+    }
+
+    fn record_run_started(&mut self) {
+        CellularGa::record_run_started(self);
+    }
+
+    fn record_run_finished(&mut self) {
+        CellularGa::record_run_finished(self);
+    }
+
+    /// Captures the grid, RNG stream, and counters. The fixed sweep order
+    /// and scratch buffers are derived from the configuration, so they are
+    /// not part of the snapshot.
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.generation);
+        w.put_u64(self.evaluations);
+        w.put_u64(self.stagnant_generations);
+        w.put_bool(self.optimum_traced);
+        let (s, spare) = self.rng.snapshot_state();
+        for word in s {
+            w.put_u64(word);
+        }
+        w.put_opt_f64(spare);
+        self.best_ever.genome.encode(&mut w);
+        w.put_opt_f64(self.best_ever.fitness);
+        w.put_usize(self.grid.len());
+        for cell in &self.grid {
+            cell.genome.encode(&mut w);
+            w.put_opt_f64(cell.fitness);
+        }
+        Snapshot::new("cellular", w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for("cellular")?;
+        let generation = r.take_u64()?;
+        let evaluations = r.take_u64()?;
+        let stagnant_generations = r.take_u64()?;
+        let optimum_traced = r.take_bool()?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        let spare = r.take_opt_f64()?;
+        let take_individual =
+            |r: &mut SnapshotReader<'_>| -> Result<Individual<P::Genome>, SnapshotError> {
+                let genome = P::Genome::decode(r)?;
+                let fitness = r.take_opt_f64()?;
+                Ok(Individual { genome, fitness })
+            };
+        let best_ever = take_individual(&mut r)?;
+        let len = r.take_usize()?;
+        if len != self.grid.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot grid has {len} cells, engine has {}",
+                self.grid.len()
+            )));
+        }
+        let mut grid = Vec::with_capacity(len);
+        for _ in 0..len {
+            grid.push(take_individual(&mut r)?);
+        }
+        r.finish()?;
+        self.generation = generation;
+        self.evaluations = evaluations;
+        self.stagnant_generations = stagnant_generations;
+        self.optimum_traced = optimum_traced;
+        self.rng = Rng64::from_snapshot_state(s, spare);
+        self.best_ever = best_ever;
+        self.grid = grid;
+        Ok(())
     }
 }
 
@@ -542,6 +640,7 @@ impl<P: Problem> CellularGaBuilder<P> {
             generation: 0,
             evaluations: n as u64,
             best_ever,
+            stagnant_generations: 0,
             trace_island: 0,
             optimum_traced: false,
             recorder: self.recorder,
@@ -611,14 +710,16 @@ mod tests {
     fn all_policies_solve_onemax() {
         for policy in UpdatePolicy::ALL {
             let mut cga = cga(policy, 5);
-            let history = cga.run(300);
+            let outcome = cga
+                .run(&Termination::new().until_optimum().max_generations(300))
+                .unwrap();
             assert!(
-                cga.problem().is_optimal(cga.best_ever().fitness()),
+                outcome.hit_optimum,
                 "{}: best = {}",
                 policy.name(),
-                cga.best_ever().fitness()
+                outcome.best_fitness
             );
-            assert!(!history.is_empty());
+            assert!(!outcome.history.is_empty());
         }
     }
 
@@ -673,7 +774,9 @@ mod tests {
             .recorder(ring.clone())
             .build()
             .unwrap();
-        let history = cga.run(200);
+        let outcome = cga
+            .run(&Termination::new().until_optimum().max_generations(200))
+            .unwrap();
         let events = ring.events();
         assert!(matches!(
             &events[0].kind,
@@ -684,7 +787,7 @@ mod tests {
             .iter()
             .filter(|e| e.kind.name() == "generation_completed")
             .count();
-        assert_eq!(gens, history.len());
+        assert_eq!(gens, outcome.history.len());
     }
 
     #[test]

@@ -20,6 +20,6 @@ pub mod engine;
 pub mod takeover;
 pub mod update;
 
-pub use engine::{CellStats, CellularGa, CellularGaBuilder};
+pub use engine::{CellularGa, CellularGaBuilder};
 pub use takeover::TakeoverGrid;
 pub use update::UpdatePolicy;

@@ -5,18 +5,21 @@
 //! [`Evaluator`], and the hierarchical model stacks islands in layers.
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 
+use crate::driver::{Driver, Engine, RunOutcome, StepReport};
 use crate::error::ConfigError;
 use crate::eval::{Evaluator, SerialEvaluator};
 use crate::individual::Individual;
 use crate::ops::{Crossover, Mutation, ReplacementPolicy, Selection};
-use crate::population::{PopStats, Population};
+use crate::population::Population;
 use crate::problem::{Objective, Problem};
+use crate::repr::Genome;
 use crate::rng::Rng64;
-use crate::termination::{Progress, StopReason, Termination};
+use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::termination::{Progress, Termination};
 
 /// Panmictic evolution scheme (Alba & Troya 2002 terminology).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,47 +44,6 @@ impl Scheme {
             Self::Generational { .. } => "generational",
             Self::SteadyState { .. } => "steady-state",
         }
-    }
-}
-
-/// Per-generation statistics snapshot emitted by [`Ga::step`].
-#[derive(Clone, Copy, Debug)]
-pub struct GenStats {
-    /// Generation index (1-based after the first step).
-    pub generation: u64,
-    /// Total fitness evaluations spent so far.
-    pub evaluations: u64,
-    /// Population statistics at the end of the step.
-    pub pop: PopStats,
-    /// Best fitness ever observed (may exceed current population best under
-    /// non-elitist schemes).
-    pub best_ever: f64,
-}
-
-/// Result of a completed [`Ga::run`].
-#[derive(Clone, Debug)]
-pub struct RunResult<G> {
-    /// Best individual ever observed.
-    pub best: Individual<G>,
-    /// Generations completed.
-    pub generations: u64,
-    /// Fitness evaluations spent.
-    pub evaluations: u64,
-    /// Why the run stopped.
-    pub stop: StopReason,
-    /// Wall-clock duration of the run.
-    pub elapsed: Duration,
-    /// `true` when the best fitness reaches the problem's known optimum.
-    pub hit_optimum: bool,
-    /// Per-generation history (only when enabled in the builder).
-    pub history: Vec<GenStats>,
-}
-
-impl<G> RunResult<G> {
-    /// Best fitness ever observed.
-    #[must_use]
-    pub fn best_fitness(&self) -> f64 {
-        self.best.fitness()
     }
 }
 
@@ -250,7 +212,7 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
 
     /// Advances one generation (generational scheme) or one generation
     /// equivalent of `pop_size` offspring (steady-state scheme).
-    pub fn step(&mut self) -> GenStats {
+    pub fn step(&mut self) -> StepReport {
         match self.scheme {
             Scheme::Generational { elitism } => self.step_generational(elitism),
             Scheme::SteadyState { replacement } => {
@@ -259,57 +221,38 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             }
         }
         self.generation += 1;
-        let stats = self.snapshot();
+        let report = self.gen_report();
         if self.recorder.is_some() {
             self.emit(EventKind::GenerationCompleted {
                 island: self.trace_island,
-                generation: stats.generation,
-                evaluations: stats.evaluations,
-                best: stats.pop.best,
-                mean: stats.pop.mean,
-                best_ever: stats.best_ever,
+                generation: report.generation,
+                evaluations: report.evaluations,
+                best: report.best,
+                mean: report.mean,
+                best_ever: report.best_ever,
             });
-            if !self.optimum_traced && self.problem.is_optimal(stats.best_ever) {
+            if !self.optimum_traced && self.problem.is_optimal(report.best_ever) {
                 self.optimum_traced = true;
                 self.emit(EventKind::CheckpointHit {
                     island: self.trace_island,
-                    generation: stats.generation,
-                    best: stats.best_ever,
+                    generation: report.generation,
+                    best: report.best_ever,
                 });
             }
         }
-        stats
+        report
     }
 
-    /// Runs until the termination rule fires. Returns an error if the rule
-    /// is unbounded.
-    pub fn run(&mut self, termination: &Termination) -> Result<RunResult<P::Genome>, ConfigError> {
-        if !termination.is_bounded() {
-            return Err(ConfigError::UnboundedTermination);
-        }
-        let start = Instant::now();
-        self.record_run_started();
-        let mut history = Vec::new();
-        let stop = loop {
-            if let Some(reason) = termination.check(&self.progress(start.elapsed())) {
-                break reason;
-            }
-            let stats = self.step();
-            if self.keep_history {
-                history.push(stats);
-            }
-        };
-        let hit_optimum = self.problem.is_optimal(self.best_ever.fitness());
-        self.record_run_finished();
-        Ok(RunResult {
-            best: self.best_ever.clone(),
-            generations: self.generation,
-            evaluations: self.evaluations,
-            stop,
-            elapsed: start.elapsed(),
-            hit_optimum,
-            history,
-        })
+    /// Runs until the termination rule fires via the shared [`Driver`],
+    /// honoring the builder's `keep_history` flag. Returns an error if the
+    /// rule is unbounded.
+    pub fn run(
+        &mut self,
+        termination: &Termination,
+    ) -> Result<RunOutcome<Individual<P::Genome>>, ConfigError> {
+        Driver::new(termination.clone())
+            .keep_history(self.keep_history)
+            .run(self)
     }
 
     /// Current progress snapshot for termination checks.
@@ -323,6 +266,7 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
             stagnant_generations: self.stagnant_generations,
             elapsed,
             maximizing: self.problem.objective() == Objective::Maximize,
+            cost_units: self.evaluations as f64,
         }
     }
 
@@ -496,13 +440,109 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
         }
     }
 
-    fn snapshot(&self) -> GenStats {
-        GenStats {
+    fn gen_report(&self) -> StepReport {
+        let pop = self.population.stats(self.problem.objective());
+        StepReport {
             generation: self.generation,
             evaluations: self.evaluations,
-            pop: self.population.stats(self.problem.objective()),
+            best: pop.best,
+            mean: pop.mean,
             best_ever: self.best_ever.fitness(),
         }
+    }
+
+    fn put_individual(w: &mut SnapshotWriter, member: &Individual<P::Genome>) {
+        member.genome.encode(w);
+        w.put_opt_f64(member.fitness);
+    }
+
+    fn take_individual(r: &mut SnapshotReader<'_>) -> Result<Individual<P::Genome>, SnapshotError> {
+        let genome = P::Genome::decode(r)?;
+        let fitness = r.take_opt_f64()?;
+        Ok(Individual { genome, fitness })
+    }
+}
+
+/// The panmictic GA as a uniformly driven [`Engine`]: one `step` is one
+/// generation (or a generation-equivalent of steady-state offspring).
+impl<P: Problem, E: Evaluator<P>> Engine for Ga<P, E> {
+    type Best = Individual<P::Genome>;
+
+    fn engine_id(&self) -> &'static str {
+        "ga"
+    }
+
+    fn step(&mut self) -> StepReport {
+        Ga::step(self)
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        Ga::progress(self, elapsed)
+    }
+
+    fn best(&self) -> Self::Best {
+        self.best_ever.clone()
+    }
+
+    fn record_run_started(&mut self) {
+        Ga::record_run_started(self);
+    }
+
+    fn record_run_finished(&mut self) {
+        Ga::record_run_finished(self);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.generation);
+        w.put_u64(self.evaluations);
+        w.put_u64(self.stagnant_generations);
+        w.put_bool(self.optimum_traced);
+        let (s, spare) = self.rng.snapshot_state();
+        for word in s {
+            w.put_u64(word);
+        }
+        w.put_opt_f64(spare);
+        Self::put_individual(&mut w, &self.best_ever);
+        w.put_usize(self.population.len());
+        for member in self.population.members() {
+            Self::put_individual(&mut w, member);
+        }
+        Snapshot::new("ga", w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for("ga")?;
+        let generation = r.take_u64()?;
+        let evaluations = r.take_u64()?;
+        let stagnant_generations = r.take_u64()?;
+        let optimum_traced = r.take_bool()?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        let spare = r.take_opt_f64()?;
+        let best_ever = Self::take_individual(&mut r)?;
+        let len = r.take_usize()?;
+        let mut members = Vec::new();
+        for _ in 0..len {
+            members.push(Self::take_individual(&mut r)?);
+        }
+        r.finish()?;
+        if members.len() != self.population.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot population of {len} does not match the configured size of {}",
+                self.population.len()
+            )));
+        }
+        self.generation = generation;
+        self.evaluations = evaluations;
+        self.stagnant_generations = stagnant_generations;
+        self.optimum_traced = optimum_traced;
+        self.rng = Rng64::from_snapshot_state(s, spare);
+        self.best_ever = best_ever;
+        self.population = Population::new(members);
+        Ok(())
     }
 }
 
@@ -715,6 +755,7 @@ mod tests {
     use super::*;
     use crate::ops::{BitFlip, OnePoint, Tournament};
     use crate::repr::BitString;
+    use crate::termination::StopReason;
 
     struct OneMax(usize);
     impl Problem for OneMax {
@@ -815,7 +856,7 @@ mod tests {
         let result = ga
             .run(&Termination::new().until_optimum().max_generations(500))
             .unwrap();
-        assert!(result.hit_optimum, "best = {}", result.best_fitness());
+        assert!(result.hit_optimum, "best = {}", result.best_fitness);
         assert_eq!(result.stop, StopReason::TargetReached);
     }
 
@@ -830,7 +871,7 @@ mod tests {
         let result = ga
             .run(&Termination::new().until_optimum().max_generations(500))
             .unwrap();
-        assert!(result.hit_optimum, "best = {}", result.best_fitness());
+        assert!(result.hit_optimum, "best = {}", result.best_fitness);
     }
 
     #[test]
@@ -840,12 +881,12 @@ mod tests {
         for _ in 0..50 {
             let s = ga.step();
             assert!(
-                s.pop.best >= last_best,
+                s.best >= last_best,
                 "elite lost: {} -> {}",
                 last_best,
-                s.pop.best
+                s.best
             );
-            last_best = s.pop.best;
+            last_best = s.best;
         }
     }
 
@@ -855,8 +896,8 @@ mod tests {
         let mut b = onemax_ga(42, Scheme::Generational { elitism: 1 });
         for _ in 0..20 {
             let (sa, sb) = (a.step(), b.step());
-            assert_eq!(sa.pop.best, sb.pop.best);
-            assert_eq!(sa.pop.mean, sb.pop.mean);
+            assert_eq!(sa.best, sb.best);
+            assert_eq!(sa.mean, sb.mean);
             assert_eq!(sa.evaluations, sb.evaluations);
         }
     }
@@ -867,7 +908,7 @@ mod tests {
         let mut b = onemax_ga(2, Scheme::Generational { elitism: 1 });
         let mut any_diff = false;
         for _ in 0..10 {
-            if a.step().pop.mean != b.step().pop.mean {
+            if a.step().mean != b.step().mean {
                 any_diff = true;
             }
         }

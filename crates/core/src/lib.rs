@@ -13,7 +13,12 @@
 //!   parallel fitness evaluation (see `pga-master-slave`);
 //! * the engine's migration hooks ([`engine::Ga::clone_members`],
 //!   [`engine::Ga::receive_immigrants`]): where the **coarse-grained island**
-//!   model exchanges individuals (see `pga-island`).
+//!   model exchanges individuals (see `pga-island`);
+//! * the unified [`driver::Engine`] trait and generic [`driver::Driver`]
+//!   run loop: every engine family in the workspace (panmictic, island,
+//!   cellular, hierarchical, multiobjective, simulated master–slave) is
+//!   stepped, stopped, and checkpointed through one substrate (see
+//!   [`snapshot`] for the checkpoint format).
 //!
 //! ## Quick example
 //!
@@ -52,6 +57,7 @@
 #![warn(clippy::all)]
 
 pub mod diversity;
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -61,9 +67,11 @@ pub mod population;
 pub mod problem;
 pub mod repr;
 pub mod rng;
+pub mod snapshot;
 pub mod termination;
 
-pub use engine::{Ga, GaBuilder, GenStats, RunResult, Scheme};
+pub use driver::{Clock, Driver, Engine, RunOutcome, StepReport};
+pub use engine::{Ga, GaBuilder, Scheme};
 pub use error::ConfigError;
 pub use eval::{Evaluator, SerialEvaluator};
 pub use individual::Individual;
@@ -71,4 +79,5 @@ pub use population::{PopStats, Population};
 pub use problem::{Objective, Problem};
 pub use repr::{BitString, Bounds, Genome, IntVector, Permutation, RealVector};
 pub use rng::Rng64;
-pub use termination::{StopReason, Termination};
+pub use snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
+pub use termination::{Progress, StopReason, Termination};

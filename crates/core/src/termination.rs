@@ -13,8 +13,15 @@ pub enum StopReason {
     TargetReached,
     /// The best fitness did not improve for the configured window.
     Stagnation,
-    /// The wall-clock budget expired.
+    /// The wall-clock budget expired (simulated time for virtual-clock
+    /// engines).
     WallClock,
+    /// The abstract cost budget (e.g. weighted multi-fidelity evaluation
+    /// cost) was exhausted.
+    MaxCost,
+    /// The engine reported it can make no further progress (e.g. every
+    /// node of a simulated cluster died).
+    Halted,
 }
 
 /// A conjunction-free stopping rule: the run stops as soon as *any*
@@ -33,6 +40,7 @@ pub struct Termination {
     target_fitness: Option<f64>,
     max_stagnant_generations: Option<u64>,
     wall_clock: Option<Duration>,
+    max_cost_units: Option<f64>,
 }
 
 /// Snapshot of run progress handed to [`Termination::check`].
@@ -48,10 +56,14 @@ pub struct Progress {
     pub best_is_optimal: bool,
     /// Generations since the best fitness last improved.
     pub stagnant_generations: u64,
-    /// Wall-clock time since the run started.
+    /// Time since the run started: wall-clock, or simulated time for
+    /// engines on a virtual clock.
     pub elapsed: Duration,
     /// `true` when the objective is maximization (for target comparison).
     pub maximizing: bool,
+    /// Abstract cost spent so far. Engines without a cost model report
+    /// their evaluation count here.
+    pub cost_units: f64,
 }
 
 impl Termination {
@@ -99,10 +111,21 @@ impl Termination {
         self
     }
 
-    /// Stop after the given wall-clock duration.
+    /// Stop after the given wall-clock duration. For engines on a
+    /// virtual clock (e.g. the simulated master–slave cluster) the budget
+    /// is measured in *simulated* time instead.
     #[must_use]
     pub fn wall_clock(mut self, limit: Duration) -> Self {
         self.wall_clock = Some(limit);
+        self
+    }
+
+    /// Stop once the abstract cost budget is spent. Multi-fidelity
+    /// engines charge weighted evaluation costs here; plain engines count
+    /// one unit per evaluation.
+    #[must_use]
+    pub fn max_cost_units(mut self, budget: f64) -> Self {
+        self.max_cost_units = Some(budget);
         self
     }
 
@@ -116,6 +139,15 @@ impl Termination {
             || self.max_evaluations.is_some()
             || self.max_stagnant_generations.is_some()
             || self.wall_clock.is_some()
+            || self.max_cost_units.is_some()
+    }
+
+    /// `true` when the rule can fire on fitness alone (`until_optimum` or
+    /// a target fitness). Threaded drivers use this to decide whether a
+    /// sibling island finding the target should stop the whole run.
+    #[must_use]
+    pub fn stops_at_target(&self) -> bool {
+        self.stop_at_optimum || self.target_fitness.is_some()
     }
 
     /// Evaluates the rule against the current progress.
@@ -142,6 +174,11 @@ impl Termination {
         if let Some(n) = self.max_evaluations {
             if p.evaluations >= n {
                 return Some(StopReason::MaxEvaluations);
+            }
+        }
+        if let Some(budget) = self.max_cost_units {
+            if p.cost_units >= budget {
+                return Some(StopReason::MaxCost);
             }
         }
         if let Some(n) = self.max_stagnant_generations {
@@ -171,6 +208,7 @@ mod tests {
             stagnant_generations: 3,
             elapsed: Duration::from_millis(50),
             maximizing: true,
+            cost_units: 1000.0,
         }
     }
 
@@ -215,5 +253,21 @@ mod tests {
         assert_eq!(t.check(&progress()), Some(StopReason::Stagnation));
         let t = Termination::new().wall_clock(Duration::from_millis(10));
         assert_eq!(t.check(&progress()), Some(StopReason::WallClock));
+    }
+
+    #[test]
+    fn cost_budget_bounds_and_fires() {
+        let t = Termination::new().max_cost_units(1000.0);
+        assert!(t.is_bounded());
+        assert_eq!(t.check(&progress()), Some(StopReason::MaxCost));
+        let t = Termination::new().max_cost_units(1000.5);
+        assert_eq!(t.check(&progress()), None);
+    }
+
+    #[test]
+    fn stops_at_target_accessor() {
+        assert!(!Termination::new().max_generations(5).stops_at_target());
+        assert!(Termination::new().until_optimum().stops_at_target());
+        assert!(Termination::new().target_fitness(1.0).stops_at_target());
     }
 }

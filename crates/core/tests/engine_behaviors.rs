@@ -117,7 +117,7 @@ fn alternative_selectors_solve_onemax() {
         let r = ga
             .run(&Termination::new().until_optimum().max_generations(3000))
             .unwrap();
-        assert!(r.hit_optimum, "{name}: best {}", r.best_fitness());
+        assert!(r.hit_optimum, "{name}: best {}", r.best_fitness);
         drop(sel);
     }
 }

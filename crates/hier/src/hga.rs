@@ -2,8 +2,12 @@
 
 use crate::fidelity::{FidelityProblem, LevelView};
 use pga_core::ops::ReplacementPolicy;
-use pga_core::{Ga, Individual, Problem, SerialEvaluator};
+use pga_core::{
+    ConfigError, Driver, Engine, Ga, Individual, Objective, Problem, Progress, RunOutcome,
+    SerialEvaluator, Snapshot, SnapshotError, SnapshotWriter, StepReport, Termination,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Shape and schedule of a hierarchy.
 #[derive(Clone, Debug)]
@@ -38,21 +42,6 @@ pub struct CostPoint {
     pub best_precise: f64,
 }
 
-/// Result of an HGA run.
-#[derive(Clone, Debug)]
-pub struct HgaReport<G> {
-    /// Best individual on the precise model.
-    pub best: Individual<G>,
-    /// Total cost units spent (precise-evaluation equivalents).
-    pub cost_units: f64,
-    /// Epochs completed.
-    pub epochs: u64,
-    /// `true` when the precise optimum was reached.
-    pub hit_optimum: bool,
-    /// Per-epoch cost/quality trajectory.
-    pub trajectory: Vec<CostPoint>,
-}
-
 /// A tree of islands over fidelity levels.
 pub struct Hga<F: FidelityProblem> {
     problem: Arc<F>,
@@ -63,27 +52,43 @@ pub struct Hga<F: FidelityProblem> {
     cost_units: f64,
     /// Evaluations already charged per island.
     charged: Vec<u64>,
+    epochs: u64,
+    stagnant_epochs: u64,
+    best_seen: Option<f64>,
+    trajectory: Vec<CostPoint>,
 }
 
 impl<F: FidelityProblem> Hga<F> {
     /// Assembles the hierarchy. `build_island` configures one engine for a
     /// given fidelity view and seed (operators, population size, scheme).
     ///
-    /// # Panics
-    /// Panics if the config has no layers or zero-width layers.
-    #[must_use]
+    /// # Errors
+    /// Rejects configs with no layers, zero-width layers, or a zero
+    /// `promote_count`.
     pub fn new(
         problem: Arc<F>,
         config: HgaConfig,
         base_seed: u64,
         mut build_island: impl FnMut(LevelView<F>, u64) -> Ga<LevelView<F>, SerialEvaluator>,
-    ) -> Self {
-        assert!(!config.layer_widths.is_empty(), "need at least one layer");
-        assert!(
-            config.layer_widths.iter().all(|&w| w > 0),
-            "layers must be non-empty"
-        );
-        assert!(config.promote_count > 0, "promote_count must be > 0");
+    ) -> Result<Self, ConfigError> {
+        if config.layer_widths.is_empty() {
+            return Err(ConfigError::InvalidParameter {
+                name: "layer_widths",
+                message: "need at least one layer".into(),
+            });
+        }
+        if config.layer_widths.contains(&0) {
+            return Err(ConfigError::InvalidParameter {
+                name: "layer_widths",
+                message: "layers must be non-empty".into(),
+            });
+        }
+        if config.promote_count == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "promote_count",
+                message: "must be > 0".into(),
+            });
+        }
         let mut islands = Vec::new();
         let mut layer_of = Vec::new();
         let mut parent_of: Vec<Option<usize>> = Vec::new();
@@ -113,7 +118,7 @@ impl<F: FidelityProblem> Hga<F> {
         for (i, isl) in islands.iter().enumerate() {
             cost_units += charged[i] as f64 * isl.problem().cost();
         }
-        Self {
+        let mut hga = Self {
             problem,
             islands,
             layer_of,
@@ -121,7 +126,16 @@ impl<F: FidelityProblem> Hga<F> {
             config,
             cost_units,
             charged,
-        }
+            epochs: 0,
+            stagnant_epochs: 0,
+            best_seen: None,
+            trajectory: Vec::new(),
+        };
+        hga.trajectory.push(CostPoint {
+            cost_units: hga.cost_units,
+            best_precise: hga.best_precise().fitness(),
+        });
+        Ok(hga)
     }
 
     /// Cost units spent so far.
@@ -219,34 +233,182 @@ impl<F: FidelityProblem> Hga<F> {
         }
     }
 
-    /// Runs until the precise optimum is hit or `max_cost_units` is spent.
+    /// Epochs completed.
     #[must_use]
-    pub fn run(mut self, max_cost_units: f64) -> HgaReport<F::Genome> {
-        let mut trajectory = vec![CostPoint {
-            cost_units: self.cost_units,
-            best_precise: self.best_precise().fitness(),
-        }];
-        let mut epochs = 0u64;
-        while self.cost_units < max_cost_units {
-            let best = self.best_precise();
-            if self.problem.is_optimal(best.fitness()) {
-                break;
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Per-epoch cost/quality trajectory recorded so far (starts with the
+    /// post-initialization point).
+    #[must_use]
+    pub fn trajectory(&self) -> &[CostPoint] {
+        &self.trajectory
+    }
+
+    /// Total fitness evaluations spent across all islands (fidelity-blind;
+    /// see [`Hga::cost_units`] for the cost-weighted figure).
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.islands.iter().map(Ga::evaluations).sum()
+    }
+
+    /// Runs under `termination` through the shared [`Driver`]. Cost budgets
+    /// map to [`Termination::max_cost_units`]; generation budgets count
+    /// epochs.
+    ///
+    /// # Errors
+    /// [`ConfigError::UnboundedTermination`] when `termination` has no
+    /// criteria.
+    pub fn run(
+        &mut self,
+        termination: &Termination,
+    ) -> Result<RunOutcome<Individual<F::Genome>>, ConfigError> {
+        Driver::new(termination.clone()).run(self)
+    }
+}
+
+impl<F: FidelityProblem> Engine for Hga<F> {
+    type Best = Individual<F::Genome>;
+
+    fn engine_id(&self) -> &'static str {
+        "hga"
+    }
+
+    fn step(&mut self) -> StepReport {
+        self.epoch();
+        self.epochs += 1;
+        let best = self.best_precise();
+        let objective = self.problem.objective();
+        match self.best_seen {
+            Some(seen) if !objective.better(best.fitness(), seen) => self.stagnant_epochs += 1,
+            _ => {
+                self.best_seen = Some(best.fitness());
+                self.stagnant_epochs = 0;
             }
-            self.epoch();
-            epochs += 1;
+        }
+        self.trajectory.push(CostPoint {
+            cost_units: self.cost_units,
+            best_precise: best.fitness(),
+        });
+        // Mean over the precise (layer-0) populations: the quality figure
+        // the hierarchy is accountable for.
+        let (mut sum, mut n) = (0.0, 0usize);
+        for (i, isl) in self.islands.iter().enumerate() {
+            if self.layer_of[i] != 0 {
+                continue;
+            }
+            for member in isl.population().members() {
+                sum += member.fitness();
+                n += 1;
+            }
+        }
+        StepReport {
+            generation: self.epochs,
+            evaluations: self.evaluations(),
+            best: best.fitness(),
+            mean: if n == 0 {
+                best.fitness()
+            } else {
+                sum / n as f64
+            },
+            best_ever: best.fitness(),
+        }
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        let best = self.best_precise();
+        Progress {
+            generations: self.epochs,
+            evaluations: self.evaluations(),
+            best_fitness: best.fitness(),
+            best_is_optimal: self.problem.is_optimal(best.fitness()),
+            stagnant_generations: self.stagnant_epochs,
+            elapsed,
+            maximizing: self.problem.objective() == Objective::Maximize,
+            cost_units: self.cost_units,
+        }
+    }
+
+    fn best(&self) -> Individual<F::Genome> {
+        self.best_precise()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.cost_units);
+        w.put_u64(self.epochs);
+        w.put_u64(self.stagnant_epochs);
+        w.put_opt_f64(self.best_seen);
+        w.put_usize(self.charged.len());
+        for &c in &self.charged {
+            w.put_u64(c);
+        }
+        w.put_usize(self.trajectory.len());
+        for p in &self.trajectory {
+            w.put_f64(p.cost_units);
+            w.put_f64(p.best_precise);
+        }
+        w.put_usize(self.islands.len());
+        for isl in &self.islands {
+            let nested = Engine::snapshot(isl);
+            w.put_str(nested.engine());
+            w.put_bytes(nested.payload());
+        }
+        Snapshot::new(self.engine_id(), w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for(self.engine_id())?;
+        let cost_units = r.take_f64()?;
+        let epochs = r.take_u64()?;
+        let stagnant_epochs = r.take_u64()?;
+        let best_seen = r.take_opt_f64()?;
+        let n_charged = r.take_usize()?;
+        if n_charged != self.charged.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot has {n_charged} islands, hierarchy has {}",
+                self.charged.len()
+            )));
+        }
+        let mut charged = Vec::with_capacity(n_charged);
+        for _ in 0..n_charged {
+            charged.push(r.take_u64()?);
+        }
+        let n_points = r.take_usize()?;
+        let mut trajectory = Vec::with_capacity(n_points);
+        for _ in 0..n_points {
+            let cost_units = r.take_f64()?;
+            let best_precise = r.take_f64()?;
             trajectory.push(CostPoint {
-                cost_units: self.cost_units,
-                best_precise: self.best_precise().fitness(),
+                cost_units,
+                best_precise,
             });
         }
-        let best = self.best_precise();
-        HgaReport {
-            hit_optimum: self.problem.is_optimal(best.fitness()),
-            best,
-            cost_units: self.cost_units,
-            epochs,
-            trajectory,
+        let n_islands = r.take_usize()?;
+        if n_islands != self.islands.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot has {n_islands} islands, hierarchy has {}",
+                self.islands.len()
+            )));
         }
+        let mut nested = Vec::with_capacity(n_islands);
+        for _ in 0..n_islands {
+            let engine = r.take_str()?;
+            let payload = r.take_bytes()?.to_vec();
+            nested.push(Snapshot::new(engine, payload));
+        }
+        r.finish()?;
+        for (isl, snap) in self.islands.iter_mut().zip(&nested) {
+            Engine::restore(isl, snap)?;
+        }
+        self.cost_units = cost_units;
+        self.epochs = epochs;
+        self.stagnant_epochs = stagnant_epochs;
+        self.best_seen = best_seen;
+        self.charged = charged;
+        self.trajectory = trajectory;
+        Ok(())
     }
 }
 
@@ -255,7 +417,7 @@ mod tests {
     use super::*;
     use crate::fidelity::BlurredFidelity;
     use pga_core::ops::{BlxAlpha, GaussianMutation, Tournament};
-    use pga_core::{Bounds, Objective, Problem, RealVector, Rng64, Scheme};
+    use pga_core::{Bounds, Objective, Problem, RealVector, Rng64, Scheme, Termination};
 
     struct Sphere(Bounds);
     impl Problem for Sphere {
@@ -307,7 +469,13 @@ mod tests {
             amplitude,
             cost_ratio,
         ));
-        Hga::new(problem, HgaConfig::default(), seed, build)
+        Hga::new(problem, HgaConfig::default(), seed, build).unwrap()
+    }
+
+    fn budget(max_cost_units: f64) -> Termination {
+        Termination::new()
+            .until_optimum()
+            .max_cost_units(max_cost_units)
     }
 
     #[test]
@@ -336,15 +504,16 @@ mod tests {
 
     #[test]
     fn hga_improves_precise_best() {
-        let report = hga(0.3, 4.0, 3).run(4_000.0);
+        let mut h = hga(0.3, 4.0, 3);
+        let outcome = h.run(&budget(4_000.0)).unwrap();
         assert!(
-            report.best.fitness() < 0.5,
+            outcome.best_fitness < 0.5,
             "best = {}",
-            report.best.fitness()
+            outcome.best_fitness
         );
-        assert!(report.epochs > 0);
+        assert!(h.epochs() > 0);
         // Trajectory is monotone in cost and non-worsening in quality.
-        for w in report.trajectory.windows(2) {
+        for w in h.trajectory().windows(2) {
             assert!(w[1].cost_units >= w[0].cost_units);
             assert!(w[1].best_precise <= w[0].best_precise + 1e-12);
         }
@@ -354,25 +523,48 @@ mod tests {
     fn cheap_layers_make_progress_cheaper() {
         // Same architecture; the all-precise variant pays cost 1 per
         // evaluation everywhere (cost_ratio = 1).
-        let budget = 2_500.0;
-        let multi = hga(0.3, 4.0, 10).run(budget);
-        let precise_only = hga(0.0, 1.0, 10).run(budget);
+        let rule = budget(2_500.0);
+        let multi = hga(0.3, 4.0, 10).run(&rule).unwrap();
+        let precise_only = hga(0.0, 1.0, 10).run(&rule).unwrap();
         // Both should improve, but the multi-fidelity run gets far more
         // evolution per cost unit and should be at least as good.
         assert!(
-            multi.best.fitness() <= precise_only.best.fitness() + 0.1,
+            multi.best_fitness <= precise_only.best_fitness + 0.1,
             "multi {} vs precise {}",
-            multi.best.fitness(),
-            precise_only.best.fitness()
+            multi.best_fitness,
+            precise_only.best_fitness
         );
     }
 
     #[test]
     fn deterministic() {
-        let a = hga(0.3, 4.0, 5).run(1_000.0);
-        let b = hga(0.3, 4.0, 5).run(1_000.0);
-        assert_eq!(a.best.fitness(), b.best.fitness());
-        assert_eq!(a.cost_units, b.cost_units);
-        assert_eq!(a.epochs, b.epochs);
+        let mut ha = hga(0.3, 4.0, 5);
+        let mut hb = hga(0.3, 4.0, 5);
+        let a = ha.run(&budget(1_000.0)).unwrap();
+        let b = hb.run(&budget(1_000.0)).unwrap();
+        assert_eq!(a.best_fitness, b.best_fitness);
+        assert_eq!(ha.cost_units(), hb.cost_units());
+        assert_eq!(ha.epochs(), hb.epochs());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let problem = Arc::new(BlurredFidelity::new(
+            Sphere(Bounds::uniform(-5.0, 5.0, 6)),
+            3,
+            0.3,
+            4.0,
+        ));
+        let bad = HgaConfig {
+            layer_widths: vec![],
+            ..HgaConfig::default()
+        };
+        assert!(matches!(
+            Hga::new(problem, bad, 1, build),
+            Err(pga_core::ConfigError::InvalidParameter {
+                name: "layer_widths",
+                ..
+            })
+        ));
     }
 }

@@ -21,4 +21,4 @@ pub mod fidelity;
 pub mod hga;
 
 pub use fidelity::{BlurredFidelity, FidelityProblem, LevelView};
-pub use hga::{Hga, HgaConfig, HgaReport};
+pub use hga::{CostPoint, Hga, HgaConfig};

@@ -1,45 +1,19 @@
 //! Deterministic single-threaded island stepper.
 
-use crate::deme::{Deme, DemeStats};
+use crate::deme::Deme;
 use crate::migration::MigrationPolicy;
-use pga_core::Individual;
+use pga_core::termination::{Progress, StopReason, Termination};
+use pga_core::{
+    ConfigError, Driver, Engine, Individual, Objective, RunOutcome, Snapshot, SnapshotError,
+    StepReport,
+};
 use pga_observe::{Event, EventKind};
 use pga_topology::Topology;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Stopping rule for an island run; the run ends when *any* criterion fires.
-#[derive(Clone, Copy, Debug)]
-pub struct IslandStop {
-    /// Maximum generations per island.
-    pub max_generations: u64,
-    /// Stop as soon as any island hits the problem optimum.
-    pub until_optimum: bool,
-    /// Maximum *total* evaluations summed over islands (`u64::MAX` = off).
-    pub max_total_evaluations: u64,
-}
-
-impl IslandStop {
-    /// Run `max_generations` per island, stopping early at the optimum.
-    #[must_use]
-    pub fn generations(max_generations: u64) -> Self {
-        Self {
-            max_generations,
-            until_optimum: true,
-            max_total_evaluations: u64::MAX,
-        }
-    }
-
-    /// Caps total evaluations in addition to generations.
-    #[must_use]
-    pub fn with_max_evaluations(mut self, evals: u64) -> Self {
-        self.max_total_evaluations = evals;
-        self
-    }
-}
-
-/// Result of an island run (either engine).
+/// Result of a completed island run (sequential or threaded engine).
 #[derive(Clone, Debug)]
-pub struct IslandRunResult<G> {
+pub struct IslandRun<G> {
     /// Best individual across all islands.
     pub best: Individual<G>,
     /// Which island held the best.
@@ -52,6 +26,8 @@ pub struct IslandRunResult<G> {
     pub per_island_best: Vec<f64>,
     /// `true` when the run reached the problem optimum.
     pub hit_optimum: bool,
+    /// Why the run stopped.
+    pub stop: StopReason,
     /// Wall-clock duration.
     pub elapsed: Duration,
     /// Migrants sent across the whole run.
@@ -59,7 +35,7 @@ pub struct IslandRunResult<G> {
     /// Migrants accepted by destination demes.
     pub migrants_accepted: u64,
     /// Per-island per-generation statistics (when recording was enabled).
-    pub histories: Vec<Vec<DemeStats>>,
+    pub histories: Vec<Vec<StepReport>>,
 }
 
 /// A set of demes evolving under one topology and migration policy,
@@ -75,32 +51,54 @@ pub struct IslandRunResult<G> {
 /// only wall-clock time differs (verified by an integration test).
 pub struct Archipelago<D: Deme> {
     islands: Vec<D>,
-    topology: Topology,
+    adjacency: Vec<Vec<usize>>,
     policy: MigrationPolicy,
     record_history: bool,
+    generation: u64,
+    migrants_sent: u64,
+    migrants_accepted: u64,
+    stagnant_generations: u64,
+    best_seen: Option<f64>,
+    histories: Vec<Vec<StepReport>>,
 }
 
 impl<D: Deme> Archipelago<D> {
-    /// Assembles an archipelago. The topology must be valid for the island
-    /// count.
-    ///
-    /// # Panics
-    /// Panics if `islands` is empty or the topology rejects the count.
-    #[must_use]
-    pub fn new(mut islands: Vec<D>, topology: Topology, policy: MigrationPolicy) -> Self {
-        assert!(!islands.is_empty(), "need at least one island");
+    /// Assembles an archipelago. Fails when `islands` is empty or the
+    /// topology rejects the island count.
+    pub fn new(
+        mut islands: Vec<D>,
+        topology: Topology,
+        policy: MigrationPolicy,
+    ) -> Result<Self, ConfigError> {
+        if islands.is_empty() {
+            return Err(ConfigError::InvalidParameter {
+                name: "islands",
+                message: "need at least one island".into(),
+            });
+        }
         topology
             .validate(islands.len())
-            .expect("topology incompatible with island count");
+            .map_err(|e| ConfigError::InvalidParameter {
+                name: "topology",
+                message: e.to_string(),
+            })?;
+        let adjacency = topology.adjacency(islands.len());
         for (i, island) in islands.iter_mut().enumerate() {
             island.set_trace_island(i as u32);
         }
-        Self {
+        let n = islands.len();
+        Ok(Self {
             islands,
-            topology,
+            adjacency,
             policy,
             record_history: false,
-        }
+            generation: 0,
+            migrants_sent: 0,
+            migrants_accepted: 0,
+            stagnant_generations: 0,
+            best_seen: None,
+            histories: vec![Vec::new(); n],
+        })
     }
 
     /// Records per-generation statistics for every island (E11 traces).
@@ -128,61 +126,21 @@ impl<D: Deme> Archipelago<D> {
         &self.islands
     }
 
-    /// Runs to the stopping rule.
-    pub fn run(&mut self, stop: &IslandStop) -> IslandRunResult<D::Genome> {
-        let start = Instant::now();
-        let n = self.islands.len();
-        let adjacency = self.topology.adjacency(n);
-        let mut histories: Vec<Vec<DemeStats>> = vec![Vec::new(); n];
-        let mut migrants_sent = 0u64;
-        let mut migrants_accepted = 0u64;
-        let mut generation = 0u64;
-        let mut hit = self.any_optimal();
-        for island in &mut self.islands {
-            island.record_run_started();
-        }
-
-        while !(hit && stop.until_optimum)
-            && generation < stop.max_generations
-            && self.total_evaluations() < stop.max_total_evaluations
-        {
-            // One generation on every island (round-robin = virtual lockstep).
-            for (i, island) in self.islands.iter_mut().enumerate() {
-                let stats = island.step_deme();
-                if self.record_history {
-                    histories[i].push(stats);
-                }
-            }
-            generation += 1;
-            hit = self.any_optimal();
-            if hit && stop.until_optimum {
-                break;
-            }
-
-            // Migration phase at epoch boundaries: collect all emigrants
-            // first, then deliver, so this generation's exchange is
-            // order-independent (true synchronous semantics).
-            if self.policy.migrates_at(generation) {
-                let (sent, accepted) = self.migrate(&adjacency);
-                migrants_sent += sent;
-                migrants_accepted += accepted;
-                hit = self.any_optimal();
-            }
-        }
-
-        for island in &mut self.islands {
-            island.record_run_finished();
-        }
-        self.collect(start.elapsed(), migrants_sent, migrants_accepted, histories)
+    /// Runs until the shared termination rule fires (via the generic
+    /// [`Driver`]) and returns island-level detail on top of the uniform
+    /// outcome. Returns an error if the rule is unbounded.
+    pub fn run(&mut self, termination: &Termination) -> Result<IslandRun<D::Genome>, ConfigError> {
+        let outcome = Driver::new(termination.clone()).run(self)?;
+        Ok(self.collect(outcome))
     }
 
     /// One synchronous migration across all edges; returns (sent, accepted).
-    fn migrate(&mut self, adjacency: &[Vec<usize>]) -> (u64, u64) {
+    fn migrate(&mut self) -> (u64, u64) {
         let n = self.islands.len();
         let policy = self.policy;
         let mut inboxes: Vec<Vec<Individual<D::Genome>>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent = 0u64;
-        for (src, targets) in adjacency.iter().enumerate() {
+        for (src, targets) in self.adjacency.clone().iter().enumerate() {
             for &dst in targets {
                 let migrants = self.islands[src].emigrants(policy.emigrant, policy.count);
                 sent += migrants.len() as u64;
@@ -224,26 +182,28 @@ impl<D: Deme> Archipelago<D> {
         self.islands.iter().map(Deme::evaluations).sum()
     }
 
-    fn collect(
-        &self,
-        elapsed: Duration,
-        migrants_sent: u64,
-        migrants_accepted: u64,
-        histories: Vec<Vec<DemeStats>>,
-    ) -> IslandRunResult<D::Genome> {
-        let objective = self.islands[0].objective();
-        let mut best_island = 0;
+    fn objective(&self) -> Objective {
+        self.islands[0].objective()
+    }
+
+    fn best_island(&self) -> usize {
+        let objective = self.objective();
+        let mut best = 0;
         for (i, isl) in self.islands.iter().enumerate() {
             if objective.better(
                 isl.best_individual().fitness(),
-                self.islands[best_island].best_individual().fitness(),
+                self.islands[best].best_individual().fitness(),
             ) {
-                best_island = i;
+                best = i;
             }
         }
-        IslandRunResult {
-            hit_optimum: self.islands[best_island].is_optimal(),
-            best: self.islands[best_island].best_individual(),
+        best
+    }
+
+    fn collect(&mut self, outcome: RunOutcome<Individual<D::Genome>>) -> IslandRun<D::Genome> {
+        let best_island = self.best_island();
+        IslandRun {
+            best: outcome.best,
             best_island,
             total_evaluations: self.total_evaluations(),
             generations: self.islands.iter().map(Deme::generation).collect(),
@@ -252,11 +212,150 @@ impl<D: Deme> Archipelago<D> {
                 .iter()
                 .map(|i| i.best_individual().fitness())
                 .collect(),
-            elapsed,
-            migrants_sent,
-            migrants_accepted,
-            histories,
+            hit_optimum: outcome.hit_optimum,
+            stop: outcome.stop,
+            elapsed: outcome.elapsed,
+            migrants_sent: self.migrants_sent,
+            migrants_accepted: self.migrants_accepted,
+            histories: std::mem::take(&mut self.histories),
         }
+    }
+}
+
+/// The coarse-grained island model as a uniformly driven [`Engine`]: one
+/// `step` is one generation on *every* island (round-robin = virtual
+/// lockstep) plus, at epoch boundaries, one synchronous migration.
+impl<D: Deme> Engine for Archipelago<D> {
+    type Best = Individual<D::Genome>;
+
+    fn engine_id(&self) -> &'static str {
+        "archipelago"
+    }
+
+    fn step(&mut self) -> StepReport {
+        let mut best = f64::NAN;
+        let mut mean_sum = 0.0;
+        let objective = self.objective();
+        for (i, island) in self.islands.iter_mut().enumerate() {
+            let report = island.step_deme();
+            if best.is_nan() || objective.better(report.best, best) {
+                best = report.best;
+            }
+            mean_sum += report.mean;
+            if self.record_history {
+                self.histories[i].push(report);
+            }
+        }
+        self.generation += 1;
+
+        // Migration phase at epoch boundaries: collect all emigrants
+        // first, then deliver, so this generation's exchange is
+        // order-independent (true synchronous semantics).
+        if self.policy.migrates_at(self.generation) {
+            let (sent, accepted) = self.migrate();
+            self.migrants_sent += sent;
+            self.migrants_accepted += accepted;
+        }
+
+        let best_ever = self.islands[self.best_island()].best_individual().fitness();
+        match self.best_seen {
+            Some(seen) if !objective.better(best_ever, seen) => self.stagnant_generations += 1,
+            _ => {
+                self.best_seen = Some(best_ever);
+                self.stagnant_generations = 0;
+            }
+        }
+        StepReport {
+            generation: self.generation,
+            evaluations: self.total_evaluations(),
+            best,
+            mean: mean_sum / self.islands.len() as f64,
+            best_ever,
+        }
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        let evaluations = self.total_evaluations();
+        Progress {
+            generations: self.generation,
+            evaluations,
+            best_fitness: self.islands[self.best_island()].best_individual().fitness(),
+            best_is_optimal: self.any_optimal(),
+            stagnant_generations: self.stagnant_generations,
+            elapsed,
+            maximizing: self.objective() == Objective::Maximize,
+            cost_units: evaluations as f64,
+        }
+    }
+
+    fn best(&self) -> Self::Best {
+        self.islands[self.best_island()].best_individual()
+    }
+
+    fn record_run_started(&mut self) {
+        for island in &mut self.islands {
+            island.record_run_started();
+        }
+    }
+
+    fn record_run_finished(&mut self) {
+        for island in &mut self.islands {
+            island.record_run_finished();
+        }
+    }
+
+    /// Nests one deme snapshot per island. Recorded histories are *not*
+    /// part of the snapshot: a resumed run's histories cover only the
+    /// steps taken since the restore.
+    fn snapshot(&self) -> Snapshot {
+        let mut w = pga_core::SnapshotWriter::new();
+        w.put_u64(self.generation);
+        w.put_u64(self.migrants_sent);
+        w.put_u64(self.migrants_accepted);
+        w.put_u64(self.stagnant_generations);
+        w.put_opt_f64(self.best_seen);
+        w.put_usize(self.islands.len());
+        for island in &self.islands {
+            let nested = island.snapshot_deme();
+            w.put_str(nested.engine());
+            w.put_bytes(nested.payload());
+        }
+        Snapshot::new("archipelago", w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for("archipelago")?;
+        let generation = r.take_u64()?;
+        let migrants_sent = r.take_u64()?;
+        let migrants_accepted = r.take_u64()?;
+        let stagnant_generations = r.take_u64()?;
+        let best_seen = r.take_opt_f64()?;
+        let n = r.take_usize()?;
+        if n != self.islands.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot has {n} islands, archipelago has {}",
+                self.islands.len()
+            )));
+        }
+        let mut nested = Vec::with_capacity(n);
+        for _ in 0..n {
+            let engine = r.take_str()?;
+            let payload = r.take_bytes()?.to_vec();
+            nested.push(Snapshot::new(engine, payload));
+        }
+        r.finish()?;
+        for (island, snap) in self.islands.iter_mut().zip(&nested) {
+            island.restore_deme(snap)?;
+        }
+        self.generation = generation;
+        self.migrants_sent = migrants_sent;
+        self.migrants_accepted = migrants_accepted;
+        self.stagnant_generations = stagnant_generations;
+        self.best_seen = best_seen;
+        for h in &mut self.histories {
+            h.clear();
+        }
+        Ok(())
     }
 }
 
@@ -265,7 +364,7 @@ mod tests {
     use super::*;
     use crate::migration::{EmigrantSelection, SyncMode};
     use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-    use pga_core::{BitString, Ga, Objective, Problem, Rng64, Scheme, SerialEvaluator};
+    use pga_core::{BitString, Ga, Problem, Rng64, Scheme, SerialEvaluator};
     use std::sync::Arc;
 
     struct Trap {
@@ -319,9 +418,13 @@ mod tests {
             islands(4, 100, 50),
             Topology::RingUni,
             MigrationPolicy::default(),
-        );
-        let r = arch.run(&IslandStop::generations(400));
+        )
+        .unwrap();
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(400))
+            .unwrap();
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
+        assert_eq!(r.stop, StopReason::TargetReached);
         assert!(r.migrants_sent > 0);
         assert!(r.total_evaluations > 0);
     }
@@ -333,8 +436,10 @@ mod tests {
                 islands(4, 5, 30),
                 Topology::RingUni,
                 MigrationPolicy::default(),
-            );
-            arch.run(&IslandStop::generations(60))
+            )
+            .unwrap();
+            arch.run(&Termination::new().until_optimum().max_generations(60))
+                .unwrap()
         };
         let a = run();
         let b = run();
@@ -350,12 +455,9 @@ mod tests {
             islands(4, 9, 20),
             Topology::Complete,
             MigrationPolicy::isolated(),
-        );
-        let r = arch.run(&IslandStop {
-            max_generations: 30,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        });
+        )
+        .unwrap();
+        let r = arch.run(&Termination::new().max_generations(30)).unwrap();
         assert_eq!(r.migrants_sent, 0);
         assert_eq!(r.migrants_accepted, 0);
     }
@@ -369,12 +471,8 @@ mod tests {
             replacement: ReplacementPolicy::Worst,
             sync: SyncMode::Synchronous,
         };
-        let mut arch = Archipelago::new(islands(4, 42, 40), Topology::Complete, policy);
-        let r = arch.run(&IslandStop {
-            max_generations: 200,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        });
+        let mut arch = Archipelago::new(islands(4, 42, 40), Topology::Complete, policy).unwrap();
+        let r = arch.run(&Termination::new().max_generations(200)).unwrap();
         let best = r.best.fitness();
         for &b in &r.per_island_best {
             assert!(best - b <= 2.0, "island fell behind: {b} vs {best}");
@@ -387,12 +485,12 @@ mod tests {
             islands(4, 3, 20),
             Topology::RingUni,
             MigrationPolicy::default(),
-        );
-        let r = arch.run(&IslandStop {
-            max_generations: u64::MAX,
-            until_optimum: false,
-            max_total_evaluations: 2_000,
-        });
+        )
+        .unwrap();
+        let r = arch
+            .run(&Termination::new().max_evaluations(2_000))
+            .unwrap();
+        assert_eq!(r.stop, StopReason::MaxEvaluations);
         assert!(r.total_evaluations < 2_000 + 4 * 20 + 4 * 20);
     }
 
@@ -403,12 +501,9 @@ mod tests {
             Topology::RingBi,
             MigrationPolicy::default(),
         )
+        .unwrap()
         .with_history(true);
-        let r = arch.run(&IslandStop {
-            max_generations: 10,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        });
+        let r = arch.run(&Termination::new().max_generations(10)).unwrap();
         assert_eq!(r.histories.len(), 2);
         assert_eq!(r.histories[0].len(), 10);
         assert_eq!(r.histories[0][9].generation, 10);
@@ -447,19 +542,30 @@ mod tests {
                 },
             ),
         ];
-        let mut arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default());
-        let r = arch.run(&IslandStop::generations(300));
+        let mut arch =
+            Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default()).unwrap();
+        let r = arch
+            .run(&Termination::new().until_optimum().max_generations(300))
+            .unwrap();
         assert!(r.best.fitness() >= 28.0, "best = {}", r.best.fitness());
         assert!(r.migrants_sent > 0);
     }
 
     #[test]
-    #[should_panic(expected = "incompatible")]
-    fn invalid_topology_panics() {
-        let _ = Archipelago::new(
+    fn invalid_topology_is_rejected() {
+        let e = Archipelago::new(
             islands(6, 0, 10),
             Topology::Hypercube,
             MigrationPolicy::default(),
-        );
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(
+            e,
+            ConfigError::InvalidParameter {
+                name: "topology",
+                ..
+            }
+        ));
     }
 }

@@ -11,23 +11,11 @@
 
 use crate::migration::EmigrantSelection;
 use pga_core::ops::ReplacementPolicy;
-use pga_core::{Evaluator, Ga, Genome, Individual, Objective, Problem};
+use pga_core::{
+    Engine, Evaluator, Ga, Genome, Individual, Objective, Problem, Snapshot, SnapshotError,
+    StepReport,
+};
 use pga_observe::Event;
-
-/// Per-step statistics common to all deme engines.
-#[derive(Clone, Copy, Debug)]
-pub struct DemeStats {
-    /// Generations completed by this deme.
-    pub generation: u64,
-    /// Evaluations spent by this deme so far.
-    pub evaluations: u64,
-    /// Best fitness currently in the deme.
-    pub best: f64,
-    /// Mean fitness of the deme.
-    pub mean: f64,
-    /// Best fitness ever observed by the deme.
-    pub best_ever: f64,
-}
 
 /// One island: an evolving population that can emit and absorb migrants.
 ///
@@ -39,7 +27,7 @@ pub trait Deme: Send {
 
     /// Advances one generation (or generation-equivalent) and reports
     /// statistics.
-    fn step_deme(&mut self) -> DemeStats;
+    fn step_deme(&mut self) -> StepReport;
 
     /// Optimization direction (must agree across an archipelago).
     fn objective(&self) -> Objective;
@@ -90,20 +78,20 @@ pub trait Deme: Send {
     /// any. Island drivers call this once after the stopping rule fires.
     /// Default: no-op.
     fn record_run_finished(&mut self) {}
+
+    /// Checkpoints the deme's dynamic state (see `pga_core::snapshot`).
+    /// Island snapshots nest one deme snapshot per island.
+    fn snapshot_deme(&self) -> Snapshot;
+
+    /// Restores a checkpoint taken from an identically configured deme.
+    fn restore_deme(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError>;
 }
 
 impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
     type Genome = P::Genome;
 
-    fn step_deme(&mut self) -> DemeStats {
-        let stats = self.step();
-        DemeStats {
-            generation: stats.generation,
-            evaluations: stats.evaluations,
-            best: stats.pop.best,
-            mean: stats.pop.mean,
-            best_ever: stats.best_ever,
-        }
+    fn step_deme(&mut self) -> StepReport {
+        self.step()
     }
 
     fn objective(&self) -> Objective {
@@ -161,6 +149,14 @@ impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
     fn record_run_finished(&mut self) {
         Ga::record_run_finished(self);
     }
+
+    fn snapshot_deme(&self) -> Snapshot {
+        Engine::snapshot(self)
+    }
+
+    fn restore_deme(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        Engine::restore(self, snapshot)
+    }
 }
 
 /// Boxed demes are demes, so heterogeneous archipelagos can mix engine
@@ -168,7 +164,7 @@ impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
 impl<G: Genome> Deme for Box<dyn Deme<Genome = G>> {
     type Genome = G;
 
-    fn step_deme(&mut self) -> DemeStats {
+    fn step_deme(&mut self) -> StepReport {
         (**self).step_deme()
     }
     fn objective(&self) -> Objective {
@@ -203,6 +199,12 @@ impl<G: Genome> Deme for Box<dyn Deme<Genome = G>> {
     }
     fn record_run_finished(&mut self) {
         (**self).record_run_finished();
+    }
+    fn snapshot_deme(&self) -> Snapshot {
+        (**self).snapshot_deme()
+    }
+    fn restore_deme(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        (**self).restore_deme(snapshot)
     }
 }
 

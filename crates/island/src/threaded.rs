@@ -8,11 +8,12 @@
 //! which is exactly the semantics whose search-time effects Alba & Troya
 //! (2001) analyze.
 
-use crate::archipelago::{IslandRunResult, IslandStop};
-use crate::deme::{Deme, DemeStats};
+use crate::archipelago::IslandRun;
+use crate::deme::Deme;
 use crate::migration::{MigrationPolicy, SyncMode};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pga_core::Individual;
+use pga_core::termination::{Progress, StopReason, Termination};
+use pga_core::{ConfigError, Individual, Objective, StepReport};
 use pga_observe::{Event, EventKind};
 use pga_topology::Topology;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -22,37 +23,54 @@ type Batch<G> = Vec<Individual<G>>;
 
 struct IslandOutcome<D: Deme> {
     deme: D,
-    history: Vec<DemeStats>,
+    history: Vec<StepReport>,
     sent: u64,
     accepted: u64,
+    stop: StopReason,
 }
 
-/// Runs the demes on real threads until the stopping rule fires on every
-/// island. Set `record_history` for per-generation traces.
+/// Runs the demes on real threads until the shared [`Termination`] rule
+/// fires on every island. Set `record_history` for per-generation traces.
 ///
 /// Accepts any deme engine ([`pga_core::Ga`], cellular grids, boxed mixes) —
 /// see [`Deme`].
+///
+/// Each island evaluates the rule against its own generation count and the
+/// *global* evaluation total, so generation budgets mean per-island
+/// generations (as in the sequential stepper's lockstep) and evaluation
+/// budgets cap the whole archipelago. When the rule stops at a target
+/// fitness, one island reaching it stops all islands.
 ///
 /// Under [`SyncMode::Synchronous`] the search trajectory is identical to
 /// [`crate::Archipelago::run`] with the same seeds; under
 /// [`SyncMode::Asynchronous`] migrant arrival depends on thread scheduling
 /// (documented nondeterminism — the effect under study in E03's ablation).
 ///
-/// # Panics
-/// Panics if `islands` is empty or the topology rejects the island count.
-#[must_use]
+/// Fails when `islands` is empty, the topology rejects the island count,
+/// or the termination rule is unbounded.
 pub fn run_threaded<D: Deme>(
     islands: Vec<D>,
     topology: &Topology,
     policy: MigrationPolicy,
-    stop: IslandStop,
+    termination: &Termination,
     record_history: bool,
-) -> IslandRunResult<D::Genome> {
+) -> Result<IslandRun<D::Genome>, ConfigError> {
     let n = islands.len();
-    assert!(n >= 1, "need at least one island");
+    if n == 0 {
+        return Err(ConfigError::InvalidParameter {
+            name: "islands",
+            message: "need at least one island".into(),
+        });
+    }
     topology
         .validate(n)
-        .expect("topology incompatible with island count");
+        .map_err(|e| ConfigError::InvalidParameter {
+            name: "topology",
+            message: e.to_string(),
+        })?;
+    if !termination.is_bounded() {
+        return Err(ConfigError::UnboundedTermination);
+    }
     let adjacency = topology.adjacency(n);
     let start = Instant::now();
 
@@ -73,6 +91,7 @@ pub fn run_threaded<D: Deme>(
     let outcomes: Vec<IslandOutcome<D>> = std::thread::scope(|scope| {
         let found = &found;
         let spent = &spent;
+        let termination = &termination;
         let mut handles = Vec::with_capacity(n);
         for (island_idx, mut deme) in islands.into_iter().enumerate() {
             let my_senders = std::mem::take(&mut senders[island_idx]);
@@ -88,18 +107,32 @@ pub fn run_threaded<D: Deme>(
                 let mut sent = 0u64;
                 let mut accepted = 0u64;
                 let mut generation = 0u64;
+                let maximizing = deme.objective() == Objective::Maximize;
+                let mut best_local = deme.best_individual().fitness();
+                let mut stagnant = 0u64;
 
                 // Seed the global counter with this island's initial
                 // population evaluations.
                 spent.fetch_add(deme.evaluations(), Ordering::Relaxed);
                 deme.record_run_started();
 
-                while generation < stop.max_generations {
-                    if stop.until_optimum && found.load(Ordering::Relaxed) {
-                        break;
+                let stop = loop {
+                    let evaluations = spent.load(Ordering::Relaxed);
+                    let progress = Progress {
+                        generations: generation,
+                        evaluations,
+                        best_fitness: best_local,
+                        best_is_optimal: deme.is_optimal(),
+                        stagnant_generations: stagnant,
+                        elapsed: start.elapsed(),
+                        maximizing,
+                        cost_units: evaluations as f64,
+                    };
+                    if let Some(reason) = termination.check(&progress) {
+                        break reason;
                     }
-                    if spent.load(Ordering::Relaxed) >= stop.max_total_evaluations {
-                        break;
+                    if termination.stops_at_target() && found.load(Ordering::Relaxed) {
+                        break StopReason::TargetReached;
                     }
                     let before = deme.evaluations();
                     let stats = deme.step_deme();
@@ -108,10 +141,19 @@ pub fn run_threaded<D: Deme>(
                     if record_history {
                         history.push(stats);
                     }
+                    let now_best = deme.best_individual().fitness();
+                    if (maximizing && now_best > best_local)
+                        || (!maximizing && now_best < best_local)
+                    {
+                        best_local = now_best;
+                        stagnant = 0;
+                    } else {
+                        stagnant += 1;
+                    }
                     if deme.is_optimal() {
                         found.store(true, Ordering::Relaxed);
-                        if stop.until_optimum {
-                            break;
+                        if termination.stops_at_target() {
+                            break StopReason::TargetReached;
                         }
                     }
 
@@ -158,12 +200,19 @@ pub fn run_threaded<D: Deme>(
                                 offered,
                                 accepted: here,
                             }));
+                            let now_best = deme.best_individual().fitness();
+                            if (maximizing && now_best > best_local)
+                                || (!maximizing && now_best < best_local)
+                            {
+                                best_local = now_best;
+                                stagnant = 0;
+                            }
                             if deme.is_optimal() {
                                 found.store(true, Ordering::Relaxed);
                             }
                         }
                     }
-                }
+                };
                 drop(my_senders); // unblock synchronous neighbors
                 deme.record_run_finished();
                 IslandOutcome {
@@ -171,6 +220,7 @@ pub fn run_threaded<D: Deme>(
                     history,
                     sent,
                     accepted,
+                    stop,
                 }
             }));
         }
@@ -191,7 +241,11 @@ pub fn run_threaded<D: Deme>(
             best_island = i;
         }
     }
-    IslandRunResult {
+    let stop = outcomes
+        .iter()
+        .find(|o| o.stop == StopReason::TargetReached)
+        .map_or(outcomes[0].stop, |o| o.stop);
+    Ok(IslandRun {
         hit_optimum: outcomes[best_island].deme.is_optimal(),
         best: outcomes[best_island].deme.best_individual(),
         best_island,
@@ -201,11 +255,12 @@ pub fn run_threaded<D: Deme>(
             .iter()
             .map(|o| o.deme.best_individual().fitness())
             .collect(),
+        stop,
         elapsed: start.elapsed(),
         migrants_sent: outcomes.iter().map(|o| o.sent).sum(),
         migrants_accepted: outcomes.iter().map(|o| o.accepted).sum(),
         histories: outcomes.into_iter().map(|o| o.history).collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -259,10 +314,12 @@ mod tests {
             islands(4, 11),
             &Topology::RingUni,
             MigrationPolicy::default(),
-            IslandStop::generations(300),
+            &Termination::new().until_optimum().max_generations(300),
             false,
-        );
+        )
+        .unwrap();
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
+        assert_eq!(r.stop, StopReason::TargetReached);
         assert_eq!(r.generations.len(), 4);
     }
 
@@ -279,32 +336,31 @@ mod tests {
             islands(4, 13),
             &Topology::Complete,
             policy,
-            IslandStop::generations(300),
+            &Termination::new().until_optimum().max_generations(300),
             false,
-        );
+        )
+        .unwrap();
         assert!(r.hit_optimum, "best = {}", r.best.fitness());
     }
 
     #[test]
     fn threaded_matches_sequential_without_migration() {
-        let stop = IslandStop {
-            max_generations: 30,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        };
+        let stop = Termination::new().max_generations(30);
         let threaded = run_threaded(
             islands(3, 21),
             &Topology::RingUni,
             MigrationPolicy::isolated(),
-            stop,
+            &stop,
             false,
-        );
+        )
+        .unwrap();
         let mut arch = crate::Archipelago::new(
             islands(3, 21),
             Topology::RingUni,
             MigrationPolicy::isolated(),
-        );
-        let sequential = arch.run(&stop);
+        )
+        .unwrap();
+        let sequential = arch.run(&stop).unwrap();
         assert_eq!(threaded.per_island_best, sequential.per_island_best);
         assert_eq!(threaded.total_evaluations, sequential.total_evaluations);
     }
@@ -331,28 +387,39 @@ mod tests {
                 interval: 2,
                 ..MigrationPolicy::default()
             },
-            IslandStop::generations(500),
+            &Termination::new().until_optimum().max_generations(500),
             false,
-        );
+        )
+        .unwrap();
         assert!(r.hit_optimum);
     }
 
     #[test]
     fn history_recorded_per_island() {
-        let stop = IslandStop {
-            max_generations: 12,
-            until_optimum: false,
-            max_total_evaluations: u64::MAX,
-        };
         let r = run_threaded(
             islands(2, 31),
             &Topology::RingBi,
             MigrationPolicy::default(),
-            stop,
+            &Termination::new().max_generations(12),
             true,
-        );
+        )
+        .unwrap();
         assert_eq!(r.histories.len(), 2);
         assert_eq!(r.histories[0].len(), 12);
+    }
+
+    #[test]
+    fn unbounded_rule_is_rejected() {
+        let e = run_threaded(
+            islands(2, 1),
+            &Topology::RingUni,
+            MigrationPolicy::default(),
+            &Termination::new().until_optimum(),
+            false,
+        )
+        .err()
+        .unwrap();
+        assert_eq!(e, ConfigError::UnboundedTermination);
     }
 
     #[test]
@@ -378,18 +445,14 @@ mod tests {
                         .unwrap()
                 })
                 .collect();
-            let stop = IslandStop {
-                max_generations: 40,
-                until_optimum: false,
-                max_total_evaluations: u64::MAX,
-            };
             let _ = run_threaded(
                 islands,
                 &Topology::RingUni,
                 MigrationPolicy::default(),
-                stop,
+                &Termination::new().max_generations(40),
                 false,
-            );
+            )
+            .unwrap();
             merge_island_traces(rings.iter().map(|r| r.take_events()).collect())
         };
         let a = run();
@@ -425,9 +488,10 @@ mod tests {
             demes,
             &Topology::RingUni,
             MigrationPolicy::default(),
-            IslandStop::generations(400),
+            &Termination::new().until_optimum().max_generations(400),
             false,
-        );
+        )
+        .unwrap();
         assert!(r.hit_optimum);
     }
 }

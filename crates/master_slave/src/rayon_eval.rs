@@ -242,8 +242,8 @@ mod tests {
         let mut b = build(4);
         for _ in 0..15 {
             let (sa, sb) = (a.step(), b.step());
-            assert_eq!(sa.pop.best, sb.pop.best);
-            assert_eq!(sa.pop.mean, sb.pop.mean);
+            assert_eq!(sa.best, sb.best);
+            assert_eq!(sa.mean, sb.mean);
         }
     }
 

@@ -8,8 +8,12 @@
 //! Gagné et al. (2003) reproduced as experiment E07.
 
 use pga_cluster::{ClusterSpec, FailurePlan, MasterSlaveSim};
-use pga_core::{Evaluator, Ga, Problem};
+use pga_core::{
+    Clock, ConfigError, Driver, Engine, Evaluator, Ga, Individual, Problem, Progress, Snapshot,
+    SnapshotError, SnapshotWriter, StepReport, StopReason, Termination,
+};
 use pga_observe::{Event, EventKind, Recorder, Time};
+use std::time::Duration;
 
 /// Outcome of a virtual-clock master–slave run.
 #[derive(Clone, Debug)]
@@ -43,14 +47,22 @@ pub struct SimulatedMasterSlaveGa<P: Problem, E: Evaluator<P>> {
     recorder: Option<Box<dyn Recorder>>,
     node_failure_seen: Vec<bool>,
     batch: u64,
+    halted: bool,
 }
 
 impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
     /// Wraps an engine. `eval_cost_s` is the cost of one fitness evaluation
     /// on a speed-1.0 node; the initial population's evaluation is charged
     /// immediately.
-    #[must_use]
-    pub fn new(ga: Ga<P, E>, spec: ClusterSpec, failures: FailurePlan, eval_cost_s: f64) -> Self {
+    ///
+    /// # Errors
+    /// Rejects a non-positive `eval_cost_s`.
+    pub fn new(
+        ga: Ga<P, E>,
+        spec: ClusterSpec,
+        failures: FailurePlan,
+        eval_cost_s: f64,
+    ) -> Result<Self, ConfigError> {
         Self::build(ga, spec, failures, eval_cost_s, None)
     }
 
@@ -58,14 +70,16 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
     /// is reported to `recorder` as sim-time-stamped events. The recorder is
     /// attached *before* the initial population's evaluation is charged, so
     /// the trace covers the whole virtual timeline.
-    #[must_use]
+    ///
+    /// # Errors
+    /// Rejects a non-positive `eval_cost_s`.
     pub fn new_with_recorder(
         ga: Ga<P, E>,
         spec: ClusterSpec,
         failures: FailurePlan,
         eval_cost_s: f64,
         recorder: impl Recorder + 'static,
-    ) -> Self {
+    ) -> Result<Self, ConfigError> {
         Self::build(ga, spec, failures, eval_cost_s, Some(Box::new(recorder)))
     }
 
@@ -75,8 +89,13 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
         failures: FailurePlan,
         eval_cost_s: f64,
         recorder: Option<Box<dyn Recorder>>,
-    ) -> Self {
-        assert!(eval_cost_s > 0.0, "evaluation cost must be positive");
+    ) -> Result<Self, ConfigError> {
+        if eval_cost_s <= 0.0 || !eval_cost_s.is_finite() {
+            return Err(ConfigError::InvalidParameter {
+                name: "eval_cost_s",
+                message: format!("evaluation cost must be positive, got {eval_cost_s}"),
+            });
+        }
         let cluster_size = spec.len();
         let sim = MasterSlaveSim::new(spec, failures);
         let initial_evals = ga.evaluations();
@@ -90,6 +109,7 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
             recorder,
             node_failure_seen: vec![false; cluster_size],
             batch: 0,
+            halted: false,
         };
         s.emit(Time::Sim(0.0), |ga| EventKind::RunStarted {
             island: 0,
@@ -98,7 +118,7 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
             seed: ga.seed(),
         });
         s.charge_batch(initial_evals);
-        s
+        Ok(s)
     }
 
     fn emit(&mut self, time: Time, kind: impl FnOnce(&Ga<P, E>) -> EventKind) {
@@ -166,41 +186,90 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
     }
 
     /// Advances one generation, charging its evaluations to the virtual
-    /// clock. Returns `false` when the cluster can no longer complete a
-    /// batch (all nodes dead).
-    pub fn step(&mut self) -> bool {
+    /// clock. When the cluster can no longer complete a batch (all nodes
+    /// dead) the engine marks itself halted — see [`Engine::halted`].
+    pub fn step(&mut self) -> StepReport {
         let before = self.ga.evaluations();
         let stats = self.ga.step();
         let evals = self.ga.evaluations() - before;
-        let ok = self.charge_batch(evals);
+        if !self.charge_batch(evals) {
+            self.halted = true;
+        }
         self.emit(Time::Sim(self.clock), |_| EventKind::GenerationCompleted {
             island: 0,
             generation: stats.generation,
             evaluations: stats.evaluations,
-            best: stats.pop.best,
-            mean: stats.pop.mean,
+            best: stats.best,
+            mean: stats.mean,
             best_ever: stats.best_ever,
         });
-        ok
+        stats
     }
 
-    /// Runs until the optimum is hit, `max_generations` pass, or the cluster
-    /// dies.
+    /// Nodes dead at the current virtual time.
     #[must_use]
-    pub fn run(mut self, max_generations: u64) -> VirtualRunReport {
-        let mut cluster_died = false;
-        while self.ga.generation() < max_generations {
-            if self.ga.problem().is_optimal(self.ga.best_ever().fitness()) {
-                break;
-            }
-            if !self.step() {
-                cluster_died = true;
-                break;
-            }
-        }
-        let dead_nodes = (0..self.cluster_size)
+    pub fn dead_nodes(&self) -> usize {
+        (0..self.cluster_size)
             .filter(|&i| self.sim.failure_time(i).is_some_and(|t| t <= self.clock))
-            .count();
+            .count()
+    }
+
+    /// Runs under `termination` through the shared [`Driver`]. The engine
+    /// reports a [`Clock::Virtual`] time base, so wall-clock budgets
+    /// (`max_wall_clock`) fire on *simulated* seconds, not host time.
+    /// Total cluster death surfaces as [`StopReason::Halted`] /
+    /// [`VirtualRunReport::cluster_died`].
+    ///
+    /// # Errors
+    /// [`ConfigError::UnboundedTermination`] when `termination` has no
+    /// criteria.
+    pub fn run(mut self, termination: &Termination) -> Result<VirtualRunReport, ConfigError> {
+        let outcome = Driver::new(termination.clone()).run(&mut self)?;
+        Ok(VirtualRunReport {
+            virtual_seconds: self.clock,
+            generations: self.ga.generation(),
+            evaluations: self.ga.evaluations(),
+            best_fitness: outcome.best_fitness,
+            reassignments: self.reassignments,
+            dead_nodes: self.dead_nodes(),
+            hit_optimum: outcome.hit_optimum,
+            cluster_died: outcome.stop == StopReason::Halted,
+        })
+    }
+}
+
+impl<P: Problem, E: Evaluator<P>> Engine for SimulatedMasterSlaveGa<P, E> {
+    type Best = Individual<P::Genome>;
+
+    fn engine_id(&self) -> &'static str {
+        "master-slave-sim"
+    }
+
+    fn step(&mut self) -> StepReport {
+        SimulatedMasterSlaveGa::step(self)
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        // The inner Ga tracks search progress; only the time base differs.
+        Engine::progress(&self.ga, elapsed)
+    }
+
+    fn best(&self) -> Individual<P::Genome> {
+        self.ga.best_ever().clone()
+    }
+
+    fn clock(&self) -> Clock {
+        Clock::Virtual(Duration::from_secs_f64(self.clock))
+    }
+
+    fn halted(&self) -> bool {
+        self.halted
+    }
+
+    // `record_run_started` stays the default no-op: the sim emits its
+    // `RunStarted` at construction, before the initial batch is charged.
+
+    fn record_run_finished(&mut self) {
         let best = self.ga.best_ever().fitness();
         self.emit(Time::Sim(self.clock), |ga| EventKind::RunFinished {
             island: 0,
@@ -212,16 +281,51 @@ impl<P: Problem, E: Evaluator<P>> SimulatedMasterSlaveGa<P, E> {
         if let Some(rec) = &mut self.recorder {
             rec.flush();
         }
-        VirtualRunReport {
-            virtual_seconds: self.clock,
-            generations: self.ga.generation(),
-            evaluations: self.ga.evaluations(),
-            best_fitness: best,
-            reassignments: self.reassignments,
-            dead_nodes,
-            hit_optimum: self.ga.problem().is_optimal(best),
-            cluster_died,
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        let nested = Engine::snapshot(&self.ga);
+        w.put_str(nested.engine());
+        w.put_bytes(nested.payload());
+        w.put_f64(self.clock);
+        w.put_u64(self.reassignments as u64);
+        w.put_u64(self.batch);
+        w.put_bool(self.halted);
+        w.put_usize(self.node_failure_seen.len());
+        for &seen in &self.node_failure_seen {
+            w.put_bool(seen);
         }
+        Snapshot::new(self.engine_id(), w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for(self.engine_id())?;
+        let engine = r.take_str()?;
+        let payload = r.take_bytes()?.to_vec();
+        let clock = r.take_f64()?;
+        let reassignments = r.take_u64()?;
+        let batch = r.take_u64()?;
+        let halted = r.take_bool()?;
+        let n = r.take_usize()?;
+        if n != self.cluster_size {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot has {n} nodes, cluster has {}",
+                self.cluster_size
+            )));
+        }
+        let mut node_failure_seen = Vec::with_capacity(n);
+        for _ in 0..n {
+            node_failure_seen.push(r.take_bool()?);
+        }
+        r.finish()?;
+        Engine::restore(&mut self.ga, &Snapshot::new(engine, payload))?;
+        self.clock = clock;
+        self.reassignments = reassignments as usize;
+        self.batch = batch;
+        self.halted = halted;
+        self.node_failure_seen = node_failure_seen;
+        Ok(())
     }
 }
 
@@ -252,6 +356,12 @@ mod tests {
         }
     }
 
+    fn stop(max_generations: u64) -> Termination {
+        Termination::new()
+            .until_optimum()
+            .max_generations(max_generations)
+    }
+
     fn engine(seed: u64) -> Ga<OneMax> {
         Ga::builder(OneMax(32))
             .seed(seed)
@@ -268,7 +378,10 @@ mod tests {
     fn more_nodes_finish_faster_in_virtual_time() {
         let run = |nodes: usize| {
             let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
-            SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01).run(50)
+            SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01)
+                .unwrap()
+                .run(&stop(50))
+                .unwrap()
         };
         let one = run(1);
         let eight = run(8);
@@ -296,9 +409,14 @@ mod tests {
             None,
             None,
         ]);
-        let faulty = SimulatedMasterSlaveGa::new(engine(2), spec.clone(), failures, 0.01).run(50);
-        let healthy =
-            SimulatedMasterSlaveGa::new(engine(2), spec, FailurePlan::none(nodes), 0.01).run(50);
+        let faulty = SimulatedMasterSlaveGa::new(engine(2), spec.clone(), failures, 0.01)
+            .unwrap()
+            .run(&stop(50))
+            .unwrap();
+        let healthy = SimulatedMasterSlaveGa::new(engine(2), spec, FailurePlan::none(nodes), 0.01)
+            .unwrap()
+            .run(&stop(50))
+            .unwrap();
         // Search result identical (same seed, search unaffected by failures).
         assert_eq!(faulty.best_fitness, healthy.best_fitness);
         assert_eq!(faulty.generations, healthy.generations);
@@ -331,7 +449,9 @@ mod tests {
             0.01,
             ring.clone(),
         )
-        .run(50);
+        .unwrap()
+        .run(&stop(50))
+        .unwrap();
         let events = ring.events();
         assert_eq!(events.first().unwrap().kind.name(), "run_started");
         assert_eq!(events.last().unwrap().kind.name(), "run_finished");
@@ -378,9 +498,14 @@ mod tests {
                     0.01,
                     RingRecorder::new(4096),
                 )
-                .run(30)
+                .unwrap()
+                .run(&stop(30))
+                .unwrap()
             } else {
-                SimulatedMasterSlaveGa::new(engine(9), spec, failures, 0.01).run(30)
+                SimulatedMasterSlaveGa::new(engine(9), spec, failures, 0.01)
+                    .unwrap()
+                    .run(&stop(30))
+                    .unwrap()
             }
         };
         let observed = run(true);
@@ -396,7 +521,10 @@ mod tests {
     fn total_cluster_death_is_reported() {
         let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
         let failures = FailurePlan::at(vec![Some(0.01), Some(0.02)]);
-        let report = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.01).run(1000);
+        let report = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.01)
+            .unwrap()
+            .run(&stop(1000))
+            .unwrap();
         assert!(report.cluster_died);
         assert!(report.generations < 1000);
     }

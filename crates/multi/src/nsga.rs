@@ -9,8 +9,12 @@
 use crate::pareto::{crowding_distance, fast_nondominated_sort};
 use crate::problems::MoProblem;
 use pga_core::ops::{Crossover, Mutation};
-use pga_core::{ConfigError, Rng64};
+use pga_core::{
+    ConfigError, Driver, Engine, Genome, Progress, Rng64, RunOutcome, Snapshot, SnapshotError,
+    SnapshotWriter, StepReport, Termination,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// One population member: genome plus its full objective vector.
 #[derive(Clone, Debug)]
@@ -32,6 +36,10 @@ pub struct MoEngine<P: MoProblem> {
     rng: Rng64,
     generation: u64,
     evaluations: u64,
+    stagnant_generations: u64,
+    /// Best (lowest) masked-objective sum ever seen: the scalar proxy this
+    /// engine reports to the single-objective driver machinery.
+    best_proxy: f64,
 }
 
 impl<P: MoProblem> MoEngine<P> {
@@ -229,6 +237,151 @@ impl<P: MoProblem> MoEngine<P> {
         }
         self.rng = rng;
     }
+
+    /// (min, mean) of the masked-objective sum across the population — the
+    /// scalar quality proxy reported through [`StepReport`] / [`Progress`].
+    /// Smaller is better (minimization convention).
+    fn proxy_stats(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut sum = 0.0;
+        for m in &self.population {
+            let s: f64 = m
+                .objectives
+                .iter()
+                .zip(&self.mask)
+                .filter(|&(_, &keep)| keep)
+                .map(|(&o, _)| o)
+                .sum();
+            min = min.min(s);
+            sum += s;
+        }
+        (min, sum / self.population.len() as f64)
+    }
+
+    /// Runs under `termination` through the shared [`Driver`]. Fitness
+    /// targets apply to the masked-objective-sum proxy (minimized); there
+    /// is no known optimum, so `until_optimum` never fires.
+    ///
+    /// # Errors
+    /// [`ConfigError::UnboundedTermination`] when `termination` has no
+    /// criteria.
+    pub fn run(
+        &mut self,
+        termination: &Termination,
+    ) -> Result<RunOutcome<Vec<MoIndividual<P::Genome>>>, ConfigError> {
+        Driver::new(termination.clone()).run(self)
+    }
+}
+
+impl<P: MoProblem> Engine for MoEngine<P> {
+    /// The current first front under the engine's objective mask.
+    type Best = Vec<MoIndividual<P::Genome>>;
+
+    fn engine_id(&self) -> &'static str {
+        "nsga"
+    }
+
+    fn step(&mut self) -> StepReport {
+        MoEngine::step(self);
+        let (min, mean) = self.proxy_stats();
+        if min < self.best_proxy {
+            self.best_proxy = min;
+            self.stagnant_generations = 0;
+        } else {
+            self.stagnant_generations += 1;
+        }
+        StepReport {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            best: min,
+            mean,
+            best_ever: self.best_proxy,
+        }
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        Progress {
+            generations: self.generation,
+            evaluations: self.evaluations,
+            best_fitness: self.best_proxy,
+            // Pareto fronts have no scalar optimum to trace.
+            best_is_optimal: false,
+            stagnant_generations: self.stagnant_generations,
+            elapsed,
+            maximizing: false,
+            cost_units: self.evaluations as f64,
+        }
+    }
+
+    fn best(&self) -> Vec<MoIndividual<P::Genome>> {
+        self.first_front()
+            .into_iter()
+            .map(|i| self.population[i].clone())
+            .collect()
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        let (state, spare) = self.rng.snapshot_state();
+        for s in state {
+            w.put_u64(s);
+        }
+        w.put_opt_f64(spare);
+        w.put_u64(self.generation);
+        w.put_u64(self.evaluations);
+        w.put_u64(self.stagnant_generations);
+        w.put_f64(self.best_proxy);
+        w.put_usize(self.population.len());
+        for m in &self.population {
+            m.genome.encode(&mut w);
+            w.put_usize(m.objectives.len());
+            for &o in &m.objectives {
+                w.put_f64(o);
+            }
+        }
+        Snapshot::new(self.engine_id(), w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for(self.engine_id())?;
+        let state = [r.take_u64()?, r.take_u64()?, r.take_u64()?, r.take_u64()?];
+        let spare = r.take_opt_f64()?;
+        let generation = r.take_u64()?;
+        let evaluations = r.take_u64()?;
+        let stagnant_generations = r.take_u64()?;
+        let best_proxy = r.take_f64()?;
+        let n = r.take_usize()?;
+        if n != self.population.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot has {n} members, engine is configured for {}",
+                self.population.len()
+            )));
+        }
+        let m = self.problem.objectives();
+        let mut population = Vec::with_capacity(n);
+        for _ in 0..n {
+            let genome = P::Genome::decode(&mut r)?;
+            let k = r.take_usize()?;
+            if k != m {
+                return Err(SnapshotError::Invalid(format!(
+                    "snapshot member has {k} objectives, problem has {m}"
+                )));
+            }
+            let mut objectives = Vec::with_capacity(k);
+            for _ in 0..k {
+                objectives.push(r.take_f64()?);
+            }
+            population.push(MoIndividual { genome, objectives });
+        }
+        r.finish()?;
+        self.rng = Rng64::from_snapshot_state(state, spare);
+        self.generation = generation;
+        self.evaluations = evaluations;
+        self.stagnant_generations = stagnant_generations;
+        self.best_proxy = best_proxy;
+        self.population = population;
+        Ok(())
+    }
 }
 
 /// Builder for [`MoEngine`].
@@ -328,7 +481,7 @@ impl<P: MoProblem> MoEngineBuilder<P> {
                 MoIndividual { genome, objectives }
             })
             .collect();
-        Ok(MoEngine {
+        let mut engine = MoEngine {
             evaluations: population.len() as u64,
             problem: self.problem,
             mask,
@@ -338,7 +491,11 @@ impl<P: MoProblem> MoEngineBuilder<P> {
             crossover_rate: self.crossover_rate,
             rng,
             generation: 0,
-        })
+            stagnant_generations: 0,
+            best_proxy: f64::INFINITY,
+        };
+        engine.best_proxy = engine.proxy_stats().0;
+        Ok(engine)
     }
 }
 

@@ -2,7 +2,7 @@
 //!
 //! Zero-dependency observability subsystem for the `parallel-ga` workspace:
 //! a single structured **event** vocabulary shared by every engine family
-//! (panmictic [`pga-core`], island, cellular, master–slave, and the
+//! (panmictic `pga-core`, island, cellular, master–slave, and the
 //! discrete-event cluster simulator), composable **sinks** to capture those
 //! events, a **metrics registry** (counters, gauges, fixed-bucket
 //! histograms), and lightweight **timing scopes** for hot paths.

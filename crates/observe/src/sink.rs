@@ -51,7 +51,8 @@ fn time_columns(time: Time) -> (String, String) {
     }
 }
 
-/// Writes one CSV row per event against the fixed [`CSV_COLUMNS`] schema.
+/// Writes one CSV row per event against a fixed column schema; the
+/// header row is emitted before the first event.
 ///
 /// Cells are only quoted when they contain a comma, quote, or newline
 /// (standard RFC 4180 quoting), which never happens for numeric fields.

@@ -8,7 +8,7 @@
 
 use parallel_ga::cluster::{ClusterSpec, FailurePlan, NetworkProfile};
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme};
+use parallel_ga::core::{GaBuilder, Scheme, Termination};
 use parallel_ga::master_slave::SimulatedMasterSlaveGa;
 use parallel_ga::problems::DeceptiveTrap;
 use std::sync::Arc;
@@ -39,9 +39,12 @@ fn main() {
     );
 
     // Healthy run.
+    let stop = Termination::new().until_optimum().max_generations(150);
     let healthy =
         SimulatedMasterSlaveGa::new(engine(3), spec.clone(), FailurePlan::none(nodes), 0.005)
-            .run(150);
+            .expect("valid cluster configuration")
+            .run(&stop)
+            .expect("bounded termination");
 
     // Same seeds, but nodes 0..4 die in the first virtual seconds.
     let failures = FailurePlan::at(vec![
@@ -54,7 +57,10 @@ fn main() {
         None,
         None,
     ]);
-    let faulty = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.005).run(150);
+    let faulty = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.005)
+        .expect("valid cluster configuration")
+        .run(&stop)
+        .expect("bounded termination");
 
     println!("\n                       healthy     4 nodes fail");
     println!(

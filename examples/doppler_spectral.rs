@@ -56,8 +56,7 @@ fn main() {
     );
     println!(
         "prediction MSE: fitted {:.4} vs generating model {:.4}",
-        result.best_fitness(),
-        true_mse
+        result.best_fitness, true_mse
     );
     println!(
         "coefficient-space error: {:.4}",

@@ -8,8 +8,8 @@
 
 use parallel_ga::cellular::{CellularGa, UpdatePolicy};
 use parallel_ga::core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-use parallel_ga::core::{BitString, GaBuilder, Problem, Scheme};
-use parallel_ga::island::{Archipelago, Deme, IslandStop, MigrationPolicy};
+use parallel_ga::core::{BitString, GaBuilder, Problem, Scheme, Termination};
+use parallel_ga::island::{Archipelago, Deme, MigrationPolicy};
 use parallel_ga::problems::DeceptiveTrap;
 use parallel_ga::topology::Topology;
 use std::sync::Arc;
@@ -75,8 +75,11 @@ fn main() {
             count: 2,
             ..MigrationPolicy::default()
         },
-    );
-    let result = archipelago.run(&IslandStop::generations(3000));
+    )
+    .expect("valid island configuration");
+    let result = archipelago
+        .run(&Termination::new().until_optimum().max_generations(3000))
+        .expect("bounded termination");
 
     println!(
         "best fitness  : {} (optimal: {})",

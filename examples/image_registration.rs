@@ -57,10 +57,7 @@ fn main() {
     let seedling = Registration::upscale_genome(&r1.best.genome);
     println!(
         "phase 1 (48x48): residual {:.4}, candidate tx={:.2} ty={:.2} theta={:.3}",
-        r1.best_fitness(),
-        seedling[0],
-        seedling[1],
-        seedling[2]
+        r1.best_fitness, seedling[0], seedling[1], seedling[2]
     );
 
     // Phase 2 — full resolution, small refinement around the candidate.
@@ -78,10 +75,7 @@ fn main() {
     let (terr, rerr) = Registration::error_vs(&r2.best.genome, truth);
     println!(
         "phase 2 (96x96): residual {:.4}, found tx={:.2} ty={:.2} theta={:.3}",
-        r2.best_fitness(),
-        found.tx,
-        found.ty,
-        found.theta
+        r2.best_fitness, found.tx, found.ty, found.theta
     );
     println!("registration error: {terr:.2} px translation, {rerr:.4} rad rotation");
     println!("sub-pixel accurate: {}", terr < 1.0);

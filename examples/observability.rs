@@ -12,8 +12,8 @@
 
 use parallel_ga::analysis::render_snapshot;
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme};
-use parallel_ga::island::{Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::core::{GaBuilder, Scheme, Termination};
+use parallel_ga::island::{Archipelago, MigrationPolicy};
 use parallel_ga::observe::{replay, CsvSink, JsonlSink, MetricsRecorder, RingRecorder};
 use parallel_ga::problems::DeceptiveTrap;
 use parallel_ga::topology::Topology;
@@ -53,12 +53,11 @@ fn main() {
             interval: 10,
             ..MigrationPolicy::default()
         },
-    );
-    let result = arch.run(&IslandStop {
-        max_generations: 80,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    });
+    )
+    .expect("valid island configuration");
+    let result = arch
+        .run(&Termination::new().max_generations(80))
+        .expect("bounded termination");
     println!(
         "run finished: best {:.1} on island {}, {} evaluations, {} migrants sent\n",
         result.best.fitness(),

@@ -5,8 +5,9 @@
 //! ```
 
 use parallel_ga::core::ops::{BlxAlpha, GaussianMutation, Tournament};
+use parallel_ga::core::Termination;
 use parallel_ga::core::{GaBuilder, Problem, Scheme};
-use parallel_ga::island::{run_threaded, IslandStop, MigrationPolicy};
+use parallel_ga::island::{run_threaded, MigrationPolicy};
 use parallel_ga::problems::{RealFunction, RealProblem};
 use parallel_ga::topology::Topology;
 use std::sync::Arc;
@@ -40,9 +41,10 @@ fn main() {
         islands,
         &Topology::RingUni,
         MigrationPolicy::default(),
-        IslandStop::generations(2000),
+        &Termination::new().until_optimum().max_generations(2000),
         false,
-    );
+    )
+    .expect("valid island configuration");
 
     println!("problem        : {}", problem.name());
     println!("best fitness   : {:.6}", result.best.fitness());

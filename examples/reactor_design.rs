@@ -8,8 +8,8 @@
 
 use parallel_ga::apps::ReactorDesign;
 use parallel_ga::core::ops::{IntCreep, Tournament, Uniform};
-use parallel_ga::core::{GaBuilder, Problem, Scheme};
-use parallel_ga::island::{Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::core::{GaBuilder, Problem, Scheme, Termination};
+use parallel_ga::island::{Archipelago, MigrationPolicy};
 use parallel_ga::topology::Topology;
 use std::sync::Arc;
 
@@ -38,8 +38,11 @@ fn main() {
                 .expect("valid configuration")
         })
         .collect();
-    let mut archipelago = Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default());
-    let result = archipelago.run(&IslandStop::generations(2000));
+    let mut archipelago = Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default())
+        .expect("valid island configuration");
+    let result = archipelago
+        .run(&Termination::new().until_optimum().max_generations(2000))
+        .expect("bounded termination");
 
     let design = &result.best.genome;
     println!(

@@ -41,10 +41,7 @@ fn main() {
     let result = ga
         .run(&Termination::new().max_generations(80))
         .expect("bounded");
-    println!(
-        "evolved training wealth      : {:.4}",
-        result.best_fitness()
-    );
+    println!("evolved training wealth      : {:.4}", result.best_fitness);
 
     let (strategy, buy_and_hold) = shared.test_outcome(&result.best.genome);
     println!("held-out strategy wealth     : {:.4}", strategy.wealth);

@@ -6,8 +6,9 @@
 //! ```
 
 use parallel_ga::core::ops::{Inversion, Ox, Tournament};
+use parallel_ga::core::Termination;
 use parallel_ga::core::{GaBuilder, Problem, Scheme};
-use parallel_ga::island::{Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::island::{Archipelago, MigrationPolicy};
 use parallel_ga::problems::Tsp;
 use parallel_ga::topology::Topology;
 use std::sync::Arc;
@@ -41,8 +42,11 @@ fn main() {
             count: 2,
             ..MigrationPolicy::default()
         },
-    );
-    let result = archipelago.run(&IslandStop::generations(2000));
+    )
+    .expect("valid island configuration");
+    let result = archipelago
+        .run(&Termination::new().until_optimum().max_generations(2000))
+        .expect("bounded termination");
 
     println!("best tour length : {:.6}", result.best.fitness());
     println!("optimal found    : {}", result.hit_optimum);

@@ -82,9 +82,9 @@ fn spectral_fit_recovers_ar_coefficients() {
         .expect("bounded");
     // Fitted model predicts nearly as well as the generating model...
     assert!(
-        r.best_fitness() < 1.3 * true_mse,
+        r.best_fitness < 1.3 * true_mse,
         "{} vs {}",
-        r.best_fitness(),
+        r.best_fitness,
         true_mse
     );
     // ...and sits close in coefficient space.
@@ -106,7 +106,7 @@ fn stock_predictor_beats_training_buy_and_hold() {
     let r = ga
         .run(&Termination::new().max_generations(50))
         .expect("bounded");
-    assert!(r.best_fitness() > bah, "{} <= {}", r.best_fitness(), bah);
+    assert!(r.best_fitness > bah, "{} <= {}", r.best_fitness, bah);
     // Held-out evaluation runs without panicking and returns sane wealth.
     let (strat, hold) = shared.test_outcome(&r.best.genome);
     assert!(strat.wealth > 0.0 && hold.wealth > 0.0);
@@ -120,7 +120,7 @@ fn hga_runs_and_improves_over_budget() {
         0.1,
         4.0,
     ));
-    let hga = Hga::new(
+    let mut hga = Hga::new(
         problem,
         HgaConfig::default(),
         5,
@@ -140,16 +140,15 @@ fn hga_runs_and_improves_over_budget() {
                 .build()
                 .expect("valid configuration")
         },
-    );
-    let report = hga.run(5_000.0);
-    assert!(
-        report.best.fitness() < 1.0,
-        "best {}",
-        report.best.fitness()
-    );
-    assert!(report.cost_units <= 5_500.0);
-    let first = report.trajectory.first().expect("non-empty").best_precise;
-    assert!(report.best.fitness() < first);
+    )
+    .expect("valid hierarchy configuration");
+    let report = hga
+        .run(&Termination::new().until_optimum().max_cost_units(5_000.0))
+        .expect("bounded");
+    assert!(report.best_fitness < 1.0, "best {}", report.best_fitness);
+    assert!(hga.cost_units() <= 5_500.0);
+    let first = hga.trajectory().first().expect("non-empty").best_precise;
+    assert!(report.best_fitness < first);
 }
 
 #[test]

@@ -1,0 +1,252 @@
+//! Checkpoint/resume: for every engine family, stopping at generation `g`,
+//! serializing the snapshot to bytes, restoring it into a freshly built
+//! engine of the same configuration, and continuing must be bit-identical
+//! to an uninterrupted run. Corrupted and mismatched snapshots must be
+//! rejected with typed errors, never a panic.
+
+use parallel_ga::cellular::CellularGa;
+use parallel_ga::cluster::{ClusterSpec, FailurePlan, NetworkProfile};
+use parallel_ga::core::ops::{BitFlip, BlxAlpha, GaussianMutation, OnePoint, Sbx, Tournament};
+use parallel_ga::core::{Bounds, Engine, Ga, GaBuilder, Scheme, Snapshot, SnapshotError};
+use parallel_ga::hierarchical::{BlurredFidelity, Hga, HgaConfig, LevelView};
+use parallel_ga::island::{Archipelago, MigrationPolicy};
+use parallel_ga::master_slave::SimulatedMasterSlaveGa;
+use parallel_ga::multiobjective::{MoEngine, Zdt};
+use parallel_ga::problems::{DeceptiveTrap, OneMax, RealFunction, RealProblem};
+use parallel_ga::topology::Topology;
+use std::sync::Arc;
+
+/// Runs `total` steps uninterrupted, then replays the same run as
+/// `split` steps → snapshot → byte roundtrip → restore into a fresh
+/// engine → remaining steps, and asserts the final serialized states are
+/// byte-for-byte equal.
+fn assert_bit_identical_resume<E: Engine>(mut make: impl FnMut() -> E, total: u64, split: u64) {
+    assert!(split < total);
+    let mut reference = make();
+    for _ in 0..total {
+        reference.step();
+    }
+    let expected = reference.snapshot().to_bytes();
+
+    let mut first_leg = make();
+    for _ in 0..split {
+        first_leg.step();
+    }
+    let bytes = first_leg.snapshot().to_bytes();
+    let checkpoint = Snapshot::from_bytes(&bytes).expect("snapshot roundtrips through bytes");
+
+    let mut resumed = make();
+    resumed
+        .restore(&checkpoint)
+        .expect("restore into an identically configured engine");
+    for _ in 0..(total - split) {
+        resumed.step();
+    }
+    assert_eq!(
+        resumed.snapshot().to_bytes(),
+        expected,
+        "resumed run diverged from the uninterrupted run ({})",
+        reference.engine_id()
+    );
+}
+
+fn onemax_ga(seed: u64) -> Ga<Arc<OneMax>> {
+    GaBuilder::new(Arc::new(OneMax::new(48)))
+        .seed(seed)
+        .pop_size(30)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(48))
+        .scheme(Scheme::Generational { elitism: 1 })
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn sequential_ga_resumes_bit_identically() {
+    assert_bit_identical_resume(|| onemax_ga(11), 20, 7);
+}
+
+#[test]
+fn archipelago_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            let problem = Arc::new(DeceptiveTrap::new(4, 8));
+            let islands = (0..4)
+                .map(|i| {
+                    GaBuilder::new(Arc::clone(&problem))
+                        .seed(40 + i)
+                        .pop_size(20)
+                        .selection(Tournament::binary())
+                        .crossover(OnePoint)
+                        .mutation(BitFlip::one_over_len(32))
+                        .scheme(Scheme::Generational { elitism: 1 })
+                        .build()
+                        .expect("valid configuration")
+                })
+                .collect();
+            Archipelago::new(islands, Topology::RingUni, MigrationPolicy::default())
+                .expect("valid island configuration")
+        },
+        // Crosses two migration epochs, snapshots mid-epoch.
+        40,
+        19,
+    );
+}
+
+#[test]
+fn cellular_ga_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            CellularGa::builder(OneMax::new(32))
+                .grid(8, 8)
+                .seed(5)
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(32))
+                .build()
+                .expect("valid configuration")
+        },
+        15,
+        6,
+    );
+}
+
+#[test]
+fn hga_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            let problem = Arc::new(BlurredFidelity::new(
+                RealProblem::new(RealFunction::Sphere, 4).with_target(0.05),
+                2,
+                0.1,
+                4.0,
+            ));
+            Hga::new(
+                problem,
+                HgaConfig::default(),
+                5,
+                |view: LevelView<_>, seed| {
+                    let bounds = Bounds::uniform(-5.12, 5.12, 4);
+                    GaBuilder::new(view)
+                        .seed(seed)
+                        .pop_size(12)
+                        .selection(Tournament::binary())
+                        .crossover(BlxAlpha::new(bounds.clone()))
+                        .mutation(GaussianMutation {
+                            p: 0.25,
+                            sigma: 0.3,
+                            bounds,
+                        })
+                        .scheme(Scheme::Generational { elitism: 1 })
+                        .build()
+                        .expect("valid configuration")
+                },
+            )
+            .expect("valid hierarchy configuration")
+        },
+        10,
+        4,
+    );
+}
+
+#[test]
+fn nsga_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            let p = Zdt::new(1, 6);
+            let b = p.bounds().clone();
+            MoEngine::builder(p)
+                .seed(23)
+                .pop_size(20)
+                .crossover(Sbx::new(b.clone()))
+                .mutation(GaussianMutation {
+                    p: 0.1,
+                    sigma: 0.1,
+                    bounds: b,
+                })
+                .build()
+                .expect("valid configuration")
+        },
+        18,
+        9,
+    );
+}
+
+#[test]
+fn simulated_master_slave_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            let spec = ClusterSpec::heterogeneous(6, 4.0, 5, NetworkProfile::FastEthernet);
+            SimulatedMasterSlaveGa::new(
+                onemax_ga(3),
+                spec,
+                FailurePlan::exponential(6, 2.0, 100.0, 9),
+                0.01,
+            )
+            .expect("valid cluster configuration")
+        },
+        16,
+        5,
+    );
+}
+
+#[test]
+fn corrupted_snapshot_bytes_are_rejected() {
+    let ga = onemax_ga(1);
+    let mut bytes = ga.snapshot().to_bytes();
+    // Flip one payload bit; the FNV checksum must catch it.
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    assert_eq!(
+        Snapshot::from_bytes(&bytes),
+        Err(SnapshotError::ChecksumMismatch)
+    );
+}
+
+#[test]
+fn truncated_and_garbage_snapshots_are_rejected() {
+    let bytes = onemax_ga(1).snapshot().to_bytes();
+    assert!(Snapshot::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    assert!(Snapshot::from_bytes(&[]).is_err());
+    assert_eq!(
+        Snapshot::from_bytes(b"not a snapshot at all"),
+        Err(SnapshotError::BadHeader)
+    );
+}
+
+#[test]
+fn wrong_engine_snapshot_is_rejected_on_restore() {
+    let sequential = onemax_ga(1);
+    let mut cellular = CellularGa::builder(OneMax::new(48))
+        .grid(6, 5)
+        .seed(2)
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(48))
+        .build()
+        .expect("valid configuration");
+    match cellular.restore(&sequential.snapshot()) {
+        Err(SnapshotError::WrongEngine { expected, found }) => {
+            assert_eq!(expected, cellular.engine_id());
+            assert_eq!(found, sequential.engine_id());
+        }
+        other => panic!("expected WrongEngine, got {other:?}"),
+    }
+}
+
+#[test]
+fn mismatched_configuration_is_rejected_on_restore() {
+    let big = onemax_ga(1);
+    let mut small = GaBuilder::new(Arc::new(OneMax::new(48)))
+        .seed(1)
+        .pop_size(10) // differs from the snapshot's 30
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(48))
+        .scheme(Scheme::Generational { elitism: 1 })
+        .build()
+        .expect("valid configuration");
+    assert!(matches!(
+        small.restore(&big.snapshot()),
+        Err(SnapshotError::Invalid(_))
+    ));
+}

@@ -4,8 +4,8 @@
 
 use parallel_ga::cluster::{ClusterSpec, FailurePlan, NetworkProfile};
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{Ga, GaBuilder, Scheme, SerialEvaluator};
-use parallel_ga::island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::core::{Ga, GaBuilder, Scheme, SerialEvaluator, Termination};
+use parallel_ga::island::{run_threaded, Archipelago, MigrationPolicy};
 use parallel_ga::master_slave::{RayonEvaluator, SimulatedMasterSlaveGa};
 use parallel_ga::problems::{DeceptiveTrap, OneMax};
 use parallel_ga::topology::Topology;
@@ -36,9 +36,9 @@ fn master_slave_is_search_equivalent_to_serial() {
         let a = serial.step();
         let b = rayon2.step();
         let c = rayon4.step();
-        assert_eq!(a.pop.best, b.pop.best);
-        assert_eq!(a.pop.best, c.pop.best);
-        assert_eq!(a.pop.mean, b.pop.mean);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best, c.best);
+        assert_eq!(a.mean, b.mean);
         assert_eq!(a.evaluations, c.evaluations);
     }
 }
@@ -62,25 +62,24 @@ fn trap_islands(seed: u64) -> Vec<Ga<Arc<DeceptiveTrap>, SerialEvaluator>> {
 
 #[test]
 fn threaded_sync_islands_match_sequential_stepper_exactly() {
-    let stop = IslandStop {
-        max_generations: 48, // crosses three migration epochs
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    };
+    // 48 generations crosses three migration epochs.
+    let stop = Termination::new().max_generations(48);
     let threaded = run_threaded(
         trap_islands(9),
         &Topology::RingUni,
         MigrationPolicy::default(),
-        stop,
+        &stop,
         true,
-    );
+    )
+    .expect("valid island configuration");
     let mut arch = Archipelago::new(
         trap_islands(9),
         Topology::RingUni,
         MigrationPolicy::default(),
     )
+    .expect("valid island configuration")
     .with_history(true);
-    let sequential = arch.run(&stop);
+    let sequential = arch.run(&stop).expect("bounded");
 
     assert_eq!(threaded.per_island_best, sequential.per_island_best);
     assert_eq!(threaded.total_evaluations, sequential.total_evaluations);
@@ -97,25 +96,23 @@ fn threaded_sync_islands_match_sequential_stepper_exactly() {
 
 #[test]
 fn threaded_run_is_deterministic_across_replays() {
-    let stop = IslandStop {
-        max_generations: 32,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    };
+    let stop = Termination::new().max_generations(32);
     let a = run_threaded(
         trap_islands(77),
         &Topology::Complete,
         MigrationPolicy::default(),
-        stop,
+        &stop,
         false,
-    );
+    )
+    .expect("valid island configuration");
     let b = run_threaded(
         trap_islands(77),
         &Topology::Complete,
         MigrationPolicy::default(),
-        stop,
+        &stop,
         false,
-    );
+    )
+    .expect("valid island configuration");
     assert_eq!(a.per_island_best, b.per_island_best);
     assert_eq!(a.total_evaluations, b.total_evaluations);
 }
@@ -129,14 +126,18 @@ fn simulated_cluster_failures_never_change_search_results() {
         FailurePlan::none(8),
         0.01,
     )
-    .run(40);
+    .expect("valid cluster configuration")
+    .run(&Termination::new().until_optimum().max_generations(40))
+    .expect("bounded");
     let faulty = SimulatedMasterSlaveGa::new(
         onemax_ga(SerialEvaluator, 3),
         spec,
         FailurePlan::exponential(8, 2.0, 100.0, 9),
         0.01,
     )
-    .run(40);
+    .expect("valid cluster configuration")
+    .run(&Termination::new().until_optimum().max_generations(40))
+    .expect("bounded");
     assert_eq!(healthy.best_fitness, faulty.best_fitness);
     assert_eq!(healthy.generations, faulty.generations);
     assert_eq!(healthy.evaluations, faulty.evaluations);
@@ -149,12 +150,11 @@ fn migration_accepts_are_bounded_by_sends() {
         trap_islands(13),
         Topology::RingBi,
         MigrationPolicy::default(),
-    );
-    let r = arch.run(&IslandStop {
-        max_generations: 64,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    });
+    )
+    .expect("valid island configuration");
+    let r = arch
+        .run(&Termination::new().max_generations(64))
+        .expect("bounded");
     assert!(r.migrants_accepted <= r.migrants_sent);
     // Ring-bi, 4 islands, migration every 16 gens over 64 gens: 4 epochs,
     // 2 out-edges per island, 1 migrant each.

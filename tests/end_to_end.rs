@@ -6,7 +6,7 @@ use parallel_ga::core::ops::{
     BitFlip, BlxAlpha, GaussianMutation, Inversion, OnePoint, Ox, ReplacementPolicy, Tournament,
 };
 use parallel_ga::core::{Ga, GaBuilder, Problem, Scheme, StopReason, Termination};
-use parallel_ga::island::{run_threaded, Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::island::{run_threaded, Archipelago, MigrationPolicy};
 use parallel_ga::master_slave::RayonEvaluator;
 use parallel_ga::problems::{
     DeceptiveTrap, Knapsack, MaxSat, Mttp, OneMax, PPeaks, RealFunction, RealProblem, SubsetSum,
@@ -41,7 +41,7 @@ fn sequential_ga_solves_binary_suite() {
         let r = ga
             .run(&Termination::new().until_optimum().max_generations(1500))
             .expect("bounded");
-        assert!(r.hit_optimum, "{name}: best {}", r.best_fitness());
+        assert!(r.hit_optimum, "{name}: best {}", r.best_fitness);
         assert_eq!(r.stop, StopReason::TargetReached, "{name}");
     }
 }
@@ -66,7 +66,7 @@ fn sequential_ga_minimizes_sphere() {
     let r = ga
         .run(&Termination::new().until_optimum().max_generations(2000))
         .expect("bounded");
-    assert!(r.hit_optimum, "best {}", r.best_fitness());
+    assert!(r.hit_optimum, "best {}", r.best_fitness);
 }
 
 #[test]
@@ -91,9 +91,10 @@ fn threaded_islands_solve_knapsack_to_dp_optimum() {
         islands,
         &Topology::RingUni,
         MigrationPolicy::default(),
-        IslandStop::generations(800),
+        &Termination::new().until_optimum().max_generations(800),
         false,
-    );
+    )
+    .expect("valid island configuration");
     assert!(
         r.hit_optimum,
         "islands reached {} of DP optimum {}",
@@ -118,8 +119,11 @@ fn sequential_archipelago_solves_tsp_circle() {
                 .expect("valid configuration")
         })
         .collect();
-    let mut arch = Archipelago::new(islands, Topology::RingBi, MigrationPolicy::default());
-    let r = arch.run(&IslandStop::generations(1500));
+    let mut arch = Archipelago::new(islands, Topology::RingBi, MigrationPolicy::default())
+        .expect("valid island configuration");
+    let r = arch
+        .run(&Termination::new().until_optimum().max_generations(1500))
+        .expect("bounded");
     assert!(
         r.hit_optimum,
         "tour {} vs optimum {:?}",
@@ -139,13 +143,10 @@ fn cellular_ga_solves_ppeaks_under_every_policy() {
             .mutation(BitFlip::one_over_len(48))
             .build()
             .expect("valid configuration");
-        let _ = cga.run(400);
-        assert!(
-            cga.problem().is_optimal(cga.best_ever().fitness()),
-            "{}: best {}",
-            policy.name(),
-            cga.best_ever().fitness()
-        );
+        let r = cga
+            .run(&Termination::new().until_optimum().max_generations(400))
+            .expect("bounded");
+        assert!(r.hit_optimum, "{}: best {}", policy.name(), r.best_fitness);
     }
 }
 
@@ -173,10 +174,9 @@ fn steady_state_ga_matches_mttp_exhaustive_optimum() {
         )
         .expect("bounded");
     assert_eq!(
-        r.best_fitness(),
-        exact,
+        r.best_fitness, exact,
         "GA {} vs exact {exact}",
-        r.best_fitness()
+        r.best_fitness
     );
 }
 

@@ -4,7 +4,7 @@
 
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
 use parallel_ga::core::{GaBuilder, Scheme, SerialEvaluator, Termination};
-use parallel_ga::island::{Archipelago, IslandStop, MigrationPolicy};
+use parallel_ga::island::{Archipelago, MigrationPolicy};
 use parallel_ga::observe::{EventKind, RingRecorder};
 use parallel_ga::problems::OneMax;
 use parallel_ga::topology::Topology;
@@ -42,11 +42,7 @@ fn recorder_attach_detach_does_not_change_single_ga_run() {
 
 #[test]
 fn recorder_attach_detach_does_not_change_island_run() {
-    let stop = IslandStop {
-        max_generations: 60,
-        until_optimum: false,
-        max_total_evaluations: u64::MAX,
-    };
+    let stop = Termination::new().max_generations(60);
     let policy = MigrationPolicy {
         interval: 8,
         ..MigrationPolicy::default()
@@ -64,8 +60,8 @@ fn recorder_attach_detach_does_not_change_island_run() {
                 }
             })
             .collect();
-        let mut arch = Archipelago::new(islands, Topology::RingUni, policy);
-        (arch.run(&stop), ring)
+        let mut arch = Archipelago::new(islands, Topology::RingUni, policy).unwrap();
+        (arch.run(&stop).unwrap(), ring)
     };
 
     let (plain, _) = run(false);

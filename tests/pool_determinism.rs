@@ -38,7 +38,7 @@ fn ga_trajectory<E: Evaluator<Arc<OneMax>>>(evaluator: E, seed: u64) -> Vec<(f64
     (0..GENS)
         .map(|_| {
             let s = engine.step();
-            (s.pop.best, s.pop.mean, engine.best_ever().genome.clone())
+            (s.best, s.mean, engine.best_ever().genome.clone())
         })
         .collect()
 }

@@ -213,7 +213,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact `usize`, `a..b`, or
+    /// Length specification for [`vec()`]: an exact `usize`, `a..b`, or
     /// `a..=b`.
     pub trait IntoSizeRange {
         /// Inclusive `(min, max)` length bounds.
