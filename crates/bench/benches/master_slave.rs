@@ -30,7 +30,7 @@ fn bench(c: &mut Criterion) {
             )
         });
         for workers in [1usize, 2, 4] {
-            let evaluator = RayonEvaluator::new(workers);
+            let evaluator = RayonEvaluator::new(workers).expect("pool");
             group.bench_with_input(BenchmarkId::new("rayon", workers), &workers, |b, _| {
                 b.iter_batched(
                     || batch(&mut rng),

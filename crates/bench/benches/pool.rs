@@ -90,8 +90,10 @@ fn main() {
     // ~1 µs per 1000 spin iterations (same scale e02 uses).
     for (grain, iters) in [("cheap", 0u64), ("20us", 20_000)] {
         let problem = ExpensiveFitness::new(OneMax::new(LEN), iters);
-        let pool = RayonEvaluator::new(WORKERS);
-        let pool_hint = RayonEvaluator::new(WORKERS).with_min_chunk(64);
+        let pool = RayonEvaluator::new(WORKERS).expect("pool");
+        let pool_hint = RayonEvaluator::new(WORKERS)
+            .and_then(|p| p.with_min_chunk(64))
+            .expect("pool");
         let mut table = Table::new(vec![
             "batch",
             "serial us",

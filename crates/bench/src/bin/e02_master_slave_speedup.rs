@@ -29,7 +29,7 @@ fn wall_time(workers: usize, work_iters: u64) -> f64 {
         .crossover(OnePoint)
         .mutation(BitFlip::one_over_len(LEN))
         .scheme(Scheme::Generational { elitism: 1 })
-        .evaluator(RayonEvaluator::new(workers))
+        .evaluator(RayonEvaluator::new(workers).expect("pool"))
         .build()
         .expect("valid config");
     let t0 = Instant::now();
@@ -86,7 +86,7 @@ fn part_pool_health() {
     .with_title("E02c — pool health, 20 generations of 128 medium-grain evaluations");
     for workers in [1usize, 2, 4, 8] {
         let problem = Arc::new(ExpensiveFitness::new(OneMax::new(LEN), 50_000));
-        let evaluator = RayonEvaluator::new(workers);
+        let evaluator = RayonEvaluator::new(workers).expect("pool");
         let mut ga = GaBuilder::new(problem)
             .seed(7)
             .pop_size(POP)
@@ -131,13 +131,15 @@ fn part_b() {
         for (cost_name, cost) in [("0.1 ms", 1e-4), ("10 ms", 1e-2)] {
             let tasks = vec![cost; 512];
             let base = {
-                let sim =
-                    MasterSlaveSim::new(ClusterSpec::homogeneous(1, net), FailurePlan::none(1));
+                let sim = MasterSlaveSim::new(
+                    ClusterSpec::homogeneous(1, net).expect("cluster config"),
+                    FailurePlan::none(1),
+                );
                 sim.run_batch(&tasks).makespan
             };
             for nodes in [1usize, 2, 4, 8, 16, 32, 64] {
                 let sim = MasterSlaveSim::new(
-                    ClusterSpec::homogeneous(nodes, net),
+                    ClusterSpec::homogeneous(nodes, net).expect("cluster config"),
                     FailurePlan::none(nodes),
                 );
                 let makespan = sim.run_batch(&tasks).makespan;
@@ -165,7 +167,7 @@ fn sanity() {
         .crossover(OnePoint)
         .mutation(BitFlip::one_over_len(LEN))
         .scheme(Scheme::Generational { elitism: 1 })
-        .evaluator(RayonEvaluator::new(4))
+        .evaluator(RayonEvaluator::new(4).expect("pool"))
         .build()
         .expect("valid config");
     for _ in 0..10 {

@@ -111,7 +111,7 @@ fn simulated_seconds(k: usize, median_evals: f64) -> f64 {
         migrant_bytes: 64,
         out_degree: 1,
     };
-    let spec = ClusterSpec::homogeneous(k, NetworkProfile::Myrinet);
+    let spec = ClusterSpec::homogeneous(k, NetworkProfile::Myrinet).expect("cluster config");
     simulate_sync_islands(&spec, &cfg)
 }
 

@@ -141,11 +141,13 @@ fn main() {
         let mut ms_reassigns = Vec::new();
         for rep in 0..reps(REPS) {
             let seed = 100 + rep as u64;
-            let spec = ClusterSpec::heterogeneous(NODES, 4.0, seed, NetworkProfile::Myrinet);
+            let spec = ClusterSpec::heterogeneous(NODES, 4.0, seed, NetworkProfile::Myrinet)
+                .expect("cluster config");
             let failures = if mtbf.is_infinite() {
                 FailurePlan::none(NODES)
             } else {
                 FailurePlan::exponential(NODES, mtbf, horizon, seed ^ 0xABCD)
+                    .expect("cluster config")
             };
             let ga =
                 pga_bench::standard_binary_ga(Arc::clone(&problem), problem.len(), TOTAL_POP, seed);
@@ -192,11 +194,13 @@ fn main() {
         let mut deads = Vec::new();
         for rep in 0..reps(REPS) {
             let seed = 100 + rep as u64;
-            let spec = ClusterSpec::heterogeneous(NODES, 4.0, seed, NetworkProfile::Myrinet);
+            let spec = ClusterSpec::heterogeneous(NODES, 4.0, seed, NetworkProfile::Myrinet)
+                .expect("cluster config");
             let failures = if mtbf.is_infinite() {
                 FailurePlan::none(NODES)
             } else {
                 FailurePlan::exponential(NODES, mtbf, horizon, seed ^ 0xABCD)
+                    .expect("cluster config")
             };
             let (best, clock, dead) = island_run(&problem, &spec, &failures, seed);
             bests.push(best);

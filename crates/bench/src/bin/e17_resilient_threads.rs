@@ -1,0 +1,247 @@
+//! E17 — Resilient threaded master–slave under fault injection: the
+//! real-thread counterpart of E07's simulated fault-tolerance study.
+//!
+//! Claims checked:
+//! 1. **Failure-invariant search** — because fitness is pure, the threaded
+//!    runtime's search trajectory is bit-identical across fault plans
+//!    (none / exponential deaths / mixed deaths+panics+stragglers) and
+//!    matches the plain serial GA; faults cost wall time and lifecycle
+//!    churn, never search state (the Gagné et al. 2003 argument, now on
+//!    real threads).
+//! 2. **Cross-validated failure model** — the same seeded fault script,
+//!    bridged from task counts to virtual time via
+//!    `FaultPlan::to_failure_plan`, drives the discrete-event
+//!    `SimulatedMasterSlaveGa` to the same best fitness.
+//!
+//! Lifecycle accounting (dispatches, retries, reassignments, quarantines,
+//! inline fallbacks) is read back from the pga-observe trace, not from the
+//! runtime's internals.
+
+use pga_analysis::{Summary, Table};
+use pga_bench::{emit, reps};
+use pga_cluster::{ClusterSpec, FaultPlan, NetworkProfile};
+use pga_core::ops::{BitFlip, OnePoint, Tournament};
+use pga_core::{Ga, GaBuilder, Scheme, Termination};
+use pga_master_slave::{ExpensiveFitness, ResilientEvaluator, SimulatedMasterSlaveGa};
+use pga_observe::{replay, MetricsRecorder, RingRecorder};
+use pga_problems::DeceptiveTrap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WORKERS: usize = 6;
+const POP: usize = 64;
+const GENS: u64 = 30;
+const WORK_ITERS: u64 = 2_000; // ~2 µs busy-work per evaluation
+const EVAL_COST_S: f64 = 0.01; // virtual seconds per evaluation (simulator)
+const REPS: usize = 5;
+
+type Trap = ExpensiveFitness<DeceptiveTrap>;
+
+fn trap() -> Arc<Trap> {
+    Arc::new(ExpensiveFitness::new(DeceptiveTrap::new(4, 12), WORK_ITERS))
+}
+
+fn threaded_ga(
+    seed: u64,
+    eval: ResilientEvaluator<Arc<Trap>>,
+) -> Ga<Arc<Trap>, ResilientEvaluator<Arc<Trap>>> {
+    GaBuilder::new(trap())
+        .seed(seed)
+        .pop_size(POP)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(48))
+        .scheme(Scheme::Generational { elitism: 1 })
+        .evaluator(eval)
+        .build()
+        .expect("valid GA config")
+}
+
+struct PlanRow {
+    best: Vec<f64>,
+    wall_ms: Vec<f64>,
+    dispatched: f64,
+    retries: f64,
+    reassigned: f64,
+    quarantined: f64,
+    inline: f64,
+}
+
+fn run_plan(make_plan: impl Fn(u64) -> FaultPlan) -> PlanRow {
+    let mut row = PlanRow {
+        best: Vec::new(),
+        wall_ms: Vec::new(),
+        dispatched: 0.0,
+        retries: 0.0,
+        reassigned: 0.0,
+        quarantined: 0.0,
+        inline: 0.0,
+    };
+    for rep in 0..reps(REPS) {
+        let seed = 300 + rep as u64;
+        let ring = RingRecorder::new(1 << 16);
+        let eval = ResilientEvaluator::builder(trap(), WORKERS)
+            .task_deadline(Duration::from_millis(10))
+            .heartbeat_interval(Duration::from_millis(3))
+            .heartbeat_timeout(Duration::from_millis(12))
+            .backoff_base(Duration::from_micros(200))
+            .fault_plan(make_plan(seed))
+            .recorder(ring.clone())
+            .build()
+            .expect("valid resilient config");
+        let mut ga = threaded_ga(seed, eval);
+        let started = Instant::now();
+        let outcome = ga
+            .run(&Termination::new().max_generations(GENS))
+            .expect("bounded");
+        row.wall_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        row.best.push(outcome.best_fitness);
+        row.inline += ga.evaluator().stats().master_inline as f64;
+
+        // Lifecycle accounting via the observe pipeline: replay the trace
+        // into a metrics recorder and read the resilient.* counters.
+        let mut metrics = MetricsRecorder::new(vec![1e3, 1e4, 1e5]);
+        replay(&ring.take_events(), &mut metrics);
+        let registry = metrics.registry();
+        row.dispatched += registry.counter("resilient.dispatched") as f64;
+        row.retries += registry.counter("resilient.retries") as f64;
+        row.reassigned += registry.counter("cluster.reassignments") as f64;
+        row.quarantined += registry.counter("resilient.quarantined") as f64;
+    }
+    let n = reps(REPS) as f64;
+    row.dispatched /= n;
+    row.retries /= n;
+    row.reassigned /= n;
+    row.quarantined /= n;
+    row.inline /= n;
+    row
+}
+
+fn main() {
+    // Injected worker panics are caught and handled by the runtime; keep
+    // their backtraces out of the experiment output.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str));
+        let injected = message.is_some_and(|m| m.contains("injected worker panic"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let n_reps = reps(REPS);
+
+    // Serial reference trajectory (same operators, same seeds).
+    let serial_best: Vec<f64> = (0..n_reps)
+        .map(|rep| {
+            let seed = 300 + rep as u64;
+            pga_bench::standard_binary_ga(Arc::new(DeceptiveTrap::new(4, 12)), 48, POP, seed)
+                .run(&Termination::new().max_generations(GENS))
+                .expect("bounded")
+                .best_fitness
+        })
+        .collect();
+
+    type PlanFactory = Box<dyn Fn(u64) -> FaultPlan>;
+    let plans: Vec<(&str, PlanFactory)> = vec![
+        ("none", Box::new(|_| FaultPlan::none(WORKERS))),
+        (
+            "exp deaths",
+            Box::new(|seed| {
+                FaultPlan::exponential_deaths(WORKERS, 300.0, 200, seed ^ 0xABCD)
+                    .expect("positive mean")
+            }),
+        ),
+        (
+            "mixed faults",
+            Box::new(|seed| FaultPlan::random(WORKERS, seed)),
+        ),
+    ];
+
+    let mut t = Table::new(vec![
+        "fault plan",
+        "mean best (opt 48)",
+        "wall [ms]",
+        "dispatched",
+        "retries",
+        "reassigned",
+        "quarantined",
+        "inline",
+    ])
+    .with_title(format!(
+        "E17 — resilient threaded master-slave, trap 4x12, {WORKERS} workers, {n_reps} reps"
+    ));
+
+    let mut rows = Vec::new();
+    for (label, make_plan) in &plans {
+        let row = run_plan(make_plan);
+        // Claim 1: bit-identical search under any fault plan.
+        assert_eq!(
+            row.best, serial_best,
+            "{label}: threaded best diverged from the serial trajectory"
+        );
+        let b = Summary::of(&row.best);
+        let w = Summary::of(&row.wall_ms);
+        t.row(vec![
+            (*label).to_string(),
+            b.mean_pm_std(2),
+            format!("{:.1} ± {:.1}", w.mean, w.std_dev),
+            format!("{:.0}", row.dispatched),
+            format!("{:.1}", row.retries),
+            format!("{:.1}", row.reassigned),
+            format!("{:.1}", row.quarantined),
+            format!("{:.1}", row.inline),
+        ]);
+        rows.push(row);
+    }
+    emit(&t);
+
+    // Claim 2: the simulator, driven by the bridged fault description,
+    // reaches the same best fitness (search is failure-invariant in both
+    // runtimes) and sees the scripted node losses.
+    let mut t2 = Table::new(vec![
+        "seed",
+        "threaded best",
+        "sim best",
+        "terminal workers",
+        "sim dead nodes",
+    ])
+    .with_title(format!(
+        "E17b — cross-validation vs SimulatedMasterSlaveGa (exp-deaths plan bridged at {EVAL_COST_S} s/eval)"
+    ));
+    for (rep, &serial) in serial_best.iter().enumerate() {
+        let seed = 300 + rep as u64;
+        let plan = FaultPlan::exponential_deaths(WORKERS, 300.0, 200, seed ^ 0xABCD)
+            .expect("positive mean");
+        let failures = plan.to_failure_plan(EVAL_COST_S);
+        let spec = ClusterSpec::homogeneous(WORKERS, NetworkProfile::SharedMemory)
+            .expect("non-empty cluster");
+        let ga = pga_bench::standard_binary_ga(Arc::new(DeceptiveTrap::new(4, 12)), 48, POP, seed);
+        let report = SimulatedMasterSlaveGa::new(ga, spec, failures, EVAL_COST_S)
+            .expect("valid cluster configuration")
+            .run(&Termination::new().max_generations(GENS))
+            .expect("bounded");
+        assert_eq!(
+            report.best_fitness, serial,
+            "seed {seed}: simulator diverged from the serial trajectory"
+        );
+        t2.row(vec![
+            seed.to_string(),
+            format!("{serial:.0}"),
+            format!("{:.0}", report.best_fitness),
+            plan.terminal_workers().to_string(),
+            report.dead_nodes.to_string(),
+        ]);
+    }
+    emit(&t2);
+    println!(
+        "reading: identical best-fitness columns — search state survives every fault plan in\n\
+         both the real-thread runtime and the simulator; faults only show up as lifecycle churn\n\
+         (retries/reassignments/quarantines) and wall time. Reproduces E07's conclusion on\n\
+         real threads and cross-validates the two failure models through one fault script."
+    );
+}

@@ -1,0 +1,270 @@
+//! Shared fault scripts for *real-thread* worker pools.
+//!
+//! [`FailurePlan`] describes node deaths in **virtual
+//! seconds** for the discrete-event simulator. Real worker threads have no
+//! virtual clock, so the threaded resilient runtime (`pga-master-slave`)
+//! scripts faults in **task counts** instead: "worker 3 dies when handed its
+//! 6th task", "worker 1 panics evaluating its 2nd task", "worker 0 sleeps
+//! 2 ms before every task". Both descriptions live here so the simulator and
+//! the threaded runtime consume one seeded fault description — the
+//! [`FaultPlan::to_failure_plan`] bridge converts task counts back into
+//! virtual time for cross-validation experiments (E17 vs E07).
+//!
+//! Plans are drawn once (seeded) and then fixed, mirroring `FailurePlan`:
+//! the same plan replayed against the same batch yields the same lifecycle
+//! trace up to thread scheduling, and — because fitness is pure — always
+//! the same fitness values.
+
+use crate::spec::FailurePlan;
+use pga_core::{ConfigError, Rng64};
+use std::time::Duration;
+
+/// Fault script for a single worker thread.
+///
+/// All task indices are 0-based and count the tasks *received* by this
+/// worker. `Default` is a healthy worker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerFault {
+    /// Worker dies silently (thread exits, no message) upon *receiving* its
+    /// `n`-th task (0-based): `Some(0)` dies on the first task it is handed.
+    pub die_on_task: Option<u64>,
+    /// Worker panics while *evaluating* its `n`-th task (0-based). The
+    /// panic is caught by the worker loop and reported to the master, which
+    /// quarantines the worker.
+    pub panic_on_task: Option<u64>,
+    /// Added latency before evaluating each task — a permanent straggler
+    /// (the heterogeneous-workstation effect of Gagné et al. 2003).
+    pub delay_per_task: Duration,
+}
+
+impl WorkerFault {
+    /// A healthy worker: never dies, never panics, no added latency.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// `true` when this worker has no scripted fault of any kind.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.die_on_task.is_none() && self.panic_on_task.is_none() && self.delay_per_task.is_zero()
+    }
+
+    /// `true` when the script removes the worker from service at some point
+    /// (death or panic — slowdowns keep the worker alive).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        self.die_on_task.is_some() || self.panic_on_task.is_some()
+    }
+
+    /// Task index at which the worker leaves service, if any (earliest of
+    /// death and panic).
+    #[must_use]
+    pub fn terminal_task(&self) -> Option<u64> {
+        match (self.die_on_task, self.panic_on_task) {
+            (Some(d), Some(p)) => Some(d.min(p)),
+            (d, p) => d.or(p),
+        }
+    }
+}
+
+/// Deterministic per-worker fault script for a threaded worker pool.
+///
+/// The real-thread counterpart of [`FailurePlan`]: one [`WorkerFault`] per
+/// worker, drawn once (seeded constructors) and then fixed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<WorkerFault>,
+}
+
+impl FaultPlan {
+    /// No faults on `n` workers.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        Self {
+            faults: vec![WorkerFault::healthy(); n],
+        }
+    }
+
+    /// Explicit per-worker scripts (testing hook).
+    #[must_use]
+    pub fn at(faults: Vec<WorkerFault>) -> Self {
+        Self { faults }
+    }
+
+    /// Exponential task-count death times, the task-domain analogue of
+    /// [`FailurePlan::exponential`]: each worker draws a death task from
+    /// Exp(1/`mean_tasks`); draws beyond `horizon_tasks` never die.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `mean_tasks` is not positive
+    /// (or NaN).
+    pub fn exponential_deaths(
+        n: usize,
+        mean_tasks: f64,
+        horizon_tasks: u64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if mean_tasks.is_nan() || mean_tasks <= 0.0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "mean_tasks",
+                message: format!("must be positive, got {mean_tasks}"),
+            });
+        }
+        let mut rng = Rng64::new(seed);
+        let faults = (0..n)
+            .map(|_| {
+                let u = rng.next_f64().max(f64::MIN_POSITIVE);
+                let t = (-mean_tasks * u.ln()).floor() as u64;
+                WorkerFault {
+                    die_on_task: (t <= horizon_tasks).then_some(t),
+                    ..WorkerFault::healthy()
+                }
+            })
+            .collect();
+        Ok(Self { faults })
+    }
+
+    /// Mixed-mode stress plan: each worker independently draws a silent
+    /// death (~1/3), a panic (~1/6), a slowdown (~1/4), or stays healthy.
+    /// Used by the fault-injection stress suite; always leaves worker 0
+    /// free of terminal faults so the pool keeps at least one survivor
+    /// (the master degrades gracefully even without one, but the survivor
+    /// keeps stress runs fast).
+    #[must_use]
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = Rng64::new(seed);
+        let faults = (0..n)
+            .map(|w| {
+                let roll = rng.next_f64();
+                let task = rng.next_u64() % 8;
+                let mut fault = WorkerFault::healthy();
+                if w > 0 && roll < 1.0 / 3.0 {
+                    fault.die_on_task = Some(task);
+                } else if w > 0 && roll < 0.5 {
+                    fault.panic_on_task = Some(task);
+                } else if roll < 0.75 {
+                    fault.delay_per_task = Duration::from_micros(200 + task * 150);
+                }
+                fault
+            })
+            .collect();
+        Self { faults }
+    }
+
+    /// Fault script of worker `i`.
+    #[must_use]
+    pub fn fault(&self, worker: usize) -> &WorkerFault {
+        &self.faults[worker]
+    }
+
+    /// Worker count covered by the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// `true` when the plan covers zero workers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// `true` when no worker has any scripted fault — the disabled-equivalent
+    /// plan under which the resilient runtime must be bit-identical to
+    /// serial evaluation.
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.faults.iter().all(WorkerFault::is_healthy)
+    }
+
+    /// Number of workers that leave service within the plan (death or panic).
+    #[must_use]
+    pub fn terminal_workers(&self) -> usize {
+        self.faults.iter().filter(|f| f.is_terminal()).count()
+    }
+
+    /// Projects this task-count script into the simulator's virtual-time
+    /// failure model: a worker that leaves service on its `k`-th task is
+    /// mapped to a node failing at virtual time `(k + 0.5) * eval_cost_s`
+    /// (mid-task, so the simulator also loses the in-flight task), assuming
+    /// each worker evaluates back-to-back tasks of uniform cost
+    /// `eval_cost_s`. This is the bridge the E17 cross-validation uses to
+    /// replay one fault description against both runtimes.
+    #[must_use]
+    pub fn to_failure_plan(&self, eval_cost_s: f64) -> FailurePlan {
+        assert!(eval_cost_s > 0.0, "eval_cost_s must be positive");
+        FailurePlan::at(
+            self.faults
+                .iter()
+                .map(|f| f.terminal_task().map(|k| (k as f64 + 0.5) * eval_cost_s))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_benign() {
+        let plan = FaultPlan::none(8);
+        assert_eq!(plan.len(), 8);
+        assert!(plan.is_benign());
+        assert_eq!(plan.terminal_workers(), 0);
+    }
+
+    #[test]
+    fn exponential_deaths_deterministic_and_bounded() {
+        let a = FaultPlan::exponential_deaths(100, 10.0, 40, 7).unwrap();
+        let b = FaultPlan::exponential_deaths(100, 10.0, 40, 7).unwrap();
+        assert_eq!(a, b);
+        for w in 0..100 {
+            if let Some(t) = a.fault(w).die_on_task {
+                assert!(t <= 40);
+            }
+        }
+        assert!(a.terminal_workers() > 0);
+    }
+
+    #[test]
+    fn random_plan_spares_worker_zero() {
+        for seed in 0..50 {
+            let plan = FaultPlan::random(6, seed);
+            assert!(!plan.fault(0).is_terminal(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn random_plans_differ_by_seed() {
+        assert_ne!(FaultPlan::random(8, 1), FaultPlan::random(8, 2));
+    }
+
+    #[test]
+    fn terminal_task_takes_earliest() {
+        let f = WorkerFault {
+            die_on_task: Some(5),
+            panic_on_task: Some(2),
+            delay_per_task: Duration::ZERO,
+        };
+        assert_eq!(f.terminal_task(), Some(2));
+        assert!(f.is_terminal());
+        assert!(!f.is_healthy());
+    }
+
+    #[test]
+    fn bridge_to_failure_plan_places_mid_task_failures() {
+        let plan = FaultPlan::at(vec![
+            WorkerFault::healthy(),
+            WorkerFault {
+                die_on_task: Some(3),
+                ..WorkerFault::healthy()
+            },
+        ]);
+        let virt = plan.to_failure_plan(2.0);
+        assert_eq!(virt.fail_time(0), None);
+        assert_eq!(virt.fail_time(1), Some(7.0));
+        assert_eq!(virt.failing_nodes(), 1);
+    }
+}

@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn homogeneous_sync_equals_async_modulo_comm() {
-        let spec = ClusterSpec::homogeneous(8, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(8, NetworkProfile::SharedMemory).unwrap();
         let sync = simulate_sync_islands(&spec, &cfg());
         let async_ = simulate_async_islands(&spec, &cfg());
         // With free communication and equal speeds the two coincide.
@@ -95,7 +95,7 @@ mod tests {
         // For this simple model both end with the slow island: equal.
         assert!((sync - async_).abs() < 1e-9);
         // Against an all-fast cluster the slowdown factor is 4.
-        let fast = ClusterSpec::homogeneous(4, NetworkProfile::SharedMemory);
+        let fast = ClusterSpec::homogeneous(4, NetworkProfile::SharedMemory).unwrap();
         // speeds are 1.0; scale epochs' compute by 1/4 via speed 4 cluster:
         let fast4 = ClusterSpec {
             speeds: vec![4.0; 4],
@@ -108,8 +108,8 @@ mod tests {
 
     #[test]
     fn slow_network_penalizes_sync_epochs() {
-        let spec_fast_net = ClusterSpec::homogeneous(8, NetworkProfile::Myrinet);
-        let spec_slow_net = ClusterSpec::homogeneous(8, NetworkProfile::Internet);
+        let spec_fast_net = ClusterSpec::homogeneous(8, NetworkProfile::Myrinet).unwrap();
+        let spec_slow_net = ClusterSpec::homogeneous(8, NetworkProfile::Internet).unwrap();
         let sync_fast = simulate_sync_islands(&spec_fast_net, &cfg());
         let sync_slow = simulate_sync_islands(&spec_slow_net, &cfg());
         assert!(sync_slow > sync_fast);
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn makespan_scales_with_epochs_and_work() {
-        let spec = ClusterSpec::homogeneous(4, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(4, NetworkProfile::SharedMemory).unwrap();
         let base = simulate_sync_islands(&spec, &cfg());
         let mut double = cfg();
         double.epochs *= 2;

@@ -22,6 +22,7 @@
 #![warn(clippy::all)]
 
 pub mod event;
+pub mod fault;
 pub mod island_sim;
 pub mod master_slave_sim;
 pub mod network;
@@ -29,6 +30,7 @@ pub mod observe_bridge;
 pub mod spec;
 
 pub use event::EventQueue;
+pub use fault::{FaultPlan, WorkerFault};
 pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimConfig};
 pub use master_slave_sim::{BatchReport, MasterSlaveSim, TraceEvent};
 pub use network::NetworkProfile;

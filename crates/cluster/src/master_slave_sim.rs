@@ -281,7 +281,10 @@ mod tests {
     use super::*;
 
     fn sim(n: usize, net: NetworkProfile) -> MasterSlaveSim {
-        MasterSlaveSim::new(ClusterSpec::homogeneous(n, net), FailurePlan::none(n))
+        MasterSlaveSim::new(
+            ClusterSpec::homogeneous(n, net).unwrap(),
+            FailurePlan::none(n),
+        )
     }
 
     #[test]
@@ -327,7 +330,7 @@ mod tests {
 
     #[test]
     fn failed_node_task_is_reassigned() {
-        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory).unwrap();
         // Node 0 dies at t=0.5, mid-task.
         let failures = FailurePlan::at(vec![Some(0.5), None]);
         let s = MasterSlaveSim::new(spec, failures);
@@ -341,7 +344,7 @@ mod tests {
 
     #[test]
     fn whole_cluster_death_terminates_with_partial_results() {
-        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory).unwrap();
         let failures = FailurePlan::at(vec![Some(0.1), Some(0.2)]);
         let s = MasterSlaveSim::new(spec, failures);
         let r = s.run_batch(&[1.0; 4]);
@@ -369,8 +372,8 @@ mod tests {
 
     #[test]
     fn deterministic_replay() {
-        let spec = ClusterSpec::heterogeneous(6, 3.0, 9, NetworkProfile::GigabitEthernet);
-        let failures = FailurePlan::exponential(6, 10.0, 5.0, 4);
+        let spec = ClusterSpec::heterogeneous(6, 3.0, 9, NetworkProfile::GigabitEthernet).unwrap();
+        let failures = FailurePlan::exponential(6, 10.0, 5.0, 4).unwrap();
         let s = MasterSlaveSim::new(spec, failures);
         let tasks: Vec<f64> = (0..40).map(|i| 0.1 + 0.01 * i as f64).collect();
         let a = s.run_batch(&tasks);
@@ -382,7 +385,7 @@ mod tests {
 
     #[test]
     fn run_batch_at_respects_absolute_failures() {
-        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory).unwrap();
         // Node 0 fails at t=5.0 absolute.
         let s = MasterSlaveSim::new(spec, FailurePlan::at(vec![Some(5.0), None]));
         // Batch starting at t=10: node 0 is already dead.

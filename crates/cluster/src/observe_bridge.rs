@@ -42,7 +42,7 @@ mod tests {
 
     #[test]
     fn failures_and_requeues_are_lifted_with_sim_time() {
-        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory).unwrap();
         let failures = FailurePlan::at(vec![Some(0.5), None]);
         let sim = MasterSlaveSim::new(spec, failures);
         let report = sim.run_batch(&[1.0, 1.0, 1.0]);

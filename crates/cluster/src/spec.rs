@@ -1,7 +1,7 @@
 //! Cluster composition and failure plans.
 
 use crate::network::NetworkProfile;
-use pga_core::Rng64;
+use pga_core::{ConfigError, Rng64};
 
 /// Static description of a simulated cluster.
 #[derive(Clone, Debug)]
@@ -15,24 +15,49 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// `n` identical nodes of speed 1.0.
-    #[must_use]
-    pub fn homogeneous(n: usize, network: NetworkProfile) -> Self {
-        assert!(n >= 1, "a cluster needs at least one node");
-        Self {
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `n` is zero.
+    pub fn homogeneous(n: usize, network: NetworkProfile) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "nodes",
+                message: "a cluster needs at least one node".into(),
+            });
+        }
+        Ok(Self {
             speeds: vec![1.0; n],
             network,
-        }
+        })
     }
 
     /// `n` nodes with speeds drawn uniformly from `[1, max_ratio]` — the
     /// "network of heterogeneous workstations" of Gagné et al. (2003).
-    #[must_use]
-    pub fn heterogeneous(n: usize, max_ratio: f64, seed: u64, network: NetworkProfile) -> Self {
-        assert!(n >= 1, "a cluster needs at least one node");
-        assert!(max_ratio >= 1.0, "max_ratio must be >= 1");
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `n` is zero or `max_ratio`
+    /// is below 1 (or NaN).
+    pub fn heterogeneous(
+        n: usize,
+        max_ratio: f64,
+        seed: u64,
+        network: NetworkProfile,
+    ) -> Result<Self, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "nodes",
+                message: "a cluster needs at least one node".into(),
+            });
+        }
+        if max_ratio.is_nan() || max_ratio < 1.0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "max_ratio",
+                message: format!("must be >= 1, got {max_ratio}"),
+            });
+        }
         let mut rng = Rng64::new(seed);
         let speeds = (0..n).map(|_| rng.range_f64(1.0, max_ratio)).collect();
-        Self { speeds, network }
+        Ok(Self { speeds, network })
     }
 
     /// Node count.
@@ -76,9 +101,22 @@ impl FailurePlan {
 
     /// Exponential failure times with the given mean time between failures;
     /// nodes whose drawn time exceeds `horizon` never fail.
-    #[must_use]
-    pub fn exponential(n: usize, mtbf_s: f64, horizon_s: f64, seed: u64) -> Self {
-        assert!(mtbf_s > 0.0, "MTBF must be positive");
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `mtbf_s` is not positive
+    /// (or NaN).
+    pub fn exponential(
+        n: usize,
+        mtbf_s: f64,
+        horizon_s: f64,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if mtbf_s.is_nan() || mtbf_s <= 0.0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "mtbf_s",
+                message: format!("MTBF must be positive, got {mtbf_s}"),
+            });
+        }
         let mut rng = Rng64::new(seed);
         let fail_at = (0..n)
             .map(|_| {
@@ -88,7 +126,7 @@ impl FailurePlan {
                 (t <= horizon_s).then_some(t)
             })
             .collect();
-        Self { fail_at }
+        Ok(Self { fail_at })
     }
 
     /// Explicit fail times (testing hook).
@@ -128,28 +166,28 @@ mod tests {
 
     #[test]
     fn homogeneous_speeds() {
-        let c = ClusterSpec::homogeneous(8, NetworkProfile::Myrinet);
+        let c = ClusterSpec::homogeneous(8, NetworkProfile::Myrinet).unwrap();
         assert_eq!(c.len(), 8);
         assert_eq!(c.total_speed(), 8.0);
     }
 
     #[test]
     fn heterogeneous_speeds_in_range() {
-        let c = ClusterSpec::heterogeneous(100, 4.0, 7, NetworkProfile::FastEthernet);
+        let c = ClusterSpec::heterogeneous(100, 4.0, 7, NetworkProfile::FastEthernet).unwrap();
         assert!(c.speeds.iter().all(|&s| (1.0..=4.0).contains(&s)));
         assert!(c.total_speed() > 100.0 && c.total_speed() < 400.0);
     }
 
     #[test]
     fn heterogeneous_is_deterministic() {
-        let a = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet);
-        let b = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet);
+        let a = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet).unwrap();
+        let b = ClusterSpec::heterogeneous(10, 3.0, 1, NetworkProfile::Internet).unwrap();
         assert_eq!(a.speeds, b.speeds);
     }
 
     #[test]
     fn exponential_failures_respect_horizon() {
-        let plan = FailurePlan::exponential(1000, 100.0, 50.0, 3);
+        let plan = FailurePlan::exponential(1000, 100.0, 50.0, 3).unwrap();
         for i in 0..1000 {
             if let Some(t) = plan.fail_time(i) {
                 assert!(t > 0.0 && t <= 50.0);

@@ -14,7 +14,7 @@ proptest! {
         nodes in 1usize..12,
     ) {
         let sim = MasterSlaveSim::new(
-            ClusterSpec::homogeneous(nodes, NetworkProfile::GigabitEthernet),
+            ClusterSpec::homogeneous(nodes, NetworkProfile::GigabitEthernet).unwrap(),
             FailurePlan::none(nodes),
         );
         let r = sim.run_batch(&tasks);
@@ -28,7 +28,7 @@ proptest! {
         tasks in tasks_strategy(),
         nodes in 1usize..12,
     ) {
-        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory).unwrap();
         let sim = MasterSlaveSim::new(spec.clone(), FailurePlan::none(nodes));
         let r = sim.run_batch(&tasks);
         let total: f64 = tasks.iter().sum();
@@ -46,7 +46,7 @@ proptest! {
     ) {
         let time = |nodes: usize| {
             MasterSlaveSim::new(
-                ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory),
+                ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory).unwrap(),
                 FailurePlan::none(nodes),
             )
             .run_batch(&tasks)
@@ -86,12 +86,12 @@ proptest! {
         fail_at in 0.01f64..5.0,
     ) {
         let healthy = MasterSlaveSim::new(
-            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory),
+            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory).unwrap(),
             FailurePlan::none(3),
         )
         .run_batch(&tasks);
         let faulty = MasterSlaveSim::new(
-            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory),
+            ClusterSpec::homogeneous(3, NetworkProfile::SharedMemory).unwrap(),
             FailurePlan::at(vec![Some(fail_at), None, None]),
         )
         .run_batch(&tasks);
@@ -118,8 +118,8 @@ proptest! {
 
     #[test]
     fn exponential_plan_is_deterministic(n in 1usize..64, seed in any::<u64>()) {
-        let a = FailurePlan::exponential(n, 10.0, 100.0, seed);
-        let b = FailurePlan::exponential(n, 10.0, 100.0, seed);
+        let a = FailurePlan::exponential(n, 10.0, 100.0, seed).unwrap();
+        let b = FailurePlan::exponential(n, 10.0, 100.0, seed).unwrap();
         for i in 0..n {
             prop_assert_eq!(a.fail_time(i), b.fail_time(i));
         }

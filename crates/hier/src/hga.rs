@@ -42,6 +42,89 @@ pub struct CostPoint {
     pub best_precise: f64,
 }
 
+/// Island factory used by [`HgaBuilder`]: configures one engine for a given
+/// fidelity view and seed.
+pub type IslandFactory<F> = Box<dyn FnMut(LevelView<F>, u64) -> Ga<LevelView<F>, SerialEvaluator>>;
+
+/// Fluent configuration for [`Hga`] — the builder façade matching
+/// `GaBuilder`/`CellularGaBuilder`; validation happens in
+/// [`build`](HgaBuilder::build).
+pub struct HgaBuilder<F: FidelityProblem> {
+    problem: Arc<F>,
+    config: HgaConfig,
+    seed: u64,
+    build_island: Option<IslandFactory<F>>,
+}
+
+impl<F: FidelityProblem> HgaBuilder<F> {
+    fn new(problem: Arc<F>) -> Self {
+        Self {
+            problem,
+            config: HgaConfig::default(),
+            seed: 0,
+            build_island: None,
+        }
+    }
+
+    /// Islands per layer, root first (see [`HgaConfig::layer_widths`]).
+    #[must_use]
+    pub fn layer_widths(mut self, widths: Vec<usize>) -> Self {
+        self.config.layer_widths = widths;
+        self
+    }
+
+    /// Generations each island evolves between migrations.
+    #[must_use]
+    pub fn epoch_generations(mut self, generations: u64) -> Self {
+        self.config.epoch_generations = generations;
+        self
+    }
+
+    /// Individuals promoted up (and sent down) per epoch.
+    #[must_use]
+    pub fn promote_count(mut self, count: usize) -> Self {
+        self.config.promote_count = count;
+        self
+    }
+
+    /// Base seed; island `i` gets `seed + i`.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Island factory: builds one engine for a fidelity view and seed
+    /// (operators, population size, scheme). Required.
+    #[must_use]
+    pub fn island(
+        mut self,
+        build: impl FnMut(LevelView<F>, u64) -> Ga<LevelView<F>, SerialEvaluator> + 'static,
+    ) -> Self {
+        self.build_island = Some(Box::new(build));
+        self
+    }
+
+    /// Validates the configuration and assembles the hierarchy.
+    ///
+    /// # Errors
+    /// [`ConfigError::MissingComponent`] without an island factory;
+    /// [`ConfigError::InvalidParameter`] on empty/zero-width layers, zero
+    /// `promote_count`, or zero `epoch_generations`.
+    pub fn build(self) -> Result<Hga<F>, ConfigError> {
+        if self.config.epoch_generations == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "epoch_generations",
+                message: "must be > 0".into(),
+            });
+        }
+        let build_island = self
+            .build_island
+            .ok_or(ConfigError::MissingComponent("island factory"))?;
+        Hga::new(self.problem, self.config, self.seed, build_island)
+    }
+}
+
 /// A tree of islands over fidelity levels.
 pub struct Hga<F: FidelityProblem> {
     problem: Arc<F>,
@@ -59,6 +142,13 @@ pub struct Hga<F: FidelityProblem> {
 }
 
 impl<F: FidelityProblem> Hga<F> {
+    /// Starts configuring a hierarchy over `problem` — the canonical
+    /// entry point (see [`HgaBuilder`]).
+    #[must_use]
+    pub fn builder(problem: Arc<F>) -> HgaBuilder<F> {
+        HgaBuilder::new(problem)
+    }
+
     /// Assembles the hierarchy. `build_island` configures one engine for a
     /// given fidelity view and seed (operators, population size, scheme).
     ///

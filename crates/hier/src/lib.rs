@@ -21,4 +21,4 @@ pub mod fidelity;
 pub mod hga;
 
 pub use fidelity::{BlurredFidelity, FidelityProblem, LevelView};
-pub use hga::{CostPoint, Hga, HgaConfig};
+pub use hga::{CostPoint, Hga, HgaBuilder, HgaConfig, IslandFactory};

@@ -62,7 +62,105 @@ pub struct Archipelago<D: Deme> {
     histories: Vec<Vec<StepReport>>,
 }
 
+/// Fluent configuration for island runs — the builder façade matching
+/// `GaBuilder`/`CellularGaBuilder`. One builder serves both engines:
+/// [`build`](ArchipelagoBuilder::build) assembles the deterministic
+/// sequential [`Archipelago`], while
+/// [`run_threaded`](ArchipelagoBuilder::run_threaded) launches the same
+/// configuration on one thread per island ([`crate::run_threaded`]).
+pub struct ArchipelagoBuilder<D: Deme> {
+    islands: Vec<D>,
+    topology: Topology,
+    policy: MigrationPolicy,
+    history: bool,
+}
+
+impl<D: Deme> Default for ArchipelagoBuilder<D> {
+    fn default() -> Self {
+        Self {
+            islands: Vec::new(),
+            topology: Topology::RingUni,
+            policy: MigrationPolicy::default(),
+            history: false,
+        }
+    }
+}
+
+impl<D: Deme> ArchipelagoBuilder<D> {
+    /// Adds one island.
+    #[must_use]
+    pub fn island(mut self, deme: D) -> Self {
+        self.islands.push(deme);
+        self
+    }
+
+    /// Adds a batch of islands.
+    #[must_use]
+    pub fn islands(mut self, demes: impl IntoIterator<Item = D>) -> Self {
+        self.islands.extend(demes);
+        self
+    }
+
+    /// Migration topology (default: unidirectional ring).
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Migration policy (default: [`MigrationPolicy::default`]).
+    #[must_use]
+    pub fn policy(mut self, policy: MigrationPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Records per-generation statistics for every island (E11 traces).
+    #[must_use]
+    pub fn history(mut self, record: bool) -> Self {
+        self.history = record;
+        self
+    }
+
+    /// Validates the configuration and assembles the sequential stepper.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when no islands were added or the
+    /// topology rejects the island count.
+    pub fn build(self) -> Result<Archipelago<D>, ConfigError> {
+        Archipelago::new(self.islands, self.topology, self.policy)
+            .map(|a| a.with_history(self.history))
+    }
+
+    /// Validates the configuration and runs it on one thread per island
+    /// (see [`crate::run_threaded`] for the threading semantics).
+    ///
+    /// # Errors
+    /// As [`build`](Self::build), plus
+    /// [`ConfigError::UnboundedTermination`] when `termination` has no
+    /// criteria.
+    pub fn run_threaded(
+        self,
+        termination: &Termination,
+    ) -> Result<IslandRun<D::Genome>, ConfigError> {
+        crate::threaded::run_threaded(
+            self.islands,
+            &self.topology,
+            self.policy,
+            termination,
+            self.history,
+        )
+    }
+}
+
 impl<D: Deme> Archipelago<D> {
+    /// Starts configuring an island run — the canonical entry point (see
+    /// [`ArchipelagoBuilder`]).
+    #[must_use]
+    pub fn builder() -> ArchipelagoBuilder<D> {
+        ArchipelagoBuilder::default()
+    }
+
     /// Assembles an archipelago. Fails when `islands` is empty or the
     /// topology rejects the island count.
     pub fn new(

@@ -24,7 +24,7 @@ pub mod deme;
 pub mod migration;
 pub mod threaded;
 
-pub use archipelago::{Archipelago, IslandRun};
+pub use archipelago::{Archipelago, ArchipelagoBuilder, IslandRun};
 pub use deme::Deme;
 pub use migration::{EmigrantSelection, MigrationPolicy, SyncMode};
 pub use threaded::run_threaded;

@@ -8,10 +8,14 @@
 //! unreliable, heterogeneous hardware: losing a worker loses time, never
 //! search state.
 //!
-//! Two execution substrates:
+//! Three execution substrates:
 //!
 //! * [`RayonEvaluator`] — real shared-memory parallelism on a rayon pool
 //!   (plugs into [`pga_core::Ga`] through the [`pga_core::Evaluator`] seam);
+//! * [`ResilientEvaluator`] — real threads with the fault tolerance of
+//!   Gagné et al. (2003): per-task deadlines, heartbeats, retry/backoff,
+//!   quarantine, and graceful degradation under a seeded
+//!   [`pga_cluster::FaultPlan`];
 //! * [`SimulatedMasterSlaveGa`] — the same evolution driven against the
 //!   `pga-cluster` discrete-event simulator, with a persistent virtual clock
 //!   and hard node failures, for cluster-scale experiments (E02/E07).
@@ -21,8 +25,10 @@
 
 pub mod expensive;
 pub mod rayon_eval;
+pub mod resilient;
 pub mod simulated;
 
 pub use expensive::ExpensiveFitness;
 pub use rayon_eval::RayonEvaluator;
+pub use resilient::{ResilientBuilder, ResilientEvaluator, ResilientStats};
 pub use simulated::{SimulatedMasterSlaveGa, VirtualRunReport};

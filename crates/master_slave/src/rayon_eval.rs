@@ -1,10 +1,10 @@
 //! Rayon-backed batch evaluation.
 
-use pga_core::{Evaluator, Individual, Problem};
+use pga_core::{ConfigError, Evaluator, Individual, Problem};
 use pga_observe::{Event, EventKind, Recorder, Stopwatch};
 use rayon::prelude::*;
 use rayon::{PoolStats, ThreadPool};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 struct EvalTrace {
     recorder: Box<dyn Recorder>,
@@ -29,22 +29,30 @@ pub struct RayonEvaluator {
 impl RayonEvaluator {
     /// Builds a pool with `workers` threads (≥ 1).
     ///
-    /// # Panics
-    /// Panics if the pool cannot be built (resource exhaustion).
-    #[must_use]
-    pub fn new(workers: usize) -> Self {
-        assert!(workers >= 1, "need at least one worker");
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] on zero workers or when the pool
+    /// cannot be built (resource exhaustion).
+    pub fn new(workers: usize) -> Result<Self, ConfigError> {
+        if workers == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "workers",
+                message: "need at least one worker".into(),
+            });
+        }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(workers)
             .thread_name(|i| format!("pga-ms-worker-{i}"))
             .build()
-            .expect("failed to build rayon pool");
-        Self {
+            .map_err(|e| ConfigError::InvalidParameter {
+                name: "workers",
+                message: format!("failed to build rayon pool: {e}"),
+            })?;
+        Ok(Self {
             pool,
             workers,
             min_chunk: 1,
             trace: None,
-        }
+        })
     }
 
     /// Number of worker threads.
@@ -57,13 +65,17 @@ impl RayonEvaluator {
     /// stops splitting a batch once chunks reach this size. Raise it for
     /// cheap fitness functions where per-chunk dispatch would dominate.
     ///
-    /// # Panics
-    /// Panics if `min_chunk` is zero.
-    #[must_use]
-    pub fn with_min_chunk(mut self, min_chunk: usize) -> Self {
-        assert!(min_chunk >= 1, "min_chunk must be at least 1");
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] if `min_chunk` is zero.
+    pub fn with_min_chunk(mut self, min_chunk: usize) -> Result<Self, ConfigError> {
+        if min_chunk == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "min_chunk",
+                message: "must be at least 1".into(),
+            });
+        }
         self.min_chunk = min_chunk;
-        self
+        Ok(self)
     }
 
     /// Telemetry snapshot of the evaluator's pool (lifetime counters).
@@ -111,7 +123,9 @@ impl<P: Problem> Evaluator<P> for RayonEvaluator {
         });
         if let (Some(trace), Some(micros)) = (&self.trace, sw.elapsed_micros()) {
             let stats = self.pool.stats();
-            let mut t = trace.lock().unwrap();
+            // Poison-tolerant: the trace state (recorder + counters) stays
+            // usable even if a recording panicked on another thread.
+            let mut t = trace.lock().unwrap_or_else(PoisonError::into_inner);
             t.batch += 1;
             let batch = t.batch;
             let delta = stats.delta(&t.last_stats);
@@ -180,7 +194,9 @@ mod tests {
             .collect();
         let mut parallel = serial.clone();
         let n1 = pga_core::SerialEvaluator.evaluate_batch(&p, &mut serial);
-        let n2 = RayonEvaluator::new(4).evaluate_batch(&p, &mut parallel);
+        let n2 = RayonEvaluator::new(4)
+            .unwrap()
+            .evaluate_batch(&p, &mut parallel);
         assert_eq!(n1, n2);
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.fitness(), b.fitness());
@@ -192,7 +208,9 @@ mod tests {
         use pga_observe::RingRecorder;
         let ring = RingRecorder::new(64);
         let eval = RayonEvaluator::new(4)
+            .unwrap()
             .with_min_chunk(64)
+            .unwrap()
             .with_recorder(ring.clone());
         assert_eq!(Evaluator::<OneMax>::min_chunk(&eval), 64);
         let p = OneMax(32);
@@ -219,7 +237,12 @@ mod tests {
     fn skips_already_evaluated() {
         let p = OneMax(8);
         let mut members = vec![Individual::evaluated(BitString::ones(8), 8.0)];
-        assert_eq!(RayonEvaluator::new(2).evaluate_batch(&p, &mut members), 0);
+        assert_eq!(
+            RayonEvaluator::new(2)
+                .unwrap()
+                .evaluate_batch(&p, &mut members),
+            0
+        );
     }
 
     #[test]
@@ -234,7 +257,7 @@ mod tests {
                 .crossover(OnePoint)
                 .mutation(BitFlip::one_over_len(64))
                 .scheme(Scheme::Generational { elitism: 1 })
-                .evaluator(RayonEvaluator::new(workers))
+                .evaluator(RayonEvaluator::new(workers).unwrap())
                 .build()
                 .unwrap()
         };
@@ -255,7 +278,7 @@ mod tests {
             .selection(Tournament::binary())
             .crossover(OnePoint)
             .mutation(BitFlip::one_over_len(64))
-            .evaluator(RayonEvaluator::new(4))
+            .evaluator(RayonEvaluator::new(4).unwrap())
             .build()
             .unwrap();
         let r = ga

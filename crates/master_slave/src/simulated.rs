@@ -377,7 +377,7 @@ mod tests {
     #[test]
     fn more_nodes_finish_faster_in_virtual_time() {
         let run = |nodes: usize| {
-            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory).unwrap();
             SimulatedMasterSlaveGa::new(engine(1), spec, FailurePlan::none(nodes), 0.01)
                 .unwrap()
                 .run(&stop(50))
@@ -397,7 +397,7 @@ mod tests {
     #[test]
     fn failures_slow_but_do_not_corrupt_search() {
         let nodes = 8;
-        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory).unwrap();
         // Half the nodes die early.
         let failures = FailurePlan::at(vec![
             Some(0.1),
@@ -430,7 +430,7 @@ mod tests {
     fn faulty_run_traces_each_failure_once() {
         use pga_observe::RingRecorder;
         let nodes = 8;
-        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::SharedMemory).unwrap();
         let failures = FailurePlan::at(vec![
             Some(0.1),
             Some(0.2),
@@ -488,7 +488,7 @@ mod tests {
         use pga_observe::RingRecorder;
         let nodes = 4;
         let run = |record: bool| {
-            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::FastEthernet);
+            let spec = ClusterSpec::homogeneous(nodes, NetworkProfile::FastEthernet).unwrap();
             let failures = FailurePlan::at(vec![Some(0.3), None, None, None]);
             if record {
                 SimulatedMasterSlaveGa::new_with_recorder(
@@ -519,7 +519,7 @@ mod tests {
 
     #[test]
     fn total_cluster_death_is_reported() {
-        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory);
+        let spec = ClusterSpec::homogeneous(2, NetworkProfile::SharedMemory).unwrap();
         let failures = FailurePlan::at(vec![Some(0.01), Some(0.02)]);
         let report = SimulatedMasterSlaveGa::new(engine(3), spec, failures, 0.01)
             .unwrap()

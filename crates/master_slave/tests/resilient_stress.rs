@@ -1,0 +1,170 @@
+//! Fault-injection stress suite for [`ResilientEvaluator`].
+//!
+//! Hammers the runtime with seeded random [`FaultPlan`]s (silent deaths,
+//! panics, stragglers) under deliberately aggressive deadlines and asserts
+//! the three load-bearing guarantees:
+//!
+//! 1. **No lost task** — every unevaluated member comes back with exactly
+//!    the fitness the serial evaluator would assign (exactly-once, pure
+//!    fitness ⇒ bit-identical to serial regardless of faults).
+//! 2. **No hang** — every batch completes (enforced by the harness: the
+//!    verify gate runs this suite under a timeout guard).
+//! 3. **Monotone completion accounting** — lifetime counters only grow,
+//!    and per-batch `completed + master_inline` exactly covers the fresh
+//!    work of that batch.
+
+use pga_cluster::FaultPlan;
+use pga_core::{Evaluator, Individual, Objective, Problem, Rng64, SerialEvaluator};
+use pga_master_slave::ResilientEvaluator;
+use std::time::Duration;
+
+struct OneMax(usize);
+
+impl Problem for OneMax {
+    type Genome = pga_core::BitString;
+    fn name(&self) -> String {
+        "onemax".into()
+    }
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+    fn evaluate(&self, g: &pga_core::BitString) -> f64 {
+        g.count_ones() as f64
+    }
+    fn random_genome(&self, rng: &mut Rng64) -> pga_core::BitString {
+        pga_core::BitString::random(self.0, rng)
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(self.0 as f64)
+    }
+}
+
+fn random_members(n: usize, bits: usize, seed: u64) -> Vec<Individual<pga_core::BitString>> {
+    let mut rng = Rng64::new(seed);
+    (0..n)
+        .map(|_| Individual::unevaluated(pga_core::BitString::random(bits, &mut rng)))
+        .collect()
+}
+
+/// One batch against one plan; asserts bit-identical results vs serial and
+/// exact completion accounting. Returns the evaluator's lifetime stats.
+fn run_batch(
+    workers: usize,
+    plan: FaultPlan,
+    batch_size: usize,
+    seed: u64,
+) -> pga_master_slave::ResilientStats {
+    let problem = OneMax(48);
+    let mut expected = random_members(batch_size, 48, seed);
+    SerialEvaluator.evaluate_batch(&problem, &mut expected);
+
+    let eval = ResilientEvaluator::builder(OneMax(48), workers)
+        .task_deadline(Duration::from_millis(5))
+        .heartbeat_interval(Duration::from_millis(2))
+        .heartbeat_timeout(Duration::from_millis(8))
+        .backoff_base(Duration::from_micros(100))
+        .fault_plan(plan)
+        .build()
+        .expect("valid stress configuration");
+
+    let mut members = random_members(batch_size, 48, seed);
+    let fresh = eval.evaluate_batch(&problem, &mut members);
+    assert_eq!(fresh, batch_size as u64, "every member evaluated fresh");
+    for (i, (got, want)) in members.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            got.fitness(),
+            want.fitness(),
+            "member {i} diverged from serial"
+        );
+    }
+
+    let stats = eval.stats();
+    assert_eq!(
+        stats.completed + stats.master_inline,
+        batch_size as u64,
+        "worker completions + inline fallbacks must cover the batch exactly"
+    );
+    stats
+}
+
+#[test]
+fn survives_repeated_random_fault_plans() {
+    for seed in 0..12 {
+        for &workers in &[2usize, 4, 8] {
+            let plan = FaultPlan::random(workers, seed);
+            run_batch(workers, plan, 64, seed ^ 0x5EED);
+        }
+    }
+}
+
+#[test]
+fn survives_all_terminal_workers() {
+    // Every worker dies or panics almost immediately: the master must
+    // degrade to inline evaluation and still complete the batch.
+    let faults = (0..4)
+        .map(|w| pga_cluster::WorkerFault {
+            die_on_task: (w % 2 == 0).then_some(0),
+            panic_on_task: (w % 2 == 1).then_some(0),
+            delay_per_task: Duration::ZERO,
+        })
+        .collect();
+    let stats = run_batch(4, FaultPlan::at(faults), 40, 99);
+    assert!(stats.master_inline > 0, "inline fallback must have fired");
+    assert_eq!(stats.quarantined, 4, "all four workers written off");
+}
+
+#[test]
+fn lifetime_stats_grow_monotonically_across_batches() {
+    let problem = OneMax(48);
+    let eval = ResilientEvaluator::builder(OneMax(48), 4)
+        .task_deadline(Duration::from_millis(5))
+        .heartbeat_interval(Duration::from_millis(2))
+        .heartbeat_timeout(Duration::from_millis(8))
+        .fault_plan(FaultPlan::random(4, 7))
+        .build()
+        .expect("valid configuration");
+
+    let mut done_so_far = 0u64;
+    let mut prev = eval.stats();
+    for batch in 0..6 {
+        let mut members = random_members(32, 48, 1000 + batch);
+        let fresh = eval.evaluate_batch(&problem, &mut members);
+        assert_eq!(fresh, 32);
+        assert!(members.iter().all(|m| m.fitness.is_some()));
+
+        let stats = eval.stats();
+        assert_eq!(stats.batches, batch + 1);
+        done_so_far += 32;
+        assert_eq!(stats.completed + stats.master_inline, done_so_far);
+        // Monotone: no counter ever decreases.
+        assert!(stats.dispatched >= prev.dispatched);
+        assert!(stats.completed >= prev.completed);
+        assert!(stats.retries >= prev.retries);
+        assert!(stats.reassignments >= prev.reassignments);
+        assert!(stats.quarantined >= prev.quarantined);
+        assert!(stats.master_inline >= prev.master_inline);
+        prev = stats;
+    }
+}
+
+#[test]
+fn benign_plan_matches_serial_across_worker_counts() {
+    // Empty plan ⇒ the evaluator is a drop-in for SerialEvaluator at any
+    // worker count (the acceptance determinism contract).
+    let problem = OneMax(48);
+    let mut expected = random_members(128, 48, 424242);
+    SerialEvaluator.evaluate_batch(&problem, &mut expected);
+    for &workers in &[1usize, 2, 8] {
+        let eval = ResilientEvaluator::builder(OneMax(48), workers)
+            .build()
+            .expect("valid configuration");
+        let mut members = random_members(128, 48, 424242);
+        assert_eq!(eval.evaluate_batch(&problem, &mut members), 128);
+        for (got, want) in members.iter().zip(&expected) {
+            assert_eq!(got.fitness(), want.fitness());
+        }
+        let stats = eval.stats();
+        assert_eq!(stats.completed, 128);
+        assert_eq!(stats.master_inline, 0);
+    }
+}

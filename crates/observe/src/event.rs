@@ -54,7 +54,13 @@ impl Event {
             | EventKind::MigrationReceived { island, .. }
             | EventKind::RunFinished { island, .. } => Some(*island),
             EventKind::MigrationSent { from, .. } => Some(*from),
-            EventKind::NodeFailed { .. } | EventKind::TaskReassigned { .. } => None,
+            EventKind::NodeFailed { .. }
+            | EventKind::TaskReassigned { .. }
+            | EventKind::TaskDispatched { .. }
+            | EventKind::HeartbeatMissed { .. }
+            | EventKind::TaskRetried { .. }
+            | EventKind::WorkerQuarantined { .. }
+            | EventKind::WorkerRecovered { .. } => None,
         }
     }
 
@@ -71,7 +77,13 @@ impl Event {
             }
             EventKind::RunStarted { .. } => Some(0),
             EventKind::RunFinished { generations, .. } => Some(*generations),
-            EventKind::NodeFailed { .. } | EventKind::TaskReassigned { .. } => None,
+            EventKind::NodeFailed { .. }
+            | EventKind::TaskReassigned { .. }
+            | EventKind::TaskDispatched { .. }
+            | EventKind::HeartbeatMissed { .. }
+            | EventKind::TaskRetried { .. }
+            | EventKind::WorkerQuarantined { .. }
+            | EventKind::WorkerRecovered { .. } => None,
         }
     }
 
@@ -170,6 +182,34 @@ impl Event {
             ],
             EventKind::NodeFailed { node } => vec![("node", Int(u64::from(*node)))],
             EventKind::TaskReassigned { task } => vec![("task", Int(*task))],
+            EventKind::TaskDispatched {
+                worker,
+                task,
+                attempt,
+            } => vec![
+                ("worker", Int(u64::from(*worker))),
+                ("task", Int(*task)),
+                ("attempt", Int(*attempt)),
+            ],
+            EventKind::HeartbeatMissed { worker } => {
+                vec![("worker", Int(u64::from(*worker)))]
+            }
+            EventKind::TaskRetried {
+                task,
+                attempt,
+                backoff_micros,
+            } => vec![
+                ("task", Int(*task)),
+                ("attempt", Int(*attempt)),
+                ("backoff_micros", Int(*backoff_micros)),
+            ],
+            EventKind::WorkerQuarantined { worker, reason } => vec![
+                ("worker", Int(u64::from(*worker))),
+                ("reason", Text(reason.clone())),
+            ],
+            EventKind::WorkerRecovered { worker } => {
+                vec![("worker", Int(u64::from(*worker)))]
+            }
             EventKind::RunFinished {
                 island,
                 generations,
@@ -309,6 +349,43 @@ pub enum EventKind {
         /// Task index within its batch.
         task: u64,
     },
+    /// The resilient master handed a task to a worker thread.
+    TaskDispatched {
+        /// Worker id.
+        worker: u32,
+        /// Task index within its batch.
+        task: u64,
+        /// 0-based delivery attempt (0 = first dispatch).
+        attempt: u64,
+    },
+    /// A worker's task deadline passed without a recent heartbeat.
+    HeartbeatMissed {
+        /// Worker id.
+        worker: u32,
+    },
+    /// A task was requeued for another delivery attempt (straggler
+    /// speculation or recoverable failure) with exponential backoff.
+    TaskRetried {
+        /// Task index within its batch.
+        task: u64,
+        /// 0-based attempt that failed or timed out.
+        attempt: u64,
+        /// Backoff applied before the task becomes dispatchable again.
+        backoff_micros: u64,
+    },
+    /// A worker was removed from the dispatch rotation.
+    WorkerQuarantined {
+        /// Worker id.
+        worker: u32,
+        /// Why: `"panic"`, `"timeout"`, or `"disconnected"`.
+        reason: String,
+    },
+    /// A worker thought lost produced evidence of life (late result or
+    /// heartbeat) and rejoined the dispatch rotation.
+    WorkerRecovered {
+        /// Worker id.
+        worker: u32,
+    },
     /// An engine finished a run.
     RunFinished {
         /// Island/deme id (0 for single-population engines).
@@ -338,6 +415,11 @@ impl EventKind {
             Self::CheckpointHit { .. } => "checkpoint_hit",
             Self::NodeFailed { .. } => "node_failed",
             Self::TaskReassigned { .. } => "task_reassigned",
+            Self::TaskDispatched { .. } => "task_dispatched",
+            Self::HeartbeatMissed { .. } => "heartbeat_missed",
+            Self::TaskRetried { .. } => "task_retried",
+            Self::WorkerQuarantined { .. } => "worker_quarantined",
+            Self::WorkerRecovered { .. } => "worker_recovered",
             Self::RunFinished { .. } => "run_finished",
         }
     }
@@ -357,8 +439,15 @@ impl EventKind {
             Self::CheckpointHit { .. } => 3,
             Self::MigrationSent { .. } => 4,
             Self::MigrationReceived { .. } => 5,
-            Self::NodeFailed { .. } => 6,
-            Self::TaskReassigned { .. } => 7,
+            // Worker-lifecycle kinds carry no generation, so their rank only
+            // breaks ties among themselves: dispatch before the failure
+            // evidence, failure evidence before the recovery actions.
+            Self::TaskDispatched { .. } => 6,
+            Self::NodeFailed { .. } | Self::HeartbeatMissed { .. } => 6,
+            Self::TaskReassigned { .. }
+            | Self::TaskRetried { .. }
+            | Self::WorkerQuarantined { .. }
+            | Self::WorkerRecovered { .. } => 7,
             Self::RunFinished { .. } => 8,
         }
     }
@@ -437,6 +526,22 @@ mod tests {
             },
             EventKind::NodeFailed { node: 3 },
             EventKind::TaskReassigned { task: 17 },
+            EventKind::TaskDispatched {
+                worker: 2,
+                task: 17,
+                attempt: 0,
+            },
+            EventKind::HeartbeatMissed { worker: 2 },
+            EventKind::TaskRetried {
+                task: 17,
+                attempt: 1,
+                backoff_micros: 500,
+            },
+            EventKind::WorkerQuarantined {
+                worker: 2,
+                reason: "panic".into(),
+            },
+            EventKind::WorkerRecovered { worker: 2 },
             EventKind::RunFinished {
                 island: 0,
                 generations: 9,

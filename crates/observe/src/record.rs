@@ -357,6 +357,23 @@ impl Recorder for MetricsRecorder {
             EventKind::TaskReassigned { .. } => {
                 self.registry.inc("cluster.reassignments", 1);
             }
+            EventKind::TaskDispatched { .. } => {
+                self.registry.inc("resilient.dispatched", 1);
+            }
+            EventKind::HeartbeatMissed { .. } => {
+                self.registry.inc("resilient.heartbeat_misses", 1);
+            }
+            EventKind::TaskRetried { backoff_micros, .. } => {
+                self.registry.inc("resilient.retries", 1);
+                self.registry
+                    .observe("resilient.backoff_micros", *backoff_micros as f64);
+            }
+            EventKind::WorkerQuarantined { .. } => {
+                self.registry.inc("resilient.quarantined", 1);
+            }
+            EventKind::WorkerRecovered { .. } => {
+                self.registry.inc("resilient.recovered", 1);
+            }
             _ => {}
         }
     }

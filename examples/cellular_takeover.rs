@@ -6,8 +6,7 @@
 //! cargo run --release --example cellular_takeover
 //! ```
 
-use parallel_ga::cellular::{TakeoverGrid, UpdatePolicy};
-use parallel_ga::topology::CellNeighborhood;
+use parallel_ga::prelude::*;
 
 fn main() {
     let (rows, cols) = (24, 24);

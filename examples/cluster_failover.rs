@@ -6,11 +6,7 @@
 //! cargo run --release --example cluster_failover
 //! ```
 
-use parallel_ga::cluster::{ClusterSpec, FailurePlan, NetworkProfile};
-use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme, Termination};
-use parallel_ga::master_slave::SimulatedMasterSlaveGa;
-use parallel_ga::problems::DeceptiveTrap;
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn engine(seed: u64) -> parallel_ga::core::Ga<Arc<DeceptiveTrap>> {
@@ -28,7 +24,8 @@ fn engine(seed: u64) -> parallel_ga::core::Ga<Arc<DeceptiveTrap>> {
 
 fn main() {
     let nodes = 8;
-    let spec = ClusterSpec::heterogeneous(nodes, 3.0, 99, NetworkProfile::FastEthernet);
+    let spec = ClusterSpec::heterogeneous(nodes, 3.0, 99, NetworkProfile::FastEthernet)
+        .expect("cluster config");
     println!(
         "cluster: {nodes} nodes, speeds {:?}, {}",
         spec.speeds

@@ -7,8 +7,7 @@
 //! ```
 
 use parallel_ga::apps::{ArSignal, SpectralFit};
-use parallel_ga::core::ops::{BlxAlpha, GaussianMutation, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme, Termination};
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -6,12 +6,7 @@
 //! cargo run --release --example hybrid_archipelago
 //! ```
 
-use parallel_ga::cellular::{CellularGa, UpdatePolicy};
-use parallel_ga::core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
-use parallel_ga::core::{BitString, GaBuilder, Problem, Scheme, Termination};
-use parallel_ga::island::{Archipelago, Deme, MigrationPolicy};
-use parallel_ga::problems::DeceptiveTrap;
-use parallel_ga::topology::Topology;
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -7,8 +7,7 @@
 //! ```
 
 use parallel_ga::apps::{Image, Registration, RigidTransform};
-use parallel_ga::core::ops::{BlxAlpha, GaussianMutation, ReplacementPolicy, Tournament};
-use parallel_ga::core::{GaBuilder, Individual, Problem, Scheme, Termination};
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn ga(

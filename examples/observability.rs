@@ -11,12 +11,7 @@
 //! teeing sinks into the hot loop — keeps file I/O out of the engines.
 
 use parallel_ga::analysis::render_snapshot;
-use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme, Termination};
-use parallel_ga::island::{Archipelago, MigrationPolicy};
-use parallel_ga::observe::{replay, CsvSink, JsonlSink, MetricsRecorder, RingRecorder};
-use parallel_ga::problems::DeceptiveTrap;
-use parallel_ga::topology::Topology;
+use parallel_ga::prelude::*;
 use std::collections::BTreeMap;
 use std::fs;
 use std::sync::Arc;

@@ -4,12 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parallel_ga::core::ops::{BlxAlpha, GaussianMutation, Tournament};
-use parallel_ga::core::Termination;
-use parallel_ga::core::{GaBuilder, Problem, Scheme};
-use parallel_ga::island::{run_threaded, MigrationPolicy};
-use parallel_ga::problems::{RealFunction, RealProblem};
-use parallel_ga::topology::Topology;
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -7,10 +7,7 @@
 //! ```
 
 use parallel_ga::apps::ReactorDesign;
-use parallel_ga::core::ops::{IntCreep, Tournament, Uniform};
-use parallel_ga::core::{GaBuilder, Problem, Scheme, Termination};
-use parallel_ga::island::{Archipelago, MigrationPolicy};
-use parallel_ga::topology::Topology;
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -5,12 +5,7 @@
 //! cargo run --release --example tsp_islands
 //! ```
 
-use parallel_ga::core::ops::{Inversion, Ox, Tournament};
-use parallel_ga::core::Termination;
-use parallel_ga::core::{GaBuilder, Problem, Scheme};
-use parallel_ga::island::{Archipelago, MigrationPolicy};
-use parallel_ga::problems::Tsp;
-use parallel_ga::topology::Topology;
+use parallel_ga::prelude::*;
 use std::sync::Arc;
 
 fn main() {

@@ -10,6 +10,10 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> clippy unwrap gate (pga-master-slave, pga-cluster lib code)"
+# Lib targets only (no --all-targets): test modules may unwrap freely.
+cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -- -D warnings -D clippy::unwrap_used
+
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -21,5 +25,9 @@ cargo bench --workspace --no-run
 
 echo "==> pool determinism suite"
 cargo test -q --test pool_determinism
+
+echo "==> resilient fault-injection stress suite (release, timeout-guarded)"
+# The suite's no-hang guarantee is only meaningful under a hard timeout.
+timeout 300 cargo test -q -p pga-master-slave --release --test resilient_stress
 
 echo "verify: OK"

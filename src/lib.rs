@@ -25,6 +25,8 @@
 
 #![warn(missing_docs)]
 
+pub mod prelude;
+
 pub use pga_analysis as analysis;
 pub use pga_apps as apps;
 pub use pga_cellular as cellular;

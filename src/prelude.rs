@@ -1,0 +1,68 @@
+//! One-stop import for the common 90% of the API surface.
+//!
+//! ```
+//! use parallel_ga::prelude::*;
+//! ```
+//!
+//! brings in the [`Driver`]/[`Engine`] run loop, every engine-family
+//! builder (the canonical configuration path — each validates its inputs
+//! and returns [`ConfigError`] instead of panicking), the evaluator
+//! substrates of the master–slave model, the observability recorders, and
+//! the operator / representation / problem vocabulary the examples use.
+//!
+//! Deliberately excluded: simulator internals (`cluster::event`), analysis
+//! tooling, and application substrates — import those from their module
+//! (`parallel_ga::cluster`, `parallel_ga::analysis`, `parallel_ga::apps`)
+//! when needed.
+
+// Run loop + engine core.
+pub use pga_core::ops::{
+    Arithmetic, BitFlip, BlxAlpha, Crossover, GaussianMutation, Insertion, IntCreep, Inversion,
+    LinearRank, Mutation, OnePoint, Ox, Pmx, ReplacementPolicy, Roulette, Sbx, Scramble, Selection,
+    Swap, Tournament, Truncation, TwoPoint, Uniform,
+};
+pub use pga_core::{
+    BitString, Bounds, Clock, ConfigError, Driver, Engine, Evaluator, Ga, GaBuilder, Genome,
+    Individual, IntVector, Objective, Permutation, PopStats, Population, Problem, Progress,
+    RealVector, Rng64, RunOutcome, Scheme, SerialEvaluator, Snapshot, SnapshotError, StepReport,
+    StopReason, Termination,
+};
+
+// Observability: recorders, events, metrics.
+pub use pga_observe::{
+    replay, CsvSink, Event, EventKind, FilteredRecorder, JsonlSink, MetricsRecorder, MultiRecorder,
+    Recorder, RingRecorder, SharedRecorder,
+};
+
+// Master–slave evaluation substrates.
+pub use pga_master_slave::{
+    ExpensiveFitness, RayonEvaluator, ResilientBuilder, ResilientEvaluator, ResilientStats,
+    SimulatedMasterSlaveGa,
+};
+
+// Island (coarse-grained) model.
+pub use pga_island::{
+    run_threaded, Archipelago, ArchipelagoBuilder, Deme, EmigrantSelection, IslandRun,
+    MigrationPolicy, SyncMode,
+};
+
+// Cellular (fine-grained) model.
+pub use pga_cellular::{CellularGa, CellularGaBuilder, TakeoverGrid, UpdatePolicy};
+
+// Hierarchical (multi-fidelity) model.
+pub use pga_hierarchical::{Hga, HgaBuilder, HgaConfig, IslandFactory, LevelView};
+
+// Multiobjective island model.
+pub use pga_multiobjective::{MoEngine, MoEngineBuilder};
+
+// Topologies and neighborhoods.
+pub use pga_topology::{CellNeighborhood, Topology};
+
+// Cluster failure models shared by simulator and resilient runtime.
+pub use pga_cluster::{ClusterSpec, FailurePlan, FaultPlan, NetworkProfile, WorkerFault};
+
+// Benchmark problem suite.
+pub use pga_problems::{
+    DeceptiveTrap, Knapsack, MaxSat, NkLandscape, OneMax, PPeaks, RealFunction, RealProblem,
+    RoyalRoad, Tsp,
+};

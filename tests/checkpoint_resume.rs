@@ -176,11 +176,11 @@ fn nsga_resumes_bit_identically() {
 fn simulated_master_slave_resumes_bit_identically() {
     assert_bit_identical_resume(
         || {
-            let spec = ClusterSpec::heterogeneous(6, 4.0, 5, NetworkProfile::FastEthernet);
+            let spec = ClusterSpec::heterogeneous(6, 4.0, 5, NetworkProfile::FastEthernet).unwrap();
             SimulatedMasterSlaveGa::new(
                 onemax_ga(3),
                 spec,
-                FailurePlan::exponential(6, 2.0, 100.0, 9),
+                FailurePlan::exponential(6, 2.0, 100.0, 9).unwrap(),
                 0.01,
             )
             .expect("valid cluster configuration")

@@ -30,8 +30,8 @@ fn onemax_ga<E: parallel_ga::core::Evaluator<Arc<OneMax>>>(
 #[test]
 fn master_slave_is_search_equivalent_to_serial() {
     let mut serial = onemax_ga(SerialEvaluator, 42);
-    let mut rayon2 = onemax_ga(RayonEvaluator::new(2), 42);
-    let mut rayon4 = onemax_ga(RayonEvaluator::new(4), 42);
+    let mut rayon2 = onemax_ga(RayonEvaluator::new(2).unwrap(), 42);
+    let mut rayon4 = onemax_ga(RayonEvaluator::new(4).unwrap(), 42);
     for _ in 0..25 {
         let a = serial.step();
         let b = rayon2.step();
@@ -119,7 +119,7 @@ fn threaded_run_is_deterministic_across_replays() {
 
 #[test]
 fn simulated_cluster_failures_never_change_search_results() {
-    let spec = ClusterSpec::heterogeneous(8, 4.0, 5, NetworkProfile::FastEthernet);
+    let spec = ClusterSpec::heterogeneous(8, 4.0, 5, NetworkProfile::FastEthernet).unwrap();
     let healthy = SimulatedMasterSlaveGa::new(
         onemax_ga(SerialEvaluator, 3),
         spec.clone(),
@@ -132,7 +132,7 @@ fn simulated_cluster_failures_never_change_search_results() {
     let faulty = SimulatedMasterSlaveGa::new(
         onemax_ga(SerialEvaluator, 3),
         spec,
-        FailurePlan::exponential(8, 2.0, 100.0, 9),
+        FailurePlan::exponential(8, 2.0, 100.0, 9).unwrap(),
         0.01,
     )
     .expect("valid cluster configuration")

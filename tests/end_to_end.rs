@@ -188,7 +188,7 @@ fn master_slave_ga_solves_trap() {
         .selection(Tournament::binary())
         .crossover(OnePoint)
         .mutation(BitFlip::one_over_len(36))
-        .evaluator(RayonEvaluator::new(2))
+        .evaluator(RayonEvaluator::new(2).unwrap())
         .build()
         .expect("valid configuration");
     let r = ga

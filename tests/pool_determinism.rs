@@ -47,7 +47,7 @@ fn ga_trajectory<E: Evaluator<Arc<OneMax>>>(evaluator: E, seed: u64) -> Vec<(f64
 fn pool_runs_are_bit_identical_to_serial_across_worker_counts() {
     let reference = ga_trajectory(SerialEvaluator, 41);
     for workers in [1usize, 2, 8] {
-        let pool = ga_trajectory(RayonEvaluator::new(workers), 41);
+        let pool = ga_trajectory(RayonEvaluator::new(workers).unwrap(), 41);
         assert_eq!(pool, reference, "workers = {workers} diverged from serial");
     }
 }
@@ -56,7 +56,13 @@ fn pool_runs_are_bit_identical_to_serial_across_worker_counts() {
 fn min_chunk_hint_does_not_change_results() {
     let reference = ga_trajectory(SerialEvaluator, 17);
     for min_chunk in [1usize, 7, 48, 1000] {
-        let pool = ga_trajectory(RayonEvaluator::new(4).with_min_chunk(min_chunk), 17);
+        let pool = ga_trajectory(
+            RayonEvaluator::new(4)
+                .unwrap()
+                .with_min_chunk(min_chunk)
+                .unwrap(),
+            17,
+        );
         assert_eq!(pool, reference, "min_chunk = {min_chunk} diverged");
     }
 }
@@ -148,7 +154,7 @@ fn worker_panic_propagates_and_evaluator_survives() {
         }
     }
 
-    let evaluator = RayonEvaluator::new(4);
+    let evaluator = RayonEvaluator::new(4).unwrap();
     let mut members: Vec<_> = (0..64)
         .map(|i| {
             let mut g = BitString::zeros(8);

@@ -13,7 +13,9 @@
 pub mod channel {
     //! Multi-producer single-consumer unbounded channels.
 
-    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+    pub use std::sync::mpsc::{
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+    };
 
     /// Creates an unbounded channel.
     #[must_use]
