@@ -216,4 +216,13 @@ fn main() {
         sequential.total_evaluations,
         threaded.total_evaluations == sequential.total_evaluations
     );
+    // Per-island lifecycle: both engines now report each island's own stop
+    // reason and migration accounting.
+    for (i, s) in threaded.islands.iter().enumerate() {
+        println!(
+            "ablation: island {i}: stop {:?}, {} gens, {} evals, sent {}, accepted {}, \
+             dropped {}, resurrections {}",
+            s.stop, s.generations, s.evaluations, s.sent, s.accepted, s.dropped, s.resurrections
+        );
+    }
 }

@@ -170,6 +170,46 @@ fn main() {
     emit(&t);
     println!(
         "reading: replace-churn stays close to the static baseline (fresh peers re-seed\n\
-         diversity); shrink-only decays capacity yet keeps solving — the DREAM robustness story."
+         diversity); shrink-only decays capacity yet keeps solving — the DREAM robustness story.\n"
+    );
+
+    // Per-island lifecycle of the static baseline, via the engine's own
+    // accounting (IslandStats): migration is conservative — every accepted
+    // migrant was sent by some island. The threaded fault-injection
+    // rendering of this churn study is E18.
+    let policy = MigrationPolicy {
+        interval: 8,
+        count: 1,
+        emigrant: EmigrantSelection::Best,
+        ..MigrationPolicy::default()
+    };
+    let islands: Vec<_> = (0..ISLANDS)
+        .map(|i| {
+            standard_binary_ga(
+                Arc::clone(&problem),
+                problem.len(),
+                ISLAND_POP,
+                500 + i as u64,
+            )
+        })
+        .collect();
+    let r = pga_island::Archipelago::new(islands, Topology::RingUni, policy)
+        .expect("valid archipelago")
+        .run(&pga_core::Termination::new().max_generations(200))
+        .expect("bounded");
+    for (i, s) in r.islands.iter().enumerate() {
+        println!(
+            "static baseline island {i}: stop {:?}, {} gens, {} evals, best err {:.0}, \
+             sent {}, accepted {}",
+            s.stop, s.generations, s.evaluations, s.best, s.sent, s.accepted
+        );
+    }
+    assert_eq!(
+        r.islands.iter().map(|s| s.sent).sum::<u64>(),
+        r.migrants_sent
+    );
+    assert_eq!(
+        r.islands.iter().map(|s| s.accepted).sum::<u64>(),
+        r.migrants_accepted
     );
 }

@@ -25,6 +25,7 @@ pub mod event;
 pub mod fault;
 pub mod island_sim;
 pub mod master_slave_sim;
+pub mod migration_fault;
 pub mod network;
 pub mod observe_bridge;
 pub mod spec;
@@ -33,6 +34,7 @@ pub use event::EventQueue;
 pub use fault::{FaultPlan, WorkerFault};
 pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimConfig};
 pub use master_slave_sim::{BatchReport, MasterSlaveSim, TraceEvent};
+pub use migration_fault::{IslandFault, LinkEffect, LinkFault, MigrationFaultPlan};
 pub use network::NetworkProfile;
 pub use observe_bridge::observe_events;
 pub use spec::{ClusterSpec, FailurePlan};

@@ -1,0 +1,379 @@
+//! Seeded fault scripts for the *coarse-grained* (island) model.
+//!
+//! [`crate::FaultPlan`] scripts faults for a threaded worker *pool* in task
+//! counts; an archipelago's failure surface is different: whole islands die
+//! (peer churn, Jelasity et al. 2002) and *migration links* misbehave
+//! (drop, duplicate, delay, or sever migrant batches). A
+//! [`MigrationFaultPlan`] scripts both, keyed by the quantities the island
+//! runtime actually counts — generations for island deaths, per-edge batch
+//! indices for link faults — so the same seeded description replays
+//! identically against the real-thread archipelago and, through the
+//! [`MigrationFaultPlan::to_failure_plan`] bridge, against the
+//! virtual-time simulator (E18 vs E16 cross-validation).
+//!
+//! Plans are drawn once (seeded constructors) and then fixed.
+
+use crate::spec::FailurePlan;
+use pga_core::{ConfigError, Rng64};
+use std::collections::BTreeMap;
+
+/// Fault script for a single island thread.
+///
+/// `Default` is a healthy island.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IslandFault {
+    /// Island panics while evolving its `g`-th generation (1-based):
+    /// `Some(1)` panics during the very first step. The panic is caught by
+    /// the island's supervisor harness; the injection fires once (a
+    /// resurrected island does not re-die at the same generation).
+    pub panic_at_generation: Option<u64>,
+}
+
+impl IslandFault {
+    /// A healthy island: never panics.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// `true` when this island has no scripted fault.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.panic_at_generation.is_none()
+    }
+}
+
+/// Fault script for a single directed migration link.
+///
+/// Effects are keyed by the 0-based *batch index* on that edge (the number
+/// of migration epochs the source island has completed on the edge). When
+/// several effects name the same batch the precedence is
+/// cut &gt; drop &gt; duplicate &gt; delay.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkFault {
+    /// Batches suppressed entirely (an empty batch is delivered in their
+    /// place so synchronous lockstep is preserved).
+    pub drop: Vec<u64>,
+    /// Batches delivered twice (the duplicate copies arrive in the same
+    /// message, modelling an at-least-once transport).
+    pub duplicate: Vec<u64>,
+    /// Batches whose migrants are held back one epoch and delivered with
+    /// the edge's next batch.
+    pub delay: Vec<u64>,
+    /// The link is severed after this many batches: batch indices `>= k`
+    /// are never delivered (the receiver sees the edge close). A partition
+    /// is scripted by cutting every edge between two island groups.
+    pub cut_after: Option<u64>,
+}
+
+/// What a [`LinkFault`] does to one migrant batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkEffect {
+    /// Batch travels unharmed.
+    Deliver,
+    /// Batch is suppressed (empty batch delivered in its place).
+    Drop,
+    /// Batch is delivered twice.
+    Duplicate,
+    /// Batch is held back one epoch.
+    Delay,
+    /// The link is severed at or before this batch.
+    Cut,
+}
+
+impl LinkFault {
+    /// A healthy link: delivers everything exactly once.
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self::default()
+    }
+
+    /// `true` when this link has no scripted fault.
+    #[must_use]
+    pub fn is_healthy(&self) -> bool {
+        self.drop.is_empty()
+            && self.duplicate.is_empty()
+            && self.delay.is_empty()
+            && self.cut_after.is_none()
+    }
+
+    /// Resolves the effect applied to batch `idx` (0-based) on this link.
+    #[must_use]
+    pub fn effect(&self, idx: u64) -> LinkEffect {
+        if self.cut_after.is_some_and(|k| idx >= k) {
+            LinkEffect::Cut
+        } else if self.drop.contains(&idx) {
+            LinkEffect::Drop
+        } else if self.duplicate.contains(&idx) {
+            LinkEffect::Duplicate
+        } else if self.delay.contains(&idx) {
+            LinkEffect::Delay
+        } else {
+            LinkEffect::Deliver
+        }
+    }
+}
+
+/// Deterministic fault script for a threaded archipelago: one
+/// [`IslandFault`] per island plus [`LinkFault`]s on directed topology
+/// edges.
+///
+/// The coarse-grained counterpart of [`crate::FaultPlan`]: drawn once
+/// (seeded constructors) and then fixed, so the same plan replayed against
+/// the same archipelago yields the same lifecycle trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MigrationFaultPlan {
+    islands: Vec<IslandFault>,
+    links: BTreeMap<(usize, usize), LinkFault>,
+}
+
+impl MigrationFaultPlan {
+    /// No faults on `n` islands.
+    #[must_use]
+    pub fn none(n: usize) -> Self {
+        Self {
+            islands: vec![IslandFault::healthy(); n],
+            links: BTreeMap::new(),
+        }
+    }
+
+    /// Scripts island `island` to panic while evolving generation `g`
+    /// (1-based).
+    #[must_use]
+    pub fn with_island_panic(mut self, island: usize, generation: u64) -> Self {
+        if island >= self.islands.len() {
+            self.islands.resize(island + 1, IslandFault::healthy());
+        }
+        self.islands[island].panic_at_generation = Some(generation);
+        self
+    }
+
+    /// Scripts a fault on the directed edge `from -> to`.
+    #[must_use]
+    pub fn with_link_fault(mut self, from: usize, to: usize, fault: LinkFault) -> Self {
+        self.links.insert((from, to), fault);
+        self
+    }
+
+    /// Mixed-mode stress plan over a topology's directed edges: each island
+    /// beyond island 0 panics with probability ~1/3 somewhere in
+    /// `[1, horizon_generations]`, and each edge independently draws a
+    /// drop (~1/4), a duplicate (~1/8), a delay (~1/8) or a cut (~1/12)
+    /// among its first 8 batches. Island 0 is always spared a terminal
+    /// fault so the archipelago keeps at least one survivor.
+    #[must_use]
+    pub fn random(adjacency: &[Vec<usize>], horizon_generations: u64, seed: u64) -> Self {
+        let n = adjacency.len();
+        let mut rng = Rng64::new(seed);
+        let mut plan = Self::none(n);
+        for island in 1..n {
+            if rng.next_f64() < 1.0 / 3.0 {
+                plan.islands[island].panic_at_generation =
+                    Some(1 + rng.next_u64() % horizon_generations.max(1));
+            }
+        }
+        for (from, targets) in adjacency.iter().enumerate() {
+            for &to in targets {
+                let roll = rng.next_f64();
+                let batch = rng.next_u64() % 8;
+                let mut fault = LinkFault::healthy();
+                if roll < 0.25 {
+                    fault.drop.push(batch);
+                } else if roll < 0.375 {
+                    fault.duplicate.push(batch);
+                } else if roll < 0.5 {
+                    fault.delay.push(batch);
+                } else if roll < 7.0 / 12.0 {
+                    fault.cut_after = Some(batch);
+                }
+                if !fault.is_healthy() {
+                    plan.links.insert((from, to), fault);
+                }
+            }
+        }
+        plan
+    }
+
+    /// Fault script of island `i`.
+    #[must_use]
+    pub fn island(&self, i: usize) -> &IslandFault {
+        &self.islands[i]
+    }
+
+    /// Fault script of the directed edge `from -> to`, if any was scripted.
+    #[must_use]
+    pub fn link(&self, from: usize, to: usize) -> Option<&LinkFault> {
+        self.links.get(&(from, to))
+    }
+
+    /// Island count covered by the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.islands.len()
+    }
+
+    /// `true` when the plan covers zero islands.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.islands.is_empty()
+    }
+
+    /// `true` when no island and no link has any scripted fault — the
+    /// disabled-equivalent plan under which the resilient threaded runtime
+    /// must be bit-identical to the sequential archipelago (sync mode).
+    #[must_use]
+    pub fn is_benign(&self) -> bool {
+        self.islands.iter().all(IslandFault::is_healthy)
+            && self.links.values().all(LinkFault::is_healthy)
+    }
+
+    /// Number of islands scripted to panic.
+    #[must_use]
+    pub fn panicking_islands(&self) -> usize {
+        self.islands.iter().filter(|f| !f.is_healthy()).count()
+    }
+
+    /// Number of edges with a scripted link fault.
+    #[must_use]
+    pub fn faulty_links(&self) -> usize {
+        self.links.values().filter(|f| !f.is_healthy()).count()
+    }
+
+    /// Validates the plan against an archipelago: every scripted island and
+    /// edge must exist in the topology.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when the plan names an island
+    /// `>= n` or an edge absent from `adjacency`.
+    pub fn validate(&self, adjacency: &[Vec<usize>]) -> Result<(), ConfigError> {
+        let n = adjacency.len();
+        if self.islands.len() > n {
+            return Err(ConfigError::InvalidParameter {
+                name: "fault_plan",
+                message: format!(
+                    "plan scripts {} islands, topology has {n}",
+                    self.islands.len()
+                ),
+            });
+        }
+        for &(from, to) in self.links.keys() {
+            let ok = from < n && adjacency[from].contains(&to);
+            if !ok {
+                return Err(ConfigError::InvalidParameter {
+                    name: "fault_plan",
+                    message: format!("link fault on {from} -> {to}, which is not a topology edge"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Projects the island deaths into the simulator's virtual-time failure
+    /// model: an island that panics evolving generation `g` is mapped to a
+    /// node failing at virtual time `(g - 0.5) * gen_cost_s` (mid-step),
+    /// assuming each island evolves back-to-back generations of uniform
+    /// cost `gen_cost_s`. Link faults have no node-failure analogue and are
+    /// not projected. This is the bridge the E18 cross-validation uses to
+    /// replay one churn description against both the threaded archipelago
+    /// and the island simulator.
+    #[must_use]
+    pub fn to_failure_plan(&self, gen_cost_s: f64) -> FailurePlan {
+        assert!(gen_cost_s > 0.0, "gen_cost_s must be positive");
+        FailurePlan::at(
+            self.islands
+                .iter()
+                .map(|f| {
+                    f.panic_at_generation
+                        .map(|g| (g as f64 - 0.5).max(0.0) * gen_cost_s)
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Vec<Vec<usize>> {
+        (0..n).map(|i| vec![(i + 1) % n]).collect()
+    }
+
+    #[test]
+    fn none_is_benign() {
+        let plan = MigrationFaultPlan::none(8);
+        assert_eq!(plan.len(), 8);
+        assert!(plan.is_benign());
+        assert_eq!(plan.panicking_islands(), 0);
+        assert_eq!(plan.faulty_links(), 0);
+        assert!(plan.validate(&ring(8)).is_ok());
+    }
+
+    #[test]
+    fn island_panic_and_link_fault_registration() {
+        let plan = MigrationFaultPlan::none(4)
+            .with_island_panic(2, 30)
+            .with_link_fault(
+                0,
+                1,
+                LinkFault {
+                    drop: vec![1],
+                    ..LinkFault::healthy()
+                },
+            );
+        assert_eq!(plan.island(2).panic_at_generation, Some(30));
+        assert_eq!(plan.panicking_islands(), 1);
+        assert_eq!(plan.faulty_links(), 1);
+        assert!(!plan.is_benign());
+        assert!(plan.link(0, 1).is_some());
+        assert!(plan.link(1, 0).is_none());
+    }
+
+    #[test]
+    fn link_effect_precedence() {
+        let fault = LinkFault {
+            drop: vec![2],
+            duplicate: vec![2, 3],
+            delay: vec![2, 3, 4],
+            cut_after: Some(5),
+        };
+        assert_eq!(fault.effect(0), LinkEffect::Deliver);
+        assert_eq!(fault.effect(2), LinkEffect::Drop);
+        assert_eq!(fault.effect(3), LinkEffect::Duplicate);
+        assert_eq!(fault.effect(4), LinkEffect::Delay);
+        assert_eq!(fault.effect(5), LinkEffect::Cut);
+        assert_eq!(fault.effect(99), LinkEffect::Cut);
+    }
+
+    #[test]
+    fn validate_rejects_non_edges_and_overflow() {
+        let plan = MigrationFaultPlan::none(4).with_link_fault(0, 2, LinkFault::healthy());
+        assert!(plan.validate(&ring(4)).is_err());
+        let plan = MigrationFaultPlan::none(2).with_island_panic(5, 10);
+        assert!(plan.validate(&ring(4)).is_err());
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_spares_island_zero() {
+        let adj = ring(6);
+        let a = MigrationFaultPlan::random(&adj, 40, 9);
+        let b = MigrationFaultPlan::random(&adj, 40, 9);
+        assert_eq!(a, b);
+        assert_ne!(a, MigrationFaultPlan::random(&adj, 40, 10));
+        for seed in 0..50 {
+            let plan = MigrationFaultPlan::random(&adj, 40, seed);
+            assert!(plan.island(0).is_healthy(), "seed {seed}");
+            assert!(plan.validate(&adj).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bridge_places_mid_generation_failures() {
+        let plan = MigrationFaultPlan::none(3).with_island_panic(1, 25);
+        let virt = plan.to_failure_plan(2.0);
+        assert_eq!(virt.fail_time(0), None);
+        assert_eq!(virt.fail_time(1), Some(49.0));
+        assert_eq!(virt.failing_nodes(), 1);
+        assert_eq!(virt.len(), 3);
+    }
+}

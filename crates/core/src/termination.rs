@@ -22,6 +22,9 @@ pub enum StopReason {
     /// The engine reported it can make no further progress (e.g. every
     /// node of a simulated cluster died).
     Halted,
+    /// The island's thread was lost to a panic and not resurrected; its
+    /// reported state is the last consistent summary before the loss.
+    IslandLost,
 }
 
 /// A conjunction-free stopping rule: the run stops as soon as *any*

@@ -2,14 +2,44 @@
 
 use crate::deme::Deme;
 use crate::migration::MigrationPolicy;
+use crate::resilient::{ResiliencePolicy, ResilientOptions};
+use pga_cluster::MigrationFaultPlan;
 use pga_core::termination::{Progress, StopReason, Termination};
 use pga_core::{
     ConfigError, Driver, Engine, Individual, Objective, RunOutcome, Snapshot, SnapshotError,
     StepReport,
 };
-use pga_observe::{Event, EventKind};
+use pga_observe::{Event, EventKind, SharedRecorder};
 use pga_topology::Topology;
 use std::time::Duration;
+
+/// Per-island lifecycle summary attached to every [`IslandRun`].
+///
+/// The sequential engine reports the same [`StopReason`] for every island
+/// and zero `dropped`/`resurrections` (nothing fails in-process); the
+/// threaded engine fills in each island's own fate, including
+/// [`StopReason::IslandLost`] for demes whose thread panicked and was not
+/// resurrected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IslandStats {
+    /// Why this island stopped.
+    pub stop: StopReason,
+    /// Generations this island completed.
+    pub generations: u64,
+    /// Fitness evaluations this island performed.
+    pub evaluations: u64,
+    /// Final best fitness on this island.
+    pub best: f64,
+    /// Migrants this island emitted onto its out-links.
+    pub sent: u64,
+    /// Immigrants this island accepted into its population.
+    pub accepted: u64,
+    /// Migrants lost on this island's out-links (scripted drop/cut, full
+    /// bounded channel, or a dead peer).
+    pub dropped: u64,
+    /// Times this island was resurrected from a checkpoint after a panic.
+    pub resurrections: u64,
+}
 
 /// Result of a completed island run (sequential or threaded engine).
 #[derive(Clone, Debug)]
@@ -26,7 +56,8 @@ pub struct IslandRun<G> {
     pub per_island_best: Vec<f64>,
     /// `true` when the run reached the problem optimum.
     pub hit_optimum: bool,
-    /// Why the run stopped.
+    /// Why the run stopped (aggregate; see [`IslandStats::stop`] for each
+    /// island's own reason).
     pub stop: StopReason,
     /// Wall-clock duration.
     pub elapsed: Duration,
@@ -34,6 +65,11 @@ pub struct IslandRun<G> {
     pub migrants_sent: u64,
     /// Migrants accepted by destination demes.
     pub migrants_accepted: u64,
+    /// Per-island stop reasons and lifecycle statistics.
+    pub islands: Vec<IslandStats>,
+    /// Heartbeat timeouts observed by the supervisor (threaded engine
+    /// only; always zero for the sequential stepper).
+    pub heartbeat_misses: u64,
     /// Per-island per-generation statistics (when recording was enabled).
     pub histories: Vec<Vec<StepReport>>,
 }
@@ -57,6 +93,8 @@ pub struct Archipelago<D: Deme> {
     generation: u64,
     migrants_sent: u64,
     migrants_accepted: u64,
+    per_island_sent: Vec<u64>,
+    per_island_accepted: Vec<u64>,
     stagnant_generations: u64,
     best_seen: Option<f64>,
     histories: Vec<Vec<StepReport>>,
@@ -73,6 +111,9 @@ pub struct ArchipelagoBuilder<D: Deme> {
     topology: Topology,
     policy: MigrationPolicy,
     history: bool,
+    faults: MigrationFaultPlan,
+    resilience: ResiliencePolicy,
+    supervisor: Option<SharedRecorder>,
 }
 
 impl<D: Deme> Default for ArchipelagoBuilder<D> {
@@ -82,6 +123,9 @@ impl<D: Deme> Default for ArchipelagoBuilder<D> {
             topology: Topology::RingUni,
             policy: MigrationPolicy::default(),
             history: false,
+            faults: MigrationFaultPlan::default(),
+            resilience: ResiliencePolicy::default(),
+            supervisor: None,
         }
     }
 }
@@ -122,18 +166,57 @@ impl<D: Deme> ArchipelagoBuilder<D> {
         self
     }
 
+    /// Scripts deterministic island panics and migration-link faults for
+    /// the threaded engine (default: benign). Only
+    /// [`run_threaded`](Self::run_threaded) honours the plan —
+    /// [`build`](Self::build) rejects a non-benign one, since the
+    /// sequential stepper has no threads to kill.
+    #[must_use]
+    pub fn fault_plan(mut self, faults: MigrationFaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Supervision and recovery policy for the threaded engine:
+    /// heartbeat cadence, bounded-channel capacity, and checkpoint-based
+    /// resurrection (default: [`ResiliencePolicy::default`], no
+    /// resurrection).
+    #[must_use]
+    pub fn resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Recorder receiving the supervisor's lifecycle events
+    /// (`island_lost`, `island_resurrected`, `migrant_batch_dropped`, …)
+    /// from the threaded engine.
+    #[must_use]
+    pub fn supervisor(mut self, recorder: SharedRecorder) -> Self {
+        self.supervisor = Some(recorder);
+        self
+    }
+
     /// Validates the configuration and assembles the sequential stepper.
     ///
     /// # Errors
-    /// [`ConfigError::InvalidParameter`] when no islands were added or the
-    /// topology rejects the island count.
+    /// [`ConfigError::InvalidParameter`] when no islands were added, the
+    /// topology rejects the island count, or a non-benign
+    /// [`fault_plan`](Self::fault_plan) was configured (fault injection
+    /// needs the threaded engine).
     pub fn build(self) -> Result<Archipelago<D>, ConfigError> {
+        if !self.faults.is_benign() {
+            return Err(ConfigError::InvalidParameter {
+                name: "fault_plan",
+                message: "fault injection requires the threaded engine (run_threaded)".into(),
+            });
+        }
         Archipelago::new(self.islands, self.topology, self.policy)
             .map(|a| a.with_history(self.history))
     }
 
     /// Validates the configuration and runs it on one thread per island
-    /// (see [`crate::run_threaded`] for the threading semantics).
+    /// (see [`crate::run_threaded_resilient`] for the threading and
+    /// fault-recovery semantics).
     ///
     /// # Errors
     /// As [`build`](Self::build), plus
@@ -143,12 +226,18 @@ impl<D: Deme> ArchipelagoBuilder<D> {
         self,
         termination: &Termination,
     ) -> Result<IslandRun<D::Genome>, ConfigError> {
-        crate::threaded::run_threaded(
+        let options = ResilientOptions {
+            faults: self.faults,
+            resilience: self.resilience,
+            supervisor: self.supervisor,
+        };
+        crate::threaded::run_threaded_resilient(
             self.islands,
             &self.topology,
             self.policy,
             termination,
             self.history,
+            &options,
         )
     }
 }
@@ -193,6 +282,8 @@ impl<D: Deme> Archipelago<D> {
             generation: 0,
             migrants_sent: 0,
             migrants_accepted: 0,
+            per_island_sent: vec![0; n],
+            per_island_accepted: vec![0; n],
             stagnant_generations: 0,
             best_seen: None,
             histories: vec![Vec::new(); n],
@@ -242,6 +333,7 @@ impl<D: Deme> Archipelago<D> {
             for &dst in targets {
                 let migrants = self.islands[src].emigrants(policy.emigrant, policy.count);
                 sent += migrants.len() as u64;
+                self.per_island_sent[src] += migrants.len() as u64;
                 if !migrants.is_empty() {
                     let generation = self.islands[src].generation();
                     self.islands[src].record_event(&Event::new(EventKind::MigrationSent {
@@ -260,6 +352,7 @@ impl<D: Deme> Archipelago<D> {
                 let offered = inbox.len() as u64;
                 let here = self.islands[dst].immigrate(inbox, policy.replacement) as u64;
                 accepted += here;
+                self.per_island_accepted[dst] += here;
                 let generation = self.islands[dst].generation();
                 self.islands[dst].record_event(&Event::new(EventKind::MigrationReceived {
                     island: dst as u32,
@@ -300,6 +393,23 @@ impl<D: Deme> Archipelago<D> {
 
     fn collect(&mut self, outcome: RunOutcome<Individual<D::Genome>>) -> IslandRun<D::Genome> {
         let best_island = self.best_island();
+        // In-process lockstep: every island shares the run's stop reason
+        // and nothing is ever dropped or resurrected.
+        let islands = self
+            .islands
+            .iter()
+            .enumerate()
+            .map(|(i, isl)| IslandStats {
+                stop: outcome.stop,
+                generations: isl.generation(),
+                evaluations: isl.evaluations(),
+                best: isl.best_individual().fitness(),
+                sent: self.per_island_sent[i],
+                accepted: self.per_island_accepted[i],
+                dropped: 0,
+                resurrections: 0,
+            })
+            .collect();
         IslandRun {
             best: outcome.best,
             best_island,
@@ -315,6 +425,8 @@ impl<D: Deme> Archipelago<D> {
             elapsed: outcome.elapsed,
             migrants_sent: self.migrants_sent,
             migrants_accepted: self.migrants_accepted,
+            islands,
+            heartbeat_misses: 0,
             histories: std::mem::take(&mut self.histories),
         }
     }
@@ -413,7 +525,9 @@ impl<D: Deme> Engine for Archipelago<D> {
         w.put_u64(self.stagnant_generations);
         w.put_opt_f64(self.best_seen);
         w.put_usize(self.islands.len());
-        for island in &self.islands {
+        for (i, island) in self.islands.iter().enumerate() {
+            w.put_u64(self.per_island_sent[i]);
+            w.put_u64(self.per_island_accepted[i]);
             let nested = island.snapshot_deme();
             w.put_str(nested.engine());
             w.put_bytes(nested.payload());
@@ -436,7 +550,11 @@ impl<D: Deme> Engine for Archipelago<D> {
             )));
         }
         let mut nested = Vec::with_capacity(n);
+        let mut per_island_sent = Vec::with_capacity(n);
+        let mut per_island_accepted = Vec::with_capacity(n);
         for _ in 0..n {
+            per_island_sent.push(r.take_u64()?);
+            per_island_accepted.push(r.take_u64()?);
             let engine = r.take_str()?;
             let payload = r.take_bytes()?.to_vec();
             nested.push(Snapshot::new(engine, payload));
@@ -448,6 +566,8 @@ impl<D: Deme> Engine for Archipelago<D> {
         self.generation = generation;
         self.migrants_sent = migrants_sent;
         self.migrants_accepted = migrants_accepted;
+        self.per_island_sent = per_island_sent;
+        self.per_island_accepted = per_island_accepted;
         self.stagnant_generations = stagnant_generations;
         self.best_seen = best_seen;
         for h in &mut self.histories {

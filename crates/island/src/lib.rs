@@ -11,10 +11,18 @@
 //!   Same search semantics as the threaded engine under synchronous
 //!   migration; used by tests and by effort-based experiments where wall
 //!   time is irrelevant (E03/E04/E10/E11/E12).
-//! * [`run_threaded`] — one OS thread per island, migrants over crossbeam
-//!   channels, synchronous (epoch-lockstep) or asynchronous (non-blocking)
-//!   exchange. Demonstrates real wall-clock speedup (E03) and the
-//!   sync/async trade-off analyzed by Alba & Troya (2001).
+//! * [`run_threaded`] — one OS thread per island, migrants over bounded
+//!   crossbeam channels, synchronous (epoch-lockstep) or asynchronous
+//!   (non-blocking) exchange. Demonstrates real wall-clock speedup (E03)
+//!   and the sync/async trade-off analyzed by Alba & Troya (2001).
+//!
+//! The threaded engine is *supervised*: every island iteration runs under
+//! panic isolation beneath a heartbeat-tracking supervisor, so a crashed
+//! deme yields a partial result instead of aborting the run — and with
+//! [`ResurrectionPolicy::FromSnapshot`] the island is restored from its
+//! last periodic checkpoint and rewired into the topology
+//! ([`run_threaded_resilient`], E18). Deterministic fault injection comes
+//! from `pga-cluster`'s seeded `MigrationFaultPlan`.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -22,9 +30,11 @@
 pub mod archipelago;
 pub mod deme;
 pub mod migration;
+pub mod resilient;
 pub mod threaded;
 
-pub use archipelago::{Archipelago, ArchipelagoBuilder, IslandRun};
+pub use archipelago::{Archipelago, ArchipelagoBuilder, IslandRun, IslandStats};
 pub use deme::Deme;
 pub use migration::{EmigrantSelection, MigrationPolicy, SyncMode};
-pub use threaded::run_threaded;
+pub use resilient::{ResiliencePolicy, ResilientOptions, ResurrectionPolicy};
+pub use threaded::{run_threaded, run_threaded_resilient};

@@ -1,0 +1,479 @@
+//! Resilience machinery for the supervised threaded archipelago.
+//!
+//! The threaded island engine ([`crate::run_threaded`]) runs every deme
+//! iteration under panic isolation beneath a supervisor thread that tracks
+//! per-island heartbeats. A panicking island is *lost*: its migration links
+//! close gracefully and the survivors keep evolving — the DRM peer-churn
+//! semantics of Jelasity et al. (2002) on real threads. With
+//! [`ResurrectionPolicy::FromSnapshot`] enabled, the harness instead
+//! restores the island from its last periodic [`Snapshot`] (the PR-3
+//! checkpoint machinery) and rewires it into the topology; because
+//! checkpoints are only taken at points with no migration epoch between
+//! them and any later failure, the replayed generations never re-cross an
+//! epoch, so a resurrected island's continuation is bit-identical to an
+//! uninterrupted run. A panic *inside* a migration phase is not
+//! resurrectable — the epoch is partially committed to the links — and
+//! degrades to a plain island loss.
+//!
+//! Faults are injected deterministically from a seeded
+//! [`MigrationFaultPlan`] (`pga-cluster`): island panics at generation `N`
+//! plus drop/duplicate/delay/cut effects on migrant batches per directed
+//! edge, applied by the internal per-link state machine. The supervisor
+//! surfaces everything as
+//! `pga-observe` lifecycle events (`island_lost`, `island_resurrected`,
+//! `migrant_batch_dropped`, `migrant_batch_redelivered`,
+//! `island_heartbeat_missed`) aggregated under `archipelago.*` metrics.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use pga_cluster::{LinkEffect, LinkFault, MigrationFaultPlan};
+use pga_core::{ConfigError, Genome, Individual, Snapshot};
+use pga_observe::{Event, EventKind, Recorder, SharedRecorder};
+use std::time::{Duration, Instant};
+
+/// What happens to an island whose thread panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResurrectionPolicy {
+    /// Dead islands stay dead: their links close and survivors continue
+    /// with the surviving topology (graceful degradation).
+    None,
+    /// The harness restores the island from its last periodic snapshot —
+    /// at most `max_respawns` times per island — and rewires it into the
+    /// topology. `max_respawns: 0` is equivalent to
+    /// [`ResurrectionPolicy::None`].
+    FromSnapshot {
+        /// Respawn budget per island.
+        max_respawns: u32,
+    },
+}
+
+/// Tuning for the supervised threaded archipelago.
+#[derive(Clone, Debug)]
+pub struct ResiliencePolicy {
+    /// Generations between periodic island snapshots (resurrection
+    /// checkpoints). Snapshots are additionally taken after every
+    /// migration epoch so that resurrection never replays an epoch. Only
+    /// taken when resurrection is enabled.
+    pub snapshot_interval: u64,
+    /// What happens to a panicked island.
+    pub resurrection: ResurrectionPolicy,
+    /// How often island threads report liveness to the supervisor.
+    pub heartbeat_interval: Duration,
+    /// Silence beyond this marks a heartbeat miss (one per silence
+    /// episode, surfaced as `archipelago.heartbeat_misses`).
+    pub heartbeat_timeout: Duration,
+    /// Bounded migration-channel capacity, in multiples of the migration
+    /// batch size (`MigrationPolicy::count`, floored at 1). The resulting
+    /// capacity is never below 2 batches.
+    pub channel_capacity_factor: usize,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self {
+            snapshot_interval: 16,
+            resurrection: ResurrectionPolicy::None,
+            heartbeat_interval: Duration::from_millis(25),
+            heartbeat_timeout: Duration::from_millis(200),
+            channel_capacity_factor: 4,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Validates the tuning parameters.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `snapshot_interval` or
+    /// `channel_capacity_factor` is zero, or the heartbeat timeout is
+    /// shorter than the heartbeat interval.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.snapshot_interval == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "snapshot_interval",
+                message: "must be at least 1 generation".into(),
+            });
+        }
+        if self.channel_capacity_factor == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "channel_capacity_factor",
+                message: "must be at least 1 batch".into(),
+            });
+        }
+        if self.heartbeat_timeout < self.heartbeat_interval {
+            return Err(ConfigError::InvalidParameter {
+                name: "heartbeat_timeout",
+                message: "must be at least the heartbeat interval".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` when panicked islands are restored from snapshots.
+    #[must_use]
+    pub fn resurrects(&self) -> bool {
+        matches!(
+            self.resurrection,
+            ResurrectionPolicy::FromSnapshot { max_respawns } if max_respawns > 0
+        )
+    }
+}
+
+/// Fault injection and supervision options for a threaded island run.
+#[derive(Clone, Default)]
+pub struct ResilientOptions {
+    /// Seeded fault script (island panics, link faults). The default empty
+    /// plan is benign: the run is then bit-identical (sync mode) to the
+    /// sequential [`crate::Archipelago`].
+    pub faults: MigrationFaultPlan,
+    /// Supervision and resurrection tuning.
+    pub resilience: ResiliencePolicy,
+    /// Recorder receiving the supervisor's lifecycle events. `None`
+    /// disables event emission (lifecycle *stats* are always collected).
+    pub supervisor: Option<SharedRecorder>,
+}
+
+/// Island lifecycle messages flowing to the supervisor thread.
+pub(crate) enum Status {
+    /// Periodic liveness signal.
+    Heartbeat { island: u32 },
+    /// The island's iteration panicked; `generation` is the generation it
+    /// was evolving.
+    Lost { island: u32, generation: u64 },
+    /// The island was restored from its snapshot taken at `generation`.
+    Resurrected {
+        island: u32,
+        generation: u64,
+        respawn: u64,
+    },
+    /// A migrant batch was suppressed on `from -> to`.
+    BatchDropped {
+        from: u32,
+        to: u32,
+        generation: u64,
+        count: u64,
+        reason: &'static str,
+    },
+    /// A migrant batch was duplicated on `from -> to`.
+    BatchRedelivered {
+        from: u32,
+        to: u32,
+        generation: u64,
+        count: u64,
+    },
+    /// The island's stopping rule fired; no more heartbeats expected.
+    Finished { island: u32 },
+}
+
+/// Aggregate lifecycle counters collected by the supervisor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct SupervisorReport {
+    pub islands_lost: u64,
+    pub islands_resurrected: u64,
+    pub batches_dropped: u64,
+    pub batches_redelivered: u64,
+    pub heartbeat_misses: u64,
+}
+
+/// Supervisor loop: drains island statuses, tracks per-island liveness,
+/// emits lifecycle events, and returns aggregate counters. Exits when all
+/// island-side status senders are gone.
+pub(crate) fn supervise(
+    rx: &Receiver<Status>,
+    n: usize,
+    timeout: Duration,
+    mut recorder: Option<SharedRecorder>,
+) -> SupervisorReport {
+    let mut report = SupervisorReport::default();
+    // `expecting[i]`: the island should be heartbeating (not finished, not
+    // currently lost). `silent[i]`: a miss was already charged for the
+    // current silence episode.
+    let mut expecting = vec![true; n];
+    let mut silent = vec![false; n];
+    let mut last_seen = vec![Instant::now(); n];
+    let poll = (timeout / 2).max(Duration::from_millis(5));
+    loop {
+        let status = match rx.recv_timeout(poll) {
+            Ok(status) => Some(status),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let mut emit = |kind: EventKind| {
+            if let Some(r) = recorder.as_mut() {
+                r.record(&Event::new(kind));
+            }
+        };
+        match status {
+            Some(Status::Heartbeat { island }) => {
+                let i = island as usize;
+                last_seen[i] = Instant::now();
+                silent[i] = false;
+            }
+            Some(Status::Lost { island, generation }) => {
+                let i = island as usize;
+                expecting[i] = false;
+                silent[i] = false;
+                report.islands_lost += 1;
+                emit(EventKind::IslandLost { island, generation });
+            }
+            Some(Status::Resurrected {
+                island,
+                generation,
+                respawn,
+            }) => {
+                let i = island as usize;
+                expecting[i] = true;
+                silent[i] = false;
+                last_seen[i] = Instant::now();
+                report.islands_resurrected += 1;
+                emit(EventKind::IslandResurrected {
+                    island,
+                    generation,
+                    respawn,
+                });
+            }
+            Some(Status::BatchDropped {
+                from,
+                to,
+                generation,
+                count,
+                reason,
+            }) => {
+                report.batches_dropped += 1;
+                emit(EventKind::MigrantBatchDropped {
+                    from,
+                    to,
+                    generation,
+                    count,
+                    reason: reason.into(),
+                });
+            }
+            Some(Status::BatchRedelivered {
+                from,
+                to,
+                generation,
+                count,
+            }) => {
+                report.batches_redelivered += 1;
+                emit(EventKind::MigrantBatchRedelivered {
+                    from,
+                    to,
+                    generation,
+                    count,
+                });
+            }
+            Some(Status::Finished { island }) => {
+                expecting[island as usize] = false;
+            }
+            None => {
+                for i in 0..n {
+                    if expecting[i] && !silent[i] && last_seen[i].elapsed() > timeout {
+                        silent[i] = true;
+                        report.heartbeat_misses += 1;
+                        emit(EventKind::IslandHeartbeatMissed { island: i as u32 });
+                    }
+                }
+            }
+        }
+    }
+    if let Some(r) = recorder.as_mut() {
+        r.flush();
+    }
+    report
+}
+
+/// Per-directed-edge fault state: applies the scripted [`LinkFault`]
+/// effects batch by batch (and buffers delayed migrants).
+pub(crate) struct LinkState<G: Genome> {
+    fault: LinkFault,
+    batch_idx: u64,
+    pending: Vec<Individual<G>>,
+}
+
+/// What [`LinkState::apply`] decided for one batch.
+pub(crate) struct LinkAction<G: Genome> {
+    /// Batch to put on the channel; `None` means the link is cut and the
+    /// sender must be dropped.
+    pub batch: Option<Vec<Individual<G>>>,
+    /// Migrants suppressed by the effect.
+    pub dropped: u64,
+    /// Extra migrant copies introduced by duplication.
+    pub redelivered: u64,
+    /// Reason tag accompanying a non-zero `dropped`.
+    pub reason: &'static str,
+}
+
+impl<G: Genome> LinkState<G> {
+    pub(crate) fn new(fault: Option<&LinkFault>) -> Self {
+        Self {
+            fault: fault.cloned().unwrap_or_default(),
+            batch_idx: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Applies the edge's scripted effect to the next batch.
+    pub(crate) fn apply(&mut self, migrants: Vec<Individual<G>>) -> LinkAction<G> {
+        let idx = self.batch_idx;
+        self.batch_idx += 1;
+        match self.fault.effect(idx) {
+            LinkEffect::Cut => {
+                let lost = (migrants.len() + self.pending.len()) as u64;
+                self.pending.clear();
+                LinkAction {
+                    batch: None,
+                    dropped: lost,
+                    redelivered: 0,
+                    reason: "cut",
+                }
+            }
+            LinkEffect::Drop => LinkAction {
+                dropped: migrants.len() as u64,
+                batch: Some(std::mem::take(&mut self.pending)),
+                redelivered: 0,
+                reason: "drop",
+            },
+            LinkEffect::Duplicate => {
+                let mut batch = std::mem::take(&mut self.pending);
+                let extra = migrants.len() as u64;
+                batch.extend(migrants.iter().cloned());
+                batch.extend(migrants);
+                LinkAction {
+                    batch: Some(batch),
+                    dropped: 0,
+                    redelivered: extra,
+                    reason: "",
+                }
+            }
+            LinkEffect::Delay => {
+                let batch = std::mem::take(&mut self.pending);
+                self.pending = migrants;
+                LinkAction {
+                    batch: Some(batch),
+                    dropped: 0,
+                    redelivered: 0,
+                    reason: "",
+                }
+            }
+            LinkEffect::Deliver => {
+                let batch = if self.pending.is_empty() {
+                    migrants
+                } else {
+                    let mut b = std::mem::take(&mut self.pending);
+                    b.extend(migrants);
+                    b
+                };
+                LinkAction {
+                    batch: Some(batch),
+                    dropped: 0,
+                    redelivered: 0,
+                    reason: "",
+                }
+            }
+        }
+    }
+}
+
+/// Everything needed to rewind an island to a consistent point: the deme
+/// snapshot plus the harness loop-locals alongside it, so a resurrected
+/// island's continuation is bit-identical to an uninterrupted run.
+pub(crate) struct IslandCheckpoint<G: Genome> {
+    pub snapshot: Snapshot,
+    pub generation: u64,
+    pub best_local: f64,
+    pub stagnant: u64,
+    pub sent: u64,
+    pub accepted: u64,
+    pub dropped: u64,
+    pub history_len: usize,
+    pub best_cached: Individual<G>,
+    pub hit_cached: bool,
+    pub evals_cached: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_validates() {
+        assert!(ResiliencePolicy::default().validate().is_ok());
+        assert!(!ResiliencePolicy::default().resurrects());
+        let p = ResiliencePolicy {
+            resurrection: ResurrectionPolicy::FromSnapshot { max_respawns: 1 },
+            ..ResiliencePolicy::default()
+        };
+        assert!(p.resurrects());
+        let p = ResiliencePolicy {
+            resurrection: ResurrectionPolicy::FromSnapshot { max_respawns: 0 },
+            ..ResiliencePolicy::default()
+        };
+        assert!(!p.resurrects());
+    }
+
+    #[test]
+    fn invalid_policies_are_rejected() {
+        let p = ResiliencePolicy {
+            snapshot_interval: 0,
+            ..ResiliencePolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = ResiliencePolicy {
+            channel_capacity_factor: 0,
+            ..ResiliencePolicy::default()
+        };
+        assert!(p.validate().is_err());
+        let p = ResiliencePolicy {
+            heartbeat_timeout: Duration::from_millis(1),
+            heartbeat_interval: Duration::from_millis(10),
+            ..ResiliencePolicy::default()
+        };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn link_state_delays_into_next_batch() {
+        let fault = LinkFault {
+            delay: vec![0],
+            ..LinkFault::healthy()
+        };
+        let mut link: LinkState<Vec<f64>> = LinkState::new(Some(&fault));
+        let m0 = vec![Individual::evaluated(vec![1.0], 1.0)];
+        let a0 = link.apply(m0);
+        assert_eq!(a0.batch.as_deref().map(<[_]>::len), Some(0));
+        let m1 = vec![Individual::evaluated(vec![2.0], 2.0)];
+        let a1 = link.apply(m1);
+        // Delayed migrant rides along with the next batch.
+        assert_eq!(a1.batch.as_deref().map(<[_]>::len), Some(2));
+        assert_eq!(a1.dropped + a0.dropped, 0);
+    }
+
+    #[test]
+    fn link_state_cut_loses_pending() {
+        let fault = LinkFault {
+            delay: vec![0],
+            cut_after: Some(1),
+            ..LinkFault::healthy()
+        };
+        let mut link: LinkState<Vec<f64>> = LinkState::new(Some(&fault));
+        let _ = link.apply(vec![Individual::evaluated(vec![1.0], 1.0)]);
+        let a = link.apply(vec![Individual::evaluated(vec![2.0], 2.0)]);
+        assert!(a.batch.is_none());
+        assert_eq!(a.dropped, 2);
+        assert_eq!(a.reason, "cut");
+    }
+
+    #[test]
+    fn link_state_duplicates_count_extras() {
+        let fault = LinkFault {
+            duplicate: vec![0],
+            ..LinkFault::healthy()
+        };
+        let mut link: LinkState<Vec<f64>> = LinkState::new(Some(&fault));
+        let a = link.apply(vec![
+            Individual::evaluated(vec![1.0], 1.0),
+            Individual::evaluated(vec![2.0], 2.0),
+        ]);
+        assert_eq!(a.batch.as_deref().map(<[_]>::len), Some(4));
+        assert_eq!(a.redelivered, 2);
+    }
+}

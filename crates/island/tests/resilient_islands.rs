@@ -1,0 +1,364 @@
+//! Acceptance suite for the supervised resilient threaded archipelago.
+//!
+//! The four load-bearing guarantees:
+//!
+//! 1. **Survivors finish** — every seeded [`MigrationFaultPlan`] yields
+//!    `Ok(IslandRun)` carrying the surviving islands' results; islands
+//!    scripted to panic are reported as [`StopReason::IslandLost`] (and
+//!    only those).
+//! 2. **Disabled-equivalence** — with an empty fault plan, the resilient
+//!    sync engine is bit-identical to the sequential [`Archipelago`] on
+//!    the same seeds.
+//! 3. **Exact resurrection** — a resurrected island continues bit-identical
+//!    to an uninterrupted run: same per-island bests, generations,
+//!    evaluations, and migration counters.
+//! 4. **Monotone lifecycle accounting** — under arbitrary seeded fault
+//!    plans, accepted migrants never exceed sent migrants, per-island
+//!    stats sum to the run aggregates, and supervisor counters match the
+//!    scripted faults (proptest).
+
+use pga_cluster::{LinkFault, MigrationFaultPlan};
+use pga_core::ops::{BitFlip, OnePoint, Tournament};
+use pga_core::{
+    BitString, Ga, GaBuilder, Objective, Problem, Rng64, Scheme, SerialEvaluator, StopReason,
+    Termination,
+};
+use pga_island::{
+    run_threaded_resilient, Archipelago, EmigrantSelection, IslandRun, MigrationPolicy,
+    ResiliencePolicy, ResilientOptions, ResurrectionPolicy, SyncMode,
+};
+use pga_observe::{EventKind, RingRecorder, SharedRecorder};
+use pga_topology::Topology;
+use proptest::prelude::*;
+use std::sync::{Arc, Once};
+
+/// Keeps `cargo test` output readable: the suite injects panics by design,
+/// and the default hook would print a backtrace banner for each one.
+fn quiet_injected_panics() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<&str>()
+                .is_some_and(|m| m.contains("injected island panic"))
+                || info
+                    .payload()
+                    .downcast_ref::<String>()
+                    .is_some_and(|m| m.contains("injected island panic"));
+            if !injected {
+                default(info);
+            }
+        }));
+    });
+}
+
+struct OneMax(usize);
+
+impl Problem for OneMax {
+    type Genome = BitString;
+    fn name(&self) -> String {
+        "onemax".into()
+    }
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+    fn evaluate(&self, g: &BitString) -> f64 {
+        g.count_ones() as f64
+    }
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.0, rng)
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(self.0 as f64)
+    }
+}
+
+fn islands(n: usize, seed: u64, pop: usize, bits: usize) -> Vec<Ga<Arc<OneMax>, SerialEvaluator>> {
+    let p = Arc::new(OneMax(bits));
+    (0..n)
+        .map(|i| {
+            GaBuilder::new(Arc::clone(&p))
+                .seed(seed + i as u64)
+                .pop_size(pop)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(bits))
+                .scheme(Scheme::Generational { elitism: 1 })
+                .build()
+                .expect("valid deme configuration")
+        })
+        .collect()
+}
+
+fn sync_policy(interval: u64, count: usize) -> MigrationPolicy {
+    MigrationPolicy {
+        interval,
+        count,
+        emigrant: EmigrantSelection::Best,
+        replacement: pga_core::ops::ReplacementPolicy::WorstIfBetter,
+        sync: SyncMode::Synchronous,
+    }
+}
+
+/// Field-by-field identity of everything both engines must agree on.
+fn assert_runs_identical(a: &IslandRun<BitString>, b: &IslandRun<BitString>) {
+    assert_eq!(a.best.fitness(), b.best.fitness());
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.best_island, b.best_island);
+    assert_eq!(a.total_evaluations, b.total_evaluations);
+    assert_eq!(a.generations, b.generations);
+    assert_eq!(a.per_island_best, b.per_island_best);
+    assert_eq!(a.hit_optimum, b.hit_optimum);
+    assert_eq!(a.migrants_sent, b.migrants_sent);
+    assert_eq!(a.migrants_accepted, b.migrants_accepted);
+}
+
+#[test]
+fn survivors_finish_under_seeded_faults() {
+    quiet_injected_panics();
+    let topology = Topology::RingBi;
+    let n = 6;
+    let adjacency = topology.adjacency(n);
+    for seed in 0..8u64 {
+        let plan = MigrationFaultPlan::random(&adjacency, 40, seed);
+        let expected_lost = plan.panicking_islands();
+        let r = run_threaded_resilient(
+            islands(n, 300 + seed, 24, 64),
+            &topology,
+            sync_policy(8, 2),
+            &Termination::new().max_generations(60),
+            false,
+            &ResilientOptions {
+                faults: plan,
+                ..ResilientOptions::default()
+            },
+        )
+        .expect("run must complete despite faults");
+        assert_eq!(r.islands.len(), n);
+        let lost: Vec<usize> = (0..n)
+            .filter(|&i| r.islands[i].stop == StopReason::IslandLost)
+            .collect();
+        assert_eq!(lost.len(), expected_lost, "seed {seed}: lost {lost:?}");
+        // Island 0 is always spared by the random plan generator, so the
+        // aggregate outcome always reflects at least one survivor.
+        assert_ne!(r.islands[0].stop, StopReason::IslandLost);
+        assert_ne!(r.stop, StopReason::IslandLost);
+        for i in 0..n {
+            if r.islands[i].stop == StopReason::IslandLost {
+                assert_eq!(r.islands[i].resurrections, 0);
+            } else {
+                assert_eq!(r.islands[i].generations, 60, "seed {seed} island {i}");
+            }
+            assert_eq!(r.per_island_best[i], r.islands[i].best);
+        }
+    }
+}
+
+#[test]
+fn benign_plan_is_bit_identical_to_sequential() {
+    // Empty fault plan + sync mode ⇒ the resilient threaded engine and the
+    // deterministic sequential stepper are the same search (the acceptance
+    // determinism contract).
+    let topology = Topology::RingUni;
+    let policy = sync_policy(8, 2);
+    let stop = Termination::new().max_generations(48);
+    let threaded = run_threaded_resilient(
+        islands(4, 7000, 30, 64),
+        &topology,
+        policy,
+        &stop,
+        false,
+        &ResilientOptions::default(),
+    )
+    .expect("threaded run");
+    let mut arch = Archipelago::new(islands(4, 7000, 30, 64), topology, policy).expect("build");
+    let sequential = arch.run(&stop).expect("sequential run");
+    assert_runs_identical(&threaded, &sequential);
+    for (t, s) in threaded.islands.iter().zip(&sequential.islands) {
+        assert_eq!(t.sent, s.sent);
+        assert_eq!(t.accepted, s.accepted);
+        assert_eq!(t.evaluations, s.evaluations);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(s.dropped, 0);
+    }
+    assert_eq!(threaded.heartbeat_misses, 0);
+}
+
+#[test]
+fn resurrection_continues_bit_identically() {
+    quiet_injected_panics();
+    // The same archipelago twice: once undisturbed, once with island 2
+    // panicking mid-run and resurrected from its checkpoint. Snapshots are
+    // taken after every migration epoch, so the replayed generations never
+    // re-cross an epoch and the continuation must be exact.
+    let topology = Topology::RingBi;
+    let policy = sync_policy(10, 2);
+    let stop = Termination::new().max_generations(50);
+    let resilience = ResiliencePolicy {
+        resurrection: ResurrectionPolicy::FromSnapshot { max_respawns: 3 },
+        snapshot_interval: 7,
+        ..ResiliencePolicy::default()
+    };
+    let baseline = run_threaded_resilient(
+        islands(5, 8100, 24, 64),
+        &topology,
+        policy,
+        &stop,
+        true,
+        &ResilientOptions {
+            resilience: resilience.clone(),
+            ..ResilientOptions::default()
+        },
+    )
+    .expect("baseline run");
+    for panic_gen in [1u64, 13, 29, 44] {
+        let faulted = run_threaded_resilient(
+            islands(5, 8100, 24, 64),
+            &topology,
+            policy,
+            &stop,
+            true,
+            &ResilientOptions {
+                faults: MigrationFaultPlan::none(5).with_island_panic(2, panic_gen),
+                resilience: resilience.clone(),
+                ..ResilientOptions::default()
+            },
+        )
+        .expect("faulted run");
+        assert_runs_identical(&baseline, &faulted);
+        assert_eq!(faulted.islands[2].resurrections, 1, "gen {panic_gen}");
+        assert_eq!(faulted.islands[2].stop, baseline.islands[2].stop);
+        // Recorded histories replay identically too: the truncate-on-restore
+        // leaves exactly the generations an uninterrupted run records.
+        assert_eq!(baseline.histories, faulted.histories);
+    }
+}
+
+#[test]
+fn resurrection_exhaustion_degrades_to_island_loss() {
+    quiet_injected_panics();
+    let r = run_threaded_resilient(
+        islands(4, 9200, 20, 48),
+        &Topology::RingUni,
+        sync_policy(8, 2),
+        &Termination::new().max_generations(40),
+        false,
+        &ResilientOptions {
+            faults: MigrationFaultPlan::none(4).with_island_panic(1, 5),
+            resilience: ResiliencePolicy {
+                resurrection: ResurrectionPolicy::FromSnapshot { max_respawns: 0 },
+                ..ResiliencePolicy::default()
+            },
+            ..ResilientOptions::default()
+        },
+    )
+    .expect("run completes");
+    assert_eq!(r.islands[1].stop, StopReason::IslandLost);
+    assert_eq!(r.islands[1].resurrections, 0);
+    assert_eq!(r.islands[1].generations, 4, "died evolving generation 5");
+    assert_eq!(r.stop, StopReason::MaxGenerations);
+}
+
+#[test]
+fn supervisor_emits_lifecycle_events() {
+    quiet_injected_panics();
+    let ring = RingRecorder::new(4096);
+    let plan = MigrationFaultPlan::none(4)
+        .with_island_panic(3, 9)
+        .with_link_fault(
+            0,
+            1,
+            LinkFault {
+                drop: vec![0],
+                duplicate: vec![1],
+                ..LinkFault::healthy()
+            },
+        );
+    let r = run_threaded_resilient(
+        islands(4, 5100, 20, 48),
+        &Topology::RingUni,
+        sync_policy(4, 2),
+        &Termination::new().max_generations(30),
+        false,
+        &ResilientOptions {
+            faults: plan,
+            supervisor: Some(SharedRecorder::new(ring.clone())),
+            ..ResilientOptions::default()
+        },
+    )
+    .expect("run completes");
+    assert_eq!(r.islands[3].stop, StopReason::IslandLost);
+    let events = ring.take_events();
+    assert!(events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::IslandLost {
+            island: 3,
+            generation: 9
+        }
+    )));
+    assert!(events.iter().any(
+        |e| matches!(&e.kind, EventKind::MigrantBatchDropped { from: 0, to: 1, reason, .. }
+                if reason == "drop")
+    ));
+    assert!(events.iter().any(|e| matches!(
+        e.kind,
+        EventKind::MigrantBatchRedelivered { from: 0, to: 1, .. }
+    )));
+}
+
+proptest! {
+    #[test]
+    fn lifecycle_accounting_is_monotone_and_consistent(
+        seed in 0u64..10_000,
+        resurrect in any::<bool>(),
+    ) {
+        quiet_injected_panics();
+        let topology = Topology::RingBi;
+        let n = 4;
+        let plan = MigrationFaultPlan::random(&topology.adjacency(n), 24, seed);
+        let resilience = ResiliencePolicy {
+            resurrection: if resurrect {
+                ResurrectionPolicy::FromSnapshot { max_respawns: 2 }
+            } else {
+                ResurrectionPolicy::None
+            },
+            ..ResiliencePolicy::default()
+        };
+        let r = run_threaded_resilient(
+            islands(n, seed.wrapping_mul(31) + 1, 16, 32),
+            &topology,
+            sync_policy(6, 2),
+            &Termination::new().max_generations(30),
+            false,
+            &ResilientOptions { faults: plan.clone(), resilience, ..ResilientOptions::default() },
+        )
+        .expect("run completes");
+
+        // Conservation: per-island stats sum to the run aggregates.
+        let sent: u64 = r.islands.iter().map(|s| s.sent).sum();
+        let accepted: u64 = r.islands.iter().map(|s| s.accepted).sum();
+        prop_assert_eq!(sent, r.migrants_sent);
+        prop_assert_eq!(accepted, r.migrants_accepted);
+        // A migrant must be sent before it can be accepted.
+        prop_assert!(r.migrants_accepted <= r.migrants_sent);
+        prop_assert_eq!(r.total_evaluations,
+            r.islands.iter().map(|s| s.evaluations).sum::<u64>());
+        for (i, s) in r.islands.iter().enumerate() {
+            prop_assert!(s.generations <= 30);
+            if !resurrect {
+                prop_assert_eq!(s.resurrections, 0);
+                // Without resurrection, exactly the scripted islands die.
+                let scripted = !plan.island(i).is_healthy();
+                prop_assert_eq!(s.stop == StopReason::IslandLost, scripted);
+            }
+        }
+        // Resurrection can only reduce (never add to) the losses.
+        if resurrect {
+            let lost = r.islands.iter()
+                .filter(|s| s.stop == StopReason::IslandLost).count();
+            prop_assert!(lost <= plan.panicking_islands());
+        }
+    }
+}

@@ -52,8 +52,13 @@ impl Event {
             | EventKind::PoolBatch { island, .. }
             | EventKind::CheckpointHit { island, .. }
             | EventKind::MigrationReceived { island, .. }
+            | EventKind::IslandLost { island, .. }
+            | EventKind::IslandResurrected { island, .. }
+            | EventKind::IslandHeartbeatMissed { island }
             | EventKind::RunFinished { island, .. } => Some(*island),
-            EventKind::MigrationSent { from, .. } => Some(*from),
+            EventKind::MigrationSent { from, .. }
+            | EventKind::MigrantBatchDropped { from, .. }
+            | EventKind::MigrantBatchRedelivered { from, .. } => Some(*from),
             EventKind::NodeFailed { .. }
             | EventKind::TaskReassigned { .. }
             | EventKind::TaskDispatched { .. }
@@ -71,7 +76,11 @@ impl Event {
             EventKind::GenerationCompleted { generation, .. }
             | EventKind::CheckpointHit { generation, .. }
             | EventKind::MigrationSent { generation, .. }
-            | EventKind::MigrationReceived { generation, .. } => Some(*generation),
+            | EventKind::MigrationReceived { generation, .. }
+            | EventKind::IslandLost { generation, .. }
+            | EventKind::IslandResurrected { generation, .. }
+            | EventKind::MigrantBatchDropped { generation, .. }
+            | EventKind::MigrantBatchRedelivered { generation, .. } => Some(*generation),
             EventKind::EvaluationBatch { batch, .. } | EventKind::PoolBatch { batch, .. } => {
                 Some(*batch)
             }
@@ -81,6 +90,7 @@ impl Event {
             | EventKind::TaskReassigned { .. }
             | EventKind::TaskDispatched { .. }
             | EventKind::HeartbeatMissed { .. }
+            | EventKind::IslandHeartbeatMissed { .. }
             | EventKind::TaskRetried { .. }
             | EventKind::WorkerQuarantined { .. }
             | EventKind::WorkerRecovered { .. } => None,
@@ -209,6 +219,46 @@ impl Event {
             ],
             EventKind::WorkerRecovered { worker } => {
                 vec![("worker", Int(u64::from(*worker)))]
+            }
+            EventKind::IslandLost { island, generation } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+            ],
+            EventKind::IslandResurrected {
+                island,
+                generation,
+                respawn,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+                ("respawn", Int(*respawn)),
+            ],
+            EventKind::MigrantBatchDropped {
+                from,
+                to,
+                generation,
+                count,
+                reason,
+            } => vec![
+                ("from", Int(u64::from(*from))),
+                ("to", Int(u64::from(*to))),
+                ("generation", Int(*generation)),
+                ("count", Int(*count)),
+                ("reason", Text(reason.clone())),
+            ],
+            EventKind::MigrantBatchRedelivered {
+                from,
+                to,
+                generation,
+                count,
+            } => vec![
+                ("from", Int(u64::from(*from))),
+                ("to", Int(u64::from(*to))),
+                ("generation", Int(*generation)),
+                ("count", Int(*count)),
+            ],
+            EventKind::IslandHeartbeatMissed { island } => {
+                vec![("island", Int(u64::from(*island)))]
             }
             EventKind::RunFinished {
                 island,
@@ -386,6 +436,56 @@ pub enum EventKind {
         /// Worker id.
         worker: u32,
     },
+    /// An island thread panicked and left the archipelago (its migration
+    /// links close; survivors keep evolving — DRM churn semantics).
+    IslandLost {
+        /// Island id.
+        island: u32,
+        /// Generation the island was evolving when it was lost.
+        generation: u64,
+    },
+    /// A lost island was respawned from its last periodic snapshot and
+    /// rewired into the topology.
+    IslandResurrected {
+        /// Island id.
+        island: u32,
+        /// Generation of the snapshot the island resumed from.
+        generation: u64,
+        /// 1-based respawn count for this island.
+        respawn: u64,
+    },
+    /// A migrant batch was suppressed on one topology edge — link-fault
+    /// injection (drop/cut) or a full bounded channel in async mode.
+    MigrantBatchDropped {
+        /// Source island.
+        from: u32,
+        /// Destination island.
+        to: u32,
+        /// Source island's generation at the migration point.
+        generation: u64,
+        /// Migrants in the suppressed batch.
+        count: u64,
+        /// Why: `"drop"`, `"cut"`, `"channel-full"`, or `"peer-dead"`.
+        reason: String,
+    },
+    /// A migrant batch was delivered twice on one topology edge
+    /// (duplication fault).
+    MigrantBatchRedelivered {
+        /// Source island.
+        from: u32,
+        /// Destination island.
+        to: u32,
+        /// Source island's generation at the migration point.
+        generation: u64,
+        /// Migrants delivered beyond the first copy.
+        count: u64,
+    },
+    /// The archipelago supervisor saw no heartbeat from an island within
+    /// the configured timeout (stalled or dead island thread).
+    IslandHeartbeatMissed {
+        /// Island id.
+        island: u32,
+    },
     /// An engine finished a run.
     RunFinished {
         /// Island/deme id (0 for single-population engines).
@@ -420,6 +520,11 @@ impl EventKind {
             Self::TaskRetried { .. } => "task_retried",
             Self::WorkerQuarantined { .. } => "worker_quarantined",
             Self::WorkerRecovered { .. } => "worker_recovered",
+            Self::IslandLost { .. } => "island_lost",
+            Self::IslandResurrected { .. } => "island_resurrected",
+            Self::MigrantBatchDropped { .. } => "migrant_batch_dropped",
+            Self::MigrantBatchRedelivered { .. } => "migrant_batch_redelivered",
+            Self::IslandHeartbeatMissed { .. } => "island_heartbeat_missed",
             Self::RunFinished { .. } => "run_finished",
         }
     }
@@ -437,7 +542,11 @@ impl EventKind {
             Self::EvaluationBatch { .. } | Self::PoolBatch { .. } => 1,
             Self::GenerationCompleted { .. } => 2,
             Self::CheckpointHit { .. } => 3,
-            Self::MigrationSent { .. } => 4,
+            // Link-fault effects share the send slot: they annotate the
+            // batch that was (not) sent at the same migration point.
+            Self::MigrationSent { .. }
+            | Self::MigrantBatchDropped { .. }
+            | Self::MigrantBatchRedelivered { .. } => 4,
             Self::MigrationReceived { .. } => 5,
             // Worker-lifecycle kinds carry no generation, so their rank only
             // breaks ties among themselves: dispatch before the failure
@@ -448,6 +557,9 @@ impl EventKind {
             | Self::TaskRetried { .. }
             | Self::WorkerQuarantined { .. }
             | Self::WorkerRecovered { .. } => 7,
+            // Island lifecycle: the loss evidence, then the recovery.
+            Self::IslandHeartbeatMissed { .. } => 6,
+            Self::IslandLost { .. } | Self::IslandResurrected { .. } => 7,
             Self::RunFinished { .. } => 8,
         }
     }
@@ -542,6 +654,29 @@ mod tests {
                 reason: "panic".into(),
             },
             EventKind::WorkerRecovered { worker: 2 },
+            EventKind::IslandLost {
+                island: 1,
+                generation: 25,
+            },
+            EventKind::IslandResurrected {
+                island: 1,
+                generation: 16,
+                respawn: 1,
+            },
+            EventKind::MigrantBatchDropped {
+                from: 0,
+                to: 1,
+                generation: 16,
+                count: 2,
+                reason: "drop".into(),
+            },
+            EventKind::MigrantBatchRedelivered {
+                from: 0,
+                to: 1,
+                generation: 16,
+                count: 2,
+            },
+            EventKind::IslandHeartbeatMissed { island: 1 },
             EventKind::RunFinished {
                 island: 0,
                 generations: 9,

@@ -274,6 +274,9 @@ impl<R: Recorder> Recorder for SampledRecorder<R> {
 /// * `pool.tasks` / `pool.steals` / `pool.parks` counters, a
 ///   `pool.workers` gauge and a `pool.queue_micros` histogram (work-stealing
 ///   pool health, from `pool_batch` events);
+/// * `archipelago.islands_lost` / `archipelago.islands_resurrected` /
+///   `archipelago.batches_dropped` / `archipelago.batches_redelivered` /
+///   `archipelago.heartbeat_misses` counters (resilient island lifecycle);
 /// * `fitness.best_ever` histogram over generation snapshots;
 /// * `run.generation` / `run.best_ever` gauges tracking the latest state.
 pub struct MetricsRecorder {
@@ -373,6 +376,24 @@ impl Recorder for MetricsRecorder {
             }
             EventKind::WorkerRecovered { .. } => {
                 self.registry.inc("resilient.recovered", 1);
+            }
+            EventKind::IslandLost { .. } => {
+                self.registry.inc("archipelago.islands_lost", 1);
+            }
+            EventKind::IslandResurrected { .. } => {
+                self.registry.inc("archipelago.islands_resurrected", 1);
+            }
+            EventKind::MigrantBatchDropped { count, .. } => {
+                self.registry.inc("archipelago.batches_dropped", 1);
+                self.registry.inc("archipelago.migrants_dropped", *count);
+            }
+            EventKind::MigrantBatchRedelivered { count, .. } => {
+                self.registry.inc("archipelago.batches_redelivered", 1);
+                self.registry
+                    .inc("archipelago.migrants_redelivered", *count);
+            }
+            EventKind::IslandHeartbeatMissed { .. } => {
+                self.registry.inc("archipelago.heartbeat_misses", 1);
             }
             _ => {}
         }

@@ -10,9 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy unwrap gate (pga-master-slave, pga-cluster lib code)"
+echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island lib code)"
 # Lib targets only (no --all-targets): test modules may unwrap freely.
-cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -- -D warnings -D clippy::unwrap_used
+cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -- -D warnings -D clippy::unwrap_used
 
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -29,5 +29,8 @@ cargo test -q --test pool_determinism
 echo "==> resilient fault-injection stress suite (release, timeout-guarded)"
 # The suite's no-hang guarantee is only meaningful under a hard timeout.
 timeout 300 cargo test -q -p pga-master-slave --release --test resilient_stress
+
+echo "==> resilient archipelago suite (release, timeout-guarded)"
+timeout 300 cargo test -q -p pga-island --release --test resilient_islands
 
 echo "verify: OK"

@@ -42,8 +42,9 @@ pub use pga_master_slave::{
 
 // Island (coarse-grained) model.
 pub use pga_island::{
-    run_threaded, Archipelago, ArchipelagoBuilder, Deme, EmigrantSelection, IslandRun,
-    MigrationPolicy, SyncMode,
+    run_threaded, run_threaded_resilient, Archipelago, ArchipelagoBuilder, Deme, EmigrantSelection,
+    IslandRun, IslandStats, MigrationPolicy, ResiliencePolicy, ResilientOptions,
+    ResurrectionPolicy, SyncMode,
 };
 
 // Cellular (fine-grained) model.
@@ -58,8 +59,11 @@ pub use pga_multiobjective::{MoEngine, MoEngineBuilder};
 // Topologies and neighborhoods.
 pub use pga_topology::{CellNeighborhood, Topology};
 
-// Cluster failure models shared by simulator and resilient runtime.
-pub use pga_cluster::{ClusterSpec, FailurePlan, FaultPlan, NetworkProfile, WorkerFault};
+// Cluster failure models shared by simulator and resilient runtimes.
+pub use pga_cluster::{
+    ClusterSpec, FailurePlan, FaultPlan, IslandFault, LinkFault, MigrationFaultPlan,
+    NetworkProfile, WorkerFault,
+};
 
 // Benchmark problem suite.
 pub use pga_problems::{

@@ -2,25 +2,40 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the API subset it actually uses: `channel::unbounded` with
-//! `send` / `recv` / `try_recv`, backed by `std::sync::mpsc`. Disconnect
-//! semantics match crossbeam: `recv` errors once the channel is empty and
-//! all senders are dropped, which is what the threaded island engine relies
-//! on to terminate cleanly.
+//! `send` / `recv` / `try_recv`, plus `channel::bounded` with blocking
+//! `send` and non-blocking `try_send`, backed by `std::sync::mpsc`.
+//! Disconnect semantics match crossbeam: `recv` errors once the channel is
+//! empty and all senders are dropped, which is what the threaded island
+//! engine relies on to terminate cleanly.
+//!
+//! One divergence from real crossbeam: bounded channels hand out
+//! [`channel::SyncSender`] (a distinct type from the unbounded
+//! [`channel::Sender`]), mirroring `std::sync::mpsc` instead of
+//! crossbeam's unified sender.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod channel {
-    //! Multi-producer single-consumer unbounded channels.
+    //! Multi-producer single-consumer channels, unbounded and bounded.
 
     pub use std::sync::mpsc::{
-        Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError,
+        Receiver, RecvError, RecvTimeoutError, SendError, Sender, SyncSender, TryRecvError,
+        TrySendError,
     };
 
     /// Creates an unbounded channel.
     #[must_use]
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         std::sync::mpsc::channel()
+    }
+
+    /// Creates a bounded channel holding at most `capacity` messages:
+    /// `send` blocks while full, `try_send` fails fast with
+    /// [`TrySendError::Full`].
+    #[must_use]
+    pub fn bounded<T>(capacity: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(capacity)
     }
 }
 
@@ -36,5 +51,33 @@ mod tests {
         assert!(rx.try_recv().is_err());
         drop(tx);
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_fails_when_full() {
+        let (tx, rx) = channel::bounded(2);
+        tx.try_send(1u32).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Full(3))
+        ));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_send_errors_after_receiver_drop() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert!(tx.send(5u32).is_err());
+        assert!(matches!(
+            tx.try_send(5),
+            Err(channel::TrySendError::Disconnected(5))
+        ));
     }
 }
