@@ -326,14 +326,16 @@ impl<P: Problem> CellularGa<P> {
                 mean: stats.mean,
                 best_ever: stats.best_ever,
             });
-            if !self.optimum_traced && self.problem.is_optimal(stats.best_ever) {
-                self.optimum_traced = true;
-                self.emit(EventKind::CheckpointHit {
-                    island: self.trace_island,
-                    generation: stats.generation,
-                    best: stats.best_ever,
-                });
-            }
+        }
+        // Tracked unconditionally so snapshot bytes do not depend on
+        // whether a recorder is attached; `emit` no-ops without one.
+        if !self.optimum_traced && self.problem.is_optimal(stats.best_ever) {
+            self.optimum_traced = true;
+            self.emit(EventKind::CheckpointHit {
+                island: self.trace_island,
+                generation: stats.generation,
+                best: stats.best_ever,
+            });
         }
         stats
     }

@@ -231,14 +231,16 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
                 mean: report.mean,
                 best_ever: report.best_ever,
             });
-            if !self.optimum_traced && self.problem.is_optimal(report.best_ever) {
-                self.optimum_traced = true;
-                self.emit(EventKind::CheckpointHit {
-                    island: self.trace_island,
-                    generation: report.generation,
-                    best: report.best_ever,
-                });
-            }
+        }
+        // Tracked unconditionally so snapshot bytes do not depend on
+        // whether a recorder is attached; `emit` no-ops without one.
+        if !self.optimum_traced && self.problem.is_optimal(report.best_ever) {
+            self.optimum_traced = true;
+            self.emit(EventKind::CheckpointHit {
+                island: self.trace_island,
+                generation: report.generation,
+                best: report.best_ever,
+            });
         }
         report
     }

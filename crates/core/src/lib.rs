@@ -59,6 +59,7 @@
 pub mod diversity;
 pub mod driver;
 pub mod engine;
+pub mod erased;
 pub mod error;
 pub mod eval;
 pub mod individual;
@@ -72,6 +73,7 @@ pub mod termination;
 
 pub use driver::{Clock, Driver, Engine, RunOutcome, StepReport};
 pub use engine::{Ga, GaBuilder, Scheme};
+pub use erased::{erase, BoxedEngine, ErasedEngine, ErasedRun};
 pub use error::ConfigError;
 pub use eval::{Evaluator, SerialEvaluator};
 pub use individual::Individual;

@@ -101,6 +101,16 @@ impl Snapshot {
         &self.engine
     }
 
+    /// The engine tag stored in the PGAS header, for dispatching a restore
+    /// to the right engine family *before* attempting to decode the
+    /// payload (e.g. a job server rebuilding heterogeneous checkpoints
+    /// from a spool directory). Alias of [`Snapshot::engine`] under the
+    /// name the header field carries.
+    #[must_use]
+    pub fn engine_tag(&self) -> &str {
+        &self.engine
+    }
+
     /// The raw payload bytes.
     #[must_use]
     pub fn payload(&self) -> &[u8] {
@@ -381,6 +391,19 @@ mod tests {
         let back = Snapshot::from_bytes(&bytes).unwrap();
         assert_eq!(back, snap);
         assert_eq!(back.engine(), "ga");
+    }
+
+    #[test]
+    fn engine_tag_reads_the_header_without_decoding_the_payload() {
+        // The tag survives the byte roundtrip and is readable on its own,
+        // so a multi-family consumer (the job-server spool) can dispatch
+        // restores without trial-decoding every engine's payload format.
+        for tag in ["ga", "archipelago", "cellular", "hga", "nsga2", "ms-sim"] {
+            let snap = Snapshot::new(tag, vec![0xAB; 16]);
+            assert_eq!(snap.engine_tag(), tag);
+            let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(back.engine_tag(), tag);
+        }
     }
 
     #[test]

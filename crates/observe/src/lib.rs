@@ -58,5 +58,5 @@ pub use record::{
     merge_island_traces, replay, FilteredRecorder, MetricsRecorder, MultiRecorder, Recorder,
     RingRecorder, SampledRecorder, SharedRecorder,
 };
-pub use sink::{CsvSink, JsonlSink};
+pub use sink::{jsonl_line, CsvSink, JsonlSink, JsonlStream};
 pub use timing::Stopwatch;

@@ -152,6 +152,27 @@ fn json_value(value: &FieldValue) -> String {
     }
 }
 
+/// Encodes one event as a self-describing JSONL line (no trailing
+/// newline), e.g. `{"seq":3,"kind":"migration_sent","from":0,"to":1,...}`.
+///
+/// The single source of truth for the JSONL wire format: [`JsonlSink`]
+/// (batch, `Write`-backed) and [`JsonlStream`] (incremental, drainable)
+/// both delegate here, so a consumer parsing one parses the other.
+#[must_use]
+pub fn jsonl_line(seq: u64, event: &Event) -> String {
+    let mut line = format!("{{\"seq\":{seq},\"kind\":\"{}\"", event.kind.name());
+    match event.time {
+        Time::None => {}
+        Time::Wall(s) => line.push_str(&format!(",\"wall_s\":{s:.6}")),
+        Time::Sim(s) => line.push_str(&format!(",\"sim_s\":{s:.6}")),
+    }
+    for (name, value) in event.fields() {
+        line.push_str(&format!(",\"{name}\":{}", json_value(&value)));
+    }
+    line.push('}');
+    line
+}
+
 /// Writes one JSON object per line per event (JSONL / NDJSON), e.g.:
 ///
 /// ```json
@@ -178,22 +199,116 @@ impl<W: Write + Send> JsonlSink<W> {
 
 impl<W: Write + Send> Recorder for JsonlSink<W> {
     fn record(&mut self, event: &Event) {
-        let mut line = format!("{{\"seq\":{},\"kind\":\"{}\"", self.seq, event.kind.name());
-        match event.time {
-            Time::None => {}
-            Time::Wall(s) => line.push_str(&format!(",\"wall_s\":{s:.6}")),
-            Time::Sim(s) => line.push_str(&format!(",\"sim_s\":{s:.6}")),
-        }
-        for (name, value) in event.fields() {
-            line.push_str(&format!(",\"{name}\":{}", json_value(&value)));
-        }
-        line.push('}');
+        let line = jsonl_line(self.seq, event);
         let _ = writeln!(self.out, "{line}");
         self.seq += 1;
     }
 
     fn flush(&mut self) {
         let _ = self.out.flush();
+    }
+}
+
+struct StreamInner {
+    seq: u64,
+    capacity: usize,
+    dropped: u64,
+    lines: std::collections::VecDeque<String>,
+    closed: bool,
+}
+
+/// Incremental JSONL event stream: a clonable [`Recorder`] that encodes
+/// each event as a [`jsonl_line`] into a shared bounded buffer, which a
+/// consumer on another thread drains line-by-line.
+///
+/// This is the live-streaming counterpart of [`JsonlSink`]: a job server
+/// attaches one clone to an engine and its `/jobs/:id/events` endpoint
+/// drains the other end while the run is still in flight. When the buffer
+/// is full the *oldest* lines are dropped (and counted), so a slow or
+/// absent consumer never blocks or bloats the producer.
+#[derive(Clone)]
+pub struct JsonlStream {
+    inner: std::sync::Arc<std::sync::Mutex<StreamInner>>,
+}
+
+impl JsonlStream {
+    /// Stream buffering at most `capacity` undrained lines.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "stream capacity must be positive");
+        Self {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(StreamInner {
+                seq: 0,
+                capacity,
+                dropped: 0,
+                lines: std::collections::VecDeque::new(),
+                closed: false,
+            })),
+        }
+    }
+
+    /// Stream with a default buffer of 64 Ki lines.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(1 << 16)
+    }
+
+    /// Takes all buffered lines, oldest first (without trailing newlines).
+    #[must_use]
+    pub fn drain_lines(&self) -> Vec<String> {
+        self.inner.lock().unwrap().lines.drain(..).collect()
+    }
+
+    /// Undrained line count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().lines.len()
+    }
+
+    /// `true` when no lines are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines evicted because the buffer was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().unwrap().dropped
+    }
+
+    /// Marks the stream finished: the producer will emit no more events.
+    /// Consumers drain whatever remains and stop polling.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+    }
+
+    /// `true` once [`JsonlStream::close`] was called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+}
+
+impl Default for JsonlStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for JsonlStream {
+    fn record(&mut self, event: &Event) {
+        let mut inner = self.inner.lock().unwrap();
+        let line = jsonl_line(inner.seq, event);
+        inner.seq += 1;
+        if inner.lines.len() == inner.capacity {
+            inner.lines.pop_front();
+            inner.dropped += 1;
+        }
+        inner.lines.push_back(line);
     }
 }
 
@@ -244,6 +359,53 @@ mod tests {
         sink.record(&sample_events()[0]);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.contains("\"one,max \"\"quoted\"\"\""));
+    }
+
+    #[test]
+    fn jsonl_stream_drains_incrementally_and_matches_the_sink() {
+        let stream = JsonlStream::with_capacity(8);
+        let mut producer = stream.clone();
+        let events = sample_events();
+        producer.record(&events[0]);
+        producer.record(&events[1]);
+        let first = stream.drain_lines();
+        assert_eq!(first.len(), 2);
+        assert!(stream.is_empty());
+        producer.record(&events[2]);
+        let second = stream.drain_lines();
+        assert_eq!(second.len(), 1);
+
+        // Byte-identical to the batch sink over the same trace.
+        let mut sink = JsonlSink::new(Vec::new());
+        crate::record::replay(&events, &mut sink);
+        let batch = String::from_utf8(sink.into_inner()).unwrap();
+        let streamed: Vec<String> = first.into_iter().chain(second).collect();
+        assert_eq!(batch.lines().collect::<Vec<_>>(), streamed);
+
+        assert!(!stream.is_closed());
+        stream.close();
+        assert!(stream.is_closed());
+    }
+
+    #[test]
+    fn jsonl_stream_drops_oldest_when_full() {
+        let stream = JsonlStream::with_capacity(2);
+        let mut producer = stream.clone();
+        for generation in 1..=5 {
+            producer.record(&Event::new(EventKind::GenerationCompleted {
+                island: 0,
+                generation,
+                evaluations: generation,
+                best: 1.0,
+                mean: 0.5,
+                best_ever: 1.0,
+            }));
+        }
+        assert_eq!(stream.dropped(), 3);
+        let lines = stream.drain_lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"generation\":4"));
+        assert!(lines[1].contains("\"generation\":5"));
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Builds a concrete engine from a wire [`JobSpec`] and erases it.
+//!
+//! This is the bridge between the protocol layer and the core runtime:
+//! a validated spec goes in, a [`BoxedEngine`] ready for the slice
+//! scheduler comes out. The factory also attaches the job's
+//! [`JsonlStream`] recorder *before* erasure — recorders are
+//! seed-transparent (see `pga-observe`), so a streamed job follows the
+//! exact trajectory of an unstreamed one, which is what makes spool
+//! recovery bit-identical even for jobs with event subscribers.
+
+use std::sync::Arc;
+
+use pga_cellular::CellularGa;
+use pga_core::engine::Scheme;
+use pga_core::erased::{erase, BoxedEngine};
+use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::problem::Problem;
+use pga_core::repr::BitString;
+use pga_core::{ConfigError, GaBuilder};
+use pga_island::{Archipelago, MigrationPolicy};
+use pga_observe::JsonlStream;
+use pga_problems::{DeceptiveTrap, OneMax, PPeaks, RoyalRoad};
+use pga_topology::Topology;
+
+use crate::protocol::{EngineSpec, JobSpec, ProblemSpec, ProtocolError};
+
+/// Derives the seed for island `i` from the job seed (splitmix64 step),
+/// so islands diverge while the whole archipelago stays a pure function
+/// of the job spec.
+fn island_seed(seed: u64, i: usize) -> u64 {
+    let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn config_err(err: ConfigError) -> ProtocolError {
+    ProtocolError::Invalid {
+        field: "engine",
+        message: err.to_string(),
+    }
+}
+
+/// Instantiates the engine a spec describes, attaches `stream` as its
+/// observability recorder (when given), and erases it for the job
+/// runtime. The same spec always yields a bit-identical engine.
+pub fn build_engine(
+    spec: &JobSpec,
+    stream: Option<JsonlStream>,
+) -> Result<BoxedEngine, ProtocolError> {
+    match &spec.problem {
+        ProblemSpec::OneMax { len } => build_family(spec, OneMax::new(*len), stream),
+        ProblemSpec::Trap { k, blocks } => {
+            build_family(spec, DeceptiveTrap::new(*k, *blocks), stream)
+        }
+        ProblemSpec::PPeaks { p, n, seed } => {
+            build_family(spec, PPeaks::new(*p, *n, *seed), stream)
+        }
+        ProblemSpec::RoyalRoad { block, blocks } => {
+            build_family(spec, RoyalRoad::new(*block, *blocks), stream)
+        }
+    }
+}
+
+fn build_family<P>(
+    spec: &JobSpec,
+    problem: P,
+    stream: Option<JsonlStream>,
+) -> Result<BoxedEngine, ProtocolError>
+where
+    P: Problem<Genome = BitString> + Send + Sync + 'static,
+{
+    let len = spec.problem.genome_len();
+    let problem = Arc::new(problem);
+    match &spec.engine {
+        EngineSpec::Ga { pop, elitism } => {
+            let mut ga = GaBuilder::new(problem)
+                .seed(spec.seed)
+                .pop_size(*pop)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(len))
+                .scheme(Scheme::Generational { elitism: *elitism })
+                .build()
+                .map_err(config_err)?;
+            if let Some(s) = stream {
+                ga.set_recorder(s);
+            }
+            Ok(erase(ga))
+        }
+        EngineSpec::SteadyState { pop } => {
+            let mut ga = GaBuilder::new(problem)
+                .seed(spec.seed)
+                .pop_size(*pop)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(len))
+                .scheme(Scheme::SteadyState {
+                    replacement: ReplacementPolicy::WorstIfBetter,
+                })
+                .build()
+                .map_err(config_err)?;
+            if let Some(s) = stream {
+                ga.set_recorder(s);
+            }
+            Ok(erase(ga))
+        }
+        EngineSpec::Cellular { rows, cols } => {
+            let mut cga = CellularGa::builder(problem)
+                .grid(*rows, *cols)
+                .seed(spec.seed)
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(len))
+                .build()
+                .map_err(config_err)?;
+            if let Some(s) = stream {
+                cga.set_recorder(s);
+            }
+            Ok(erase(cga))
+        }
+        EngineSpec::Island { islands, pop } => {
+            let demes = (0..*islands)
+                .map(|i| {
+                    let mut ga = GaBuilder::new(Arc::clone(&problem))
+                        .seed(island_seed(spec.seed, i))
+                        .pop_size(*pop)
+                        .selection(Tournament::binary())
+                        .crossover(OnePoint)
+                        .mutation(BitFlip::one_over_len(len))
+                        .scheme(Scheme::Generational { elitism: 1 })
+                        .build()
+                        .map_err(config_err)?;
+                    if let Some(s) = &stream {
+                        ga.set_recorder(s.clone());
+                    }
+                    Ok(ga)
+                })
+                .collect::<Result<Vec<_>, ProtocolError>>()?;
+            let arch = Archipelago::new(demes, Topology::RingUni, MigrationPolicy::default())
+                .map_err(config_err)?;
+            Ok(erase(arch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Budget;
+
+    fn spec(engine: EngineSpec) -> JobSpec {
+        JobSpec {
+            tenant: "t".into(),
+            problem: ProblemSpec::OneMax { len: 32 },
+            engine,
+            seed: 11,
+            budget: Budget {
+                generations: Some(10),
+                ..Budget::default()
+            },
+        }
+    }
+
+    #[test]
+    fn every_family_builds_and_tags_match() {
+        for engine in [
+            EngineSpec::Ga {
+                pop: 16,
+                elitism: 1,
+            },
+            EngineSpec::SteadyState { pop: 16 },
+            EngineSpec::Cellular { rows: 4, cols: 4 },
+            EngineSpec::Island { islands: 3, pop: 8 },
+        ] {
+            let s = spec(engine.clone());
+            let built = build_engine(&s, None).expect("buildable spec");
+            assert_eq!(built.snapshot().engine_tag(), engine.snapshot_tag());
+        }
+    }
+
+    #[test]
+    fn same_spec_builds_bit_identical_engines() {
+        let s = spec(EngineSpec::Island { islands: 3, pop: 8 });
+        let mut a = build_engine(&s, None).expect("buildable");
+        let mut b = build_engine(&s, None).expect("buildable");
+        for _ in 0..6 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn attaching_a_stream_does_not_perturb_the_trajectory() {
+        let s = spec(EngineSpec::Ga {
+            pop: 16,
+            elitism: 1,
+        });
+        let stream = JsonlStream::with_capacity(256);
+        let mut silent = build_engine(&s, None).expect("buildable");
+        let mut streamed = build_engine(&s, Some(stream.clone())).expect("buildable");
+        for _ in 0..8 {
+            assert_eq!(silent.step(), streamed.step());
+        }
+        assert_eq!(silent.snapshot().to_bytes(), streamed.snapshot().to_bytes());
+        assert!(!stream.is_empty(), "streamed engine should emit events");
+    }
+
+    #[test]
+    fn invalid_structure_maps_to_protocol_error() {
+        let s = spec(EngineSpec::Ga { pop: 4, elitism: 4 });
+        assert!(matches!(
+            build_engine(&s, None),
+            Err(ProtocolError::Invalid {
+                field: "engine",
+                ..
+            })
+        ));
+    }
+}

@@ -1,0 +1,311 @@
+//! # pga-serve
+//!
+//! Multi-tenant **GA-as-a-service**: a zero-dependency HTTP/1.1 + JSONL
+//! job server over the workspace's type-erased [`Engine`] runtime.
+//!
+//! Clients `POST` an optimization job — benchmark problem, engine
+//! family (panmictic, steady-state, cellular, or island), RNG seed, and
+//! a bounded budget — and the server multiplexes *many heterogeneous
+//! jobs concurrently* on the one persistent work-stealing pool the
+//! engines themselves evaluate fitness on. This is the survey's
+//! "computing trends" endpoint taken literally: the same PGA engine
+//! families, consumed as a service instead of a binary.
+//!
+//! The subsystem stacks six layers, each its own module:
+//!
+//! | Module | Responsibility |
+//! |---|---|
+//! | [`protocol`] | wire DTOs ([`JobSpec`] et al.) + a minimal JSON codec |
+//! | [`factory`] | spec → concrete engine → [`BoxedEngine`](pga_core::erased::BoxedEngine) |
+//! | [`job`] | job identity, lifecycle, status documents |
+//! | [`scheduler`] | slice scheduling, DRR fairness, admission, recovery |
+//! | [`spool`] | per-slice crash-safe checkpoints (PGAS container) |
+//! | [`http`] | the HTTP/1.1 endpoint surface |
+//! | [`metrics`] | `GET /metrics` plain-text rendering |
+//!
+//! ## Guarantees
+//!
+//! * **Slices never change trajectories.** The slice loop is
+//!   check-then-step, mirroring the core driver, so a job sliced 100
+//!   ways computes bit-for-bit the run an uninterrupted
+//!   [`Driver`](pga_core::driver::Driver) would.
+//! * **Crash safety.** Every job's engine snapshot is spooled after
+//!   every slice (atomic rename); a restarted server re-admits all
+//!   in-flight jobs and their final results are bit-identical to an
+//!   uninterrupted run.
+//! * **No tenant starvation.** Deficit round-robin over tenants in
+//!   units of engine steps: a tenant hogging the queue cannot slow
+//!   another tenant's step throughput beyond one slice of lag.
+//! * **Bounded admission.** At the live-job cap, submissions are shed
+//!   with `429` + `Retry-After` instead of queueing unboundedly.
+//!
+//! ## Quick example (embedded, no HTTP)
+//!
+//! ```
+//! use pga_serve::{Budget, EngineSpec, JobSpec, ProblemSpec, ServeBuilder};
+//! use std::time::Duration;
+//!
+//! let dir = std::env::temp_dir().join(format!("pga-serve-doc-{}", std::process::id()));
+//! let serve = ServeBuilder::new()
+//!     .spool_dir(&dir)
+//!     .max_jobs(8)
+//!     .build()
+//!     .unwrap();
+//! let id = serve
+//!     .submit(JobSpec {
+//!         tenant: "docs".into(),
+//!         problem: ProblemSpec::OneMax { len: 32 },
+//!         engine: EngineSpec::Ga { pop: 20, elitism: 1 },
+//!         seed: 7,
+//!         budget: Budget { generations: Some(30), ..Budget::default() },
+//!     })
+//!     .unwrap();
+//! assert!(serve.wait(id, Duration::from_secs(30)));
+//! serve.shutdown();
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+//!
+//! [`Engine`]: pga_core::driver::Engine
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod factory;
+pub mod http;
+pub mod job;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod spool;
+
+use std::ops::Deref;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pga_core::ConfigError;
+
+pub use http::{serve_http, HttpServer};
+pub use job::{JobId, JobProgress, JobState};
+pub use protocol::{Budget, EngineSpec, JobSpec, ProblemSpec, ProtocolError};
+pub use scheduler::{RecoverReport, ServeConfig, ServeRuntime, SubmitError};
+pub use spool::{JobRecord, Spool};
+
+/// Builder for a [`Serve`] instance. Follows the workspace convention:
+/// every knob validated, failures reported as typed
+/// [`ConfigError`]s, never panics.
+#[derive(Clone, Debug)]
+pub struct ServeBuilder {
+    spool_dir: Option<PathBuf>,
+    bind: Option<String>,
+    max_jobs: usize,
+    steps_per_slice: u64,
+    quantum_steps: u64,
+    max_batch: usize,
+    retry_after_ms: u64,
+    stream_capacity: usize,
+}
+
+impl Default for ServeBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServeBuilder {
+    /// A builder with production defaults (64 live jobs, 8-step slices).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            spool_dir: None,
+            bind: None,
+            max_jobs: 64,
+            steps_per_slice: 8,
+            quantum_steps: 8,
+            max_batch: 16,
+            retry_after_ms: 1000,
+            stream_capacity: 1 << 16,
+        }
+    }
+
+    /// Directory for crash-safe job checkpoints (required).
+    #[must_use]
+    pub fn spool_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spool_dir = Some(dir.into());
+        self
+    }
+
+    /// Also bind an HTTP listener on `addr` (e.g. `"127.0.0.1:0"`).
+    /// Without this, the instance is embedded-only.
+    #[must_use]
+    pub fn bind(mut self, addr: impl Into<String>) -> Self {
+        self.bind = Some(addr.into());
+        self
+    }
+
+    /// Admission bound: maximum concurrent live (non-terminal) jobs.
+    #[must_use]
+    pub fn max_jobs(mut self, n: usize) -> Self {
+        self.max_jobs = n;
+        self
+    }
+
+    /// Hard cap on engine steps per scheduling slice.
+    #[must_use]
+    pub fn steps_per_slice(mut self, n: u64) -> Self {
+        self.steps_per_slice = n;
+        self
+    }
+
+    /// Steps a tenant earns per deficit-round-robin visit.
+    #[must_use]
+    pub fn quantum_steps(mut self, n: u64) -> Self {
+        self.quantum_steps = n;
+        self
+    }
+
+    /// Maximum jobs sliced concurrently per scheduler turn.
+    #[must_use]
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// `Retry-After` hint (milliseconds) attached to shed responses.
+    #[must_use]
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+
+    /// Per-job event stream capacity in lines (drop-oldest past it).
+    #[must_use]
+    pub fn stream_capacity(mut self, lines: usize) -> Self {
+        self.stream_capacity = lines;
+        self
+    }
+
+    /// Validates the configuration, opens the spool (recovering any
+    /// jobs found in it), starts the scheduler, and — when
+    /// [`bind`](Self::bind) was set — the HTTP listener.
+    pub fn build(self) -> Result<Serve, ConfigError> {
+        let spool_dir = self
+            .spool_dir
+            .ok_or(ConfigError::MissingComponent("spool_dir"))?;
+        fn positive<T: PartialOrd + Default + std::fmt::Display>(
+            name: &'static str,
+            v: T,
+        ) -> Result<T, ConfigError> {
+            if v <= T::default() {
+                return Err(ConfigError::InvalidParameter {
+                    name,
+                    message: format!("must be positive, got {v}"),
+                });
+            }
+            Ok(v)
+        }
+        let config = ServeConfig {
+            spool_dir,
+            max_jobs: positive("max_jobs", self.max_jobs)?,
+            steps_per_slice: positive("steps_per_slice", self.steps_per_slice)?,
+            quantum_steps: positive("quantum_steps", self.quantum_steps)?,
+            max_batch: positive("max_batch", self.max_batch)?,
+            retry_after_ms: positive("retry_after_ms", self.retry_after_ms)?,
+            stream_capacity: positive("stream_capacity", self.stream_capacity)?,
+        };
+        let runtime =
+            Arc::new(
+                ServeRuntime::start(config).map_err(|e| ConfigError::InvalidParameter {
+                    name: "spool_dir",
+                    message: format!("cannot open spool: {e}"),
+                })?,
+            );
+        let http = match &self.bind {
+            None => None,
+            Some(addr) => Some(serve_http(Arc::clone(&runtime), addr).map_err(|e| {
+                ConfigError::InvalidParameter {
+                    name: "bind",
+                    message: format!("cannot bind `{addr}`: {e}"),
+                }
+            })?),
+        };
+        Ok(Serve { runtime, http })
+    }
+}
+
+/// A running server instance: the job runtime plus (optionally) its
+/// HTTP listener. Dereferences to [`ServeRuntime`], so the whole
+/// embedded API (`submit`, `wait`, `cancel`, `metrics_text`, …) is
+/// available directly on it.
+pub struct Serve {
+    runtime: Arc<ServeRuntime>,
+    http: Option<HttpServer>,
+}
+
+impl Serve {
+    /// The HTTP listener's bound address, when one was requested.
+    #[must_use]
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(HttpServer::addr)
+    }
+
+    /// A shareable handle to the underlying runtime.
+    #[must_use]
+    pub fn runtime(&self) -> Arc<ServeRuntime> {
+        Arc::clone(&self.runtime)
+    }
+
+    /// Graceful shutdown: stop the HTTP listener, finish and persist
+    /// the in-flight slice batch, and join the scheduler.
+    pub fn shutdown(mut self) {
+        if let Some(mut http) = self.http.take() {
+            http.shutdown();
+        }
+        self.runtime.shutdown();
+    }
+
+    /// Crash simulation (see [`ServeRuntime::abandon`]): the in-flight
+    /// slice batch is lost, the spool keeps each job's previous slice.
+    pub fn abandon(mut self) {
+        if let Some(mut http) = self.http.take() {
+            http.shutdown();
+        }
+        self.runtime.abandon();
+    }
+}
+
+impl Deref for Serve {
+    type Target = ServeRuntime;
+
+    fn deref(&self) -> &ServeRuntime {
+        &self.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_requires_a_spool_dir() {
+        assert_eq!(
+            ServeBuilder::new().build().err(),
+            Some(ConfigError::MissingComponent("spool_dir"))
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_parameters() {
+        let err = ServeBuilder::new()
+            .spool_dir(std::env::temp_dir().join("pga-serve-zero"))
+            .max_jobs(0)
+            .build()
+            .err();
+        assert!(matches!(
+            err,
+            Some(ConfigError::InvalidParameter {
+                name: "max_jobs",
+                ..
+            })
+        ));
+    }
+}

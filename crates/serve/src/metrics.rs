@@ -1,0 +1,83 @@
+//! Plain-text rendering of server metrics for `GET /metrics`.
+//!
+//! The document is a flat `name value` listing (exposition-style, easy
+//! to scrape and to diff): the runtime's counters and gauges, each
+//! histogram's count/sum/mean/extremes plus conservative p50/p90/p99
+//! bucket bounds, and the live counters of the shared work-stealing
+//! pool every engine runs on.
+
+use pga_observe::MetricsSnapshot;
+use rayon::global_pool_stats;
+
+fn push_line(out: &mut String, name: &str, value: impl std::fmt::Display) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+/// Renders a metrics snapshot (plus the global pool's live counters)
+/// as a plain-text document.
+#[must_use]
+pub fn render(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        push_line(&mut out, name, value);
+    }
+    for (name, value) in &snapshot.gauges {
+        push_line(&mut out, name, value);
+    }
+    for (name, h) in &snapshot.histograms {
+        push_line(&mut out, &format!("{name}.count"), h.count());
+        push_line(&mut out, &format!("{name}.sum"), h.sum());
+        if let Some(mean) = h.mean() {
+            push_line(&mut out, &format!("{name}.mean"), mean);
+        }
+        if let Some(min) = h.min() {
+            push_line(&mut out, &format!("{name}.min"), min);
+        }
+        if let Some(max) = h.max() {
+            push_line(&mut out, &format!("{name}.max"), max);
+        }
+        for (q, label) in [(0.5, "p50"), (0.9, "p90"), (0.99, "p99")] {
+            if let Some(bound) = h.quantile_bound(q) {
+                push_line(&mut out, &format!("{name}.{label}"), bound);
+            }
+        }
+    }
+    let pool = global_pool_stats();
+    push_line(&mut out, "pool.workers", pool.workers);
+    push_line(&mut out, "pool.calls", pool.calls);
+    push_line(&mut out, "pool.tasks_executed", pool.tasks_executed);
+    push_line(&mut out, "pool.splits", pool.splits);
+    push_line(&mut out, "pool.steals", pool.steals);
+    push_line(&mut out, "pool.parks", pool.parks);
+    push_line(&mut out, "pool.queue_wait_micros", pool.queue_wait_micros);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_observe::{exponential_bounds, Registry};
+
+    #[test]
+    fn render_lists_counters_gauges_histograms_and_pool() {
+        let mut reg = Registry::default();
+        reg.inc("serve.submitted", 3);
+        reg.set_gauge("serve.jobs_live", 2.0);
+        reg.histogram_with_bounds("serve.slice_micros", exponential_bounds(10.0, 2.0, 8));
+        reg.observe("serve.slice_micros", 35.0);
+        reg.observe("serve.slice_micros", 170.0);
+        let text = render(&reg.snapshot());
+        assert!(text.contains("serve.submitted 3\n"));
+        assert!(text.contains("serve.jobs_live 2\n"));
+        assert!(text.contains("serve.slice_micros.count 2\n"));
+        assert!(text.contains("serve.slice_micros.p50 "));
+        assert!(text.contains("pool.workers "));
+        // Every line is strictly `name value`.
+        for line in text.lines() {
+            assert_eq!(line.split(' ').count(), 2, "bad line: {line}");
+        }
+    }
+}

@@ -1,0 +1,954 @@
+//! Wire protocol: job DTOs and the minimal JSON codec they ride on.
+//!
+//! The server is zero-dependency, so this module carries its own small
+//! JSON value model ([`Json`]) with a recursive-descent parser and a
+//! canonical serializer. Job specifications round-trip exactly through
+//! this codec (`spec == JobSpec::from_json_str(&spec.to_json_string())`),
+//! which the spool relies on to rebuild engines bit-identically after a
+//! crash.
+//!
+//! A job specification looks like:
+//!
+//! ```json
+//! {
+//!   "tenant": "acme",
+//!   "problem": {"kind": "onemax", "len": 64},
+//!   "engine": {"family": "ga", "pop": 40},
+//!   "seed": 7,
+//!   "budget": {"generations": 50}
+//! }
+//! ```
+
+use std::fmt;
+
+use pga_core::termination::Termination;
+
+/// Errors raised while decoding or validating wire payloads.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProtocolError {
+    /// The JSON text failed to parse.
+    Parse {
+        /// Byte offset of the failure.
+        pos: usize,
+        /// What the parser expected.
+        message: String,
+    },
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but its value is out of range or the wrong type.
+    Invalid {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The budget has no criterion that is guaranteed to fire.
+    UnboundedBudget,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Parse { pos, message } => write!(f, "JSON parse error at byte {pos}: {message}"),
+            Self::Missing(field) => write!(f, "missing required field `{field}`"),
+            Self::Invalid { field, message } => write!(f, "invalid field `{field}`: {message}"),
+            Self::UnboundedBudget => write!(
+                f,
+                "budget has no bounded criterion (need generations, evaluations, or wall_clock_ms)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A parsed JSON value (numbers as `f64`; integers are exact to 2^53,
+/// far beyond any parameter this protocol carries).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion-ordered (the canonical serializer preserves
+    /// field order, so round-trips are byte-stable).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<Self, ProtocolError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("end of document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Serializes canonically (no whitespace, object order preserved,
+    /// floats via Rust's shortest round-tripping `Display`).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Self::Num(n) => {
+                if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Self::Str(s) => {
+                out.push('"');
+                out.push_str(&escape(s));
+                out.push('"');
+            }
+            Self::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Self::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    out.push_str(&escape(k));
+                    out.push_str("\":");
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, expected: &str) -> ProtocolError {
+        ProtocolError::Parse {
+            pos: self.pos,
+            message: format!("expected {expected}"),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), ProtocolError> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.err(token))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ProtocolError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.eat("null").map(|()| Json::Null),
+            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtocolError> {
+        self.eat("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("closing quote")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("4 hex digits"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("4 hex digits"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("4 hex digits"))?;
+                            // Surrogates are not produced by our serializer;
+                            // map unpaired ones to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("UTF-8"))?;
+                    let c = s.chars().next().ok_or_else(|| self.err("a character"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ProtocolError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("a number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("a number"))
+    }
+
+    fn array(&mut self) -> Result<Json, ProtocolError> {
+        self.eat("[")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ProtocolError> {
+        self.eat("{")?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(":")?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Which benchmark problem a job optimizes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProblemSpec {
+    /// OneMax over `len` bits.
+    OneMax {
+        /// Genome length in bits.
+        len: usize,
+    },
+    /// Concatenated deceptive traps: `blocks` traps of `k` bits.
+    Trap {
+        /// Bits per trap block.
+        k: usize,
+        /// Number of blocks.
+        blocks: usize,
+    },
+    /// P-PEAKS multimodal generator.
+    PPeaks {
+        /// Number of peaks.
+        p: usize,
+        /// Genome length in bits.
+        n: usize,
+        /// Instance seed.
+        seed: u64,
+    },
+    /// Royal Road: `blocks` schemata of `block` bits.
+    RoyalRoad {
+        /// Bits per schema.
+        block: usize,
+        /// Number of schemata.
+        blocks: usize,
+    },
+}
+
+impl ProblemSpec {
+    /// Genome length in bits.
+    #[must_use]
+    pub fn genome_len(&self) -> usize {
+        match self {
+            Self::OneMax { len } => *len,
+            Self::Trap { k, blocks } => k * blocks,
+            Self::PPeaks { n, .. } => *n,
+            Self::RoyalRoad { block, blocks } => block * blocks,
+        }
+    }
+
+    /// Short name for tables and status payloads.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::OneMax { .. } => "onemax",
+            Self::Trap { .. } => "trap",
+            Self::PPeaks { .. } => "ppeaks",
+            Self::RoyalRoad { .. } => "royalroad",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.name().into()))];
+        match self {
+            Self::OneMax { len } => fields.push(("len".into(), Json::Num(*len as f64))),
+            Self::Trap { k, blocks } => {
+                fields.push(("k".into(), Json::Num(*k as f64)));
+                fields.push(("blocks".into(), Json::Num(*blocks as f64)));
+            }
+            Self::PPeaks { p, n, seed } => {
+                fields.push(("p".into(), Json::Num(*p as f64)));
+                fields.push(("n".into(), Json::Num(*n as f64)));
+                fields.push(("seed".into(), Json::Num(*seed as f64)));
+            }
+            Self::RoyalRoad { block, blocks } => {
+                fields.push(("block".into(), Json::Num(*block as f64)));
+                fields.push(("blocks".into(), Json::Num(*blocks as f64)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, ProtocolError> {
+        let kind = json
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::Missing("problem.kind"))?;
+        let dim = |field: &'static str| -> Result<usize, ProtocolError> {
+            let v = json
+                .get(field.rsplit('.').next().unwrap_or(field))
+                .and_then(Json::as_u64)
+                .ok_or(ProtocolError::Missing(field))?;
+            if v == 0 || v > 1 << 20 {
+                return Err(ProtocolError::Invalid {
+                    field,
+                    message: format!("must be in 1..=2^20, got {v}"),
+                });
+            }
+            usize::try_from(v).map_err(|_| ProtocolError::Invalid {
+                field,
+                message: "overflows usize".into(),
+            })
+        };
+        match kind {
+            "onemax" => Ok(Self::OneMax {
+                len: dim("problem.len")?,
+            }),
+            "trap" => Ok(Self::Trap {
+                k: dim("problem.k")?,
+                blocks: dim("problem.blocks")?,
+            }),
+            "ppeaks" => Ok(Self::PPeaks {
+                p: dim("problem.p")?,
+                n: dim("problem.n")?,
+                seed: json
+                    .get("seed")
+                    .and_then(Json::as_u64)
+                    .ok_or(ProtocolError::Missing("problem.seed"))?,
+            }),
+            "royalroad" => Ok(Self::RoyalRoad {
+                block: dim("problem.block")?,
+                blocks: dim("problem.blocks")?,
+            }),
+            other => Err(ProtocolError::Invalid {
+                field: "problem.kind",
+                message: format!(
+                    "unknown problem `{other}` (known: onemax, trap, ppeaks, royalroad)"
+                ),
+            }),
+        }
+    }
+}
+
+/// Which engine family runs a job, and its structural parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// Panmictic generational GA.
+    Ga {
+        /// Population size.
+        pop: usize,
+        /// Elites preserved per generation.
+        elitism: usize,
+    },
+    /// Panmictic steady-state GA (worst-if-better replacement).
+    SteadyState {
+        /// Population size.
+        pop: usize,
+    },
+    /// Cellular GA on a `rows × cols` torus.
+    Cellular {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// Ring-of-islands archipelago of generational GAs.
+    Island {
+        /// Number of islands.
+        islands: usize,
+        /// Population per island.
+        pop: usize,
+    },
+}
+
+impl EngineSpec {
+    /// Short family name for tables and status payloads.
+    #[must_use]
+    pub fn family(&self) -> &'static str {
+        match self {
+            Self::Ga { .. } => "ga",
+            Self::SteadyState { .. } => "steady",
+            Self::Cellular { .. } => "cellular",
+            Self::Island { .. } => "island",
+        }
+    }
+
+    /// The engine tag its snapshots will carry (see
+    /// `Snapshot::engine_tag`), used to dispatch spool restores.
+    #[must_use]
+    pub fn snapshot_tag(&self) -> &'static str {
+        match self {
+            Self::Ga { .. } | Self::SteadyState { .. } => "ga",
+            Self::Cellular { .. } => "cellular",
+            Self::Island { .. } => "archipelago",
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("family".to_string(), Json::Str(self.family().into()))];
+        match self {
+            Self::Ga { pop, elitism } => {
+                fields.push(("pop".into(), Json::Num(*pop as f64)));
+                fields.push(("elitism".into(), Json::Num(*elitism as f64)));
+            }
+            Self::SteadyState { pop } => fields.push(("pop".into(), Json::Num(*pop as f64))),
+            Self::Cellular { rows, cols } => {
+                fields.push(("rows".into(), Json::Num(*rows as f64)));
+                fields.push(("cols".into(), Json::Num(*cols as f64)));
+            }
+            Self::Island { islands, pop } => {
+                fields.push(("islands".into(), Json::Num(*islands as f64)));
+                fields.push(("pop".into(), Json::Num(*pop as f64)));
+            }
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, ProtocolError> {
+        let family = json
+            .get("family")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::Missing("engine.family"))?;
+        let dim = |key: &str, field: &'static str, default: Option<u64>| {
+            let v = match json.get(key).map(Json::as_u64) {
+                Some(Some(v)) => v,
+                Some(None) => {
+                    return Err(ProtocolError::Invalid {
+                        field,
+                        message: "must be a non-negative integer".into(),
+                    })
+                }
+                None => default.ok_or(ProtocolError::Missing(field))?,
+            };
+            if v == 0 || v > 1 << 16 {
+                return Err(ProtocolError::Invalid {
+                    field,
+                    message: format!("must be in 1..=65536, got {v}"),
+                });
+            }
+            Ok(v as usize)
+        };
+        match family {
+            "ga" => Ok(Self::Ga {
+                pop: dim("pop", "engine.pop", None)?,
+                elitism: match json.get("elitism").map(Json::as_u64) {
+                    Some(Some(e)) if e <= 1 << 16 => e as usize,
+                    None => 1,
+                    _ => {
+                        return Err(ProtocolError::Invalid {
+                            field: "engine.elitism",
+                            message: "must be a small non-negative integer".into(),
+                        })
+                    }
+                },
+            }),
+            "steady" => Ok(Self::SteadyState {
+                pop: dim("pop", "engine.pop", None)?,
+            }),
+            "cellular" => Ok(Self::Cellular {
+                rows: dim("rows", "engine.rows", None)?,
+                cols: dim("cols", "engine.cols", None)?,
+            }),
+            "island" => Ok(Self::Island {
+                islands: dim("islands", "engine.islands", Some(4))?,
+                pop: dim("pop", "engine.pop", None)?,
+            }),
+            other => Err(ProtocolError::Invalid {
+                field: "engine.family",
+                message: format!("unknown family `{other}` (known: ga, steady, cellular, island)"),
+            }),
+        }
+    }
+}
+
+/// A job's stopping budget. At least one *bounded* criterion
+/// (`generations`, `evaluations`, or `wall_clock_ms`) is required.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Budget {
+    /// Stop after this many generations.
+    pub generations: Option<u64>,
+    /// Stop after this many fitness evaluations.
+    pub evaluations: Option<u64>,
+    /// Stop after this much wall-clock time, in milliseconds, measured as
+    /// *active* scheduler time (time actually spent stepping the job, so
+    /// multi-tenant queueing does not eat a job's budget).
+    pub wall_clock_ms: Option<u64>,
+    /// Stop once best fitness reaches this target.
+    pub target: Option<f64>,
+    /// Stop at the problem's known optimum.
+    pub until_optimum: bool,
+}
+
+impl Budget {
+    /// Converts to the core [`Termination`] rule, rejecting unbounded
+    /// budgets (which would let a job hold pool slices forever).
+    pub fn to_termination(&self) -> Result<Termination, ProtocolError> {
+        let mut t = Termination::new();
+        if let Some(g) = self.generations {
+            t = t.max_generations(g);
+        }
+        if let Some(e) = self.evaluations {
+            t = t.max_evaluations(e);
+        }
+        if let Some(ms) = self.wall_clock_ms {
+            t = t.wall_clock(std::time::Duration::from_millis(ms));
+        }
+        if let Some(target) = self.target {
+            t = t.target_fitness(target);
+        }
+        if self.until_optimum {
+            t = t.until_optimum();
+        }
+        if !t.is_bounded() {
+            return Err(ProtocolError::UnboundedBudget);
+        }
+        Ok(t)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = Vec::new();
+        if let Some(g) = self.generations {
+            fields.push(("generations".to_string(), Json::Num(g as f64)));
+        }
+        if let Some(e) = self.evaluations {
+            fields.push(("evaluations".to_string(), Json::Num(e as f64)));
+        }
+        if let Some(ms) = self.wall_clock_ms {
+            fields.push(("wall_clock_ms".to_string(), Json::Num(ms as f64)));
+        }
+        if let Some(t) = self.target {
+            fields.push(("target".to_string(), Json::Num(t)));
+        }
+        if self.until_optimum {
+            fields.push(("until_optimum".to_string(), Json::Bool(true)));
+        }
+        Json::Obj(fields)
+    }
+
+    fn from_json(json: &Json) -> Result<Self, ProtocolError> {
+        let int = |key: &str, field: &'static str| match json.get(key) {
+            None => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or(ProtocolError::Invalid {
+                field,
+                message: "must be a non-negative integer".into(),
+            }),
+        };
+        let budget = Self {
+            generations: int("generations", "budget.generations")?,
+            evaluations: int("evaluations", "budget.evaluations")?,
+            wall_clock_ms: int("wall_clock_ms", "budget.wall_clock_ms")?,
+            target: match json.get("target") {
+                None => None,
+                Some(v) => Some(v.as_f64().ok_or(ProtocolError::Invalid {
+                    field: "budget.target",
+                    message: "must be a number".into(),
+                })?),
+            },
+            until_optimum: match json.get("until_optimum") {
+                None => false,
+                Some(v) => v.as_bool().ok_or(ProtocolError::Invalid {
+                    field: "budget.until_optimum",
+                    message: "must be a boolean".into(),
+                })?,
+            },
+        };
+        budget.to_termination()?;
+        Ok(budget)
+    }
+}
+
+/// One optimization job as submitted over the wire: who wants it
+/// (`tenant`), what to optimize (`problem`), which engine family to run
+/// it on (`engine`), the RNG seed, and when to stop (`budget`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Tenant identity used for fair scheduling (deficit round-robin).
+    pub tenant: String,
+    /// The problem to optimize.
+    pub problem: ProblemSpec,
+    /// The engine family and its structure.
+    pub engine: EngineSpec,
+    /// RNG seed — the sole source of run randomness, so a spec replays
+    /// bit-identically.
+    pub seed: u64,
+    /// Stopping rule.
+    pub budget: Budget,
+}
+
+impl JobSpec {
+    /// Decodes and validates a specification from JSON text.
+    pub fn from_json_str(text: &str) -> Result<Self, ProtocolError> {
+        let json = Json::parse(text)?;
+        Self::from_json(&json)
+    }
+
+    /// Decodes and validates a specification from a parsed value.
+    pub fn from_json(json: &Json) -> Result<Self, ProtocolError> {
+        let tenant = json
+            .get("tenant")
+            .and_then(Json::as_str)
+            .ok_or(ProtocolError::Missing("tenant"))?;
+        if tenant.is_empty() || tenant.len() > 128 {
+            return Err(ProtocolError::Invalid {
+                field: "tenant",
+                message: "must be 1..=128 characters".into(),
+            });
+        }
+        Ok(Self {
+            tenant: tenant.to_string(),
+            problem: ProblemSpec::from_json(
+                json.get("problem")
+                    .ok_or(ProtocolError::Missing("problem"))?,
+            )?,
+            engine: EngineSpec::from_json(
+                json.get("engine").ok_or(ProtocolError::Missing("engine"))?,
+            )?,
+            seed: json.get("seed").and_then(Json::as_u64).unwrap_or(0),
+            budget: Budget::from_json(json.get("budget").ok_or(ProtocolError::Missing("budget"))?)?,
+        })
+    }
+
+    /// Canonical JSON encoding; round-trips exactly through
+    /// [`JobSpec::from_json_str`] (the spool persistence contract).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        Json::Obj(vec![
+            ("tenant".into(), Json::Str(self.tenant.clone())),
+            ("problem".into(), self.problem.to_json()),
+            ("engine".into(), self.engine.to_json()),
+            ("seed".into(), Json::Num(self.seed as f64)),
+            ("budget".into(), self.budget.to_json()),
+        ])
+        .to_json_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            tenant: "acme".into(),
+            problem: ProblemSpec::Trap { k: 4, blocks: 8 },
+            engine: EngineSpec::Island {
+                islands: 4,
+                pop: 20,
+            },
+            seed: 42,
+            budget: Budget {
+                generations: Some(50),
+                until_optimum: true,
+                ..Budget::default()
+            },
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_exactly() {
+        let original = spec();
+        let text = original.to_json_string();
+        let back = JobSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, original);
+        // Canonical: serializing again is byte-identical.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn all_families_and_problems_roundtrip() {
+        let problems = [
+            ProblemSpec::OneMax { len: 64 },
+            ProblemSpec::Trap { k: 4, blocks: 8 },
+            ProblemSpec::PPeaks {
+                p: 10,
+                n: 64,
+                seed: 3,
+            },
+            ProblemSpec::RoyalRoad {
+                block: 8,
+                blocks: 8,
+            },
+        ];
+        let engines = [
+            EngineSpec::Ga {
+                pop: 30,
+                elitism: 1,
+            },
+            EngineSpec::SteadyState { pop: 30 },
+            EngineSpec::Cellular { rows: 6, cols: 5 },
+            EngineSpec::Island {
+                islands: 3,
+                pop: 10,
+            },
+        ];
+        for problem in &problems {
+            for engine in &engines {
+                let s = JobSpec {
+                    tenant: "t".into(),
+                    problem: problem.clone(),
+                    engine: engine.clone(),
+                    seed: 9,
+                    budget: Budget {
+                        evaluations: Some(1000),
+                        ..Budget::default()
+                    },
+                };
+                let back = JobSpec::from_json_str(&s.to_json_string()).unwrap();
+                assert_eq!(back, s);
+            }
+        }
+    }
+
+    #[test]
+    fn json_parser_handles_nesting_strings_and_numbers() {
+        let v =
+            Json::parse(r#"{"a":[1,2.5,-3e2],"b":{"c":"x\"\\\nA"},"d":null,"e":true}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-300.0)])
+        );
+        assert_eq!(
+            v.get("b").unwrap().get("c").unwrap().as_str().unwrap(),
+            "x\"\\\nA"
+        );
+        assert_eq!(v.get("d").unwrap(), &Json::Null);
+        assert_eq!(v.get("e").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn parse_errors_are_positioned() {
+        let err = Json::parse("{\"a\": }").unwrap_err();
+        assert!(
+            matches!(err, ProtocolError::Parse { pos: 6, .. }),
+            "{err:?}"
+        );
+        assert!(Json::parse("[1,2,]").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn unbounded_budget_is_rejected() {
+        let text = r#"{"tenant":"t","problem":{"kind":"onemax","len":8},
+            "engine":{"family":"ga","pop":10},"budget":{"until_optimum":true}}"#;
+        assert_eq!(
+            JobSpec::from_json_str(text).unwrap_err(),
+            ProtocolError::UnboundedBudget
+        );
+    }
+
+    #[test]
+    fn invalid_fields_are_typed() {
+        let bad_family = r#"{"tenant":"t","problem":{"kind":"onemax","len":8},
+            "engine":{"family":"quantum","pop":10},"budget":{"generations":5}}"#;
+        assert!(matches!(
+            JobSpec::from_json_str(bad_family).unwrap_err(),
+            ProtocolError::Invalid {
+                field: "engine.family",
+                ..
+            }
+        ));
+        let zero_pop = r#"{"tenant":"t","problem":{"kind":"onemax","len":8},
+            "engine":{"family":"ga","pop":0},"budget":{"generations":5}}"#;
+        assert!(matches!(
+            JobSpec::from_json_str(zero_pop).unwrap_err(),
+            ProtocolError::Invalid {
+                field: "engine.pop",
+                ..
+            }
+        ));
+        let no_tenant = r#"{"problem":{"kind":"onemax","len":8},
+            "engine":{"family":"ga","pop":10},"budget":{"generations":5}}"#;
+        assert_eq!(
+            JobSpec::from_json_str(no_tenant).unwrap_err(),
+            ProtocolError::Missing("tenant")
+        );
+    }
+
+    #[test]
+    fn snapshot_tags_match_engine_families() {
+        assert_eq!(EngineSpec::Ga { pop: 2, elitism: 0 }.snapshot_tag(), "ga");
+        assert_eq!(EngineSpec::SteadyState { pop: 2 }.snapshot_tag(), "ga");
+        assert_eq!(
+            EngineSpec::Cellular { rows: 2, cols: 2 }.snapshot_tag(),
+            "cellular"
+        );
+        assert_eq!(
+            EngineSpec::Island { islands: 2, pop: 2 }.snapshot_tag(),
+            "archipelago"
+        );
+    }
+}

@@ -1,0 +1,880 @@
+//! The multi-tenant job runtime: slice scheduling, deficit round-robin
+//! fairness, admission control, and crash-safe checkpointing.
+//!
+//! One scheduler thread owns the loop. Each turn it picks up to
+//! `max_batch` runnable jobs — at most one per tenant per pass, in
+//! deficit-round-robin order — takes their engines out of the shared
+//! state, and runs one bounded *slice* per job **in parallel on the
+//! global work-stealing pool** (the same persistent pool the engines
+//! themselves use for fitness evaluation). A slice executes at most the
+//! tenant's current step allowance, re-checking termination *before*
+//! every step — exactly the check-then-step contract of the core
+//! [`Driver`](pga_core::driver::Driver) — so how a run is sliced can
+//! never change its trajectory, which is what makes crash recovery
+//! bit-identical.
+//!
+//! After every slice the job's engine snapshot and counters are written
+//! to the [`Spool`]; a runtime restarted over the same spool directory
+//! re-admits every non-terminal job and continues it from its last
+//! completed slice.
+//!
+//! ## Fairness
+//!
+//! Tenants are scheduled by deficit round-robin (DRR) in units of
+//! *engine steps*: each time a tenant is visited it earns
+//! `quantum_steps`, a job slice may spend at most
+//! `min(deficit, steps_per_slice)` steps, and the steps actually
+//! executed are charged back. A tenant with 50 queued jobs therefore
+//! gets the same step throughput as a tenant with one — no starvation,
+//! bounded by one slice of lag.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use pga_core::driver::Clock;
+use pga_core::erased::BoxedEngine;
+use pga_core::termination::{StopReason, Termination};
+use pga_observe::{exponential_bounds, JsonlStream, MetricsSnapshot, Registry};
+
+use crate::factory::build_engine;
+use crate::job::{Job, JobId, JobProgress, JobState};
+use crate::protocol::{JobSpec, ProtocolError};
+use crate::spool::{JobRecord, Spool};
+
+/// Runtime tuning knobs (validated by `ServeBuilder`).
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Directory for per-job checkpoint files.
+    pub spool_dir: PathBuf,
+    /// Admission bound: maximum live (non-terminal) jobs.
+    pub max_jobs: usize,
+    /// Hard cap on engine steps per slice.
+    pub steps_per_slice: u64,
+    /// Steps a tenant earns per scheduling visit (DRR quantum).
+    pub quantum_steps: u64,
+    /// Maximum jobs sliced concurrently per scheduler turn.
+    pub max_batch: usize,
+    /// `Retry-After` hint (milliseconds) returned when shedding.
+    pub retry_after_ms: u64,
+    /// Per-job event stream capacity (lines) before drop-oldest.
+    pub stream_capacity: usize,
+}
+
+/// Why a submission was rejected.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The server is at its live-job bound; retry after the hinted delay.
+    Shed {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The runtime is shutting down and admits nothing.
+    ShuttingDown,
+    /// The spec failed validation or the engine could not be built.
+    Invalid(ProtocolError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Shed { retry_after_ms } => {
+                write!(f, "queue full, retry after {retry_after_ms} ms")
+            }
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Invalid(e) => write!(f, "invalid job: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What a runtime found in its spool at startup.
+#[derive(Clone, Debug, Default)]
+pub struct RecoverReport {
+    /// Jobs re-admitted and resumed from their last slice.
+    pub resumed: usize,
+    /// Terminal jobs whose status was retained.
+    pub terminal: usize,
+    /// Spool files skipped as corrupt or unbuildable.
+    pub skipped: usize,
+}
+
+struct Tenant {
+    deficit: u64,
+    queue: VecDeque<JobId>,
+    completed_slices: u64,
+}
+
+struct State {
+    jobs: BTreeMap<JobId, Job>,
+    tenants: BTreeMap<String, Tenant>,
+    ring: VecDeque<String>,
+    next_id: u64,
+    live: usize,
+    stopping: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Wakes the scheduler thread (new work or shutdown).
+    wake: Condvar,
+    /// Broadcast after every reintegrated batch (progress observers).
+    progress: Condvar,
+    registry: Mutex<Registry>,
+    /// Crash simulation: when set, the scheduler discards its in-flight
+    /// batch instead of persisting and reintegrating it.
+    hard_drop: AtomicBool,
+    config: ServeConfig,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How one slice ended.
+enum SliceEnd {
+    /// Allowance exhausted; the job remains runnable.
+    Yield,
+    /// A termination criterion fired.
+    Done(StopReason),
+    /// The cancel flag was observed.
+    Cancelled,
+    /// The engine panicked mid-step.
+    Failed(String),
+}
+
+/// A job checked out of the shared state for one slice. Carries copies
+/// of everything the persist step needs, so spool writes never take the
+/// state lock.
+struct SliceTask {
+    id: JobId,
+    tenant: String,
+    spec: JobSpec,
+    engine: Option<BoxedEngine>,
+    termination: Termination,
+    cancel: Arc<AtomicBool>,
+    allowance: u64,
+    consumed: Duration,
+    prior_slices: u64,
+    prior_steps: u64,
+    first_slice: bool,
+    // Filled in by the slice:
+    steps_run: u64,
+    slice_time: Duration,
+    end: SliceEnd,
+    progress: JobProgress,
+    snapshot: Option<pga_core::Snapshot>,
+}
+
+/// The job runtime. Construct through `ServeBuilder` (crate root);
+/// drop or [`shutdown`](Self::shutdown) to stop the scheduler thread.
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    spool: Arc<Spool>,
+    worker: Mutex<Option<JoinHandle<()>>>,
+    recover_report: RecoverReport,
+}
+
+impl ServeRuntime {
+    /// Opens the spool, recovers every job found in it, and starts the
+    /// scheduler thread.
+    pub(crate) fn start(config: ServeConfig) -> Result<Self, std::io::Error> {
+        let spool = Arc::new(Spool::open(&config.spool_dir)?);
+        let mut registry = Registry::default();
+        registry.histogram_with_bounds("serve.slice_micros", exponential_bounds(50.0, 2.0, 18));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: BTreeMap::new(),
+                tenants: BTreeMap::new(),
+                ring: VecDeque::new(),
+                next_id: 0,
+                live: 0,
+                stopping: false,
+            }),
+            wake: Condvar::new(),
+            progress: Condvar::new(),
+            registry: Mutex::new(registry),
+            hard_drop: AtomicBool::new(false),
+            config,
+        });
+        let recover_report = recover(&shared, &spool);
+        let worker = {
+            let shared = Arc::clone(&shared);
+            let spool = Arc::clone(&spool);
+            std::thread::Builder::new()
+                .name("pga-serve-scheduler".into())
+                .spawn(move || scheduler_loop(&shared, &spool))?
+        };
+        Ok(Self {
+            shared,
+            spool,
+            worker: Mutex::new(Some(worker)),
+            recover_report,
+        })
+    }
+
+    /// What recovery found in the spool at startup.
+    #[must_use]
+    pub fn recover_report(&self) -> &RecoverReport {
+        &self.recover_report
+    }
+
+    /// The spool directory backing this runtime.
+    #[must_use]
+    pub fn spool_dir(&self) -> &std::path::Path {
+        self.spool.dir()
+    }
+
+    /// Submits a job. Applies admission control *before* building the
+    /// engine, so shedding is cheap under overload.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        let termination = spec.budget.to_termination().map_err(SubmitError::Invalid)?;
+        let id = {
+            let mut st = lock(&self.shared.state);
+            if st.stopping {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.live >= self.shared.config.max_jobs {
+                lock(&self.shared.registry).inc("serve.shed", 1);
+                return Err(SubmitError::Shed {
+                    retry_after_ms: self.shared.config.retry_after_ms,
+                });
+            }
+            // Reserve the slot and id under the lock; build outside it.
+            st.live += 1;
+            let id = JobId(st.next_id);
+            st.next_id += 1;
+            id
+        };
+        let stream = JsonlStream::with_capacity(self.shared.config.stream_capacity);
+        let engine = match build_engine(&spec, Some(stream.clone())) {
+            Ok(engine) => engine,
+            Err(e) => {
+                let mut st = lock(&self.shared.state);
+                st.live -= 1;
+                return Err(SubmitError::Invalid(e));
+            }
+        };
+        let job = Job::new(id, spec, termination, engine, stream);
+        let mut st = lock(&self.shared.state);
+        enqueue(&mut st, job);
+        lock(&self.shared.registry).inc("serve.submitted", 1);
+        drop(st);
+        self.shared.wake.notify_all();
+        Ok(id)
+    }
+
+    /// The job's current lifecycle state.
+    #[must_use]
+    pub fn state(&self, id: JobId) -> Option<JobState> {
+        lock(&self.shared.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.state.clone())
+    }
+
+    /// The job's last mirrored progress counters.
+    #[must_use]
+    pub fn progress_of(&self, id: JobId) -> Option<JobProgress> {
+        lock(&self.shared.state).jobs.get(&id).map(|j| j.progress)
+    }
+
+    /// The job's status document (JSON text), as served by
+    /// `GET /jobs/:id`.
+    #[must_use]
+    pub fn status_json(&self, id: JobId) -> Option<String> {
+        lock(&self.shared.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.status_json().to_json_string())
+    }
+
+    /// A handle on the job's JSONL event stream (shared buffer: lines
+    /// drained by one handle are gone from all). The stream closes when
+    /// the job reaches a terminal state.
+    #[must_use]
+    pub fn events(&self, id: JobId) -> Option<JsonlStream> {
+        lock(&self.shared.state)
+            .jobs
+            .get(&id)
+            .map(|j| j.stream.clone())
+    }
+
+    /// All job ids known to this runtime, ascending.
+    #[must_use]
+    pub fn job_ids(&self) -> Vec<JobId> {
+        lock(&self.shared.state).jobs.keys().copied().collect()
+    }
+
+    /// Completed slices per tenant (fairness measurements).
+    #[must_use]
+    pub fn tenant_slices(&self) -> BTreeMap<String, u64> {
+        lock(&self.shared.state)
+            .tenants
+            .iter()
+            .map(|(name, t)| (name.clone(), t.completed_slices))
+            .collect()
+    }
+
+    /// Requests cooperative cancellation. Returns `false` for unknown or
+    /// already-terminal jobs. A queued job is cancelled immediately; a
+    /// job whose engine is out on a slice stops at its next step
+    /// boundary.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let record = {
+            let mut st = lock(&self.shared.state);
+            let Some(job) = st.jobs.get_mut(&id) else {
+                return false;
+            };
+            if job.state.is_terminal() {
+                return false;
+            }
+            job.request_cancel();
+            if job.engine.is_none() && job.state == JobState::Running {
+                // Mid-slice: the slice loop will observe the flag.
+                return true;
+            }
+            // Still queued: finalize right here.
+            let engine = job.engine.take();
+            job.state = JobState::Cancelled;
+            job.stream.close();
+            st.live -= 1;
+            let record = st.jobs.get(&id).map(|job| JobRecord {
+                id,
+                spec: job.spec.clone(),
+                state: JobState::Cancelled,
+                slices: job.slices,
+                steps: job.steps,
+                consumed: job.consumed,
+                progress: job.progress,
+                engine_snapshot: engine.map(|e| e.snapshot()),
+            });
+            lock(&self.shared.registry).inc("serve.cancelled", 1);
+            record
+        };
+        if let Some(record) = record {
+            let _ = self.spool.save(&record);
+        }
+        self.shared.progress.notify_all();
+        true
+    }
+
+    /// Blocks until the job reaches a terminal state or `timeout`
+    /// passes; `true` on terminal.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.shared.state);
+        loop {
+            match st.jobs.get(&id) {
+                None => return false,
+                Some(job) if job.state.is_terminal() => return true,
+                Some(_) => {}
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .shared
+                .progress
+                .wait_timeout(st, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// Blocks until every admitted job is terminal or `timeout` passes;
+    /// `true` when all are terminal.
+    pub fn wait_all(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = lock(&self.shared.state);
+        loop {
+            if st.live == 0 {
+                return true;
+            }
+            let Some(left) = deadline.checked_duration_since(Instant::now()) else {
+                return false;
+            };
+            let (guard, _) = self
+                .shared
+                .progress
+                .wait_timeout(st, left)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+        }
+    }
+
+    /// A point-in-time copy of the runtime's metrics registry.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        {
+            let st = lock(&self.shared.state);
+            let mut reg = lock(&self.shared.registry);
+            reg.set_gauge("serve.jobs_live", st.live as f64);
+            reg.set_gauge("serve.jobs_total", st.jobs.len() as f64);
+            let queued: usize = st.tenants.values().map(|t| t.queue.len()).sum();
+            reg.set_gauge("serve.jobs_queued", queued as f64);
+            reg.set_gauge("serve.tenants", st.tenants.len() as f64);
+        }
+        lock(&self.shared.registry).snapshot()
+    }
+
+    /// Plain-text metrics document, as served by `GET /metrics`.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.metrics_snapshot())
+    }
+
+    fn stop(&self, hard: bool) {
+        self.shared.hard_drop.store(hard, Ordering::Release);
+        {
+            let mut st = lock(&self.shared.state);
+            st.stopping = true;
+        }
+        self.shared.wake.notify_all();
+        if let Some(worker) = lock(&self.worker).take() {
+            let _ = worker.join();
+        }
+    }
+
+    /// Graceful shutdown: stops admitting, finishes the in-flight slice
+    /// batch (persisting it), and joins the scheduler thread. All
+    /// non-terminal jobs remain in the spool for the next start.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.stop(false);
+    }
+
+    /// Crash simulation: stops like a `kill -9` at a slice boundary —
+    /// the in-flight batch is **discarded without persisting**, so the
+    /// spool holds each job's previous slice. A runtime restarted over
+    /// the same spool replays the lost work bit-identically.
+    pub fn abandon(&self) {
+        self.stop(true);
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.stop(false);
+    }
+}
+
+/// Admits `job` into the shared state: indexes it and queues it on its
+/// tenant (registering the tenant in the ring on first sight).
+fn enqueue(st: &mut State, job: Job) {
+    let tenant_name = job.spec.tenant.clone();
+    let id = job.id;
+    st.jobs.insert(id, job);
+    if !st.tenants.contains_key(&tenant_name) {
+        st.tenants.insert(
+            tenant_name.clone(),
+            Tenant {
+                deficit: 0,
+                queue: VecDeque::new(),
+                completed_slices: 0,
+            },
+        );
+        st.ring.push_back(tenant_name.clone());
+    }
+    if let Some(t) = st.tenants.get_mut(&tenant_name) {
+        t.queue.push_back(id);
+    }
+}
+
+/// Rebuilds jobs from the spool at startup. Terminal records become
+/// status-only tombstones; non-terminal records get a fresh engine
+/// (rebuilt deterministically from the spec) restored from their nested
+/// snapshot and re-enter the queue. A record whose engine cannot be
+/// rebuilt or restored is marked [`JobState::Failed`], never dropped.
+fn recover(shared: &Shared, spool: &Spool) -> RecoverReport {
+    let mut report = RecoverReport::default();
+    let scan = match spool.load_all() {
+        Ok(scan) => scan,
+        Err(_) => return report,
+    };
+    report.skipped = scan.skipped.len();
+    let mut st = lock(&shared.state);
+    for record in scan.records {
+        st.next_id = st.next_id.max(record.id.0 + 1);
+        let stream = JsonlStream::with_capacity(shared.config.stream_capacity);
+        let mut tombstone = |st: &mut State, state: JobState, stream: JsonlStream| {
+            stream.close();
+            let mut job = Job::new(
+                record.id,
+                record.spec.clone(),
+                Termination::new().max_generations(0),
+                // A terminal job never runs again; park a placeholder
+                // termination and no engine.
+                build_placeholder(),
+                stream,
+            );
+            job.engine = None;
+            job.state = state;
+            job.slices = record.slices;
+            job.steps = record.steps;
+            job.consumed = record.consumed;
+            job.progress = record.progress;
+            st.jobs.insert(record.id, job);
+            report.terminal += 1;
+        };
+        if record.state.is_terminal() {
+            tombstone(&mut st, record.state.clone(), stream);
+            continue;
+        }
+        let termination = match record.spec.budget.to_termination() {
+            Ok(t) => t,
+            Err(e) => {
+                tombstone(
+                    &mut st,
+                    JobState::Failed(format!("bad budget: {e}")),
+                    stream,
+                );
+                continue;
+            }
+        };
+        let mut engine = match build_engine(&record.spec, Some(stream.clone())) {
+            Ok(engine) => engine,
+            Err(e) => {
+                tombstone(
+                    &mut st,
+                    JobState::Failed(format!("rebuild failed: {e}")),
+                    stream,
+                );
+                continue;
+            }
+        };
+        if let Some(snapshot) = &record.engine_snapshot {
+            // Dispatch on the header tag before attempting a decode: a
+            // snapshot from the wrong family is a corrupt spool pairing.
+            let expected = record.spec.engine.snapshot_tag();
+            if snapshot.engine_tag() != expected {
+                tombstone(
+                    &mut st,
+                    JobState::Failed(format!(
+                        "spool snapshot is `{}`, spec wants `{expected}`",
+                        snapshot.engine_tag()
+                    )),
+                    stream,
+                );
+                continue;
+            }
+            if let Err(e) = engine.restore(snapshot) {
+                tombstone(
+                    &mut st,
+                    JobState::Failed(format!("restore failed: {e:?}")),
+                    stream,
+                );
+                continue;
+            }
+        }
+        let mut job = Job::new(record.id, record.spec.clone(), termination, engine, stream);
+        job.state = record.state.clone();
+        job.slices = record.slices;
+        job.steps = record.steps;
+        job.consumed = record.consumed;
+        job.progress = record.progress;
+        st.live += 1;
+        enqueue(&mut st, job);
+        report.resumed += 1;
+    }
+    drop(st);
+    let mut reg = lock(&shared.registry);
+    reg.inc("serve.recovered", report.resumed as u64);
+    reg.inc("serve.recover_skipped", report.skipped as u64);
+    report
+}
+
+/// A never-run placeholder engine for terminal tombstones (immediately
+/// replaced by `engine = None`). Uses the cheapest buildable spec.
+fn build_placeholder() -> BoxedEngine {
+    use pga_core::ops::{BitFlip, OnePoint, Tournament};
+    use pga_core::GaBuilder;
+    use pga_problems::OneMax;
+    let ga = GaBuilder::new(std::sync::Arc::new(OneMax::new(1)))
+        .seed(0)
+        .pop_size(2)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(1))
+        .build()
+        .expect("placeholder GA spec is statically valid");
+    pga_core::erased::erase(ga)
+}
+
+/// Picks the next batch: visits tenants round-robin, granting each at
+/// most one job slice per pass, until `max_batch` jobs are selected or a
+/// full silent pass happens.
+fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
+    let mut batch = Vec::new();
+    let deficit_cap = config.steps_per_slice.max(config.quantum_steps) * 2;
+    let mut remaining = st.ring.len();
+    while batch.len() < config.max_batch && remaining > 0 {
+        remaining -= 1;
+        let Some(tenant_name) = st.ring.pop_front() else {
+            break;
+        };
+        st.ring.push_back(tenant_name.clone());
+        // Skip terminal ids that were cancelled while queued.
+        let id = loop {
+            let Some(t) = st.tenants.get_mut(&tenant_name) else {
+                break None;
+            };
+            match t.queue.pop_front() {
+                None => {
+                    t.deficit = 0;
+                    break None;
+                }
+                Some(id) => {
+                    if st.jobs.get(&id).is_some_and(|j| !j.state.is_terminal()) {
+                        break Some(id);
+                    }
+                }
+            }
+        };
+        let Some(id) = id else { continue };
+        let allowance = {
+            let Some(t) = st.tenants.get_mut(&tenant_name) else {
+                continue;
+            };
+            t.deficit = (t.deficit + config.quantum_steps).min(deficit_cap);
+            t.deficit.min(config.steps_per_slice)
+        };
+        let Some(job) = st.jobs.get_mut(&id) else {
+            continue;
+        };
+        let Some(engine) = job.engine.take() else {
+            continue;
+        };
+        let first_slice = job.steps == 0 && job.slices == 0;
+        job.state = JobState::Running;
+        batch.push(SliceTask {
+            id,
+            tenant: tenant_name,
+            spec: job.spec.clone(),
+            engine: Some(engine),
+            termination: job.termination.clone(),
+            cancel: Arc::clone(&job.cancel),
+            allowance,
+            consumed: job.consumed,
+            prior_slices: job.slices,
+            prior_steps: job.steps,
+            first_slice,
+            steps_run: 0,
+            slice_time: Duration::ZERO,
+            end: SliceEnd::Yield,
+            progress: job.progress,
+            snapshot: None,
+        });
+    }
+    batch
+}
+
+/// Runs one slice: check-then-step until the termination rule fires,
+/// the cancel flag is seen, or the allowance is spent. Mirrors the core
+/// driver's loop exactly, with elapsed time measured as the job's
+/// *accumulated active* time (so queueing delay never consumes a
+/// wall-clock budget).
+fn run_slice(task: &mut SliceTask) {
+    let Some(engine) = task.engine.as_mut() else {
+        task.end = SliceEnd::Failed("slice dispatched without an engine".into());
+        return;
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if task.first_slice {
+            engine.record_run_started();
+        }
+        let start = Instant::now();
+        let mut steps_run = 0u64;
+        let end = loop {
+            let elapsed = match engine.clock() {
+                Clock::Wall => task.consumed + start.elapsed(),
+                Clock::Virtual(simulated) => simulated,
+            };
+            let progress = engine.progress(elapsed);
+            if let Some(reason) = task.termination.check(&progress) {
+                break SliceEnd::Done(reason);
+            }
+            if engine.halted() {
+                break SliceEnd::Done(StopReason::Halted);
+            }
+            if task.cancel.load(Ordering::Acquire) {
+                break SliceEnd::Cancelled;
+            }
+            if steps_run >= task.allowance {
+                break SliceEnd::Yield;
+            }
+            engine.step();
+            steps_run += 1;
+        };
+        if matches!(end, SliceEnd::Done(_) | SliceEnd::Cancelled) {
+            engine.record_run_finished();
+        }
+        let slice_time = start.elapsed();
+        let elapsed = match engine.clock() {
+            Clock::Wall => task.consumed + slice_time,
+            Clock::Virtual(simulated) => simulated,
+        };
+        let p = engine.progress(elapsed);
+        (
+            end,
+            steps_run,
+            slice_time,
+            JobProgress {
+                generations: p.generations,
+                evaluations: p.evaluations,
+                best_fitness: p.best_fitness,
+                best_is_optimal: p.best_is_optimal,
+            },
+            engine.snapshot(),
+        )
+    }));
+    match result {
+        Ok((end, steps_run, slice_time, progress, snapshot)) => {
+            task.end = end;
+            task.steps_run = steps_run;
+            task.slice_time = slice_time;
+            task.progress = progress;
+            task.snapshot = Some(snapshot);
+        }
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                .unwrap_or_else(|| "engine panicked".to_string());
+            // The engine is in an unknown (but memory-safe) state; drop
+            // it and keep the job's previous spool record as its last
+            // good checkpoint.
+            task.engine = None;
+            task.end = SliceEnd::Failed(message);
+        }
+    }
+}
+
+/// The scheduler thread: select → slice in parallel → persist →
+/// reintegrate, until stopped.
+fn scheduler_loop(shared: &Shared, spool: &Spool) {
+    use rayon::prelude::ParallelSliceMut;
+    loop {
+        let mut batch = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.stopping {
+                    return;
+                }
+                let batch = select_batch(&mut st, &shared.config);
+                if !batch.is_empty() {
+                    break batch;
+                }
+                st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // Slices run in parallel on the global work-stealing pool; each
+        // engine may itself fan out below this level.
+        let _: usize = batch
+            .par_iter_mut()
+            .with_min_len(1)
+            .map(|task| {
+                run_slice(task);
+                1usize
+            })
+            .sum();
+        if shared.hard_drop.load(Ordering::Acquire) {
+            // Simulated crash: the batch is lost, nothing is persisted.
+            return;
+        }
+        // Persist every slice before reintegration: once a job is
+        // visible as progressed, its checkpoint is already durable.
+        for task in &batch {
+            let state = match &task.end {
+                SliceEnd::Yield => JobState::Running,
+                SliceEnd::Done(reason) => JobState::Done(*reason),
+                SliceEnd::Cancelled => JobState::Cancelled,
+                // A panicked engine has no trustworthy snapshot; the
+                // terminal Failed record is written after reintegration.
+                SliceEnd::Failed(_) => continue,
+            };
+            let record = JobRecord {
+                id: task.id,
+                spec: task.spec.clone(),
+                state,
+                slices: task.prior_slices + 1,
+                steps: task.prior_steps + task.steps_run,
+                consumed: task.consumed + task.slice_time,
+                progress: task.progress,
+                engine_snapshot: task.snapshot.clone(),
+            };
+            let _ = spool.save(&record);
+        }
+        // Reintegrate under the lock.
+        let mut failed_records = Vec::new();
+        {
+            let mut st = lock(&shared.state);
+            let mut reg = lock(&shared.registry);
+            for task in batch {
+                reg.inc("serve.slices", 1);
+                reg.inc("serve.steps", task.steps_run);
+                reg.observe("serve.slice_micros", task.slice_time.as_micros() as f64);
+                if let Some(t) = st.tenants.get_mut(&task.tenant) {
+                    t.deficit = t.deficit.saturating_sub(task.steps_run);
+                    t.completed_slices += 1;
+                }
+                let Some(job) = st.jobs.get_mut(&task.id) else {
+                    continue;
+                };
+                job.slices += 1;
+                job.steps += task.steps_run;
+                job.consumed += task.slice_time;
+                job.progress = task.progress;
+                match task.end {
+                    SliceEnd::Yield => {
+                        job.engine = task.engine;
+                        if let Some(t) = st.tenants.get_mut(&task.tenant) {
+                            t.queue.push_back(task.id);
+                        }
+                    }
+                    SliceEnd::Done(reason) => {
+                        job.state = JobState::Done(reason);
+                        job.engine = None;
+                        job.stream.close();
+                        st.live -= 1;
+                        reg.inc("serve.completed", 1);
+                    }
+                    SliceEnd::Cancelled => {
+                        job.state = JobState::Cancelled;
+                        job.engine = None;
+                        job.stream.close();
+                        st.live -= 1;
+                        reg.inc("serve.cancelled", 1);
+                    }
+                    SliceEnd::Failed(message) => {
+                        job.state = JobState::Failed(message);
+                        job.engine = None;
+                        job.stream.close();
+                        failed_records.push(JobRecord {
+                            id: task.id,
+                            spec: job.spec.clone(),
+                            state: job.state.clone(),
+                            slices: job.slices,
+                            steps: job.steps,
+                            consumed: job.consumed,
+                            progress: job.progress,
+                            engine_snapshot: None,
+                        });
+                        st.live -= 1;
+                        reg.inc("serve.failed", 1);
+                    }
+                }
+            }
+        }
+        for record in &failed_records {
+            let _ = spool.save(record);
+        }
+        shared.progress.notify_all();
+    }
+}

@@ -1,0 +1,334 @@
+//! Crash-safe job spool: one file per job, rewritten after every slice.
+//!
+//! Each record reuses the core PGAS container ([`Snapshot`] with the
+//! reserved tag `serve-job`), so spool files get the magic, versioning,
+//! and FNV-1a checksum of engine checkpoints for free. The payload holds
+//! the job's identity, its verbatim wire spec (from which the engine is
+//! rebuilt deterministically), scheduler counters, mirrored progress, and
+//! the engine's own nested PGAS snapshot.
+//!
+//! Writes are atomic (`<id>.pgaj.tmp` + rename), so a crash mid-write
+//! leaves the previous consistent record in place. Recovery loads every
+//! readable record and reports unreadable ones instead of failing the
+//! whole restart — one corrupt job must not take the server down.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use pga_core::snapshot::{Snapshot, SnapshotWriter};
+
+use crate::job::{stop_reason_from_name, stop_reason_name, JobId, JobProgress, JobState};
+use crate::protocol::JobSpec;
+
+/// Container tag for spool records (distinct from every engine tag).
+const SPOOL_TAG: &str = "serve-job";
+/// Spool record format version.
+const SPOOL_VERSION: u8 = 1;
+/// Spool file extension.
+const EXTENSION: &str = "pgaj";
+
+/// A job's durable state, as written after every slice.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Job identity.
+    pub id: JobId,
+    /// The verbatim wire spec (engines are rebuilt from this).
+    pub spec: JobSpec,
+    /// Lifecycle state at the last checkpoint.
+    pub state: JobState,
+    /// Slices granted so far.
+    pub slices: u64,
+    /// Engine steps executed so far.
+    pub steps: u64,
+    /// Active scheduler time consumed.
+    pub consumed: Duration,
+    /// Mirrored progress counters.
+    pub progress: JobProgress,
+    /// The engine's nested PGAS snapshot; `None` only for jobs that
+    /// reached a terminal state before their first slice.
+    pub engine_snapshot: Option<Snapshot>,
+}
+
+/// Why a spool record could not be loaded.
+#[derive(Debug)]
+pub struct SpoolCorruption {
+    /// Offending file.
+    pub path: PathBuf,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+/// Result of scanning a spool directory: every readable record plus a
+/// report of everything that was skipped.
+#[derive(Debug, Default)]
+pub struct SpoolScan {
+    /// Records that decoded and checksummed cleanly, ordered by id.
+    pub records: Vec<JobRecord>,
+    /// Files that did not (corrupt, truncated, foreign).
+    pub skipped: Vec<SpoolCorruption>,
+}
+
+/// A directory of per-job checkpoint files.
+pub struct Spool {
+    dir: PathBuf,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this spool persists into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_for(&self, id: JobId) -> PathBuf {
+        self.dir.join(format!("{id}.{EXTENSION}"))
+    }
+
+    /// Atomically persists one record (tmp file + rename).
+    pub fn save(&self, record: &JobRecord) -> io::Result<()> {
+        let bytes = encode(record);
+        let target = self.file_for(record.id);
+        let tmp = target.with_extension(format!("{EXTENSION}.tmp"));
+        fs::write(&tmp, &bytes)?;
+        fs::rename(&tmp, &target)
+    }
+
+    /// Removes a job's record (idempotent).
+    pub fn remove(&self, id: JobId) -> io::Result<()> {
+        match fs::remove_file(self.file_for(id)) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    /// Loads every record in the directory. Unreadable files are
+    /// reported in [`SpoolScan::skipped`], never fatal.
+    pub fn load_all(&self) -> io::Result<SpoolScan> {
+        let mut scan = SpoolScan::default();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+                continue;
+            }
+            let bytes = match fs::read(&path) {
+                Ok(b) => b,
+                Err(e) => {
+                    scan.skipped.push(SpoolCorruption {
+                        path,
+                        message: e.to_string(),
+                    });
+                    continue;
+                }
+            };
+            match decode(&bytes) {
+                Ok(record) => scan.records.push(record),
+                Err(message) => scan.skipped.push(SpoolCorruption { path, message }),
+            }
+        }
+        scan.records.sort_by_key(|r| r.id);
+        Ok(scan)
+    }
+}
+
+fn encode(record: &JobRecord) -> Vec<u8> {
+    let mut w = SnapshotWriter::new();
+    w.put_u8(SPOOL_VERSION);
+    w.put_u64(record.id.0);
+    w.put_str(&record.spec.to_json_string());
+    match &record.state {
+        JobState::Queued => w.put_u8(0),
+        JobState::Running => w.put_u8(1),
+        JobState::Done(reason) => {
+            w.put_u8(2);
+            w.put_str(stop_reason_name(*reason));
+        }
+        JobState::Cancelled => w.put_u8(3),
+        JobState::Failed(message) => {
+            w.put_u8(4);
+            w.put_str(message);
+        }
+    }
+    w.put_u64(record.slices);
+    w.put_u64(record.steps);
+    w.put_u64(record.consumed.as_micros() as u64);
+    w.put_u64(record.progress.generations);
+    w.put_u64(record.progress.evaluations);
+    w.put_f64(record.progress.best_fitness);
+    w.put_bool(record.progress.best_is_optimal);
+    match &record.engine_snapshot {
+        Some(snapshot) => {
+            w.put_bool(true);
+            w.put_bytes(&snapshot.to_bytes());
+        }
+        None => w.put_bool(false),
+    }
+    Snapshot::new(SPOOL_TAG, w.into_bytes()).to_bytes()
+}
+
+fn decode(bytes: &[u8]) -> Result<JobRecord, String> {
+    let container = Snapshot::from_bytes(bytes).map_err(|e| format!("bad container: {e:?}"))?;
+    let mut r = container
+        .reader_for(SPOOL_TAG)
+        .map_err(|e| format!("not a spool record: {e:?}"))?;
+    let fail = |what: &'static str| move |e| format!("bad {what}: {e:?}");
+    let version = r.take_u8().map_err(fail("version"))?;
+    if version != SPOOL_VERSION {
+        return Err(format!("unsupported spool version {version}"));
+    }
+    let id = JobId(r.take_u64().map_err(fail("id"))?);
+    let spec_text = r.take_str().map_err(fail("spec"))?;
+    let spec = JobSpec::from_json_str(&spec_text).map_err(|e| format!("bad spec: {e}"))?;
+    let state = match r.take_u8().map_err(fail("state"))? {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => {
+            let name = r.take_str().map_err(fail("stop reason"))?;
+            JobState::Done(
+                stop_reason_from_name(&name)
+                    .ok_or_else(|| format!("unknown stop reason `{name}`"))?,
+            )
+        }
+        3 => JobState::Cancelled,
+        4 => JobState::Failed(r.take_str().map_err(fail("error message"))?),
+        other => return Err(format!("unknown state tag {other}")),
+    };
+    let slices = r.take_u64().map_err(fail("slices"))?;
+    let steps = r.take_u64().map_err(fail("steps"))?;
+    let consumed = Duration::from_micros(r.take_u64().map_err(fail("consumed"))?);
+    let progress = JobProgress {
+        generations: r.take_u64().map_err(fail("generations"))?,
+        evaluations: r.take_u64().map_err(fail("evaluations"))?,
+        best_fitness: r.take_f64().map_err(fail("best fitness"))?,
+        best_is_optimal: r.take_bool().map_err(fail("optimal flag"))?,
+    };
+    let engine_snapshot = if r.take_bool().map_err(fail("snapshot flag"))? {
+        let nested = r.take_bytes().map_err(fail("engine snapshot"))?;
+        Some(Snapshot::from_bytes(nested).map_err(|e| format!("bad engine snapshot: {e:?}"))?)
+    } else {
+        None
+    };
+    r.finish().map_err(|e| format!("trailing bytes: {e:?}"))?;
+    Ok(JobRecord {
+        id,
+        spec,
+        state,
+        slices,
+        steps,
+        consumed,
+        progress,
+        engine_snapshot,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Budget, EngineSpec, ProblemSpec};
+    use pga_core::termination::StopReason;
+
+    fn record(id: u64, state: JobState) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            spec: JobSpec {
+                tenant: "acme".into(),
+                problem: ProblemSpec::OneMax { len: 24 },
+                engine: EngineSpec::Ga {
+                    pop: 12,
+                    elitism: 1,
+                },
+                seed: 3,
+                budget: Budget {
+                    generations: Some(20),
+                    ..Budget::default()
+                },
+            },
+            state,
+            slices: 4,
+            steps: 32,
+            consumed: Duration::from_micros(1234),
+            progress: JobProgress {
+                generations: 32,
+                evaluations: 384,
+                best_fitness: 21.0,
+                best_is_optimal: false,
+            },
+            engine_snapshot: Some(Snapshot::new("ga", vec![1, 2, 3, 4])),
+        }
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pga-serve-spool-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn records_roundtrip_through_disk() {
+        let dir = tmp_dir("roundtrip");
+        let spool = Spool::open(&dir).unwrap();
+        let states = [
+            JobState::Queued,
+            JobState::Running,
+            JobState::Done(StopReason::TargetReached),
+            JobState::Cancelled,
+            JobState::Failed("island 2 panicked".into()),
+        ];
+        for (i, state) in states.iter().enumerate() {
+            spool.save(&record(i as u64, state.clone())).unwrap();
+        }
+        let scan = spool.load_all().unwrap();
+        assert!(scan.skipped.is_empty(), "{:?}", scan.skipped);
+        assert_eq!(scan.records.len(), states.len());
+        for (i, state) in states.iter().enumerate() {
+            assert_eq!(scan.records[i], record(i as u64, state.clone()));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_overwrites_and_remove_is_idempotent() {
+        let dir = tmp_dir("overwrite");
+        let spool = Spool::open(&dir).unwrap();
+        let mut r = record(7, JobState::Running);
+        spool.save(&r).unwrap();
+        r.steps = 99;
+        spool.save(&r).unwrap();
+        let scan = spool.load_all().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].steps, 99);
+        spool.remove(JobId(7)).unwrap();
+        spool.remove(JobId(7)).unwrap();
+        assert!(spool.load_all().unwrap().records.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_files_are_skipped_not_fatal() {
+        let dir = tmp_dir("corrupt");
+        let spool = Spool::open(&dir).unwrap();
+        spool.save(&record(1, JobState::Queued)).unwrap();
+        // Flip a payload byte in a valid record: checksum must catch it.
+        let victim = dir.join("j2.pgaj");
+        let mut bytes = encode(&record(2, JobState::Running));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        // And one file that is not a PGAS container at all.
+        fs::write(dir.join("j3.pgaj"), b"garbage").unwrap();
+        let scan = spool.load_all().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].id, JobId(1));
+        assert_eq!(scan.skipped.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

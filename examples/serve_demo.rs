@@ -1,0 +1,127 @@
+//! GA-as-a-service demo: start the job server, submit four jobs (one per
+//! wire-buildable engine family) over real HTTP, stream one job's JSONL
+//! events, then restart the server from its spool to show that terminal
+//! status survives.
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use parallel_ga::prelude::*;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Minimal one-shot HTTP client (the server closes each connection).
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    write!(
+        conn,
+        "{method} {path} HTTP/1.1\r\nHost: demo\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request");
+    let mut reader = BufReader::new(conn);
+    let mut status = String::new();
+    reader.read_line(&mut status).expect("status line");
+    let code = status
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let mut raw = String::new();
+    reader.read_to_string(&mut raw).expect("body");
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map_or(raw.clone(), |(_, b)| b.to_string());
+    (code, body)
+}
+
+fn main() {
+    let spool = std::env::temp_dir().join(format!("pga-serve-demo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&spool);
+
+    let serve = ServeBuilder::new()
+        .spool_dir(&spool)
+        .bind("127.0.0.1:0")
+        .max_jobs(16)
+        .steps_per_slice(8)
+        .build()
+        .expect("server starts");
+    let addr = serve.http_addr().expect("bound");
+    println!("serving on http://{addr}\n");
+
+    // One job per engine family, all on a 4x12 deceptive trap.
+    let problem = r#""problem": {"kind": "trap", "k": 4, "blocks": 12}"#;
+    let engines = [
+        r#"{"family": "ga", "pop": 64}"#,
+        r#"{"family": "steady", "pop": 64}"#,
+        r#"{"family": "cellular", "rows": 8, "cols": 8}"#,
+        r#"{"family": "island", "islands": 4, "pop": 16}"#,
+    ];
+    let mut ids = Vec::new();
+    for (i, engine) in engines.iter().enumerate() {
+        let spec = format!(
+            r#"{{"tenant": "demo", {problem}, "engine": {engine}, "seed": {}, "budget": {{"generations": 60, "target": 48.0}}}}"#,
+            7 + i
+        );
+        let (code, body) = http(addr, "POST", "/jobs", &spec);
+        assert_eq!(code, 201, "{body}");
+        // The submit response is {"id":"jN"}.
+        let id = body
+            .trim()
+            .trim_start_matches(r#"{"id":""#)
+            .trim_end_matches("\"}")
+            .to_string();
+        println!("submitted {engine} -> {id}");
+        ids.push(id);
+    }
+
+    // Stream the first job's events live (close-delimited NDJSON).
+    let (code, events) = http(addr, "GET", &format!("/jobs/{}/events", ids[0]), "");
+    assert_eq!(code, 200);
+    let lines: Vec<&str> = events.lines().collect();
+    println!(
+        "\n{} events streamed from {}; first and last:",
+        lines.len(),
+        ids[0]
+    );
+    if let (Some(first), Some(last)) = (lines.first(), lines.last()) {
+        println!("  {first}\n  {last}");
+    }
+
+    serve.wait_all(Duration::from_secs(60));
+    println!("\nfinal status:");
+    for id in &ids {
+        let (_, status) = http(addr, "GET", &format!("/jobs/{id}"), "");
+        println!("  {status}");
+    }
+    let (_, metrics) = http(addr, "GET", "/metrics", "");
+    let picks = [
+        "serve.submitted",
+        "serve.slices",
+        "serve.steps",
+        "pool.workers",
+    ];
+    println!("\nselected metrics:");
+    for line in metrics
+        .lines()
+        .filter(|l| picks.iter().any(|p| l.starts_with(p)))
+    {
+        println!("  {line}");
+    }
+    serve.shutdown();
+
+    // Restart over the same spool: terminal jobs survive as tombstones.
+    let restarted = ServeBuilder::new()
+        .spool_dir(&spool)
+        .build()
+        .expect("restart");
+    println!(
+        "\nrestarted from spool: {} terminal job(s) recovered, e.g. {}",
+        restarted.recover_report().terminal,
+        restarted.status_json(JobId(0)).expect("status retained")
+    );
+    restarted.shutdown();
+    let _ = std::fs::remove_dir_all(&spool);
+}

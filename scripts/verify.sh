@@ -10,9 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island lib code)"
+echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island, pga-serve lib code)"
 # Lib targets only (no --all-targets): test modules may unwrap freely.
-cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -- -D warnings -D clippy::unwrap_used
+cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -p pga-serve -- -D warnings -D clippy::unwrap_used
 
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -32,5 +32,11 @@ timeout 300 cargo test -q -p pga-master-slave --release --test resilient_stress
 
 echo "==> resilient archipelago suite (release, timeout-guarded)"
 timeout 300 cargo test -q -p pga-island --release --test resilient_islands
+
+echo "==> serve job-server suite: crash resume, fairness, HTTP (release, timeout-guarded)"
+timeout 300 cargo test -q -p pga-serve --release --test serve_resume
+
+echo "==> e19 serve load smoke (quick mode: no results files rewritten)"
+timeout 300 cargo run -q --release -p pga-bench --bin e19_serve_load -- --quick > /dev/null
 
 echo "verify: OK"

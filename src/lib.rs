@@ -22,6 +22,7 @@
 //! | [`multiobjective`] | `pga-multiobjective` | Pareto tools + specialized island model |
 //! | [`analysis`] | `pga-analysis` | experiment runner, speedup/efficacy metrics |
 //! | [`apps`] | `pga-apps` | application substrates (MLP/stock, images, signals) |
+//! | [`serve`] | `pga-serve` | multi-tenant GA-as-a-service job server (HTTP + JSONL) |
 
 #![warn(missing_docs)]
 
@@ -38,4 +39,5 @@ pub use pga_master_slave as master_slave;
 pub use pga_multiobjective as multiobjective;
 pub use pga_observe as observe;
 pub use pga_problems as problems;
+pub use pga_serve as serve;
 pub use pga_topology as topology;

@@ -56,6 +56,14 @@ pub use pga_hierarchical::{Hga, HgaBuilder, HgaConfig, IslandFactory, LevelView}
 // Multiobjective island model.
 pub use pga_multiobjective::{MoEngine, MoEngineBuilder};
 
+// GA-as-a-service job server (the erased-engine runtime rides along so
+// embedded callers can drive a `BoxedEngine` under the generic driver).
+pub use pga_core::{erase, BoxedEngine, ErasedEngine, ErasedRun};
+pub use pga_serve::{
+    Budget, EngineSpec, JobId, JobSpec, JobState, ProblemSpec, Serve, ServeBuilder, ServeRuntime,
+    SubmitError,
+};
+
 // Topologies and neighborhoods.
 pub use pga_topology::{CellNeighborhood, Topology};
 
