@@ -195,11 +195,14 @@ impl<P: Problem> CellularGa<P> {
     ) -> Individual<P::Genome> {
         let objective = problem.objective();
         let (r, c) = (idx / cols, idx % cols);
-        let nb = neighborhood.neighbors(r, c, rows, cols);
+        // Stack-buffered neighborhood: breed runs once per cell per
+        // generation, so a heap Vec here would dominate the sweep.
+        let mut nb_buf = [0usize; 9];
+        let nb = neighborhood.neighbors_into(r, c, rows, cols, &mut nb_buf);
         // Two independent binary tournaments over the neighborhood.
         let pick = |rng: &mut Rng64| {
-            let a = *rng.choose(&nb);
-            let b = *rng.choose(&nb);
+            let a = *rng.choose(nb);
+            let b = *rng.choose(nb);
             if objective.better(source[a].fitness(), source[b].fitness()) {
                 a
             } else {

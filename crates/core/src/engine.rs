@@ -67,6 +67,11 @@ pub struct Ga<P: Problem, E: Evaluator<P> = SerialEvaluator> {
     trace_island: u32,
     optimum_traced: bool,
     recorder: Option<Box<dyn Recorder>>,
+    // Generation arenas: the retiring member vector and the parent-index
+    // buffer are recycled across generational steps so the steady-state
+    // allocation profile is flat. Never part of snapshots.
+    offspring_buf: Vec<Individual<P::Genome>>,
+    parents_buf: Vec<usize>,
 }
 
 impl<P: Problem> Ga<P, SerialEvaluator> {
@@ -286,12 +291,23 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
     /// accepted. Used by the island driver at migration points.
     pub fn receive_immigrants(
         &mut self,
-        immigrants: Vec<Individual<P::Genome>>,
+        mut immigrants: Vec<Individual<P::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        self.receive_immigrants_from(&mut immigrants, policy)
+    }
+
+    /// Draining variant of [`receive_immigrants`](Self::receive_immigrants):
+    /// moves the individuals out of `immigrants` and leaves the vector empty
+    /// so the caller can recycle it as an inbox arena across epochs.
+    pub fn receive_immigrants_from(
+        &mut self,
+        immigrants: &mut Vec<Individual<P::Genome>>,
         policy: ReplacementPolicy,
     ) -> usize {
         let objective = self.problem.objective();
         let mut accepted = 0;
-        for im in immigrants {
+        for im in immigrants.drain(..) {
             debug_assert!(im.is_evaluated(), "immigrants must carry fitness");
             self.track_best(&im);
             if policy
@@ -305,25 +321,32 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
     }
 
     /// One full generational step with elitism.
+    ///
+    /// Offspring are built into a recycled arena (`offspring_buf`) and the
+    /// parent picks into a recycled index buffer, then the arena is swapped
+    /// into the population wholesale — no per-generation vector allocation.
     fn step_generational(&mut self, elitism: usize) {
         let objective = self.problem.objective();
         let n = self.population.len();
-        let elites: Vec<Individual<P::Genome>> = self
-            .population
-            .top_k_indices(objective, elitism)
-            .into_iter()
-            .map(|i| self.population.members()[i].clone())
-            .collect();
+        let mut next = std::mem::take(&mut self.offspring_buf);
+        next.clear();
+        next.reserve(n);
+        next.extend(
+            self.population
+                .top_k_indices(objective, elitism)
+                .into_iter()
+                .map(|i| self.population.members()[i].clone()),
+        );
 
-        let offspring_needed = n - elites.len();
-        let parents = self.selection.select_many(
+        let offspring_needed = n - next.len();
+        let mut parents = std::mem::take(&mut self.parents_buf);
+        self.selection.select_many_into(
             &self.population,
             objective,
             offspring_needed + 1,
             &mut self.rng,
+            &mut parents,
         );
-        let mut next: Vec<Individual<P::Genome>> = Vec::with_capacity(n);
-        next.extend(elites);
         let mut pi = 0;
         while next.len() < n {
             let a = &self.population[parents[pi % parents.len()]].genome;
@@ -341,11 +364,9 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
                 next.push(Individual::unevaluated(d));
             }
         }
-        let mut next = Population::new(next);
+        self.parents_buf = parents;
         let sw = Stopwatch::started_if(self.recorder.is_some());
-        let fresh = self
-            .evaluator
-            .evaluate_batch(&self.problem, next.members_mut());
+        let fresh = self.evaluator.evaluate_batch(&self.problem, &mut next);
         self.evaluations += fresh;
         if let Some(micros) = sw.elapsed_micros() {
             self.emit(EventKind::EvaluationBatch {
@@ -356,7 +377,11 @@ impl<P: Problem, E: Evaluator<P>> Ga<P, E> {
                 micros,
             });
         }
-        self.population = next;
+        // Swap the evaluated offspring in; the retiring members land in
+        // `next` and are recycled as the next generation's arena.
+        self.population.swap_members(&mut next);
+        next.clear();
+        self.offspring_buf = next;
         self.update_best_from_population();
     }
 
@@ -727,6 +752,7 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
         let mut population = Population::new(members);
         let evaluator = self.evaluator;
         let evaluations = evaluator.evaluate_batch(&self.problem, population.members_mut());
+        population.refresh_fitness();
         let best_ever = population.best(self.problem.objective()).clone();
 
         Ok(Ga {
@@ -748,6 +774,8 @@ impl<P: Problem, E: Evaluator<P>> GaBuilder<P, E> {
             trace_island: 0,
             optimum_traced: false,
             recorder: self.recorder,
+            offspring_buf: Vec::new(),
+            parents_buf: Vec::new(),
         })
     }
 }

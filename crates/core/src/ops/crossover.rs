@@ -46,8 +46,8 @@ impl Crossover<BitString> for OnePoint {
         let (mut c, mut d) = (a.clone(), b.clone());
         if n >= 2 {
             let cut = rng.range_usize(1, n);
-            c.copy_range_from(b, cut, n);
-            d.copy_range_from(a, cut, n);
+            // One XOR-masked pass yields both children.
+            c.swap_range_with(&mut d, cut, n);
         }
         (c, d)
     }
@@ -68,8 +68,7 @@ impl Crossover<BitString> for TwoPoint {
             // is exchangeable like every other (cuts from [0,n) would
             // otherwise leave locus n-1 permanently unswappable).
             let (lo, hi) = (x.min(y), x.max(y));
-            c.copy_range_from(b, lo, hi + 1);
-            d.copy_range_from(a, lo, hi + 1);
+            c.swap_range_with(&mut d, lo, hi + 1);
         }
         (c, d)
     }
@@ -82,13 +81,11 @@ impl Crossover<BitString> for TwoPoint {
 impl Crossover<BitString> for Uniform {
     fn crossover(&self, a: &BitString, b: &BitString, rng: &mut Rng64) -> (BitString, BitString) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
+        // Word-level mask kernel: one Bernoulli(p) mask per 64 loci (a
+        // single RNG draw per word at p = 0.5) instead of a coin flip per
+        // bit. The scalar loop is retained as `ops::scalar::ScalarUniform`.
         let (mut c, mut d) = (a.clone(), b.clone());
-        for i in 0..a.len() {
-            if rng.chance(self.p) {
-                c.set(i, b.get(i));
-                d.set(i, a.get(i));
-            }
-        }
+        c.uniform_mix_with(&mut d, self.p, rng);
         (c, d)
     }
 

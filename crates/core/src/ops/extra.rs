@@ -47,8 +47,8 @@ impl Crossover<BitString> for NPoint {
         let mut start = 0usize;
         for &end in &cuts {
             if swap {
-                c.copy_range_from(b, start, end);
-                d.copy_range_from(a, start, end);
+                // XOR-mask segment kernel: both children in one word pass.
+                c.swap_range_with(&mut d, start, end);
             }
             swap = !swap;
             start = end;
@@ -69,7 +69,16 @@ pub struct Hux;
 impl Crossover<BitString> for Hux {
     fn crossover(&self, a: &BitString, b: &BitString, rng: &mut Rng64) -> (BitString, BitString) {
         assert_eq!(a.len(), b.len(), "crossover: length mismatch");
-        let differing: Vec<usize> = (0..a.len()).filter(|&i| a.get(i) != b.get(i)).collect();
+        // Differing loci fall out of the XOR words via popcount iteration
+        // (clear-lowest-set-bit), skipping identical words entirely.
+        let mut differing = Vec::new();
+        for (wi, (wa, wb)) in a.words().iter().zip(b.words()).enumerate() {
+            let mut x = wa ^ wb;
+            while x != 0 {
+                differing.push(wi * 64 + x.trailing_zeros() as usize);
+                x &= x - 1;
+            }
+        }
         let (mut c, mut d) = (a.clone(), b.clone());
         if differing.len() < 2 {
             return (c, d);
@@ -80,8 +89,10 @@ impl Crossover<BitString> for Hux {
             .iter()
             .map(|&k| &differing[k])
         {
-            c.set(i, b.get(i));
-            d.set(i, a.get(i));
+            // At a differing locus, swapping the parents' bits is a flip
+            // of both children.
+            c.flip(i);
+            d.flip(i);
         }
         (c, d)
     }

@@ -9,6 +9,7 @@ pub mod crossover;
 pub mod extra;
 pub mod mutation;
 pub mod replacement;
+pub mod scalar;
 pub mod selection;
 
 pub use crossover::{
@@ -20,6 +21,7 @@ pub use mutation::{
     Polynomial, Scramble, Swap, UniformReset,
 };
 pub use replacement::ReplacementPolicy;
+pub use scalar::{ScalarBitFlip, ScalarUniform};
 pub use selection::{
     LinearRank, RandomSelection, Roulette, Selection, Sus, Tournament, Truncation,
 };

@@ -38,14 +38,11 @@ impl BitFlip {
 
 impl Mutation<BitString> for BitFlip {
     fn mutate(&self, genome: &mut BitString, rng: &mut Rng64) {
-        // Per-bit Bernoulli. For the common p = 1/len regime a geometric
-        // skip would also work, but the simple loop is branch-predictable
-        // and already fast relative to fitness evaluation.
-        for i in 0..genome.len() {
-            if rng.chance(self.p) {
-                genome.flip(i);
-            }
-        }
+        // Two-regime word kernel: geometric gap sampling when p·64 is small
+        // (cost scales with the number of flips, the p = 1/len regime),
+        // dense per-word Bernoulli masks otherwise. The scalar loop is
+        // retained as `ops::scalar::ScalarBitFlip`.
+        genome.flip_bernoulli(self.p, rng);
     }
 
     fn name(&self) -> &'static str {

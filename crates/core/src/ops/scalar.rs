@@ -1,0 +1,104 @@
+//! Scalar (bit-by-bit) reference implementations of the binary operators.
+//!
+//! These are the pre-kernel hot loops, retained verbatim for two purposes:
+//! the proptest equivalence suite checks the word-level kernels against them
+//! (structural invariants and statistical rates), and `pga-bench`'s ops
+//! bench measures both in one run to produce the before/after entries in
+//! `results/BENCH_ops.json`. They are *not* deprecated aliases — their RNG
+//! draw patterns differ from the word-level operators, so swapping one for
+//! the other changes seeded trajectories.
+
+use crate::ops::crossover::Crossover;
+use crate::ops::mutation::Mutation;
+use crate::repr::BitString;
+use crate::rng::Rng64;
+
+/// Bit-by-bit uniform crossover: one `chance(p)` draw per locus.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarUniform {
+    /// Per-locus swap probability, typically 0.5.
+    pub p: f64,
+}
+
+impl ScalarUniform {
+    /// Uniform crossover with swap probability 0.5.
+    #[must_use]
+    pub fn half() -> Self {
+        Self { p: 0.5 }
+    }
+}
+
+impl Crossover<BitString> for ScalarUniform {
+    fn crossover(&self, a: &BitString, b: &BitString, rng: &mut Rng64) -> (BitString, BitString) {
+        assert_eq!(a.len(), b.len(), "crossover: length mismatch");
+        let (mut c, mut d) = (a.clone(), b.clone());
+        for i in 0..a.len() {
+            if rng.chance(self.p) {
+                c.set(i, b.get(i));
+                d.set(i, a.get(i));
+            }
+        }
+        (c, d)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform-scalar"
+    }
+}
+
+/// Bit-by-bit flip mutation: one `chance(p)` draw per locus.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarBitFlip {
+    /// Per-bit flip probability.
+    pub p: f64,
+}
+
+impl ScalarBitFlip {
+    /// The canonical rate `1/len`.
+    #[must_use]
+    pub fn one_over_len(len: usize) -> Self {
+        Self {
+            p: 1.0 / len.max(1) as f64,
+        }
+    }
+}
+
+impl Mutation<BitString> for ScalarBitFlip {
+    fn mutate(&self, genome: &mut BitString, rng: &mut Rng64) {
+        for i in 0..genome.len() {
+            if rng.chance(self.p) {
+                genome.flip(i);
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bit-flip-scalar"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_uniform_p0_and_p1() {
+        let mut r = Rng64::new(31);
+        let a = BitString::ones(40);
+        let b = BitString::zeros(40);
+        let (c, d) = ScalarUniform { p: 0.0 }.crossover(&a, &b, &mut r);
+        assert_eq!((c.count_ones(), d.count_ones()), (40, 0));
+        let (c, d) = ScalarUniform { p: 1.0 }.crossover(&a, &b, &mut r);
+        assert_eq!((c.count_ones(), d.count_ones()), (0, 40));
+    }
+
+    #[test]
+    fn scalar_bitflip_extremes() {
+        let mut r = Rng64::new(32);
+        let mut g = BitString::zeros(50);
+        ScalarBitFlip { p: 0.0 }.mutate(&mut g, &mut r);
+        assert_eq!(g.count_ones(), 0);
+        ScalarBitFlip { p: 1.0 }.mutate(&mut g, &mut r);
+        assert_eq!(g.count_ones(), 50);
+    }
+}

@@ -15,8 +15,28 @@ pub trait Selection<G: Genome>: Send + Sync {
     /// Selects the index of one parent.
     fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize;
 
-    /// Selects `count` parents. Sampling-without-replacement schemes (SUS)
-    /// override this; the default draws independently.
+    /// Selects `count` parents into a caller-owned buffer (cleared first).
+    /// This is the batch primitive — the generational engine reuses one
+    /// index arena across generations through it. Sampling-without-
+    /// replacement schemes (SUS) override this; the default draws
+    /// independently.
+    fn select_many_into(
+        &self,
+        pop: &Population<G>,
+        objective: Objective,
+        count: usize,
+        rng: &mut Rng64,
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.select(pop, objective, rng));
+        }
+    }
+
+    /// Selects `count` parents into a fresh vector. Convenience wrapper
+    /// over [`select_many_into`](Self::select_many_into).
     fn select_many(
         &self,
         pop: &Population<G>,
@@ -24,9 +44,9 @@ pub trait Selection<G: Genome>: Send + Sync {
         count: usize,
         rng: &mut Rng64,
     ) -> Vec<usize> {
-        (0..count)
-            .map(|_| self.select(pop, objective, rng))
-            .collect()
+        let mut out = Vec::with_capacity(count);
+        self.select_many_into(pop, objective, count, rng, &mut out);
+        out
     }
 
     /// Operator name for harness tables.
@@ -43,10 +63,15 @@ fn proportional_weights<G: Genome>(pop: &Population<G>, objective: Objective) ->
     let best = pop.members()[pop.best_index(objective)].fitness();
     let span = (best - worst).abs();
     let floor = span * 1e-3 + 1e-12;
-    pop.members()
-        .iter()
-        .map(|m| (m.fitness() - worst).abs() + floor)
-        .collect()
+    // Cache-linear over the fitness slab when it is current.
+    match pop.fitness_cached() {
+        Some(fs) => fs.iter().map(|&f| (f - worst).abs() + floor).collect(),
+        None => pop
+            .members()
+            .iter()
+            .map(|m| (m.fitness() - worst).abs() + floor)
+            .collect(),
+    }
 }
 
 fn weighted_pick(weights: &[f64], total: f64, mut target: f64) -> usize {
@@ -88,10 +113,15 @@ impl<G: Genome> Selection<G> for Tournament {
     fn select(&self, pop: &Population<G>, objective: Objective, rng: &mut Rng64) -> usize {
         let n = pop.len();
         assert!(n > 0, "selection from empty population");
+        let cached = pop.fitness_cached();
+        let fit = |i: usize| match cached {
+            Some(fs) => fs[i],
+            None => pop[i].fitness(),
+        };
         let mut best = rng.below(n);
         for _ in 1..self.k {
             let c = rng.below(n);
-            if objective.better(pop[c].fitness(), pop[best].fitness()) {
+            if objective.better(fit(c), fit(best)) {
                 best = c;
             }
         }
@@ -130,21 +160,23 @@ impl<G: Genome> Selection<G> for Sus {
         Roulette.select(pop, objective, rng)
     }
 
-    fn select_many(
+    fn select_many_into(
         &self,
         pop: &Population<G>,
         objective: Objective,
         count: usize,
         rng: &mut Rng64,
-    ) -> Vec<usize> {
+        out: &mut Vec<usize>,
+    ) {
+        out.clear();
         if count == 0 {
-            return Vec::new();
+            return;
         }
         let w = proportional_weights(pop, objective);
         let total: f64 = w.iter().sum();
         let step = total / count as f64;
         let start = rng.next_f64() * step;
-        let mut out = Vec::with_capacity(count);
+        out.reserve(count);
         let mut cursor = 0usize;
         let mut acc = w[0];
         for j in 0..count {
@@ -159,8 +191,7 @@ impl<G: Genome> Selection<G> for Sus {
         // returns them in ascending population order, and consumers that
         // mate consecutive picks (the generational engine) would otherwise
         // self-mate every above-average individual.
-        rng.shuffle(&mut out);
-        out
+        rng.shuffle(out);
     }
 
     fn name(&self) -> &'static str {

@@ -21,16 +21,33 @@ pub struct PopStats {
 ///
 /// The engine invariant is that all members are evaluated between steps;
 /// freshly created offspring are evaluated before they enter the population.
+///
+/// Fitness values are mirrored into a contiguous `Vec<f64>` slab
+/// (structure-of-arrays) so statistics, selection weights, and ranking scans
+/// are cache-linear passes over plain floats instead of pointer-chasing
+/// through `Individual`s. The slab is refreshed lazily: handing out
+/// `members_mut()` marks it stale, and the next slab consumer rebuilds it.
+/// Unevaluated members appear as NaN in the slab.
 #[derive(Clone, Debug)]
 pub struct Population<G> {
     members: Vec<Individual<G>>,
+    fitness: Vec<f64>,
+    fitness_stale: bool,
 }
 
 impl<G: Genome> Population<G> {
     /// Wraps a vector of individuals.
     #[must_use]
     pub fn new(members: Vec<Individual<G>>) -> Self {
-        Self { members }
+        let fitness = members
+            .iter()
+            .map(|m| m.fitness.unwrap_or(f64::NAN))
+            .collect();
+        Self {
+            members,
+            fitness,
+            fitness_stale: false,
+        }
     }
 
     /// An empty population.
@@ -38,6 +55,8 @@ impl<G: Genome> Population<G> {
     pub fn empty() -> Self {
         Self {
             members: Vec::new(),
+            fitness: Vec::new(),
+            fitness_stale: false,
         }
     }
 
@@ -62,9 +81,11 @@ impl<G: Genome> Population<G> {
         &self.members
     }
 
-    /// Mutable member slice.
+    /// Mutable member slice. Marks the fitness slab stale — callers may
+    /// re-evaluate members through it.
     #[inline]
     pub fn members_mut(&mut self) -> &mut [Individual<G>] {
+        self.fitness_stale = true;
         &mut self.members
     }
 
@@ -76,7 +97,49 @@ impl<G: Genome> Population<G> {
 
     /// Appends an individual.
     pub fn push(&mut self, ind: Individual<G>) {
+        if !self.fitness_stale {
+            self.fitness.push(ind.fitness.unwrap_or(f64::NAN));
+        }
         self.members.push(ind);
+    }
+
+    /// Rebuilds the fitness slab from the members.
+    pub fn refresh_fitness(&mut self) {
+        self.fitness.clear();
+        self.fitness
+            .extend(self.members.iter().map(|m| m.fitness.unwrap_or(f64::NAN)));
+        self.fitness_stale = false;
+    }
+
+    /// Contiguous fitness values, one per member in member order
+    /// (NaN for unevaluated members). Refreshes the slab if stale.
+    #[inline]
+    pub fn fitness_slice(&mut self) -> &[f64] {
+        if self.fitness_stale {
+            self.refresh_fitness();
+        }
+        &self.fitness
+    }
+
+    /// The fitness slab if it is current, `None` when a `members_mut`
+    /// borrow has made it stale. For immutable contexts; prefer
+    /// [`fitness_slice`](Self::fitness_slice) where `&mut self` is available.
+    #[inline]
+    #[must_use]
+    pub fn fitness_cached(&self) -> Option<&[f64]> {
+        if self.fitness_stale {
+            None
+        } else {
+            Some(&self.fitness)
+        }
+    }
+
+    /// Swaps the member storage with `buf` (an arena owned by the caller)
+    /// and refreshes the fitness slab. The previous members land in `buf`
+    /// for reuse as the next generation's offspring arena.
+    pub fn swap_members(&mut self, buf: &mut Vec<Individual<G>>) {
+        std::mem::swap(&mut self.members, buf);
+        self.refresh_fitness();
     }
 
     /// `true` when every member carries a cached fitness.
@@ -100,6 +163,18 @@ impl<G: Genome> Population<G> {
 
     fn extreme_index(&self, objective: Objective, want_best: bool) -> usize {
         assert!(!self.members.is_empty(), "empty population");
+        if let Some(fs) = self.fitness_cached() {
+            let mut idx = 0;
+            let mut val = fs[0];
+            for (i, &f) in fs.iter().enumerate().skip(1) {
+                let beats = objective.better(f, val);
+                if beats == want_best && f != val {
+                    idx = i;
+                    val = f;
+                }
+            }
+            return idx;
+        }
         let mut idx = 0;
         let mut val = self.members[0].fitness();
         for (i, m) in self.members.iter().enumerate().skip(1) {
@@ -119,33 +194,48 @@ impl<G: Genome> Population<G> {
         &self.members[self.best_index(objective)]
     }
 
-    /// Fitness summary statistics. Panics on an empty/unevaluated population.
+    /// Fitness summary statistics. Panics on an empty population; a member
+    /// that is unevaluated when the fitness slab is current surfaces as NaN
+    /// in `mean`/`std_dev`, and panics otherwise.
+    ///
+    /// Single pass with Welford's online mean/variance — numerically stable
+    /// on fitness scales where `sum-of-squares` accumulation cancels, and
+    /// cache-linear over the slab when it is current.
     #[must_use]
     pub fn stats(&self, objective: Objective) -> PopStats {
         assert!(!self.members.is_empty(), "empty population");
-        let n = self.members.len() as f64;
-        let mut best = self.members[0].fitness();
-        let mut worst = best;
-        let mut sum = 0.0;
-        let mut sumsq = 0.0;
-        for m in &self.members {
-            let f = m.fitness();
-            if objective.better(f, best) {
-                best = f;
+        let welford = |fs: &mut dyn Iterator<Item = f64>| {
+            let mut best = f64::NAN;
+            let mut worst = f64::NAN;
+            let mut mean = 0.0;
+            let mut m2 = 0.0;
+            let mut n = 0.0f64;
+            for f in fs {
+                if n == 0.0 {
+                    best = f;
+                    worst = f;
+                }
+                if objective.better(f, best) {
+                    best = f;
+                }
+                if objective.better(worst, f) {
+                    worst = f;
+                }
+                n += 1.0;
+                let delta = f - mean;
+                mean += delta / n;
+                m2 += delta * (f - mean);
             }
-            if objective.better(worst, f) {
-                worst = f;
+            PopStats {
+                best,
+                worst,
+                mean,
+                std_dev: (m2 / n).sqrt(),
             }
-            sum += f;
-            sumsq += f * f;
-        }
-        let mean = sum / n;
-        let var = (sumsq / n - mean * mean).max(0.0);
-        PopStats {
-            best,
-            worst,
-            mean,
-            std_dev: var.sqrt(),
+        };
+        match self.fitness_cached() {
+            Some(fs) => welford(&mut fs.iter().copied()),
+            None => welford(&mut self.members.iter().map(Individual::fitness)),
         }
     }
 
@@ -164,9 +254,14 @@ impl<G: Genome> Population<G> {
                 f
             }
         };
+        let cached = self.fitness_cached();
+        let fetch = |i: usize| match cached {
+            Some(fs) => fs[i],
+            None => self.members[i].fitness(),
+        };
         idx.sort_by(|&a, &b| {
-            let fa = key(self.members[a].fitness());
-            let fb = key(self.members[b].fitness());
+            let fa = key(fetch(a));
+            let fb = key(fetch(b));
             match objective {
                 Objective::Maximize => fb.total_cmp(&fa),
                 Objective::Minimize => fa.total_cmp(&fb),
@@ -191,10 +286,23 @@ impl Population<BitString> {
             return 0.0;
         }
         let n = self.members.len() as f64;
+        // One pass over the packed words per member: iterate set bits with
+        // the clear-lowest trick instead of a per-locus `get` scan. Tail
+        // bits beyond `len` are canonically zero, so no locus index escapes
+        // the counts table.
+        let mut counts = vec![0u32; len];
+        for m in &self.members {
+            for (wi, &word) in m.genome.words().iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    counts[wi * 64 + w.trailing_zeros() as usize] += 1;
+                    w &= w - 1;
+                }
+            }
+        }
         let mut acc = 0.0;
-        for locus in 0..len {
-            let ones = self.members.iter().filter(|m| m.genome.get(locus)).count() as f64;
-            let p = ones / n;
+        for &ones in &counts {
+            let p = f64::from(ones) / n;
             acc += 2.0 * p * (1.0 - p);
         }
         acc / len as f64

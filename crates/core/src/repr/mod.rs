@@ -17,7 +17,7 @@ mod intvec;
 mod permutation;
 mod realvec;
 
-pub use bitstring::BitString;
+pub use bitstring::{bernoulli_word, BitString};
 pub use intvec::IntVector;
 pub use permutation::Permutation;
 pub use realvec::{Bounds, RealVector};
@@ -45,30 +45,23 @@ pub trait Genome: Clone + Send + Sync + 'static {
 
 impl Genome for BitString {
     fn encode(&self, w: &mut SnapshotWriter) {
+        // The in-memory layout is already the wire layout (canonical
+        // LSB-first words), so the payload streams straight out.
         w.put_usize(self.len());
-        for wi in 0..self.len().div_ceil(64) {
-            let mut word = 0u64;
-            for b in 0..64 {
-                let i = wi * 64 + b;
-                if i < self.len() && self.get(i) {
-                    word |= 1 << b;
-                }
-            }
+        for &word in self.words() {
             w.put_u64(word);
         }
     }
 
     fn decode(r: &mut SnapshotReader<'_>) -> Result<Self, SnapshotError> {
         let len = r.take_usize()?;
-        let mut bits = Vec::new();
+        let mut words = Vec::with_capacity(len.div_ceil(64));
         for _ in 0..len.div_ceil(64) {
-            let word = r.take_u64()?;
-            for b in 0..64 {
-                bits.push(word >> b & 1 == 1);
-            }
+            words.push(r.take_u64()?);
         }
-        bits.truncate(len);
-        Ok(BitString::from_bits(bits))
+        // `from_words` re-masks the tail, matching the old decoder's
+        // tolerance of non-canonical payloads.
+        Ok(BitString::from_words(words, len))
     }
 }
 

@@ -98,6 +98,8 @@ pub struct Archipelago<D: Deme> {
     stagnant_generations: u64,
     best_seen: Option<f64>,
     histories: Vec<Vec<StepReport>>,
+    /// Per-island inbox arenas, recycled across migration epochs.
+    inbox_bufs: Vec<Vec<Individual<<D as Deme>::Genome>>>,
 }
 
 /// Fluent configuration for island runs — the builder façade matching
@@ -287,6 +289,7 @@ impl<D: Deme> Archipelago<D> {
             stagnant_generations: 0,
             best_seen: None,
             histories: vec![Vec::new(); n],
+            inbox_bufs: (0..n).map(|_| Vec::new()).collect(),
         })
     }
 
@@ -324,14 +327,20 @@ impl<D: Deme> Archipelago<D> {
     }
 
     /// One synchronous migration across all edges; returns (sent, accepted).
+    ///
+    /// Each source picks its emigrants ONCE per epoch via
+    /// [`Deme::emigrant_batches`] — one batch per outgoing edge, the last
+    /// moved rather than cloned — and inboxes are per-island arenas reused
+    /// across epochs, so steady-state migration does not allocate.
     fn migrate(&mut self) -> (u64, u64) {
         let n = self.islands.len();
         let policy = self.policy;
-        let mut inboxes: Vec<Vec<Individual<D::Genome>>> = (0..n).map(|_| Vec::new()).collect();
         let mut sent = 0u64;
-        for (src, targets) in self.adjacency.clone().iter().enumerate() {
-            for &dst in targets {
-                let migrants = self.islands[src].emigrants(policy.emigrant, policy.count);
+        for src in 0..n {
+            let targets = std::mem::take(&mut self.adjacency[src]);
+            let batches =
+                self.islands[src].emigrant_batches(policy.emigrant, policy.count, targets.len());
+            for (&dst, migrants) in targets.iter().zip(batches) {
                 sent += migrants.len() as u64;
                 self.per_island_sent[src] += migrants.len() as u64;
                 if !migrants.is_empty() {
@@ -343,14 +352,16 @@ impl<D: Deme> Archipelago<D> {
                         count: migrants.len() as u64,
                     }));
                 }
-                inboxes[dst].extend(migrants);
+                self.inbox_bufs[dst].extend(migrants);
             }
+            self.adjacency[src] = targets;
         }
         let mut accepted = 0u64;
-        for (dst, inbox) in inboxes.into_iter().enumerate() {
+        for dst in 0..n {
+            let mut inbox = std::mem::take(&mut self.inbox_bufs[dst]);
             if !inbox.is_empty() {
                 let offered = inbox.len() as u64;
-                let here = self.islands[dst].immigrate(inbox, policy.replacement) as u64;
+                let here = self.islands[dst].immigrate_batch(&mut inbox, policy.replacement) as u64;
                 accepted += here;
                 self.per_island_accepted[dst] += here;
                 let generation = self.islands[dst].generation();
@@ -361,6 +372,8 @@ impl<D: Deme> Archipelago<D> {
                     accepted: here,
                 }));
             }
+            inbox.clear();
+            self.inbox_bufs[dst] = inbox;
         }
         (sent, accepted)
     }

@@ -52,6 +52,32 @@ pub trait Deme: Send {
         count: usize,
     ) -> Vec<Individual<Self::Genome>>;
 
+    /// Produces `copies` batches of the *same* `count` emigrants — one
+    /// batch per outgoing edge. The picks are drawn once per call (not once
+    /// per edge), so the deme's RNG consumption is independent of fan-out
+    /// and of link liveness; the final batch moves the picked individuals
+    /// (zero-copy hand-off of their genome word buffers into the migration
+    /// channel) while earlier batches clone.
+    fn emigrant_batches(
+        &mut self,
+        selection: EmigrantSelection,
+        count: usize,
+        copies: usize,
+    ) -> Vec<Vec<Individual<Self::Genome>>> {
+        // Always draw the picks, even for zero live edges, so seeded
+        // trajectories do not depend on fault state.
+        let batch = self.emigrants(selection, count);
+        if copies == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(copies);
+        for _ in 1..copies {
+            out.push(batch.clone());
+        }
+        out.push(batch);
+        out
+    }
+
     /// Inserts evaluated immigrants under `policy`; returns how many were
     /// accepted.
     fn immigrate(
@@ -59,6 +85,17 @@ pub trait Deme: Send {
         immigrants: Vec<Individual<Self::Genome>>,
         policy: ReplacementPolicy,
     ) -> usize;
+
+    /// Draining variant of [`immigrate`](Self::immigrate): consumes the
+    /// batch in place and leaves `immigrants` empty, so drivers can recycle
+    /// one inbox arena per island across migration epochs.
+    fn immigrate_batch(
+        &mut self,
+        immigrants: &mut Vec<Individual<Self::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        self.immigrate(std::mem::take(immigrants), policy)
+    }
 
     /// Routes a driver-side observability event (migration bookkeeping)
     /// into the deme's recorder. Default: no-op, so engines without
@@ -134,6 +171,14 @@ impl<P: Problem, E: Evaluator<P>> Deme for Ga<P, E> {
         self.receive_immigrants(immigrants, policy)
     }
 
+    fn immigrate_batch(
+        &mut self,
+        immigrants: &mut Vec<Individual<P::Genome>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        self.receive_immigrants_from(immigrants, policy)
+    }
+
     fn record_event(&mut self, event: &Event) {
         Ga::record_event(self, event);
     }
@@ -185,8 +230,23 @@ impl<G: Genome> Deme for Box<dyn Deme<Genome = G>> {
     fn emigrants(&mut self, selection: EmigrantSelection, count: usize) -> Vec<Individual<G>> {
         (**self).emigrants(selection, count)
     }
+    fn emigrant_batches(
+        &mut self,
+        selection: EmigrantSelection,
+        count: usize,
+        copies: usize,
+    ) -> Vec<Vec<Individual<G>>> {
+        (**self).emigrant_batches(selection, count, copies)
+    }
     fn immigrate(&mut self, immigrants: Vec<Individual<G>>, policy: ReplacementPolicy) -> usize {
         (**self).immigrate(immigrants, policy)
+    }
+    fn immigrate_batch(
+        &mut self,
+        immigrants: &mut Vec<Individual<G>>,
+        policy: ReplacementPolicy,
+    ) -> usize {
+        (**self).immigrate_batch(immigrants, policy)
     }
     fn record_event(&mut self, event: &Event) {
         (**self).record_event(event);

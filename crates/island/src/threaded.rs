@@ -268,6 +268,10 @@ pub fn run_threaded_resilient<D: Deme>(
                     ));
                 }
 
+                // Inbox arena recycled across migration epochs; cleared
+                // before each receive phase, so a mid-epoch panic leaves
+                // nothing stale for a resurrected island to observe.
+                let mut inbox_arena: Batch<D::Genome> = Vec::new();
                 let stop = 'run: loop {
                     let evaluations = spent.load(Ordering::Relaxed);
                     let elapsed = start.elapsed();
@@ -333,14 +337,21 @@ pub fn run_threaded_resilient<D: Deme>(
                         if policy.migrates_at(generation) {
                             in_migration = true;
                             epoch_done = true;
-                            // Send to each out-neighbor, applying the
-                            // edge's scripted link fault.
-                            for e in 0..my_targets.len() {
+                            // One pick per epoch — the deme's RNG consumption
+                            // is independent of edge liveness — yielding one
+                            // batch per out-edge (last moved, earlier cloned).
+                            // Each edge's scripted link fault applies to its
+                            // own batch.
+                            let batches = deme.emigrant_batches(
+                                policy.emigrant,
+                                policy.count,
+                                my_targets.len(),
+                            );
+                            for (e, migrants) in batches.into_iter().enumerate() {
                                 if txs[e].is_none() {
                                     continue;
                                 }
                                 let dst = my_targets[e] as u32;
-                                let migrants = deme.emigrants(policy.emigrant, policy.count);
                                 let action = link_states[e].apply(migrants);
                                 if action.redelivered > 0 {
                                     let _ = status.send(Status::BatchRedelivered {
@@ -408,8 +419,9 @@ pub fn run_threaded_resilient<D: Deme>(
                                     }
                                 }
                             }
-                            // Receive from in-neighbors.
-                            let mut inbox: Batch<D::Genome> = Vec::new();
+                            // Receive from in-neighbors into the arena.
+                            inbox_arena.clear();
+                            let inbox = &mut inbox_arena;
                             for slot in &mut open {
                                 let Some(rx) = slot else { continue };
                                 match policy.sync {
@@ -426,7 +438,7 @@ pub fn run_threaded_resilient<D: Deme>(
                             }
                             if !inbox.is_empty() {
                                 let offered = inbox.len() as u64;
-                                let here = deme.immigrate(inbox, policy.replacement) as u64;
+                                let here = deme.immigrate_batch(inbox, policy.replacement) as u64;
                                 accepted += here;
                                 deme.record_event(&Event::new(EventKind::MigrationReceived {
                                     island,

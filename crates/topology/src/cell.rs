@@ -57,15 +57,31 @@ impl CellNeighborhood {
     /// torus, center first.
     #[must_use]
     pub fn neighbors(self, r: usize, c: usize, rows: usize, cols: usize) -> Vec<usize> {
+        let mut buf = [0usize; 9];
+        self.neighbors_into(r, c, rows, cols, &mut buf).to_vec()
+    }
+
+    /// Allocation-free variant of [`neighbors`](Self::neighbors): writes the
+    /// flat indices into a caller-owned stack buffer (9 slots fit the
+    /// largest shape, Moore) and returns the filled prefix, center first.
+    /// The cellular engine calls this once per cell per generation, so the
+    /// heap allocation it avoids is on the grid-sweep hot path.
+    pub fn neighbors_into(
+        self,
+        r: usize,
+        c: usize,
+        rows: usize,
+        cols: usize,
+        buf: &mut [usize; 9],
+    ) -> &[usize] {
         assert!(r < rows && c < cols, "cell ({r},{c}) outside {rows}x{cols}");
-        self.offsets()
-            .iter()
-            .map(|&(dr, dc)| {
-                let nr = (r as i32 + dr).rem_euclid(rows as i32) as usize;
-                let nc = (c as i32 + dc).rem_euclid(cols as i32) as usize;
-                nr * cols + nc
-            })
-            .collect()
+        let offsets = self.offsets();
+        for (slot, &(dr, dc)) in buf.iter_mut().zip(offsets) {
+            let nr = (r as i32 + dr).rem_euclid(rows as i32) as usize;
+            let nc = (c as i32 + dc).rem_euclid(cols as i32) as usize;
+            *slot = nr * cols + nc;
+        }
+        &buf[..offsets.len()]
     }
 }
 

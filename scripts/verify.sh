@@ -23,6 +23,23 @@ cargo test -q --workspace
 echo "==> cargo bench --no-run (benches compile)"
 cargo bench --workspace --no-run
 
+echo "==> word-kernel equivalence suite (word vs scalar operators)"
+cargo test -q -p pga-core --test word_kernels
+
+echo "==> BENCH_ops.json speedup gate (every kernel >= 2x over scalar)"
+# Re-run 'cargo bench -p pga-bench --bench ops' to refresh the file after
+# kernel changes; the gate checks the recorded entries.
+awk -F'"speedup": ' '/"speedup"/ {
+    v = $2 + 0
+    if (v < 2.0) { print "speedup below 2x: " $0; bad = 1 }
+    n++
+}
+END {
+    if (n == 0) { print "no speedup entries found"; exit 1 }
+    if (bad) exit 1
+    print n " kernel entries, all >= 2x"
+}' results/BENCH_ops.json
+
 echo "==> pool determinism suite"
 cargo test -q --test pool_determinism
 
