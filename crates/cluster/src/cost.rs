@@ -1,0 +1,203 @@
+//! Seeded evaluation-cost distributions.
+//!
+//! Harada–Alba–Luque's time-fair methodology only separates sync from
+//! async execution when evaluation costs are *heterogeneous*: a barrier
+//! waits for the slowest task of every batch, while an async master folds
+//! cheap results immediately. These distributions give experiments and
+//! the async engines one shared, seeded source of per-task cost — the
+//! same `(model, seed)` pair always yields the same cost stream, so a
+//! sync and an async run can be charged identical work.
+
+use pga_core::{ConfigError, Rng64};
+
+/// A per-evaluation cost distribution (seconds of reference-node compute).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EvalCostModel {
+    /// Every evaluation costs the same.
+    Fixed(f64),
+    /// Costs drawn uniformly from `[lo, hi]`.
+    Uniform {
+        /// Cheapest evaluation, in seconds.
+        lo: f64,
+        /// Most expensive evaluation, in seconds.
+        hi: f64,
+    },
+    /// A cheap common case with rare expensive stragglers — the regime
+    /// where batch barriers hurt most.
+    Bimodal {
+        /// Cost of the common case, in seconds.
+        cheap: f64,
+        /// Cost of a straggler, in seconds.
+        expensive: f64,
+        /// Probability an evaluation is a straggler.
+        p_expensive: f64,
+    },
+}
+
+/// Finite and strictly positive — the validity test for every cost knob
+/// (rejects NaN and infinities along with non-positive values).
+fn positive(x: f64) -> bool {
+    x.is_finite() && x > 0.0
+}
+
+impl EvalCostModel {
+    /// Validated fixed-cost model.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `cost_s` is not finite and
+    /// positive.
+    pub fn fixed(cost_s: f64) -> Result<Self, ConfigError> {
+        if !positive(cost_s) {
+            return Err(ConfigError::InvalidParameter {
+                name: "cost_s",
+                message: format!("must be positive, got {cost_s}"),
+            });
+        }
+        Ok(Self::Fixed(cost_s))
+    }
+
+    /// Validated uniform model over `[lo, hi]`.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when `lo` is not finite and
+    /// positive, or `hi` is not finite or `< lo`.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self, ConfigError> {
+        if !positive(lo) {
+            return Err(ConfigError::InvalidParameter {
+                name: "lo",
+                message: format!("must be positive, got {lo}"),
+            });
+        }
+        if !hi.is_finite() || hi < lo {
+            return Err(ConfigError::InvalidParameter {
+                name: "hi",
+                message: format!("must be >= lo ({lo}), got {hi}"),
+            });
+        }
+        Ok(Self::Uniform { lo, hi })
+    }
+
+    /// Validated bimodal (cheap/straggler) model.
+    ///
+    /// # Errors
+    /// [`ConfigError::InvalidParameter`] when either cost is not finite
+    /// and positive, or `p_expensive` is outside `[0, 1]` (or NaN).
+    pub fn bimodal(cheap: f64, expensive: f64, p_expensive: f64) -> Result<Self, ConfigError> {
+        if !positive(cheap) {
+            return Err(ConfigError::InvalidParameter {
+                name: "cheap",
+                message: format!("must be positive, got {cheap}"),
+            });
+        }
+        if !positive(expensive) {
+            return Err(ConfigError::InvalidParameter {
+                name: "expensive",
+                message: format!("must be positive, got {expensive}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&p_expensive) {
+            return Err(ConfigError::InvalidParameter {
+                name: "p_expensive",
+                message: format!("must be in [0,1], got {p_expensive}"),
+            });
+        }
+        Ok(Self::Bimodal {
+            cheap,
+            expensive,
+            p_expensive,
+        })
+    }
+
+    /// Draws one evaluation cost from `rng`.
+    ///
+    /// Exactly one RNG draw per call for the non-fixed models, so cost
+    /// streams are replayable independently of how results interleave.
+    #[must_use]
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
+        match *self {
+            Self::Fixed(c) => c,
+            Self::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Self::Bimodal {
+                cheap,
+                expensive,
+                p_expensive,
+            } => {
+                if rng.next_f64() < p_expensive {
+                    expensive
+                } else {
+                    cheap
+                }
+            }
+        }
+    }
+
+    /// Expected cost of one evaluation.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Self::Fixed(c) => c,
+            Self::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Self::Bimodal {
+                cheap,
+                expensive,
+                p_expensive,
+            } => cheap * (1.0 - p_expensive) + expensive * p_expensive,
+        }
+    }
+
+    /// Short name for harness tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Fixed(_) => "fixed",
+            Self::Uniform { .. } => "uniform",
+            Self::Bimodal { .. } => "bimodal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_validate() {
+        assert!(EvalCostModel::fixed(0.0).is_err());
+        assert!(EvalCostModel::uniform(0.5, 0.1).is_err());
+        assert!(EvalCostModel::uniform(f64::NAN, 1.0).is_err());
+        assert!(EvalCostModel::bimodal(0.1, 1.0, 1.5).is_err());
+        assert!(EvalCostModel::bimodal(0.1, 1.0, 0.1).is_ok());
+    }
+
+    #[test]
+    fn sampling_is_seeded_and_in_range() {
+        let m = EvalCostModel::uniform(0.1, 0.9).unwrap();
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..200 {
+            let x = m.sample(&mut a);
+            assert_eq!(x, m.sample(&mut b));
+            assert!((0.1..=0.9).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bimodal_mean_matches_empirical_rate() {
+        let m = EvalCostModel::bimodal(0.01, 1.0, 0.25).unwrap();
+        let mut rng = Rng64::new(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| m.sample(&mut rng)).sum();
+        let err = (total / n as f64 - m.mean()).abs();
+        assert!(err < 0.02, "empirical mean off by {err}");
+    }
+
+    #[test]
+    fn fixed_never_draws() {
+        let m = EvalCostModel::fixed(0.5).unwrap();
+        let mut rng = Rng64::new(1);
+        let before = rng.next_u64();
+        let mut rng = Rng64::new(1);
+        assert_eq!(m.sample(&mut rng), 0.5);
+        assert_eq!(rng.next_u64(), before, "Fixed must not consume the RNG");
+    }
+}

@@ -21,6 +21,8 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod async_sim;
+pub mod cost;
 pub mod event;
 pub mod fault;
 pub mod island_sim;
@@ -30,6 +32,8 @@ pub mod network;
 pub mod observe_bridge;
 pub mod spec;
 
+pub use async_sim::AsyncDispatchSim;
+pub use cost::EvalCostModel;
 pub use event::EventQueue;
 pub use fault::{FaultPlan, WorkerFault};
 pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimConfig};

@@ -99,6 +99,22 @@ pub struct StepReport {
     pub best_ever: f64,
 }
 
+/// Result of one non-blocking [`Engine::poll_step`] call.
+///
+/// Synchronous engines complete a whole step per poll, so their default
+/// `poll_step` always carries a [`StepReport`]. Asynchronous engines fold
+/// whatever results have arrived: `folded` counts the evaluations consumed
+/// by this poll, and `report` is `Some` only when the poll crossed a step
+/// (generation-equivalent) boundary. `folded == 0` with `report == None`
+/// means nothing was ready — callers should yield, never spin.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PollReport {
+    /// Fitness evaluations folded into the population by this poll.
+    pub folded: u64,
+    /// Step statistics, when the poll completed a step boundary.
+    pub report: Option<StepReport>,
+}
+
 /// The time base an engine runs on.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Clock {
@@ -129,6 +145,26 @@ pub trait Engine {
     /// Advances one step (generation, sweep, or epoch) and reports
     /// statistics.
     fn step(&mut self) -> StepReport;
+
+    /// Non-blocking advance: folds whatever completed work is available
+    /// *right now* and returns without waiting for a batch or an epoch.
+    ///
+    /// Progress is measured in evaluations consumed (`PollReport::folded`),
+    /// not generations, so slice schedulers can charge tenants on work
+    /// actually folded. The default implementation runs one full [`step`]
+    /// (synchronous engines have no partial work to expose); asynchronous
+    /// engines override it to fold only the results that have already
+    /// arrived.
+    ///
+    /// [`step`]: Engine::step
+    fn poll_step(&mut self) -> PollReport {
+        let before = self.progress(Duration::ZERO).evaluations;
+        let report = self.step();
+        PollReport {
+            folded: report.evaluations.saturating_sub(before),
+            report: Some(report),
+        }
+    }
 
     /// Current progress snapshot for termination checks. `elapsed` is
     /// wall-clock or virtual per [`Engine::clock`].
@@ -335,6 +371,17 @@ mod tests {
             self.generation = r.take_u64()?;
             r.finish()
         }
+    }
+
+    #[test]
+    fn default_poll_step_wraps_one_full_step() {
+        let mut e = Counter {
+            generation: 0,
+            halt_at: None,
+        };
+        let poll = e.poll_step();
+        assert_eq!(poll.folded, 10);
+        assert_eq!(poll.report.map(|r| r.generation), Some(1));
     }
 
     #[test]

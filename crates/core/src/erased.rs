@@ -50,7 +50,7 @@
 
 use std::time::Duration;
 
-use crate::driver::{Clock, Engine, StepReport};
+use crate::driver::{Clock, Engine, PollReport, StepReport};
 use crate::snapshot::{Snapshot, SnapshotError};
 use crate::termination::Progress;
 
@@ -64,6 +64,10 @@ pub trait ErasedEngine: Send {
 
     /// Advances one step (generation, sweep, or epoch).
     fn step(&mut self) -> StepReport;
+
+    /// Non-blocking advance: folds the work available right now (see
+    /// [`Engine::poll_step`]).
+    fn poll_step(&mut self) -> PollReport;
 
     /// Current progress snapshot for termination checks; carries the best
     /// fitness in place of the erased `Best` value.
@@ -95,6 +99,10 @@ impl<E: Engine + Send> ErasedEngine for E {
 
     fn step(&mut self) -> StepReport {
         Engine::step(self)
+    }
+
+    fn poll_step(&mut self) -> PollReport {
+        Engine::poll_step(self)
     }
 
     fn progress(&self, elapsed: Duration) -> Progress {
@@ -153,6 +161,10 @@ impl Engine for ErasedRun<'_> {
 
     fn step(&mut self) -> StepReport {
         self.0.step()
+    }
+
+    fn poll_step(&mut self) -> PollReport {
+        self.0.poll_step()
     }
 
     fn progress(&self, elapsed: Duration) -> Progress {

@@ -71,7 +71,7 @@ pub mod rng;
 pub mod snapshot;
 pub mod termination;
 
-pub use driver::{Clock, Driver, Engine, RunOutcome, StepReport};
+pub use driver::{Clock, Driver, Engine, PollReport, RunOutcome, StepReport};
 pub use engine::{Ga, GaBuilder, Scheme};
 pub use erased::{erase, BoxedEngine, ErasedEngine, ErasedRun};
 pub use error::ConfigError;

@@ -1,13 +1,13 @@
 //! Deterministic single-threaded island stepper.
 
 use crate::deme::Deme;
-use crate::migration::MigrationPolicy;
+use crate::migration::{MigrationPolicy, SyncMode};
 use crate::resilient::{ResiliencePolicy, ResilientOptions};
 use pga_cluster::MigrationFaultPlan;
 use pga_core::termination::{Progress, StopReason, Termination};
 use pga_core::{
-    ConfigError, Driver, Engine, Individual, Objective, RunOutcome, Snapshot, SnapshotError,
-    StepReport,
+    ConfigError, Driver, Engine, Genome, Individual, Objective, RunOutcome, Snapshot,
+    SnapshotError, StepReport,
 };
 use pga_observe::{Event, EventKind, SharedRecorder};
 use pga_topology::Topology;
@@ -100,6 +100,10 @@ pub struct Archipelago<D: Deme> {
     histories: Vec<Vec<StepReport>>,
     /// Per-island inbox arenas, recycled across migration epochs.
     inbox_bufs: Vec<Vec<Individual<<D as Deme>::Genome>>>,
+    /// In-flight migrants under [`SyncMode::Overlap`]: batches posted at an
+    /// epoch boundary land here and are drained at the *next* generation's
+    /// replacement point, modelling transit latency deterministically.
+    pending: Vec<Vec<Individual<<D as Deme>::Genome>>>,
 }
 
 /// Fluent configuration for island runs — the builder façade matching
@@ -290,6 +294,7 @@ impl<D: Deme> Archipelago<D> {
             best_seen: None,
             histories: vec![Vec::new(); n],
             inbox_bufs: (0..n).map(|_| Vec::new()).collect(),
+            pending: (0..n).map(|_| Vec::new()).collect(),
         })
     }
 
@@ -376,6 +381,64 @@ impl<D: Deme> Archipelago<D> {
             self.inbox_bufs[dst] = inbox;
         }
         (sent, accepted)
+    }
+
+    /// Overlap-mode send half: emigrants picked exactly as in
+    /// [`migrate`](Self::migrate) but posted into the per-island `pending`
+    /// buffers instead of being delivered this step. Returns migrants sent.
+    fn overlap_send(&mut self) -> u64 {
+        let n = self.islands.len();
+        let policy = self.policy;
+        let mut sent = 0u64;
+        for src in 0..n {
+            let targets = std::mem::take(&mut self.adjacency[src]);
+            let batches =
+                self.islands[src].emigrant_batches(policy.emigrant, policy.count, targets.len());
+            for (&dst, migrants) in targets.iter().zip(batches) {
+                sent += migrants.len() as u64;
+                self.per_island_sent[src] += migrants.len() as u64;
+                if !migrants.is_empty() {
+                    let generation = self.islands[src].generation();
+                    self.islands[src].record_event(&Event::new(EventKind::MigrationSent {
+                        from: src as u32,
+                        to: dst as u32,
+                        generation,
+                        count: migrants.len() as u64,
+                    }));
+                }
+                self.pending[dst].extend(migrants);
+            }
+            self.adjacency[src] = targets;
+        }
+        sent
+    }
+
+    /// Overlap-mode receive half: every island drains whatever is in flight
+    /// for it at this replacement point (no rendezvous with senders).
+    /// Returns migrants accepted.
+    fn drain_pending(&mut self) -> u64 {
+        let policy = self.policy;
+        let mut accepted = 0u64;
+        for dst in 0..self.islands.len() {
+            if self.pending[dst].is_empty() {
+                continue;
+            }
+            let mut inbox = std::mem::take(&mut self.pending[dst]);
+            let offered = inbox.len() as u64;
+            let here = self.islands[dst].immigrate_batch(&mut inbox, policy.replacement) as u64;
+            accepted += here;
+            self.per_island_accepted[dst] += here;
+            let generation = self.islands[dst].generation();
+            self.islands[dst].record_event(&Event::new(EventKind::AsyncImmigrantsDrained {
+                island: dst as u32,
+                generation,
+                offered,
+                accepted: here,
+            }));
+            inbox.clear();
+            self.pending[dst] = inbox;
+        }
+        accepted
     }
 
     fn any_optimal(&self) -> bool {
@@ -471,10 +534,19 @@ impl<D: Deme> Engine for Archipelago<D> {
         }
         self.generation += 1;
 
-        // Migration phase at epoch boundaries: collect all emigrants
-        // first, then deliver, so this generation's exchange is
-        // order-independent (true synchronous semantics).
-        if self.policy.migrates_at(self.generation) {
+        // Migration phase. Synchronous/Asynchronous (the sequential
+        // stepper is synchronous by construction): at epoch boundaries,
+        // collect all emigrants first, then deliver, so this generation's
+        // exchange is order-independent. Overlap: migrants posted at an
+        // epoch boundary stay in flight for one generation and land at the
+        // next replacement point — the deterministic analogue of the
+        // threaded engine's barrier-free mid-epoch drains.
+        if self.policy.sync == SyncMode::Overlap {
+            self.migrants_accepted += self.drain_pending();
+            if self.policy.migrates_at(self.generation) {
+                self.migrants_sent += self.overlap_send();
+            }
+        } else if self.policy.migrates_at(self.generation) {
             let (sent, accepted) = self.migrate();
             self.migrants_sent += sent;
             self.migrants_accepted += accepted;
@@ -529,7 +601,10 @@ impl<D: Deme> Engine for Archipelago<D> {
 
     /// Nests one deme snapshot per island. Recorded histories are *not*
     /// part of the snapshot: a resumed run's histories cover only the
-    /// steps taken since the restore.
+    /// steps taken since the restore. Under [`SyncMode::Overlap`] the
+    /// in-flight pending buffers are appended after the island records
+    /// (the layout for the other modes is unchanged), so a restored run
+    /// delivers exactly the migrants that were in transit.
     fn snapshot(&self) -> Snapshot {
         let mut w = pga_core::SnapshotWriter::new();
         w.put_u64(self.generation);
@@ -544,6 +619,15 @@ impl<D: Deme> Engine for Archipelago<D> {
             let nested = island.snapshot_deme();
             w.put_str(nested.engine());
             w.put_bytes(nested.payload());
+        }
+        if self.policy.sync == SyncMode::Overlap {
+            for inbox in &self.pending {
+                w.put_usize(inbox.len());
+                for member in inbox {
+                    member.genome.encode(&mut w);
+                    w.put_opt_f64(member.fitness);
+                }
+            }
         }
         Snapshot::new("archipelago", w.into_bytes())
     }
@@ -572,6 +656,21 @@ impl<D: Deme> Engine for Archipelago<D> {
             let payload = r.take_bytes()?.to_vec();
             nested.push(Snapshot::new(engine, payload));
         }
+        let mut pending = Vec::with_capacity(n);
+        if self.policy.sync == SyncMode::Overlap {
+            for _ in 0..n {
+                let count = r.take_usize()?;
+                let mut inbox = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let genome = <D::Genome as Genome>::decode(&mut r)?;
+                    let fitness = r.take_opt_f64()?;
+                    inbox.push(Individual { genome, fitness });
+                }
+                pending.push(inbox);
+            }
+        } else {
+            pending = (0..n).map(|_| Vec::new()).collect();
+        }
         r.finish()?;
         for (island, snap) in self.islands.iter_mut().zip(&nested) {
             island.restore_deme(snap)?;
@@ -583,6 +682,7 @@ impl<D: Deme> Engine for Archipelago<D> {
         self.per_island_accepted = per_island_accepted;
         self.stagnant_generations = stagnant_generations;
         self.best_seen = best_seen;
+        self.pending = pending;
         for h in &mut self.histories {
             h.clear();
         }

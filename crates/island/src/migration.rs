@@ -36,6 +36,30 @@ pub enum SyncMode {
     /// Islands send without blocking and consume whatever has arrived at
     /// their own migration points; arrival timing depends on scheduling.
     Asynchronous,
+    /// Migration overlaps evaluation: islands still *send* at their epoch
+    /// boundaries (non-blocking), but immigrants are drained
+    /// opportunistically at every replacement point (each generation)
+    /// instead of at a rendezvous. No migration barrier exists at all — a
+    /// stalled neighbor costs nothing (E20's barrier-free island mode).
+    Overlap,
+}
+
+impl SyncMode {
+    /// Short name for harness tables.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Synchronous => "sync",
+            Self::Asynchronous => "async",
+            Self::Overlap => "overlap",
+        }
+    }
+
+    /// `true` when this mode never blocks on a migration channel.
+    #[must_use]
+    pub fn is_barrier_free(self) -> bool {
+        !matches!(self, Self::Synchronous)
+    }
 }
 
 /// Complete migration policy.

@@ -334,6 +334,47 @@ pub fn run_threaded_resilient<D: Deme>(
                             }
                         }
 
+                        if policy.sync == SyncMode::Overlap {
+                            // Overlap mode: drain the inbox opportunistically
+                            // at every replacement point (each generation),
+                            // decoupled from the epoch send below — migration
+                            // overlaps evaluation with no rendezvous at all.
+                            inbox_arena.clear();
+                            let inbox = &mut inbox_arena;
+                            for slot in &mut open {
+                                let Some(rx) = slot else { continue };
+                                while let Ok(batch) = rx.try_recv() {
+                                    inbox.extend(batch);
+                                }
+                            }
+                            if !inbox.is_empty() {
+                                let offered = inbox.len() as u64;
+                                let here = deme.immigrate_batch(inbox, policy.replacement) as u64;
+                                accepted += here;
+                                deme.record_event(&Event::new(EventKind::AsyncImmigrantsDrained {
+                                    island,
+                                    generation,
+                                    offered,
+                                    accepted: here,
+                                }));
+                                let now_best = deme.best_individual().fitness();
+                                if (maximizing && now_best > best_local)
+                                    || (!maximizing && now_best < best_local)
+                                {
+                                    best_local = now_best;
+                                    best_cached = deme.best_individual();
+                                    stagnant = 0;
+                                }
+                                if deme.is_optimal() {
+                                    hit_cached = true;
+                                    found.store(true, Ordering::Relaxed);
+                                    if termination.stops_at_target() {
+                                        return Some(StopReason::TargetReached);
+                                    }
+                                }
+                            }
+                        }
+
                         if policy.migrates_at(generation) {
                             in_migration = true;
                             epoch_done = true;
@@ -393,7 +434,7 @@ pub fn run_threaded_resilient<D: Deme>(
                                         .as_ref()
                                         .and_then(|tx| tx.send(batch).err())
                                         .map(|_| "peer-dead"),
-                                    SyncMode::Asynchronous => {
+                                    SyncMode::Asynchronous | SyncMode::Overlap => {
                                         txs[e].as_ref().and_then(|tx| match tx.try_send(batch) {
                                             Ok(()) => None,
                                             Err(TrySendError::Full(_)) => Some("channel-full"),
@@ -434,6 +475,9 @@ pub fn run_threaded_resilient<D: Deme>(
                                             inbox.extend(batch);
                                         }
                                     }
+                                    // Overlap already drained after this
+                                    // generation's step; no rendezvous here.
+                                    SyncMode::Overlap => {}
                                 }
                             }
                             if !inbox.is_empty() {

@@ -1,0 +1,256 @@
+//! Acceptance suite for barrier-free overlap migration (E20).
+//!
+//! [`SyncMode::Overlap`] removes the per-epoch migration rendezvous:
+//! islands post emigrants without blocking and drain immigrants
+//! opportunistically at replacement points. The guarantees under test:
+//!
+//! 1. **Sequential determinism** — the one-generation-delay pending-buffer
+//!    model in [`Archipelago`] is bit-reproducible across runs.
+//! 2. **Delivery** — overlap migrants actually land (one generation after
+//!    the epoch boundary), traced as `async_immigrants_drained` events.
+//! 3. **Checkpoint fidelity** — a snapshot taken while migrants are in
+//!    flight restores them, so resumed runs stay bit-identical.
+//! 4. **No global barrier** — with one deliberately slow island, the fast
+//!    islands keep evolving at full speed under Overlap (the property a
+//!    synchronous rendezvous cannot have).
+
+use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
+use pga_core::{
+    BitString, Engine, Ga, GaBuilder, Objective, Problem, Rng64, Scheme, SerialEvaluator,
+    Termination,
+};
+use pga_island::{Archipelago, EmigrantSelection, MigrationPolicy, ResiliencePolicy, SyncMode};
+use pga_observe::{EventKind, RingRecorder};
+use pga_topology::Topology;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// OneMax with a configurable per-evaluation busy-delay, so one island can
+/// be made arbitrarily slower than its peers without changing the search.
+struct SlowOneMax {
+    bits: usize,
+    delay: Duration,
+}
+
+impl Problem for SlowOneMax {
+    type Genome = BitString;
+    fn name(&self) -> String {
+        "slow-onemax".into()
+    }
+    fn objective(&self) -> Objective {
+        Objective::Maximize
+    }
+    fn evaluate(&self, g: &BitString) -> f64 {
+        if !self.delay.is_zero() {
+            std::thread::sleep(self.delay);
+        }
+        g.count_ones() as f64
+    }
+    fn random_genome(&self, rng: &mut Rng64) -> BitString {
+        BitString::random(self.bits, rng)
+    }
+    fn optimum(&self) -> Option<f64> {
+        Some(self.bits as f64)
+    }
+}
+
+fn island(
+    seed: u64,
+    pop: usize,
+    bits: usize,
+    delay: Duration,
+    recorder: Option<RingRecorder>,
+) -> Ga<Arc<SlowOneMax>, SerialEvaluator> {
+    let mut b = GaBuilder::new(Arc::new(SlowOneMax { bits, delay }))
+        .seed(seed)
+        .pop_size(pop)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(bits))
+        .scheme(Scheme::Generational { elitism: 1 });
+    if let Some(r) = recorder {
+        b = b.recorder(r);
+    }
+    b.build().expect("valid deme configuration")
+}
+
+fn islands(
+    n: usize,
+    seed: u64,
+    pop: usize,
+    bits: usize,
+) -> Vec<Ga<Arc<SlowOneMax>, SerialEvaluator>> {
+    (0..n)
+        .map(|i| island(seed + i as u64, pop, bits, Duration::ZERO, None))
+        .collect()
+}
+
+fn overlap_policy(interval: u64, count: usize) -> MigrationPolicy {
+    MigrationPolicy {
+        interval,
+        count,
+        emigrant: EmigrantSelection::Best,
+        replacement: ReplacementPolicy::WorstIfBetter,
+        sync: SyncMode::Overlap,
+    }
+}
+
+#[test]
+fn sequential_overlap_is_deterministic_and_delivers() {
+    let run = || {
+        let mut arch = Archipelago::new(
+            islands(4, 21, 30, 64),
+            Topology::RingUni,
+            overlap_policy(4, 2),
+        )
+        .expect("valid archipelago");
+        arch.run(&Termination::new().until_optimum().max_generations(120))
+            .expect("bounded run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best.fitness(), b.best.fitness());
+    assert_eq!(a.best.genome, b.best.genome);
+    assert_eq!(a.total_evaluations, b.total_evaluations);
+    assert_eq!(a.per_island_best, b.per_island_best);
+    assert_eq!(a.migrants_sent, b.migrants_sent);
+    assert_eq!(a.migrants_accepted, b.migrants_accepted);
+    assert!(
+        a.migrants_sent > 0,
+        "overlap epochs must still emit migrants"
+    );
+    assert!(a.migrants_accepted > 0, "in-flight migrants must land");
+}
+
+#[test]
+fn sequential_overlap_delivers_one_generation_after_the_epoch() {
+    let ring = RingRecorder::new(4096);
+    let demes: Vec<_> = (0..3)
+        .map(|i| island(70 + i, 20, 48, Duration::ZERO, Some(ring.clone())))
+        .collect();
+    let mut arch = Archipelago::new(demes, Topology::RingUni, overlap_policy(4, 1))
+        .expect("valid archipelago");
+    arch.record_run_started();
+    for _ in 0..9 {
+        arch.step();
+    }
+    let drains: Vec<(u32, u64)> = ring
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::AsyncImmigrantsDrained {
+                island, generation, ..
+            } => Some((island, generation)),
+            _ => None,
+        })
+        .collect();
+    assert!(!drains.is_empty(), "overlap runs must trace their drains");
+    // Epochs fire at generations 4 and 8; in-flight batches land at the
+    // next replacement point: generations 5 and 9, on every island.
+    for (_, generation) in &drains {
+        assert!(
+            *generation == 5 || *generation == 9,
+            "drain at unexpected generation {generation}"
+        );
+    }
+    assert_eq!(drains.iter().filter(|(_, g)| *g == 5).count(), 3);
+}
+
+#[test]
+fn overlap_snapshot_restores_in_flight_migrants() {
+    let build = || {
+        Archipelago::new(
+            islands(4, 93, 24, 64),
+            Topology::RingBi,
+            overlap_policy(4, 2),
+        )
+        .expect("valid archipelago")
+    };
+    // Run A straight through 12 generations.
+    let mut full = build();
+    for _ in 0..12 {
+        full.step();
+    }
+    // Run B: stop exactly at the epoch boundary (generation 4), where
+    // emigrants have been posted but not yet delivered, then restore into
+    // a fresh engine and continue.
+    let mut first = build();
+    for _ in 0..4 {
+        first.step();
+    }
+    let snap = first.snapshot();
+    let mut resumed = build();
+    resumed.restore(&snap).expect("snapshot must restore");
+    for _ in 0..8 {
+        resumed.step();
+    }
+    assert_eq!(
+        full.snapshot().payload(),
+        resumed.snapshot().payload(),
+        "resumed overlap run must be bit-identical, including in-flight migrants"
+    );
+}
+
+#[test]
+fn threaded_overlap_solves_and_traces_drains() {
+    let ring = RingRecorder::new(8192);
+    // A tiny sleep per evaluation makes every island yield the CPU, so the
+    // threads genuinely interleave even on a single-core runner — without
+    // it, one island can run to the optimum before its peers are scheduled
+    // and no migrant would ever be in flight.
+    let demes: Vec<_> = (0..4)
+        .map(|i| {
+            island(
+                400 + i,
+                30,
+                48,
+                Duration::from_micros(200),
+                Some(ring.clone()),
+            )
+        })
+        .collect();
+    let r = Archipelago::builder()
+        .islands(demes)
+        .topology(Topology::RingBi)
+        .policy(overlap_policy(4, 2))
+        .run_threaded(&Termination::new().until_optimum().max_generations(400))
+        .expect("threaded overlap run");
+    assert!(r.hit_optimum, "best = {}", r.best.fitness());
+    assert!(r.migrants_sent > 0);
+    let drained = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::AsyncImmigrantsDrained { .. }))
+        .count();
+    assert!(drained > 0, "threaded overlap must drain opportunistically");
+}
+
+#[test]
+fn threaded_overlap_has_no_global_barrier() {
+    // One island is ~1000x slower per evaluation. Under a synchronous
+    // rendezvous the fast islands would stall at the first epoch; under
+    // Overlap they must keep evolving at full speed for the whole budget.
+    let slow_delay = Duration::from_millis(2);
+    let demes: Vec<_> = (0..4)
+        .map(|i| {
+            let delay = if i == 0 { slow_delay } else { Duration::ZERO };
+            island(500 + i as u64, 16, 64, delay, None)
+        })
+        .collect();
+    let r = Archipelago::builder()
+        .islands(demes)
+        .topology(Topology::RingBi)
+        .policy(overlap_policy(4, 1))
+        .resilience(ResiliencePolicy::default())
+        .run_threaded(&Termination::new().wall_clock(Duration::from_millis(400)))
+        .expect("threaded overlap run");
+    let slow_gens = r.generations[0];
+    let fast_gens = *r.generations[1..].iter().min().expect("fast islands");
+    // The slow island manages ~12 generations in the budget (16 evals x
+    // 2ms each per generation). Barrier-free fast islands must get far
+    // beyond anything a rendezvous with it would allow.
+    assert!(
+        fast_gens >= slow_gens.saturating_mul(4).max(50),
+        "fast islands stalled: fast={fast_gens} slow={slow_gens}"
+    );
+}

@@ -8,7 +8,7 @@
 //! unreliable, heterogeneous hardware: losing a worker loses time, never
 //! search state.
 //!
-//! Three execution substrates:
+//! Execution substrates:
 //!
 //! * [`RayonEvaluator`] — real shared-memory parallelism on a rayon pool
 //!   (plugs into [`pga_core::Ga`] through the [`pga_core::Evaluator`] seam);
@@ -19,15 +19,24 @@
 //! * [`SimulatedMasterSlaveGa`] — the same evolution driven against the
 //!   `pga-cluster` discrete-event simulator, with a persistent virtual clock
 //!   and hard node failures, for cluster-scale experiments (E02/E07).
+//!
+//! All three of those are *synchronous*: the master waits for a whole batch
+//! before touching the population. [`AsyncSteadyStateGa`] removes that
+//! barrier — results fold into a steady-state population as they arrive,
+//! over either the streaming cluster simulator (deterministic, virtual
+//! clock) or the resilient worker threads (real arrival order). E20
+//! compares the two regimes at equal time.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod async_steady;
 pub mod expensive;
 pub mod rayon_eval;
 pub mod resilient;
 pub mod simulated;
 
+pub use async_steady::{AsyncSteadyBuilder, AsyncSteadyStateGa};
 pub use expensive::ExpensiveFitness;
 pub use rayon_eval::RayonEvaluator;
 pub use resilient::{ResilientBuilder, ResilientEvaluator, ResilientStats};

@@ -46,14 +46,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One unit of work: evaluate `genome`, report fitness.
-struct Task<G> {
-    batch: u64,
-    id: u64,
-    genome: G,
+///
+/// Shared with the asynchronous steady-state engine (`async_steady`), which
+/// runs the same worker loop without the batch barrier.
+pub(crate) struct Task<G> {
+    pub(crate) batch: u64,
+    pub(crate) id: u64,
+    pub(crate) genome: G,
 }
 
 /// Worker → master report stream (one shared channel).
-enum Report {
+pub(crate) enum Report {
     Done {
         worker: usize,
         batch: u64,
@@ -349,7 +352,7 @@ impl<P: Problem> ResilientBuilder<P> {
     }
 }
 
-fn spawn_worker<P: Problem>(
+pub(crate) fn spawn_worker<P: Problem>(
     id: usize,
     problem: Arc<P>,
     fault: WorkerFault,
@@ -895,7 +898,13 @@ mod tests {
             },
             WorkerFault::healthy(),
         ]);
+        // A generous deadline keeps the speculative-retry path out of this
+        // test: on a loaded single-core host the panicking worker may not be
+        // scheduled before the default deadline, and a deadline retry would
+        // complete its task without any panic ever surfacing.
         let eval = ResilientEvaluator::builder(OneMax(32), 2)
+            .task_deadline(Duration::from_secs(5))
+            .heartbeat_timeout(Duration::from_secs(5))
             .fault_plan(plan)
             .recorder(ring.clone())
             .build()

@@ -55,6 +55,8 @@ impl Event {
             | EventKind::IslandLost { island, .. }
             | EventKind::IslandResurrected { island, .. }
             | EventKind::IslandHeartbeatMissed { island }
+            | EventKind::AsyncFold { island, .. }
+            | EventKind::AsyncImmigrantsDrained { island, .. }
             | EventKind::RunFinished { island, .. } => Some(*island),
             EventKind::MigrationSent { from, .. }
             | EventKind::MigrantBatchDropped { from, .. }
@@ -80,7 +82,8 @@ impl Event {
             | EventKind::IslandLost { generation, .. }
             | EventKind::IslandResurrected { generation, .. }
             | EventKind::MigrantBatchDropped { generation, .. }
-            | EventKind::MigrantBatchRedelivered { generation, .. } => Some(*generation),
+            | EventKind::MigrantBatchRedelivered { generation, .. }
+            | EventKind::AsyncImmigrantsDrained { generation, .. } => Some(*generation),
             EventKind::EvaluationBatch { batch, .. } | EventKind::PoolBatch { batch, .. } => {
                 Some(*batch)
             }
@@ -93,7 +96,8 @@ impl Event {
             | EventKind::IslandHeartbeatMissed { .. }
             | EventKind::TaskRetried { .. }
             | EventKind::WorkerQuarantined { .. }
-            | EventKind::WorkerRecovered { .. } => None,
+            | EventKind::WorkerRecovered { .. }
+            | EventKind::AsyncFold { .. } => None,
         }
     }
 
@@ -260,6 +264,28 @@ impl Event {
             EventKind::IslandHeartbeatMissed { island } => {
                 vec![("island", Int(u64::from(*island)))]
             }
+            EventKind::AsyncFold {
+                island,
+                seq,
+                worker,
+                clock_micros,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("seq", Int(*seq)),
+                ("worker", Int(u64::from(*worker))),
+                ("clock_micros", Int(*clock_micros)),
+            ],
+            EventKind::AsyncImmigrantsDrained {
+                island,
+                generation,
+                offered,
+                accepted,
+            } => vec![
+                ("island", Int(u64::from(*island))),
+                ("generation", Int(*generation)),
+                ("offered", Int(*offered)),
+                ("accepted", Int(*accepted)),
+            ],
             EventKind::RunFinished {
                 island,
                 generations,
@@ -486,6 +512,34 @@ pub enum EventKind {
         /// Island id.
         island: u32,
     },
+    /// An asynchronous master folded one arrived evaluation into the
+    /// population without waiting for the rest of any batch (the
+    /// steady-state async hot path; Harada–Alba–Luque semantics).
+    AsyncFold {
+        /// Island/deme id (0 for single-population engines).
+        island: u32,
+        /// 0-based fold sequence number (the arrival-log position).
+        seq: u64,
+        /// Worker/node that produced the result.
+        worker: u32,
+        /// Engine clock when the result was folded — virtual microseconds
+        /// for the simulated backend, wall microseconds since the run
+        /// started for the threaded backend.
+        clock_micros: u64,
+    },
+    /// An island opportunistically drained its immigrant inbox at a
+    /// replacement point mid-epoch (overlap migration) instead of at a
+    /// rendezvous barrier.
+    AsyncImmigrantsDrained {
+        /// Destination island.
+        island: u32,
+        /// Destination island's generation at the drain point.
+        generation: u64,
+        /// Immigrants offered.
+        offered: u64,
+        /// Immigrants accepted by the replacement policy.
+        accepted: u64,
+    },
     /// An engine finished a run.
     RunFinished {
         /// Island/deme id (0 for single-population engines).
@@ -525,6 +579,8 @@ impl EventKind {
             Self::MigrantBatchDropped { .. } => "migrant_batch_dropped",
             Self::MigrantBatchRedelivered { .. } => "migrant_batch_redelivered",
             Self::IslandHeartbeatMissed { .. } => "island_heartbeat_missed",
+            Self::AsyncFold { .. } => "async_fold",
+            Self::AsyncImmigrantsDrained { .. } => "async_immigrants_drained",
             Self::RunFinished { .. } => "run_finished",
         }
     }
@@ -539,7 +595,9 @@ impl EventKind {
             // PoolBatch shares the evaluation slot: it annotates the batch
             // and is recorded immediately after it, so the stable sort in
             // merge_island_traces keeps the pair adjacent.
-            Self::EvaluationBatch { .. } | Self::PoolBatch { .. } => 1,
+            // AsyncFold shares the evaluation slot: each fold is one
+            // arrived evaluation entering the population.
+            Self::EvaluationBatch { .. } | Self::PoolBatch { .. } | Self::AsyncFold { .. } => 1,
             Self::GenerationCompleted { .. } => 2,
             Self::CheckpointHit { .. } => 3,
             // Link-fault effects share the send slot: they annotate the
@@ -547,7 +605,8 @@ impl EventKind {
             Self::MigrationSent { .. }
             | Self::MigrantBatchDropped { .. }
             | Self::MigrantBatchRedelivered { .. } => 4,
-            Self::MigrationReceived { .. } => 5,
+            // Opportunistic drains share the receive slot.
+            Self::MigrationReceived { .. } | Self::AsyncImmigrantsDrained { .. } => 5,
             // Worker-lifecycle kinds carry no generation, so their rank only
             // breaks ties among themselves: dispatch before the failure
             // evidence, failure evidence before the recovery actions.
@@ -677,6 +736,18 @@ mod tests {
                 count: 2,
             },
             EventKind::IslandHeartbeatMissed { island: 1 },
+            EventKind::AsyncFold {
+                island: 0,
+                seq: 41,
+                worker: 3,
+                clock_micros: 123_456,
+            },
+            EventKind::AsyncImmigrantsDrained {
+                island: 1,
+                generation: 16,
+                offered: 2,
+                accepted: 1,
+            },
             EventKind::RunFinished {
                 island: 0,
                 generations: 9,

@@ -395,6 +395,17 @@ impl Recorder for MetricsRecorder {
             EventKind::IslandHeartbeatMissed { .. } => {
                 self.registry.inc("archipelago.heartbeat_misses", 1);
             }
+            EventKind::AsyncFold { clock_micros, .. } => {
+                self.registry.inc("async.folds", 1);
+                self.registry
+                    .set_gauge("async.clock_micros", *clock_micros as f64);
+            }
+            EventKind::AsyncImmigrantsDrained {
+                offered, accepted, ..
+            } => {
+                self.registry.inc("async.immigrants_drained", *offered);
+                self.registry.inc("async.immigrants_accepted", *accepted);
+            }
             _ => {}
         }
     }

@@ -11,6 +11,7 @@
 use std::sync::Arc;
 
 use pga_cellular::CellularGa;
+use pga_cluster::{ClusterSpec, EvalCostModel, NetworkProfile};
 use pga_core::engine::Scheme;
 use pga_core::erased::{erase, BoxedEngine};
 use pga_core::ops::{BitFlip, OnePoint, ReplacementPolicy, Tournament};
@@ -18,6 +19,7 @@ use pga_core::problem::Problem;
 use pga_core::repr::BitString;
 use pga_core::{ConfigError, GaBuilder};
 use pga_island::{Archipelago, MigrationPolicy};
+use pga_master_slave::AsyncSteadyStateGa;
 use pga_observe::JsonlStream;
 use pga_problems::{DeceptiveTrap, OneMax, PPeaks, RoyalRoad};
 use pga_topology::Topology;
@@ -140,6 +142,34 @@ where
                 .map_err(config_err)?;
             Ok(erase(arch))
         }
+        EngineSpec::AsyncSteady { pop, workers } => {
+            // The virtual-cluster backend keeps the job deterministic and
+            // snapshotable — both required by the spool — while still
+            // exercising barrier-free arrival-order folding. Worker speeds
+            // and evaluation costs are heterogeneous (seeded by the job
+            // seed) so slices genuinely interleave in-flight work.
+            let cluster = ClusterSpec::heterogeneous(
+                *workers,
+                3.0,
+                spec.seed,
+                NetworkProfile::GigabitEthernet,
+            )
+            .map_err(config_err)?;
+            let cost = EvalCostModel::uniform(5e-4, 5e-3).map_err(config_err)?;
+            let mut ga = AsyncSteadyStateGa::builder(problem)
+                .seed(spec.seed)
+                .pop_size(*pop)
+                .selection(Tournament::binary())
+                .crossover(OnePoint)
+                .mutation(BitFlip::one_over_len(len))
+                .virtual_cluster(cluster, cost)
+                .build()
+                .map_err(config_err)?;
+            if let Some(s) = stream {
+                ga.set_recorder(s);
+            }
+            Ok(erase(ga))
+        }
     }
 }
 
@@ -171,6 +201,10 @@ mod tests {
             EngineSpec::SteadyState { pop: 16 },
             EngineSpec::Cellular { rows: 4, cols: 4 },
             EngineSpec::Island { islands: 3, pop: 8 },
+            EngineSpec::AsyncSteady {
+                pop: 16,
+                workers: 4,
+            },
         ] {
             let s = spec(engine.clone());
             let built = build_engine(&s, None).expect("buildable spec");

@@ -533,6 +533,16 @@ pub enum EngineSpec {
         /// Population per island.
         pop: usize,
     },
+    /// Barrier-free asynchronous steady-state master–slave GA over the
+    /// streaming cluster simulator (`workers` virtual evaluation nodes):
+    /// results fold into the population as they arrive instead of at a
+    /// batch barrier, under a deterministic virtual clock.
+    AsyncSteady {
+        /// Population size.
+        pop: usize,
+        /// Virtual worker nodes evaluating in flight.
+        workers: usize,
+    },
 }
 
 impl EngineSpec {
@@ -544,6 +554,7 @@ impl EngineSpec {
             Self::SteadyState { .. } => "steady",
             Self::Cellular { .. } => "cellular",
             Self::Island { .. } => "island",
+            Self::AsyncSteady { .. } => "async-steady",
         }
     }
 
@@ -555,6 +566,7 @@ impl EngineSpec {
             Self::Ga { .. } | Self::SteadyState { .. } => "ga",
             Self::Cellular { .. } => "cellular",
             Self::Island { .. } => "archipelago",
+            Self::AsyncSteady { .. } => "async-steady",
         }
     }
 
@@ -573,6 +585,10 @@ impl EngineSpec {
             Self::Island { islands, pop } => {
                 fields.push(("islands".into(), Json::Num(*islands as f64)));
                 fields.push(("pop".into(), Json::Num(*pop as f64)));
+            }
+            Self::AsyncSteady { pop, workers } => {
+                fields.push(("pop".into(), Json::Num(*pop as f64)));
+                fields.push(("workers".into(), Json::Num(*workers as f64)));
             }
         }
         Json::Obj(fields)
@@ -627,9 +643,15 @@ impl EngineSpec {
                 islands: dim("islands", "engine.islands", Some(4))?,
                 pop: dim("pop", "engine.pop", None)?,
             }),
+            "async-steady" => Ok(Self::AsyncSteady {
+                pop: dim("pop", "engine.pop", None)?,
+                workers: dim("workers", "engine.workers", Some(4))?,
+            }),
             other => Err(ProtocolError::Invalid {
                 field: "engine.family",
-                message: format!("unknown family `{other}` (known: ga, steady, cellular, island)"),
+                message: format!(
+                    "unknown family `{other}` (known: ga, steady, cellular, island, async-steady)"
+                ),
             }),
         }
     }
@@ -854,6 +876,10 @@ mod tests {
                 islands: 3,
                 pop: 10,
             },
+            EngineSpec::AsyncSteady {
+                pop: 24,
+                workers: 6,
+            },
         ];
         for problem in &problems {
             for engine in &engines {
@@ -949,6 +975,24 @@ mod tests {
         assert_eq!(
             EngineSpec::Island { islands: 2, pop: 2 }.snapshot_tag(),
             "archipelago"
+        );
+        assert_eq!(
+            EngineSpec::AsyncSteady { pop: 2, workers: 2 }.snapshot_tag(),
+            "async-steady"
+        );
+    }
+
+    #[test]
+    fn async_steady_workers_default_to_four() {
+        let text = r#"{"tenant":"t","problem":{"kind":"onemax","len":8},
+            "engine":{"family":"async-steady","pop":12},"budget":{"generations":5}}"#;
+        let spec = JobSpec::from_json_str(text).unwrap();
+        assert_eq!(
+            spec.engine,
+            EngineSpec::AsyncSteady {
+                pop: 12,
+                workers: 4
+            }
         );
     }
 }

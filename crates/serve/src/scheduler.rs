@@ -165,6 +165,9 @@ struct SliceTask {
     first_slice: bool,
     // Filled in by the slice:
     steps_run: u64,
+    /// Evaluations folded into the population this slice (poll-step
+    /// progress; equals step-count × population for synchronous engines).
+    evals_folded: u64,
     slice_time: Duration,
     end: SliceEnd,
     progress: JobProgress,
@@ -665,6 +668,7 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
             prior_steps: job.steps,
             first_slice,
             steps_run: 0,
+            evals_folded: 0,
             slice_time: Duration::ZERO,
             end: SliceEnd::Yield,
             progress: job.progress,
@@ -674,11 +678,17 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
     batch
 }
 
-/// Runs one slice: check-then-step until the termination rule fires,
+/// Runs one slice: check-then-poll until the termination rule fires,
 /// the cancel flag is seen, or the allowance is spent. Mirrors the core
 /// driver's loop exactly, with elapsed time measured as the job's
 /// *accumulated active* time (so queueing delay never consumes a
 /// wall-clock budget).
+///
+/// Engines are advanced through [`Engine::poll_step`], not `step`, so
+/// asynchronous engines are charged on evaluations actually folded
+/// rather than on generation barriers: a poll that folds in-flight work
+/// without closing a generation still spends allowance, and a poll that
+/// finds nothing ready yields the slice instead of spinning.
 fn run_slice(task: &mut SliceTask) {
     let Some(engine) = task.engine.as_mut() else {
         task.end = SliceEnd::Failed("slice dispatched without an engine".into());
@@ -690,6 +700,7 @@ fn run_slice(task: &mut SliceTask) {
         }
         let start = Instant::now();
         let mut steps_run = 0u64;
+        let mut evals_folded = 0u64;
         let end = loop {
             let elapsed = match engine.clock() {
                 Clock::Wall => task.consumed + start.elapsed(),
@@ -708,7 +719,13 @@ fn run_slice(task: &mut SliceTask) {
             if steps_run >= task.allowance {
                 break SliceEnd::Yield;
             }
-            engine.step();
+            let poll = engine.poll_step();
+            if poll.folded == 0 && poll.report.is_none() {
+                // Nothing was ready to fold: yield the slice rather than
+                // busy-wait on in-flight evaluations.
+                break SliceEnd::Yield;
+            }
+            evals_folded += poll.folded;
             steps_run += 1;
         };
         if matches!(end, SliceEnd::Done(_) | SliceEnd::Cancelled) {
@@ -723,6 +740,7 @@ fn run_slice(task: &mut SliceTask) {
         (
             end,
             steps_run,
+            evals_folded,
             slice_time,
             JobProgress {
                 generations: p.generations,
@@ -734,9 +752,10 @@ fn run_slice(task: &mut SliceTask) {
         )
     }));
     match result {
-        Ok((end, steps_run, slice_time, progress, snapshot)) => {
+        Ok((end, steps_run, evals_folded, slice_time, progress, snapshot)) => {
             task.end = end;
             task.steps_run = steps_run;
+            task.evals_folded = evals_folded;
             task.slice_time = slice_time;
             task.progress = progress;
             task.snapshot = Some(snapshot);
@@ -819,6 +838,7 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
             for task in batch {
                 reg.inc("serve.slices", 1);
                 reg.inc("serve.steps", task.steps_run);
+                reg.inc("serve.evals_folded", task.evals_folded);
                 reg.observe("serve.slice_micros", task.slice_time.as_micros() as f64);
                 if let Some(t) = st.tenants.get_mut(&task.tenant) {
                     t.deficit = t.deficit.saturating_sub(task.steps_run);

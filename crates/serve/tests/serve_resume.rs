@@ -74,6 +74,17 @@ fn family_specs(generations: u64) -> Vec<JobSpec> {
             },
             generations,
         ),
+        // Barrier-free asynchronous family: folds arrive under a virtual
+        // clock, so spool resume must also restore in-flight work.
+        spec(
+            "gamma",
+            15,
+            EngineSpec::AsyncSteady {
+                pop: 20,
+                workers: 4,
+            },
+            generations,
+        ),
     ]
 }
 

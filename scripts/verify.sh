@@ -56,4 +56,34 @@ timeout 300 cargo test -q -p pga-serve --release --test serve_resume
 echo "==> e19 serve load smoke (quick mode: no results files rewritten)"
 timeout 300 cargo run -q --release -p pga-bench --bin e19_serve_load -- --quick > /dev/null
 
+echo "==> async steady-state acceptance suite (release, timeout-guarded)"
+# Includes the stalled-worker no-barrier test: meaningful only under a timeout.
+timeout 300 cargo test -q -p pga-master-slave --release --test async_steady
+
+echo "==> overlap migration suite (release, timeout-guarded)"
+timeout 300 cargo test -q -p pga-island --release --test overlap_migration
+
+echo "==> e20 async fairness smoke (quick mode: no results files rewritten)"
+# Quick mode still asserts async rate >= sync at 4 workers and overlap > sync islands.
+timeout 300 cargo run -q --release -p pga-bench --bin e20_async_fairness -- --quick > /dev/null
+
+echo "==> BENCH_async.json fairness gate (async >= sync at every worker count >= 4)"
+# Re-run 'cargo run --release -p pga-bench --bin e20_async_fairness' (full
+# mode) to refresh the file; the gate checks the recorded virtual sweep.
+awk '/"workers"/ && /sync_evals_per_s/ {
+    w = s = a = 0
+    if (match($0, /"workers": [0-9]+/))          w = substr($0, RSTART + 11, RLENGTH - 11) + 0
+    if (match($0, /"sync_evals_per_s": [0-9.]+/)) s = substr($0, RSTART + 20, RLENGTH - 20) + 0
+    if (match($0, /"async_evals_per_s": [0-9.]+/)) a = substr($0, RSTART + 21, RLENGTH - 21) + 0
+    if (w >= 4) {
+        n++
+        if (a < s) { print "async slower than sync at " w " workers: " a " < " s; bad = 1 }
+    }
+}
+END {
+    if (n == 0) { print "no gated virtual-sweep rows found"; exit 1 }
+    if (bad) exit 1
+    print n " virtual-sweep rows at >= 4 workers, async >= sync on all"
+}' results/BENCH_async.json
+
 echo "verify: OK"

@@ -34,10 +34,10 @@ pub use pga_observe::{
     Recorder, RingRecorder, SharedRecorder,
 };
 
-// Master–slave evaluation substrates.
+// Master–slave evaluation substrates (sync batch and async steady-state).
 pub use pga_master_slave::{
-    ExpensiveFitness, RayonEvaluator, ResilientBuilder, ResilientEvaluator, ResilientStats,
-    SimulatedMasterSlaveGa,
+    AsyncSteadyBuilder, AsyncSteadyStateGa, ExpensiveFitness, RayonEvaluator, ResilientBuilder,
+    ResilientEvaluator, ResilientStats, SimulatedMasterSlaveGa,
 };
 
 // Island (coarse-grained) model.
@@ -67,9 +67,9 @@ pub use pga_serve::{
 // Topologies and neighborhoods.
 pub use pga_topology::{CellNeighborhood, Topology};
 
-// Cluster failure models shared by simulator and resilient runtimes.
+// Cluster failure and cost models shared by simulator and resilient runtimes.
 pub use pga_cluster::{
-    ClusterSpec, FailurePlan, FaultPlan, IslandFault, LinkFault, MigrationFaultPlan,
+    ClusterSpec, EvalCostModel, FailurePlan, FaultPlan, IslandFault, LinkFault, MigrationFaultPlan,
     NetworkProfile, WorkerFault,
 };
 

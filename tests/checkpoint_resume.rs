@@ -5,12 +5,13 @@
 //! rejected with typed errors, never a panic.
 
 use parallel_ga::cellular::CellularGa;
-use parallel_ga::cluster::{ClusterSpec, FailurePlan, NetworkProfile};
+use parallel_ga::cluster::{ClusterSpec, EvalCostModel, FailurePlan, NetworkProfile};
 use parallel_ga::core::ops::{BitFlip, BlxAlpha, GaussianMutation, OnePoint, Sbx, Tournament};
 use parallel_ga::core::{Bounds, Engine, Ga, GaBuilder, Scheme, Snapshot, SnapshotError};
 use parallel_ga::hierarchical::{BlurredFidelity, Hga, HgaConfig, LevelView};
 use parallel_ga::island::{Archipelago, MigrationPolicy};
-use parallel_ga::master_slave::SimulatedMasterSlaveGa;
+use parallel_ga::island::{EmigrantSelection, SyncMode};
+use parallel_ga::master_slave::{AsyncSteadyStateGa, SimulatedMasterSlaveGa};
 use parallel_ga::multiobjective::{MoEngine, Zdt};
 use parallel_ga::problems::{DeceptiveTrap, OneMax, RealFunction, RealProblem};
 use parallel_ga::topology::Topology;
@@ -188,6 +189,92 @@ fn simulated_master_slave_resumes_bit_identically() {
         16,
         5,
     );
+}
+
+fn async_steady(seed: u64) -> AsyncSteadyStateGa<Arc<OneMax>> {
+    let cluster =
+        ClusterSpec::heterogeneous(5, 3.0, 7, NetworkProfile::FastEthernet).expect("valid cluster");
+    let cost = EvalCostModel::bimodal(0.01, 0.2, 0.25).expect("valid cost model");
+    AsyncSteadyStateGa::builder(Arc::new(OneMax::new(48)))
+        .seed(seed)
+        .pop_size(24)
+        .selection(Tournament::binary())
+        .crossover(OnePoint)
+        .mutation(BitFlip::one_over_len(48))
+        .virtual_cluster(cluster, cost)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn async_steady_resumes_bit_identically() {
+    // The split point leaves evaluations in flight on the virtual nodes;
+    // the snapshot must carry them (and the arrival clock) for the resumed
+    // run to fold results in the identical order.
+    assert_bit_identical_resume(|| async_steady(17), 18, 7);
+}
+
+#[test]
+fn overlap_archipelago_resumes_bit_identically() {
+    assert_bit_identical_resume(
+        || {
+            let problem = Arc::new(DeceptiveTrap::new(4, 8));
+            let islands = (0..4)
+                .map(|i| {
+                    GaBuilder::new(Arc::clone(&problem))
+                        .seed(60 + i)
+                        .pop_size(20)
+                        .selection(Tournament::binary())
+                        .crossover(OnePoint)
+                        .mutation(BitFlip::one_over_len(32))
+                        .scheme(Scheme::Generational { elitism: 1 })
+                        .build()
+                        .expect("valid configuration")
+                })
+                .collect();
+            let policy = MigrationPolicy {
+                interval: 8,
+                count: 2,
+                emigrant: EmigrantSelection::Best,
+                replacement: parallel_ga::core::ops::ReplacementPolicy::WorstIfBetter,
+                sync: SyncMode::Overlap,
+            };
+            Archipelago::new(islands, Topology::RingUni, policy)
+                .expect("valid island configuration")
+        },
+        // Splits exactly at an epoch boundary, while migrants are in
+        // flight toward the next generation's replacement point.
+        20,
+        8,
+    );
+}
+
+#[test]
+fn async_steady_rejects_wrong_engine_and_mismatched_cluster() {
+    let sequential = onemax_ga(1);
+    let mut engine = async_steady(2);
+    assert!(matches!(
+        engine.restore(&sequential.snapshot()),
+        Err(SnapshotError::WrongEngine { .. })
+    ));
+    // Same engine family, different virtual node count: typed rejection.
+    let other = {
+        let cluster = ClusterSpec::homogeneous(3, NetworkProfile::FastEthernet).expect("valid");
+        let cost = EvalCostModel::fixed(0.01).expect("valid cost model");
+        AsyncSteadyStateGa::builder(Arc::new(OneMax::new(48)))
+            .seed(2)
+            .pop_size(24)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(48))
+            .virtual_cluster(cluster, cost)
+            .build()
+            .expect("valid configuration")
+    };
+    assert!(matches!(
+        engine.restore(&other.snapshot()),
+        Err(SnapshotError::Invalid(_))
+    ));
 }
 
 #[test]

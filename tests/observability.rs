@@ -2,9 +2,11 @@
 //! recorders must not perturb any RNG stream, so instrumented and plain
 //! runs of the same seed must produce identical search results.
 
+use parallel_ga::cluster::{ClusterSpec, EvalCostModel, NetworkProfile};
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
-use parallel_ga::core::{GaBuilder, Scheme, SerialEvaluator, Termination};
-use parallel_ga::island::{Archipelago, MigrationPolicy};
+use parallel_ga::core::{Engine, GaBuilder, Scheme, SerialEvaluator, Termination};
+use parallel_ga::island::{Archipelago, MigrationPolicy, SyncMode};
+use parallel_ga::master_slave::AsyncSteadyStateGa;
 use parallel_ga::observe::{EventKind, RingRecorder};
 use parallel_ga::problems::OneMax;
 use parallel_ga::topology::Topology;
@@ -95,4 +97,102 @@ fn recorder_attach_detach_does_not_change_island_run() {
         })
         .sum();
     assert_eq!(sent, observed.migrants_sent);
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_async_steady_run() {
+    // The async engine emits one `async_fold` per folded result, so it is
+    // the highest-volume event source in the workspace — and the fold
+    // order (hence the whole search) must still be recorder-independent,
+    // down to identical snapshot bytes.
+    let build = |ring: Option<RingRecorder>| {
+        let cluster = ClusterSpec::heterogeneous(4, 3.0, 9, NetworkProfile::FastEthernet)
+            .expect("valid cluster");
+        let cost = EvalCostModel::bimodal(0.01, 0.2, 0.2).expect("valid cost model");
+        let mut b = AsyncSteadyStateGa::builder(Arc::new(OneMax::new(GENOME)))
+            .seed(77)
+            .pop_size(32)
+            .selection(Tournament::binary())
+            .crossover(OnePoint)
+            .mutation(BitFlip::one_over_len(GENOME))
+            .virtual_cluster(cluster, cost);
+        if let Some(r) = ring {
+            b = b.recorder(r);
+        }
+        b.build().expect("valid configuration")
+    };
+
+    let mut plain = build(None);
+    let ring = RingRecorder::new(1 << 15);
+    let mut observed = build(Some(ring.clone()));
+    for _ in 0..12 {
+        plain.step();
+        observed.step();
+    }
+    // Mid-run detach must also be inert.
+    let detached = observed.take_recorder();
+    assert!(detached.is_some(), "recorder was attached");
+    for _ in 0..4 {
+        plain.step();
+        observed.step();
+    }
+
+    assert_eq!(plain.evaluations(), observed.evaluations());
+    assert_eq!(plain.best_ever().fitness(), observed.best_ever().fitness());
+    assert_eq!(
+        plain.snapshot().to_bytes(),
+        observed.snapshot().to_bytes(),
+        "recorder attach/detach changed the async trajectory"
+    );
+    let folds = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::AsyncFold { .. }))
+        .count();
+    assert_eq!(
+        folds,
+        12 * 32,
+        "one async_fold per folded result while attached"
+    );
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_overlap_island_run() {
+    let stop = Termination::new().max_generations(60);
+    let policy = MigrationPolicy {
+        interval: 8,
+        sync: SyncMode::Overlap,
+        ..MigrationPolicy::default()
+    };
+
+    let run = |record: bool| {
+        let ring = RingRecorder::new(1 << 16);
+        let islands = (0..4)
+            .map(|i| {
+                let builder = ga(200 + i);
+                if record {
+                    builder.recorder(ring.clone()).build().unwrap()
+                } else {
+                    builder.build().unwrap()
+                }
+            })
+            .collect();
+        let mut arch = Archipelago::new(islands, Topology::RingUni, policy).unwrap();
+        (arch.run(&stop).unwrap(), ring)
+    };
+
+    let (plain, _) = run(false);
+    let (observed, ring) = run(true);
+
+    assert_eq!(plain.total_evaluations, observed.total_evaluations);
+    assert_eq!(plain.best.fitness(), observed.best.fitness());
+    assert_eq!(plain.per_island_best, observed.per_island_best);
+    assert_eq!(plain.migrants_sent, observed.migrants_sent);
+    assert_eq!(plain.migrants_accepted, observed.migrants_accepted);
+    assert!(
+        ring.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::AsyncImmigrantsDrained { .. })),
+        "overlap runs must trace opportunistic drains"
+    );
 }
