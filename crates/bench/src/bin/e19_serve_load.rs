@@ -38,11 +38,8 @@ fn spool(tag: &str) -> PathBuf {
 fn job(tenant: usize, index: usize, generations: u64) -> JobSpec {
     JobSpec {
         tenant: format!("tenant-{tenant:02}"),
-        problem: ProblemSpec::OneMax { len: 64 },
-        engine: EngineSpec::Ga {
-            pop: 32,
-            elitism: 1,
-        },
+        problem: ProblemSpec::onemax(64),
+        engine: EngineSpec::ga(32, 1),
         seed: (1 + tenant as u64) * 1000 + index as u64,
         budget: Budget {
             generations: Some(generations),

@@ -1,43 +1,42 @@
 //! A minimal deterministic discrete-event queue.
+//!
+//! Events are indexed in a flat 8-ary min-heap keyed by
+//! `(time, insertion sequence)`. An 8-ary layout keeps all children of a
+//! node in one or two cache lines and cuts the tree depth to a quarter of
+//! a binary heap's, which is what keeps per-event dispatch cost
+//! near-flat when a simulation holds thousands of in-flight events
+//! (4 096 events: depth 4 instead of 12).
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+/// Heap arity: children of node `i` are `8i + 1 ..= 8i + 8`.
+const D: usize = 8;
 
 /// An event queue ordered by time, with FIFO tie-breaking on equal
 /// timestamps (insertion sequence), which keeps simulations deterministic
 /// even when many events share a timestamp.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Flat d-ary min-heap of `(total-order time bits, sequence, event)`.
+    heap: Vec<(u64, u64, E)>,
     seq: u64,
 }
 
-#[derive(Debug)]
-struct Entry<E> {
-    time: f64,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+/// Monotone map from `f64` to `u64` (IEEE-754 total order): `a < b` ⇔
+/// `time_key(a) < time_key(b)` for every non-NaN time, negatives included.
+fn time_key(t: f64) -> u64 {
+    let bits = t.to_bits();
+    if bits >> 63 == 0 {
+        bits ^ (1u64 << 63)
+    } else {
+        !bits
     }
 }
-impl<E> Eq for Entry<E> {}
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for min-heap behaviour on a max-heap.
-        other
-            .time
-            .total_cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+/// Inverse of [`time_key`].
+fn key_time(k: u64) -> f64 {
+    if k >> 63 == 1 {
+        f64::from_bits(k ^ (1u64 << 63))
+    } else {
+        f64::from_bits(!k)
     }
 }
 
@@ -46,7 +45,7 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
         }
     }
@@ -54,24 +53,30 @@ impl<E> EventQueue<E> {
     /// Schedules `event` at absolute `time`. NaN times are rejected.
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(!time.is_nan(), "NaN event time");
-        self.heap.push(Entry {
-            time,
-            seq: self.seq,
-            event,
-        });
+        self.heap.push((time_key(time), self.seq, event));
         self.seq += 1;
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Pops the earliest event as `(time, event)`.
     #[allow(clippy::should_implement_trait)] // fallible pop, not an Iterator
     pub fn next(&mut self) -> Option<(f64, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let (key, _, event) = self.heap.pop().expect("checked non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((key_time(key), event))
     }
 
     /// Earliest scheduled time without popping.
     #[must_use]
     pub fn peek_time(&self) -> Option<f64> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|&(k, _, _)| key_time(k))
     }
 
     /// Pending event count.
@@ -84,6 +89,64 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    fn rank(&self, i: usize) -> (u64, u64) {
+        let (k, s, _) = self.heap[i];
+        (k, s)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / D;
+            if self.rank(i) >= self.rank(parent) {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = D * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut min = first;
+            let mut min_rank = self.rank(first);
+            let end = (first + D).min(len);
+            for c in first + 1..end {
+                let r = self.rank(c);
+                if r < min_rank {
+                    min = c;
+                    min_rank = r;
+                }
+            }
+            if min_rank >= self.rank(i) {
+                break;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
+    }
+
+    /// Pops the minimum and immediately schedules `event` at `time` in one
+    /// root-replacement sift instead of a pop + push pair. Equivalent to
+    /// `next()` followed by `schedule(time, event)`; the fused form halves
+    /// the heap traffic on the hot completion→assignment path.
+    pub fn replace_root(&mut self, time: f64, event: E) -> Option<(f64, E)> {
+        assert!(!time.is_nan(), "NaN event time");
+        if self.heap.is_empty() {
+            self.schedule(time, event);
+            return None;
+        }
+        let entry = (time_key(time), self.seq, event);
+        self.seq += 1;
+        let popped = std::mem::replace(&mut self.heap[0], entry);
+        self.sift_down(0);
+        Some((key_time(popped.0), popped.2))
     }
 }
 

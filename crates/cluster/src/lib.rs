@@ -29,6 +29,7 @@ pub mod island_sim;
 pub mod master_slave_sim;
 pub mod migration_fault;
 pub mod network;
+pub mod node_index;
 pub mod observe_bridge;
 pub mod spec;
 
@@ -40,5 +41,6 @@ pub use island_sim::{simulate_async_islands, simulate_sync_islands, IslandSimCon
 pub use master_slave_sim::{BatchReport, MasterSlaveSim, TraceEvent};
 pub use migration_fault::{IslandFault, LinkEffect, LinkFault, MigrationFaultPlan};
 pub use network::NetworkProfile;
+pub use node_index::{MinTimeIndex, NodeIndex};
 pub use observe_bridge::observe_events;
 pub use spec::{ClusterSpec, FailurePlan};

@@ -14,6 +14,7 @@
 
 use crate::event::EventQueue;
 use crate::network::NetworkProfile;
+use crate::node_index::NodeIndex;
 use crate::spec::{ClusterSpec, FailurePlan};
 use std::collections::VecDeque;
 
@@ -86,11 +87,52 @@ impl BatchReport {
     }
 }
 
-#[derive(Debug)]
-enum Ev {
-    ResultArrived { task: usize, node: usize },
-    NodeFailed { node: usize },
-    LossDetected { task: usize },
+/// Event payload packed into one word so heap entries stay 24 bytes —
+/// at 4 096+ in-flight events the queue's cache footprint, not its
+/// asymptotics, is what shows up on the wall clock.
+/// Layout: bits 62–63 tag, bits 42–61 node (< 2^20), bits 0–41 task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev(u64);
+
+impl Ev {
+    const TAG_RESULT: u64 = 0;
+    const TAG_NODE_FAILED: u64 = 1;
+    const TAG_LOSS: u64 = 2;
+    const NODE_BITS: u32 = 20;
+    const TASK_BITS: u32 = 42;
+
+    fn result_arrived(task: usize, node: usize) -> Self {
+        Self::pack(Self::TAG_RESULT, node, task)
+    }
+
+    fn node_failed(node: usize) -> Self {
+        Self::pack(Self::TAG_NODE_FAILED, node, 0)
+    }
+
+    fn loss_detected(task: usize) -> Self {
+        Self::pack(Self::TAG_LOSS, 0, task)
+    }
+
+    fn pack(tag: u64, node: usize, task: usize) -> Self {
+        debug_assert!(node < (1 << Self::NODE_BITS), "node id {node} too large");
+        debug_assert!(
+            (task as u64) < (1 << Self::TASK_BITS),
+            "task id {task} too large"
+        );
+        Self(tag << 62 | (node as u64) << Self::TASK_BITS | task as u64)
+    }
+
+    fn tag(self) -> u64 {
+        self.0 >> 62
+    }
+
+    fn node(self) -> usize {
+        (self.0 >> Self::TASK_BITS & ((1 << Self::NODE_BITS) - 1)) as usize
+    }
+
+    fn task(self) -> usize {
+        (self.0 & ((1 << Self::TASK_BITS) - 1)) as usize
+    }
 }
 
 /// Simulator for master–slave batches over a cluster + failure plan.
@@ -102,6 +144,8 @@ pub struct MasterSlaveSim {
     pub task_bytes: u64,
     /// Bytes of each returned result.
     pub result_bytes: u64,
+    /// Whether [`BatchReport::trace`] is recorded (on by default).
+    record_trace: bool,
 }
 
 impl MasterSlaveSim {
@@ -114,6 +158,7 @@ impl MasterSlaveSim {
             failures,
             task_bytes: 256,
             result_bytes: 16,
+            record_trace: true,
         }
     }
 
@@ -122,6 +167,15 @@ impl MasterSlaveSim {
     pub fn with_message_sizes(mut self, task_bytes: u64, result_bytes: u64) -> Self {
         self.task_bytes = task_bytes;
         self.result_bytes = result_bytes;
+        self
+    }
+
+    /// Enables or disables trace recording. Dispatch decisions are
+    /// unaffected; with tracing off, [`BatchReport::trace`] comes back
+    /// empty and 10 000-node sweeps stop paying for per-event pushes.
+    #[must_use]
+    pub fn with_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
         self
     }
 
@@ -158,7 +212,10 @@ impl MasterSlaveSim {
         let mut queue = EventQueue::new();
         let mut pending: VecDeque<usize> = (0..tasks.len()).collect();
         let mut alive = vec![true; n_nodes];
-        let mut free = vec![true; n_nodes];
+        // Lowest free live node in O(levels) — the indexed replacement
+        // for the per-assignment `(0..n).find(|i| alive && free)` scan
+        // that made big batches O(tasks · nodes).
+        let mut ready = NodeIndex::full(n_nodes);
         let mut busy = vec![0.0; n_nodes];
         let mut trace = Vec::new();
         let mut failed_nodes = Vec::new();
@@ -168,14 +225,14 @@ impl MasterSlaveSim {
         // The master's outgoing link frees up after each task send.
         let mut link_free = start;
 
-        #[allow(clippy::needless_range_loop)] // `node` is a node id, not a slice index
-        for node in 0..n_nodes {
+        for (node, live) in alive.iter_mut().enumerate() {
             if let Some(t) = self.failures.fail_time(node) {
                 if t <= start {
-                    alive[node] = false;
+                    *live = false;
+                    ready.remove(node);
                     failed_nodes.push(node);
                 } else {
-                    queue.schedule(t, Ev::NodeFailed { node });
+                    queue.schedule(t, Ev::node_failed(node));
                 }
             }
         }
@@ -189,16 +246,18 @@ impl MasterSlaveSim {
                     if pending.is_empty() {
                         break;
                     }
-                    let Some(node) = (0..n_nodes).find(|&i| alive[i] && free[i]) else {
+                    let Some(node) = ready.first() else {
                         break;
                     };
                     let task = pending.pop_front().expect("checked non-empty");
-                    free[node] = false;
-                    trace.push(TraceEvent::Assigned {
-                        time: now,
-                        task,
-                        node,
-                    });
+                    ready.remove(node);
+                    if self.record_trace {
+                        trace.push(TraceEvent::Assigned {
+                            time: now,
+                            task,
+                            node,
+                        });
+                    }
                     // Serialize on the master's outgoing link.
                     let depart = now.max(link_free);
                     let send_time = self.net().transfer_time(self.task_bytes);
@@ -209,14 +268,14 @@ impl MasterSlaveSim {
                         Some(ft) if ft < compute_end => {
                             // Task dies with the node; master notices one
                             // latency after the crash.
-                            queue.schedule(ft + self.net().latency(), Ev::LossDetected { task });
+                            queue.schedule(ft + self.net().latency(), Ev::loss_detected(task));
                             busy[node] += (ft - arrive).max(0.0);
                         }
                         _ => {
                             busy[node] += tasks[task] / self.spec.speeds[node];
                             let result_at =
                                 compute_end + self.net().transfer_time(self.result_bytes);
-                            queue.schedule(result_at, Ev::ResultArrived { task, node });
+                            queue.schedule(result_at, Ev::result_arrived(task, node));
                         }
                     }
                 }
@@ -226,27 +285,40 @@ impl MasterSlaveSim {
         assign_all!(start);
 
         while let Some((now, ev)) = queue.next() {
-            match ev {
-                Ev::ResultArrived { task, node } => {
+            match ev.tag() {
+                Ev::TAG_RESULT => {
+                    let (task, node) = (ev.task(), ev.node());
                     completed += 1;
                     makespan = makespan.max(now);
-                    trace.push(TraceEvent::Completed {
-                        time: now,
-                        task,
-                        node,
-                    });
-                    free[node] = true;
+                    if self.record_trace {
+                        trace.push(TraceEvent::Completed {
+                            time: now,
+                            task,
+                            node,
+                        });
+                    }
+                    if alive[node] {
+                        ready.insert(node);
+                    }
                     assign_all!(now);
                 }
-                Ev::NodeFailed { node } => {
+                Ev::TAG_NODE_FAILED => {
+                    let node = ev.node();
                     alive[node] = false;
+                    ready.remove(node);
                     failed_nodes.push(node);
-                    trace.push(TraceEvent::NodeFailed { time: now, node });
+                    if self.record_trace {
+                        trace.push(TraceEvent::NodeFailed { time: now, node });
+                    }
                 }
-                Ev::LossDetected { task } => {
+                _ => {
+                    debug_assert_eq!(ev.tag(), Ev::TAG_LOSS);
+                    let task = ev.task();
                     reassignments += 1;
                     makespan = makespan.max(now);
-                    trace.push(TraceEvent::Requeued { time: now, task });
+                    if self.record_trace {
+                        trace.push(TraceEvent::Requeued { time: now, task });
+                    }
                     pending.push_back(task);
                     assign_all!(now);
                 }

@@ -1,0 +1,290 @@
+//! Indexed node-lookup structures for O(log n)-ish event dispatch.
+//!
+//! Both simulators originally found their next dispatch target with a
+//! linear scan over all nodes (`(0..n).find(|i| alive && free)` in the
+//! batch simulator, a full `free_at` min-scan in the streaming one).
+//! Each scan is O(n), and one scan runs per *task*, so a batch of `k·n`
+//! tasks costs O(k·n²) — invisible at the 8–64 nodes the simulators were
+//! born at, and the whole wall clock at 4 096–10 000 nodes. These two
+//! structures replace the scans:
+//!
+//! * [`NodeIndex`] — a hierarchical 64-ary bitset answering "lowest
+//!   ready node id" in O(levels) (2 levels up to 4 096 nodes, 3 up to
+//!   262 144), with O(levels) insert/remove.
+//! * [`MinTimeIndex`] — an ordered `(time, node)` set answering "node
+//!   that frees up earliest, lowest id on ties" in O(log n).
+//!
+//! Both preserve the scans' tie-breaking exactly, so simulator traces
+//! are bit-identical to the pre-index implementation.
+
+use std::collections::BTreeSet;
+
+/// Hierarchical bitset over node ids `0..capacity`.
+///
+/// Level 0 stores one bit per node; every higher level stores one summary
+/// bit per 64-bit word below it, up to a single root word. `first` walks
+/// down from the root with `trailing_zeros`, so "lowest set id" costs one
+/// word inspection per level instead of a scan.
+#[derive(Clone, Debug)]
+pub struct NodeIndex {
+    /// `levels[0]` is the leaf bitmap; `levels[k][w]` has bit `b` set iff
+    /// word `levels[k-1][64·w + b]` is non-zero. The top level is always
+    /// a single word.
+    levels: Vec<Vec<u64>>,
+    capacity: usize,
+}
+
+impl NodeIndex {
+    /// An index over ids `0..n` with no members.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        let mut levels = Vec::new();
+        let mut words = n.div_ceil(64).max(1);
+        levels.push(vec![0u64; words]);
+        while words > 1 {
+            words = words.div_ceil(64);
+            levels.push(vec![0u64; words]);
+        }
+        Self {
+            levels,
+            capacity: n,
+        }
+    }
+
+    /// An index over ids `0..n` with every id present.
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut idx = Self::empty(n);
+        for i in 0..n {
+            idx.insert(i);
+        }
+        idx
+    }
+
+    /// Highest id this index can hold plus one.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` when no id is present.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        // The top level is a single word by construction.
+        self.levels[self.levels.len() - 1][0] == 0
+    }
+
+    /// `true` when `i` is present.
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity, "id {i} out of range {}", self.capacity);
+        self.levels[0][i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Adds `i` (no-op when already present).
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity, "id {i} out of range {}", self.capacity);
+        let mut idx = i;
+        for level in &mut self.levels {
+            let word = idx / 64;
+            let had = level[word];
+            level[word] = had | (1u64 << (idx % 64));
+            if had != 0 {
+                // The word was already non-empty, so every summary bit
+                // above it is already set.
+                break;
+            }
+            idx = word;
+        }
+    }
+
+    /// Removes `i` (no-op when absent).
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity, "id {i} out of range {}", self.capacity);
+        let mut idx = i;
+        for level in &mut self.levels {
+            let word = idx / 64;
+            level[word] &= !(1u64 << (idx % 64));
+            if level[word] != 0 {
+                // Siblings keep the summary bit alive.
+                break;
+            }
+            idx = word;
+        }
+    }
+
+    /// Lowest id present, if any — the indexed replacement for
+    /// `(0..n).find(|i| ready[i])`.
+    #[must_use]
+    pub fn first(&self) -> Option<usize> {
+        let mut level = self.levels.len() - 1;
+        if self.levels[level][0] == 0 {
+            return None;
+        }
+        let mut word_idx = 0usize;
+        loop {
+            let word = self.levels[level][word_idx];
+            let child = word_idx * 64 + word.trailing_zeros() as usize;
+            if level == 0 {
+                return Some(child);
+            }
+            level -= 1;
+            word_idx = child;
+        }
+    }
+}
+
+/// Ordered index over per-node "free at" instants.
+///
+/// Backed by a `BTreeSet<(total-order time bits, node)>`, so the minimum
+/// — earliest time, lowest node id on ties — is an O(log n) lookup, and
+/// each node's time can be rewritten in O(log n). The time mapping uses
+/// the IEEE-754 total order, so any finite `f64` (negative included)
+/// sorts correctly.
+#[derive(Clone, Debug, Default)]
+pub struct MinTimeIndex {
+    set: BTreeSet<(u64, usize)>,
+}
+
+impl MinTimeIndex {
+    /// Monotone map from `f64` to `u64`: `a < b` ⇔ `key(a) < key(b)`
+    /// (IEEE-754 total order; same trick as `f64::total_cmp`).
+    fn key(t: f64) -> u64 {
+        let bits = t.to_bits();
+        if bits >> 63 == 0 {
+            bits ^ (1u64 << 63)
+        } else {
+            !bits
+        }
+    }
+
+    /// Builds the index from one time per node.
+    #[must_use]
+    pub fn from_times(times: &[f64]) -> Self {
+        Self {
+            set: times
+                .iter()
+                .enumerate()
+                .map(|(node, &t)| (Self::key(t), node))
+                .collect(),
+        }
+    }
+
+    /// Number of indexed nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// `true` when no node is indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Moves `node` from time `old` to time `new`. `old` must be the
+    /// exact value previously recorded for the node.
+    pub fn update(&mut self, node: usize, old: f64, new: f64) {
+        let removed = self.set.remove(&(Self::key(old), node));
+        debug_assert!(removed, "stale old time for node {node}");
+        self.set.insert((Self::key(new), node));
+    }
+
+    /// The node with the earliest time (lowest id on ties), if any.
+    #[must_use]
+    pub fn min_node(&self) -> Option<usize> {
+        self.set.first().map(|&(_, node)| node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index_has_no_first() {
+        for n in [1, 64, 65, 4096, 10_000] {
+            assert_eq!(NodeIndex::empty(n).first(), None, "n={n}");
+            assert!(NodeIndex::empty(n).is_empty());
+        }
+    }
+
+    #[test]
+    fn first_is_always_the_lowest_id() {
+        let mut idx = NodeIndex::empty(10_000);
+        for i in [9_999, 4_097, 63, 64, 8_191] {
+            idx.insert(i);
+        }
+        assert_eq!(idx.first(), Some(63));
+        idx.remove(63);
+        assert_eq!(idx.first(), Some(64));
+        idx.remove(64);
+        assert_eq!(idx.first(), Some(4_097));
+    }
+
+    #[test]
+    fn matches_a_reference_scan_under_random_churn() {
+        // xorshift-ish deterministic churn; compare against a Vec<bool>.
+        let n = 300;
+        let mut idx = NodeIndex::empty(n);
+        let mut flags = vec![false; n];
+        let mut state = 0x9e37_79b9_u64;
+        for _ in 0..10_000 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let i = (state % n as u64) as usize;
+            if flags[i] {
+                flags[i] = false;
+                idx.remove(i);
+            } else {
+                flags[i] = true;
+                idx.insert(i);
+            }
+            assert_eq!(idx.first(), flags.iter().position(|&f| f));
+            assert_eq!(idx.contains(i), flags[i]);
+        }
+    }
+
+    #[test]
+    fn full_contains_everything() {
+        let idx = NodeIndex::full(4_096);
+        assert_eq!(idx.first(), Some(0));
+        assert!(idx.contains(4_095));
+        assert_eq!(idx.capacity(), 4_096);
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent() {
+        let mut idx = NodeIndex::empty(128);
+        idx.insert(100);
+        idx.insert(100);
+        assert_eq!(idx.first(), Some(100));
+        idx.remove(100);
+        idx.remove(100);
+        assert_eq!(idx.first(), None);
+    }
+
+    #[test]
+    fn min_time_index_breaks_ties_low() {
+        let idx = MinTimeIndex::from_times(&[5.0, 0.0, 0.0, 3.0]);
+        assert_eq!(idx.min_node(), Some(1));
+    }
+
+    #[test]
+    fn min_time_index_tracks_updates() {
+        let mut idx = MinTimeIndex::from_times(&[1.0, 2.0, 3.0]);
+        assert_eq!(idx.min_node(), Some(0));
+        idx.update(0, 1.0, 10.0);
+        assert_eq!(idx.min_node(), Some(1));
+        idx.update(2, 3.0, 0.5);
+        assert_eq!(idx.min_node(), Some(2));
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn min_time_index_orders_negatives_and_zero() {
+        let idx = MinTimeIndex::from_times(&[0.0, -1.5, 2.0]);
+        assert_eq!(idx.min_node(), Some(1));
+    }
+}

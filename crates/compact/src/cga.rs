@@ -1,0 +1,575 @@
+//! The single-node compact GA: a probability vector evolved by pairwise
+//! competitions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use pga_core::driver::{Driver, Engine, RunOutcome, StepReport};
+use pga_core::individual::Individual;
+use pga_core::problem::{Objective, Problem};
+use pga_core::repr::{BitString, Genome};
+use pga_core::rng::Rng64;
+use pga_core::snapshot::{Snapshot, SnapshotError, SnapshotWriter};
+use pga_core::termination::{Progress, Termination};
+use pga_core::ConfigError;
+use pga_observe::{Event, EventKind, Recorder};
+
+/// Samples one genome from a probability vector (one RNG draw per locus,
+/// so the draw count — and hence the stream — is a pure function of the
+/// genome length).
+pub(crate) fn sample_genome(p: &[f64], rng: &mut Rng64) -> BitString {
+    let mut g = BitString::zeros(p.len());
+    for (i, &pi) in p.iter().enumerate() {
+        if rng.chance(pi) {
+            g.set(i, true);
+        }
+    }
+    g
+}
+
+/// Shifts every locus where `winner` and `loser` disagree by `step`
+/// toward the winner, clamping to `[0, 1]`. Returns how many loci moved.
+pub(crate) fn update_slice(
+    p: &mut [f64],
+    winner: &BitString,
+    loser: &BitString,
+    offset: usize,
+    step: f64,
+) -> usize {
+    let mut moved = 0;
+    for (i, pi) in p.iter_mut().enumerate() {
+        let w = winner.get(offset + i);
+        if w != loser.get(offset + i) {
+            *pi = if w {
+                (*pi + step).min(1.0)
+            } else {
+                (*pi - step).max(0.0)
+            };
+            moved += 1;
+        }
+    }
+    moved
+}
+
+/// `true` once every entry of the vector has fixated at 0 or 1 — the
+/// model can no longer move, so further steps replay the same genome.
+pub(crate) fn converged(p: &[f64]) -> bool {
+    p.iter().all(|&pi| pi <= 0.0 || pi >= 1.0)
+}
+
+/// The compact GA (Harik–Lobo–Goldberg): population replaced by a
+/// probability vector over loci.
+///
+/// One [`step`](CompactGa::step) is one pairwise competition: sample two
+/// genomes from the model, evaluate both (2 evaluations), and move every
+/// disagreeing locus `1/n` toward the winner, where `n` is the *virtual*
+/// population size. State is `len` floats + one RNG — **O(genome)** memory
+/// no matter how large `n` is.
+///
+/// Once the vector fixates (every entry 0 or 1) the engine reports
+/// [`halted`](Engine::halted): the model is absorbing, so continuing would
+/// only replay the converged genome.
+pub struct CompactGa<P: Problem<Genome = BitString>> {
+    problem: Arc<P>,
+    p: Vec<f64>,
+    virtual_pop: usize,
+    rng: Rng64,
+    seed: u64,
+    generation: u64,
+    evaluations: u64,
+    stagnant_generations: u64,
+    optimum_traced: bool,
+    best_ever: Individual<BitString>,
+    recorder: Option<Box<dyn Recorder>>,
+    trace_island: u32,
+}
+
+impl<P: Problem<Genome = BitString>> CompactGa<P> {
+    /// Fresh builder; see [`CompactGaBuilder`].
+    #[must_use]
+    pub fn builder(problem: P) -> CompactGaBuilder<P> {
+        CompactGaBuilder::new(problem)
+    }
+
+    /// The probability vector (one marginal per locus).
+    #[must_use]
+    pub fn probabilities(&self) -> &[f64] {
+        &self.p
+    }
+
+    /// The virtual population size `n` (update step is `1/n`).
+    #[must_use]
+    pub fn virtual_pop(&self) -> usize {
+        self.virtual_pop
+    }
+
+    /// Competitions completed.
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Fitness evaluations spent (2 per competition + 1 at startup).
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Best individual ever observed.
+    #[must_use]
+    pub fn best_ever(&self) -> &Individual<BitString> {
+        &self.best_ever
+    }
+
+    /// The seed the engine was built with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Model state size in bytes: the probability vector alone — the
+    /// O(genome) memory argument in one number.
+    #[must_use]
+    pub fn model_bytes(&self) -> usize {
+        self.p.len() * std::mem::size_of::<f64>()
+    }
+
+    /// `true` once every marginal has fixated at 0 or 1.
+    #[must_use]
+    pub fn is_converged(&self) -> bool {
+        converged(&self.p)
+    }
+
+    /// Attaches an observability recorder (replacing any existing one).
+    /// Recorders only observe: attaching or detaching one never changes
+    /// the RNG stream or the search trajectory.
+    pub fn set_recorder(&mut self, recorder: impl Recorder + 'static) {
+        self.recorder = Some(Box::new(recorder));
+    }
+
+    /// Detaches and returns the recorder, if any.
+    pub fn take_recorder(&mut self) -> Option<Box<dyn Recorder>> {
+        self.recorder.take()
+    }
+
+    /// `true` when a recorder is attached.
+    #[must_use]
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Island id stamped on this engine's events.
+    pub fn set_trace_island(&mut self, island: u32) {
+        self.trace_island = island;
+    }
+
+    fn emit(&mut self, kind: EventKind) {
+        if let Some(r) = &mut self.recorder {
+            r.record(&Event::new(kind));
+        }
+    }
+
+    fn track_best(&mut self, genome: &BitString, fitness: f64) -> bool {
+        if self
+            .problem
+            .objective()
+            .better(fitness, self.best_ever.fitness())
+        {
+            self.best_ever = Individual::evaluated(genome.clone(), fitness);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn report(&self, best: f64, mean: f64) -> StepReport {
+        StepReport {
+            generation: self.generation,
+            evaluations: self.evaluations,
+            best,
+            mean,
+            best_ever: self.best_ever.fitness(),
+        }
+    }
+
+    /// Runs until the termination rule fires via the shared [`Driver`].
+    /// Returns an error if the rule is unbounded.
+    pub fn run(
+        &mut self,
+        termination: &Termination,
+    ) -> Result<RunOutcome<Individual<BitString>>, ConfigError> {
+        Driver::new(termination.clone()).run(self)
+    }
+
+    /// One competition: sample two, evaluate, shift the model toward the
+    /// winner.
+    pub fn step(&mut self) -> StepReport {
+        let a = sample_genome(&self.p, &mut self.rng);
+        let b = sample_genome(&self.p, &mut self.rng);
+        let fa = self.problem.evaluate(&a);
+        let fb = self.problem.evaluate(&b);
+        self.evaluations += 2;
+        let (winner, loser, fw, fl) = if self.problem.objective().better(fb, fa) {
+            (&b, &a, fb, fa)
+        } else {
+            (&a, &b, fa, fb)
+        };
+        let step = 1.0 / self.virtual_pop as f64;
+        update_slice(&mut self.p, winner, loser, 0, step);
+        let improved = self.track_best(winner, fw);
+        if improved {
+            self.stagnant_generations = 0;
+        } else {
+            self.stagnant_generations += 1;
+        }
+        self.generation += 1;
+        let report = self.report(fw, 0.5 * (fw + fl));
+        if self.recorder.is_some() {
+            self.emit(EventKind::GenerationCompleted {
+                island: self.trace_island,
+                generation: report.generation,
+                evaluations: report.evaluations,
+                best: report.best,
+                mean: report.mean,
+                best_ever: report.best_ever,
+            });
+        }
+        // Tracked unconditionally so snapshot bytes do not depend on
+        // whether a recorder is attached; `emit` no-ops without one.
+        if !self.optimum_traced && self.problem.is_optimal(report.best_ever) {
+            self.optimum_traced = true;
+            self.emit(EventKind::CheckpointHit {
+                island: self.trace_island,
+                generation: report.generation,
+                best: report.best_ever,
+            });
+        }
+        report
+    }
+}
+
+impl<P: Problem<Genome = BitString>> Engine for CompactGa<P> {
+    type Best = Individual<BitString>;
+
+    fn engine_id(&self) -> &'static str {
+        "cga"
+    }
+
+    fn step(&mut self) -> StepReport {
+        CompactGa::step(self)
+    }
+
+    fn progress(&self, elapsed: Duration) -> Progress {
+        Progress {
+            generations: self.generation,
+            evaluations: self.evaluations,
+            best_fitness: self.best_ever.fitness(),
+            best_is_optimal: self.problem.is_optimal(self.best_ever.fitness()),
+            stagnant_generations: self.stagnant_generations,
+            elapsed,
+            maximizing: self.problem.objective() == Objective::Maximize,
+            cost_units: self.evaluations as f64,
+        }
+    }
+
+    fn best(&self) -> Self::Best {
+        self.best_ever.clone()
+    }
+
+    fn halted(&self) -> bool {
+        self.is_converged()
+    }
+
+    fn record_run_started(&mut self) {
+        if self.recorder.is_some() {
+            let problem = self.problem.name();
+            let seed = self.seed;
+            self.emit(EventKind::RunStarted {
+                island: self.trace_island,
+                engine: "cga".into(),
+                problem,
+                seed,
+            });
+        }
+    }
+
+    fn record_run_finished(&mut self) {
+        if self.recorder.is_some() {
+            let best = self.best_ever.fitness();
+            self.emit(EventKind::RunFinished {
+                island: self.trace_island,
+                generations: self.generation,
+                evaluations: self.evaluations,
+                best,
+                hit_optimum: self.problem.is_optimal(best),
+            });
+            if let Some(r) = &mut self.recorder {
+                r.flush();
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.generation);
+        w.put_u64(self.evaluations);
+        w.put_u64(self.stagnant_generations);
+        w.put_bool(self.optimum_traced);
+        let (s, spare) = self.rng.snapshot_state();
+        for word in s {
+            w.put_u64(word);
+        }
+        w.put_opt_f64(spare);
+        self.best_ever.genome.encode(&mut w);
+        w.put_opt_f64(self.best_ever.fitness);
+        w.put_usize(self.virtual_pop);
+        w.put_usize(self.p.len());
+        for &pi in &self.p {
+            w.put_f64(pi);
+        }
+        Snapshot::new("cga", w.into_bytes())
+    }
+
+    fn restore(&mut self, snapshot: &Snapshot) -> Result<(), SnapshotError> {
+        let mut r = snapshot.reader_for("cga")?;
+        let generation = r.take_u64()?;
+        let evaluations = r.take_u64()?;
+        let stagnant_generations = r.take_u64()?;
+        let optimum_traced = r.take_bool()?;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.take_u64()?;
+        }
+        let spare = r.take_opt_f64()?;
+        let genome = BitString::decode(&mut r)?;
+        let fitness = r.take_opt_f64()?;
+        let virtual_pop = r.take_usize()?;
+        let len = r.take_usize()?;
+        let mut p = Vec::with_capacity(len);
+        for _ in 0..len {
+            p.push(r.take_f64()?);
+        }
+        r.finish()?;
+        if virtual_pop != self.virtual_pop {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot virtual population {virtual_pop} does not match \
+                 the configured {}",
+                self.virtual_pop
+            )));
+        }
+        if p.len() != self.p.len() {
+            return Err(SnapshotError::Invalid(format!(
+                "snapshot probability vector of {len} loci does not match \
+                 the configured genome length of {}",
+                self.p.len()
+            )));
+        }
+        self.generation = generation;
+        self.evaluations = evaluations;
+        self.stagnant_generations = stagnant_generations;
+        self.optimum_traced = optimum_traced;
+        self.rng = Rng64::from_snapshot_state(s, spare);
+        self.best_ever = Individual { genome, fitness };
+        self.p = p;
+        Ok(())
+    }
+}
+
+/// Validating builder for [`CompactGa`], following the workspace's
+/// builder façade: every parameter is checked at [`build`] time and
+/// violations surface as typed [`ConfigError`]s, never panics.
+///
+/// Defaults: virtual population 127, seed 0.
+///
+/// [`build`]: CompactGaBuilder::build
+pub struct CompactGaBuilder<P: Problem<Genome = BitString>> {
+    problem: Arc<P>,
+    virtual_pop: usize,
+    seed: u64,
+    recorder: Option<Box<dyn Recorder>>,
+}
+
+impl<P: Problem<Genome = BitString>> CompactGaBuilder<P> {
+    /// Fresh builder with conventional defaults.
+    #[must_use]
+    pub fn new(problem: P) -> Self {
+        Self::from_shared(Arc::new(problem))
+    }
+
+    /// Shares an existing `Arc`'d problem.
+    #[must_use]
+    pub fn from_shared(problem: Arc<P>) -> Self {
+        Self {
+            problem,
+            virtual_pop: 127,
+            seed: 0,
+            recorder: None,
+        }
+    }
+
+    /// Virtual population size `n`: each competition shifts disagreeing
+    /// loci by `1/n`. Must be at least 2.
+    #[must_use]
+    pub fn virtual_pop(mut self, n: usize) -> Self {
+        self.virtual_pop = n;
+        self
+    }
+
+    /// RNG seed; the whole run is a pure function of it.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Attaches an observability recorder at build time.
+    #[must_use]
+    pub fn recorder(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.recorder = Some(Box::new(recorder));
+        self
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// Spends one evaluation seeding `best_ever` with a genome sampled
+    /// from the initial (uniform) model, so the engine always has a best
+    /// individual to report.
+    pub fn build(self) -> Result<CompactGa<P>, ConfigError> {
+        if self.virtual_pop < 2 {
+            return Err(ConfigError::InvalidParameter {
+                name: "virtual_pop",
+                message: format!(
+                    "virtual population must be at least 2, got {}",
+                    self.virtual_pop
+                ),
+            });
+        }
+        let mut rng = Rng64::new(self.seed);
+        let len = self.problem.random_genome(&mut Rng64::new(0)).len();
+        if len == 0 {
+            return Err(ConfigError::InvalidParameter {
+                name: "genome_len",
+                message: "problem produces empty genomes".into(),
+            });
+        }
+        let p = vec![0.5; len];
+        let first = sample_genome(&p, &mut rng);
+        let fitness = self.problem.evaluate(&first);
+        Ok(CompactGa {
+            problem: self.problem,
+            p,
+            virtual_pop: self.virtual_pop,
+            rng,
+            seed: self.seed,
+            generation: 0,
+            evaluations: 1,
+            stagnant_generations: 0,
+            optimum_traced: false,
+            best_ever: Individual::evaluated(first, fitness),
+            recorder: self.recorder,
+            trace_island: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pga_core::termination::Termination;
+    use pga_problems::OneMax;
+
+    fn engine(seed: u64) -> CompactGa<OneMax> {
+        CompactGa::builder(OneMax::new(64))
+            .seed(seed)
+            .virtual_pop(50)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn solves_onemax() {
+        let mut ga = engine(7);
+        let outcome = ga
+            .run(&Termination::new().max_generations(20_000))
+            .expect("bounded rule");
+        assert!(
+            outcome.best.fitness() >= 60.0,
+            "cGA should approach the OneMax optimum, got {}",
+            outcome.best.fitness()
+        );
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let mut a = engine(11);
+        let mut b = engine(11);
+        for _ in 0..500 {
+            assert_eq!(a.step(), b.step());
+        }
+        assert_eq!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn model_memory_is_o_genome() {
+        let small = CompactGa::builder(OneMax::new(64))
+            .virtual_pop(10)
+            .build()
+            .expect("valid");
+        let huge = CompactGa::builder(OneMax::new(64))
+            .virtual_pop(1_000_000)
+            .build()
+            .expect("valid");
+        assert_eq!(small.model_bytes(), huge.model_bytes());
+        assert_eq!(huge.model_bytes(), 64 * 8);
+    }
+
+    #[test]
+    fn converged_model_reports_halted() {
+        let mut ga = engine(3);
+        for _ in 0..200_000 {
+            if ga.is_converged() {
+                break;
+            }
+            ga.step();
+        }
+        assert!(ga.is_converged(), "cGA should fixate eventually");
+        assert!(Engine::halted(&ga));
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_virtual_pop() {
+        let err = CompactGa::builder(OneMax::new(8)).virtual_pop(1).build();
+        assert!(matches!(
+            err,
+            Err(ConfigError::InvalidParameter {
+                name: "virtual_pop",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_vector_exactly() {
+        let mut ga = engine(5);
+        for _ in 0..100 {
+            ga.step();
+        }
+        let snap = ga.snapshot();
+        let mut fresh = engine(5);
+        fresh.restore(&snap).expect("restorable");
+        assert_eq!(fresh.probabilities(), ga.probabilities());
+        assert_eq!(fresh.snapshot().to_bytes(), snap.to_bytes());
+    }
+
+    #[test]
+    fn wrong_length_snapshot_is_rejected() {
+        let ga = engine(5);
+        let snap = ga.snapshot();
+        let mut other = CompactGa::builder(OneMax::new(32))
+            .seed(5)
+            .virtual_pop(50)
+            .build()
+            .expect("valid");
+        assert!(other.restore(&snap).is_err());
+    }
+}

@@ -10,6 +10,7 @@
 //! | `GET /jobs/:id/events` | JSONL event stream (close-delimited)| `200`, `404` |
 //! | `DELETE /jobs/:id`     | Cooperative cancel                  | `200`, `404`, `409` |
 //! | `GET /metrics`         | Plain-text runtime + pool metrics   | `200` |
+//! | `GET /families`        | Registered engine families/problems | `200` |
 //!
 //! The events endpoint streams each line the engine's recorder emits,
 //! polling the job's shared buffer until the job reaches a terminal
@@ -270,7 +271,24 @@ fn handle_connection(runtime: &ServeRuntime, mut conn: TcpStream) -> io::Result<
             &[],
             runtime.metrics_text().as_bytes(),
         ),
-        (_, ["jobs", ..] | ["metrics"]) => respond(
+        ("GET", ["families"]) => {
+            let reg = crate::factory::Registries::builtin();
+            let names = |items: Vec<&str>| {
+                Json::Arr(items.into_iter().map(|n| Json::Str(n.into())).collect())
+            };
+            let doc = Json::Obj(vec![
+                ("families".into(), names(reg.families.names())),
+                ("problems".into(), names(reg.problems.names())),
+            ]);
+            respond(
+                &mut conn,
+                200,
+                "application/json",
+                &[],
+                doc.to_json_string().as_bytes(),
+            )
+        }
+        (_, ["jobs", ..] | ["metrics"] | ["families"]) => respond(
             &mut conn,
             405,
             "application/json",

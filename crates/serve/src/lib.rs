@@ -4,19 +4,26 @@
 //! job server over the workspace's type-erased [`Engine`] runtime.
 //!
 //! Clients `POST` an optimization job — benchmark problem, engine
-//! family (panmictic, steady-state, cellular, or island), RNG seed, and
-//! a bounded budget — and the server multiplexes *many heterogeneous
-//! jobs concurrently* on the one persistent work-stealing pool the
-//! engines themselves evaluate fitness on. This is the survey's
-//! "computing trends" endpoint taken literally: the same PGA engine
-//! families, consumed as a service instead of a binary.
+//! family, RNG seed, and a bounded budget — and the server multiplexes
+//! *many heterogeneous jobs concurrently* on the one persistent
+//! work-stealing pool the engines themselves evaluate fitness on. This
+//! is the survey's "computing trends" endpoint taken literally: the
+//! same PGA engine families, consumed as a service instead of a binary.
+//!
+//! Problems and families resolve through *registries*
+//! ([`ProblemRegistry`]/[`FamilyRegistry`], see [`Registries`]): each
+//! wire name maps to a validated constructor, the protocol layer
+//! validates specs against the same table engines are later built from,
+//! and `GET /families` lists whatever is registered. All seven stock
+//! families — `ga`, `steady`, `cellular`, `island`, `async-steady`,
+//! `cga`, `pcga` — are one registration call each; so is yours.
 //!
 //! The subsystem stacks six layers, each its own module:
 //!
 //! | Module | Responsibility |
 //! |---|---|
 //! | [`protocol`] | wire DTOs ([`JobSpec`] et al.) + a minimal JSON codec |
-//! | [`factory`] | spec → concrete engine → [`BoxedEngine`](pga_core::erased::BoxedEngine) |
+//! | [`factory`] | [`ProblemRegistry`]/[`FamilyRegistry`]: spec → [`BoxedEngine`](pga_core::erased::BoxedEngine) |
 //! | [`job`] | job identity, lifecycle, status documents |
 //! | [`scheduler`] | slice scheduling, DRR fairness, admission, recovery |
 //! | [`spool`] | per-slice crash-safe checkpoints (PGAS container) |
@@ -54,8 +61,8 @@
 //! let id = serve
 //!     .submit(JobSpec {
 //!         tenant: "docs".into(),
-//!         problem: ProblemSpec::OneMax { len: 32 },
-//!         engine: EngineSpec::Ga { pop: 20, elitism: 1 },
+//!         problem: ProblemSpec::onemax(32),
+//!         engine: EngineSpec::ga(20, 1),
 //!         seed: 7,
 //!         budget: Budget { generations: Some(30), ..Budget::default() },
 //!     })
@@ -84,6 +91,10 @@ use std::sync::Arc;
 
 use pga_core::ConfigError;
 
+pub use factory::{
+    build_engine, default_registries, BuiltProblem, EngineCtx, FamilyRegistry, ProblemRegistry,
+    Registries, SharedProblem,
+};
 pub use http::{serve_http, HttpServer};
 pub use job::{JobId, JobProgress, JobState};
 pub use protocol::{Budget, EngineSpec, JobSpec, ProblemSpec, ProtocolError};

@@ -376,79 +376,96 @@ impl Parser<'_> {
     }
 }
 
-/// Which benchmark problem a job optimizes.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum ProblemSpec {
-    /// OneMax over `len` bits.
-    OneMax {
-        /// Genome length in bits.
-        len: usize,
-    },
-    /// Concatenated deceptive traps: `blocks` traps of `k` bits.
-    Trap {
-        /// Bits per trap block.
-        k: usize,
-        /// Number of blocks.
-        blocks: usize,
-    },
-    /// P-PEAKS multimodal generator.
-    PPeaks {
-        /// Number of peaks.
-        p: usize,
-        /// Genome length in bits.
-        n: usize,
-        /// Instance seed.
-        seed: u64,
-    },
-    /// Royal Road: `blocks` schemata of `block` bits.
-    RoyalRoad {
-        /// Bits per schema.
-        block: usize,
-        /// Number of schemata.
-        blocks: usize,
-    },
+/// Strips `head` from an object's fields, keeping the rest in order.
+fn fields_without(json: &Json, head: &str) -> Json {
+    match json {
+        Json::Obj(fields) => Json::Obj(fields.iter().filter(|(k, _)| k != head).cloned().collect()),
+        _ => Json::Obj(Vec::new()),
+    }
+}
+
+/// Builds a params object from `(key, integer)` pairs.
+fn num_params(pairs: &[(&str, u64)]) -> Json {
+    Json::Obj(
+        pairs
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), Json::Num(*v as f64)))
+            .collect(),
+    )
+}
+
+/// Which benchmark problem a job optimizes: an open `(kind, params)`
+/// pair resolved against the server's
+/// [`ProblemRegistry`](crate::factory::ProblemRegistry). The protocol
+/// layer does not enumerate problems — registering a kind is all it
+/// takes to make it wire-reachable.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProblemSpec {
+    kind: String,
+    params: Json,
 }
 
 impl ProblemSpec {
-    /// Genome length in bits.
+    /// A spec for any registered problem kind. `params` should be a
+    /// [`Json::Obj`]; validation happens against the registry when the
+    /// spec is parsed or built.
     #[must_use]
-    pub fn genome_len(&self) -> usize {
-        match self {
-            Self::OneMax { len } => *len,
-            Self::Trap { k, blocks } => k * blocks,
-            Self::PPeaks { n, .. } => *n,
-            Self::RoyalRoad { block, blocks } => block * blocks,
+    pub fn new(kind: impl Into<String>, params: Json) -> Self {
+        Self {
+            kind: kind.into(),
+            params,
         }
     }
 
-    /// Short name for tables and status payloads.
+    /// OneMax over `len` bits.
     #[must_use]
-    pub fn name(&self) -> &'static str {
-        match self {
-            Self::OneMax { .. } => "onemax",
-            Self::Trap { .. } => "trap",
-            Self::PPeaks { .. } => "ppeaks",
-            Self::RoyalRoad { .. } => "royalroad",
-        }
+    pub fn onemax(len: usize) -> Self {
+        Self::new("onemax", num_params(&[("len", len as u64)]))
+    }
+
+    /// Concatenated deceptive traps: `blocks` traps of `k` bits.
+    #[must_use]
+    pub fn trap(k: usize, blocks: usize) -> Self {
+        Self::new(
+            "trap",
+            num_params(&[("k", k as u64), ("blocks", blocks as u64)]),
+        )
+    }
+
+    /// P-PEAKS multimodal generator: `p` peaks over `n` bits.
+    #[must_use]
+    pub fn ppeaks(p: usize, n: usize, seed: u64) -> Self {
+        Self::new(
+            "ppeaks",
+            num_params(&[("p", p as u64), ("n", n as u64), ("seed", seed)]),
+        )
+    }
+
+    /// Royal Road: `blocks` schemata of `block` bits.
+    #[must_use]
+    pub fn royal_road(block: usize, blocks: usize) -> Self {
+        Self::new(
+            "royalroad",
+            num_params(&[("block", block as u64), ("blocks", blocks as u64)]),
+        )
+    }
+
+    /// The problem kind, for tables and status payloads.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.kind
+    }
+
+    /// The wire params (everything but `kind`).
+    #[must_use]
+    pub fn params(&self) -> &Json {
+        &self.params
     }
 
     fn to_json(&self) -> Json {
-        let mut fields = vec![("kind".to_string(), Json::Str(self.name().into()))];
-        match self {
-            Self::OneMax { len } => fields.push(("len".into(), Json::Num(*len as f64))),
-            Self::Trap { k, blocks } => {
-                fields.push(("k".into(), Json::Num(*k as f64)));
-                fields.push(("blocks".into(), Json::Num(*blocks as f64)));
-            }
-            Self::PPeaks { p, n, seed } => {
-                fields.push(("p".into(), Json::Num(*p as f64)));
-                fields.push(("n".into(), Json::Num(*n as f64)));
-                fields.push(("seed".into(), Json::Num(*seed as f64)));
-            }
-            Self::RoyalRoad { block, blocks } => {
-                fields.push(("block".into(), Json::Num(*block as f64)));
-                fields.push(("blocks".into(), Json::Num(*blocks as f64)));
-            }
+        let mut fields = vec![("kind".to_string(), Json::Str(self.kind.clone()))];
+        if let Json::Obj(params) = &self.params {
+            fields.extend(params.iter().cloned());
         }
         Json::Obj(fields)
     }
@@ -457,139 +474,122 @@ impl ProblemSpec {
         let kind = json
             .get("kind")
             .and_then(Json::as_str)
-            .ok_or(ProtocolError::Missing("problem.kind"))?;
-        let dim = |field: &'static str| -> Result<usize, ProtocolError> {
-            let v = json
-                .get(field.rsplit('.').next().unwrap_or(field))
-                .and_then(Json::as_u64)
-                .ok_or(ProtocolError::Missing(field))?;
-            if v == 0 || v > 1 << 20 {
-                return Err(ProtocolError::Invalid {
-                    field,
-                    message: format!("must be in 1..=2^20, got {v}"),
-                });
-            }
-            usize::try_from(v).map_err(|_| ProtocolError::Invalid {
-                field,
-                message: "overflows usize".into(),
-            })
-        };
-        match kind {
-            "onemax" => Ok(Self::OneMax {
-                len: dim("problem.len")?,
-            }),
-            "trap" => Ok(Self::Trap {
-                k: dim("problem.k")?,
-                blocks: dim("problem.blocks")?,
-            }),
-            "ppeaks" => Ok(Self::PPeaks {
-                p: dim("problem.p")?,
-                n: dim("problem.n")?,
-                seed: json
-                    .get("seed")
-                    .and_then(Json::as_u64)
-                    .ok_or(ProtocolError::Missing("problem.seed"))?,
-            }),
-            "royalroad" => Ok(Self::RoyalRoad {
-                block: dim("problem.block")?,
-                blocks: dim("problem.blocks")?,
-            }),
-            other => Err(ProtocolError::Invalid {
-                field: "problem.kind",
-                message: format!(
-                    "unknown problem `{other}` (known: onemax, trap, ppeaks, royalroad)"
-                ),
-            }),
-        }
+            .ok_or(ProtocolError::Missing("problem.kind"))?
+            .to_string();
+        let params = fields_without(json, "kind");
+        crate::factory::Registries::builtin()
+            .problems
+            .validate(&kind, &params)?;
+        Ok(Self { kind, params })
     }
 }
 
-/// Which engine family runs a job, and its structural parameters.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum EngineSpec {
-    /// Panmictic generational GA.
-    Ga {
-        /// Population size.
-        pop: usize,
-        /// Elites preserved per generation.
-        elitism: usize,
-    },
+/// Which engine family runs a job: an open `(family, params)` pair
+/// resolved against the server's
+/// [`FamilyRegistry`](crate::factory::FamilyRegistry). The protocol
+/// layer does not enumerate families — a single
+/// [`register`](crate::factory::FamilyRegistry::register) call makes a
+/// new family wire-reachable, spool-restorable, and listed by
+/// `GET /families`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineSpec {
+    family: String,
+    params: Json,
+}
+
+impl EngineSpec {
+    /// A spec for any registered engine family. `params` should be a
+    /// [`Json::Obj`]; validation happens against the registry when the
+    /// spec is parsed or built.
+    #[must_use]
+    pub fn new(family: impl Into<String>, params: Json) -> Self {
+        Self {
+            family: family.into(),
+            params,
+        }
+    }
+
+    /// Panmictic generational GA (`pop` individuals, `elitism` elites).
+    #[must_use]
+    pub fn ga(pop: usize, elitism: usize) -> Self {
+        Self::new(
+            "ga",
+            num_params(&[("pop", pop as u64), ("elitism", elitism as u64)]),
+        )
+    }
+
     /// Panmictic steady-state GA (worst-if-better replacement).
-    SteadyState {
-        /// Population size.
-        pop: usize,
-    },
+    #[must_use]
+    pub fn steady(pop: usize) -> Self {
+        Self::new("steady", num_params(&[("pop", pop as u64)]))
+    }
+
     /// Cellular GA on a `rows × cols` torus.
-    Cellular {
-        /// Grid rows.
-        rows: usize,
-        /// Grid columns.
-        cols: usize,
-    },
+    #[must_use]
+    pub fn cellular(rows: usize, cols: usize) -> Self {
+        Self::new(
+            "cellular",
+            num_params(&[("rows", rows as u64), ("cols", cols as u64)]),
+        )
+    }
+
     /// Ring-of-islands archipelago of generational GAs.
-    Island {
-        /// Number of islands.
-        islands: usize,
-        /// Population per island.
-        pop: usize,
-    },
+    #[must_use]
+    pub fn island(islands: usize, pop: usize) -> Self {
+        Self::new(
+            "island",
+            num_params(&[("islands", islands as u64), ("pop", pop as u64)]),
+        )
+    }
+
     /// Barrier-free asynchronous steady-state master–slave GA over the
     /// streaming cluster simulator (`workers` virtual evaluation nodes):
     /// results fold into the population as they arrive instead of at a
     /// batch barrier, under a deterministic virtual clock.
-    AsyncSteady {
-        /// Population size.
-        pop: usize,
-        /// Virtual worker nodes evaluating in flight.
-        workers: usize,
-    },
-}
-
-impl EngineSpec {
-    /// Short family name for tables and status payloads.
     #[must_use]
-    pub fn family(&self) -> &'static str {
-        match self {
-            Self::Ga { .. } => "ga",
-            Self::SteadyState { .. } => "steady",
-            Self::Cellular { .. } => "cellular",
-            Self::Island { .. } => "island",
-            Self::AsyncSteady { .. } => "async-steady",
-        }
+    pub fn async_steady(pop: usize, workers: usize) -> Self {
+        Self::new(
+            "async-steady",
+            num_params(&[("pop", pop as u64), ("workers", workers as u64)]),
+        )
     }
 
-    /// The engine tag its snapshots will carry (see
-    /// `Snapshot::engine_tag`), used to dispatch spool restores.
+    /// Compact GA: the population is a probability vector updated by
+    /// `virtual_pop`-sized steps — O(genome) memory, trivially
+    /// checkpointable.
     #[must_use]
-    pub fn snapshot_tag(&self) -> &'static str {
-        match self {
-            Self::Ga { .. } | Self::SteadyState { .. } => "ga",
-            Self::Cellular { .. } => "cellular",
-            Self::Island { .. } => "archipelago",
-            Self::AsyncSteady { .. } => "async-steady",
-        }
+    pub fn cga(virtual_pop: usize) -> Self {
+        Self::new("cga", num_params(&[("virtual_pop", virtual_pop as u64)]))
+    }
+
+    /// Sharded parallel compact GA: the probability vector is
+    /// partitioned across `nodes` simulated nodes that exchange model
+    /// updates (sampled slices and winner ids), never individuals,
+    /// under a deterministic virtual clock.
+    #[must_use]
+    pub fn pcga(virtual_pop: usize, nodes: usize) -> Self {
+        Self::new(
+            "pcga",
+            num_params(&[("virtual_pop", virtual_pop as u64), ("nodes", nodes as u64)]),
+        )
+    }
+
+    /// Family name for tables and status payloads.
+    #[must_use]
+    pub fn family(&self) -> &str {
+        &self.family
+    }
+
+    /// The wire params (everything but `family`).
+    #[must_use]
+    pub fn params(&self) -> &Json {
+        &self.params
     }
 
     fn to_json(&self) -> Json {
-        let mut fields = vec![("family".to_string(), Json::Str(self.family().into()))];
-        match self {
-            Self::Ga { pop, elitism } => {
-                fields.push(("pop".into(), Json::Num(*pop as f64)));
-                fields.push(("elitism".into(), Json::Num(*elitism as f64)));
-            }
-            Self::SteadyState { pop } => fields.push(("pop".into(), Json::Num(*pop as f64))),
-            Self::Cellular { rows, cols } => {
-                fields.push(("rows".into(), Json::Num(*rows as f64)));
-                fields.push(("cols".into(), Json::Num(*cols as f64)));
-            }
-            Self::Island { islands, pop } => {
-                fields.push(("islands".into(), Json::Num(*islands as f64)));
-                fields.push(("pop".into(), Json::Num(*pop as f64)));
-            }
-            Self::AsyncSteady { pop, workers } => {
-                fields.push(("pop".into(), Json::Num(*pop as f64)));
-                fields.push(("workers".into(), Json::Num(*workers as f64)));
-            }
+        let mut fields = vec![("family".to_string(), Json::Str(self.family.clone()))];
+        if let Json::Obj(params) = &self.params {
+            fields.extend(params.iter().cloned());
         }
         Json::Obj(fields)
     }
@@ -598,62 +598,13 @@ impl EngineSpec {
         let family = json
             .get("family")
             .and_then(Json::as_str)
-            .ok_or(ProtocolError::Missing("engine.family"))?;
-        let dim = |key: &str, field: &'static str, default: Option<u64>| {
-            let v = match json.get(key).map(Json::as_u64) {
-                Some(Some(v)) => v,
-                Some(None) => {
-                    return Err(ProtocolError::Invalid {
-                        field,
-                        message: "must be a non-negative integer".into(),
-                    })
-                }
-                None => default.ok_or(ProtocolError::Missing(field))?,
-            };
-            if v == 0 || v > 1 << 16 {
-                return Err(ProtocolError::Invalid {
-                    field,
-                    message: format!("must be in 1..=65536, got {v}"),
-                });
-            }
-            Ok(v as usize)
-        };
-        match family {
-            "ga" => Ok(Self::Ga {
-                pop: dim("pop", "engine.pop", None)?,
-                elitism: match json.get("elitism").map(Json::as_u64) {
-                    Some(Some(e)) if e <= 1 << 16 => e as usize,
-                    None => 1,
-                    _ => {
-                        return Err(ProtocolError::Invalid {
-                            field: "engine.elitism",
-                            message: "must be a small non-negative integer".into(),
-                        })
-                    }
-                },
-            }),
-            "steady" => Ok(Self::SteadyState {
-                pop: dim("pop", "engine.pop", None)?,
-            }),
-            "cellular" => Ok(Self::Cellular {
-                rows: dim("rows", "engine.rows", None)?,
-                cols: dim("cols", "engine.cols", None)?,
-            }),
-            "island" => Ok(Self::Island {
-                islands: dim("islands", "engine.islands", Some(4))?,
-                pop: dim("pop", "engine.pop", None)?,
-            }),
-            "async-steady" => Ok(Self::AsyncSteady {
-                pop: dim("pop", "engine.pop", None)?,
-                workers: dim("workers", "engine.workers", Some(4))?,
-            }),
-            other => Err(ProtocolError::Invalid {
-                field: "engine.family",
-                message: format!(
-                    "unknown family `{other}` (known: ga, steady, cellular, island, async-steady)"
-                ),
-            }),
-        }
+            .ok_or(ProtocolError::Missing("engine.family"))?
+            .to_string();
+        let params = fields_without(json, "family");
+        crate::factory::Registries::builtin()
+            .families
+            .validate(&family, &params)?;
+        Ok(Self { family, params })
     }
 }
 
@@ -826,11 +777,8 @@ mod tests {
     fn spec() -> JobSpec {
         JobSpec {
             tenant: "acme".into(),
-            problem: ProblemSpec::Trap { k: 4, blocks: 8 },
-            engine: EngineSpec::Island {
-                islands: 4,
-                pop: 20,
-            },
+            problem: ProblemSpec::trap(4, 8),
+            engine: EngineSpec::island(4, 20),
             seed: 42,
             budget: Budget {
                 generations: Some(50),
@@ -853,33 +801,19 @@ mod tests {
     #[test]
     fn all_families_and_problems_roundtrip() {
         let problems = [
-            ProblemSpec::OneMax { len: 64 },
-            ProblemSpec::Trap { k: 4, blocks: 8 },
-            ProblemSpec::PPeaks {
-                p: 10,
-                n: 64,
-                seed: 3,
-            },
-            ProblemSpec::RoyalRoad {
-                block: 8,
-                blocks: 8,
-            },
+            ProblemSpec::onemax(64),
+            ProblemSpec::trap(4, 8),
+            ProblemSpec::ppeaks(10, 64, 3),
+            ProblemSpec::royal_road(8, 8),
         ];
         let engines = [
-            EngineSpec::Ga {
-                pop: 30,
-                elitism: 1,
-            },
-            EngineSpec::SteadyState { pop: 30 },
-            EngineSpec::Cellular { rows: 6, cols: 5 },
-            EngineSpec::Island {
-                islands: 3,
-                pop: 10,
-            },
-            EngineSpec::AsyncSteady {
-                pop: 24,
-                workers: 6,
-            },
+            EngineSpec::ga(30, 1),
+            EngineSpec::steady(30),
+            EngineSpec::cellular(6, 5),
+            EngineSpec::island(3, 10),
+            EngineSpec::async_steady(24, 6),
+            EngineSpec::cga(63),
+            EngineSpec::pcga(63, 8),
         ];
         for problem in &problems {
             for engine in &engines {
@@ -965,34 +899,33 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_tags_match_engine_families() {
-        assert_eq!(EngineSpec::Ga { pop: 2, elitism: 0 }.snapshot_tag(), "ga");
-        assert_eq!(EngineSpec::SteadyState { pop: 2 }.snapshot_tag(), "ga");
-        assert_eq!(
-            EngineSpec::Cellular { rows: 2, cols: 2 }.snapshot_tag(),
-            "cellular"
-        );
-        assert_eq!(
-            EngineSpec::Island { islands: 2, pop: 2 }.snapshot_tag(),
-            "archipelago"
-        );
-        assert_eq!(
-            EngineSpec::AsyncSteady { pop: 2, workers: 2 }.snapshot_tag(),
-            "async-steady"
-        );
+    fn snapshot_tags_resolve_through_the_registry() {
+        let families = &crate::factory::Registries::builtin().families;
+        assert_eq!(families.snapshot_tag("ga"), Some("ga"));
+        assert_eq!(families.snapshot_tag("steady"), Some("ga"));
+        assert_eq!(families.snapshot_tag("cellular"), Some("cellular"));
+        assert_eq!(families.snapshot_tag("island"), Some("archipelago"));
+        assert_eq!(families.snapshot_tag("async-steady"), Some("async-steady"));
+        assert_eq!(families.snapshot_tag("cga"), Some("cga"));
+        assert_eq!(families.snapshot_tag("pcga"), Some("pcga"));
+        assert_eq!(families.snapshot_tag("quantum"), None);
     }
 
     #[test]
     fn async_steady_workers_default_to_four() {
+        // A spec with `workers` omitted builds the same engine as one
+        // that says `workers: 4` explicitly — defaults live in the
+        // family registration, not in the parser.
         let text = r#"{"tenant":"t","problem":{"kind":"onemax","len":8},
-            "engine":{"family":"async-steady","pop":12},"budget":{"generations":5}}"#;
-        let spec = JobSpec::from_json_str(text).unwrap();
-        assert_eq!(
-            spec.engine,
-            EngineSpec::AsyncSteady {
-                pop: 12,
-                workers: 4
-            }
-        );
+            "engine":{"family":"async-steady","pop":12},"seed":3,"budget":{"generations":5}}"#;
+        let implied = JobSpec::from_json_str(text).unwrap();
+        assert_eq!(implied.engine.family(), "async-steady");
+        let explicit = JobSpec {
+            engine: EngineSpec::async_steady(12, 4),
+            ..implied.clone()
+        };
+        let a = crate::factory::build_engine(&implied, None).unwrap();
+        let b = crate::factory::build_engine(&explicit, None).unwrap();
+        assert_eq!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
     }
 }

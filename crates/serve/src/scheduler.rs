@@ -554,7 +554,23 @@ fn recover(shared: &Shared, spool: &Spool) -> RecoverReport {
         if let Some(snapshot) = &record.engine_snapshot {
             // Dispatch on the header tag before attempting a decode: a
             // snapshot from the wrong family is a corrupt spool pairing.
-            let expected = record.spec.engine.snapshot_tag();
+            // The tag comes from the family registry — the same source
+            // the engine was built from, so a registered family is
+            // always resolvable here.
+            let Some(expected) = crate::factory::Registries::builtin()
+                .families
+                .snapshot_tag(record.spec.engine.family())
+            else {
+                tombstone(
+                    &mut st,
+                    JobState::Failed(format!(
+                        "unknown engine family `{}`",
+                        record.spec.engine.family()
+                    )),
+                    stream,
+                );
+                continue;
+            };
             if snapshot.engine_tag() != expected {
                 tombstone(
                     &mut st,

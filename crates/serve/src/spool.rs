@@ -240,11 +240,8 @@ mod tests {
             id: JobId(id),
             spec: JobSpec {
                 tenant: "acme".into(),
-                problem: ProblemSpec::OneMax { len: 24 },
-                engine: EngineSpec::Ga {
-                    pop: 12,
-                    elitism: 1,
-                },
+                problem: ProblemSpec::onemax(24),
+                engine: EngineSpec::ga(12, 1),
                 seed: 3,
                 budget: Budget {
                     generations: Some(20),

@@ -31,7 +31,7 @@ fn temp_dir(tag: &str) -> PathBuf {
 fn spec(tenant: &str, seed: u64, engine: EngineSpec, generations: u64) -> JobSpec {
     JobSpec {
         tenant: tenant.into(),
-        problem: ProblemSpec::OneMax { len: 48 },
+        problem: ProblemSpec::onemax(48),
         engine,
         seed,
         budget: Budget {
@@ -41,50 +41,22 @@ fn spec(tenant: &str, seed: u64, engine: EngineSpec, generations: u64) -> JobSpe
     }
 }
 
-/// All four wire-buildable engine families.
+/// Every wire-buildable engine family, one job each.
 fn family_specs(generations: u64) -> Vec<JobSpec> {
     vec![
-        spec(
-            "alpha",
-            11,
-            EngineSpec::Ga {
-                pop: 24,
-                elitism: 1,
-            },
-            generations,
-        ),
-        spec(
-            "alpha",
-            12,
-            EngineSpec::SteadyState { pop: 24 },
-            generations,
-        ),
-        spec(
-            "beta",
-            13,
-            EngineSpec::Cellular { rows: 5, cols: 5 },
-            generations,
-        ),
-        spec(
-            "beta",
-            14,
-            EngineSpec::Island {
-                islands: 3,
-                pop: 12,
-            },
-            generations,
-        ),
+        spec("alpha", 11, EngineSpec::ga(24, 1), generations),
+        spec("alpha", 12, EngineSpec::steady(24), generations),
+        spec("beta", 13, EngineSpec::cellular(5, 5), generations),
+        spec("beta", 14, EngineSpec::island(3, 12), generations),
         // Barrier-free asynchronous family: folds arrive under a virtual
         // clock, so spool resume must also restore in-flight work.
-        spec(
-            "gamma",
-            15,
-            EngineSpec::AsyncSteady {
-                pop: 20,
-                workers: 4,
-            },
-            generations,
-        ),
+        spec("gamma", 15, EngineSpec::async_steady(20, 4), generations),
+        // Compact family: the snapshot is a probability vector + RNG, so
+        // crash-resume must restore the model bit-for-bit.
+        spec("gamma", 16, EngineSpec::cga(63), generations),
+        // Sharded compact family: per-node RNG streams and a virtual
+        // clock ride along in the snapshot.
+        spec("delta", 17, EngineSpec::pcga(63, 6), generations),
     ]
 }
 
@@ -201,15 +173,7 @@ fn hard_dropped_server_resumes_every_job_bit_identically() {
 #[test]
 fn graceful_restart_mid_run_is_also_bit_identical() {
     let dir = temp_dir("graceful");
-    let spec = spec(
-        "solo",
-        77,
-        EngineSpec::Island {
-            islands: 3,
-            pop: 12,
-        },
-        30,
-    );
+    let spec = spec("solo", 77, EngineSpec::island(3, 12), 30);
     let first = ServeBuilder::new()
         .spool_dir(&dir)
         .steps_per_slice(2)
@@ -248,37 +212,13 @@ fn submissions_past_the_job_cap_are_shed_and_readmitted_later() {
         .build()
         .expect("server starts");
     let a = serve
-        .submit(spec(
-            "t",
-            1,
-            EngineSpec::Ga {
-                pop: 16,
-                elitism: 1,
-            },
-            2000,
-        ))
+        .submit(spec("t", 1, EngineSpec::ga(16, 1), 2000))
         .expect("first admitted");
     let b = serve
-        .submit(spec(
-            "t",
-            2,
-            EngineSpec::Ga {
-                pop: 16,
-                elitism: 1,
-            },
-            2000,
-        ))
+        .submit(spec("t", 2, EngineSpec::ga(16, 1), 2000))
         .expect("second admitted");
     // At the cap: the third submission is shed with the retry hint.
-    match serve.submit(spec(
-        "t",
-        3,
-        EngineSpec::Ga {
-            pop: 16,
-            elitism: 1,
-        },
-        10,
-    )) {
+    match serve.submit(spec("t", 3, EngineSpec::ga(16, 1), 10)) {
         Err(SubmitError::Shed { retry_after_ms }) => assert_eq!(retry_after_ms, 1500),
         other => panic!("expected shed, got {other:?}"),
     }
@@ -287,15 +227,7 @@ fn submissions_past_the_job_cap_are_shed_and_readmitted_later() {
     assert!(serve.cancel(a));
     assert!(serve.wait(a, WAIT));
     let c = serve
-        .submit(spec(
-            "t",
-            3,
-            EngineSpec::Ga {
-                pop: 16,
-                elitism: 1,
-            },
-            10,
-        ))
+        .submit(spec("t", 3, EngineSpec::ga(16, 1), 10))
         .expect("admitted after capacity freed");
     assert!(serve.wait(c, WAIT));
     assert!(serve.cancel(b));
@@ -317,15 +249,7 @@ fn a_hog_tenant_cannot_starve_a_late_small_tenant() {
     let hog_ids: Vec<JobId> = (0..12)
         .map(|i| {
             serve
-                .submit(spec(
-                    "hog",
-                    100 + i,
-                    EngineSpec::Ga {
-                        pop: 16,
-                        elitism: 1,
-                    },
-                    400,
-                ))
+                .submit(spec("hog", 100 + i, EngineSpec::ga(16, 1), 400))
                 .expect("hog admitted")
         })
         .collect();
@@ -333,15 +257,7 @@ fn a_hog_tenant_cannot_starve_a_late_small_tenant() {
     let small_ids: Vec<JobId> = (0..2)
         .map(|i| {
             serve
-                .submit(spec(
-                    "small",
-                    200 + i,
-                    EngineSpec::Ga {
-                        pop: 16,
-                        elitism: 1,
-                    },
-                    40,
-                ))
+                .submit(spec("small", 200 + i, EngineSpec::ga(16, 1), 40))
                 .expect("small admitted")
         })
         .collect();
@@ -375,15 +291,7 @@ fn cancel_interrupts_a_running_job_and_persists_the_cancellation() {
         .build()
         .expect("server starts");
     let id = serve
-        .submit(spec(
-            "t",
-            5,
-            EngineSpec::Ga {
-                pop: 16,
-                elitism: 1,
-            },
-            1_000_000,
-        ))
+        .submit(spec("t", 5, EngineSpec::ga(16, 1), 1_000_000))
         .expect("admitted");
     // Let it get going, then cancel.
     let deadline = Instant::now() + WAIT;
@@ -558,6 +466,24 @@ fn http_surface_submits_reports_streams_and_cancels() {
         metrics.body
     );
     assert!(metrics.body.contains("pool.workers "), "{}", metrics.body);
+
+    // The registry listing is wire-visible: every registered family and
+    // problem shows up in GET /families.
+    let families = http(addr, "GET", "/families", "");
+    assert_eq!(families.code, 200);
+    for name in [
+        "\"ga\"",
+        "\"steady\"",
+        "\"cellular\"",
+        "\"island\"",
+        "\"async-steady\"",
+        "\"cga\"",
+        "\"pcga\"",
+        "\"onemax\"",
+        "\"trap\"",
+    ] {
+        assert!(families.body.contains(name), "{}", families.body);
+    }
 
     serve.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

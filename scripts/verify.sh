@@ -10,9 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island, pga-serve lib code)"
+echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island, pga-serve, pga-compact lib code)"
 # Lib targets only (no --all-targets): test modules may unwrap freely.
-cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -p pga-serve -- -D warnings -D clippy::unwrap_used
+cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -p pga-serve -p pga-compact -- -D warnings -D clippy::unwrap_used
 
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
@@ -66,6 +66,44 @@ timeout 300 cargo test -q -p pga-island --release --test overlap_migration
 echo "==> e20 async fairness smoke (quick mode: no results files rewritten)"
 # Quick mode still asserts async rate >= sync at 4 workers and overlap > sync islands.
 timeout 300 cargo run -q --release -p pga-bench --bin e20_async_fairness -- --quick > /dev/null
+
+echo "==> compact GA suite (release, timeout-guarded)"
+timeout 300 cargo test -q -p pga-compact --release
+
+echo "==> dispatch scaling suite (release: the near-linear gates need optimized timings)"
+timeout 300 cargo test -q -p pga-cluster --release --test dispatch_scaling
+
+echo "==> e21 compact scale smoke (quick mode: no results files rewritten)"
+# Quick mode still asserts cGA/GA parity >= 0.9 and dispatch 1024->4096 <= 1.5x.
+timeout 300 cargo run -q --release -p pga-bench --bin e21_compact_scale -- --quick > /dev/null
+
+echo "==> BENCH_cluster.json gates (dispatch <= 1.5x linear at 4096 nodes; cGA parity >= 0.9)"
+# Re-run 'cargo run --release -p pga-bench --bin e21_compact_scale' (full
+# mode) to refresh the file; the gates check the recorded rows.
+awk '/"ratio_vs_1024"/ {
+    n4 = r = 0
+    if (match($0, /"nodes": [0-9]+/))           n4 = substr($0, RSTART + 9, RLENGTH - 9) + 0
+    if (match($0, /"ratio_vs_1024": [0-9.]+/))  r = substr($0, RSTART + 18, RLENGTH - 18) + 0
+    if (n4 == 4096) {
+        n++
+        if (r > 1.5) { print "dispatch at 4096 nodes is " r "x its 1024-node cost (> 1.5x)"; bad = 1 }
+    }
+}
+END {
+    if (n == 0) { print "no 4096-node dispatch row found"; exit 1 }
+    if (bad) exit 1
+    print "dispatch at 4096 nodes within 1.5x of 1024-node per-task cost"
+}' results/BENCH_cluster.json
+awk -F'"parity": ' '/"parity": [0-9]/ {
+    v = $2 + 0
+    if (v < 0.9) { print "quality parity below 0.9: " $0; bad = 1 }
+    n++
+}
+END {
+    if (n == 0) { print "no parity entries found"; exit 1 }
+    if (bad) exit 1
+    print n " parity entries (serial cGA + sharded pcGA), all >= 0.9"
+}' results/BENCH_cluster.json
 
 echo "==> BENCH_async.json fairness gate (async >= sync at every worker count >= 4)"
 # Re-run 'cargo run --release -p pga-bench --bin e20_async_fairness' (full

@@ -18,6 +18,7 @@
 //! | [`master_slave`] | `pga-master-slave` | global (data-parallel) model |
 //! | [`island`] | `pga-island` | coarse-grained (distributed) model |
 //! | [`cellular`] | `pga-cellular` | fine-grained (cellular) model |
+//! | [`compact`] | `pga-compact` | compact GA: probability-vector model, sharded pcGA |
 //! | [`hierarchical`] | `pga-hierarchical` | multi-layer, multi-fidelity model |
 //! | [`multiobjective`] | `pga-multiobjective` | Pareto tools + specialized island model |
 //! | [`analysis`] | `pga-analysis` | experiment runner, speedup/efficacy metrics |
@@ -32,6 +33,7 @@ pub use pga_analysis as analysis;
 pub use pga_apps as apps;
 pub use pga_cellular as cellular;
 pub use pga_cluster as cluster;
+pub use pga_compact as compact;
 pub use pga_core as core;
 pub use pga_hierarchical as hierarchical;
 pub use pga_island as island;

@@ -22,10 +22,9 @@ pub use pga_core::ops::{
     Swap, Tournament, Truncation, TwoPoint, Uniform,
 };
 pub use pga_core::{
-    BitString, Bounds, Clock, ConfigError, Driver, Engine, Evaluator, Ga, GaBuilder, Genome,
-    Individual, IntVector, Objective, Permutation, PopStats, Population, Problem, Progress,
-    RealVector, Rng64, RunOutcome, Scheme, SerialEvaluator, Snapshot, SnapshotError, StepReport,
-    StopReason, Termination,
+    BitString, Bounds, Clock, ConfigError, Driver, Engine, Evaluator, Genome, Individual,
+    IntVector, Objective, Permutation, PopStats, Population, Problem, Progress, RealVector, Rng64,
+    RunOutcome, SerialEvaluator, Snapshot, SnapshotError, StepReport, StopReason, Termination,
 };
 
 // Observability: recorders, events, metrics.
@@ -34,7 +33,16 @@ pub use pga_observe::{
     Recorder, RingRecorder, SharedRecorder,
 };
 
-// Master–slave evaluation substrates (sync batch and async steady-state).
+// ---------------------------------------------------------------------
+// Engine families — one block per family, each exporting its engine
+// type(s) and validating builder (the canonical configuration path).
+// ---------------------------------------------------------------------
+
+// Panmictic GA (generational and steady-state schemes).
+pub use pga_core::{Ga, GaBuilder, Scheme};
+
+// Master–slave (global) model: evaluation substrates for the panmictic
+// engine plus the barrier-free asynchronous steady-state engine.
 pub use pga_master_slave::{
     AsyncSteadyBuilder, AsyncSteadyStateGa, ExpensiveFitness, RayonEvaluator, ResilientBuilder,
     ResilientEvaluator, ResilientStats, SimulatedMasterSlaveGa,
@@ -56,12 +64,19 @@ pub use pga_hierarchical::{Hga, HgaBuilder, HgaConfig, IslandFactory, LevelView}
 // Multiobjective island model.
 pub use pga_multiobjective::{MoEngine, MoEngineBuilder};
 
+// Compact (model-based) family: the population is a probability vector.
+// `CompactGa` is the serial cGA; `ShardedCompactGa` partitions the
+// vector across simulated nodes, exchanging model updates only.
+pub use pga_compact::{
+    CompactGa, CompactGaBuilder, ShardedCompactGa, ShardedCompactGaBuilder, WireStats,
+};
+
 // GA-as-a-service job server (the erased-engine runtime rides along so
 // embedded callers can drive a `BoxedEngine` under the generic driver).
 pub use pga_core::{erase, BoxedEngine, ErasedEngine, ErasedRun};
 pub use pga_serve::{
-    Budget, EngineSpec, JobId, JobSpec, JobState, ProblemSpec, Serve, ServeBuilder, ServeRuntime,
-    SubmitError,
+    Budget, EngineSpec, FamilyRegistry, JobId, JobSpec, JobState, ProblemRegistry, ProblemSpec,
+    Registries, Serve, ServeBuilder, ServeRuntime, SubmitError,
 };
 
 // Topologies and neighborhoods.

@@ -6,6 +6,7 @@
 
 use parallel_ga::cellular::CellularGa;
 use parallel_ga::cluster::{ClusterSpec, EvalCostModel, FailurePlan, NetworkProfile};
+use parallel_ga::compact::{CompactGa, ShardedCompactGa};
 use parallel_ga::core::ops::{BitFlip, BlxAlpha, GaussianMutation, OnePoint, Sbx, Tournament};
 use parallel_ga::core::{Bounds, Engine, Ga, GaBuilder, Scheme, Snapshot, SnapshotError};
 use parallel_ga::hierarchical::{BlurredFidelity, Hga, HgaConfig, LevelView};
@@ -247,6 +248,60 @@ fn overlap_archipelago_resumes_bit_identically() {
         20,
         8,
     );
+}
+
+fn compact(seed: u64) -> CompactGa<Arc<OneMax>> {
+    CompactGa::builder(Arc::new(OneMax::new(48)))
+        .seed(seed)
+        .virtual_pop(63)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn compact_ga_resumes_bit_identically() {
+    // The snapshot is just the probability vector + RNG + counters, so the
+    // roundtrip exercises the full model state.
+    assert_bit_identical_resume(|| compact(29), 30, 11);
+}
+
+fn sharded_compact(seed: u64) -> ShardedCompactGa<Arc<OneMax>> {
+    let cluster = ClusterSpec::homogeneous(6, NetworkProfile::FastEthernet).expect("valid cluster");
+    ShardedCompactGa::builder(Arc::new(OneMax::new(48)))
+        .cluster(cluster)
+        .virtual_pop(63)
+        .seed(seed)
+        .build()
+        .expect("valid configuration")
+}
+
+#[test]
+fn sharded_compact_ga_resumes_bit_identically() {
+    // The split point leaves the virtual clock mid-run; the snapshot must
+    // carry the per-shard slices and the clock for the resumed run to
+    // replay the same gather/broadcast schedule.
+    assert_bit_identical_resume(|| sharded_compact(31), 25, 9);
+}
+
+#[test]
+fn compact_rejects_mismatched_virtual_pop_on_restore() {
+    let donor = compact(1);
+    let mut other = CompactGa::builder(Arc::new(OneMax::new(48)))
+        .seed(1)
+        .virtual_pop(127) // differs from the snapshot's 63
+        .build()
+        .expect("valid configuration");
+    assert!(matches!(
+        other.restore(&donor.snapshot()),
+        Err(SnapshotError::Invalid(_))
+    ));
+    // Cross-family restore between the serial and sharded variants is a
+    // typed WrongEngine, not a silent reinterpretation.
+    let mut sharded = sharded_compact(1);
+    assert!(matches!(
+        sharded.restore(&donor.snapshot()),
+        Err(SnapshotError::WrongEngine { .. })
+    ));
 }
 
 #[test]

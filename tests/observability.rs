@@ -3,6 +3,7 @@
 //! runs of the same seed must produce identical search results.
 
 use parallel_ga::cluster::{ClusterSpec, EvalCostModel, NetworkProfile};
+use parallel_ga::compact::{CompactGa, ShardedCompactGa};
 use parallel_ga::core::ops::{BitFlip, OnePoint, Tournament};
 use parallel_ga::core::{Engine, GaBuilder, Scheme, SerialEvaluator, Termination};
 use parallel_ga::island::{Archipelago, MigrationPolicy, SyncMode};
@@ -153,6 +154,93 @@ fn recorder_attach_detach_does_not_change_async_steady_run() {
         folds,
         12 * 32,
         "one async_fold per folded result while attached"
+    );
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_compact_ga_run() {
+    // The compact engine's only RNG stream drives the model sampling, so
+    // any recorder leakage would shift the probability vector itself.
+    let build = |ring: Option<RingRecorder>| {
+        let mut b = CompactGa::builder(Arc::new(OneMax::new(GENOME)))
+            .seed(41)
+            .virtual_pop(63);
+        if let Some(r) = ring {
+            b = b.recorder(r);
+        }
+        b.build().expect("valid configuration")
+    };
+
+    let mut plain = build(None);
+    let ring = RingRecorder::new(1 << 12);
+    let mut observed = build(Some(ring.clone()));
+    for _ in 0..40 {
+        plain.step();
+        observed.step();
+    }
+    // Mid-run detach must also be inert.
+    assert!(observed.take_recorder().is_some(), "recorder was attached");
+    for _ in 0..10 {
+        plain.step();
+        observed.step();
+    }
+
+    assert_eq!(
+        plain.snapshot().to_bytes(),
+        observed.snapshot().to_bytes(),
+        "recorder attach/detach changed the compact trajectory"
+    );
+    let generations = ring
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::GenerationCompleted { .. }))
+        .count();
+    assert_eq!(
+        generations, 40,
+        "one generation_completed per step while attached"
+    );
+}
+
+#[test]
+fn recorder_attach_detach_does_not_change_sharded_compact_run() {
+    let build = |ring: Option<RingRecorder>| {
+        let cluster =
+            ClusterSpec::homogeneous(6, NetworkProfile::FastEthernet).expect("valid cluster");
+        let mut b = ShardedCompactGa::builder(Arc::new(OneMax::new(GENOME)))
+            .cluster(cluster)
+            .virtual_pop(63)
+            .seed(43);
+        if let Some(r) = ring {
+            b = b.recorder(r);
+        }
+        b.build().expect("valid configuration")
+    };
+
+    let mut plain = build(None);
+    let ring = RingRecorder::new(1 << 12);
+    let mut observed = build(Some(ring.clone()));
+    for _ in 0..30 {
+        plain.step();
+        observed.step();
+    }
+    assert!(observed.take_recorder().is_some(), "recorder was attached");
+    for _ in 0..10 {
+        plain.step();
+        observed.step();
+    }
+
+    // Identical snapshot bytes cover the per-shard RNGs, the probability
+    // slices, the wire counters, and the virtual clock.
+    assert_eq!(
+        plain.snapshot().to_bytes(),
+        observed.snapshot().to_bytes(),
+        "recorder attach/detach changed the sharded compact trajectory"
+    );
+    assert!(
+        ring.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::GenerationCompleted { .. })),
+        "sharded runs must trace generations while attached"
     );
 }
 
