@@ -1,0 +1,518 @@
+//! Deterministic chaos scripts for the serving layer (`pga-serve`).
+//!
+//! A [`ChaosPlan`] scripts faults *by operation index*, the serve-layer
+//! analogue of [`FaultPlan`](crate::FaultPlan)'s task-count scripts: the
+//! plan is drawn once (either explicitly or seeded via
+//! [`ChaosPlan::storm`]) and then fixed, so the fault *schedule* is a
+//! pure function of its seed. Five injection points are scripted:
+//!
+//! | Point | Index counts… | Fault |
+//! |---|---|---|
+//! | spool write | `Spool::save` calls | IO error, or a torn (truncated) file |
+//! | spool read  | spool files read at recovery | IO error |
+//! | slice       | job slices, in selection order | engine panic, stalled `poll_step` |
+//! | accept      | accepted HTTP connections | dropped before reading the request |
+//! | tenant      | — (keyed by name, not index) | every slice of a *poison tenant* panics |
+//!
+//! Tenant-keyed panics are the interleaving-independent subset: however
+//! the scheduler orders its batches, a poison tenant's jobs panic on
+//! every attempt, so retry-budget exhaustion counts are exact. The
+//! index-keyed faults hit "whichever operation is n-th" — deterministic
+//! for a serialized point (spool writes happen on the one scheduler
+//! thread), scheduling-dependent across threads — and the serving
+//! stack's invariants (availability, quarantine, bit-identical
+//! recovery) must hold for *every* realizable interleaving.
+//!
+//! The runtime side is [`ChaosInjector`]: the plan plus one atomic
+//! cursor per injection point, consulted by `pga-serve` behind an
+//! `Option` that defaults to `None` — the production path pays one
+//! branch per operation and allocates nothing.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use pga_core::Rng64;
+
+/// What to inject into one job slice.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SliceChaos {
+    /// Run the slice normally.
+    #[default]
+    None,
+    /// Panic inside the slice (caught by the scheduler's `catch_unwind`).
+    Panic,
+    /// Sleep this long before stepping — a stalled `poll_step` slice the
+    /// watchdog deadline must catch.
+    Stall(Duration),
+}
+
+/// What to inject into one spool write.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpoolWriteChaos {
+    /// Write normally.
+    #[default]
+    None,
+    /// Fail the write with an IO error (persist-retry/degraded path).
+    Error,
+    /// Tear the write: only the first `n` bytes reach the file, as if
+    /// the process died mid-write. The record on disk is corrupt; the
+    /// checksum catches it at the next recovery scan.
+    Truncate(usize),
+}
+
+/// How many faults a seeded [`ChaosPlan::storm`] draws, and over which
+/// index horizons. All counts may exceed what the run actually reaches;
+/// unreached indices simply never fire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StormSpec {
+    /// Spool write errors to script (drawn over `spool_write_horizon`).
+    pub spool_write_errors: usize,
+    /// Torn spool writes to script (drawn over `spool_write_horizon`).
+    pub spool_truncations: usize,
+    /// Bytes kept by each torn write.
+    pub truncate_keep_bytes: usize,
+    /// Index horizon for spool-write faults.
+    pub spool_write_horizon: u64,
+    /// Spool read errors to script (drawn over `spool_read_horizon`).
+    pub spool_read_errors: usize,
+    /// Index horizon for spool-read faults.
+    pub spool_read_horizon: u64,
+    /// Stalled slices to script (drawn over `slice_horizon`).
+    pub slice_stalls: usize,
+    /// How long each stalled slice sleeps.
+    pub stall: Duration,
+    /// Panicking slices to script by index (drawn over `slice_horizon`),
+    /// *in addition to* any poison tenants.
+    pub slice_panics: usize,
+    /// Index horizon for slice faults.
+    pub slice_horizon: u64,
+    /// Accepted-connection drops to script (drawn over `conn_horizon`).
+    pub conn_drops: usize,
+    /// Index horizon for connection drops.
+    pub conn_horizon: u64,
+}
+
+impl Default for StormSpec {
+    fn default() -> Self {
+        Self {
+            spool_write_errors: 4,
+            spool_truncations: 2,
+            truncate_keep_bytes: 24,
+            spool_write_horizon: 200,
+            spool_read_errors: 1,
+            spool_read_horizon: 16,
+            slice_stalls: 3,
+            stall: Duration::from_millis(40),
+            slice_panics: 2,
+            slice_horizon: 300,
+            conn_drops: 2,
+            conn_horizon: 400,
+        }
+    }
+}
+
+/// A fixed, deterministic fault script for the serving stack. `Default`
+/// (and [`ChaosPlan::none`]) is the empty plan: nothing ever fires.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaosPlan {
+    spool_write_errors: BTreeSet<u64>,
+    spool_write_truncations: BTreeMap<u64, usize>,
+    spool_read_errors: BTreeSet<u64>,
+    slice_panics: BTreeSet<u64>,
+    slice_stalls: BTreeMap<u64, Duration>,
+    poison_tenants: BTreeSet<String>,
+    conn_drops: BTreeSet<u64>,
+}
+
+impl ChaosPlan {
+    /// The empty plan: every injection point is a no-op.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Draws a mixed fault storm from `seed`: the schedule is a pure
+    /// function of `(seed, spec)` — equal seeds give equal storms.
+    #[must_use]
+    pub fn storm(seed: u64, spec: &StormSpec) -> Self {
+        let mut rng = Rng64::new(seed);
+        let mut draw = |count: usize, horizon: u64| -> BTreeSet<u64> {
+            let mut set = BTreeSet::new();
+            if horizon == 0 {
+                return set;
+            }
+            // Rejection-free enough at storm densities; cap the loop so
+            // a spec asking for more faults than the horizon holds still
+            // terminates with a saturated set.
+            for _ in 0..count.saturating_mul(8) {
+                if set.len() >= count.min(horizon as usize) {
+                    break;
+                }
+                set.insert(rng.next_u64() % horizon);
+            }
+            set
+        };
+        let spool_write_errors = draw(spec.spool_write_errors, spec.spool_write_horizon);
+        let truncations = draw(spec.spool_truncations, spec.spool_write_horizon);
+        Self {
+            // A torn write and an error at the same index would shadow
+            // each other; errors win, truncations move aside.
+            spool_write_truncations: truncations
+                .into_iter()
+                .filter(|i| !spool_write_errors.contains(i))
+                .map(|i| (i, spec.truncate_keep_bytes))
+                .collect(),
+            spool_write_errors,
+            spool_read_errors: draw(spec.spool_read_errors, spec.spool_read_horizon),
+            slice_panics: draw(spec.slice_panics, spec.slice_horizon),
+            slice_stalls: draw(spec.slice_stalls, spec.slice_horizon)
+                .into_iter()
+                .map(|i| (i, spec.stall))
+                .collect(),
+            poison_tenants: BTreeSet::new(),
+            conn_drops: draw(spec.conn_drops, spec.conn_horizon),
+        }
+    }
+
+    /// Scripts an IO error on the `index`-th spool write (0-based).
+    #[must_use]
+    pub fn spool_write_error(mut self, index: u64) -> Self {
+        self.spool_write_errors.insert(index);
+        self
+    }
+
+    /// Scripts a torn `index`-th spool write: only `keep_bytes` bytes
+    /// reach the file.
+    #[must_use]
+    pub fn spool_write_truncated(mut self, index: u64, keep_bytes: usize) -> Self {
+        self.spool_write_truncations.insert(index, keep_bytes);
+        self
+    }
+
+    /// Scripts an IO error on the `index`-th spool file read (0-based,
+    /// counted across recovery scans).
+    #[must_use]
+    pub fn spool_read_error(mut self, index: u64) -> Self {
+        self.spool_read_errors.insert(index);
+        self
+    }
+
+    /// Scripts a panic inside the `index`-th scheduled slice (0-based,
+    /// in batch selection order).
+    #[must_use]
+    pub fn slice_panic(mut self, index: u64) -> Self {
+        self.slice_panics.insert(index);
+        self
+    }
+
+    /// Scripts a stall of `stall` before the `index`-th scheduled slice
+    /// steps.
+    #[must_use]
+    pub fn slice_stall(mut self, index: u64, stall: Duration) -> Self {
+        self.slice_stalls.insert(index, stall);
+        self
+    }
+
+    /// Marks `tenant` as poison: **every** slice of its jobs panics, on
+    /// the first attempt and on every resurrection, independent of
+    /// scheduling order. This is the lever for exact quarantine counts.
+    #[must_use]
+    pub fn poison_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.poison_tenants.insert(tenant.into());
+        self
+    }
+
+    /// Scripts dropping the `index`-th accepted HTTP connection before
+    /// its request is read.
+    #[must_use]
+    pub fn drop_connection(mut self, index: u64) -> Self {
+        self.conn_drops.insert(index);
+        self
+    }
+
+    /// `true` when nothing is scripted (the disabled-equivalent plan).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spool_write_errors.is_empty()
+            && self.spool_write_truncations.is_empty()
+            && self.spool_read_errors.is_empty()
+            && self.slice_panics.is_empty()
+            && self.slice_stalls.is_empty()
+            && self.poison_tenants.is_empty()
+            && self.conn_drops.is_empty()
+    }
+
+    /// Tenants whose every slice is scripted to panic.
+    pub fn poison_tenants(&self) -> impl Iterator<Item = &str> {
+        self.poison_tenants.iter().map(String::as_str)
+    }
+
+    /// `true` when `tenant` is scripted as poison.
+    #[must_use]
+    pub fn is_poison(&self, tenant: &str) -> bool {
+        self.poison_tenants.contains(tenant)
+    }
+
+    /// The fault scripted for spool write `index`, if any.
+    #[must_use]
+    pub fn spool_write_fault(&self, index: u64) -> SpoolWriteChaos {
+        if self.spool_write_errors.contains(&index) {
+            SpoolWriteChaos::Error
+        } else if let Some(&keep) = self.spool_write_truncations.get(&index) {
+            SpoolWriteChaos::Truncate(keep)
+        } else {
+            SpoolWriteChaos::None
+        }
+    }
+
+    /// `true` when spool read `index` is scripted to fail.
+    #[must_use]
+    pub fn spool_read_fault(&self, index: u64) -> bool {
+        self.spool_read_errors.contains(&index)
+    }
+
+    /// The fault scripted for slice `index` of `tenant`, if any. Poison
+    /// tenants panic regardless of index.
+    #[must_use]
+    pub fn slice_fault(&self, index: u64, tenant: &str) -> SliceChaos {
+        if self.poison_tenants.contains(tenant) || self.slice_panics.contains(&index) {
+            SliceChaos::Panic
+        } else if let Some(&stall) = self.slice_stalls.get(&index) {
+            SliceChaos::Stall(stall)
+        } else {
+            SliceChaos::None
+        }
+    }
+
+    /// `true` when accepted connection `index` is scripted to drop.
+    #[must_use]
+    pub fn conn_drop_fault(&self, index: u64) -> bool {
+        self.conn_drops.contains(&index)
+    }
+}
+
+/// Faults actually fired so far, per injection point (monotone).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaosCounts {
+    /// Spool writes failed with an injected IO error.
+    pub spool_write_errors: u64,
+    /// Spool writes torn (truncated on disk).
+    pub spool_truncations: u64,
+    /// Spool reads failed with an injected IO error.
+    pub spool_read_errors: u64,
+    /// Slices that panicked by script (index- or tenant-keyed).
+    pub slice_panics: u64,
+    /// Slices stalled by script.
+    pub slice_stalls: u64,
+    /// Accepted connections dropped by script.
+    pub connection_drops: u64,
+}
+
+/// A [`ChaosPlan`] armed with per-point atomic cursors: each call to an
+/// `on_*` method consumes the next index for that point and returns the
+/// scripted fault, so the consuming layer never tracks indices itself.
+/// Thread-safe; shared behind an `Arc` between the scheduler, the
+/// spool, and the HTTP acceptor.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: ChaosPlan,
+    spool_writes: AtomicU64,
+    spool_reads: AtomicU64,
+    slices: AtomicU64,
+    accepts: AtomicU64,
+    fired_write_errors: AtomicU64,
+    fired_truncations: AtomicU64,
+    fired_read_errors: AtomicU64,
+    fired_panics: AtomicU64,
+    fired_stalls: AtomicU64,
+    fired_drops: AtomicU64,
+}
+
+impl ChaosInjector {
+    /// Arms `plan` with zeroed cursors.
+    #[must_use]
+    pub fn new(plan: ChaosPlan) -> Self {
+        Self {
+            plan,
+            spool_writes: AtomicU64::new(0),
+            spool_reads: AtomicU64::new(0),
+            slices: AtomicU64::new(0),
+            accepts: AtomicU64::new(0),
+            fired_write_errors: AtomicU64::new(0),
+            fired_truncations: AtomicU64::new(0),
+            fired_read_errors: AtomicU64::new(0),
+            fired_panics: AtomicU64::new(0),
+            fired_stalls: AtomicU64::new(0),
+            fired_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// The armed plan.
+    #[must_use]
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Consumes the next spool-write index and returns its fault.
+    pub fn on_spool_write(&self) -> SpoolWriteChaos {
+        let index = self.spool_writes.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.spool_write_fault(index);
+        match fault {
+            SpoolWriteChaos::Error => {
+                self.fired_write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            SpoolWriteChaos::Truncate(_) => {
+                self.fired_truncations.fetch_add(1, Ordering::Relaxed);
+            }
+            SpoolWriteChaos::None => {}
+        }
+        fault
+    }
+
+    /// Consumes the next spool-read index; `true` means fail the read.
+    pub fn on_spool_read(&self) -> bool {
+        let index = self.spool_reads.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.spool_read_fault(index);
+        if fault {
+            self.fired_read_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// Consumes the next slice index and returns the fault for a slice
+    /// of `tenant`.
+    pub fn on_slice(&self, tenant: &str) -> SliceChaos {
+        let index = self.slices.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.slice_fault(index, tenant);
+        match fault {
+            SliceChaos::Panic => {
+                self.fired_panics.fetch_add(1, Ordering::Relaxed);
+            }
+            SliceChaos::Stall(_) => {
+                self.fired_stalls.fetch_add(1, Ordering::Relaxed);
+            }
+            SliceChaos::None => {}
+        }
+        fault
+    }
+
+    /// Consumes the next accepted-connection index; `true` means drop
+    /// the connection unanswered.
+    pub fn on_accept(&self) -> bool {
+        let index = self.accepts.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.conn_drop_fault(index);
+        if fault {
+            self.fired_drops.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+
+    /// Faults fired so far.
+    #[must_use]
+    pub fn counts(&self) -> ChaosCounts {
+        ChaosCounts {
+            spool_write_errors: self.fired_write_errors.load(Ordering::Relaxed),
+            spool_truncations: self.fired_truncations.load(Ordering::Relaxed),
+            spool_read_errors: self.fired_read_errors.load(Ordering::Relaxed),
+            slice_panics: self.fired_panics.load(Ordering::Relaxed),
+            slice_stalls: self.fired_stalls.load(Ordering::Relaxed),
+            connection_drops: self.fired_drops.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let injector = ChaosInjector::new(ChaosPlan::none());
+        for _ in 0..100 {
+            assert_eq!(injector.on_spool_write(), SpoolWriteChaos::None);
+            assert!(!injector.on_spool_read());
+            assert_eq!(injector.on_slice("acme"), SliceChaos::None);
+            assert!(!injector.on_accept());
+        }
+        assert_eq!(injector.counts(), ChaosCounts::default());
+    }
+
+    #[test]
+    fn storms_are_pure_functions_of_seed() {
+        let spec = StormSpec::default();
+        assert_eq!(ChaosPlan::storm(7, &spec), ChaosPlan::storm(7, &spec));
+        assert_ne!(ChaosPlan::storm(7, &spec), ChaosPlan::storm(8, &spec));
+        assert!(!ChaosPlan::storm(7, &spec).is_empty());
+    }
+
+    #[test]
+    fn indexed_faults_fire_exactly_at_their_index() {
+        let plan = ChaosPlan::none()
+            .spool_write_error(2)
+            .spool_write_truncated(4, 10)
+            .spool_read_error(1)
+            .slice_panic(3)
+            .slice_stall(5, Duration::from_millis(7))
+            .drop_connection(0);
+        let injector = ChaosInjector::new(plan);
+        let writes: Vec<_> = (0..6).map(|_| injector.on_spool_write()).collect();
+        assert_eq!(writes[2], SpoolWriteChaos::Error);
+        assert_eq!(writes[4], SpoolWriteChaos::Truncate(10));
+        assert_eq!(
+            writes
+                .iter()
+                .filter(|w| **w == SpoolWriteChaos::None)
+                .count(),
+            4
+        );
+        let reads: Vec<_> = (0..3).map(|_| injector.on_spool_read()).collect();
+        assert_eq!(reads, vec![false, true, false]);
+        let slices: Vec<_> = (0..6).map(|_| injector.on_slice("t")).collect();
+        assert_eq!(slices[3], SliceChaos::Panic);
+        assert_eq!(slices[5], SliceChaos::Stall(Duration::from_millis(7)));
+        assert!(injector.on_accept() && !injector.on_accept());
+        let counts = injector.counts();
+        assert_eq!(counts.spool_write_errors, 1);
+        assert_eq!(counts.spool_truncations, 1);
+        assert_eq!(counts.spool_read_errors, 1);
+        assert_eq!(counts.slice_panics, 1);
+        assert_eq!(counts.slice_stalls, 1);
+        assert_eq!(counts.connection_drops, 1);
+    }
+
+    #[test]
+    fn poison_tenants_panic_on_every_slice() {
+        let plan = ChaosPlan::none().poison_tenant("mal");
+        assert!(plan.is_poison("mal"));
+        assert!(!plan.is_poison("acme"));
+        let injector = ChaosInjector::new(plan);
+        for _ in 0..10 {
+            assert_eq!(injector.on_slice("mal"), SliceChaos::Panic);
+            assert_eq!(injector.on_slice("acme"), SliceChaos::None);
+        }
+        assert_eq!(injector.counts().slice_panics, 10);
+    }
+
+    #[test]
+    fn storm_respects_spec_counts() {
+        let spec = StormSpec {
+            spool_write_errors: 3,
+            spool_truncations: 2,
+            slice_stalls: 4,
+            slice_panics: 1,
+            conn_drops: 2,
+            ..StormSpec::default()
+        };
+        let plan = ChaosPlan::storm(11, &spec);
+        let fired = |f: &dyn Fn(u64) -> bool, horizon: u64| (0..horizon).filter(|&i| f(i)).count();
+        assert!(fired(&|i| plan.spool_read_fault(i), spec.spool_read_horizon) <= 1);
+        assert!(fired(&|i| plan.conn_drop_fault(i), spec.conn_horizon) <= 2);
+        // Errors and truncations never collide on one index.
+        for i in 0..spec.spool_write_horizon {
+            let e = matches!(plan.spool_write_fault(i), SpoolWriteChaos::Error);
+            let t = matches!(plan.spool_write_fault(i), SpoolWriteChaos::Truncate(_));
+            assert!(!(e && t));
+        }
+    }
+}

@@ -22,6 +22,7 @@
 #![warn(clippy::all)]
 
 pub mod async_sim;
+pub mod chaos;
 pub mod cost;
 pub mod event;
 pub mod fault;
@@ -34,6 +35,7 @@ pub mod observe_bridge;
 pub mod spec;
 
 pub use async_sim::AsyncDispatchSim;
+pub use chaos::{ChaosCounts, ChaosInjector, ChaosPlan, SliceChaos, SpoolWriteChaos, StormSpec};
 pub use cost::EvalCostModel;
 pub use event::EventQueue;
 pub use fault::{FaultPlan, WorkerFault};

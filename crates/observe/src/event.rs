@@ -67,7 +67,10 @@ impl Event {
             | EventKind::HeartbeatMissed { .. }
             | EventKind::TaskRetried { .. }
             | EventKind::WorkerQuarantined { .. }
-            | EventKind::WorkerRecovered { .. } => None,
+            | EventKind::WorkerRecovered { .. }
+            | EventKind::JobRetried { .. }
+            | EventKind::JobPoisoned { .. }
+            | EventKind::SpoolDegraded { .. } => None,
         }
     }
 
@@ -97,6 +100,9 @@ impl Event {
             | EventKind::TaskRetried { .. }
             | EventKind::WorkerQuarantined { .. }
             | EventKind::WorkerRecovered { .. }
+            | EventKind::JobRetried { .. }
+            | EventKind::JobPoisoned { .. }
+            | EventKind::SpoolDegraded { .. }
             | EventKind::AsyncFold { .. } => None,
         }
     }
@@ -286,6 +292,27 @@ impl Event {
                 ("offered", Int(*offered)),
                 ("accepted", Int(*accepted)),
             ],
+            EventKind::JobRetried {
+                job,
+                attempt,
+                backoff_micros,
+            } => vec![
+                ("job", Int(*job)),
+                ("attempt", Int(*attempt)),
+                ("backoff_micros", Int(*backoff_micros)),
+            ],
+            EventKind::JobPoisoned {
+                job,
+                retries,
+                reason,
+            } => vec![
+                ("job", Int(*job)),
+                ("retries", Int(*retries)),
+                ("reason", Text(reason.clone())),
+            ],
+            EventKind::SpoolDegraded { errors, degraded } => {
+                vec![("errors", Int(*errors)), ("degraded", Bool(*degraded))]
+            }
             EventKind::RunFinished {
                 island,
                 generations,
@@ -540,6 +567,36 @@ pub enum EventKind {
         /// Immigrants accepted by the replacement policy.
         accepted: u64,
     },
+    /// The serve scheduler resurrected a panicked or stalled job from
+    /// its last good snapshot (bounded-retry path).
+    JobRetried {
+        /// Job id (the numeric part of the wire id `j<n>`).
+        job: u64,
+        /// 1-based resurrection attempt.
+        attempt: u64,
+        /// Exponential backoff before the job is schedulable again.
+        backoff_micros: u64,
+    },
+    /// A serve job exhausted its retry budget and was quarantined:
+    /// terminal `poisoned`, never scheduled again, never takes the
+    /// pool down.
+    JobPoisoned {
+        /// Job id (the numeric part of the wire id `j<n>`).
+        job: u64,
+        /// Resurrections spent before quarantine.
+        retries: u64,
+        /// Final failure message.
+        reason: String,
+    },
+    /// The serve spool entered (`degraded: true`) or left
+    /// (`degraded: false`) degraded mode: persist retries were
+    /// exhausted and jobs continue on in-memory checkpoints only.
+    SpoolDegraded {
+        /// Persist errors observed so far at the transition.
+        errors: u64,
+        /// `true` entering degraded mode, `false` on recovery.
+        degraded: bool,
+    },
     /// An engine finished a run.
     RunFinished {
         /// Island/deme id (0 for single-population engines).
@@ -581,6 +638,9 @@ impl EventKind {
             Self::IslandHeartbeatMissed { .. } => "island_heartbeat_missed",
             Self::AsyncFold { .. } => "async_fold",
             Self::AsyncImmigrantsDrained { .. } => "async_immigrants_drained",
+            Self::JobRetried { .. } => "job_retried",
+            Self::JobPoisoned { .. } => "job_poisoned",
+            Self::SpoolDegraded { .. } => "spool_degraded",
             Self::RunFinished { .. } => "run_finished",
         }
     }
@@ -619,6 +679,8 @@ impl EventKind {
             // Island lifecycle: the loss evidence, then the recovery.
             Self::IslandHeartbeatMissed { .. } => 6,
             Self::IslandLost { .. } | Self::IslandResurrected { .. } => 7,
+            // Serve job lifecycle shares the recovery-action slot.
+            Self::JobRetried { .. } | Self::JobPoisoned { .. } | Self::SpoolDegraded { .. } => 7,
             Self::RunFinished { .. } => 8,
         }
     }
@@ -747,6 +809,20 @@ mod tests {
                 generation: 16,
                 offered: 2,
                 accepted: 1,
+            },
+            EventKind::JobRetried {
+                job: 4,
+                attempt: 1,
+                backoff_micros: 10_000,
+            },
+            EventKind::JobPoisoned {
+                job: 4,
+                retries: 3,
+                reason: "chaos: injected slice panic".into(),
+            },
+            EventKind::SpoolDegraded {
+                errors: 3,
+                degraded: true,
             },
             EventKind::RunFinished {
                 island: 0,

@@ -5,12 +5,19 @@
 //!
 //! | Method & path          | Meaning                             | Responses |
 //! |------------------------|-------------------------------------|-----------|
-//! | `POST /jobs`           | Submit a [`JobSpec`] JSON body      | `201` `{"id":"j0"}`, `400`, `429` + `Retry-After`, `503` |
+//! | `POST /jobs`           | Submit a [`JobSpec`] JSON body      | `201` `{"id":"j0"}`, `400`, `413`, `429` + `Retry-After`, `503` |
 //! | `GET /jobs/:id`        | Job status document                 | `200`, `404` |
 //! | `GET /jobs/:id/events` | JSONL event stream (close-delimited)| `200`, `404` |
 //! | `DELETE /jobs/:id`     | Cooperative cancel                  | `200`, `404`, `409` |
 //! | `GET /metrics`         | Plain-text runtime + pool metrics   | `200` |
 //! | `GET /families`        | Registered engine families/problems | `200` |
+//! | `GET /healthz`         | Liveness + degraded/quarantine info | `200` |
+//! | `GET /readyz`          | Readiness (admission open?)         | `200`, `503` |
+//! | `POST /drain`          | Graceful drain: close admission, persist all | `200` |
+//!
+//! Hardening: both a read and a write timeout bound every connection,
+//! and oversized `Content-Length`s are rejected `413` *before* the body
+//! is read (cap configurable via `ServeBuilder::max_body_bytes`).
 //!
 //! The events endpoint streams each line the engine's recorder emits,
 //! polling the job's shared buffer until the job reaches a terminal
@@ -28,12 +35,12 @@ use crate::job::JobId;
 use crate::protocol::{JobSpec, Json};
 use crate::scheduler::{ServeRuntime, SubmitError};
 
-/// Largest accepted request body (a job spec is a few hundred bytes).
-const MAX_BODY: usize = 1 << 20;
 /// Largest accepted header block.
 const MAX_HEAD: usize = 16 << 10;
 /// Poll interval for the events stream.
 const EVENT_POLL: Duration = Duration::from_millis(5);
+/// Read and write timeout per connection.
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// A running HTTP listener bound to a local address. Dropping (or
 /// calling [`shutdown`](Self::shutdown)) stops accepting; in-flight
@@ -84,6 +91,12 @@ pub fn serve_http(runtime: Arc<ServeRuntime>, addr: &str) -> io::Result<HttpServ
                         break;
                     }
                     let Ok(conn) = conn else { continue };
+                    if runtime.chaos().is_some_and(|c| c.on_accept()) {
+                        // Scripted connection drop: close unanswered,
+                        // as if the process vanished mid-accept.
+                        drop(conn);
+                        continue;
+                    }
                     let runtime = Arc::clone(&runtime);
                     let _ = std::thread::Builder::new()
                         .name("pga-serve-conn".into())
@@ -106,8 +119,32 @@ struct Request {
     body: Vec<u8>,
 }
 
-fn read_request(conn: &mut TcpStream) -> io::Result<Request> {
-    conn.set_read_timeout(Some(Duration::from_secs(10)))?;
+/// Why a request could not be read: the HTTP status to answer with plus
+/// a human-readable message. IO failures map to `400`.
+struct RequestError {
+    code: u16,
+    message: String,
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        Self {
+            code: 400,
+            message: e.to_string(),
+        }
+    }
+}
+
+fn bad_request(message: &str) -> RequestError {
+    RequestError {
+        code: 400,
+        message: message.into(),
+    }
+}
+
+fn read_request(conn: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    conn.set_read_timeout(Some(IO_TIMEOUT))?;
+    conn.set_write_timeout(Some(IO_TIMEOUT))?;
     let mut reader = BufReader::new(conn);
     let mut line = String::new();
     reader.read_line(&mut line)?;
@@ -115,10 +152,7 @@ fn read_request(conn: &mut TcpStream) -> io::Result<Request> {
     let method = parts.next().unwrap_or_default().to_string();
     let path = parts.next().unwrap_or_default().to_string();
     if method.is_empty() || path.is_empty() {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "bad request line",
-        ));
+        return Err(bad_request("bad request line"));
     }
     let mut content_length = 0usize;
     let mut head_bytes = line.len();
@@ -127,10 +161,7 @@ fn read_request(conn: &mut TcpStream) -> io::Result<Request> {
         reader.read_line(&mut header)?;
         head_bytes += header.len();
         if head_bytes > MAX_HEAD {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "headers too large",
-            ));
+            return Err(bad_request("headers too large"));
         }
         let header = header.trim_end();
         if header.is_empty() {
@@ -141,12 +172,17 @@ fn read_request(conn: &mut TcpStream) -> io::Result<Request> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+                    .map_err(|_| bad_request("bad length"))?;
             }
         }
     }
-    if content_length > MAX_BODY {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    // Reject oversized bodies *before* reading a byte of them: a
+    // misbehaving client cannot make the server buffer its payload.
+    if content_length > max_body {
+        return Err(RequestError {
+            code: 413,
+            message: format!("body of {content_length} bytes exceeds the {max_body}-byte cap"),
+        });
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body)?;
@@ -161,6 +197,7 @@ fn status_text(code: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
         429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
@@ -198,15 +235,15 @@ fn error_body(message: &str) -> Vec<u8> {
 }
 
 fn handle_connection(runtime: &ServeRuntime, mut conn: TcpStream) -> io::Result<()> {
-    let request = match read_request(&mut conn) {
+    let request = match read_request(&mut conn, runtime.max_body_bytes()) {
         Ok(request) => request,
         Err(e) => {
             return respond(
                 &mut conn,
-                400,
+                e.code,
                 "application/json",
                 &[],
-                &error_body(&e.to_string()),
+                &error_body(&e.message),
             );
         }
     };
@@ -288,13 +325,64 @@ fn handle_connection(runtime: &ServeRuntime, mut conn: TcpStream) -> io::Result<
                 doc.to_json_string().as_bytes(),
             )
         }
-        (_, ["jobs", ..] | ["metrics"] | ["families"]) => respond(
-            &mut conn,
-            405,
-            "application/json",
-            &[],
-            &error_body("method not allowed"),
-        ),
+        ("GET", ["healthz"]) => {
+            let health = runtime.health();
+            let doc = Json::Obj(vec![
+                (
+                    "status".into(),
+                    Json::Str(if health.degraded { "degraded" } else { "ok" }.into()),
+                ),
+                ("degraded".into(), Json::Bool(health.degraded)),
+                ("draining".into(), Json::Bool(health.draining)),
+                ("live".into(), Json::Num(health.live as f64)),
+                ("queued".into(), Json::Num(health.queued as f64)),
+                ("poisoned".into(), Json::Num(health.poisoned as f64)),
+            ]);
+            respond(
+                &mut conn,
+                200,
+                "application/json",
+                &[],
+                doc.to_json_string().as_bytes(),
+            )
+        }
+        ("GET", ["readyz"]) => {
+            if runtime.ready() {
+                respond(&mut conn, 200, "application/json", &[], b"{\"ready\":true}")
+            } else {
+                respond(
+                    &mut conn,
+                    503,
+                    "application/json",
+                    &[],
+                    b"{\"ready\":false}",
+                )
+            }
+        }
+        ("POST", ["drain"]) => {
+            let report = runtime.drain();
+            let doc = Json::Obj(vec![
+                ("persisted".into(), Json::Num(report.persisted as f64)),
+                ("failed".into(), Json::Num(report.failed as f64)),
+                ("terminal".into(), Json::Num(report.terminal as f64)),
+            ]);
+            respond(
+                &mut conn,
+                200,
+                "application/json",
+                &[],
+                doc.to_json_string().as_bytes(),
+            )
+        }
+        (_, ["jobs", ..] | ["metrics"] | ["families"] | ["healthz"] | ["readyz"] | ["drain"]) => {
+            respond(
+                &mut conn,
+                405,
+                "application/json",
+                &[],
+                &error_body("method not allowed"),
+            )
+        }
         _ => respond(
             &mut conn,
             404,

@@ -3,14 +3,23 @@
 //! A [`Job`] is one submitted optimization run: the wire spec, the erased
 //! engine built from it, its stopping rule, and the counters the
 //! scheduler maintains across slices. Jobs move through the
-//! [`JobState`] lifecycle `Queued → Running → {Done, Cancelled, Failed}`;
-//! terminal states are never left.
+//! [`JobState`] lifecycle `Queued → Running → {Done, Cancelled, Failed,
+//! Poisoned}`; terminal states are never left.
+//!
+//! `Failed` and `Poisoned` split the crash space: a slice failure
+//! (panic, watchdog stall) is *not* terminal while the job has retry
+//! budget left — the scheduler resurrects the job from its last good
+//! snapshot with exponential backoff. Only when the budget is exhausted
+//! does the job land in `Poisoned`: quarantined, visible in `GET /jobs`,
+//! and never scheduled again. `Failed` remains for jobs that cannot be
+//! resurrected at all (e.g. a spool record whose engine can no longer
+//! be rebuilt).
 
 use std::fmt;
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pga_core::erased::BoxedEngine;
 use pga_core::termination::{StopReason, Termination};
@@ -52,13 +61,20 @@ pub enum JobState {
     Cancelled,
     /// The engine panicked during a slice; the message is retained.
     Failed(String),
+    /// The job exhausted its retry budget: every resurrection attempt
+    /// crashed again. Quarantined — never scheduled again, never takes
+    /// the pool down. The message records the final crash.
+    Poisoned(String),
 }
 
 impl JobState {
     /// `true` once the job can no longer be scheduled.
     #[must_use]
     pub fn is_terminal(&self) -> bool {
-        matches!(self, Self::Done(_) | Self::Cancelled | Self::Failed(_))
+        matches!(
+            self,
+            Self::Done(_) | Self::Cancelled | Self::Failed(_) | Self::Poisoned(_)
+        )
     }
 
     /// Wire name of the state.
@@ -70,6 +86,7 @@ impl JobState {
             Self::Done(_) => "done",
             Self::Cancelled => "cancelled",
             Self::Failed(_) => "failed",
+            Self::Poisoned(_) => "poisoned",
         }
     }
 }
@@ -148,6 +165,15 @@ pub struct Job {
     pub cancel: Arc<AtomicBool>,
     /// JSONL event stream served by `GET /jobs/:id/events`.
     pub stream: JsonlStream,
+    /// Resurrections consumed so far (0 until the first crash).
+    pub retries: u64,
+    /// Backoff gate: the job is not schedulable before this instant.
+    pub not_before: Option<Instant>,
+    /// Last good engine snapshot, taken after every successful slice.
+    /// This is the resurrection source — identical bytes to the spool
+    /// record when the spool is healthy, and still available when the
+    /// spool is degraded.
+    pub resume_from: Option<Vec<u8>>,
 }
 
 impl Job {
@@ -172,7 +198,47 @@ impl Job {
             progress: JobProgress::default(),
             cancel: Arc::new(AtomicBool::new(false)),
             stream,
+            retries: 0,
+            not_before: None,
+            resume_from: None,
         }
+    }
+
+    /// Creates an engine-less terminal job: a spool record whose run is
+    /// already over (or can no longer be resurrected), kept so that
+    /// `GET /jobs/:id` stays answerable across restarts. `state` must
+    /// be terminal.
+    #[must_use]
+    pub fn tombstone(
+        id: JobId,
+        spec: JobSpec,
+        termination: Termination,
+        state: JobState,
+        stream: JsonlStream,
+    ) -> Self {
+        debug_assert!(state.is_terminal());
+        Self {
+            id,
+            spec,
+            termination,
+            engine: None,
+            state,
+            slices: 0,
+            steps: 0,
+            consumed: Duration::ZERO,
+            progress: JobProgress::default(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            stream,
+            retries: 0,
+            not_before: None,
+            resume_from: None,
+        }
+    }
+
+    /// `true` when the backoff gate currently blocks scheduling.
+    #[must_use]
+    pub fn backoff_pending(&self, now: Instant) -> bool {
+        self.not_before.is_some_and(|t| t > now)
     }
 
     /// Requests cooperative cancellation (takes effect at the next
@@ -200,7 +266,7 @@ impl Job {
                 "stop_reason".into(),
                 Json::Str(stop_reason_name(*reason).into()),
             )),
-            JobState::Failed(message) => {
+            JobState::Failed(message) | JobState::Poisoned(message) => {
                 fields.push(("error".into(), Json::Str(message.clone())));
             }
             _ => {}
@@ -233,6 +299,7 @@ impl Job {
             ),
             ("slices".to_string(), Json::Num(self.slices as f64)),
             ("steps".to_string(), Json::Num(self.steps as f64)),
+            ("retries".to_string(), Json::Num(self.retries as f64)),
             (
                 "consumed_ms".to_string(),
                 Json::Num(self.consumed.as_secs_f64() * 1e3),
@@ -284,5 +351,7 @@ mod tests {
         assert!(JobState::Done(StopReason::MaxGenerations).is_terminal());
         assert!(JobState::Cancelled.is_terminal());
         assert!(JobState::Failed("boom".into()).is_terminal());
+        assert!(JobState::Poisoned("boom x3".into()).is_terminal());
+        assert_eq!(JobState::Poisoned("boom".into()).name(), "poisoned");
     }
 }

@@ -97,8 +97,11 @@ pub use factory::{
 };
 pub use http::{serve_http, HttpServer};
 pub use job::{JobId, JobProgress, JobState};
+pub use pga_cluster::chaos::{ChaosInjector, ChaosPlan, StormSpec};
 pub use protocol::{Budget, EngineSpec, JobSpec, ProblemSpec, ProtocolError};
-pub use scheduler::{RecoverReport, ServeConfig, ServeRuntime, SubmitError};
+pub use scheduler::{
+    DrainReport, HealthReport, RecoverReport, ServeConfig, ServeRuntime, SubmitError,
+};
 pub use spool::{JobRecord, Spool};
 
 /// Builder for a [`Serve`] instance. Follows the workspace convention:
@@ -114,6 +117,11 @@ pub struct ServeBuilder {
     max_batch: usize,
     retry_after_ms: u64,
     stream_capacity: usize,
+    retry_budget: u64,
+    backoff_base_ms: u64,
+    slice_deadline_ms: u64,
+    max_body_bytes: usize,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Default for ServeBuilder {
@@ -135,6 +143,11 @@ impl ServeBuilder {
             max_batch: 16,
             retry_after_ms: 1000,
             stream_capacity: 1 << 16,
+            retry_budget: 3,
+            backoff_base_ms: 20,
+            slice_deadline_ms: 10_000,
+            max_body_bytes: 1 << 20,
+            chaos: None,
         }
     }
 
@@ -195,6 +208,48 @@ impl ServeBuilder {
         self
     }
 
+    /// Resurrections granted to a crashing job before it is quarantined
+    /// as `poisoned`. `0` quarantines on the first crash.
+    #[must_use]
+    pub fn retry_budget(mut self, retries: u64) -> Self {
+        self.retry_budget = retries;
+        self
+    }
+
+    /// Base of the exponential resurrection backoff, in milliseconds
+    /// (`base × 2^(n-1)` before retry *n*).
+    #[must_use]
+    pub fn backoff_base_ms(mut self, ms: u64) -> Self {
+        self.backoff_base_ms = ms;
+        self
+    }
+
+    /// Watchdog deadline per slice, in milliseconds: a yielded slice
+    /// that took longer is treated as stalled and replayed from its
+    /// last good snapshot. `0` disables the watchdog.
+    #[must_use]
+    pub fn slice_deadline_ms(mut self, ms: u64) -> Self {
+        self.slice_deadline_ms = ms;
+        self
+    }
+
+    /// Largest request body `POST /jobs` accepts; larger
+    /// `Content-Length`s are rejected `413` before the body is read.
+    #[must_use]
+    pub fn max_body_bytes(mut self, bytes: usize) -> Self {
+        self.max_body_bytes = bytes;
+        self
+    }
+
+    /// Arms a deterministic chaos plan (fault drills only — see
+    /// [`ChaosPlan`]). Production leaves this unset: the default is a
+    /// no-op branch per guarded operation.
+    #[must_use]
+    pub fn chaos(mut self, plan: ChaosPlan) -> Self {
+        self.chaos = Some(Arc::new(ChaosInjector::new(plan)));
+        self
+    }
+
     /// Validates the configuration, opens the spool (recovering any
     /// jobs found in it), starts the scheduler, and — when
     /// [`bind`](Self::bind) was set — the HTTP listener.
@@ -222,6 +277,13 @@ impl ServeBuilder {
             max_batch: positive("max_batch", self.max_batch)?,
             retry_after_ms: positive("retry_after_ms", self.retry_after_ms)?,
             stream_capacity: positive("stream_capacity", self.stream_capacity)?,
+            // Zero is meaningful for all three: quarantine on first
+            // crash, no backoff, watchdog disabled.
+            retry_budget: self.retry_budget,
+            backoff_base_ms: self.backoff_base_ms,
+            slice_deadline_ms: self.slice_deadline_ms,
+            max_body_bytes: positive("max_body_bytes", self.max_body_bytes)?,
+            chaos: self.chaos,
         };
         let runtime =
             Arc::new(

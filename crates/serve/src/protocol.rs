@@ -87,6 +87,7 @@ impl Json {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let value = p.value()?;
@@ -210,9 +211,15 @@ fn escape(s: &str) -> String {
     out
 }
 
+/// Recursion bound for nested arrays/objects: the recursive-descent
+/// parser would otherwise turn `[[[[…` into a stack overflow. Job specs
+/// are ~4 levels deep; 64 is generous headroom.
+const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -249,11 +256,29 @@ impl Parser<'_> {
             Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
             Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
             Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
+            Some(b'[') => self.nested(Self::array),
+            Some(b'{') => self.nested(Self::object),
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.err("a JSON value")),
         }
+    }
+
+    /// Runs one container parse with the depth counter held, bounding
+    /// recursion at [`MAX_DEPTH`].
+    fn nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<Json, ProtocolError>,
+    ) -> Result<Json, ProtocolError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ProtocolError::Parse {
+                pos: self.pos,
+                message: format!("nesting deeper than {MAX_DEPTH} levels"),
+            });
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
     }
 
     fn string(&mut self) -> Result<String, ProtocolError> {
@@ -296,12 +321,21 @@ impl Parser<'_> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is &str, so valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("a character"))?;
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the whole run of ordinary bytes at once:
+                    // validating per character would re-scan the tail of
+                    // the input each time, turning a long string into
+                    // O(n²) work — a malformed-input DoS vector.
+                    let start = self.pos;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| !matches!(b, b'"' | b'\\'))
+                    {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("UTF-8"))?;
+                    out.push_str(run);
                 }
             }
         }
@@ -321,9 +355,12 @@ impl Parser<'_> {
         }
         let text =
             std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("a number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("a number"))
+        // `parse::<f64>` happily overflows to ±inf (e.g. `1e999999999`);
+        // JSON numbers are finite, so reject anything that is not.
+        match text.parse::<f64>() {
+            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+            _ => Err(self.err("a finite number")),
+        }
     }
 
     fn array(&mut self) -> Result<Json, ProtocolError> {

@@ -36,10 +36,14 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use pga_cluster::chaos::{ChaosInjector, SliceChaos};
 use pga_core::driver::Clock;
 use pga_core::erased::BoxedEngine;
+use pga_core::snapshot::Snapshot;
 use pga_core::termination::{StopReason, Termination};
-use pga_observe::{exponential_bounds, JsonlStream, MetricsSnapshot, Registry};
+use pga_observe::{
+    exponential_bounds, Event, EventKind, JsonlStream, MetricsSnapshot, Recorder, Registry,
+};
 
 use crate::factory::build_engine;
 use crate::job::{Job, JobId, JobProgress, JobState};
@@ -63,6 +67,22 @@ pub struct ServeConfig {
     pub retry_after_ms: u64,
     /// Per-job event stream capacity (lines) before drop-oldest.
     pub stream_capacity: usize,
+    /// Resurrections granted to a crashing job before it is quarantined
+    /// as [`JobState::Poisoned`].
+    pub retry_budget: u64,
+    /// Base of the exponential resurrection backoff (`base × 2^(n-1)`
+    /// milliseconds before retry *n* becomes schedulable).
+    pub backoff_base_ms: u64,
+    /// Watchdog: a yielded slice that took longer than this is treated
+    /// as stalled — its engine is discarded and the job replays from its
+    /// last good snapshot. `0` disables the watchdog.
+    pub slice_deadline_ms: u64,
+    /// Largest request body `POST /jobs` accepts (bytes); larger
+    /// `Content-Length`s are rejected `413` before the body is read.
+    pub max_body_bytes: usize,
+    /// Deterministic fault injection (`None` in production: the no-op
+    /// default costs one branch per guarded operation).
+    pub chaos: Option<Arc<ChaosInjector>>,
 }
 
 /// Why a submission was rejected.
@@ -104,6 +124,33 @@ pub struct RecoverReport {
     pub skipped: usize,
 }
 
+/// What `POST /drain` persisted and left behind.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Runnable (non-terminal) jobs whose checkpoint was persisted.
+    pub persisted: usize,
+    /// Runnable jobs whose persist failed even after retries.
+    pub failed: usize,
+    /// Terminal jobs at drain time (already durable).
+    pub terminal: usize,
+}
+
+/// Liveness/readiness summary for `GET /healthz` and `GET /readyz`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `true` while spool persistence is failing and jobs run on
+    /// in-memory checkpoints only.
+    pub degraded: bool,
+    /// `true` once a drain started: admission is closed.
+    pub draining: bool,
+    /// Live (non-terminal) jobs.
+    pub live: usize,
+    /// Jobs waiting in tenant queues.
+    pub queued: usize,
+    /// Jobs quarantined in [`JobState::Poisoned`].
+    pub poisoned: usize,
+}
+
 struct Tenant {
     deficit: u64,
     queue: VecDeque<JobId>,
@@ -129,6 +176,13 @@ struct Shared {
     /// Crash simulation: when set, the scheduler discards its in-flight
     /// batch instead of persisting and reintegrating it.
     hard_drop: AtomicBool,
+    /// Spool persistence is failing; jobs continue on in-memory
+    /// checkpoints only. Cleared by the next successful persist.
+    degraded: AtomicBool,
+    /// A drain started: admission closed, scheduler idles.
+    draining: AtomicBool,
+    /// Jobs currently checked out on the slice pool (drain barrier).
+    in_flight: std::sync::atomic::AtomicUsize,
     config: ServeConfig,
 }
 
@@ -144,7 +198,10 @@ enum SliceEnd {
     Done(StopReason),
     /// The cancel flag was observed.
     Cancelled,
-    /// The engine panicked mid-step.
+    /// The engine panicked mid-step, or the watchdog reclassified a
+    /// stalled slice. The crash path: deltas are discarded and the job
+    /// is resurrected from its last good snapshot (or quarantined once
+    /// its retry budget is spent).
     Failed(String),
 }
 
@@ -162,7 +219,10 @@ struct SliceTask {
     consumed: Duration,
     prior_slices: u64,
     prior_steps: u64,
+    prior_retries: u64,
     first_slice: bool,
+    /// Scripted fault for this slice (always `None` without chaos).
+    chaos: SliceChaos,
     // Filled in by the slice:
     steps_run: u64,
     /// Evaluations folded into the population this slice (poll-step
@@ -187,7 +247,9 @@ impl ServeRuntime {
     /// Opens the spool, recovers every job found in it, and starts the
     /// scheduler thread.
     pub(crate) fn start(config: ServeConfig) -> Result<Self, std::io::Error> {
-        let spool = Arc::new(Spool::open(&config.spool_dir)?);
+        let mut spool = Spool::open(&config.spool_dir)?;
+        spool.set_chaos(config.chaos.clone());
+        let spool = Arc::new(spool);
         let mut registry = Registry::default();
         registry.histogram_with_bounds("serve.slice_micros", exponential_bounds(50.0, 2.0, 18));
         let shared = Arc::new(Shared {
@@ -203,6 +265,9 @@ impl ServeRuntime {
             progress: Condvar::new(),
             registry: Mutex::new(registry),
             hard_drop: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
             config,
         });
         let recover_report = recover(&shared, &spool);
@@ -233,13 +298,25 @@ impl ServeRuntime {
         self.spool.dir()
     }
 
+    /// Request-body cap enforced by the HTTP front end.
+    #[must_use]
+    pub fn max_body_bytes(&self) -> usize {
+        self.shared.config.max_body_bytes
+    }
+
+    /// The armed chaos injector, when fault drills are on.
+    #[must_use]
+    pub fn chaos(&self) -> Option<&Arc<ChaosInjector>> {
+        self.shared.config.chaos.as_ref()
+    }
+
     /// Submits a job. Applies admission control *before* building the
     /// engine, so shedding is cheap under overload.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         let termination = spec.budget.to_termination().map_err(SubmitError::Invalid)?;
         let id = {
             let mut st = lock(&self.shared.state);
-            if st.stopping {
+            if st.stopping || self.shared.draining.load(Ordering::Acquire) {
                 return Err(SubmitError::ShuttingDown);
             }
             if st.live >= self.shared.config.max_jobs {
@@ -354,6 +431,7 @@ impl ServeRuntime {
                 slices: job.slices,
                 steps: job.steps,
                 consumed: job.consumed,
+                retries: job.retries,
                 progress: job.progress,
                 engine_snapshot: engine.map(|e| e.snapshot()),
             });
@@ -422,8 +500,96 @@ impl ServeRuntime {
             let queued: usize = st.tenants.values().map(|t| t.queue.len()).sum();
             reg.set_gauge("serve.jobs_queued", queued as f64);
             reg.set_gauge("serve.tenants", st.tenants.len() as f64);
+            let poisoned = st
+                .jobs
+                .values()
+                .filter(|j| matches!(j.state, JobState::Poisoned(_)))
+                .count();
+            reg.set_gauge("serve.jobs_poisoned", poisoned as f64);
+            reg.set_gauge(
+                "serve.spool_degraded",
+                f64::from(u8::from(self.shared.degraded.load(Ordering::Acquire))),
+            );
         }
         lock(&self.shared.registry).snapshot()
+    }
+
+    /// Liveness/readiness summary for the health endpoints.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        let st = lock(&self.shared.state);
+        HealthReport {
+            degraded: self.shared.degraded.load(Ordering::Acquire),
+            draining: self.shared.draining.load(Ordering::Acquire) || st.stopping,
+            live: st.live,
+            queued: st.tenants.values().map(|t| t.queue.len()).sum(),
+            poisoned: st
+                .jobs
+                .values()
+                .filter(|j| matches!(j.state, JobState::Poisoned(_)))
+                .count(),
+        }
+    }
+
+    /// `true` while the runtime accepts new jobs (readiness probe).
+    #[must_use]
+    pub fn ready(&self) -> bool {
+        !self.shared.draining.load(Ordering::Acquire) && !lock(&self.shared.state).stopping
+    }
+
+    /// Graceful drain: closes admission, waits for the in-flight slice
+    /// batch to reintegrate, persists every runnable job's current
+    /// checkpoint, and reports counts. The scheduler thread stays alive
+    /// but idle; jobs remain resumable by a runtime restarted over the
+    /// same spool. Idempotent — a second drain re-persists and
+    /// re-counts.
+    pub fn drain(&self) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.wake.notify_all();
+        // Wait until no engine is out on the slice pool.
+        {
+            let mut st = lock(&self.shared.state);
+            while self.shared.in_flight.load(Ordering::Acquire) > 0 {
+                let (guard, _) = self
+                    .shared
+                    .progress
+                    .wait_timeout(st, Duration::from_millis(20))
+                    .unwrap_or_else(PoisonError::into_inner);
+                st = guard;
+            }
+        }
+        let mut report = DrainReport::default();
+        let records: Vec<JobRecord> = {
+            let st = lock(&self.shared.state);
+            st.jobs
+                .values()
+                .filter(|job| !job.state.is_terminal())
+                .map(|job| JobRecord {
+                    id: job.id,
+                    spec: job.spec.clone(),
+                    state: job.state.clone(),
+                    slices: job.slices,
+                    steps: job.steps,
+                    consumed: job.consumed,
+                    retries: job.retries,
+                    progress: job.progress,
+                    engine_snapshot: job.engine.as_ref().map(|e| e.snapshot()),
+                })
+                .collect()
+        };
+        report.terminal = {
+            let st = lock(&self.shared.state);
+            st.jobs.values().filter(|j| j.state.is_terminal()).count()
+        };
+        for record in &records {
+            if persist_with_retry(self.shared.as_ref(), &self.spool, record) {
+                report.persisted += 1;
+            } else {
+                report.failed += 1;
+            }
+        }
+        lock(&self.shared.registry).inc("serve.drains", 1);
+        report
     }
 
     /// Plain-text metrics document, as served by `GET /metrics`.
@@ -507,20 +673,17 @@ fn recover(shared: &Shared, spool: &Spool) -> RecoverReport {
         let stream = JsonlStream::with_capacity(shared.config.stream_capacity);
         let mut tombstone = |st: &mut State, state: JobState, stream: JsonlStream| {
             stream.close();
-            let mut job = Job::new(
+            let mut job = Job::tombstone(
                 record.id,
                 record.spec.clone(),
                 Termination::new().max_generations(0),
-                // A terminal job never runs again; park a placeholder
-                // termination and no engine.
-                build_placeholder(),
+                state,
                 stream,
             );
-            job.engine = None;
-            job.state = state;
             job.slices = record.slices;
             job.steps = record.steps;
             job.consumed = record.consumed;
+            job.retries = record.retries;
             job.progress = record.progress;
             st.jobs.insert(record.id, job);
             report.terminal += 1;
@@ -596,6 +759,8 @@ fn recover(shared: &Shared, spool: &Spool) -> RecoverReport {
         job.slices = record.slices;
         job.steps = record.steps;
         job.consumed = record.consumed;
+        job.retries = record.retries;
+        job.resume_from = record.engine_snapshot.as_ref().map(Snapshot::to_bytes);
         job.progress = record.progress;
         st.live += 1;
         enqueue(&mut st, job);
@@ -608,23 +773,6 @@ fn recover(shared: &Shared, spool: &Spool) -> RecoverReport {
     report
 }
 
-/// A never-run placeholder engine for terminal tombstones (immediately
-/// replaced by `engine = None`). Uses the cheapest buildable spec.
-fn build_placeholder() -> BoxedEngine {
-    use pga_core::ops::{BitFlip, OnePoint, Tournament};
-    use pga_core::GaBuilder;
-    use pga_problems::OneMax;
-    let ga = GaBuilder::new(std::sync::Arc::new(OneMax::new(1)))
-        .seed(0)
-        .pop_size(2)
-        .selection(Tournament::binary())
-        .crossover(OnePoint)
-        .mutation(BitFlip::one_over_len(1))
-        .build()
-        .expect("placeholder GA spec is statically valid");
-    pga_core::erased::erase(ga)
-}
-
 /// Picks the next batch: visits tenants round-robin, granting each at
 /// most one job slice per pass, until `max_batch` jobs are selected or a
 /// full silent pass happens.
@@ -632,13 +780,17 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
     let mut batch = Vec::new();
     let deficit_cap = config.steps_per_slice.max(config.quantum_steps) * 2;
     let mut remaining = st.ring.len();
+    let now = Instant::now();
     while batch.len() < config.max_batch && remaining > 0 {
         remaining -= 1;
         let Some(tenant_name) = st.ring.pop_front() else {
             break;
         };
         st.ring.push_back(tenant_name.clone());
-        // Skip terminal ids that were cancelled while queued.
+        // Skip terminal ids that were cancelled while queued, and defer
+        // (requeue without selecting) jobs inside their resurrection
+        // backoff window.
+        let mut deferred: Vec<JobId> = Vec::new();
         let id = loop {
             let Some(t) = st.tenants.get_mut(&tenant_name) else {
                 break None;
@@ -648,13 +800,17 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
                     t.deficit = 0;
                     break None;
                 }
-                Some(id) => {
-                    if st.jobs.get(&id).is_some_and(|j| !j.state.is_terminal()) {
-                        break Some(id);
-                    }
-                }
+                Some(id) => match st.jobs.get(&id) {
+                    Some(j) if j.state.is_terminal() => {}
+                    Some(j) if j.backoff_pending(now) => deferred.push(id),
+                    Some(_) => break Some(id),
+                    None => {}
+                },
             }
         };
+        if let Some(t) = st.tenants.get_mut(&tenant_name) {
+            t.queue.extend(deferred);
+        }
         let Some(id) = id else { continue };
         let allowance = {
             let Some(t) = st.tenants.get_mut(&tenant_name) else {
@@ -671,6 +827,11 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
         };
         let first_slice = job.steps == 0 && job.slices == 0;
         job.state = JobState::Running;
+        job.not_before = None;
+        let chaos = match &config.chaos {
+            Some(injector) => injector.on_slice(&tenant_name),
+            None => SliceChaos::None,
+        };
         batch.push(SliceTask {
             id,
             tenant: tenant_name,
@@ -682,7 +843,9 @@ fn select_batch(st: &mut State, config: &ServeConfig) -> Vec<SliceTask> {
             consumed: job.consumed,
             prior_slices: job.slices,
             prior_steps: job.steps,
+            prior_retries: job.retries,
             first_slice,
+            chaos,
             steps_run: 0,
             evals_folded: 0,
             slice_time: Duration::ZERO,
@@ -711,10 +874,19 @@ fn run_slice(task: &mut SliceTask) {
         return;
     };
     let result = catch_unwind(AssertUnwindSafe(|| {
+        let start = Instant::now();
+        match task.chaos {
+            SliceChaos::None => {}
+            // Scripted engine crash: unwinds into the catch below, the
+            // same path a genuine engine bug takes.
+            SliceChaos::Panic => panic!("chaos: injected slice panic"),
+            // Scripted stall: burns wall-clock inside the slice so the
+            // watchdog deadline sees an over-budget yield.
+            SliceChaos::Stall(pause) => std::thread::sleep(pause),
+        }
         if task.first_slice {
             engine.record_run_started();
         }
-        let start = Instant::now();
         let mut steps_run = 0u64;
         let mut evals_folded = 0u64;
         let end = loop {
@@ -791,8 +963,84 @@ fn run_slice(task: &mut SliceTask) {
     }
 }
 
+/// Persists `record`, retrying with a short backoff before giving up.
+/// Failure flips the runtime into degraded mode (jobs continue on
+/// in-memory checkpoints); the next success clears it. Returns whether
+/// the record reached the spool.
+fn persist_with_retry(shared: &Shared, spool: &Spool, record: &JobRecord) -> bool {
+    const ATTEMPTS: u32 = 3;
+    for attempt in 0..ATTEMPTS {
+        match spool.save(record) {
+            Ok(()) => {
+                if shared.degraded.swap(false, Ordering::AcqRel) {
+                    // Left degraded mode: persistence is healthy again.
+                    let errors = lock(&shared.registry).counter("serve.spool_errors");
+                    record_event(
+                        shared,
+                        record.id,
+                        EventKind::SpoolDegraded {
+                            errors,
+                            degraded: false,
+                        },
+                    );
+                }
+                return true;
+            }
+            Err(_) if attempt + 1 < ATTEMPTS => {
+                lock(&shared.registry).inc("serve.spool_errors", 1);
+                std::thread::sleep(Duration::from_millis(1 << attempt));
+            }
+            Err(_) => {
+                let errors = {
+                    let mut reg = lock(&shared.registry);
+                    reg.inc("serve.spool_errors", 1);
+                    reg.counter("serve.spool_errors")
+                };
+                if !shared.degraded.swap(true, Ordering::AcqRel) {
+                    record_event(
+                        shared,
+                        record.id,
+                        EventKind::SpoolDegraded {
+                            errors,
+                            degraded: true,
+                        },
+                    );
+                }
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Records a scheduler-level lifecycle event onto the job's stream.
+fn record_event(shared: &Shared, id: JobId, kind: EventKind) {
+    let stream = lock(&shared.state).jobs.get(&id).map(|j| j.stream.clone());
+    if let Some(mut stream) = stream {
+        stream.record(&Event::new(kind));
+    }
+}
+
+/// Rebuilds a crashed job's engine from its spec and restores it from
+/// the in-memory last-good snapshot. The check-then-step slice contract
+/// makes the replay bit-identical to the lost work.
+fn resurrect(job: &mut Job) -> Result<(), String> {
+    let mut engine = build_engine(&job.spec, Some(job.stream.clone()))
+        .map_err(|e| format!("rebuild failed: {e}"))?;
+    if let Some(bytes) = &job.resume_from {
+        let snapshot =
+            Snapshot::from_bytes(bytes).map_err(|e| format!("bad resume snapshot: {e:?}"))?;
+        engine
+            .restore(&snapshot)
+            .map_err(|e| format!("restore failed: {e:?}"))?;
+    }
+    job.engine = Some(engine);
+    Ok(())
+}
+
 /// The scheduler thread: select → slice in parallel → persist →
-/// reintegrate, until stopped.
+/// reintegrate, until stopped. While draining it idles without
+/// selecting, so `drain()` can persist a quiescent state.
 fn scheduler_loop(shared: &Shared, spool: &Spool) {
     use rayon::prelude::ParallelSliceMut;
     loop {
@@ -802,13 +1050,36 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
                 if st.stopping {
                     return;
                 }
-                let batch = select_batch(&mut st, &shared.config);
-                if !batch.is_empty() {
-                    break batch;
+                if !shared.draining.load(Ordering::Acquire) {
+                    let batch = select_batch(&mut st, &shared.config);
+                    if !batch.is_empty() {
+                        break batch;
+                    }
                 }
-                st = shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner);
+                // Nothing runnable now. If jobs are only backoff-gated,
+                // sleep just past the earliest gate instead of forever.
+                let now = Instant::now();
+                let earliest = st
+                    .jobs
+                    .values()
+                    .filter(|j| !j.state.is_terminal())
+                    .filter_map(|j| j.not_before)
+                    .filter(|t| *t > now)
+                    .min();
+                st = match earliest {
+                    Some(gate) => {
+                        let wait = gate.saturating_duration_since(now) + Duration::from_millis(1);
+                        shared
+                            .wake
+                            .wait_timeout(st, wait)
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .0
+                    }
+                    None => shared.wake.wait(st).unwrap_or_else(PoisonError::into_inner),
+                };
             }
         };
+        shared.in_flight.store(batch.len(), Ordering::Release);
         // Slices run in parallel on the global work-stealing pool; each
         // engine may itself fan out below this level.
         let _: usize = batch
@@ -821,17 +1092,38 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
             .sum();
         if shared.hard_drop.load(Ordering::Acquire) {
             // Simulated crash: the batch is lost, nothing is persisted.
+            shared.in_flight.store(0, Ordering::Release);
             return;
+        }
+        // Watchdog: a yielded slice that blew its deadline is treated
+        // exactly like a crash — the engine is discarded (its wall-clock
+        // behaviour is no longer trusted) and the job replays from its
+        // last good snapshot, which the check-then-step contract makes
+        // bit-identical.
+        let deadline = Duration::from_millis(shared.config.slice_deadline_ms);
+        if !deadline.is_zero() {
+            for task in &mut batch {
+                if matches!(task.end, SliceEnd::Yield) && task.slice_time > deadline {
+                    task.engine = None;
+                    task.snapshot = None;
+                    task.end = SliceEnd::Failed(format!(
+                        "watchdog: slice exceeded {} ms deadline",
+                        deadline.as_millis()
+                    ));
+                    lock(&shared.registry).inc("serve.stalled", 1);
+                }
+            }
         }
         // Persist every slice before reintegration: once a job is
         // visible as progressed, its checkpoint is already durable.
+        // (Crashed slices are skipped: a panicked engine has no
+        // trustworthy snapshot; their terminal or retry record is
+        // written after reintegration.)
         for task in &batch {
             let state = match &task.end {
                 SliceEnd::Yield => JobState::Running,
                 SliceEnd::Done(reason) => JobState::Done(*reason),
                 SliceEnd::Cancelled => JobState::Cancelled,
-                // A panicked engine has no trustworthy snapshot; the
-                // terminal Failed record is written after reintegration.
                 SliceEnd::Failed(_) => continue,
             };
             let record = JobRecord {
@@ -841,20 +1133,20 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
                 slices: task.prior_slices + 1,
                 steps: task.prior_steps + task.steps_run,
                 consumed: task.consumed + task.slice_time,
+                retries: task.prior_retries,
                 progress: task.progress,
                 engine_snapshot: task.snapshot.clone(),
             };
-            let _ = spool.save(&record);
+            persist_with_retry(shared, spool, &record);
         }
-        // Reintegrate under the lock.
-        let mut failed_records = Vec::new();
+        // Reintegrate under the lock. Deferred records (quarantines and
+        // retry checkpoints) are written after the lock drops.
+        let mut deferred_records = Vec::new();
         {
             let mut st = lock(&shared.state);
             let mut reg = lock(&shared.registry);
             for task in batch {
                 reg.inc("serve.slices", 1);
-                reg.inc("serve.steps", task.steps_run);
-                reg.inc("serve.evals_folded", task.evals_folded);
                 reg.observe("serve.slice_micros", task.slice_time.as_micros() as f64);
                 if let Some(t) = st.tenants.get_mut(&task.tenant) {
                     t.deficit = t.deficit.saturating_sub(task.steps_run);
@@ -863,10 +1155,18 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
                 let Some(job) = st.jobs.get_mut(&task.id) else {
                     continue;
                 };
-                job.slices += 1;
-                job.steps += task.steps_run;
-                job.consumed += task.slice_time;
-                job.progress = task.progress;
+                if !matches!(task.end, SliceEnd::Failed(_)) {
+                    // Crashed slices contribute nothing: their deltas
+                    // are discarded with the engine, so counters always
+                    // match the last good snapshot.
+                    reg.inc("serve.steps", task.steps_run);
+                    reg.inc("serve.evals_folded", task.evals_folded);
+                    job.slices += 1;
+                    job.steps += task.steps_run;
+                    job.consumed += task.slice_time;
+                    job.progress = task.progress;
+                    job.resume_from = task.snapshot.as_ref().map(Snapshot::to_bytes);
+                }
                 match task.end {
                     SliceEnd::Yield => {
                         job.engine = task.engine;
@@ -889,28 +1189,83 @@ fn scheduler_loop(shared: &Shared, spool: &Spool) {
                         reg.inc("serve.cancelled", 1);
                     }
                     SliceEnd::Failed(message) => {
-                        job.state = JobState::Failed(message);
-                        job.engine = None;
-                        job.stream.close();
-                        failed_records.push(JobRecord {
+                        reg.inc("serve.slice_crashes", 1);
+                        let budget = shared.config.retry_budget;
+                        let outcome = if job.retries < budget {
+                            resurrect(job)
+                                .map_err(|e| format!("{message} (resurrection failed: {e})"))
+                        } else {
+                            Err(format!(
+                                "retry budget exhausted after {budget} retries: {message}"
+                            ))
+                        };
+                        let requeued = match outcome {
+                            Ok(()) => {
+                                // Bounded-retry resurrection: requeue
+                                // behind an exponential backoff gate.
+                                job.retries += 1;
+                                let shift = (job.retries - 1).min(16) as u32;
+                                let backoff = Duration::from_millis(
+                                    shared.config.backoff_base_ms.saturating_mul(1u64 << shift),
+                                );
+                                job.not_before = Some(Instant::now() + backoff);
+                                job.state = JobState::Queued;
+                                reg.inc("serve.retries", 1);
+                                job.stream.record(&Event::new(EventKind::JobRetried {
+                                    job: task.id.0,
+                                    attempt: job.retries,
+                                    backoff_micros: backoff.as_micros() as u64,
+                                }));
+                                true
+                            }
+                            Err(reason) => {
+                                // Budget exhausted (or resurrection
+                                // itself failed): quarantine. The pool
+                                // keeps running; the job never does.
+                                job.state = JobState::Poisoned(reason.clone());
+                                job.engine = None;
+                                job.stream.record(&Event::new(EventKind::JobPoisoned {
+                                    job: task.id.0,
+                                    retries: job.retries,
+                                    reason,
+                                }));
+                                job.stream.close();
+                                reg.inc("serve.poisoned", 1);
+                                false
+                            }
+                        };
+                        // Either way the outcome must survive a restart:
+                        // a retry record keeps the count mid-budget, a
+                        // poison record keeps the quarantine.
+                        deferred_records.push(JobRecord {
                             id: task.id,
                             spec: job.spec.clone(),
                             state: job.state.clone(),
                             slices: job.slices,
                             steps: job.steps,
                             consumed: job.consumed,
+                            retries: job.retries,
                             progress: job.progress,
-                            engine_snapshot: None,
+                            engine_snapshot: job
+                                .resume_from
+                                .as_deref()
+                                .and_then(|b| Snapshot::from_bytes(b).ok()),
                         });
-                        st.live -= 1;
-                        reg.inc("serve.failed", 1);
+                        if requeued {
+                            if let Some(t) = st.tenants.get_mut(&task.tenant) {
+                                t.queue.push_back(task.id);
+                            }
+                        } else {
+                            st.live -= 1;
+                        }
                     }
                 }
             }
         }
-        for record in &failed_records {
-            let _ = spool.save(record);
+        for record in &deferred_records {
+            persist_with_retry(shared, spool, record);
         }
+        shared.in_flight.store(0, Ordering::Release);
         shared.progress.notify_all();
     }
 }

@@ -11,12 +11,20 @@
 //! leaves the previous consistent record in place. Recovery loads every
 //! readable record and reports unreadable ones instead of failing the
 //! whole restart — one corrupt job must not take the server down.
+//!
+//! For fault drills a [`ChaosInjector`] can be armed on the spool:
+//! scripted write indices then fail with an IO error (exercising the
+//! scheduler's persist-retry/degraded path) or tear the record on disk
+//! (exercising checksum-guarded recovery). The default is `None` and
+//! costs one branch per operation.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
+use pga_cluster::chaos::{ChaosInjector, SpoolWriteChaos};
 use pga_core::snapshot::{Snapshot, SnapshotWriter};
 
 use crate::job::{stop_reason_from_name, stop_reason_name, JobId, JobProgress, JobState};
@@ -24,8 +32,10 @@ use crate::protocol::JobSpec;
 
 /// Container tag for spool records (distinct from every engine tag).
 const SPOOL_TAG: &str = "serve-job";
-/// Spool record format version.
-const SPOOL_VERSION: u8 = 1;
+/// Spool record format version. Version 2 added the retry counter and
+/// the `Poisoned` state tag; version-1 records still decode (with
+/// `retries = 0`).
+const SPOOL_VERSION: u8 = 2;
 /// Spool file extension.
 const EXTENSION: &str = "pgaj";
 
@@ -44,6 +54,8 @@ pub struct JobRecord {
     pub steps: u64,
     /// Active scheduler time consumed.
     pub consumed: Duration,
+    /// Resurrections consumed so far.
+    pub retries: u64,
     /// Mirrored progress counters.
     pub progress: JobProgress,
     /// The engine's nested PGAS snapshot; `None` only for jobs that
@@ -73,6 +85,7 @@ pub struct SpoolScan {
 /// A directory of per-job checkpoint files.
 pub struct Spool {
     dir: PathBuf,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Spool {
@@ -80,7 +93,12 @@ impl Spool {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self { dir, chaos: None })
+    }
+
+    /// Arms a chaos injector: scripted writes/reads fail or tear.
+    pub fn set_chaos(&mut self, chaos: Option<Arc<ChaosInjector>>) {
+        self.chaos = chaos;
     }
 
     /// The directory this spool persists into.
@@ -95,7 +113,22 @@ impl Spool {
 
     /// Atomically persists one record (tmp file + rename).
     pub fn save(&self, record: &JobRecord) -> io::Result<()> {
-        let bytes = encode(record);
+        let mut bytes = encode(record);
+        if let Some(chaos) = &self.chaos {
+            match chaos.on_spool_write() {
+                SpoolWriteChaos::None => {}
+                SpoolWriteChaos::Error => {
+                    return Err(io::Error::other("chaos: injected spool write error"));
+                }
+                SpoolWriteChaos::Truncate(keep) => {
+                    // Silent tear: the record lands corrupt (as if the
+                    // device dropped the tail after the rename). The
+                    // write "succeeds"; the checksum catches the damage
+                    // at the next recovery scan.
+                    bytes.truncate(keep.min(bytes.len()));
+                }
+            }
+        }
         let target = self.file_for(record.id);
         let tmp = target.with_extension(format!("{EXTENSION}.tmp"));
         fs::write(&tmp, &bytes)?;
@@ -117,6 +150,13 @@ impl Spool {
         for entry in fs::read_dir(&self.dir)? {
             let path = entry?.path();
             if path.extension().and_then(|e| e.to_str()) != Some(EXTENSION) {
+                continue;
+            }
+            if self.chaos.as_ref().is_some_and(|c| c.on_spool_read()) {
+                scan.skipped.push(SpoolCorruption {
+                    path,
+                    message: "chaos: injected spool read error".into(),
+                });
                 continue;
             }
             let bytes = match fs::read(&path) {
@@ -156,10 +196,15 @@ fn encode(record: &JobRecord) -> Vec<u8> {
             w.put_u8(4);
             w.put_str(message);
         }
+        JobState::Poisoned(message) => {
+            w.put_u8(5);
+            w.put_str(message);
+        }
     }
     w.put_u64(record.slices);
     w.put_u64(record.steps);
     w.put_u64(record.consumed.as_micros() as u64);
+    w.put_u64(record.retries);
     w.put_u64(record.progress.generations);
     w.put_u64(record.progress.evaluations);
     w.put_f64(record.progress.best_fitness);
@@ -181,7 +226,7 @@ fn decode(bytes: &[u8]) -> Result<JobRecord, String> {
         .map_err(|e| format!("not a spool record: {e:?}"))?;
     let fail = |what: &'static str| move |e| format!("bad {what}: {e:?}");
     let version = r.take_u8().map_err(fail("version"))?;
-    if version != SPOOL_VERSION {
+    if version == 0 || version > SPOOL_VERSION {
         return Err(format!("unsupported spool version {version}"));
     }
     let id = JobId(r.take_u64().map_err(fail("id"))?);
@@ -199,11 +244,17 @@ fn decode(bytes: &[u8]) -> Result<JobRecord, String> {
         }
         3 => JobState::Cancelled,
         4 => JobState::Failed(r.take_str().map_err(fail("error message"))?),
+        5 if version >= 2 => JobState::Poisoned(r.take_str().map_err(fail("error message"))?),
         other => return Err(format!("unknown state tag {other}")),
     };
     let slices = r.take_u64().map_err(fail("slices"))?;
     let steps = r.take_u64().map_err(fail("steps"))?;
     let consumed = Duration::from_micros(r.take_u64().map_err(fail("consumed"))?);
+    let retries = if version >= 2 {
+        r.take_u64().map_err(fail("retries"))?
+    } else {
+        0
+    };
     let progress = JobProgress {
         generations: r.take_u64().map_err(fail("generations"))?,
         evaluations: r.take_u64().map_err(fail("evaluations"))?,
@@ -224,6 +275,7 @@ fn decode(bytes: &[u8]) -> Result<JobRecord, String> {
         slices,
         steps,
         consumed,
+        retries,
         progress,
         engine_snapshot,
     })
@@ -252,6 +304,7 @@ mod tests {
             slices: 4,
             steps: 32,
             consumed: Duration::from_micros(1234),
+            retries: 1,
             progress: JobProgress {
                 generations: 32,
                 evaluations: 384,
@@ -279,6 +332,7 @@ mod tests {
             JobState::Done(StopReason::TargetReached),
             JobState::Cancelled,
             JobState::Failed("island 2 panicked".into()),
+            JobState::Poisoned("panicked 3 times".into()),
         ];
         for (i, state) in states.iter().enumerate() {
             spool.save(&record(i as u64, state.clone())).unwrap();
@@ -327,5 +381,80 @@ mod tests {
         assert_eq!(scan.records[0].id, JobId(1));
         assert_eq!(scan.skipped.len(), 2);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_write_error_fails_save_and_leaves_previous_record() {
+        let dir = tmp_dir("chaos-write");
+        let mut spool = Spool::open(&dir).unwrap();
+        spool.set_chaos(Some(Arc::new(ChaosInjector::new(
+            pga_cluster::ChaosPlan::none().spool_write_error(1),
+        ))));
+        let mut r = record(1, JobState::Running);
+        spool.save(&r).unwrap();
+        r.steps = 777;
+        let err = spool.save(&r).unwrap_err();
+        assert!(err.to_string().contains("chaos"), "{err}");
+        // The previous consistent record is untouched.
+        let scan = spool.load_all().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].steps, 32);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_torn_write_is_caught_by_recovery_checksum() {
+        let dir = tmp_dir("chaos-tear");
+        let mut spool = Spool::open(&dir).unwrap();
+        spool.set_chaos(Some(Arc::new(ChaosInjector::new(
+            pga_cluster::ChaosPlan::none().spool_write_truncated(0, 24),
+        ))));
+        // The tear is silent at write time...
+        spool.save(&record(9, JobState::Running)).unwrap();
+        // ...and caught at the recovery scan: skipped, never fatal.
+        let scan = spool.load_all().unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.skipped.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_read_error_skips_the_scripted_file_only() {
+        let dir = tmp_dir("chaos-read");
+        let mut spool = Spool::open(&dir).unwrap();
+        spool.save(&record(1, JobState::Running)).unwrap();
+        spool.save(&record(2, JobState::Running)).unwrap();
+        spool.set_chaos(Some(Arc::new(ChaosInjector::new(
+            pga_cluster::ChaosPlan::none().spool_read_error(0),
+        ))));
+        let scan = spool.load_all().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.skipped.len(), 1);
+        assert!(scan.skipped[0].message.contains("chaos"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_one_records_decode_with_zero_retries() {
+        // Hand-roll a version-1 record: same layout, no retries field.
+        let r1 = record(3, JobState::Running);
+        let mut w = SnapshotWriter::new();
+        w.put_u8(1);
+        w.put_u64(r1.id.0);
+        w.put_str(&r1.spec.to_json_string());
+        w.put_u8(1);
+        w.put_u64(r1.slices);
+        w.put_u64(r1.steps);
+        w.put_u64(r1.consumed.as_micros() as u64);
+        w.put_u64(r1.progress.generations);
+        w.put_u64(r1.progress.evaluations);
+        w.put_f64(r1.progress.best_fitness);
+        w.put_bool(r1.progress.best_is_optimal);
+        w.put_bool(false);
+        let bytes = Snapshot::new(SPOOL_TAG, w.into_bytes()).to_bytes();
+        let decoded = decode(&bytes).unwrap();
+        assert_eq!(decoded.retries, 0);
+        assert_eq!(decoded.id, JobId(3));
+        assert_eq!(decoded.state, JobState::Running);
     }
 }

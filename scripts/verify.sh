@@ -14,6 +14,11 @@ echo "==> clippy unwrap gate (pga-master-slave, pga-cluster, pga-island, pga-ser
 # Lib targets only (no --all-targets): test modules may unwrap freely.
 cargo clippy -q --no-deps -p pga-master-slave -p pga-cluster -p pga-island -p pga-serve -p pga-compact -- -D warnings -D clippy::unwrap_used
 
+echo "==> clippy expect gate (pga-serve lib code: no expect/panic paths in the server)"
+# The job server must never take the pool down on a bad input; lib code
+# proves it by carrying no unwrap/expect at all.
+cargo clippy -q --no-deps -p pga-serve -- -D warnings -D clippy::unwrap_used -D clippy::expect_used
+
 echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
@@ -55,6 +60,45 @@ timeout 300 cargo test -q -p pga-serve --release --test serve_resume
 
 echo "==> e19 serve load smoke (quick mode: no results files rewritten)"
 timeout 300 cargo run -q --release -p pga-bench --bin e19_serve_load -- --quick > /dev/null
+
+echo "==> serve chaos suite: fault injection, quarantine, degraded modes (release, timeout-guarded)"
+# Injected stalls/backoffs must never hang the scheduler: timeout is the gate.
+timeout 300 cargo test -q -p pga-serve --release --test chaos
+timeout 300 cargo test -q -p pga-serve --release --test malformed
+
+echo "==> e22 chaos availability smoke (quick mode: no results files rewritten)"
+# Quick mode still asserts availability >= 0.99, exact quarantines, and
+# bit-identical healthy results under the seeded storm.
+timeout 300 cargo run -q --release -p pga-bench --bin e22_chaos_availability -- --quick > /dev/null 2> /dev/null
+
+echo "==> BENCH_chaos.json availability gates (healthy availability >= 0.99, zero un-quarantined failures, exact quarantines)"
+# Re-run 'cargo run --release -p pga-bench --bin e22_chaos_availability'
+# (full mode) to refresh the file; the gates check the recorded storm.
+awk '
+/"availability"/ {
+    seen++
+    v = $2 + 0
+    if (v < 0.99) { print "healthy availability " v " < 0.99"; bad = 1 }
+}
+/"unquarantined_failures"/ {
+    seen++
+    if ($2 + 0 != 0) { print "un-quarantined failures: " $2; bad = 1 }
+}
+/"quarantined"/ && !/"expected_quarantined"/ { seen++; q = $2 + 0 }
+/"expected_quarantined"/ { seen++; eq = $2 + 0 }
+/"recovery"/ {
+    seen++
+    if (match($0, /"divergent": [0-9]+/)) {
+        d = substr($0, RSTART + 14, RLENGTH - 14) + 0
+        if (d != 0) { print d " divergent post-storm replays"; bad = 1 }
+    }
+}
+END {
+    if (seen < 5) { print "BENCH_chaos.json is missing gated fields"; exit 1 }
+    if (q != eq) { print "quarantined " q " != expected " eq; bad = 1 }
+    if (bad) exit 1
+    print "chaos storm: availability >= 0.99, " q "/" eq " quarantines, 0 un-quarantined failures, 0 divergent replays"
+}' results/BENCH_chaos.json
 
 echo "==> async steady-state acceptance suite (release, timeout-guarded)"
 # Includes the stalled-worker no-barrier test: meaningful only under a timeout.

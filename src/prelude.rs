@@ -75,17 +75,18 @@ pub use pga_compact::{
 // embedded callers can drive a `BoxedEngine` under the generic driver).
 pub use pga_core::{erase, BoxedEngine, ErasedEngine, ErasedRun};
 pub use pga_serve::{
-    Budget, EngineSpec, FamilyRegistry, JobId, JobSpec, JobState, ProblemRegistry, ProblemSpec,
-    Registries, Serve, ServeBuilder, ServeRuntime, SubmitError,
+    Budget, DrainReport, EngineSpec, FamilyRegistry, HealthReport, JobId, JobSpec, JobState,
+    ProblemRegistry, ProblemSpec, Registries, Serve, ServeBuilder, ServeRuntime, SubmitError,
 };
 
 // Topologies and neighborhoods.
 pub use pga_topology::{CellNeighborhood, Topology};
 
-// Cluster failure and cost models shared by simulator and resilient runtimes.
+// Cluster failure and cost models shared by simulator and resilient runtimes,
+// plus the seeded serve-layer chaos scripts.
 pub use pga_cluster::{
-    ClusterSpec, EvalCostModel, FailurePlan, FaultPlan, IslandFault, LinkFault, MigrationFaultPlan,
-    NetworkProfile, WorkerFault,
+    ChaosPlan, ClusterSpec, EvalCostModel, FailurePlan, FaultPlan, IslandFault, LinkFault,
+    MigrationFaultPlan, NetworkProfile, StormSpec, WorkerFault,
 };
 
 // Benchmark problem suite.
